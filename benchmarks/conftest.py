@@ -1,0 +1,40 @@
+"""Shared scale knobs for the benchmark/regeneration suite.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+reduced default scale (so ``pytest benchmarks/ --benchmark-only`` finishes
+in minutes). Set ``REPRO_BENCH_SCALE=paper`` to run the §V-A protocol
+(90-task workflows, 5 instances, 25 repetitions). At paper scale the
+Figure 2/4 regenerations take *hours* by design: each HEFTBUDG+ schedule
+of a 90-task MONTAGE costs minutes of CPU — exactly the scalability
+trade-off Table III reports (the authors measured ~380 s per schedule).
+Figure 1/3 and the ablations stay in the minutes range.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+PAPER_SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke") == "paper"
+
+
+def scaled_config(**overrides) -> ExperimentConfig:
+    """Benchmark config at the selected scale."""
+    if PAPER_SCALE:
+        base = ExperimentConfig.paper_scale()
+    else:
+        base = ExperimentConfig(
+            n_tasks=30,
+            n_instances=2,
+            budgets_per_workflow=5,
+            n_reps=5,
+        )
+    from dataclasses import replace
+
+    return replace(base, **overrides)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return "paper" if PAPER_SCALE else "smoke"

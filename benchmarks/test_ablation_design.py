@@ -1,0 +1,97 @@
+"""Ablations of HEFTBUDG's design choices (DESIGN.md §6).
+
+Two decisions the paper motivates but does not isolate:
+
+* **pot reclamation** (Algorithm 2's leftover carry-over): §V-B notes the
+  division "is somewhat unfair to the first scheduled tasks, which have no
+  access to any leftover"; without the pot every task is confined to its own
+  share and mid-budget makespans degrade.
+* **conservative weights** (``w̄ + σ`` vs plain ``w̄``): planning with means
+  under-reserves; at sigma = 100% the stochastic executions overrun the
+  budget noticeably more often.
+"""
+
+import pytest
+
+from conftest import PAPER_SCALE
+from repro.experiments.budgets import high_budget, minimal_budget
+from repro.platform.cloud import PAPER_PLATFORM
+from repro.scheduling.heft import HeftBudgScheduler
+from repro.simulation.executor import (
+    evaluate_schedule,
+    execute_schedule,
+    sample_weights,
+)
+from repro.workflow.generators import generate
+
+N_TASKS = 90 if PAPER_SCALE else 30
+N_REPS = 25 if PAPER_SCALE else 10
+
+
+def _pot_ablation():
+    rows = []
+    for seed in range(3):
+        wf = generate("montage", N_TASKS, rng=seed, sigma_ratio=0.5)
+        b_min = minimal_budget(wf, PAPER_PLATFORM)
+        b_high = high_budget(wf, PAPER_PLATFORM)
+        budget = b_min + 0.35 * (b_high - b_min)
+        with_pot = HeftBudgScheduler(use_pot=True).schedule(
+            wf, PAPER_PLATFORM, budget
+        )
+        without = HeftBudgScheduler(use_pot=False).schedule(
+            wf, PAPER_PLATFORM, budget
+        )
+        rows.append(
+            (
+                seed,
+                evaluate_schedule(wf, PAPER_PLATFORM, with_pot.schedule).makespan,
+                evaluate_schedule(wf, PAPER_PLATFORM, without.schedule).makespan,
+            )
+        )
+    return rows
+
+
+def test_pot_reclamation_helps(benchmark, capsys):
+    rows = benchmark.pedantic(_pot_ablation, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\n=== pot-reclamation ablation (MONTAGE-{N_TASKS}) ===")
+        print(f"{'seed':>5} {'with pot':>10} {'without':>10}")
+        for seed, with_pot, without in rows:
+            print(f"{seed:>5} {with_pot:>9.0f}s {without:>9.0f}s")
+    total_with = sum(r[1] for r in rows)
+    total_without = sum(r[2] for r in rows)
+    assert total_with <= total_without * 1.02, (
+        "pot reclamation should not hurt on aggregate"
+    )
+
+
+def _weights_ablation():
+    wf = generate("ligo", N_TASKS, rng=5, sigma_ratio=1.0)
+    b_min = minimal_budget(wf, PAPER_PLATFORM)
+    b_high = high_budget(wf, PAPER_PLATFORM)
+    budget = b_min + 0.4 * (b_high - b_min)
+    rows = {}
+    for label, conservative in (("w+sigma", True), ("mean", False)):
+        sched = HeftBudgScheduler(use_conservative=conservative).schedule(
+            wf, PAPER_PLATFORM, budget
+        ).schedule
+        valid = 0
+        for rep in range(N_REPS):
+            run = execute_schedule(
+                wf, PAPER_PLATFORM, sched, sample_weights(wf, rng=rep)
+            )
+            valid += run.respects_budget(budget)
+        rows[label] = valid / N_REPS
+    return budget, rows
+
+
+def test_conservative_weights_protect_budget(benchmark, capsys):
+    budget, rows = benchmark.pedantic(_weights_ablation, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\n=== planning-weights ablation (LIGO-{N_TASKS}, "
+              f"sigma = 100%, B = ${budget:.3f}) ===")
+        for label, valid in rows.items():
+            print(f"  {label:>8}: {100 * valid:.0f}% of runs within budget")
+    assert rows["w+sigma"] >= rows["mean"] - 1e-9, (
+        "conservative planning must not be less safe than mean planning"
+    )

@@ -1,0 +1,56 @@
+"""Figure 1 regenerator: MIN-MIN / HEFT vs their budget-aware extensions.
+
+Reproduces the 3×3 grid (makespan / cost / #VMs vs initial budget, one row
+per workflow family) and asserts its published shapes:
+
+* the budget constraint is respected by the BUDG variants at (almost)
+  every budget (§V-B: "respected in almost all cases");
+* makespan decreases as the budget grows and converges to the baseline's;
+* the baselines spend a budget-independent amount.
+
+The benchmark measures one full figure regeneration at the selected scale
+(see conftest.py; ``REPRO_BENCH_SCALE=paper`` for the §V-A protocol).
+"""
+
+import pytest
+
+from conftest import scaled_config
+from repro.experiments.figures import figure1
+from repro.experiments.report import render_figure
+
+BUDGETED = ("minmin_budg", "heft_budg")
+BASELINES = ("minmin", "heft")
+
+
+def _check_shapes(data):
+    for algorithm in BUDGETED:
+        baseline = "heft" if "heft" in algorithm else "minmin"
+        for family in data.families():
+            series = data.get(family, algorithm)
+            # budget respected beyond the minimum-budget regime
+            for point in series[1:]:
+                assert point.stats.valid_fraction >= 0.85, (
+                    f"{algorithm}/{family} at ${point.budget_mean:.3f}: "
+                    f"{point.stats.valid_fraction:.0%} valid"
+                )
+            # makespan weakly decreasing along the budget axis
+            assert series[-1].stats.makespan_mean <= (
+                series[0].stats.makespan_mean * 1.05
+            )
+            # convergence to the baseline at high budget
+            base_last = data.get(family, baseline)[-1].stats.makespan_mean
+            assert series[-1].stats.makespan_mean <= base_last * 1.15
+    for algorithm in BASELINES:
+        for family in data.families():
+            costs = [p.stats.cost_mean for p in data.get(family, algorithm)]
+            assert (max(costs) - min(costs)) / max(costs) < 0.25
+
+
+def test_figure1_regeneration(benchmark, capsys):
+    data = benchmark.pedantic(
+        lambda: figure1(scaled_config()), rounds=1, iterations=1
+    )
+    _check_shapes(data)
+    with capsys.disabled():
+        for metric in ("makespan", "cost", "n_vms"):
+            print("\n" + render_figure(data, metric=metric))

@@ -1,0 +1,56 @@
+"""Figure 4 regenerator: HEFTBUDG+ / HEFTBUDG+INV vs CG+.
+
+The paper's claim (§V-D3): "Globally our algorithms find better schedules
+than CG/CG+", with CG+ stuck at high makespans. What this reproduction can
+and cannot match is documented in EXPERIMENTS.md: our extended CG+ is
+*stronger* than the paper's (the near-linear Table II pricing narrows CG's
+[c_min, c_max] interpolation span, so CG reaches fast categories at lower
+budgets). The robust reproduced contrasts asserted here:
+
+* the refined HEFT variants respect the budget essentially everywhere;
+  CG+ fails validity at the tightest budget on workflows where the cheap
+  envelope is tight (MONTAGE/CYBERSHAKE) — "globally better" under
+  enforcement;
+* wherever CG+ *is* valid, the refined variants' makespans are at least
+  competitive (never >25% worse on mean).
+"""
+
+import pytest
+
+from conftest import scaled_config
+from repro.experiments.figures import figure4
+from repro.experiments.report import render_figure
+
+
+def _check_shapes(data):
+    compared = 0
+    cgp_failed_tight = 0
+    for family in data.families():
+        cgp = data.get(family, "cg_plus")
+        if cgp[0].stats.valid_fraction < 0.85:
+            cgp_failed_tight += 1
+        for algorithm in ("heft_budg_plus", "heft_budg_plus_inv"):
+            series = data.get(family, algorithm)
+            for point in series[1:]:
+                assert point.stats.valid_fraction >= 0.85, (
+                    f"{algorithm}/{family} at ${point.budget_mean:.3f}"
+                )
+            for p_ref, p_cg in zip(series[1:], cgp[1:]):
+                if p_cg.stats.valid_fraction < 0.5:
+                    continue
+                compared += 1
+                assert p_ref.stats.makespan_mean <= (
+                    p_cg.stats.makespan_mean * 1.25
+                ), f"{algorithm}/{family} at ${p_ref.budget_mean:.3f}"
+    assert compared > 0, "CG+ never produced a valid point to compare"
+    assert cgp_failed_tight >= 1, (
+        "CG+ unexpectedly respected every tight budget"
+    )
+
+
+def test_figure4_regeneration(benchmark, capsys):
+    config = scaled_config()
+    data = benchmark.pedantic(lambda: figure4(config), rounds=1, iterations=1)
+    _check_shapes(data)
+    with capsys.disabled():
+        print("\n" + render_figure(data, metric="makespan"))

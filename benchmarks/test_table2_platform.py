@@ -1,0 +1,32 @@
+"""Table II regenerator: the platform constants.
+
+Prints the instantiated Table II and micro-benchmarks platform
+construction and its derived quantities (these sit on every scheduler's
+hot path).
+"""
+
+from repro.experiments.tables import table2_rows
+from repro.platform.cloud import PAPER_PLATFORM, make_linear_platform
+from repro.workflow.generators import generate
+
+
+def test_table2_constants_print(benchmark, capsys):
+    rows = benchmark(table2_rows)
+    with capsys.disabled():
+        print("\n=== Table II (platform constants, this reproduction) ===")
+        for key, value in rows:
+            print(f"  {key:>14s}: {value}")
+    keys = dict(rows)
+    assert keys["categories"] == "3"
+
+
+def test_platform_construction(benchmark):
+    platform = benchmark(make_linear_platform)
+    assert platform.n_categories == 3
+    assert platform.cheapest.hourly_cost <= platform.most_expensive.hourly_cost
+
+
+def test_datacenter_rate_derivation(benchmark):
+    wf = generate("montage", 30, rng=1)
+    rate = benchmark(PAPER_PLATFORM.datacenter_rate, wf)
+    assert rate > 0.0

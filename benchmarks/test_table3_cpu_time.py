@@ -1,0 +1,119 @@
+"""Table III regenerator: CPU time to compute one schedule.
+
+Table III(a): per-algorithm scheduling time on a MONTAGE workflow at the
+"low" (B_min), "medium" and "high" budgets. Table III(b): scheduling time
+vs workflow size at a high budget. Absolute numbers are hardware-bound;
+the *relationships* the paper reports are asserted:
+
+* the refined variants cost orders of magnitude more than the one-pass
+  algorithms (HEFTBUDG ~2.6s vs HEFTBUDG+ ~380s in the paper — a ~150×
+  ratio; we require >= 20×);
+* scheduling time grows super-linearly with workflow size.
+
+Each ``test_schedule_*`` is a pytest-benchmark micro-benchmark of one
+algorithm — the direct regeneration of one table cell.
+"""
+
+import math
+
+import pytest
+
+from conftest import PAPER_SCALE
+from repro.experiments.budgets import high_budget, medium_budget, minimal_budget
+from repro.experiments.tables import table3a, table3b
+from repro.experiments.report import render_cpu_table
+from repro.scheduling.registry import make_scheduler
+from repro.workflow.generators import generate
+
+N_TASKS = 90 if PAPER_SCALE else 30
+ONE_PASS = ("minmin", "heft", "minmin_budg", "heft_budg", "bdt", "cg")
+REFINED = ("heft_budg_plus", "heft_budg_plus_inv", "cg_plus")
+
+
+@pytest.fixture(scope="module")
+def wf():
+    return generate("montage", N_TASKS, rng=2018, sigma_ratio=0.5)
+
+
+@pytest.fixture(scope="module")
+def budgets(wf):
+    from repro.platform.cloud import PAPER_PLATFORM
+
+    return {
+        "low": minimal_budget(wf, PAPER_PLATFORM),
+        "medium": medium_budget(wf, PAPER_PLATFORM),
+        "high": high_budget(wf, PAPER_PLATFORM),
+    }
+
+
+@pytest.mark.parametrize("algorithm", ONE_PASS)
+@pytest.mark.parametrize("level", ["low", "medium", "high"])
+def test_schedule_cpu_time(benchmark, wf, budgets, algorithm, level):
+    """One Table III(a) cell: (algorithm, budget level)."""
+    from repro.platform.cloud import PAPER_PLATFORM
+
+    scheduler = make_scheduler(algorithm)
+    budget = math.inf if algorithm in ("minmin", "heft") else budgets[level]
+    result = benchmark(scheduler.schedule, wf, PAPER_PLATFORM, budget)
+    assert result.schedule.n_vms >= 1
+
+
+@pytest.mark.parametrize("algorithm", REFINED)
+def test_schedule_cpu_time_refined(benchmark, wf, budgets, algorithm):
+    """Table III(a) refined rows (medium budget only — they are slow)."""
+    from repro.platform.cloud import PAPER_PLATFORM
+
+    scheduler = make_scheduler(algorithm)
+    result = benchmark.pedantic(
+        scheduler.schedule, args=(wf, PAPER_PLATFORM, budgets["medium"]),
+        rounds=1, iterations=1,
+    )
+    assert result.schedule.n_vms >= 1
+
+
+def test_refined_orders_of_magnitude_slower(benchmark, wf, budgets):
+    """The paper's scalability claim (§IV-B, Table III)."""
+    import time
+
+    from repro.platform.cloud import PAPER_PLATFORM
+
+    def measure(name):
+        scheduler = make_scheduler(name)
+        t0 = time.perf_counter()
+        scheduler.schedule(wf, PAPER_PLATFORM, budgets["medium"])
+        return time.perf_counter() - t0
+
+    t_plain = max(measure("heft_budg"), 1e-4)
+    t_plus = benchmark.pedantic(
+        lambda: measure("heft_budg_plus"), rounds=1, iterations=1
+    )
+    assert t_plus / t_plain >= 20.0, (
+        f"expected >=20x gap, got {t_plus / t_plain:.1f}x"
+    )
+
+
+def test_table3b_growth_with_size(benchmark, capsys):
+    """Table III(b): time vs size (super-linear growth)."""
+    sizes = (30, 60, 90, 400) if PAPER_SCALE else (30, 60, 90)
+    table = benchmark.pedantic(
+        lambda: table3b(sizes=sizes, algorithms=("heft_budg",), repeats=2),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print("\n" + render_cpu_table(table, title="Table III(b)"))
+    times = [table[s][0].mean for s in sizes]
+    assert times == sorted(times)
+    # super-linear: tripling tasks more than triples the time
+    assert times[-1] / times[0] > (sizes[-1] / sizes[0])
+
+
+def test_table3a_full_print(benchmark, capsys):
+    """Regenerate and print the whole Table III(a)."""
+    table = benchmark.pedantic(
+        lambda: table3a(n_tasks=N_TASKS, algorithms=ONE_PASS, repeats=3),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print("\n" + render_cpu_table(table, title="Table III(a)"))
+    for cells in table.values():
+        assert all(c.mean > 0 for c in cells)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""How much sky mosaic does a dollar buy? — a MONTAGE budget study.
+
+An astronomy group renders image mosaics with Montage on a public cloud
+under a fixed grant line. This example sweeps the initial budget from the
+cheapest-possible allocation up to "rent whatever you like" and compares
+every algorithm of the paper on the same 90-task MONTAGE instance:
+
+* the budget-oblivious baselines (MIN-MIN, HEFT) — fast but may blow the
+  grant;
+* the budget-aware extensions (MIN-MINBUDG, HEFTBUDG) — never (well,
+  almost never) overspend;
+* the refined HEFTBUDG+ — squeezes the leftover budget into faster VMs.
+
+Run:  python examples/astronomy_mosaic_budget.py [n_tasks]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import PAPER_PLATFORM, evaluate_schedule, generate, make_scheduler
+from repro.experiments.budgets import high_budget, minimal_budget
+
+ALGORITHMS = ["minmin", "heft", "minmin_budg", "heft_budg", "heft_budg_plus"]
+
+
+def main() -> None:
+    n_tasks = int(sys.argv[1]) if len(sys.argv) > 1 else 90
+    wf = generate("montage", n_tasks, rng=7, sigma_ratio=0.5)
+    b_min = minimal_budget(wf, PAPER_PLATFORM)
+    b_high = high_budget(wf, PAPER_PLATFORM)
+    budgets = np.linspace(b_min, b_high, 6)
+
+    print(f"MONTAGE {n_tasks} tasks — budget sweep "
+          f"(${b_min:.2f} … ${b_high:.2f})\n")
+    header = f"{'budget':>9} |"
+    for algo in ALGORITHMS:
+        header += f" {algo:>22} |"
+    print(header)
+    print("-" * len(header))
+
+    for budget in budgets:
+        row = f"${budget:8.3f} |"
+        for algo in ALGORITHMS:
+            sched = make_scheduler(algo).schedule(
+                wf, PAPER_PLATFORM, float(budget)
+            ).schedule
+            run = evaluate_schedule(wf, PAPER_PLATFORM, sched)
+            flag = "" if run.total_cost <= budget else "!"
+            row += (
+                f" {run.makespan:7.0f}s ${run.total_cost:6.3f}{flag}"
+                f" {run.n_vms:3d}vm |"
+            )
+        print(row)
+
+    print(
+        "\ncells: makespan, simulated cost ('!' = budget violated), VMs used"
+        "\nnote how the budget-aware columns hug the budget while the"
+        "\nbaselines spend a constant amount regardless of it, and how"
+        "\nHEFTBUDG+ converts leftover dollars into shorter makespans."
+    )
+
+
+if __name__ == "__main__":
+    main()

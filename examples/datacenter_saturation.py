@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Why LIGO overruns tight budgets: datacenter saturation.
+
+§V-B of the paper: "we assumed that the bandwidth of the datacenter would be
+sufficient for all simultaneous transfers, but we observed that it became a
+bottleneck ... LIGO has a lot of parallel tasks running concurrently, that
+may well send huge data at the same time."
+
+The library's simulator can model both regimes: the default infinite
+aggregate capacity (every transfer gets the full VM link), or a finite
+datacenter capacity shared max-min fairly among concurrent flows. This
+example schedules a LIGO workflow near its minimum budget — where schedules
+are serialized and transfer-heavy — and replays the *same schedule* under
+shrinking datacenter capacity, reproducing the overrun mechanism.
+
+Run:  python examples/datacenter_saturation.py
+"""
+
+import math
+
+from repro import PAPER_PLATFORM, execute_schedule, generate, make_scheduler
+from repro.experiments.budgets import minimal_budget
+from repro.simulation.executor import sample_weights
+from repro.units import MB
+
+CAPACITIES = [math.inf, 50 * MB, 20 * MB, 8 * MB, 3 * MB]
+N_RUNS = 10
+
+
+def main() -> None:
+    # Trace-faithful runtimes (runtime_scale=1): LIGO's 220 MB input frames
+    # genuinely compete with its ~460 s matched-filter tasks, the regime in
+    # which the paper observed the datacenter becoming a bottleneck.
+    wf = generate("ligo", 90, rng=3, sigma_ratio=0.5, runtime_scale=1.0)
+    budget = 1.3 * minimal_budget(wf, PAPER_PLATFORM)
+    sched = make_scheduler("heft_budg").schedule(
+        wf, PAPER_PLATFORM, budget
+    ).schedule
+    print(f"LIGO 90 tasks, budget ${budget:.3f} "
+          f"(1.3 × minimum), {sched.n_vms} VMs, "
+          f"per-VM link {PAPER_PLATFORM.bandwidth / MB:.0f} MB/s\n")
+    print(f"{'DC capacity':>12} {'mean makespan':>14} {'mean cost':>10} "
+          f"{'% within budget':>16}")
+
+    for capacity in CAPACITIES:
+        makespans, costs, valid = [], [], 0
+        for rep in range(N_RUNS):
+            run = execute_schedule(
+                wf, PAPER_PLATFORM, sched, sample_weights(wf, rng=rep),
+                dc_capacity=capacity,
+            )
+            makespans.append(run.makespan)
+            costs.append(run.total_cost)
+            valid += run.respects_budget(budget)
+        label = "inf" if math.isinf(capacity) else f"{capacity / MB:.0f} MB/s"
+        print(f"{label:>12} {sum(makespans) / N_RUNS:>13.0f}s "
+              f"${sum(costs) / N_RUNS:>9.3f} {100 * valid / N_RUNS:>15.0f}%")
+
+    print(
+        "\nAs the shared capacity shrinks below the aggregate demand of"
+        "\nLIGO's parallel uploads, transfers stretch, VMs stay rented"
+        "\nlonger, and the budget — set assuming free bandwidth — breaks,"
+        "\nexactly the failure mode the paper reports for tight budgets."
+    )
+
+
+if __name__ == "__main__":
+    main()

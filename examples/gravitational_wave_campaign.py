@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Surviving stragglers in a LIGO analysis campaign.
+
+LIGO Inspiral workflows are dominated by large, uncertain matched-filter
+tasks: the actual instruction count depends on the data segment, so a task
+can take twice its expected time. This example shows, on one LIGO instance:
+
+1. how the budget guarantee of HEFTBUDG holds as the weight uncertainty
+   grows from sigma = 25% to sigma = 100% of the mean (§V-B of the paper);
+2. what the paper's proposed on-line monitoring extension (§VI) buys:
+   stragglers are detected at ``1.4 × planned`` time and the not-yet-started
+   work is re-mapped onto the unspent budget.
+
+Run:  python examples/gravitational_wave_campaign.py
+"""
+
+import numpy as np
+
+from repro import PAPER_PLATFORM, execute_schedule, generate, make_scheduler
+from repro.experiments.budgets import high_budget, minimal_budget
+from repro.scheduling.online import OnlineHeftBudg
+from repro.simulation.executor import sample_weights
+
+N_RUNS = 15
+
+
+def main() -> None:
+    print("== 1. budget compliance vs weight uncertainty ==\n")
+    print(f"{'sigma/mean':>10} {'budget':>9} {'mean makespan':>14} "
+          f"{'mean cost':>10} {'% within budget':>16}")
+    for sigma in (0.25, 0.5, 0.75, 1.0):
+        wf = generate("ligo", 60, rng=11, sigma_ratio=sigma)
+        budget = 0.5 * (
+            minimal_budget(wf, PAPER_PLATFORM) + high_budget(wf, PAPER_PLATFORM)
+        )
+        sched = make_scheduler("heft_budg").schedule(
+            wf, PAPER_PLATFORM, budget
+        ).schedule
+        makespans, costs, valid = [], [], 0
+        for rep in range(N_RUNS):
+            run = execute_schedule(
+                wf, PAPER_PLATFORM, sched, sample_weights(wf, rng=rep)
+            )
+            makespans.append(run.makespan)
+            costs.append(run.total_cost)
+            valid += run.respects_budget(budget)
+        print(
+            f"{sigma:>10.2f} ${budget:>8.3f} {np.mean(makespans):>13.0f}s "
+            f"${np.mean(costs):>9.3f} {100 * valid / N_RUNS:>15.0f}%"
+        )
+
+    print("\n== 2. on-line straggler re-mapping (paper §VI prototype) ==\n")
+    wf = generate("ligo", 60, rng=11, sigma_ratio=1.0)
+    budget = high_budget(wf, PAPER_PLATFORM)
+    static = make_scheduler("heft_budg").schedule(wf, PAPER_PLATFORM, budget).schedule
+    online = OnlineHeftBudg(timeout_factor=1.4)
+
+    print(f"{'run':>4} {'static makespan':>16} {'online makespan':>16} "
+          f"{'timeouts':>9} {'re-maps':>8}")
+    static_mk, online_mk = [], []
+    for rep in range(N_RUNS):
+        weights = sample_weights(wf, rng=100 + rep)
+        s = execute_schedule(wf, PAPER_PLATFORM, static, weights)
+        o = online.run(wf, PAPER_PLATFORM, budget, weights=weights)
+        static_mk.append(s.makespan)
+        online_mk.append(o.makespan)
+        print(f"{rep:>4} {s.makespan:>15.0f}s {o.makespan:>15.0f}s "
+              f"{len(o.timeouts):>9} {o.n_reschedules:>8}")
+    gain = 100 * (1 - np.mean(online_mk) / np.mean(static_mk))
+    print(f"\nmean improvement from monitoring: {gain:.1f}% "
+          f"({np.mean(static_mk):.0f}s → {np.mean(online_mk):.0f}s)")
+    print(
+        "\nNote the paper's caution (§VI): 'such dynamic decisions encompass"
+        "\nrisks'. The monitor reliably detects stragglers and only accepts a"
+        "\nre-mapping when it helps under everything knowable at detection"
+        "\ntime — yet realized gains are often near zero, because the"
+        "\nworkflow's agglomerative sinks must wait for the non-preemptible"
+        "\nstraggler regardless of where the remaining work is placed. A"
+        "\nheuristic that *interrupts* tasks (the paper's other proposal)"
+        "\nis where the upside would come from."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+"""repro — budget-aware scheduling of scientific workflows on IaaS clouds.
+
+Reproduction of Caniou, Caron, Kong Win Chang & Robert, *Budget-aware
+scheduling algorithms for scientific workflows with stochastic task weights
+on heterogeneous IaaS Cloud platforms*, IPDPSW 2018.
+
+Quickstart::
+
+    from repro import generate, PAPER_PLATFORM, make_scheduler
+    from repro import execute_schedule, sample_weights
+
+    wf = generate("montage", 90, rng=1, sigma_ratio=0.5)
+    result = make_scheduler("heft_budg").schedule(wf, PAPER_PLATFORM, budget=20.0)
+    run = execute_schedule(wf, PAPER_PLATFORM, result.schedule,
+                           sample_weights(wf, rng=2))
+    print(run.makespan, run.total_cost, run.n_vms)
+"""
+
+from .advisor import PlanRecommendation, recommend
+from .errors import (
+    CycleError,
+    DaxParseError,
+    InfeasibleBudgetError,
+    PlatformError,
+    ReproError,
+    ScheduleValidationError,
+    SchedulingError,
+    SimulationError,
+    WorkflowError,
+)
+from .platform import (
+    PAPER_PLATFORM,
+    CloudPlatform,
+    CostBreakdown,
+    VMCategory,
+    make_linear_platform,
+)
+from .scheduling import (
+    SCHEDULERS,
+    BdtScheduler,
+    CgPlusScheduler,
+    CgScheduler,
+    HeftBudgPlusInvScheduler,
+    HeftBudgPlusScheduler,
+    HeftBudgScheduler,
+    HeftScheduler,
+    MinMinBudgScheduler,
+    MinMinScheduler,
+    Schedule,
+    Scheduler,
+    SchedulerResult,
+    available_schedulers,
+    divide_budget,
+    make_scheduler,
+    refine_schedule,
+)
+from .scheduling import (
+    IdleSplitResult,
+    OnlineHeftBudg,
+    OnlineRunResult,
+    split_idle_gaps,
+)
+from .simulation import (
+    render_gantt,
+    render_task_table,
+    SimulationResult,
+    conservative_weights,
+    evaluate_schedule,
+    execute_schedule,
+    mean_weights,
+    sample_weights,
+)
+from .workflow import (
+    StochasticWeight,
+    Task,
+    Workflow,
+    bottom_levels,
+    critical_path,
+    heft_order,
+    parse_dax,
+    read_dax,
+    write_dax,
+)
+from .workflow.generators import FAMILIES, PAPER_FAMILIES, generate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BdtScheduler",
+    "CgPlusScheduler",
+    "CgScheduler",
+    "CloudPlatform",
+    "CostBreakdown",
+    "CycleError",
+    "DaxParseError",
+    "FAMILIES",
+    "HeftBudgPlusInvScheduler",
+    "HeftBudgPlusScheduler",
+    "HeftBudgScheduler",
+    "HeftScheduler",
+    "InfeasibleBudgetError",
+    "MinMinBudgScheduler",
+    "MinMinScheduler",
+    "PAPER_FAMILIES",
+    "PAPER_PLATFORM",
+    "IdleSplitResult",
+    "OnlineHeftBudg",
+    "OnlineRunResult",
+    "PlanRecommendation",
+    "PlatformError",
+    "ReproError",
+    "SCHEDULERS",
+    "Schedule",
+    "ScheduleValidationError",
+    "Scheduler",
+    "SchedulerResult",
+    "SchedulingError",
+    "SimulationError",
+    "SimulationResult",
+    "StochasticWeight",
+    "Task",
+    "VMCategory",
+    "Workflow",
+    "WorkflowError",
+    "available_schedulers",
+    "bottom_levels",
+    "conservative_weights",
+    "critical_path",
+    "divide_budget",
+    "evaluate_schedule",
+    "execute_schedule",
+    "generate",
+    "heft_order",
+    "make_linear_platform",
+    "make_scheduler",
+    "mean_weights",
+    "parse_dax",
+    "read_dax",
+    "recommend",
+    "refine_schedule",
+    "render_gantt",
+    "render_task_table",
+    "sample_weights",
+    "split_idle_gaps",
+    "write_dax",
+]

@@ -1,0 +1,110 @@
+"""High-level planning advisor: satisfy Eq. (3) at a chosen confidence.
+
+The paper's objective — "fulfill the deadline while respecting the budget"
+(Eq. 3) — is a *satisfaction* problem the user faces before submitting a
+workflow: how much money buys a makespan distribution that meets my
+deadline with, say, 95% probability? :func:`recommend` answers it by
+walking the budget axis with a budget-aware scheduler and Monte-Carlo
+checking each candidate schedule against the joint objective, returning the
+cheapest plan that qualifies (or the best-effort plan with its achieved
+probability when none does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .errors import SchedulingError
+from .experiments.budgets import budget_grid
+from .experiments.risk import RiskAssessment, assess
+from .platform.cloud import CloudPlatform
+from .rng import RngLike, spawn
+from .scheduling.registry import make_scheduler
+from .scheduling.schedule import Schedule
+from .workflow.dag import Workflow
+
+__all__ = ["PlanRecommendation", "recommend"]
+
+
+@dataclass(frozen=True)
+class PlanRecommendation:
+    """The advisor's verdict.
+
+    ``feasible`` tells whether the joint objective is met at the requested
+    confidence; when ``False`` the returned plan is the best-probability
+    one found, and ``risk`` carries its achieved numbers.
+    """
+
+    schedule: Schedule
+    budget: float
+    deadline: float
+    confidence: float
+    feasible: bool
+    risk: RiskAssessment
+    algorithm: str
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        verdict = "MEETS" if self.feasible else "best effort, MISSES"
+        return (
+            f"{verdict} (D={self.deadline:.0f}s, B=${self.budget:.3f}) at "
+            f"{self.risk.p_meets_objective:.1%} joint probability "
+            f"[target {self.confidence:.0%}, {self.algorithm}]"
+        )
+
+
+def recommend(
+    wf: Workflow,
+    platform: CloudPlatform,
+    deadline: float,
+    *,
+    confidence: float = 0.95,
+    algorithm: str = "heft_budg",
+    budgets: Optional[Sequence[float]] = None,
+    n_budget_points: int = 8,
+    n_samples: int = 120,
+    rng: RngLike = None,
+) -> PlanRecommendation:
+    """Find the cheapest budget meeting ``deadline`` at ``confidence``.
+
+    Candidate budgets default to the workflow's own ``B_min``-to-high grid.
+    Each candidate is scheduled once and assessed by Monte-Carlo
+    (``n_samples`` weight realizations); candidates are tried cheapest
+    first and the first qualifying plan is returned.
+    """
+    if not 0.0 < confidence <= 1.0:
+        raise SchedulingError(f"confidence must be in (0,1], got {confidence}")
+    if deadline <= 0.0:
+        raise SchedulingError(f"deadline must be > 0, got {deadline}")
+    wf.freeze()
+    grid = sorted(budgets) if budgets else budget_grid(
+        wf, platform, n_budget_points
+    )
+    scheduler = make_scheduler(algorithm)
+
+    best: Optional[PlanRecommendation] = None
+    for budget, stream in zip(grid, spawn(rng, len(grid))):
+        schedule = scheduler.schedule(wf, platform, budget).schedule
+        risk = assess(
+            wf, platform, schedule,
+            deadline=deadline, budget=budget,
+            n_samples=n_samples, rng=stream,
+        )
+        plan = PlanRecommendation(
+            schedule=schedule,
+            budget=budget,
+            deadline=deadline,
+            confidence=confidence,
+            feasible=risk.p_meets_objective >= confidence,
+            risk=risk,
+            algorithm=algorithm,
+        )
+        if plan.feasible:
+            return plan
+        if best is None or (
+            plan.risk.p_meets_objective > best.risk.p_meets_objective
+        ):
+            best = plan
+    assert best is not None  # grid is non-empty
+    return best

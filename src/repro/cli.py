@@ -1,0 +1,175 @@
+"""``repro-exp`` — command-line driver for the paper's experiments.
+
+Examples::
+
+    repro-exp fig1 --smoke                      # quick look at Figure 1
+    repro-exp fig3 --tasks 90 --reps 25         # paper-scale Figure 3
+    repro-exp table3a --repeats 5
+    repro-exp table2
+    repro-exp fig2 --csv out.csv                # raw records to CSV
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments.config import ExperimentConfig
+from .experiments.figures import (
+    FIGURE_ALGORITHMS,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+)
+from .experiments.report import (
+    records_to_csv,
+    render_cpu_table,
+    render_figure,
+)
+from .experiments.tables import table2_rows, table3a, table3b
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "fig1": (figure1, ("makespan", "cost", "n_vms")),
+    "fig2": (figure2, ("makespan", "cost", "n_vms")),
+    "fig3": (figure3, ("makespan", "valid", "cost")),
+    "fig4": (figure4, ("makespan",)),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-exp`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-exp",
+        description="Regenerate the figures and tables of Caniou et al., "
+        "IPDPSW 2018 (budget-aware workflow scheduling).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in _FIGURES:
+        p = sub.add_parser(name, help=f"regenerate paper {name}")
+        p.add_argument("--smoke", action="store_true",
+                       help="down-scaled run (seconds instead of minutes)")
+        p.add_argument("--tasks", type=int, default=None,
+                       help="workflow size (paper: 90)")
+        p.add_argument("--instances", type=int, default=None,
+                       help="instances per family (paper: 5)")
+        p.add_argument("--reps", type=int, default=None,
+                       help="stochastic repetitions per point (paper: 25)")
+        p.add_argument("--budgets", type=int, default=None,
+                       help="budget grid points per workflow")
+        p.add_argument("--sigma", type=float, default=None,
+                       help="sigma/mean ratio (paper: 0.25..1.0)")
+        p.add_argument("--seed", type=int, default=None)
+        p.add_argument("--csv", type=str, default=None,
+                       help="also dump raw run records to this CSV file")
+
+    t2 = sub.add_parser("table2", help="print the platform constants")
+
+    sigma = sub.add_parser(
+        "sigma", help="sigma-impact study (§V-B / extended version)"
+    )
+    sigma.add_argument("--tasks", type=int, default=90)
+    sigma.add_argument("--reps", type=int, default=25)
+    sigma.add_argument("--position", type=float, default=0.4,
+                       help="budget position on [B_min, B_high] (0..1)")
+
+    frontier = sub.add_parser(
+        "frontier", help="minimal budget to match the baseline makespan"
+    )
+    frontier.add_argument("--sizes", type=int, nargs="+", default=[30, 60, 90])
+
+    for name in ("table3a", "table3b"):
+        p = sub.add_parser(name, help=f"regenerate paper {name}")
+        p.add_argument("--repeats", type=int, default=3,
+                       help="scheduling timing repetitions")
+        p.add_argument("--tasks", type=int, default=90,
+                       help="workflow size for table3a")
+        p.add_argument("--refined", action="store_true",
+                       help="include the (slow) refined variants")
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    cfg = ExperimentConfig.smoke() if args.smoke else ExperimentConfig.paper_scale()
+    overrides = {}
+    if args.tasks is not None:
+        overrides["n_tasks"] = args.tasks
+    if args.instances is not None:
+        overrides["n_instances"] = args.instances
+    if args.reps is not None:
+        overrides["n_reps"] = args.reps
+    if args.budgets is not None:
+        overrides["budgets_per_workflow"] = args.budgets
+    if args.sigma is not None:
+        overrides["sigma_ratio"] = args.sigma
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        from dataclasses import replace
+
+        cfg = replace(cfg, **overrides)
+    return cfg
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command in _FIGURES:
+        builder, metrics = _FIGURES[args.command]
+        data = builder(_config_from_args(args))
+        for metric in metrics:
+            print(render_figure(data, metric=metric))
+        if args.csv:
+            with open(args.csv, "w", newline="") as fh:
+                records_to_csv(data.records, fh)
+            print(f"raw records written to {args.csv}")
+        return 0
+
+    if args.command == "table2":
+        for key, value in table2_rows():
+            print(f"{key:>14s}: {value}")
+        return 0
+
+    if args.command == "sigma":
+        from .experiments.sigma_study import render_sigma_study, sigma_study
+
+        study = sigma_study(
+            n_tasks=args.tasks, n_reps=args.reps,
+            budget_position=args.position,
+        )
+        print(render_sigma_study(study))
+        return 0
+
+    if args.command == "frontier":
+        from .experiments.budget_frontier import frontier_study, render_frontier
+
+        print(render_frontier(frontier_study(sizes=tuple(args.sizes))))
+        return 0
+
+    algorithms = ["minmin", "heft", "minmin_budg", "heft_budg", "bdt", "cg"]
+    if args.command == "table3a":
+        if args.refined:
+            algorithms += ["heft_budg_plus", "heft_budg_plus_inv", "cg_plus"]
+        table = table3a(
+            n_tasks=args.tasks, repeats=args.repeats, algorithms=algorithms
+        )
+        print(render_cpu_table(table, title="Table III(a): CPU time vs budget"))
+        return 0
+
+    if args.command == "table3b":
+        if args.refined:
+            algorithms += ["heft_budg_plus", "heft_budg_plus_inv"]
+        table = table3b(repeats=args.repeats, algorithms=algorithms)
+        print(render_cpu_table(table, title="Table III(b): CPU time vs size"))
+        return 0
+
+    return 1  # pragma: no cover - argparse guards commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

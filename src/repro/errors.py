@@ -1,0 +1,69 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to distinguish model errors (bad workflow / platform
+specifications) from runtime failures (infeasible schedules, simulator
+violations).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "WorkflowError",
+    "CycleError",
+    "DanglingEdgeError",
+    "PlatformError",
+    "SchedulingError",
+    "InfeasibleBudgetError",
+    "ScheduleValidationError",
+    "SimulationError",
+    "DaxParseError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class WorkflowError(ReproError):
+    """Invalid workflow specification (bad task, weight, or data size)."""
+
+
+class CycleError(WorkflowError):
+    """The task graph contains a cycle and therefore is not a DAG."""
+
+
+class DanglingEdgeError(WorkflowError):
+    """An edge references a task id that does not exist in the workflow."""
+
+
+class PlatformError(ReproError):
+    """Invalid platform specification (bad VM category or datacenter)."""
+
+
+class SchedulingError(ReproError):
+    """A scheduling algorithm could not produce a schedule."""
+
+
+class InfeasibleBudgetError(SchedulingError):
+    """The budget is too small to execute the workflow at all.
+
+    Raised only when even the cheapest possible allocation (every task on a
+    single VM of the cheapest category) exceeds the budget *and* the caller
+    asked for strict behaviour; by default the paper's algorithms return the
+    cheapest schedule and report the overrun through the validity metric.
+    """
+
+
+class ScheduleValidationError(ReproError):
+    """A schedule violates a structural invariant (missing task, bad VM...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class DaxParseError(WorkflowError):
+    """A Pegasus DAX document could not be parsed."""

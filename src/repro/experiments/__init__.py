@@ -1,0 +1,89 @@
+"""Evaluation harness: configs, sweeps, figure/table regenerators."""
+
+from .budgets import (
+    baseline_cost,
+    budget_grid,
+    cheapest_schedule,
+    high_budget,
+    medium_budget,
+    minimal_budget,
+)
+from .config import ExperimentConfig
+from .figures import (
+    FIGURE_ALGORITHMS,
+    FigureData,
+    SeriesPoint,
+    build_figure,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+)
+from .metrics import Aggregate, RunRecord, aggregate, group_by
+from .report import records_to_csv, render_cpu_table, render_figure
+from .budget_frontier import (
+    FrontierPoint,
+    budget_to_match_baseline,
+    frontier_study,
+    render_frontier,
+)
+from .risk import Distribution, RiskAssessment, assess
+from .runner import BASELINE_ALGORITHMS, make_instances, run_point, run_sweep
+from .sigma_study import SigmaPoint, SigmaStudy, render_sigma_study, sigma_study
+from .stats import (
+    BootstrapCI,
+    PairedComparison,
+    bootstrap_ci,
+    compare_algorithms,
+    paired_comparison,
+)
+from .tables import CpuTimeCell, table2_rows, table3a, table3b
+
+__all__ = [
+    "Aggregate",
+    "BASELINE_ALGORITHMS",
+    "BootstrapCI",
+    "CpuTimeCell",
+    "Distribution",
+    "FrontierPoint",
+    "ExperimentConfig",
+    "FIGURE_ALGORITHMS",
+    "FigureData",
+    "RiskAssessment",
+    "RunRecord",
+    "SeriesPoint",
+    "SigmaPoint",
+    "SigmaStudy",
+    "PairedComparison",
+    "aggregate",
+    "bootstrap_ci",
+    "compare_algorithms",
+    "assess",
+    "budget_to_match_baseline",
+    "baseline_cost",
+    "budget_grid",
+    "build_figure",
+    "cheapest_schedule",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "frontier_study",
+    "group_by",
+    "high_budget",
+    "make_instances",
+    "medium_budget",
+    "minimal_budget",
+    "records_to_csv",
+    "render_cpu_table",
+    "render_figure",
+    "render_frontier",
+    "render_sigma_study",
+    "paired_comparison",
+    "run_point",
+    "run_sweep",
+    "sigma_study",
+    "table2_rows",
+    "table3a",
+    "table3b",
+]

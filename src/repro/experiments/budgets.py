@@ -1,0 +1,89 @@
+"""Budget anchors: B_min, baseline cost and "high" budgets (§V-A).
+
+The paper's budget axis runs from the *minimum* budget (the cheapest
+possible schedule: every task on one VM of the cheapest category — the
+green ``min_cost`` dot of Figure 1) to a *high* budget, "large enough to
+enroll an unlimited number of VMs". The helpers here compute those anchors
+per workflow with the deterministic simulator so every experiment sweeps
+the same relative range the paper does.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..platform.cloud import CloudPlatform
+from ..scheduling.budget import datacenter_reservation
+from ..scheduling.heft import HeftScheduler
+from ..scheduling.schedule import Schedule
+from ..simulation.executor import evaluate_schedule
+from ..workflow.dag import Workflow
+
+__all__ = [
+    "cheapest_schedule",
+    "minimal_budget",
+    "baseline_cost",
+    "high_budget",
+    "medium_budget",
+    "budget_grid",
+]
+
+
+def cheapest_schedule(wf: Workflow, platform: CloudPlatform) -> Schedule:
+    """All tasks sequentially on a single cheapest-category VM."""
+    return Schedule(
+        order=wf.topological_order,
+        assignment={tid: 0 for tid in wf.tasks},
+        categories={0: platform.cheapest},
+    )
+
+
+def minimal_budget(wf: Workflow, platform: CloudPlatform) -> float:
+    """``B_min``: deterministic total cost of the cheapest schedule."""
+    result = evaluate_schedule(wf, platform, cheapest_schedule(wf, platform))
+    return result.total_cost
+
+
+def baseline_cost(wf: Workflow, platform: CloudPlatform) -> float:
+    """Deterministic total cost of the unconstrained HEFT schedule."""
+    heft = HeftScheduler().schedule(wf, platform, math.inf)
+    return evaluate_schedule(wf, platform, heft.schedule).total_cost
+
+
+def high_budget(wf: Workflow, platform: CloudPlatform) -> float:
+    """A budget "large enough to enroll an unlimited number of VMs".
+
+    The budget-aware algorithms converge to their baselines once every task
+    share covers the fastest VM; twice the baseline-HEFT cost plus the full
+    reservations is comfortably past that point.
+    """
+    reserve = datacenter_reservation(wf, platform) + wf.n_tasks * max(
+        cat.initial_cost for cat in platform.categories
+    )
+    return reserve + 2.0 * baseline_cost(wf, platform)
+
+
+def medium_budget(wf: Workflow, platform: CloudPlatform) -> float:
+    """The paper's "medium": halfway between ``B_min`` and the high budget."""
+    return 0.5 * (minimal_budget(wf, platform) + high_budget(wf, platform))
+
+
+def budget_grid(
+    wf: Workflow,
+    platform: CloudPlatform,
+    n_points: int = 8,
+    *,
+    start_factor: float = 1.0,
+    end_factor: float = 1.0,
+) -> List[float]:
+    """Linear budget axis from ``B_min × start_factor`` to ``B_high × end_factor``."""
+    if n_points < 2:
+        raise ValueError(f"need at least 2 budget points, got {n_points}")
+    lo = minimal_budget(wf, platform) * start_factor
+    hi = high_budget(wf, platform) * end_factor
+    if hi <= lo:
+        hi = lo * 1.5 + 1e-6
+    return [float(b) for b in np.linspace(lo, hi, n_points)]

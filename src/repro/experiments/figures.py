@@ -1,0 +1,127 @@
+"""Figure regenerators (Figures 1-4 of the paper).
+
+Each ``figureN`` function runs the corresponding sweep and returns a
+:class:`FigureData`: per workflow family, per algorithm, one series over the
+budget axis with the metrics that figure plots. The paper's plots are
+reproduced as data series (this library is plotting-agnostic); the
+``repro-exp`` CLI and :mod:`repro.experiments.report` render them as text.
+
+Figure → content map (all with 90-task workflows in the paper):
+
+* **Figure 1**: MIN-MIN, HEFT, MIN-MINBUDG, HEFTBUDG — makespan / cost /
+  #VMs vs initial budget.
+* **Figure 2**: HEFT, HEFTBUDG, HEFTBUDG+, HEFTBUDG+INV — same metrics.
+* **Figure 3**: MIN-MINBUDG, HEFTBUDG, BDT, CG — makespan / fraction of
+  valid (budget-respecting) runs / spent-vs-given cost.
+* **Figure 4**: HEFTBUDG+, HEFTBUDG+INV, CG+ — makespan vs budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from .config import ExperimentConfig
+from .metrics import Aggregate, RunRecord, aggregate, group_by
+from .runner import run_sweep
+
+__all__ = [
+    "SeriesPoint",
+    "FigureData",
+    "build_figure",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "FIGURE_ALGORITHMS",
+]
+
+FIGURE_ALGORITHMS: Dict[str, Tuple[str, ...]] = {
+    "figure1": ("minmin", "heft", "minmin_budg", "heft_budg"),
+    "figure2": ("heft", "heft_budg", "heft_budg_plus", "heft_budg_plus_inv"),
+    "figure3": ("minmin_budg", "heft_budg", "bdt", "cg"),
+    "figure4": ("heft_budg_plus", "heft_budg_plus_inv", "cg_plus"),
+}
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One budget point of one algorithm's series."""
+
+    budget_mean: float
+    stats: Aggregate
+
+
+@dataclass
+class FigureData:
+    """All series of one figure: ``(family, algorithm) → [SeriesPoint]``."""
+
+    name: str
+    config: ExperimentConfig
+    series: Dict[Tuple[str, str], List[SeriesPoint]] = field(default_factory=dict)
+    records: List[RunRecord] = field(default_factory=list)
+
+    def families(self) -> List[str]:
+        """Families present, in config order."""
+        return [f for f in self.config.families]
+
+    def algorithms(self) -> List[str]:
+        """Algorithms present, in config order."""
+        return [a for a in self.config.algorithms]
+
+    def get(self, family: str, algorithm: str) -> List[SeriesPoint]:
+        """Series for one (family, algorithm) panel."""
+        return self.series[(family, algorithm)]
+
+
+def build_figure(name: str, config: ExperimentConfig) -> FigureData:
+    """Run the sweep for ``config`` and fold records into figure series.
+
+    Records are grouped by (family, algorithm, budget grid index) — budget
+    axes are per-workflow, so the x value plotted is the mean budget at that
+    grid index across instances, as in the paper's per-type panels.
+    """
+    records = run_sweep(config)
+    data = FigureData(name=name, config=config, records=records)
+    groups = group_by(records, "family", "algorithm", "budget_index")
+    # Deterministic panel order: family, algorithm from config, index.
+    for family in config.families:
+        for algorithm in config.algorithms:
+            points: List[SeriesPoint] = []
+            indices = sorted(
+                idx
+                for (fam, alg, idx) in groups
+                if fam == family and alg == algorithm
+            )
+            for idx in indices:
+                recs = groups[(family, algorithm, idx)]
+                budget_mean = sum(r.budget for r in recs) / len(recs)
+                points.append(SeriesPoint(budget_mean, aggregate(recs)))
+            data.series[(family, algorithm)] = points
+    return data
+
+
+def _figure(name: str, config: Optional[ExperimentConfig]) -> FigureData:
+    cfg = config or ExperimentConfig.paper_scale()
+    cfg = replace(cfg, algorithms=FIGURE_ALGORITHMS[name])
+    return build_figure(name, cfg)
+
+
+def figure1(config: Optional[ExperimentConfig] = None) -> FigureData:
+    """Budget-aware vs baseline MIN-MIN/HEFT (paper Figure 1)."""
+    return _figure("figure1", config)
+
+
+def figure2(config: Optional[ExperimentConfig] = None) -> FigureData:
+    """Refined HEFTBUDG variants (paper Figure 2)."""
+    return _figure("figure2", config)
+
+
+def figure3(config: Optional[ExperimentConfig] = None) -> FigureData:
+    """Comparison with BDT and CG (paper Figure 3)."""
+    return _figure("figure3", config)
+
+
+def figure4(config: Optional[ExperimentConfig] = None) -> FigureData:
+    """Refined variants vs CG+ (paper Figure 4)."""
+    return _figure("figure4", config)

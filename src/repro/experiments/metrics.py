@@ -1,0 +1,83 @@
+"""Experiment records and their aggregation.
+
+One :class:`RunRecord` per simulated execution; :func:`aggregate` folds the
+25-repetition protocol of §V-A into the mean ± std the figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["RunRecord", "Aggregate", "aggregate", "group_by"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One execution of one schedule under sampled weights."""
+
+    family: str
+    n_tasks: int
+    instance: int
+    sigma_ratio: float
+    algorithm: str
+    budget: float
+    budget_index: int
+    rep: int
+    makespan: float
+    total_cost: float
+    n_vms: int
+    valid: bool
+    sched_seconds: float
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean ± std summary of a group of runs (one figure point)."""
+
+    n: int
+    makespan_mean: float
+    makespan_std: float
+    cost_mean: float
+    cost_std: float
+    n_vms_mean: float
+    n_vms_std: float
+    valid_fraction: float
+    sched_seconds_mean: float
+    sched_seconds_std: float
+
+
+def aggregate(records: Sequence[RunRecord]) -> Aggregate:
+    """Fold run records into one figure point."""
+    if not records:
+        raise ValueError("cannot aggregate zero records")
+    mk = np.array([r.makespan for r in records])
+    cost = np.array([r.total_cost for r in records])
+    vms = np.array([r.n_vms for r in records], dtype=float)
+    cpu = np.array([r.sched_seconds for r in records])
+    valid = np.array([r.valid for r in records], dtype=float)
+    return Aggregate(
+        n=len(records),
+        makespan_mean=float(mk.mean()),
+        makespan_std=float(mk.std()),
+        cost_mean=float(cost.mean()),
+        cost_std=float(cost.std()),
+        n_vms_mean=float(vms.mean()),
+        n_vms_std=float(vms.std()),
+        valid_fraction=float(valid.mean()),
+        sched_seconds_mean=float(cpu.mean()),
+        sched_seconds_std=float(cpu.std()),
+    )
+
+
+def group_by(
+    records: Iterable[RunRecord], *keys: str
+) -> Dict[Tuple, List[RunRecord]]:
+    """Group records by attribute names, preserving insertion order."""
+    groups: Dict[Tuple, List[RunRecord]] = {}
+    for record in records:
+        key = tuple(getattr(record, k) for k in keys)
+        groups.setdefault(key, []).append(record)
+    return groups

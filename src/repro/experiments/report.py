@@ -1,0 +1,101 @@
+"""Text rendering of figure series and tables (and CSV export).
+
+The library is plotting-agnostic; these renderers print the same rows and
+series the paper's figures show, so shapes can be inspected in a terminal
+and regression-checked in benchmarks.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import asdict
+from typing import Dict, Iterable, Sequence, TextIO
+
+from .figures import FigureData
+from .metrics import RunRecord
+
+__all__ = [
+    "render_figure",
+    "render_cpu_table",
+    "records_to_csv",
+    "format_row",
+]
+
+
+def format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    """Fixed-width row formatting."""
+    return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+
+def render_figure(data: FigureData, *, metric: str = "makespan") -> str:
+    """Render one metric of a figure as per-family text panels.
+
+    ``metric`` is one of ``makespan``, ``cost``, ``n_vms``, ``valid``.
+    Series cells are ``mean±std`` (``valid`` shows the valid fraction).
+    """
+    getters = {
+        "makespan": lambda a: f"{a.makespan_mean:.0f}±{a.makespan_std:.0f}",
+        "cost": lambda a: f"{a.cost_mean:.4f}±{a.cost_std:.4f}",
+        "n_vms": lambda a: f"{a.n_vms_mean:.1f}",
+        "valid": lambda a: f"{100 * a.valid_fraction:.0f}%",
+    }
+    if metric not in getters:
+        raise ValueError(f"unknown metric {metric!r}; pick from {sorted(getters)}")
+    fmt = getters[metric]
+
+    out = io.StringIO()
+    out.write(f"== {data.name}: {metric} vs budget ==\n")
+    for family in data.families():
+        out.write(f"\n-- {family} (n={data.config.n_tasks}, "
+                  f"sigma={data.config.sigma_ratio:g}) --\n")
+        algorithms = data.algorithms()
+        # x axis: mean budget per grid point of the first algorithm.
+        first = data.get(family, algorithms[0])
+        budgets = [p.budget_mean for p in first]
+        header = ["budget"] + list(algorithms)
+        widths = [10] + [max(len(a), 14) for a in algorithms]
+        out.write(format_row(header, widths) + "\n")
+        for i, budget in enumerate(budgets):
+            row = [f"{budget:.4f}"]
+            for algorithm in algorithms:
+                series = data.get(family, algorithm)
+                row.append(fmt(series[i].stats) if i < len(series) else "-")
+            out.write(format_row(row, widths) + "\n")
+    return out.getvalue()
+
+
+def render_cpu_table(
+    table: Dict, *, title: str = "scheduling CPU time (seconds)"
+) -> str:
+    """Render Table III-style CPU-time cells."""
+    out = io.StringIO()
+    out.write(f"== {title} ==\n")
+    for label, cells in table.items():
+        out.write(f"\n-- {label} --\n")
+        widths = [20, 24, 10]
+        out.write(format_row(["algorithm", "mean ± std", "median"], widths) + "\n")
+        for cell in cells:
+            out.write(
+                format_row(
+                    [
+                        cell.algorithm,
+                        f"{cell.mean:.4f} ± {cell.std:.4f}",
+                        f"{cell.median:.4f}",
+                    ],
+                    widths,
+                )
+                + "\n"
+            )
+    return out.getvalue()
+
+
+def records_to_csv(records: Iterable[RunRecord], stream: TextIO) -> None:
+    """Dump raw run records as CSV (one row per simulated execution)."""
+    records = list(records)
+    if not records:
+        return
+    writer = csv.DictWriter(stream, fieldnames=list(asdict(records[0])))
+    writer.writeheader()
+    for record in records:
+        writer.writerow(asdict(record))

@@ -1,0 +1,163 @@
+"""Sweep runner: the machinery behind every figure and table.
+
+Protocol per §V-A: for each workflow instance the scheduler runs **once**
+per (algorithm, budget) — scheduling is deterministic given the conservative
+weights — and the resulting schedule is executed ``n_reps`` times under
+sampled actual weights. Baseline algorithms (MIN-MIN, HEFT) ignore the
+budget; they are scheduled with ``B = ∞`` and replicated across the budget
+axis by the figure builders.
+
+Variance reduction: within one workflow instance, repetition ``r`` uses the
+**same** weight realization for every (algorithm, budget) cell — common
+random numbers. Mean curves are unaffected, but paired comparisons
+(:mod:`repro.experiments.stats`) then measure scheduling differences
+instead of weight-draw noise.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..platform.cloud import CloudPlatform
+from ..rng import spawn
+from ..scheduling.registry import make_scheduler
+from ..simulation.executor import execute_schedule, sample_weights
+from ..workflow.dag import Workflow
+from ..workflow.generators import generate
+from .budgets import budget_grid
+from .config import ExperimentConfig
+from .metrics import RunRecord
+
+__all__ = ["run_point", "run_sweep", "make_instances", "BASELINE_ALGORITHMS"]
+
+#: Algorithms that ignore the budget; scheduled once with B = ∞.
+BASELINE_ALGORITHMS = frozenset({"minmin", "heft"})
+
+
+def make_instances(config: ExperimentConfig) -> Dict[Tuple[str, int], Workflow]:
+    """Generate the benchmark instances: ``(family, instance) → workflow``."""
+    out: Dict[Tuple[str, int], Workflow] = {}
+    for family in config.families:
+        for instance, rng in enumerate(spawn(config.seed, config.n_instances)):
+            out[(family, instance)] = generate(
+                family,
+                config.n_tasks,
+                rng=rng,
+                sigma_ratio=config.sigma_ratio,
+                name=f"{family}-{config.n_tasks}-i{instance}",
+            )
+    return out
+
+
+def run_point(
+    wf: Workflow,
+    platform: CloudPlatform,
+    algorithm: str,
+    budget: float,
+    n_reps: int,
+    rng,
+    *,
+    family: str = "",
+    instance: int = 0,
+    sigma_ratio: float = 0.0,
+    budget_index: int = 0,
+    dc_capacity: float = math.inf,
+    weight_draws: Optional[Sequence[Dict[str, float]]] = None,
+) -> List[RunRecord]:
+    """Schedule once, execute ``n_reps`` stochastic runs, return records.
+
+    ``weight_draws`` fixes the actual-weight realizations (one mapping per
+    repetition) — used by :func:`run_sweep` for common random numbers; by
+    default fresh draws are sampled from ``rng``.
+    """
+    scheduler = make_scheduler(algorithm)
+    sched_budget = math.inf if algorithm in BASELINE_ALGORITHMS else budget
+    t0 = time.perf_counter()
+    result = scheduler.schedule(wf, platform, sched_budget)
+    sched_seconds = time.perf_counter() - t0
+
+    if weight_draws is not None and len(weight_draws) < n_reps:
+        raise ValueError(
+            f"need {n_reps} weight draws, got {len(weight_draws)}"
+        )
+    records: List[RunRecord] = []
+    for rep, rep_rng in enumerate(spawn(rng, n_reps)):
+        weights = (
+            weight_draws[rep] if weight_draws is not None
+            else sample_weights(wf, rep_rng)
+        )
+        run = execute_schedule(
+            wf, platform, result.schedule, weights,
+            dc_capacity=dc_capacity, validate=(rep == 0),
+        )
+        records.append(
+            RunRecord(
+                family=family or wf.name,
+                n_tasks=wf.n_tasks,
+                instance=instance,
+                sigma_ratio=sigma_ratio,
+                algorithm=algorithm,
+                budget=budget,
+                budget_index=budget_index,
+                rep=rep,
+                makespan=run.makespan,
+                total_cost=run.total_cost,
+                n_vms=run.n_vms,
+                valid=run.respects_budget(budget),
+                sched_seconds=sched_seconds,
+            )
+        )
+    return records
+
+
+def run_sweep(
+    config: ExperimentConfig,
+    *,
+    dc_capacity: float = math.inf,
+    budget_points: Optional[Sequence[float]] = None,
+) -> List[RunRecord]:
+    """Full sweep: instances × budgets × algorithms × repetitions.
+
+    Budgets are normalized per workflow (each instance gets its own
+    ``B_min``-to-high grid) unless explicit ``budget_points`` are given.
+    Budget indices are recorded as fractional positions via the budget value
+    itself; figure builders group by grid position.
+    """
+    instances = make_instances(config)
+    records: List[RunRecord] = []
+    exec_streams = spawn(config.seed + 1, len(instances))
+    stream_idx = 0
+    for (family, instance), wf in instances.items():
+        grid = (
+            list(budget_points)
+            if budget_points is not None
+            else budget_grid(wf, config.platform, config.budgets_per_workflow)
+        )
+        # common random numbers: one weight realization per repetition,
+        # shared by every (algorithm, budget) cell of this instance
+        instance_stream = exec_streams[stream_idx]
+        stream_idx += 1
+        draws = [
+            sample_weights(wf, r) for r in spawn(instance_stream, config.n_reps)
+        ]
+        for algorithm in config.algorithms:
+            for budget_index, budget in enumerate(grid):
+                records.extend(
+                    run_point(
+                        wf,
+                        config.platform,
+                        algorithm,
+                        budget,
+                        config.n_reps,
+                        instance_stream,
+                        family=family,
+                        instance=instance,
+                        sigma_ratio=config.sigma_ratio,
+                        budget_index=budget_index,
+                        dc_capacity=dc_capacity,
+                        weight_draws=draws,
+                    )
+                )
+    return records

@@ -1,0 +1,175 @@
+"""Statistical comparison of schedulers (bootstrap CIs, paired win rates).
+
+The paper reports mean ± std curves; deciding "who wins, by roughly what
+factor" — the reproduction criterion — benefits from a little more rigor.
+This module provides:
+
+* :func:`bootstrap_ci` — percentile bootstrap confidence interval for any
+  statistic of a sample;
+* :func:`paired_comparison` — given two algorithms' records over the *same*
+  (instance, budget index, repetition) grid, the per-pair makespan ratio
+  distribution, its bootstrap CI, and the win rate;
+* :func:`compare_algorithms` — convenience wrapper over a record list.
+
+All resampling is seeded, so reported intervals are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..rng import RngLike, as_generator
+from .metrics import RunRecord
+
+__all__ = ["BootstrapCI", "PairedComparison", "bootstrap_ci",
+           "paired_comparison", "compare_algorithms"]
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A point estimate with a percentile-bootstrap interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    n_resamples: int
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: RngLike = None,
+) -> BootstrapCI:
+    """Percentile bootstrap CI of ``statistic`` over ``samples``."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0,1), got {confidence}")
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        raise ValueError("no samples")
+    gen = as_generator(rng)
+    estimates = np.empty(n_resamples)
+    for i in range(n_resamples):
+        resample = data[gen.integers(0, data.size, size=data.size)]
+        estimates[i] = statistic(resample)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapCI(
+        estimate=float(statistic(data)),
+        low=float(np.percentile(estimates, 100 * alpha)),
+        high=float(np.percentile(estimates, 100 * (1 - alpha))),
+        confidence=confidence,
+        n_resamples=n_resamples,
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Paired verdict of algorithm A vs B on a shared experimental grid.
+
+    ``ratio_ci`` is the bootstrap CI of the mean makespan ratio A/B
+    (< 1 means A is faster); ``win_rate`` the fraction of pairs where A's
+    makespan is strictly smaller; ``n_pairs`` the grid size.
+    """
+
+    algorithm_a: str
+    algorithm_b: str
+    n_pairs: int
+    ratio_ci: BootstrapCI
+    win_rate: float
+
+    @property
+    def a_significantly_faster(self) -> bool:
+        """True when the whole CI sits below ratio 1."""
+        return self.ratio_ci.high < 1.0
+
+    @property
+    def b_significantly_faster(self) -> bool:
+        """True when the whole CI sits above ratio 1."""
+        return self.ratio_ci.low > 1.0
+
+    def summary(self) -> str:
+        """One-line verdict."""
+        ci = self.ratio_ci
+        verdict = (
+            f"{self.algorithm_a} faster" if self.a_significantly_faster
+            else f"{self.algorithm_b} faster" if self.b_significantly_faster
+            else "statistical tie"
+        )
+        return (
+            f"{self.algorithm_a} vs {self.algorithm_b}: mean makespan ratio "
+            f"{ci.estimate:.3f} [{ci.low:.3f}, {ci.high:.3f}] over "
+            f"{self.n_pairs} pairs, win rate {self.win_rate:.0%} — {verdict}"
+        )
+
+
+def paired_comparison(
+    a: Sequence[float],
+    b: Sequence[float],
+    *,
+    name_a: str = "A",
+    name_b: str = "B",
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: RngLike = None,
+) -> PairedComparison:
+    """Compare paired makespan samples (same experimental conditions)."""
+    if len(a) != len(b):
+        raise ValueError(f"unpaired samples: {len(a)} vs {len(b)}")
+    if not a:
+        raise ValueError("no pairs to compare")
+    ratios = np.asarray(a, dtype=float) / np.asarray(b, dtype=float)
+    ci = bootstrap_ci(
+        ratios, np.mean, confidence=confidence,
+        n_resamples=n_resamples, rng=rng,
+    )
+    wins = float(np.mean(np.asarray(a) < np.asarray(b)))
+    return PairedComparison(
+        algorithm_a=name_a,
+        algorithm_b=name_b,
+        n_pairs=len(a),
+        ratio_ci=ci,
+        win_rate=wins,
+    )
+
+
+def compare_algorithms(
+    records: Iterable[RunRecord],
+    algorithm_a: str,
+    algorithm_b: str,
+    *,
+    metric: str = "makespan",
+    confidence: float = 0.95,
+    rng: RngLike = None,
+) -> PairedComparison:
+    """Pair two algorithms' records by (family, instance, budget_index, rep).
+
+    Records missing their counterpart are dropped; at least one complete
+    pair is required.
+    """
+    def key(r: RunRecord) -> Tuple:
+        return (r.family, r.n_tasks, r.instance, r.budget_index, r.rep)
+
+    table: Dict[Tuple, Dict[str, float]] = {}
+    for r in records:
+        if r.algorithm in (algorithm_a, algorithm_b):
+            table.setdefault(key(r), {})[r.algorithm] = getattr(r, metric)
+    a_vals: List[float] = []
+    b_vals: List[float] = []
+    for cell in table.values():
+        if algorithm_a in cell and algorithm_b in cell:
+            a_vals.append(cell[algorithm_a])
+            b_vals.append(cell[algorithm_b])
+    return paired_comparison(
+        a_vals, b_vals, name_a=algorithm_a, name_b=algorithm_b,
+        confidence=confidence, rng=rng,
+    )

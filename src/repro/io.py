@@ -1,0 +1,144 @@
+"""JSON persistence for schedules and simulation results.
+
+Schedules are planning artefacts users want to archive, diff, and replay
+(e.g. compute once on a build machine, execute/analyze elsewhere); results
+feed external analysis. Both get stable, versioned JSON encodings.
+
+VM categories are embedded by value (name, speed, costs...), so a loaded
+schedule is self-contained — it does not need the original platform object,
+only a workflow with matching task ids.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Union
+
+from .errors import ScheduleValidationError
+from .platform.vm import VMCategory
+from .scheduling.schedule import Schedule
+from .simulation.trace import SimulationResult
+
+__all__ = [
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "dump_schedule",
+    "load_schedule",
+    "result_to_dict",
+]
+
+_SCHEDULE_FORMAT = "repro.schedule/1"
+_RESULT_FORMAT = "repro.result/1"
+
+
+def _category_to_dict(cat: VMCategory) -> Dict[str, Any]:
+    return {
+        "name": cat.name,
+        "speed": cat.speed,
+        "hourly_cost": cat.hourly_cost,
+        "initial_cost": cat.initial_cost,
+        "boot_time": cat.boot_time,
+        "cores": cat.cores,
+    }
+
+
+def _category_from_dict(data: Dict[str, Any]) -> VMCategory:
+    return VMCategory(
+        name=data["name"],
+        speed=data["speed"],
+        hourly_cost=data["hourly_cost"],
+        initial_cost=data.get("initial_cost", 0.0),
+        boot_time=data.get("boot_time", 0.0),
+        cores=data.get("cores", 1),
+    )
+
+
+def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
+    """Encode a schedule as a JSON-ready dict."""
+    return {
+        "format": _SCHEDULE_FORMAT,
+        "order": list(schedule.order),
+        "assignment": dict(schedule.assignment),
+        "categories": {
+            str(vm_id): _category_to_dict(cat)
+            for vm_id, cat in schedule.categories.items()
+        },
+    }
+
+
+def schedule_from_dict(data: Dict[str, Any]) -> Schedule:
+    """Decode a schedule; raises on unknown format or malformed payload."""
+    if data.get("format") != _SCHEDULE_FORMAT:
+        raise ScheduleValidationError(
+            f"unsupported schedule format {data.get('format')!r}"
+        )
+    try:
+        return Schedule(
+            order=list(data["order"]),
+            assignment={tid: int(vm) for tid, vm in data["assignment"].items()},
+            categories={
+                int(vm_id): _category_from_dict(cat)
+                for vm_id, cat in data["categories"].items()
+            },
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ScheduleValidationError(f"malformed schedule payload: {exc}") from exc
+
+
+def dump_schedule(schedule: Schedule, fp: Union[str, IO[str]]) -> None:
+    """Write a schedule to a path or text file object."""
+    payload = schedule_to_dict(schedule)
+    if isinstance(fp, str):
+        with open(fp, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+    else:
+        json.dump(payload, fp, indent=2, sort_keys=True)
+
+
+def load_schedule(fp: Union[str, IO[str]]) -> Schedule:
+    """Read a schedule from a path or text file object."""
+    if isinstance(fp, str):
+        with open(fp) as fh:
+            data = json.load(fh)
+    else:
+        data = json.load(fp)
+    return schedule_from_dict(data)
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    """Encode a simulation result (one-way: for analysis/export)."""
+    return {
+        "format": _RESULT_FORMAT,
+        "makespan": result.makespan,
+        "start": result.start,
+        "end": result.end,
+        "total_cost": result.total_cost,
+        "cost": {
+            "vm_rental": result.cost.vm_rental,
+            "vm_initial": result.cost.vm_initial,
+            "datacenter_time": result.cost.datacenter_time,
+            "datacenter_io": result.cost.datacenter_io,
+        },
+        "tasks": {
+            tid: {
+                "vm_id": rec.vm_id,
+                "download_start": rec.download_start,
+                "compute_start": rec.compute_start,
+                "compute_end": rec.compute_end,
+                "outputs_at_dc": rec.outputs_at_dc,
+                "actual_weight": rec.actual_weight,
+            }
+            for tid, rec in result.tasks.items()
+        },
+        "vms": [
+            {
+                "vm_id": vm.vm_id,
+                "category": _category_to_dict(vm.category),
+                "booked_at": vm.booked_at,
+                "ready_at": vm.ready_at,
+                "end_at": vm.end_at,
+                "n_tasks": vm.n_tasks,
+            }
+            for vm in result.vms
+        ],
+    }

@@ -1,0 +1,15 @@
+"""IaaS platform substrate: VM categories, datacenter, cost model."""
+
+from .cloud import PAPER_PLATFORM, CloudPlatform, make_linear_platform
+from .pricing import CostBreakdown, datacenter_cost, vm_cost
+from .vm import VMCategory
+
+__all__ = [
+    "PAPER_PLATFORM",
+    "CloudPlatform",
+    "CostBreakdown",
+    "VMCategory",
+    "datacenter_cost",
+    "make_linear_platform",
+    "vm_cost",
+]

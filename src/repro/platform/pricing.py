@@ -1,0 +1,97 @@
+"""Cost accounting (§III-C, Eq. 1-2).
+
+These functions are the *single* place where money is computed, used both by
+the planners (conservative estimates) and by the simulator (actual spend),
+so the two can never drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import PlatformError
+from ..units import ceil_seconds
+from ..workflow.dag import Workflow
+from .cloud import CloudPlatform
+from .vm import VMCategory
+
+__all__ = ["vm_cost", "datacenter_cost", "CostBreakdown"]
+
+
+def vm_cost(
+    category: VMCategory,
+    start: float,
+    end: float,
+    *,
+    per_second_billing: bool = True,
+) -> float:
+    """Cost of one VM booked from ``start`` (ready) to ``end`` (Eq. 1).
+
+    ``C_v = (H_end − H_start) × c_h + c_ini``; with per-second billing
+    (§V-A: "The VM is paid for each used second") the duration is rounded up
+    to a whole second.
+    """
+    if end < start - 1e-9:
+        raise PlatformError(f"VM ends ({end}) before it starts ({start})")
+    duration = max(end - start, 0.0)
+    if per_second_billing:
+        duration = ceil_seconds(duration)
+    return duration * category.cost_rate + category.initial_cost
+
+
+def datacenter_cost(
+    platform: CloudPlatform,
+    wf: Workflow,
+    makespan: float,
+) -> float:
+    """Datacenter cost over the whole execution (Eq. 2).
+
+    ``C_DC = (d_in,DC + d_DC,out) × c_of + (H_end,last − H_start,first) × c_h,DC``.
+    """
+    if makespan < 0.0:
+        raise PlatformError(f"negative makespan {makespan}")
+    return platform.io_cost(wf) + makespan * platform.datacenter_rate(wf)
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Itemized total cost ``C_wf`` of one execution.
+
+    ``vm_rental`` already includes the initial booking fees; they are also
+    reported separately in ``vm_initial`` for the reports.
+    """
+
+    vm_rental: float
+    vm_initial: float
+    datacenter_time: float
+    datacenter_io: float
+
+    @property
+    def total(self) -> float:
+        """``C_wf = Σ C_v + C_DC``."""
+        return self.vm_rental + self.datacenter_time + self.datacenter_io
+
+    @staticmethod
+    def build(
+        platform: CloudPlatform,
+        wf: Workflow,
+        makespan: float,
+        vm_usage: Iterable[tuple[VMCategory, float, float]],
+        *,
+        per_second_billing: bool = True,
+    ) -> "CostBreakdown":
+        """Aggregate Eq. (1) over ``(category, start, end)`` triples + Eq. (2)."""
+        rental = 0.0
+        initial = 0.0
+        for category, start, end in vm_usage:
+            rental += vm_cost(
+                category, start, end, per_second_billing=per_second_billing
+            )
+            initial += category.initial_cost
+        return CostBreakdown(
+            vm_rental=rental,
+            vm_initial=initial,
+            datacenter_time=makespan * platform.datacenter_rate(wf),
+            datacenter_io=platform.io_cost(wf),
+        )

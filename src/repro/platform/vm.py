@@ -1,0 +1,79 @@
+"""VM categories (§III-B).
+
+A category is the provider's instance *type*: speed ``s_k`` (instructions/s),
+per-hour cost ``c_h,k`` (converted to $/s internally), an initial booking
+cost ``c_ini,k`` and a boot delay ``t_boot`` (uncharged). Categories are
+sorted by hourly cost; the paper expects — but does not assume — speeds to
+follow the same order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PlatformError
+from ..units import HOUR
+
+__all__ = ["VMCategory"]
+
+
+@dataclass(frozen=True)
+class VMCategory:
+    """One rentable VM type.
+
+    Parameters
+    ----------
+    name:
+        Provider label (``"small"``, ``"medium"``...).
+    speed:
+        Instructions per second (``s_k``), > 0.
+    hourly_cost:
+        ``c_h,k`` in dollars per hour, >= 0.
+    initial_cost:
+        ``c_ini,k`` booking fee in dollars, >= 0.
+    boot_time:
+        ``t_boot`` in seconds, uncharged, >= 0.
+    cores:
+        ``n_k`` single-task processors. The paper's evaluation (like ours)
+        uses single-core VMs; the field exists for the multi-core extension.
+    """
+
+    name: str
+    speed: float
+    hourly_cost: float
+    initial_cost: float = 0.0
+    boot_time: float = 0.0
+    cores: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PlatformError("VM category needs a non-empty name")
+        if not np.isfinite(self.speed) or self.speed <= 0.0:
+            raise PlatformError(f"category {self.name!r}: speed must be > 0")
+        if not np.isfinite(self.hourly_cost) or self.hourly_cost < 0.0:
+            raise PlatformError(f"category {self.name!r}: hourly cost must be >= 0")
+        if self.initial_cost < 0.0:
+            raise PlatformError(f"category {self.name!r}: initial cost must be >= 0")
+        if self.boot_time < 0.0:
+            raise PlatformError(f"category {self.name!r}: boot time must be >= 0")
+        if self.cores < 1:
+            raise PlatformError(f"category {self.name!r}: cores must be >= 1")
+
+    @property
+    def cost_rate(self) -> float:
+        """``c_h,k`` in dollars per second."""
+        return self.hourly_cost / HOUR
+
+    def compute_time(self, instructions: float) -> float:
+        """Seconds to execute ``instructions`` on this category."""
+        if instructions < 0.0:
+            raise PlatformError(f"negative instruction count {instructions}")
+        return instructions / self.speed
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name}(s={self.speed:.3g} op/s, ${self.hourly_cost:.4f}/h, "
+            f"init=${self.initial_cost:.4f}, boot={self.boot_time:.0f}s)"
+        )

@@ -1,0 +1,67 @@
+"""Deterministic random-number management.
+
+Every stochastic component of the library (workflow generators, weight
+sampling, experiment repetitions) draws from a :class:`numpy.random.Generator`
+spawned from a single root seed, so that
+
+* any experiment is reproducible from one integer seed, and
+* independent components get *independent* streams (no accidental overlap),
+  via :func:`numpy.random.SeedSequence.spawn`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+__all__ = ["RngLike", "as_generator", "spawn", "stream"]
+
+RngLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
+
+
+def as_generator(rng: RngLike) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a fresh non-deterministic generator; an ``int`` or
+    :class:`~numpy.random.SeedSequence` seeds a new PCG64 stream; an existing
+    generator is returned as-is.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
+    return np.random.default_rng(int(rng))
+
+
+def spawn(rng: RngLike, n: int) -> list[np.random.Generator]:
+    """Create ``n`` statistically independent child generators.
+
+    When ``rng`` is already a generator, children are derived from its bit
+    generator's seed sequence when available, falling back to jumped streams.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    if isinstance(rng, np.random.Generator):
+        seed_seq = rng.bit_generator.seed_seq  # type: ignore[attr-defined]
+        return [np.random.default_rng(s) for s in seed_seq.spawn(n)]
+    if isinstance(rng, np.random.SeedSequence):
+        return [np.random.default_rng(s) for s in rng.spawn(n)]
+    root = np.random.SeedSequence(rng if rng is not None else None)
+    return [np.random.default_rng(s) for s in root.spawn(n)]
+
+
+def stream(rng: RngLike) -> Iterator[np.random.Generator]:
+    """Infinite iterator of independent generators derived from ``rng``."""
+    if isinstance(rng, np.random.Generator):
+        seed_seq: Optional[np.random.SeedSequence]
+        seed_seq = rng.bit_generator.seed_seq  # type: ignore[attr-defined]
+    elif isinstance(rng, np.random.SeedSequence):
+        seed_seq = rng
+    else:
+        seed_seq = np.random.SeedSequence(rng if rng is not None else None)
+    while True:
+        (child,) = seed_seq.spawn(1)
+        yield np.random.default_rng(child)

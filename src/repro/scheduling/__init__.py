@@ -1,0 +1,69 @@
+"""Scheduling algorithms: the paper's contribution and its competitors."""
+
+from .bdt import BdtScheduler
+from .budget import BudgetPlan, datacenter_reservation, divide_budget
+from .cg import CgPlusScheduler, CgScheduler, critical_tasks_of
+from .ensemble import (
+    AdmittedWorkflow,
+    EnsembleMember,
+    EnsembleResult,
+    schedule_ensemble,
+)
+from .heft import HeftBudgScheduler, HeftScheduler
+from .idle_split import IdleSplitResult, split_idle_gaps
+from .list_base import Scheduler, SchedulerResult, get_best_host
+from .minmin import MinMinBudgScheduler, MinMinScheduler
+from .online import OnlineHeftBudg, OnlineRunResult
+from .planning import HostEvaluation, PlannedVM, PlanningState
+from .ready_set import (
+    MaxMinBudgScheduler,
+    MaxMinScheduler,
+    SufferageBudgScheduler,
+    SufferageScheduler,
+)
+from .refine import (
+    HeftBudgPlusInvScheduler,
+    HeftBudgPlusScheduler,
+    refine_schedule,
+)
+from .registry import SCHEDULERS, available_schedulers, make_scheduler
+from .schedule import Schedule
+
+__all__ = [
+    "BdtScheduler",
+    "AdmittedWorkflow",
+    "BudgetPlan",
+    "CgPlusScheduler",
+    "CgScheduler",
+    "EnsembleMember",
+    "EnsembleResult",
+    "HeftBudgPlusInvScheduler",
+    "HeftBudgPlusScheduler",
+    "HeftBudgScheduler",
+    "HeftScheduler",
+    "HostEvaluation",
+    "IdleSplitResult",
+    "MaxMinBudgScheduler",
+    "MaxMinScheduler",
+    "MinMinBudgScheduler",
+    "MinMinScheduler",
+    "SufferageBudgScheduler",
+    "SufferageScheduler",
+    "OnlineHeftBudg",
+    "OnlineRunResult",
+    "PlannedVM",
+    "PlanningState",
+    "SCHEDULERS",
+    "Schedule",
+    "Scheduler",
+    "SchedulerResult",
+    "available_schedulers",
+    "critical_tasks_of",
+    "datacenter_reservation",
+    "divide_budget",
+    "get_best_host",
+    "make_scheduler",
+    "refine_schedule",
+    "schedule_ensemble",
+    "split_idle_gaps",
+]

@@ -1,0 +1,92 @@
+"""Budget-constrained host selection (Algorithm 2) and the scheduler API.
+
+``get_best_host`` is the paper's ``getBestHost(T, P, B_T + pot)``: among the
+used VMs plus one fresh VM per category, pick the host with the smallest EFT
+among those whose incremental cost fits the task's allotted budget; any
+leftover goes back into the shared ``pot``. When *no* host fits, the
+cheapest host is selected (the schedule must exist; the overrun then shows
+up in the validity metric, exactly as the paper's near-minimum-budget
+experiments do).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import SchedulingError
+from ..platform.cloud import CloudPlatform
+from ..workflow.dag import Workflow
+from .planning import HostEvaluation, PlanningState
+from .schedule import Schedule
+
+__all__ = ["get_best_host", "Scheduler", "SchedulerResult"]
+
+#: Absolute dollar slack for budget comparisons (float hygiene).
+_BUDGET_TOL = 1e-9
+
+
+def get_best_host(
+    state: PlanningState,
+    tid: str,
+    allowance: float,
+) -> Tuple[HostEvaluation, bool]:
+    """Algorithm 2: best host for ``tid`` under ``allowance`` dollars.
+
+    Returns ``(evaluation, within_budget)``. Ties on EFT break toward the
+    cheaper host, then toward reusing the lowest-numbered VM (deterministic).
+    """
+    evaluations = state.evaluate_all(tid)
+    if not evaluations:
+        raise SchedulingError(f"no candidate hosts for task {tid!r}")
+
+    def sort_key(ev: HostEvaluation) -> Tuple[float, float, float]:
+        vm_rank = float(ev.vm_id) if ev.vm_id is not None else math.inf
+        return (ev.eft, ev.cost, vm_rank)
+
+    affordable = [ev for ev in evaluations if ev.cost <= allowance + _BUDGET_TOL]
+    if affordable:
+        return min(affordable, key=sort_key), True
+    # Nothing fits: fall back to the cheapest option (EFT breaks ties).
+    cheapest = min(evaluations, key=lambda ev: (ev.cost, ev.eft))
+    return cheapest, False
+
+
+@dataclass
+class SchedulerResult:
+    """A schedule plus the planner's own estimates and diagnostics.
+
+    ``planned_makespan`` / ``planned_vm_cost`` come from the conservative
+    planning model; the authoritative numbers are produced by the simulator.
+    ``within_budget_plan`` records whether every task fitted its allotted
+    share during planning (BDT-style algorithms may overrun by design).
+    """
+
+    schedule: Schedule
+    planned_makespan: float
+    planned_vm_cost: float
+    within_budget_plan: bool
+    algorithm: str
+    leftover_pot: float = 0.0
+
+
+class Scheduler(ABC):
+    """Common interface of all algorithms in §IV and §V-D.
+
+    Concrete schedulers are stateless; :meth:`schedule` may be called with
+    any workflow/platform/budget combination.
+    """
+
+    #: Registry/display name, overridden by subclasses.
+    name: str = "abstract"
+
+    @abstractmethod
+    def schedule(
+        self, wf: Workflow, platform: CloudPlatform, budget: float
+    ) -> SchedulerResult:
+        """Produce a full schedule of ``wf`` under ``budget`` dollars."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

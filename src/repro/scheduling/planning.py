@@ -1,0 +1,298 @@
+"""Incremental planning state shared by all list schedulers.
+
+While building a schedule, every algorithm in §IV maintains the same view of
+the platform: the VMs enrolled so far (with their availability and rental
+windows) plus one *fresh* candidate VM per category. For a ready task the
+planner computes, per candidate host (Eq. 7):
+
+``t_Exec = δ_new·t_boot + (w̄+σ)/s_host + size(d_in,T)/bw``
+
+where ``d_in,T`` excludes data already present on the host, and
+
+``EFT = t_begin + t_Exec``,
+``t_begin = max(host availability, inputs-at-datacenter time)``.
+
+The incremental monetary cost ``ct`` of placing the task is the growth of
+the host's billed rental window (download + compute + upload time, plus any
+idle gap the placement creates — a VM is a continuous slot, §III-B). Summed
+over a VM's tasks this telescopes to exactly the rental the simulator will
+bill, keeping planner and executor consistent. Planning is *conservative*
+about uploads: every output is assumed to go through the datacenter (§V-B:
+"we made a pessimistic estimation of the cost of data transfers").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SchedulingError
+from ..platform.cloud import CloudPlatform
+from ..platform.vm import VMCategory
+from ..workflow.dag import Workflow
+from .schedule import Schedule
+
+__all__ = ["HostEvaluation", "PlannedVM", "PlanningState"]
+
+
+@dataclass(frozen=True)
+class HostEvaluation:
+    """Outcome of evaluating one candidate host for one task.
+
+    ``vm_id`` is ``None`` for a fresh VM (its id is allocated on commit).
+    ``eft`` is the Earliest Finish Time (compute end); ``cost`` the
+    incremental dollars ``ct_{T,host}``; the remaining fields carry the
+    timeline needed to commit the decision without recomputation.
+    """
+
+    tid: str
+    category: VMCategory
+    vm_id: Optional[int]
+    eft: float
+    cost: float
+    t_begin: float
+    download_start: float
+    compute_start: float
+    upload_end: float
+    window_start: float
+    window_end: float
+
+    @property
+    def is_new_vm(self) -> bool:
+        """True when this evaluation enrolls a fresh VM."""
+        return self.vm_id is None
+
+
+@dataclass
+class PlannedVM:
+    """One enrolled VM in the planner's view.
+
+    ``ready_time`` is when billing starts (post-boot); ``core_free`` holds
+    the next-idle time of each of the category's ``n_k`` processors (one
+    entry for the common single-core case); ``last_dispatch`` enforces the
+    FIFO dispatch rule shared with the executor (a task never starts before
+    its queue predecessor started); ``window_end`` is the current end of the
+    billed window (last compute or upload).
+    """
+
+    vm_id: int
+    category: VMCategory
+    booked_at: float
+    ready_time: float
+    core_free: List[float]
+    window_end: float
+    last_dispatch: float = 0.0
+    tasks: List[str] = field(default_factory=list)
+
+    @property
+    def compute_free(self) -> float:
+        """Earliest instant any core is idle."""
+        return min(self.core_free)
+
+    @compute_free.setter
+    def compute_free(self, value: float) -> None:
+        """Single-core convenience used by seeding code (e.g. online.py)."""
+        earliest = min(range(len(self.core_free)), key=self.core_free.__getitem__)
+        self.core_free[earliest] = value
+
+
+class PlanningState:
+    """Mutable planner state: enrolled VMs + per-task timelines.
+
+    Drives every algorithm of §IV. Typical usage::
+
+        state = PlanningState(wf, platform)
+        for tid in priority_order:
+            best = min(state.evaluate_all(tid), key=...)
+            state.commit(best)
+        schedule = state.to_schedule()
+    """
+
+    def __init__(
+        self,
+        wf: Workflow,
+        platform: CloudPlatform,
+        *,
+        use_conservative: bool = True,
+    ) -> None:
+        self.wf = wf
+        self.platform = platform
+        self.use_conservative = use_conservative
+        self.vms: List[PlannedVM] = []
+        self.assignment: Dict[str, int] = {}
+        self.order: List[str] = []
+        self.finish: Dict[str, float] = {}
+
+    def planning_weight(self, tid: str) -> float:
+        """``w̄ + σ`` normally; plain ``w̄`` for the mean-weight ablation."""
+        task = self.wf.task(tid)
+        return task.conservative_weight if self.use_conservative else task.mean_weight
+
+    # ------------------------------------------------------------------
+    def scheduled(self, tid: str) -> bool:
+        """Whether ``tid`` has been committed already."""
+        return tid in self.assignment
+
+    def is_ready(self, tid: str) -> bool:
+        """All predecessors committed (planning-level readiness)."""
+        return all(p in self.assignment for p in self.wf.predecessors(tid))
+
+    def ready_tasks(self) -> List[str]:
+        """Unscheduled tasks whose predecessors are all scheduled."""
+        return [
+            tid
+            for tid in self.wf.topological_order
+            if tid not in self.assignment and self.is_ready(tid)
+        ]
+
+    # ------------------------------------------------------------------
+    def _inputs_at_dc(self, tid: str, vm_id: Optional[int]) -> Tuple[float, float]:
+        """``(ready_time, download_bytes)`` of ``tid``'s inputs w.r.t. a host.
+
+        Data produced by predecessors on the *same* VM are already present;
+        everything else must be at the datacenter (predecessor edge data at
+        its conservative upload time, external inputs at time 0) and then
+        downloaded.
+        """
+        task = self.wf.task(tid)
+        nbytes = task.external_input
+        ready = 0.0
+        for pred, data in self.wf.predecessors(tid).items():
+            if pred not in self.assignment:
+                raise SchedulingError(
+                    f"evaluating {tid!r} before predecessor {pred!r} is scheduled"
+                )
+            if vm_id is not None and self.assignment[pred] == vm_id:
+                # Data are local; the dependency still gates the start at
+                # the producer's finish (binding on multi-core hosts).
+                if self.finish[pred] > ready:
+                    ready = self.finish[pred]
+                continue
+            nbytes += data
+            at_dc = self.finish[pred] + data / self.platform.bandwidth
+            if at_dc > ready:
+                ready = at_dc
+        return ready, nbytes
+
+    def earliest_start(self, tid: str) -> float:
+        """Host-independent earliest start: when all inputs can be at the DC.
+
+        Used by BDT's within-level ordering (increasing EST).
+        """
+        ready, _ = self._inputs_at_dc(tid, None)
+        return ready
+
+    def _upload_time(self, tid: str) -> float:
+        """Conservative upload duration: every output goes to the DC."""
+        task = self.wf.task(tid)
+        nbytes = self.wf.output_data_of(tid) + task.external_output
+        return nbytes / self.platform.bandwidth
+
+    def evaluate(
+        self, tid: str, vm: Optional[PlannedVM], category: VMCategory
+    ) -> HostEvaluation:
+        """Evaluate placing ``tid`` on ``vm`` (or a fresh ``category`` VM)."""
+        bw = self.platform.bandwidth
+        inputs_ready, download_bytes = self._inputs_at_dc(
+            tid, vm.vm_id if vm is not None else None
+        )
+        if vm is None:
+            t_begin = inputs_ready
+            download_start = t_begin + category.boot_time
+            window_start = download_start  # billing starts when VM is ready
+            prev_window_end = window_start
+        else:
+            category = vm.category
+            t_begin = max(vm.compute_free, inputs_ready, vm.last_dispatch)
+            download_start = t_begin
+            window_start = vm.ready_time
+            prev_window_end = vm.window_end
+        compute_start = download_start + download_bytes / bw
+        eft = compute_start + self.planning_weight(tid) / category.speed
+        upload_end = eft + self._upload_time(tid)
+        window_end = max(prev_window_end, eft, upload_end)
+        cost = (window_end - prev_window_end) * category.cost_rate
+        return HostEvaluation(
+            tid=tid,
+            category=category,
+            vm_id=vm.vm_id if vm is not None else None,
+            eft=eft,
+            cost=cost,
+            t_begin=t_begin,
+            download_start=download_start,
+            compute_start=compute_start,
+            upload_end=upload_end,
+            window_start=window_start,
+            window_end=window_end,
+        )
+
+    def evaluate_all(self, tid: str) -> List[HostEvaluation]:
+        """Evaluations on every used VM plus one fresh VM per category."""
+        out = [self.evaluate(tid, vm, vm.category) for vm in self.vms]
+        out.extend(self.evaluate(tid, None, cat) for cat in self.platform.categories)
+        return out
+
+    # ------------------------------------------------------------------
+    def commit(self, ev: HostEvaluation) -> PlannedVM:
+        """Apply a host decision; returns the (possibly new) VM."""
+        if ev.tid in self.assignment:
+            raise SchedulingError(f"task {ev.tid!r} committed twice")
+        if ev.is_new_vm:
+            cores = [ev.window_start] * ev.category.cores
+            cores[0] = ev.eft
+            vm = PlannedVM(
+                vm_id=len(self.vms),
+                category=ev.category,
+                booked_at=ev.t_begin,
+                ready_time=ev.window_start,
+                core_free=cores,
+                window_end=ev.window_end,
+                last_dispatch=ev.download_start,
+            )
+            self.vms.append(vm)
+        else:
+            vm = self.vms[ev.vm_id]  # type: ignore[index]
+            if min(vm.core_free) > ev.t_begin + 1e-9:
+                raise SchedulingError(
+                    f"stale evaluation for {ev.tid!r}: VM {vm.vm_id} moved on"
+                )
+            earliest = min(
+                range(len(vm.core_free)), key=vm.core_free.__getitem__
+            )
+            vm.core_free[earliest] = ev.eft
+            vm.last_dispatch = max(vm.last_dispatch, ev.download_start)
+            vm.window_end = ev.window_end
+        vm.tasks.append(ev.tid)
+        self.assignment[ev.tid] = vm.vm_id
+        self.order.append(ev.tid)
+        self.finish[ev.tid] = ev.eft
+        return vm
+
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """Current planned makespan (latest window end minus earliest booking)."""
+        if not self.vms:
+            return 0.0
+        start = min(vm.booked_at for vm in self.vms)
+        return max(vm.window_end for vm in self.vms) - start
+
+    def vm_rental_cost(self) -> float:
+        """Total planned VM rental dollars (no init fees, no ceil)."""
+        return sum(
+            (vm.window_end - vm.ready_time) * vm.category.cost_rate
+            for vm in self.vms
+        )
+
+    def to_schedule(self) -> Schedule:
+        """Freeze into a :class:`Schedule` (all tasks must be committed)."""
+        missing = set(self.wf.tasks) - set(self.assignment)
+        if missing:
+            raise SchedulingError(
+                f"cannot build schedule, unscheduled tasks: {sorted(missing)[:5]}"
+            )
+        return Schedule(
+            order=list(self.order),
+            assignment=dict(self.assignment),
+            categories={vm.vm_id: vm.category for vm in self.vms},
+        )

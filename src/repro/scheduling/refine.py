@@ -1,0 +1,126 @@
+"""HEFTBUDG+ and HEFTBUDG+INV (§IV-B, Algorithm 5).
+
+Both start from the HEFTBUDG schedule, then re-examine every task: try
+moving it to each other used VM and to a fresh VM of each category, fully
+re-simulating the workflow for each candidate (with the task list ``ListT``
+fixed), and keep the move when it shortens the makespan while the *total*
+simulated cost ``c_tot`` stays within the initial budget — thereby spending
+whatever the conservative first pass left over.
+
+HEFTBUDG+ walks ``ListT`` in HEFT priority order; HEFTBUDG+INV in reverse.
+Complexity is ``O(n (n+e) p)`` — roughly two orders of magnitude above
+HEFTBUDG (Table III), which is the paper's scalability trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..platform.cloud import CloudPlatform
+from ..simulation.executor import evaluate_schedule
+from ..workflow.dag import Workflow
+from .heft import HeftBudgScheduler
+from .list_base import Scheduler, SchedulerResult
+from .schedule import Schedule
+
+__all__ = ["HeftBudgPlusScheduler", "HeftBudgPlusInvScheduler", "refine_schedule"]
+
+#: Minimum makespan improvement for a move to be accepted (float hygiene).
+_GAIN_TOL = 1e-9
+
+
+def refine_schedule(
+    wf: Workflow,
+    platform: CloudPlatform,
+    schedule: Schedule,
+    budget: float,
+    *,
+    reverse: bool = False,
+) -> Schedule:
+    """One full re-mapping pass of Algorithm 5 over ``schedule``.
+
+    Tasks are visited in dispatch order (``reverse=True`` for the INV
+    variant). Every candidate move is evaluated with the deterministic
+    simulator (conservative weights); a move is kept when it strictly
+    improves the makespan and the simulated total cost respects ``budget``.
+    """
+    schedule.validate(wf)
+    current = schedule
+    base = evaluate_schedule(wf, platform, current)
+    best_makespan = base.makespan
+
+    visit = list(reversed(current.order)) if reverse else list(current.order)
+    for tid in visit:
+        current_vm = current.vm_of(tid)
+        best_candidate: Optional[Schedule] = None
+        # Try every other used VM...
+        for vm_id in current.used_vms:
+            if vm_id == current_vm:
+                continue
+            candidate = current.reassigned(tid, vm_id, current.categories[vm_id])
+            makespan = _accept(wf, platform, candidate, budget, best_makespan)
+            if makespan is not None:
+                best_makespan = makespan
+                best_candidate = candidate
+        # ... and a fresh VM of each category.
+        fresh_id = current.fresh_vm_id()
+        for category in platform.categories:
+            candidate = current.reassigned(tid, fresh_id, category)
+            makespan = _accept(wf, platform, candidate, budget, best_makespan)
+            if makespan is not None:
+                best_makespan = makespan
+                best_candidate = candidate
+        if best_candidate is not None:
+            current = best_candidate
+    return current
+
+
+def _accept(
+    wf: Workflow,
+    platform: CloudPlatform,
+    candidate: Schedule,
+    budget: float,
+    best_makespan: float,
+) -> Optional[float]:
+    """Simulated makespan if the candidate improves within budget, else None."""
+    result = evaluate_schedule(wf, platform, candidate)
+    if (
+        result.makespan < best_makespan - _GAIN_TOL
+        and result.total_cost <= budget
+    ):
+        return result.makespan
+    return None
+
+
+class HeftBudgPlusScheduler(Scheduler):
+    """HEFTBUDG followed by a forward re-mapping pass (HEFTBUDG+)."""
+
+    name = "heft_budg_plus"
+    _reverse = False
+
+    def schedule(
+        self, wf: Workflow, platform: CloudPlatform, budget: float
+    ) -> SchedulerResult:
+        """Run HEFTBUDG, then one Algorithm 5 re-mapping pass."""
+        first = HeftBudgScheduler().schedule(wf, platform, budget)
+        refined = refine_schedule(
+            wf, platform, first.schedule, budget, reverse=self._reverse
+        )
+        final = evaluate_schedule(wf, platform, refined)
+        return SchedulerResult(
+            schedule=refined,
+            planned_makespan=final.makespan,
+            planned_vm_cost=final.cost.vm_rental,
+            within_budget_plan=final.total_cost <= budget,
+            algorithm=self.name,
+            leftover_pot=max(budget - final.total_cost, 0.0)
+            if budget != float("inf")
+            else 0.0,
+        )
+
+
+class HeftBudgPlusInvScheduler(HeftBudgPlusScheduler):
+    """HEFTBUDG followed by a reverse-order re-mapping pass (HEFTBUDG+INV)."""
+
+    name = "heft_budg_plus_inv"
+    _reverse = True

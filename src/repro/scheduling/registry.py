@@ -1,0 +1,55 @@
+"""Name → scheduler registry, for declarative experiment configs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from ..errors import SchedulingError
+from .bdt import BdtScheduler
+from .cg import CgPlusScheduler, CgScheduler
+from .heft import HeftBudgScheduler, HeftScheduler
+from .list_base import Scheduler
+from .minmin import MinMinBudgScheduler, MinMinScheduler
+from .ready_set import (
+    MaxMinBudgScheduler,
+    MaxMinScheduler,
+    SufferageBudgScheduler,
+    SufferageScheduler,
+)
+from .refine import HeftBudgPlusInvScheduler, HeftBudgPlusScheduler
+
+__all__ = ["SCHEDULERS", "make_scheduler", "available_schedulers"]
+
+SCHEDULERS: Dict[str, Type[Scheduler]] = {
+    cls.name: cls  # type: ignore[misc]
+    for cls in (
+        MinMinScheduler,
+        HeftScheduler,
+        MinMinBudgScheduler,
+        HeftBudgScheduler,
+        HeftBudgPlusScheduler,
+        HeftBudgPlusInvScheduler,
+        BdtScheduler,
+        CgScheduler,
+        CgPlusScheduler,
+        MaxMinScheduler,
+        MaxMinBudgScheduler,
+        SufferageScheduler,
+        SufferageBudgScheduler,
+    )
+}
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate a scheduler by registry name."""
+    try:
+        return SCHEDULERS[name.lower()]()
+    except KeyError:
+        raise SchedulingError(
+            f"unknown scheduler {name!r}; available: {sorted(SCHEDULERS)}"
+        ) from None
+
+
+def available_schedulers() -> List[str]:
+    """Sorted registry names."""
+    return sorted(SCHEDULERS)

@@ -1,0 +1,32 @@
+"""Discrete-event simulation substrate (the paper's SimDag/SimGrid role)."""
+
+from .bandwidth import FlowPool
+from .events import EventQueue
+from .gantt import render_gantt, render_task_table
+from .executor import (
+    conservative_weights,
+    evaluate_schedule,
+    execute_schedule,
+    mean_weights,
+    sample_weights,
+)
+from .trace import SimulationResult, TaskRecord, VMRecord
+from .usage import UsageReport, VMUsage, analyze_usage
+
+__all__ = [
+    "EventQueue",
+    "FlowPool",
+    "SimulationResult",
+    "TaskRecord",
+    "UsageReport",
+    "VMRecord",
+    "VMUsage",
+    "analyze_usage",
+    "conservative_weights",
+    "evaluate_schedule",
+    "execute_schedule",
+    "mean_weights",
+    "render_gantt",
+    "render_task_table",
+    "sample_weights",
+]

@@ -1,0 +1,142 @@
+"""Fluid-flow bandwidth model with optional datacenter contention.
+
+The paper assumes "the datacenter bandwidth is large enough to feed all
+processing units" (§III-B) — each transfer then progresses at the full
+VM↔DC link rate ``bw`` independently of the others. The paper also observes
+(§V-B) that this assumption breaks for LIGO near the minimal budget: the
+datacenter becomes a bottleneck and budgets are overrun.
+
+:class:`FlowPool` models both regimes. Every transfer is a *flow* with a
+remaining byte count and a per-flow cap (its link rate). With infinite
+aggregate capacity each flow runs at its cap; with finite capacity ``C`` the
+active flows share ``C`` max-min fairly (water-filling), each still capped
+by its link. Rates are recomputed whenever the set of active flows changes,
+which is the standard fluid approximation used by SimGrid itself.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Tuple
+
+from ..errors import SimulationError
+
+__all__ = ["FlowPool"]
+
+_EPS_BYTES = 1e-6
+#: A flow whose time-to-finish is below this (relative to the clock) is
+#: complete: adding it to `now` would not change the float value anyway.
+_EPS_TIME = 1e-9
+
+
+@dataclass
+class _Flow:
+    remaining: float
+    cap: float
+    payload: Any
+    rate: float = 0.0
+
+
+class FlowPool:
+    """A set of concurrent data flows over a shared aggregate capacity.
+
+    Parameters
+    ----------
+    capacity:
+        Aggregate datacenter capacity in bytes/s; ``inf`` (default)
+        reproduces the paper's main assumption.
+    """
+
+    def __init__(self, capacity: float = math.inf) -> None:
+        if not capacity > 0.0:
+            raise SimulationError(f"pool capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self.now = 0.0
+        self._flows: Dict[Hashable, _Flow] = {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __bool__(self) -> bool:
+        return bool(self._flows)
+
+    def start(
+        self, flow_id: Hashable, nbytes: float, cap: float, payload: Any = None
+    ) -> None:
+        """Begin a flow of ``nbytes`` at the current time.
+
+        Zero-byte flows are legal; they complete at the very next
+        :meth:`advance` call (i.e. immediately).
+        """
+        if flow_id in self._flows:
+            raise SimulationError(f"duplicate flow id {flow_id!r}")
+        if nbytes < 0.0:
+            raise SimulationError(f"flow {flow_id!r}: negative size {nbytes}")
+        if not cap > 0.0:
+            raise SimulationError(f"flow {flow_id!r}: cap must be > 0, got {cap}")
+        self._flows[flow_id] = _Flow(remaining=nbytes, cap=cap, payload=payload)
+        self._recompute_rates()
+
+    def _recompute_rates(self) -> None:
+        """Max-min fair share of ``capacity`` among active flows.
+
+        Water-filling: process flows by ascending cap; each takes
+        ``min(cap, remaining_capacity / remaining_flows)``.
+        """
+        flows = self._flows
+        if not flows:
+            return
+        if math.isinf(self.capacity):
+            for f in flows.values():
+                f.rate = f.cap
+            return
+        items = sorted(flows.values(), key=lambda f: f.cap)
+        left = self.capacity
+        n = len(items)
+        for i, f in enumerate(items):
+            share = left / (n - i)
+            f.rate = min(f.cap, share)
+            left -= f.rate
+
+    # ------------------------------------------------------------------
+    def _time_left(self, f: _Flow) -> float:
+        """Seconds until ``f`` completes; 0 when it is effectively done."""
+        if f.remaining <= _EPS_BYTES:
+            return 0.0
+        left = f.remaining / f.rate if f.rate > 0.0 else math.inf
+        # Residuals too small to move the float clock count as done.
+        if left <= _EPS_TIME * max(1.0, self.now):
+            return 0.0
+        return left
+
+    def next_completion(self) -> float:
+        """Earliest time any active flow finishes; ``inf`` when idle."""
+        best = math.inf
+        for f in self._flows.values():
+            best = min(best, self.now + self._time_left(f))
+        return best
+
+    def advance(self, t: float) -> List[Tuple[Hashable, Any]]:
+        """Progress every flow to time ``t``; return completed flows.
+
+        Returns ``(flow_id, payload)`` pairs, in deterministic (insertion)
+        order. Rates are recomputed when any flow completes.
+        """
+        if t < self.now - 1e-9:
+            raise SimulationError(f"time went backwards: {t} < {self.now}")
+        dt = max(t - self.now, 0.0)
+        self.now = t
+        if not self._flows:
+            return []
+        done: List[Tuple[Hashable, Any]] = []
+        for fid, f in self._flows.items():
+            f.remaining -= f.rate * dt
+            if self._time_left(f) == 0.0:
+                done.append((fid, f.payload))
+        if done:
+            for fid, _ in done:
+                del self._flows[fid]
+            self._recompute_rates()
+        return done

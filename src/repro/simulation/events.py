@@ -1,0 +1,44 @@
+"""Discrete-event primitives.
+
+A tiny, allocation-light event queue: events are ``(time, seq, kind,
+payload)`` tuples in a binary heap. The monotonically increasing ``seq``
+makes ordering total and deterministic for simultaneous events (FIFO within
+a timestamp), which keeps whole simulations reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Tuple
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Deterministic time-ordered event queue."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, str, Any]] = []
+        self._seq = 0
+
+    def push(self, time: float, kind: str, payload: Any = None) -> None:
+        """Schedule an event at ``time`` (must not be NaN/negative)."""
+        if not time >= 0.0:  # also rejects NaN
+            raise ValueError(f"event time must be >= 0, got {time}")
+        heapq.heappush(self._heap, (time, self._seq, kind, payload))
+        self._seq += 1
+
+    def pop(self) -> Tuple[float, str, Any]:
+        """Remove and return the earliest ``(time, kind, payload)``."""
+        time, _seq, kind, payload = heapq.heappop(self._heap)
+        return time, kind, payload
+
+    def peek_time(self) -> float:
+        """Time of the earliest event, ``inf`` when empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,334 @@
+"""Schedule executor — the discrete-event heart of the simulator.
+
+Replays a :class:`~repro.scheduling.schedule.Schedule` under given *actual*
+task weights, with the paper's platform semantics (§III):
+
+* each VM runs its queue serially, in the order induced by the schedule's
+  global dispatch order;
+* a task's inputs must be **at the datacenter** before its download starts:
+  edge data produced on another VM arrive at ``producer compute end +
+  size/bw`` (upload flow); data produced on the *same* VM never touch the
+  datacenter; external inputs are staged at the DC at time 0;
+* a fresh VM is *booked* the moment its first task's inputs are all at the
+  DC; it boots for ``t_boot`` uncharged seconds, and billing starts when it
+  becomes ready (``H_start,v``) — this serializes boot before the first
+  download exactly like Eq. (7);
+* downloads serialize before the compute they feed (Eq. 7); uploads start
+  at compute end and overlap whatever the VM does next (the paper allows
+  computation/communication overlap); uploads happen only for edges whose
+  consumer lives on another VM and for external outputs;
+* a VM is released once its last compute and all its uploads are done
+  (``H_end,v``), and is billed per started second (§V-A).
+
+The datacenter may be given a finite aggregate capacity
+(``dc_capacity``) to study the saturation regime the paper blames for the
+LIGO budget overruns; the default is the paper's infinite-capacity
+assumption.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from ..errors import SimulationError
+from ..platform.cloud import CloudPlatform
+from ..platform.pricing import CostBreakdown
+from ..rng import RngLike, as_generator
+from ..scheduling.schedule import Schedule
+from ..workflow.dag import Workflow
+from .bandwidth import FlowPool
+from .events import EventQueue
+from .trace import SimulationResult, TaskRecord, VMRecord
+
+__all__ = [
+    "execute_schedule",
+    "evaluate_schedule",
+    "conservative_weights",
+    "mean_weights",
+    "sample_weights",
+]
+
+# Task lifecycle phases.
+_PENDING, _DOWNLOADING, _COMPUTING, _DONE = range(4)
+
+
+def conservative_weights(wf: Workflow) -> Dict[str, float]:
+    """Planning weights ``w̄ + σ`` for every task (§IV-A)."""
+    return {tid: wf.task(tid).conservative_weight for tid in wf.tasks}
+
+
+def mean_weights(wf: Workflow) -> Dict[str, float]:
+    """Mean weights ``w̄`` for every task."""
+    return {tid: wf.task(tid).mean_weight for tid in wf.tasks}
+
+
+def sample_weights(wf: Workflow, rng: RngLike = None) -> Dict[str, float]:
+    """One stochastic draw of actual weights (truncated Gaussian, §III-A)."""
+    gen = as_generator(rng)
+    return {tid: wf.task(tid).weight.sample(gen) for tid in wf.topological_order}
+
+
+@dataclass
+class _VMState:
+    vm_id: int
+    queue: List[str]
+    cores: int = 1
+    idx: int = 0          # next task to dispatch (FIFO, no leapfrogging)
+    active: int = 0       # tasks currently downloading or computing
+    boot_requested: bool = False
+    ready: bool = False
+    record: Optional[VMRecord] = None
+    last_compute_end: float = 0.0
+    last_upload_end: float = 0.0
+
+
+def execute_schedule(
+    wf: Workflow,
+    platform: CloudPlatform,
+    schedule: Schedule,
+    weights: Mapping[str, float],
+    *,
+    dc_capacity: float = math.inf,
+    per_second_billing: bool = True,
+    validate: bool = True,
+) -> SimulationResult:
+    """Execute ``schedule`` on ``platform`` with the given actual weights.
+
+    ``weights`` maps every task id to its actual instruction count — use
+    :func:`sample_weights` for a stochastic run or
+    :func:`conservative_weights` / :func:`mean_weights` for deterministic
+    evaluation. Returns the full :class:`SimulationResult`.
+    """
+    if validate:
+        schedule.validate(wf)
+    missing = set(wf.tasks) - set(weights)
+    if missing:
+        raise SimulationError(f"weights missing for tasks {sorted(missing)[:5]}")
+
+    bw = platform.bandwidth
+    events = EventQueue()
+    pool = FlowPool(capacity=dc_capacity)
+
+    # --- static structures -------------------------------------------------
+    vms: Dict[int, _VMState] = {}
+    for vm_id, queue in schedule.queues().items():
+        vms[vm_id] = _VMState(
+            vm_id=vm_id, queue=queue, cores=schedule.categories[vm_id].cores
+        )
+
+    phase: Dict[str, int] = {tid: _PENDING for tid in wf.tasks}
+    records: Dict[str, TaskRecord] = {}
+
+    # Gates: per task, number of unmet input dependencies. A cross-VM edge
+    # opens when its data reach the datacenter (upload completion); a
+    # same-VM edge opens at the producer's compute end (data are local and
+    # instantly visible — only relevant on multi-core VMs, where FIFO order
+    # alone no longer serializes producer and consumer). External inputs
+    # are at the DC at t=0 and add no gate.
+    gates: Dict[str, int] = {}
+    download_bytes: Dict[str, float] = {}
+    for tid in wf.tasks:
+        task = wf.task(tid)
+        vm_id = schedule.vm_of(tid)
+        nbytes = task.external_input
+        for pred, data in wf.predecessors(tid).items():
+            if schedule.vm_of(pred) != vm_id:
+                nbytes += data
+        gates[tid] = len(wf.predecessors(tid))
+        download_bytes[tid] = nbytes
+
+    # Pending upload flows per task (to know when outputs_at_dc settles).
+    uploads_left: Dict[str, int] = {tid: 0 for tid in wf.tasks}
+    tasks_remaining = wf.n_tasks
+
+    # --- helpers ------------------------------------------------------------
+    def try_start(vm: _VMState, now: float) -> None:
+        """Dispatch queue-head tasks while a core is free and gates are open.
+
+        Dispatch is strictly FIFO (a blocked head is never leapfrogged),
+        matching the planner's per-VM ordering; with single-core categories
+        this degenerates to the serial queue of §III-B.
+        """
+        while vm.idx < len(vm.queue) and vm.active < vm.cores:
+            head = vm.queue[vm.idx]
+            if phase[head] != _PENDING or gates[head] > 0:
+                return
+            if not vm.boot_requested:
+                vm.boot_requested = True
+                category = schedule.categories[vm.vm_id]
+                vm.record = VMRecord(
+                    vm_id=vm.vm_id, category=category, booked_at=now
+                )
+                events.push(now + category.boot_time, "boot", vm.vm_id)
+                return
+            if not vm.ready:
+                return
+            phase[head] = _DOWNLOADING
+            rec = TaskRecord(tid=head, vm_id=vm.vm_id, download_start=now,
+                             actual_weight=weights[head])
+            records[head] = rec
+            vm.active += 1
+            vm.idx += 1
+            nbytes = download_bytes[head]
+            if nbytes > 0.0:
+                pool.start(("dl", head), nbytes, bw, payload=head)
+            else:
+                begin_compute(head, now)
+
+    def begin_compute(tid: str, now: float) -> None:
+        rec = records[tid]
+        rec.compute_start = now
+        phase[tid] = _COMPUTING
+        speed = schedule.category_of(tid).speed
+        events.push(now + weights[tid] / speed, "compute", tid)
+
+    def on_boot(vm_id: int, now: float) -> None:
+        vm = vms[vm_id]
+        vm.ready = True
+        assert vm.record is not None
+        vm.record.ready_at = now
+        vm.last_compute_end = now
+        vm.last_upload_end = now
+        try_start(vm, now)
+
+    def on_compute_done(tid: str, now: float) -> None:
+        nonlocal tasks_remaining
+        vm = vms[schedule.vm_of(tid)]
+        rec = records[tid]
+        rec.compute_end = now
+        rec.outputs_at_dc = now
+        phase[tid] = _DONE
+        tasks_remaining -= 1
+        vm.last_compute_end = now
+        assert vm.record is not None
+        vm.record.n_tasks += 1
+        # Launch uploads: edges to consumers on other VMs + external output.
+        # Same-VM successors see the data instantly: their gate opens now.
+        task = wf.task(tid)
+        for consumer, data in wf.successors(tid).items():
+            if schedule.vm_of(consumer) != vm.vm_id:
+                uploads_left[tid] += 1
+                pool.start(("up", tid, consumer), data, bw,
+                           payload=(tid, consumer))
+            else:
+                gates[consumer] -= 1
+                if gates[consumer] < 0:
+                    raise SimulationError(f"gate underflow on {consumer!r}")
+        if task.external_output > 0.0:
+            uploads_left[tid] += 1
+            pool.start(("upx", tid), task.external_output, bw,
+                       payload=(tid, None))
+        vm.active -= 1
+        try_start(vm, now)
+
+    def on_download_done(tid: str, now: float) -> None:
+        begin_compute(tid, now)
+
+    def on_upload_done(tid: str, consumer: Optional[str], now: float) -> None:
+        vm = vms[schedule.vm_of(tid)]
+        vm.last_upload_end = max(vm.last_upload_end, now)
+        rec = records[tid]
+        rec.outputs_at_dc = max(rec.outputs_at_dc, now)
+        uploads_left[tid] -= 1
+        if consumer is not None:
+            gates[consumer] -= 1
+            if gates[consumer] < 0:
+                raise SimulationError(f"gate underflow on task {consumer!r}")
+            cvm = vms[schedule.vm_of(consumer)]
+            if cvm.idx < len(cvm.queue) and cvm.queue[cvm.idx] == consumer:
+                try_start(cvm, now)
+
+    # --- main loop ----------------------------------------------------------
+    for vm in vms.values():
+        try_start(vm, 0.0)
+    if all(not vm.boot_requested for vm in vms.values()):
+        raise SimulationError(
+            "no VM could be booked at time 0 — no entry task is dispatchable"
+        )
+
+    guard = 0
+    guard_limit = 20 * (wf.n_tasks + wf.n_edges) + 100
+    while events or pool:
+        guard += 1
+        if guard > guard_limit:
+            raise SimulationError("simulation did not converge (event storm)")
+        t_event = events.peek_time()
+        t_flow = pool.next_completion()
+        if t_flow <= t_event:
+            for flow_id, payload in pool.advance(t_flow):
+                kind = flow_id[0]
+                if kind == "dl":
+                    on_download_done(payload, t_flow)
+                else:
+                    tid, consumer = payload
+                    on_upload_done(tid, consumer, t_flow)
+        else:
+            now, kind, payload = events.pop()
+            for flow_id, fpayload in pool.advance(now):
+                if flow_id[0] == "dl":
+                    on_download_done(fpayload, now)
+                else:
+                    up_tid, consumer = fpayload
+                    on_upload_done(up_tid, consumer, now)
+            if kind == "boot":
+                on_boot(payload, now)
+            elif kind == "compute":
+                on_compute_done(payload, now)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event kind {kind!r}")
+
+    if tasks_remaining != 0:
+        stuck = sorted(tid for tid, p in phase.items() if p != _DONE)
+        raise SimulationError(
+            f"{tasks_remaining} tasks never executed, e.g. {stuck[:5]} — "
+            "schedule deadlock (invalid dispatch order?)"
+        )
+
+    # --- accounting ---------------------------------------------------------
+    vm_records: List[VMRecord] = []
+    for vm in sorted(vms.values(), key=lambda v: v.vm_id):
+        assert vm.record is not None
+        vm.record.end_at = max(vm.last_compute_end, vm.last_upload_end)
+        vm_records.append(vm.record)
+
+    start = min(r.booked_at for r in vm_records)
+    end = max(
+        max(r.end_at for r in vm_records),
+        max(rec.outputs_at_dc for rec in records.values()),
+    )
+    makespan = end - start
+    cost = CostBreakdown.build(
+        platform,
+        wf,
+        makespan,
+        ((r.category, r.ready_at, r.end_at) for r in vm_records),
+        per_second_billing=per_second_billing,
+    )
+    return SimulationResult(
+        makespan=makespan, start=start, end=end, cost=cost,
+        tasks=records, vms=vm_records,
+    )
+
+
+def evaluate_schedule(
+    wf: Workflow,
+    platform: CloudPlatform,
+    schedule: Schedule,
+    *,
+    use_conservative: bool = True,
+    dc_capacity: float = math.inf,
+    validate: bool = False,
+) -> SimulationResult:
+    """Deterministic evaluation of a schedule (Algorithm 5's ``simulate``).
+
+    Runs the executor with the planning weights (``w̄ + σ`` by default) and
+    the paper's infinite-DC assumption; returns makespan ``t_calc,wf`` and
+    cost ``c_tot`` inside a full :class:`SimulationResult`.
+    """
+    weights = conservative_weights(wf) if use_conservative else mean_weights(wf)
+    return execute_schedule(
+        wf, platform, schedule, weights,
+        dc_capacity=dc_capacity, validate=validate,
+    )

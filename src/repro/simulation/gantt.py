@@ -1,0 +1,105 @@
+"""ASCII Gantt rendering of execution traces.
+
+A developer-facing view of a :class:`~repro.simulation.trace.SimulationResult`:
+one row per VM, time flowing rightward, with download / compute / upload
+phases distinguished. Used by examples and invaluable when debugging
+schedules; deliberately plain text so it works in logs and docstrings.
+
+Legend: ``.`` idle (billed), ``▒`` download, ``█`` compute, ``░`` upload,
+``|`` boot completion. Rows are labelled ``vm<id>/<category>``.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional
+
+from .trace import SimulationResult, TaskRecord
+
+__all__ = ["render_gantt", "render_task_table"]
+
+_IDLE, _DOWN, _COMP, _UP = ".", "▒", "█", "░"
+
+
+def _paint(row: List[str], start: float, end: float, t0: float, scale: float,
+           char: str, width: int) -> None:
+    """Fill ``row`` cells covering [start, end) with ``char``.
+
+    Compute cells win over transfer cells; transfer cells win over idle.
+    """
+    rank = {_IDLE: 0, _UP: 1, _DOWN: 2, _COMP: 3}
+    a = int((start - t0) * scale)
+    b = max(int((end - t0) * scale), a + (1 if end > start else 0))
+    for i in range(max(a, 0), min(b, width)):
+        if rank[char] >= rank.get(row[i], 0):
+            row[i] = char
+
+
+def render_gantt(
+    result: SimulationResult,
+    *,
+    width: int = 80,
+    show_boot: bool = True,
+) -> str:
+    """Render the execution as an ASCII Gantt chart, one row per VM."""
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    t0 = result.start
+    span = max(result.end - t0, 1e-9)
+    scale = width / span
+
+    tasks_by_vm: Dict[int, List[TaskRecord]] = {}
+    for rec in result.tasks.values():
+        tasks_by_vm.setdefault(rec.vm_id, []).append(rec)
+
+    out = io.StringIO()
+    label_width = max(
+        (len(f"vm{v.vm_id}/{v.category.name}") for v in result.vms), default=8
+    )
+    for vm in sorted(result.vms, key=lambda v: v.vm_id):
+        row = [" "] * width
+        # billed window = idle baseline
+        _paint(row, vm.ready_at, vm.end_at, t0, scale, _IDLE, width)
+        for rec in sorted(tasks_by_vm.get(vm.vm_id, []),
+                          key=lambda r: r.download_start):
+            _paint(row, rec.download_start, rec.compute_start, t0, scale,
+                   _DOWN, width)
+            _paint(row, rec.compute_start, rec.compute_end, t0, scale,
+                   _COMP, width)
+            if rec.outputs_at_dc > rec.compute_end:
+                _paint(row, rec.compute_end, rec.outputs_at_dc, t0, scale,
+                       _UP, width)
+        if show_boot:
+            boot_idx = int((vm.ready_at - t0) * scale)
+            if 0 <= boot_idx < width and row[boot_idx] == _IDLE:
+                row[boot_idx] = "|"
+        label = f"vm{vm.vm_id}/{vm.category.name}".ljust(label_width)
+        out.write(f"{label} {''.join(row)}\n")
+    axis = "0".ljust(width - 9) + f"{span:8.0f}s"
+    out.write(f"{''.ljust(label_width)} {axis}\n")
+    out.write(
+        f"legend: {_DOWN} download  {_COMP} compute  {_UP} upload  "
+        f"{_IDLE} idle (billed)  | boot done\n"
+    )
+    return out.getvalue()
+
+
+def render_task_table(
+    result: SimulationResult, *, limit: Optional[int] = None
+) -> str:
+    """Tabular per-task timeline, sorted by compute start."""
+    rows = sorted(result.tasks.values(), key=lambda r: r.compute_start)
+    if limit is not None:
+        rows = rows[:limit]
+    out = io.StringIO()
+    out.write(
+        f"{'task':>24} {'vm':>4} {'dl_start':>10} {'c_start':>10} "
+        f"{'c_end':>10} {'at_dc':>10}\n"
+    )
+    for rec in rows:
+        out.write(
+            f"{rec.tid:>24} {rec.vm_id:>4} {rec.download_start:>10.1f} "
+            f"{rec.compute_start:>10.1f} {rec.compute_end:>10.1f} "
+            f"{rec.outputs_at_dc:>10.1f}\n"
+        )
+    return out.getvalue()

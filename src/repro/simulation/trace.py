@@ -1,0 +1,85 @@
+"""Execution traces and the simulation result object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..platform.pricing import CostBreakdown
+from ..platform.vm import VMCategory
+
+__all__ = ["TaskRecord", "VMRecord", "SimulationResult"]
+
+
+@dataclass
+class TaskRecord:
+    """Timeline of one task's execution.
+
+    ``download_start ≤ compute_start ≤ compute_end ≤ outputs_at_dc``; when
+    the task needs no download the first two coincide, and when none of its
+    outputs go through the datacenter ``outputs_at_dc == compute_end``.
+    """
+
+    tid: str
+    vm_id: int
+    download_start: float = 0.0
+    compute_start: float = 0.0
+    compute_end: float = 0.0
+    outputs_at_dc: float = 0.0
+    actual_weight: float = 0.0
+
+
+@dataclass
+class VMRecord:
+    """Lifecycle of one enrolled VM.
+
+    ``booked_at`` is when the VM was requested (``H_start,first`` uses the
+    earliest booking); ``ready_at`` is after the uncharged boot; billing
+    runs from ``ready_at`` to ``end_at`` (Eq. 1).
+    """
+
+    vm_id: int
+    category: VMCategory
+    booked_at: float = 0.0
+    ready_at: float = 0.0
+    end_at: float = 0.0
+    n_tasks: int = 0
+
+    @property
+    def billed_duration(self) -> float:
+        """Raw (un-ceiled) rental duration in seconds."""
+        return max(self.end_at - self.ready_at, 0.0)
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of executing a schedule (stochastic or deterministic).
+
+    ``makespan`` is ``H_end,last − H_start,first`` (§III-C). ``cost`` is the
+    itemized :class:`CostBreakdown`; ``total_cost`` is ``C_wf``.
+    """
+
+    makespan: float
+    start: float
+    end: float
+    cost: CostBreakdown
+    tasks: Dict[str, TaskRecord] = field(default_factory=dict)
+    vms: List[VMRecord] = field(default_factory=list)
+
+    @property
+    def total_cost(self) -> float:
+        """``C_wf = Σ_v C_v + C_DC`` (Eq. 1+2)."""
+        return self.cost.total
+
+    @property
+    def n_vms(self) -> int:
+        """Number of VMs enrolled during the execution."""
+        return len(self.vms)
+
+    def respects_budget(self, budget: float, tol: float = 1e-9) -> bool:
+        """Validity check used by the paper's Figure 3 middle row."""
+        return self.total_cost <= budget * (1.0 + tol) + tol
+
+    def finish_time_of(self, tid: str) -> float:
+        """Compute-completion time of one task."""
+        return self.tasks[tid].compute_end

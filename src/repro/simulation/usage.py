@@ -1,0 +1,95 @@
+"""Post-execution usage analysis: VM utilization and dollar efficiency.
+
+Answers the operational questions a schedule's Gantt chart raises: how much
+of each rented window did real work, where did the money go, how much was
+idle "continuous slot" tax — the quantities behind the paper's trade-off
+between re-using VMs and enrolling fresh ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .trace import SimulationResult
+
+__all__ = ["VMUsage", "UsageReport", "analyze_usage"]
+
+
+@dataclass(frozen=True)
+class VMUsage:
+    """Activity breakdown of one VM's billed window (seconds)."""
+
+    vm_id: int
+    category: str
+    window: float
+    compute: float
+    download: float
+    idle: float
+    n_tasks: int
+
+    @property
+    def utilization(self) -> float:
+        """Compute fraction of the billed window (0..1)."""
+        return self.compute / self.window if self.window > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class UsageReport:
+    """Fleet-level usage summary of one execution."""
+
+    vms: List[VMUsage]
+    total_window: float
+    total_compute: float
+
+    @property
+    def mean_utilization(self) -> float:
+        """Aggregate compute seconds over aggregate billed seconds."""
+        return (
+            self.total_compute / self.total_window
+            if self.total_window > 0 else 0.0
+        )
+
+    def least_utilized(self, n: int = 3) -> List[VMUsage]:
+        """The ``n`` worst VMs — prime candidates for consolidation or
+        idle-gap splitting."""
+        return sorted(self.vms, key=lambda u: u.utilization)[:n]
+
+
+def analyze_usage(result: SimulationResult) -> UsageReport:
+    """Break each VM's billed window into compute / download / idle time.
+
+    Uploads overlap other activity (the model's transfers are independent
+    of computation), so idle is measured against download+compute only;
+    a window consisting purely of trailing uploads therefore counts as
+    idle — it is still billed.
+    """
+    by_vm: Dict[int, List] = {}
+    for rec in result.tasks.values():
+        by_vm.setdefault(rec.vm_id, []).append(rec)
+
+    usages: List[VMUsage] = []
+    total_window = 0.0
+    total_compute = 0.0
+    for vm in result.vms:
+        recs = by_vm.get(vm.vm_id, [])
+        window = max(vm.end_at - vm.ready_at, 0.0)
+        compute = sum(r.compute_end - r.compute_start for r in recs)
+        download = sum(r.compute_start - r.download_start for r in recs)
+        idle = max(window - compute - download, 0.0)
+        usages.append(
+            VMUsage(
+                vm_id=vm.vm_id,
+                category=vm.category.name,
+                window=window,
+                compute=compute,
+                download=download,
+                idle=idle,
+                n_tasks=len(recs),
+            )
+        )
+        total_window += window
+        total_compute += compute
+    return UsageReport(
+        vms=usages, total_window=total_window, total_compute=total_compute
+    )

@@ -1,0 +1,99 @@
+"""Unit helpers and constants.
+
+The model follows the paper's conventions:
+
+* task *weights* are numbers of instructions (flop);
+* VM *speeds* are instructions per second (flop/s);
+* data sizes are bytes;
+* bandwidth is bytes per second;
+* money is US dollars; hourly prices are converted to $/s internally;
+* time is seconds.
+
+These helpers exist so that magnitudes written in source code read like the
+paper ("20 Gflop", "1.2 GB", "$0.085/h") instead of raw exponents.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "KB", "MB", "GB", "TB",
+    "KFLOP", "MFLOP", "GFLOP", "TFLOP",
+    "MINUTE", "HOUR", "DAY", "MONTH",
+    "per_hour", "per_gb_month", "ceil_seconds", "pretty_bytes",
+    "pretty_seconds", "pretty_money",
+]
+
+# Data sizes (decimal, as used by cloud providers' price sheets).
+KB = 1e3
+MB = 1e6
+GB = 1e9
+TB = 1e12
+
+# Work amounts.
+KFLOP = 1e3
+MFLOP = 1e6
+GFLOP = 1e9
+TFLOP = 1e12
+
+# Time.
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+MONTH = 30 * DAY  # billing month used by storage pricing
+
+
+def per_hour(dollars: float) -> float:
+    """Convert an hourly price (``$/h``) into the internal ``$/s`` rate."""
+    return dollars / HOUR
+
+
+def per_gb_month(dollars: float, stored_bytes: float) -> float:
+    """Convert a storage price (``$/GB/month``) into a ``$/s`` rate.
+
+    ``stored_bytes`` is the footprint held for the duration being billed;
+    the paper charges the datacenter ``c_h,DC`` per time unit over the whole
+    makespan (Eq. 2), so the footprint is fixed per workflow.
+    """
+    return dollars * (stored_bytes / GB) / MONTH
+
+
+def ceil_seconds(duration: float) -> float:
+    """Round a duration up to a whole second (per-second billing, §V-A).
+
+    Guards against float fuzz: durations within 1e-9 of an integer are not
+    bumped a full extra second.
+    """
+    if duration <= 0.0:
+        return 0.0
+    nearest = round(duration)
+    if abs(duration - nearest) < 1e-9:
+        return float(nearest)
+    return float(math.ceil(duration))
+
+
+def pretty_bytes(n: float) -> str:
+    """Human-readable data size (``1.20 GB``)."""
+    for unit, div in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(n) >= div:
+            return f"{n / div:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def pretty_seconds(t: float) -> str:
+    """Human-readable duration (``2h03m``, ``45.2s``)."""
+    if t >= HOUR:
+        hours = int(t // HOUR)
+        minutes = int((t - hours * HOUR) // MINUTE)
+        return f"{hours}h{minutes:02d}m"
+    if t >= MINUTE:
+        minutes = int(t // MINUTE)
+        seconds = t - minutes * MINUTE
+        return f"{minutes}m{seconds:04.1f}s"
+    return f"{t:.1f}s"
+
+
+def pretty_money(dollars: float) -> str:
+    """Human-readable dollar amount (``$12.34``)."""
+    return f"${dollars:,.2f}"

@@ -1,0 +1,21 @@
+"""Workflow substrate: stochastic tasks, DAGs, DAX I/O and generators."""
+
+from .analysis import bottom_levels, critical_path, graph_stats, heft_order, top_levels
+from .dag import Edge, Workflow
+from .dax import parse_dax, read_dax, write_dax
+from .task import StochasticWeight, Task
+
+__all__ = [
+    "Edge",
+    "StochasticWeight",
+    "Task",
+    "Workflow",
+    "bottom_levels",
+    "critical_path",
+    "graph_stats",
+    "heft_order",
+    "parse_dax",
+    "read_dax",
+    "top_levels",
+    "write_dax",
+]

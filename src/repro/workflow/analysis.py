@@ -1,0 +1,137 @@
+"""Graph analyses used by the schedulers and the reports.
+
+The central quantity is the *bottom level* (HEFT's upward rank, [24] in the
+paper): the length of the longest path from a task to an exit, counting the
+task's own execution time and the communication time of traversed edges.
+Times are computed with the paper's planning conventions — conservative
+weights ``w̄ + σ`` divided by the mean platform speed, edge bytes divided by
+the VM↔datacenter bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .dag import Workflow
+
+__all__ = [
+    "bottom_levels",
+    "top_levels",
+    "heft_order",
+    "critical_path",
+    "graph_stats",
+]
+
+
+def bottom_levels(
+    wf: Workflow,
+    mean_speed: float,
+    bandwidth: float,
+    *,
+    use_conservative: bool = True,
+) -> Dict[str, float]:
+    """Upward rank of every task (seconds).
+
+    ``rank(T) = exec(T) + max over successors S of (comm(T,S) + rank(S))``
+    with ``exec(T) = weight/mean_speed`` and ``comm = bytes/bandwidth``.
+    """
+    if mean_speed <= 0.0:
+        raise ValueError(f"mean_speed must be > 0, got {mean_speed}")
+    if bandwidth <= 0.0:
+        raise ValueError(f"bandwidth must be > 0, got {bandwidth}")
+    ranks: Dict[str, float] = {}
+    for tid in reversed(wf.topological_order):
+        task = wf.task(tid)
+        weight = task.conservative_weight if use_conservative else task.mean_weight
+        exec_time = weight / mean_speed
+        best_tail = 0.0
+        for succ, data in wf.successors(tid).items():
+            tail = data / bandwidth + ranks[succ]
+            if tail > best_tail:
+                best_tail = tail
+        ranks[tid] = exec_time + best_tail
+    return ranks
+
+
+def top_levels(
+    wf: Workflow,
+    mean_speed: float,
+    bandwidth: float,
+    *,
+    use_conservative: bool = True,
+) -> Dict[str, float]:
+    """Downward rank: longest time from workflow start to a task's start."""
+    if mean_speed <= 0.0 or bandwidth <= 0.0:
+        raise ValueError("mean_speed and bandwidth must be > 0")
+    tl: Dict[str, float] = {}
+    for tid in wf.topological_order:
+        best = 0.0
+        for pred, data in wf.predecessors(tid).items():
+            task = wf.task(pred)
+            weight = task.conservative_weight if use_conservative else task.mean_weight
+            cand = tl[pred] + weight / mean_speed + data / bandwidth
+            if cand > best:
+                best = cand
+        tl[tid] = best
+    return tl
+
+
+def heft_order(wf: Workflow, mean_speed: float, bandwidth: float) -> List[str]:
+    """Tasks by non-increasing bottom level — HEFT's scheduling list.
+
+    Ties are broken by topological position so the ordering is always a
+    valid scheduling order (predecessors first) and deterministic.
+    """
+    ranks = bottom_levels(wf, mean_speed, bandwidth)
+    position = {tid: i for i, tid in enumerate(wf.topological_order)}
+    return sorted(wf.topological_order, key=lambda t: (-ranks[t], position[t]))
+
+
+def critical_path(
+    wf: Workflow, mean_speed: float, bandwidth: float
+) -> Tuple[List[str], float]:
+    """A longest entry→exit path and its length in seconds.
+
+    Returns ``(task ids along the path, length)``; the length equals the
+    maximum bottom level over entry tasks.
+    """
+    ranks = bottom_levels(wf, mean_speed, bandwidth)
+    entries = wf.entry_tasks
+    start = max(entries, key=lambda t: ranks[t])
+    path = [start]
+    current = start
+    while wf.successors(current):
+        best_succ: Optional[str] = None
+        best_val = -1.0
+        for succ, data in wf.successors(current).items():
+            val = data / bandwidth + ranks[succ]
+            if val > best_val:
+                best_val = val
+                best_succ = succ
+        assert best_succ is not None
+        path.append(best_succ)
+        current = best_succ
+    return path, ranks[start]
+
+
+def graph_stats(wf: Workflow) -> Dict[str, float]:
+    """Structural summary used by reports and the workload tables.
+
+    Keys: ``n_tasks``, ``n_edges``, ``depth`` (number of levels), ``width``
+    (max tasks per level), ``mean_degree``, ``edge_data`` (bytes),
+    ``mean_work`` (instructions).
+    """
+    levels = wf.levels()
+    depth = 1 + max(levels.values()) if levels else 0
+    width_per_level: Dict[int, int] = {}
+    for lvl in levels.values():
+        width_per_level[lvl] = width_per_level.get(lvl, 0) + 1
+    return {
+        "n_tasks": float(wf.n_tasks),
+        "n_edges": float(wf.n_edges),
+        "depth": float(depth),
+        "width": float(max(width_per_level.values()) if width_per_level else 0),
+        "mean_degree": wf.n_edges / max(wf.n_tasks, 1),
+        "edge_data": wf.total_edge_data,
+        "mean_work": wf.total_mean_work,
+    }

@@ -1,0 +1,254 @@
+"""Pegasus DAX 2.x/3.x reader and writer.
+
+The paper's benchmark workflows (CYBERSHAKE, LIGO, MONTAGE) are distributed
+by the Pegasus project as *DAX* XML documents: ``<job>`` elements carrying a
+``runtime`` attribute (seconds on a reference machine) and ``<uses>`` file
+declarations with ``link="input"|"output"`` and a ``size`` in bytes;
+``<child>/<parent>`` elements give control dependencies.
+
+This module converts such documents into :class:`~repro.workflow.dag.Workflow`
+objects:
+
+* a job's weight mean is ``runtime × reference_speed`` (instructions);
+* the data carried by edge ``P → C`` is the total size of files that ``P``
+  declares as output and ``C`` declares as input;
+* files consumed by some job but produced by none are *external inputs*
+  (they contribute to ``d_in,DC``); files produced but never consumed are
+  *external outputs* (``d_DC,out``).
+
+A writer (:func:`write_dax`) is provided for round-trip tests and so users
+can export generated workflows to the standard tool ecosystem.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, IO, List, Set, Tuple, Union
+from xml.sax.saxutils import quoteattr
+
+from ..errors import DaxParseError
+from ..units import GFLOP
+from .dag import Workflow
+from .task import StochasticWeight, Task
+
+__all__ = ["read_dax", "parse_dax", "write_dax", "DEFAULT_REFERENCE_SPEED"]
+
+#: Speed of the reference machine implied by DAX ``runtime`` attributes.
+#: Pegasus trace runtimes were measured on ~1 Gflop/s-era grid nodes.
+DEFAULT_REFERENCE_SPEED = 1.0 * GFLOP
+
+
+def _local(tag: str) -> str:
+    """Strip any XML namespace from a tag name."""
+    return tag.rsplit("}", 1)[-1]
+
+
+def parse_dax(
+    source: Union[str, bytes],
+    *,
+    reference_speed: float = DEFAULT_REFERENCE_SPEED,
+    sigma_ratio: float = 0.0,
+    name: str = "",
+) -> Workflow:
+    """Parse a DAX document given as an XML string."""
+    try:
+        root = ET.fromstring(source)
+    except ET.ParseError as exc:
+        raise DaxParseError(f"malformed DAX XML: {exc}") from exc
+    return _build(root, reference_speed, sigma_ratio, name)
+
+
+def read_dax(
+    path_or_file: Union[str, IO[bytes], IO[str]],
+    *,
+    reference_speed: float = DEFAULT_REFERENCE_SPEED,
+    sigma_ratio: float = 0.0,
+    name: str = "",
+) -> Workflow:
+    """Parse a DAX document from a path or open file object."""
+    try:
+        tree = ET.parse(path_or_file)
+    except ET.ParseError as exc:
+        raise DaxParseError(f"malformed DAX XML: {exc}") from exc
+    except OSError as exc:
+        raise DaxParseError(f"cannot read DAX: {exc}") from exc
+    return _build(tree.getroot(), reference_speed, sigma_ratio, name)
+
+
+def _build(
+    root: ET.Element, reference_speed: float, sigma_ratio: float, name: str
+) -> Workflow:
+    if _local(root.tag) != "adag":
+        raise DaxParseError(f"root element is <{_local(root.tag)}>, expected <adag>")
+    if reference_speed <= 0.0:
+        raise DaxParseError(f"reference_speed must be > 0, got {reference_speed}")
+
+    wf_name = name or root.get("name") or "dax-workflow"
+
+    # First pass: jobs and their file usage.
+    runtimes: Dict[str, float] = {}
+    categories: Dict[str, str] = {}
+    inputs: Dict[str, Dict[str, float]] = {}   # job -> file -> size
+    outputs: Dict[str, Dict[str, float]] = {}  # job -> file -> size
+    job_order: List[str] = []
+
+    for element in root:
+        if _local(element.tag) != "job":
+            continue
+        jid = element.get("id")
+        if jid is None:
+            raise DaxParseError("<job> without id attribute")
+        if jid in runtimes:
+            raise DaxParseError(f"duplicate job id {jid!r}")
+        try:
+            runtime = float(element.get("runtime", "0") or 0.0)
+        except ValueError as exc:
+            raise DaxParseError(f"job {jid!r}: bad runtime attribute") from exc
+        if runtime < 0.0:
+            raise DaxParseError(f"job {jid!r}: negative runtime {runtime}")
+        runtimes[jid] = runtime
+        categories[jid] = element.get("name", "")
+        job_order.append(jid)
+        inputs[jid] = {}
+        outputs[jid] = {}
+        for uses in element:
+            if _local(uses.tag) != "uses":
+                continue
+            fname = uses.get("file") or uses.get("name")
+            if fname is None:
+                raise DaxParseError(f"job {jid!r}: <uses> without file name")
+            link = (uses.get("link") or "").lower()
+            try:
+                size = float(uses.get("size", "0") or 0.0)
+            except ValueError as exc:
+                raise DaxParseError(f"job {jid!r}: bad size for file {fname!r}") from exc
+            if size < 0.0:
+                raise DaxParseError(f"job {jid!r}: negative size for file {fname!r}")
+            if link == "input":
+                inputs[jid][fname] = inputs[jid].get(fname, 0.0) + size
+            elif link == "output":
+                outputs[jid][fname] = outputs[jid].get(fname, 0.0) + size
+            # other link kinds (e.g. "inout") are treated as both
+            elif link == "inout":
+                inputs[jid][fname] = inputs[jid].get(fname, 0.0) + size
+                outputs[jid][fname] = outputs[jid].get(fname, 0.0) + size
+
+    if not job_order:
+        raise DaxParseError("DAX contains no <job> elements")
+
+    # Second pass: explicit control dependencies.
+    control_edges: Set[Tuple[str, str]] = set()
+    for element in root:
+        if _local(element.tag) != "child":
+            continue
+        child = element.get("ref")
+        if child is None or child not in runtimes:
+            raise DaxParseError(f"<child> references unknown job {child!r}")
+        for parent_el in element:
+            if _local(parent_el.tag) != "parent":
+                continue
+            parent = parent_el.get("ref")
+            if parent is None or parent not in runtimes:
+                raise DaxParseError(f"<parent> references unknown job {parent!r}")
+            control_edges.add((parent, child))
+
+    # Producers per file (for data-flow edges and external classification).
+    producer_of: Dict[str, List[str]] = {}
+    for jid in job_order:
+        for fname in outputs[jid]:
+            producer_of.setdefault(fname, []).append(jid)
+    consumed: Set[str] = {fname for jid in job_order for fname in inputs[jid]}
+
+    # Edge data: for each (parent, child) pair, sum sizes of files flowing
+    # parent -> child. Dependencies come from <child>/<parent> declarations;
+    # data-flow pairs not declared are added too (some DAX emitters omit
+    # redundant control edges).
+    edge_data: Dict[Tuple[str, str], float] = {edge: 0.0 for edge in control_edges}
+    for jid in job_order:
+        for fname, size in inputs[jid].items():
+            for producer in producer_of.get(fname, []):
+                if producer == jid:
+                    continue
+                key = (producer, jid)
+                edge_data[key] = edge_data.get(key, 0.0) + size
+
+    wf = Workflow(wf_name)
+    for jid in job_order:
+        mean = max(runtimes[jid], 1e-3) * reference_speed
+        external_in = sum(
+            size for fname, size in inputs[jid].items() if fname not in producer_of
+        )
+        external_out = sum(
+            size for fname, size in outputs[jid].items() if fname not in consumed
+        )
+        wf.add_task(
+            Task(
+                id=jid,
+                weight=StochasticWeight(mean, sigma_ratio * mean),
+                category=categories[jid],
+                external_input=external_in,
+                external_output=external_out,
+            )
+        )
+    for (parent, child), data in sorted(edge_data.items()):
+        wf.add_edge(parent, child, data)
+    return wf.freeze()
+
+
+def write_dax(
+    wf: Workflow,
+    *,
+    reference_speed: float = DEFAULT_REFERENCE_SPEED,
+) -> str:
+    """Serialize ``wf`` as a DAX 3.x document (inverse of :func:`parse_dax`).
+
+    Edge data becomes one synthetic file per edge; external inputs/outputs
+    become files without producer/consumer, so a round trip through
+    :func:`parse_dax` reconstructs the same workflow (weights are mapped back
+    through ``reference_speed``; sigmas are not representable in DAX and must
+    be re-applied with :meth:`Workflow.with_sigma_ratio`).
+    """
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        f'<adag xmlns="http://pegasus.isi.edu/schema/DAX" version="3.6" '
+        f'name={quoteattr(wf.name)} jobCount="{wf.n_tasks}" '
+        f'childCount="{wf.n_edges}">',
+    ]
+    for tid in wf.topological_order:
+        task = wf.task(tid)
+        runtime = task.mean_weight / reference_speed
+        lines.append(
+            f'  <job id={quoteattr(tid)} name={quoteattr(task.category or "task")} '
+            f'version="1.0" runtime="{runtime:.6f}">'
+        )
+        for pred, data in sorted(wf.predecessors(tid).items()):
+            lines.append(
+                f'    <uses file={quoteattr(f"edge_{pred}_{tid}")} link="input" '
+                f'size="{data:.0f}"/>'
+            )
+        for succ, data in sorted(wf.successors(tid).items()):
+            lines.append(
+                f'    <uses file={quoteattr(f"edge_{tid}_{succ}")} link="output" '
+                f'size="{data:.0f}"/>'
+            )
+        if task.external_input > 0.0:
+            lines.append(
+                f'    <uses file={quoteattr(f"ext_in_{tid}")} link="input" '
+                f'size="{task.external_input:.0f}"/>'
+            )
+        if task.external_output > 0.0:
+            lines.append(
+                f'    <uses file={quoteattr(f"ext_out_{tid}")} link="output" '
+                f'size="{task.external_output:.0f}"/>'
+            )
+        lines.append("  </job>")
+    for tid in wf.topological_order:
+        preds = wf.predecessors(tid)
+        if not preds:
+            continue
+        lines.append(f"  <child ref={quoteattr(tid)}>")
+        for pred in sorted(preds):
+            lines.append(f"    <parent ref={quoteattr(pred)}/>")
+        lines.append("  </child>")
+    lines.append("</adag>")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,68 @@
+"""Synthetic workflow generators for the Pegasus benchmark families.
+
+:func:`generate` dispatches on a family name, so experiment configs can be
+purely declarative::
+
+    wf = generate("montage", 90, rng=7, sigma_ratio=0.5)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ...errors import WorkflowError
+from ...rng import RngLike
+from ..dag import Workflow
+from .base import REFERENCE_SPEED, GeneratorContext, TaskProfile
+from .cybershake import generate_cybershake
+from .epigenomics import generate_epigenomics
+from .ligo import generate_ligo
+from .montage import generate_montage
+from .random_dag import generate_random_layered
+from .sipht import generate_sipht
+
+__all__ = [
+    "REFERENCE_SPEED",
+    "GeneratorContext",
+    "TaskProfile",
+    "FAMILIES",
+    "PAPER_FAMILIES",
+    "generate",
+    "generate_cybershake",
+    "generate_epigenomics",
+    "generate_ligo",
+    "generate_montage",
+    "generate_random_layered",
+    "generate_sipht",
+]
+
+#: Families evaluated in the paper (§V-A).
+PAPER_FAMILIES = ("cybershake", "ligo", "montage")
+
+FAMILIES: Dict[str, Callable[..., Workflow]] = {
+    "cybershake": generate_cybershake,
+    "ligo": generate_ligo,
+    "montage": generate_montage,
+    "epigenomics": generate_epigenomics,
+    "sipht": generate_sipht,
+    "random": generate_random_layered,
+}
+
+
+def generate(
+    family: str,
+    n_tasks: int,
+    *,
+    rng: RngLike = None,
+    sigma_ratio: float = 0.0,
+    name: str = "",
+    **kwargs,
+) -> Workflow:
+    """Build one workflow of the named ``family`` with ``n_tasks`` tasks."""
+    try:
+        factory = FAMILIES[family.lower()]
+    except KeyError:
+        raise WorkflowError(
+            f"unknown workflow family {family!r}; available: {sorted(FAMILIES)}"
+        ) from None
+    return factory(n_tasks, rng=rng, sigma_ratio=sigma_ratio, name=name, **kwargs)

@@ -1,0 +1,79 @@
+"""CYBERSHAKE workflow generator.
+
+Structure (§V-A of the paper; Juve et al. 2013): a set of *generating* tasks
+(``SeismogramSynthesis``) run in parallel, each feeding exactly one
+*calculating* task (``PeakValCalcOkaya``); every generating task also feeds
+the agglomerator ``ZipSeis`` and every calculating task feeds the second
+agglomerator ``ZipPSA``. Half the tasks (the synthesis ones) read *huge*
+input data — the ~500 MB strain Green tensor extracts — which is the
+property the paper highlights ("In CYBERSHAKE, half the tasks have huge
+input data").
+
+Task count: ``n = 2·pairs + 2`` (two agglomerators). For odd ``n`` one
+leftover synthesis task without calculator is added so any requested size is
+met exactly (n ≥ 4).
+"""
+
+from __future__ import annotations
+
+from ...errors import WorkflowError
+from ...rng import RngLike
+from ...units import KB, MB
+from ..dag import Workflow
+from .base import GeneratorContext, TaskProfile
+
+__all__ = ["generate_cybershake", "PROFILES"]
+
+PROFILES = {
+    # runtimes (s) and data (bytes) from the Pegasus characterization
+    "SeismogramSynthesis": TaskProfile(runtime=24.0, input_bytes=547 * MB,
+                                       output_bytes=165 * KB),
+    "PeakValCalcOkaya": TaskProfile(runtime=1.2, output_bytes=0.5 * KB),
+    "ZipSeis": TaskProfile(runtime=10.0, output_bytes=80 * MB),
+    "ZipPSA": TaskProfile(runtime=5.0, output_bytes=2 * MB),
+}
+
+
+def generate_cybershake(
+    n_tasks: int,
+    *,
+    rng: RngLike = None,
+    sigma_ratio: float = 0.0,
+    jitter: float = 0.25,
+    runtime_scale: float = 100.0,
+    name: str = "",
+) -> Workflow:
+    """Build a CYBERSHAKE-shaped workflow with exactly ``n_tasks`` tasks."""
+    if n_tasks < 4:
+        raise WorkflowError(f"CYBERSHAKE needs at least 4 tasks, got {n_tasks}")
+    ctx = GeneratorContext(
+        name or f"cybershake-{n_tasks}", rng=rng, sigma_ratio=sigma_ratio,
+        jitter=jitter, runtime_scale=runtime_scale,
+    )
+    pairs, extra = divmod(n_tasks - 2, 2)
+
+    synth = PROFILES["SeismogramSynthesis"]
+    peak = PROFILES["PeakValCalcOkaya"]
+
+    zipseis = ctx.add_task(
+        "ZipSeis", PROFILES["ZipSeis"].runtime,
+        external_output=PROFILES["ZipSeis"].output_bytes,
+    )
+    zippsa = ctx.add_task(
+        "ZipPSA", PROFILES["ZipPSA"].runtime,
+        external_output=PROFILES["ZipPSA"].output_bytes,
+    )
+
+    for i in range(pairs + extra):
+        s = ctx.add_task(
+            "SeismogramSynthesis", synth.runtime, external_input=synth.input_bytes
+        )
+        ctx.add_edge(s, zipseis, synth.output_bytes)
+        if i < pairs:  # the odd leftover synthesis task has no calculator
+            p = ctx.add_task("PeakValCalcOkaya", peak.runtime)
+            ctx.add_edge(s, p, synth.output_bytes)
+            ctx.add_edge(p, zippsa, peak.output_bytes)
+
+    wf = ctx.finish()
+    assert wf.n_tasks == n_tasks
+    return wf

@@ -1,0 +1,101 @@
+"""EPIGENOMICS workflow generator (extension beyond the paper's three types).
+
+The Epigenomics pipeline (Juve et al. 2013) processes DNA-methylation reads
+in independent *lanes*; each lane is split into parallel chains of
+``filterContams → sol2sanger → fastq2bfq → map`` whose results merge per
+lane (``mapMerge``), and lane merges feed a global ``maqIndex → pileup``
+tail::
+
+    fastQSplit ─▶ [filterContams ─▶ sol2sanger ─▶ fastq2bfq ─▶ map] × m ─▶ mapMerge
+        (one per lane)                                                  └─▶ ...
+    all mapMerge ─▶ maqIndex ─▶ pileup
+"""
+
+from __future__ import annotations
+
+from ...errors import WorkflowError
+from ...rng import RngLike
+from ...units import KB, MB
+from ..dag import Workflow
+from .base import GeneratorContext, TaskProfile
+
+__all__ = ["generate_epigenomics", "PROFILES"]
+
+PROFILES = {
+    "fastQSplit": TaskProfile(runtime=35.0, input_bytes=1.8 * MB, output_bytes=0.0),
+    "filterContams": TaskProfile(runtime=2.5, output_bytes=400 * KB),
+    "sol2sanger": TaskProfile(runtime=0.5, output_bytes=350 * KB),
+    "fastq2bfq": TaskProfile(runtime=1.5, output_bytes=150 * KB),
+    "map": TaskProfile(runtime=110.0, output_bytes=100 * KB),
+    "mapMerge": TaskProfile(runtime=10.0, output_bytes=300 * KB),
+    "maqIndex": TaskProfile(runtime=45.0, output_bytes=1.1 * MB),
+    "pileup": TaskProfile(runtime=55.0, output_bytes=3.0 * MB),
+}
+
+_CHAIN = ("filterContams", "sol2sanger", "fastq2bfq", "map")
+_SPLIT_OUT = 400 * KB  # bytes shipped from fastQSplit to each chain head
+
+
+def generate_epigenomics(
+    n_tasks: int,
+    *,
+    rng: RngLike = None,
+    sigma_ratio: float = 0.0,
+    jitter: float = 0.25,
+    runtime_scale: float = 100.0,
+    name: str = "",
+) -> Workflow:
+    """Build an EPIGENOMICS-shaped workflow with exactly ``n_tasks`` tasks.
+
+    Minimum size is 8: one lane with a single chain plus the global tail.
+    """
+    if n_tasks < 8:
+        raise WorkflowError(f"EPIGENOMICS needs at least 8 tasks, got {n_tasks}")
+    ctx = GeneratorContext(
+        name or f"epigenomics-{n_tasks}", rng=rng, sigma_ratio=sigma_ratio,
+        jitter=jitter, runtime_scale=runtime_scale,
+    )
+
+    # Global tail: maqIndex + pileup. Per lane: fastQSplit + mapMerge +
+    # 4·chains. Choose lanes/chains so that 2 + Σ_l (2 + 4·m_l) == n_tasks.
+    body = n_tasks - 2
+    lane_nominal = 2 + 4 * 4  # 4 chains per lane nominally
+    n_lanes = max(1, body // lane_nominal)
+
+    maq_index = ctx.add_task("maqIndex", PROFILES["maqIndex"].runtime)
+    pileup = ctx.add_task(
+        "pileup", PROFILES["pileup"].runtime,
+        external_output=PROFILES["pileup"].output_bytes,
+    )
+    ctx.add_edge(maq_index, pileup, PROFILES["maqIndex"].output_bytes)
+
+    remaining = body
+    for lane in range(n_lanes):
+        lane_budget = remaining if lane == n_lanes - 1 else lane_nominal
+        # chains must satisfy 2 + 4*m == lane_budget (+ leftover handled by
+        # trimming the last chain below).
+        m_chains = max(1, (lane_budget - 2) // len(_CHAIN))
+        leftover = lane_budget - 2 - m_chains * len(_CHAIN)
+        remaining -= lane_budget
+
+        split = ctx.add_task(
+            "fastQSplit", PROFILES["fastQSplit"].runtime,
+            external_input=PROFILES["fastQSplit"].input_bytes,
+        )
+        merge = ctx.add_task("mapMerge", PROFILES["mapMerge"].runtime)
+        ctx.add_edge(merge, maq_index, PROFILES["mapMerge"].output_bytes)
+
+        for c in range(m_chains + (1 if leftover else 0)):
+            stages = _CHAIN if c < m_chains else _CHAIN[:leftover]
+            prev = split
+            prev_bytes = _SPLIT_OUT
+            for stage in stages:
+                t = ctx.add_task(stage, PROFILES[stage].runtime)
+                ctx.add_edge(prev, t, prev_bytes)
+                prev = t
+                prev_bytes = PROFILES[stage].output_bytes
+            ctx.add_edge(prev, merge, prev_bytes)
+
+    wf = ctx.finish()
+    assert wf.n_tasks == n_tasks, (wf.n_tasks, n_tasks)
+    return wf

@@ -1,0 +1,93 @@
+"""LIGO Inspiral workflow generator.
+
+Structure (§V-A of the paper; Juve et al. 2013): "LIGO consists of a lot of
+parallel tasks sharing a link to some agglomerative tasks, one agglomerative
+task per little set; this scheme repeats twice since there is a second
+subdivision after the first agglomeration." And on the data: "most input
+data have the same (large) size, only one of them is oversized compared with
+the others (by a ratio over 100)".
+
+Each *group* is therefore::
+
+    TmpltBank × m ──▶ Thinca₁ ──▶ TrigBank/Inspiral × m' ──▶ Thinca₂
+
+Groups are mutually independent, which is why large LIGO instances behave
+like bags of tasks (§V-B of the paper). Exactly one TmpltBank task in the
+whole workflow receives the oversized (×128) input frame.
+"""
+
+from __future__ import annotations
+
+from ...errors import WorkflowError
+from ...rng import RngLike
+from ...units import KB, MB
+from ..dag import Workflow
+from .base import GeneratorContext, TaskProfile
+
+__all__ = ["generate_ligo", "PROFILES", "OVERSIZE_RATIO"]
+
+PROFILES = {
+    "TmpltBank": TaskProfile(runtime=18.0, input_bytes=220 * MB, output_bytes=940 * KB),
+    "Inspiral": TaskProfile(runtime=460.0, input_bytes=220 * MB, output_bytes=300 * KB),
+    "Thinca": TaskProfile(runtime=5.0, output_bytes=120 * KB),
+}
+
+#: The single oversized input frame is this many times the common size.
+OVERSIZE_RATIO = 128.0
+
+#: Nominal tasks per group: m TmpltBank + Thinca + m' Inspiral + Thinca.
+_GROUP_PARALLEL = 4  # m = m' = 4 -> 10 tasks per nominal group
+
+
+def generate_ligo(
+    n_tasks: int,
+    *,
+    rng: RngLike = None,
+    sigma_ratio: float = 0.0,
+    jitter: float = 0.25,
+    runtime_scale: float = 100.0,
+    name: str = "",
+) -> Workflow:
+    """Build a LIGO-shaped workflow with exactly ``n_tasks`` tasks."""
+    if n_tasks < 4:
+        raise WorkflowError(f"LIGO needs at least 4 tasks, got {n_tasks}")
+    ctx = GeneratorContext(
+        name or f"ligo-{n_tasks}", rng=rng, sigma_ratio=sigma_ratio,
+        jitter=jitter, runtime_scale=runtime_scale,
+    )
+    tmplt, inspiral, thinca = (
+        PROFILES["TmpltBank"], PROFILES["Inspiral"], PROFILES["Thinca"],
+    )
+
+    group_size = 2 * _GROUP_PARALLEL + 2
+    n_groups = max(1, n_tasks // group_size)
+    remaining = n_tasks
+    oversized_placed = False
+
+    for g in range(n_groups):
+        budget = remaining if g == n_groups - 1 else group_size
+        # Each group needs >= 4 tasks: 1 TmpltBank, Thinca, 1 Inspiral, Thinca.
+        m1 = max(1, (budget - 2) // 2)
+        m2 = max(1, budget - 2 - m1)
+        remaining -= m1 + m2 + 2
+
+        thinca1 = ctx.add_task("Thinca", thinca.runtime)
+        for i in range(m1):
+            ext = tmplt.input_bytes
+            if not oversized_placed:
+                ext *= OVERSIZE_RATIO
+                oversized_placed = True
+            t = ctx.add_task("TmpltBank", tmplt.runtime, external_input=ext)
+            ctx.add_edge(t, thinca1, tmplt.output_bytes)
+        thinca2 = ctx.add_task(
+            "Thinca", thinca.runtime, external_output=thinca.output_bytes
+        )
+        for _ in range(m2):
+            t = ctx.add_task("Inspiral", inspiral.runtime,
+                             external_input=inspiral.input_bytes)
+            ctx.add_edge(thinca1, t, thinca.output_bytes)
+            ctx.add_edge(t, thinca2, inspiral.output_bytes)
+
+    wf = ctx.finish()
+    assert wf.n_tasks == n_tasks, (wf.n_tasks, n_tasks)
+    return wf

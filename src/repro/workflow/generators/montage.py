@@ -1,0 +1,127 @@
+"""MONTAGE workflow generator.
+
+Structure (§V-A of the paper; Juve et al. 2013): "MONTAGE has plenty highly
+inter-connected tasks, rendering parallelization less easy. The number of
+instructions of its different tasks is balanced, as is the size of the
+exchanged data."
+
+The real pipeline per input image tile::
+
+    mProjectPP (one per image)
+       │ (reprojected image, to every overlap neighbour)
+    mDiffFit (one per overlapping image pair)
+       │ (fit parameters)
+    mConcatFit ──▶ mBgModel (single agglomerators)
+       │ (background corrections, to every image)
+    mBackground (one per image, also reads its mProjectPP output)
+       │
+    mImgtbl ──▶ mAdd ──▶ mShrink ──▶ mJPEG
+
+Images overlap their neighbours in a strip: pair (i, i+1) always, plus pair
+(i, i+2) every other image, giving the dense interconnection. With ``I``
+images the task count is ``3·I + d + 5`` where ``d = #extra diff pairs``;
+the generator solves for ``I`` and pads with extra mDiffFit pairs to hit the
+requested size exactly.
+"""
+
+from __future__ import annotations
+
+from ...errors import WorkflowError
+from ...rng import RngLike
+from ...units import KB, MB
+from ..dag import Workflow
+from .base import GeneratorContext, TaskProfile
+
+__all__ = ["generate_montage", "PROFILES"]
+
+PROFILES = {
+    "mProjectPP": TaskProfile(runtime=13.0, input_bytes=1.7 * MB, output_bytes=8.2 * MB),
+    "mDiffFit": TaskProfile(runtime=10.0, output_bytes=300 * KB),
+    "mConcatFit": TaskProfile(runtime=43.0, output_bytes=1.2 * MB),
+    "mBgModel": TaskProfile(runtime=56.0, output_bytes=110 * KB),
+    "mBackground": TaskProfile(runtime=11.0, output_bytes=8.2 * MB),
+    "mImgtbl": TaskProfile(runtime=12.0, output_bytes=350 * KB),
+    "mAdd": TaskProfile(runtime=60.0, output_bytes=250 * MB),
+    "mShrink": TaskProfile(runtime=16.0, output_bytes=12 * MB),
+    "mJPEG": TaskProfile(runtime=7.0, output_bytes=1 * MB),
+}
+
+
+def _image_count_for(n_tasks: int) -> int:
+    """Largest image count whose base pipeline fits in ``n_tasks``.
+
+    Base pipeline size: I mProjectPP + (I-1) chain diffs + I mBackground +
+    4 singles (mConcatFit, mBgModel, mImgtbl, mAdd) + mShrink + mJPEG
+    = 3I + 5. Extra (i, i+2) diff pairs pad up to n_tasks.
+    """
+    images = (n_tasks - 5) // 3
+    return max(images, 2)
+
+
+def generate_montage(
+    n_tasks: int,
+    *,
+    rng: RngLike = None,
+    sigma_ratio: float = 0.0,
+    jitter: float = 0.25,
+    runtime_scale: float = 100.0,
+    name: str = "",
+) -> Workflow:
+    """Build a MONTAGE-shaped workflow with exactly ``n_tasks`` tasks."""
+    if n_tasks < 12:
+        raise WorkflowError(f"MONTAGE needs at least 12 tasks, got {n_tasks}")
+    ctx = GeneratorContext(
+        name or f"montage-{n_tasks}", rng=rng, sigma_ratio=sigma_ratio,
+        jitter=jitter, runtime_scale=runtime_scale,
+    )
+    images = _image_count_for(n_tasks)
+    base = 3 * images + 5
+    extra_pairs_needed = n_tasks - base
+
+    project = PROFILES["mProjectPP"]
+    diff = PROFILES["mDiffFit"]
+
+    projections = [
+        ctx.add_task("mProjectPP", project.runtime, external_input=project.input_bytes)
+        for _ in range(images)
+    ]
+
+    # Overlap pairs: the strip chain plus skip-pairs until the count is met.
+    pairs = [(i, i + 1) for i in range(images - 1)]
+    skip = [(i, i + 2) for i in range(images - 2)]
+    pairs.extend(skip[:extra_pairs_needed])
+    while len(pairs) < images - 1 + extra_pairs_needed:
+        # Tiny instances without enough skip-pairs: duplicate a chain pair
+        # (two fit tasks on the same overlap), keeping the count exact.
+        pairs.append(pairs[len(pairs) % (images - 1)])
+
+    concat = ctx.add_task("mConcatFit", PROFILES["mConcatFit"].runtime)
+    for a, b in pairs:
+        d = ctx.add_task("mDiffFit", diff.runtime)
+        ctx.add_edge(projections[a], d, project.output_bytes)
+        ctx.add_edge(projections[b], d, project.output_bytes)
+        ctx.add_edge(d, concat, diff.output_bytes)
+
+    bgmodel = ctx.add_task("mBgModel", PROFILES["mBgModel"].runtime)
+    ctx.add_edge(concat, bgmodel, PROFILES["mConcatFit"].output_bytes)
+
+    imgtbl = ctx.add_task("mImgtbl", PROFILES["mImgtbl"].runtime)
+    for proj in projections:
+        bg = ctx.add_task("mBackground", PROFILES["mBackground"].runtime)
+        ctx.add_edge(proj, bg, project.output_bytes)
+        ctx.add_edge(bgmodel, bg, PROFILES["mBgModel"].output_bytes)
+        ctx.add_edge(bg, imgtbl, PROFILES["mBackground"].output_bytes)
+
+    madd = ctx.add_task("mAdd", PROFILES["mAdd"].runtime)
+    ctx.add_edge(imgtbl, madd, PROFILES["mImgtbl"].output_bytes)
+    shrink = ctx.add_task("mShrink", PROFILES["mShrink"].runtime)
+    ctx.add_edge(madd, shrink, PROFILES["mAdd"].output_bytes)
+    jpeg = ctx.add_task(
+        "mJPEG", PROFILES["mJPEG"].runtime,
+        external_output=PROFILES["mJPEG"].output_bytes,
+    )
+    ctx.add_edge(shrink, jpeg, PROFILES["mShrink"].output_bytes)
+
+    wf = ctx.finish()
+    assert wf.n_tasks == n_tasks, (wf.n_tasks, n_tasks)
+    return wf

@@ -1,0 +1,134 @@
+"""Layered random DAG generator.
+
+Not a Pegasus family — a controllable synthetic workload for stress tests,
+property-based tests and ablation studies. Tasks are placed in layers; each
+non-entry task draws 1..``max_fan_in`` predecessors from the previous
+``locality`` layers. Weights and data sizes are lognormal around the given
+nominal values, giving heavy-ish tails similar to real traces.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from ...errors import WorkflowError
+from ...rng import RngLike, as_generator
+from ...units import GFLOP, MB
+from ..dag import Workflow
+from ..task import StochasticWeight, Task
+
+__all__ = ["generate_random_layered"]
+
+
+def generate_random_layered(
+    n_tasks: int,
+    *,
+    depth: int = 5,
+    max_fan_in: int = 3,
+    locality: int = 2,
+    mean_weight: float = 30.0 * GFLOP,
+    mean_data: float = 5.0 * MB,
+    external_io_fraction: float = 0.2,
+    sigma_ratio: float = 0.0,
+    rng: RngLike = None,
+    name: str = "",
+) -> Workflow:
+    """Build a random layered DAG with exactly ``n_tasks`` tasks.
+
+    Parameters
+    ----------
+    depth:
+        Number of layers (clamped to ``n_tasks``).
+    max_fan_in:
+        Upper bound on predecessors drawn per non-entry task.
+    locality:
+        Predecessors are drawn from at most this many preceding layers.
+    mean_weight, mean_data:
+        Nominal task weight (instructions) and edge payload (bytes);
+        actual values are lognormal with unit mean around these.
+    external_io_fraction:
+        Fraction of entry (exit) tasks given external input (output) data of
+        nominal size ``mean_data``.
+    """
+    if n_tasks < 1:
+        raise WorkflowError(f"need at least 1 task, got {n_tasks}")
+    if depth < 1 or max_fan_in < 1 or locality < 1:
+        raise WorkflowError("depth, max_fan_in and locality must be >= 1")
+    if mean_weight <= 0.0 or mean_data < 0.0:
+        raise WorkflowError("mean_weight must be > 0 and mean_data >= 0")
+    gen = as_generator(rng)
+    depth = min(depth, n_tasks)
+
+    # Distribute tasks over layers: at least one per layer, remainder random.
+    counts = np.ones(depth, dtype=int)
+    for _ in range(n_tasks - depth):
+        counts[gen.integers(depth)] += 1
+
+    wf = Workflow(name or f"random-{n_tasks}")
+    layers: list[list[str]] = []
+    serial = 0
+    jitter = 0.5  # lognormal sigma for weights/data
+
+    def lognormal(nominal: float) -> float:
+        if nominal <= 0.0:
+            return 0.0
+        return nominal * float(gen.lognormal(-0.5 * jitter**2, jitter))
+
+    for layer_idx in range(depth):
+        layer: list[str] = []
+        for _ in range(int(counts[layer_idx])):
+            tid = f"t{serial:05d}"
+            serial += 1
+            mean = max(lognormal(mean_weight), 1e3)
+            wf.add_task(
+                Task(tid, StochasticWeight(mean, sigma_ratio * mean), category="rand")
+            )
+            layer.append(tid)
+        layers.append(layer)
+
+    for layer_idx in range(1, depth):
+        pool: list[str] = []
+        for back in range(1, locality + 1):
+            if layer_idx - back >= 0:
+                pool.extend(layers[layer_idx - back])
+        for tid in layers[layer_idx]:
+            k = int(gen.integers(1, max_fan_in + 1))
+            k = min(k, len(pool))
+            preds = gen.choice(len(pool), size=k, replace=False)
+            for p in preds:
+                wf.add_edge(pool[int(p)], tid, lognormal(mean_data))
+
+    wf.freeze()
+
+    # External I/O on a fraction of entries/exits. The Workflow is frozen, so
+    # rebuild with the extra fields (cheap relative to generation).
+    entries = wf.entry_tasks
+    exits = wf.exit_tasks
+    chosen_in = set(
+        entries[i] for i in range(len(entries))
+        if gen.random() < external_io_fraction
+    )
+    chosen_out = set(
+        exits[i] for i in range(len(exits))
+        if gen.random() < external_io_fraction
+    )
+    if chosen_in or chosen_out:
+        rebuilt = Workflow(wf.name)
+        for tid in wf.topological_order:
+            task = wf.task(tid)
+            rebuilt.add_task(
+                Task(
+                    id=task.id,
+                    weight=task.weight,
+                    category=task.category,
+                    external_input=lognormal(mean_data) if tid in chosen_in else 0.0,
+                    external_output=lognormal(mean_data) if tid in chosen_out else 0.0,
+                )
+            )
+        for edge in wf.edges():
+            rebuilt.add_edge(edge.producer, edge.consumer, edge.data)
+        wf = rebuilt.freeze()
+
+    assert wf.n_tasks == n_tasks
+    return wf

@@ -1,0 +1,82 @@
+"""SIPHT workflow generator (extension beyond the paper's three types).
+
+The sRNA identification pipeline (Juve et al. 2013) has a distinctive
+two-wing shape: a wide fan of short ``Patser`` motif-scan tasks concatenated
+by ``Patser_concate``, alongside a group of heterogeneous ``Blast*``
+homology searches; both wings join the ``SRNA`` prediction task, whose
+output feeds the annotation tail (``FFN_parse``, ``SRNA_annotate``)::
+
+    Patser × p ─▶ Patser_concate ─┐
+    Blast*  × b ──────────────────┼─▶ SRNA ─▶ FFN_parse ─▶ SRNA_annotate
+"""
+
+from __future__ import annotations
+
+from ...errors import WorkflowError
+from ...rng import RngLike
+from ...units import KB, MB
+from ..dag import Workflow
+from .base import GeneratorContext, TaskProfile
+
+__all__ = ["generate_sipht", "PROFILES"]
+
+PROFILES = {
+    "Patser": TaskProfile(runtime=1.0, input_bytes=3 * MB, output_bytes=2 * KB),
+    "Patser_concate": TaskProfile(runtime=0.3, output_bytes=300 * KB),
+    "Blast": TaskProfile(runtime=210.0, input_bytes=40 * MB, output_bytes=700 * KB),
+    "SRNA": TaskProfile(runtime=12.0, output_bytes=1.5 * MB),
+    "FFN_parse": TaskProfile(runtime=0.5, output_bytes=300 * KB),
+    "SRNA_annotate": TaskProfile(runtime=3.0, output_bytes=900 * KB),
+}
+
+
+def generate_sipht(
+    n_tasks: int,
+    *,
+    rng: RngLike = None,
+    sigma_ratio: float = 0.0,
+    jitter: float = 0.25,
+    runtime_scale: float = 100.0,
+    name: str = "",
+) -> Workflow:
+    """Build a SIPHT-shaped workflow with exactly ``n_tasks`` tasks (n ≥ 6)."""
+    if n_tasks < 6:
+        raise WorkflowError(f"SIPHT needs at least 6 tasks, got {n_tasks}")
+    ctx = GeneratorContext(
+        name or f"sipht-{n_tasks}", rng=rng, sigma_ratio=sigma_ratio,
+        jitter=jitter, runtime_scale=runtime_scale,
+    )
+    fan = n_tasks - 4  # Patser_concate, SRNA, FFN_parse, SRNA_annotate
+    # Patser wing gets two thirds of the fan, Blast wing one third.
+    n_patser = max(1, (2 * fan) // 3)
+    n_blast = max(1, fan - n_patser)
+    n_patser = fan - n_blast
+
+    concate = ctx.add_task("Patser_concate", PROFILES["Patser_concate"].runtime)
+    for _ in range(n_patser):
+        p = ctx.add_task(
+            "Patser", PROFILES["Patser"].runtime,
+            external_input=PROFILES["Patser"].input_bytes,
+        )
+        ctx.add_edge(p, concate, PROFILES["Patser"].output_bytes)
+
+    srna = ctx.add_task("SRNA", PROFILES["SRNA"].runtime)
+    ctx.add_edge(concate, srna, PROFILES["Patser_concate"].output_bytes)
+    for _ in range(n_blast):
+        b = ctx.add_task(
+            "Blast", PROFILES["Blast"].runtime,
+            external_input=PROFILES["Blast"].input_bytes,
+        )
+        ctx.add_edge(b, srna, PROFILES["Blast"].output_bytes)
+
+    ffn = ctx.add_task("FFN_parse", PROFILES["FFN_parse"].runtime)
+    ctx.add_edge(srna, ffn, PROFILES["SRNA"].output_bytes)
+    annotate = ctx.add_task(
+        "SRNA_annotate", PROFILES["SRNA_annotate"].runtime,
+        external_output=PROFILES["SRNA_annotate"].output_bytes,
+    )
+    ctx.add_edge(ffn, annotate, PROFILES["FFN_parse"].output_bytes)
+
+    wf = ctx.finish()
+    assert wf.n_tasks == n_tasks, (wf.n_tasks, n_tasks)
+    return wf

@@ -1,0 +1,133 @@
+"""Tasks with stochastic weights.
+
+A task's *weight* is its number of instructions. Following §III-A of the
+paper, the weight is not known exactly in advance: it follows a Gaussian law
+with mean ``mean`` (the paper's ``w̄_i``) and standard deviation ``sigma``
+(``σ_i``). Scheduling algorithms plan with the *conservative* weight
+``w̄ + σ``; the simulator samples an *actual* weight per execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkflowError
+from ..rng import RngLike, as_generator
+
+__all__ = ["StochasticWeight", "Task", "TRUNCATION_FLOOR_FRACTION"]
+
+#: Actual sampled weights are floored at this fraction of the mean. The
+#: Gaussian model admits negative samples (likely at sigma >= mean); the
+#: paper does not state its truncation rule, so we clamp at 1% of the mean
+#: (documented in DESIGN.md).
+TRUNCATION_FLOOR_FRACTION = 0.01
+
+
+@dataclass(frozen=True)
+class StochasticWeight:
+    """Gaussian task weight ``N(mean, sigma**2)`` in instructions.
+
+    Parameters
+    ----------
+    mean:
+        Expected number of instructions (``w̄``), strictly positive.
+    sigma:
+        Standard deviation (``σ``), non-negative. The paper's experiments use
+        ``σ ∈ {0.25, 0.5, 0.75, 1.0} × w̄``.
+    """
+
+    mean: float
+    sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.mean) or self.mean <= 0.0:
+            raise WorkflowError(f"weight mean must be finite and > 0, got {self.mean}")
+        if not np.isfinite(self.sigma) or self.sigma < 0.0:
+            raise WorkflowError(f"weight sigma must be finite and >= 0, got {self.sigma}")
+
+    @property
+    def conservative(self) -> float:
+        """Planning weight ``w̄ + σ`` used throughout §IV."""
+        return self.mean + self.sigma
+
+    def scaled_sigma(self, ratio: float) -> "StochasticWeight":
+        """Return a copy whose sigma is ``ratio × mean`` (§V-A protocol)."""
+        if ratio < 0.0:
+            raise WorkflowError(f"sigma ratio must be >= 0, got {ratio}")
+        return StochasticWeight(self.mean, ratio * self.mean)
+
+    def sample(self, rng: RngLike = None) -> float:
+        """Draw one actual weight, truncated below at 1% of the mean."""
+        gen = as_generator(rng)
+        value = gen.normal(self.mean, self.sigma) if self.sigma > 0.0 else self.mean
+        floor = TRUNCATION_FLOOR_FRACTION * self.mean
+        return float(max(value, floor))
+
+    def sample_many(self, n: int, rng: RngLike = None) -> np.ndarray:
+        """Draw ``n`` independent actual weights (vectorized)."""
+        gen = as_generator(rng)
+        if self.sigma > 0.0:
+            values = gen.normal(self.mean, self.sigma, size=n)
+        else:
+            values = np.full(n, self.mean)
+        floor = TRUNCATION_FLOOR_FRACTION * self.mean
+        return np.maximum(values, floor)
+
+
+@dataclass(frozen=True)
+class Task:
+    """One workflow task (§III-A).
+
+    Parameters
+    ----------
+    id:
+        Unique task identifier within its workflow.
+    weight:
+        Stochastic instruction count.
+    category:
+        Free-form label of the transformation (e.g. ``"mProject"``); used by
+        generators and reports, never by the algorithms.
+    external_input:
+        Bytes read from outside the cloud (``d_in,DC`` contribution). These
+        data are staged at the datacenter before execution starts.
+    external_output:
+        Bytes shipped to the outside world after the task completes
+        (``d_DC,out`` contribution).
+    """
+
+    id: str
+    weight: StochasticWeight
+    category: str = ""
+    external_input: float = 0.0
+    external_output: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise WorkflowError("task id must be a non-empty string")
+        if self.external_input < 0.0 or self.external_output < 0.0:
+            raise WorkflowError(
+                f"task {self.id!r}: external data sizes must be >= 0 "
+                f"(got in={self.external_input}, out={self.external_output})"
+            )
+
+    @property
+    def mean_weight(self) -> float:
+        """Mean instruction count ``w̄``."""
+        return self.weight.mean
+
+    @property
+    def conservative_weight(self) -> float:
+        """Planning weight ``w̄ + σ``."""
+        return self.weight.conservative
+
+    def with_sigma_ratio(self, ratio: float) -> "Task":
+        """Copy of this task with ``σ = ratio × w̄`` (experiment protocol)."""
+        return Task(
+            id=self.id,
+            weight=self.weight.scaled_sigma(ratio),
+            category=self.category,
+            external_input=self.external_input,
+            external_output=self.external_output,
+        )

@@ -1,0 +1,91 @@
+"""Shared fixtures: small canonical workflows and platforms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CloudPlatform, StochasticWeight, Task, VMCategory, Workflow
+from repro.units import GB, GFLOP, MB
+
+
+@pytest.fixture
+def simple_platform() -> CloudPlatform:
+    """Two categories, cost linear in speed, no boot/init — easy arithmetic.
+
+    cat1: 1 Gflop/s at $3.6/h  -> $0.001/s
+    cat2: 2 Gflop/s at $7.2/h  -> $0.002/s
+    bandwidth 100 MB/s; no datacenter charges.
+    """
+    return CloudPlatform(
+        categories=(
+            VMCategory("small", speed=1 * GFLOP, hourly_cost=3.6),
+            VMCategory("big", speed=2 * GFLOP, hourly_cost=7.2),
+        ),
+        bandwidth=100 * MB,
+        name="simple",
+    )
+
+
+@pytest.fixture
+def booted_platform() -> CloudPlatform:
+    """Like simple_platform but with boot delay and setup/datacenter costs."""
+    return CloudPlatform(
+        categories=(
+            VMCategory("small", speed=1 * GFLOP, hourly_cost=3.6,
+                       initial_cost=0.01, boot_time=100.0),
+            VMCategory("big", speed=2 * GFLOP, hourly_cost=7.2,
+                       initial_cost=0.01, boot_time=100.0),
+        ),
+        bandwidth=100 * MB,
+        transfer_cost_per_byte=0.05 / GB,
+        storage_cost_per_byte_month=0.02 / GB,
+        name="booted",
+    )
+
+
+@pytest.fixture
+def diamond() -> Workflow:
+    """A → (B, C) → D diamond, 100 Gflop per task, 1 GB per edge."""
+    wf = Workflow("diamond")
+    for tid in "ABCD":
+        wf.add_task(Task(tid, StochasticWeight(100 * GFLOP, 10 * GFLOP)))
+    wf.add_edge("A", "B", 1 * GB)
+    wf.add_edge("A", "C", 1 * GB)
+    wf.add_edge("B", "D", 1 * GB)
+    wf.add_edge("C", "D", 1 * GB)
+    return wf.freeze()
+
+
+@pytest.fixture
+def chain() -> Workflow:
+    """A → B → C chain with deterministic weights (sigma 0)."""
+    return Workflow.from_spec(
+        "chain",
+        tasks=[("A", 100 * GFLOP, 0.0), ("B", 200 * GFLOP, 0.0),
+               ("C", 100 * GFLOP, 0.0)],
+        edges=[("A", "B", 500 * MB), ("B", "C", 500 * MB)],
+    )
+
+
+@pytest.fixture
+def fork_join() -> Workflow:
+    """One source fanning to 4 parallel tasks joined by a sink."""
+    tasks = [("src", 10 * GFLOP, 0.0)]
+    edges = []
+    for i in range(4):
+        tasks.append((f"par{i}", 400 * GFLOP, 0.0))
+        edges.append(("src", f"par{i}", 100 * MB))
+        edges.append((f"par{i}", "sink", 100 * MB))
+    tasks.append(("sink", 10 * GFLOP, 0.0))
+    return Workflow.from_spec("forkjoin", tasks, edges)
+
+
+@pytest.fixture
+def single_task() -> Workflow:
+    """Degenerate single-task workflow with external I/O."""
+    wf = Workflow("single")
+    wf.add_task(
+        Task("only", StochasticWeight(50 * GFLOP, 5 * GFLOP),
+             external_input=200 * MB, external_output=100 * MB)
+    )
+    return wf.freeze()

@@ -1,0 +1,57 @@
+"""Tests for budget anchors."""
+
+import pytest
+
+from repro import PAPER_PLATFORM, generate
+from repro.experiments.budgets import (
+    baseline_cost,
+    budget_grid,
+    cheapest_schedule,
+    high_budget,
+    medium_budget,
+    minimal_budget,
+)
+
+
+@pytest.fixture(scope="module")
+def wf():
+    return generate("montage", 20, rng=4, sigma_ratio=0.5)
+
+
+class TestAnchors:
+    def test_cheapest_schedule_single_cheap_vm(self, wf):
+        s = cheapest_schedule(wf, PAPER_PLATFORM)
+        assert s.n_vms == 1
+        assert s.categories[0] == PAPER_PLATFORM.cheapest
+        s.validate(wf)
+
+    def test_ordering(self, wf):
+        b_min = minimal_budget(wf, PAPER_PLATFORM)
+        b_med = medium_budget(wf, PAPER_PLATFORM)
+        b_high = high_budget(wf, PAPER_PLATFORM)
+        assert 0 < b_min < b_med < b_high
+
+    def test_high_budget_exceeds_baseline_cost(self, wf):
+        assert high_budget(wf, PAPER_PLATFORM) > baseline_cost(wf, PAPER_PLATFORM)
+
+    def test_minimal_budget_positive(self, wf):
+        assert minimal_budget(wf, PAPER_PLATFORM) > 0
+
+
+class TestGrid:
+    def test_grid_spans_range(self, wf):
+        grid = budget_grid(wf, PAPER_PLATFORM, 5)
+        assert len(grid) == 5
+        assert grid[0] == pytest.approx(minimal_budget(wf, PAPER_PLATFORM))
+        assert grid[-1] == pytest.approx(high_budget(wf, PAPER_PLATFORM))
+        assert grid == sorted(grid)
+
+    def test_grid_needs_two_points(self, wf):
+        with pytest.raises(ValueError):
+            budget_grid(wf, PAPER_PLATFORM, 1)
+
+    def test_factors(self, wf):
+        grid = budget_grid(wf, PAPER_PLATFORM, 3, start_factor=0.5)
+        assert grid[0] == pytest.approx(
+            0.5 * minimal_budget(wf, PAPER_PLATFORM)
+        )

@@ -1,0 +1,50 @@
+"""Tests for the repro-exp CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    @pytest.mark.parametrize("cmd", ["fig1", "fig2", "fig3", "fig4",
+                                     "table2", "table3a", "table3b"])
+    def test_commands_exist(self, cmd):
+        args = build_parser().parse_args([cmd])
+        assert args.command == cmd
+
+    def test_figure_options(self):
+        args = build_parser().parse_args(
+            ["fig1", "--smoke", "--tasks", "20", "--reps", "3"]
+        )
+        assert args.smoke and args.tasks == 20 and args.reps == 3
+
+
+class TestMain:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "cat1" in out
+
+    def test_fig1_smoke(self, capsys, tmp_path):
+        csv = tmp_path / "out.csv"
+        code = main([
+            "fig1", "--smoke", "--tasks", "14", "--instances", "1",
+            "--reps", "2", "--budgets", "3", "--csv", str(csv),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "figure1: makespan" in out
+        assert "figure1: cost" in out
+        assert csv.exists()
+        assert "makespan" in csv.read_text().splitlines()[0]
+
+    def test_table3a_fast(self, capsys):
+        code = main(["table3a", "--tasks", "14", "--repeats", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table III(a)" in out
+        assert "minmin_budg" in out

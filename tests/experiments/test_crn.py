@@ -1,0 +1,63 @@
+"""Common-random-numbers guarantees of the sweep runner."""
+
+import math
+
+import pytest
+
+from repro import PAPER_PLATFORM, generate
+from repro.experiments import ExperimentConfig, run_point, run_sweep
+from repro.simulation.executor import conservative_weights
+
+
+class TestWeightDraws:
+    def test_explicit_draws_are_used(self):
+        wf = generate("cybershake", 16, rng=1, sigma_ratio=1.0)
+        draws = [conservative_weights(wf)] * 3
+        records = run_point(
+            wf, PAPER_PLATFORM, "heft_budg", 2.0, 3, rng=9,
+            weight_draws=draws,
+        )
+        # deterministic draws -> identical repetitions
+        assert len({r.makespan for r in records}) == 1
+
+    def test_too_few_draws_rejected(self):
+        wf = generate("cybershake", 16, rng=1, sigma_ratio=1.0)
+        with pytest.raises(ValueError, match="weight draws"):
+            run_point(
+                wf, PAPER_PLATFORM, "heft_budg", 2.0, 5, rng=9,
+                weight_draws=[conservative_weights(wf)],
+            )
+
+
+class TestSweepCRN:
+    def test_same_schedule_same_weights_same_makespan(self):
+        """HEFT and HEFTBUDG produce identical schedules at infinite budget;
+        under CRN their per-rep makespans must coincide exactly at the top
+        (near-unconstrained) budget point."""
+        cfg = ExperimentConfig(
+            families=("montage",), n_tasks=14, n_instances=1,
+            budgets_per_workflow=3, n_reps=4,
+            algorithms=("heft", "heft_budg"), seed=6,
+        )
+        records = run_sweep(cfg)
+        top = max(r.budget_index for r in records)
+        heft = {r.rep: r.makespan for r in records
+                if r.algorithm == "heft" and r.budget_index == top}
+        budg = {r.rep: r.makespan for r in records
+                if r.algorithm == "heft_budg" and r.budget_index == top}
+        assert heft == budg
+
+    def test_reps_share_weights_across_budgets(self):
+        """For a budget-ignoring baseline, every budget point replays the
+        same weight draws — identical makespans per repetition."""
+        cfg = ExperimentConfig(
+            families=("montage",), n_tasks=14, n_instances=1,
+            budgets_per_workflow=3, n_reps=3,
+            algorithms=("heft",), seed=7,
+        )
+        records = run_sweep(cfg)
+        by_rep = {}
+        for r in records:
+            by_rep.setdefault(r.rep, set()).add(round(r.makespan, 9))
+        for rep, makespans in by_rep.items():
+            assert len(makespans) == 1, f"rep {rep} diverged across budgets"

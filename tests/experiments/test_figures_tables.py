@@ -1,0 +1,124 @@
+"""Tests for figure/table builders and text rendering."""
+
+import io
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    build_figure,
+    render_cpu_table,
+    render_figure,
+    records_to_csv,
+    table2_rows,
+    table3a,
+    table3b,
+)
+from repro.experiments.figures import FIGURE_ALGORITHMS
+
+
+@pytest.fixture(scope="module")
+def small_fig():
+    cfg = ExperimentConfig(
+        families=("montage",),
+        n_tasks=14,
+        n_instances=1,
+        budgets_per_workflow=3,
+        n_reps=2,
+        algorithms=("heft", "heft_budg"),
+        seed=3,
+    )
+    return build_figure("figure1", cfg)
+
+
+class TestBuildFigure:
+    def test_series_per_family_algorithm(self, small_fig):
+        assert set(small_fig.series) == {
+            ("montage", "heft"), ("montage", "heft_budg"),
+        }
+
+    def test_points_per_budget(self, small_fig):
+        for series in small_fig.series.values():
+            assert len(series) == 3
+            budgets = [p.budget_mean for p in series]
+            assert budgets == sorted(budgets)
+
+    def test_aggregates_fold_reps(self, small_fig):
+        point = small_fig.get("montage", "heft_budg")[0]
+        assert point.stats.n == 2  # 1 instance x 2 reps
+
+    def test_figure_algorithm_sets_cover_paper(self):
+        assert FIGURE_ALGORITHMS["figure1"] == (
+            "minmin", "heft", "minmin_budg", "heft_budg",
+        )
+        assert "cg_plus" in FIGURE_ALGORITHMS["figure4"]
+        assert "bdt" in FIGURE_ALGORITHMS["figure3"]
+
+
+class TestRenderFigure:
+    @pytest.mark.parametrize("metric", ["makespan", "cost", "n_vms", "valid"])
+    def test_renders_all_metrics(self, small_fig, metric):
+        text = render_figure(small_fig, metric=metric)
+        assert "montage" in text
+        assert "heft_budg" in text
+        assert "budget" in text
+
+    def test_unknown_metric(self, small_fig):
+        with pytest.raises(ValueError):
+            render_figure(small_fig, metric="nope")
+
+    def test_csv_dump(self, small_fig):
+        buf = io.StringIO()
+        records_to_csv(small_fig.records, buf)
+        lines = buf.getvalue().strip().splitlines()
+        assert len(lines) == len(small_fig.records) + 1  # header
+        assert "makespan" in lines[0]
+
+    def test_csv_empty(self):
+        buf = io.StringIO()
+        records_to_csv([], buf)
+        assert buf.getvalue() == ""
+
+
+class TestTable2:
+    def test_rows_cover_categories(self):
+        rows = dict(table2_rows())
+        assert rows["categories"] == "3"
+        assert "cat1" in rows and "cat3" in rows
+        assert "MB/s" in rows["bandwidth"]
+
+
+class TestTable3:
+    def test_table3a_structure(self):
+        table = table3a(
+            n_tasks=14,
+            algorithms=("heft", "heft_budg"),
+            repeats=1,
+        )
+        assert set(table) == {"low", "medium", "high"}
+        for cells in table.values():
+            assert [c.algorithm for c in cells] == ["heft", "heft_budg"]
+            assert all(c.mean >= 0 for c in cells)
+
+    def test_table3b_structure(self):
+        table = table3b(
+            sizes=(14, 20),
+            algorithms=("heft_budg",),
+            repeats=1,
+        )
+        assert set(table) == {14, 20}
+
+    def test_table3b_time_grows_with_size(self):
+        table = table3b(
+            sizes=(14, 60),
+            algorithms=("heft_budg",),
+            repeats=2,
+        )
+        t_small = table[14][0].mean
+        t_large = table[60][0].mean
+        assert t_large > t_small
+
+    def test_render_cpu_table(self):
+        table = table3a(n_tasks=14, algorithms=("heft",), repeats=1)
+        text = render_cpu_table(table)
+        assert "low" in text and "heft" in text

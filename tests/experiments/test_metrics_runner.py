@@ -1,0 +1,123 @@
+"""Tests for experiment records, aggregation and the sweep runner."""
+
+import math
+
+import pytest
+
+from repro import PAPER_PLATFORM, generate
+from repro.experiments import (
+    ExperimentConfig,
+    aggregate,
+    group_by,
+    make_instances,
+    run_point,
+    run_sweep,
+)
+from repro.experiments.metrics import RunRecord
+
+
+def _rec(**kw):
+    base = dict(
+        family="montage", n_tasks=30, instance=0, sigma_ratio=0.5,
+        algorithm="heft_budg", budget=1.0, budget_index=0, rep=0,
+        makespan=100.0, total_cost=0.5, n_vms=3, valid=True,
+        sched_seconds=0.01,
+    )
+    base.update(kw)
+    return RunRecord(**base)
+
+
+class TestAggregate:
+    def test_mean_std(self):
+        recs = [_rec(makespan=m, rep=i) for i, m in enumerate([100, 200, 300])]
+        agg = aggregate(recs)
+        assert agg.n == 3
+        assert agg.makespan_mean == pytest.approx(200.0)
+        assert agg.makespan_std == pytest.approx(81.6496, rel=1e-3)
+
+    def test_valid_fraction(self):
+        recs = [_rec(valid=v, rep=i) for i, v in enumerate([True, False, True, True])]
+        assert aggregate(recs).valid_fraction == pytest.approx(0.75)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+    def test_group_by(self):
+        recs = [
+            _rec(algorithm="heft", rep=0),
+            _rec(algorithm="heft", rep=1),
+            _rec(algorithm="cg", rep=0),
+        ]
+        groups = group_by(recs, "algorithm")
+        assert set(groups) == {("heft",), ("cg",)}
+        assert len(groups[("heft",)]) == 2
+
+
+class TestRunPoint:
+    def test_produces_n_reps_records(self):
+        wf = generate("cybershake", 20, rng=3, sigma_ratio=0.5)
+        records = run_point(
+            wf, PAPER_PLATFORM, "heft_budg", 2.0, 4, rng=7,
+            family="cybershake", instance=1, sigma_ratio=0.5,
+        )
+        assert len(records) == 4
+        assert {r.rep for r in records} == {0, 1, 2, 3}
+        assert all(r.family == "cybershake" for r in records)
+
+    def test_stochastic_reps_differ(self):
+        wf = generate("cybershake", 20, rng=3, sigma_ratio=1.0)
+        records = run_point(wf, PAPER_PLATFORM, "heft_budg", 2.0, 5, rng=7)
+        assert len({r.makespan for r in records}) > 1
+
+    def test_sigma_zero_reps_identical(self):
+        wf = generate("cybershake", 20, rng=3, sigma_ratio=0.0)
+        records = run_point(wf, PAPER_PLATFORM, "heft_budg", 2.0, 3, rng=7)
+        assert len({r.makespan for r in records}) == 1
+
+    def test_baseline_ignores_budget(self):
+        wf = generate("cybershake", 20, rng=3, sigma_ratio=0.0)
+        tight = run_point(wf, PAPER_PLATFORM, "heft", 0.0001, 1, rng=7)
+        loose = run_point(wf, PAPER_PLATFORM, "heft", 100.0, 1, rng=7)
+        assert tight[0].makespan == loose[0].makespan
+
+    def test_validity_flag_against_budget(self):
+        wf = generate("cybershake", 20, rng=3, sigma_ratio=0.0)
+        (rec,) = run_point(wf, PAPER_PLATFORM, "heft", 0.0001, 1, rng=7)
+        assert not rec.valid
+
+
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return ExperimentConfig(
+            families=("montage",),
+            n_tasks=14,
+            n_instances=2,
+            budgets_per_workflow=3,
+            n_reps=2,
+            algorithms=("heft", "heft_budg"),
+            seed=5,
+        )
+
+    def test_record_count(self, config):
+        records = run_sweep(config)
+        # 1 family x 2 instances x 3 budgets x 2 algos x 2 reps
+        assert len(records) == 2 * 3 * 2 * 2
+
+    def test_budget_indices_cover_grid(self, config):
+        records = run_sweep(config)
+        assert {r.budget_index for r in records} == {0, 1, 2}
+
+    def test_deterministic_given_seed(self, config):
+        a = run_sweep(config)
+        b = run_sweep(config)
+        assert [(r.makespan, r.total_cost) for r in a] == [
+            (r.makespan, r.total_cost) for r in b
+        ]
+
+    def test_make_instances_shapes(self, config):
+        instances = make_instances(config)
+        assert len(instances) == 2
+        for wf in instances.values():
+            assert wf.n_tasks == 14

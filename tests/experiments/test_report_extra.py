@@ -1,0 +1,65 @@
+"""Edge cases of the reporting helpers and CLI sub-commands."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.report import format_row, records_to_csv
+from repro.experiments.metrics import RunRecord
+
+
+class TestFormatRow:
+    def test_right_justified(self):
+        assert format_row(["a", "bb"], [3, 4]) == "  a    bb"
+
+    def test_truncates_nothing(self):
+        row = format_row(["long-content", "x"], [3, 3])
+        assert "long-content" in row
+
+
+class TestCsv:
+    def _rec(self, **kw):
+        base = dict(
+            family="f", n_tasks=1, instance=0, sigma_ratio=0.0,
+            algorithm="heft", budget=1.0, budget_index=0, rep=0,
+            makespan=1.0, total_cost=0.1, n_vms=1, valid=True,
+            sched_seconds=0.0,
+        )
+        base.update(kw)
+        return RunRecord(**base)
+
+    def test_header_and_types(self):
+        buf = io.StringIO()
+        records_to_csv([self._rec()], buf)
+        header, row = buf.getvalue().strip().splitlines()
+        assert "budget_index" in header
+        assert "True" in row
+
+    def test_csv_round_trip_values(self):
+        import csv
+
+        buf = io.StringIO()
+        records = [self._rec(rep=i, makespan=float(i)) for i in range(3)]
+        records_to_csv(records, buf)
+        buf.seek(0)
+        rows = list(csv.DictReader(buf))
+        assert [float(r["makespan"]) for r in rows] == [0.0, 1.0, 2.0]
+
+
+class TestCliStudies:
+    def test_sigma_command(self, capsys):
+        code = main(["sigma", "--tasks", "14", "--reps", "2"])
+        assert code == 0
+        assert "sigma-impact" in capsys.readouterr().out
+
+    def test_frontier_command(self, capsys):
+        code = main(["frontier", "--sizes", "14"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "minimal budget" in out
+        assert "heft_budg" in out
+
+    def test_unknown_command_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["nope"])

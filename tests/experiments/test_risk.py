@@ -1,0 +1,88 @@
+"""Tests for the Eq. (3) risk-assessment module."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import PAPER_PLATFORM, generate, make_scheduler
+from repro.experiments.risk import Distribution, assess
+
+
+@pytest.fixture(scope="module")
+def setup():
+    wf = generate("montage", 20, rng=8, sigma_ratio=0.5)
+    sched = make_scheduler("heft_budg").schedule(wf, PAPER_PLATFORM, 1.0).schedule
+    return wf, sched
+
+
+class TestDistribution:
+    def test_summary_fields(self):
+        d = Distribution.from_samples(np.arange(101, dtype=float))
+        assert d.mean == pytest.approx(50.0)
+        assert d.minimum == 0.0 and d.maximum == 100.0
+        assert d.quantile(50.0) == pytest.approx(50.0)
+        assert d.quantile(95.0) == pytest.approx(95.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Distribution.from_samples(np.array([]))
+
+
+class TestAssess:
+    def test_probabilities_consistent(self, setup):
+        wf, sched = setup
+        r = assess(wf, PAPER_PLATFORM, sched, deadline=3000.0, budget=1.0,
+                   n_samples=40, rng=1)
+        assert 0.0 <= r.p_meets_objective <= min(
+            r.p_meets_deadline, r.p_within_budget
+        ) + 1e-12
+        assert r.n_samples == 40
+
+    def test_infinite_targets_always_met(self, setup):
+        wf, sched = setup
+        r = assess(wf, PAPER_PLATFORM, sched, n_samples=10, rng=2)
+        assert r.p_meets_deadline == 1.0
+        assert r.p_within_budget == 1.0
+        assert r.p_meets_objective == 1.0
+
+    def test_impossible_deadline_never_met(self, setup):
+        wf, sched = setup
+        r = assess(wf, PAPER_PLATFORM, sched, deadline=1.0, n_samples=10, rng=3)
+        assert r.p_meets_deadline == 0.0
+        assert r.p_meets_objective == 0.0
+
+    def test_deterministic_given_seed(self, setup):
+        wf, sched = setup
+        a = assess(wf, PAPER_PLATFORM, sched, n_samples=15, rng=4)
+        b = assess(wf, PAPER_PLATFORM, sched, n_samples=15, rng=4)
+        assert a.makespan.mean == b.makespan.mean
+        assert a.cost.mean == b.cost.mean
+
+    def test_deadline_probability_monotone(self, setup):
+        wf, sched = setup
+        tight = assess(wf, PAPER_PLATFORM, sched, deadline=2000.0,
+                       n_samples=40, rng=5)
+        loose = assess(wf, PAPER_PLATFORM, sched, deadline=4000.0,
+                       n_samples=40, rng=5)
+        assert loose.p_meets_deadline >= tight.p_meets_deadline
+
+    def test_summary_text(self, setup):
+        wf, sched = setup
+        r = assess(wf, PAPER_PLATFORM, sched, deadline=3000.0, budget=1.0,
+                   n_samples=10, rng=6)
+        text = r.summary()
+        assert "P[makespan" in text and "joint" in text
+
+    def test_bad_sample_count(self, setup):
+        wf, sched = setup
+        with pytest.raises(ValueError):
+            assess(wf, PAPER_PLATFORM, sched, n_samples=0)
+
+    def test_percentiles_ordered(self, setup):
+        wf, sched = setup
+        r = assess(wf, PAPER_PLATFORM, sched, n_samples=50, rng=7)
+        q = r.makespan.percentiles
+        keys = sorted(q)
+        values = [q[k] for k in keys]
+        assert values == sorted(values)

@@ -1,0 +1,91 @@
+"""Tests for the sigma-impact study and the minimal-budget frontier."""
+
+import pytest
+
+from repro import PAPER_PLATFORM, generate
+from repro.experiments.budget_frontier import (
+    budget_to_match_baseline,
+    frontier_study,
+    render_frontier,
+)
+from repro.experiments.budgets import high_budget, minimal_budget
+from repro.experiments.sigma_study import render_sigma_study, sigma_study
+
+
+class TestSigmaStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return sigma_study(
+            families=("montage",),
+            n_tasks=20,
+            sigma_ratios=(0.25, 1.0),
+            n_reps=4,
+            seed=3,
+        )
+
+    def test_points_cover_grid(self, study):
+        assert len(study.points) == 2
+        assert study.sigmas() == [0.25, 1.0]
+        assert study.families() == ["montage"]
+
+    def test_b_min_grows_with_sigma(self, study):
+        assert study.get("montage", 1.0).b_min > study.get("montage", 0.25).b_min
+
+    def test_budget_respected_at_both_sigmas(self, study):
+        for point in study.points:
+            assert point.stats.valid_fraction >= 0.75
+
+    def test_render(self, study):
+        text = render_sigma_study(study)
+        assert "montage" in text and "1.00" in text
+
+    def test_get_unknown(self, study):
+        with pytest.raises(KeyError):
+            study.get("ligo", 0.25)
+
+    def test_bad_position(self):
+        with pytest.raises(ValueError):
+            sigma_study(budget_position=2.0)
+
+
+class TestFrontier:
+    @pytest.fixture(scope="class")
+    def wf(self):
+        return generate("montage", 20, rng=4, sigma_ratio=0.5)
+
+    def test_frontier_within_axis(self, wf):
+        p = budget_to_match_baseline(wf, PAPER_PLATFORM, "heft_budg")
+        assert minimal_budget(wf, PAPER_PLATFORM) <= p.matching_budget
+        assert p.matching_budget <= 2 * high_budget(wf, PAPER_PLATFORM)
+        assert 0.0 <= p.relative_position <= 1.0 + 1e-9
+
+    def test_frontier_budget_actually_matches(self, wf):
+        from repro import evaluate_schedule, make_scheduler
+
+        p = budget_to_match_baseline(wf, PAPER_PLATFORM, "heft_budg")
+        sched = make_scheduler("heft_budg").schedule(
+            wf, PAPER_PLATFORM, p.matching_budget
+        ).schedule
+        mk = evaluate_schedule(wf, PAPER_PLATFORM, sched).makespan
+        assert mk <= p.baseline_makespan * 1.05 + 1e-6
+
+    def test_below_frontier_does_not_match(self, wf):
+        from repro import evaluate_schedule, make_scheduler
+
+        p = budget_to_match_baseline(wf, PAPER_PLATFORM, "heft_budg")
+        b_min = minimal_budget(wf, PAPER_PLATFORM)
+        if p.matching_budget > b_min * 1.01:  # frontier above the floor
+            low = b_min + 0.25 * (p.matching_budget - b_min)
+            sched = make_scheduler("heft_budg").schedule(
+                wf, PAPER_PLATFORM, low
+            ).schedule
+            mk = evaluate_schedule(wf, PAPER_PLATFORM, sched).makespan
+            assert mk > p.baseline_makespan * 1.05
+
+    def test_study_and_render(self):
+        points = frontier_study(
+            families=("montage",), sizes=(20,), seed=5,
+        )
+        assert {p.algorithm for p in points} == {"minmin_budg", "heft_budg"}
+        text = render_frontier(points)
+        assert "montage" in text

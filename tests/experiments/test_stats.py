@@ -1,0 +1,112 @@
+"""Tests for the bootstrap comparison harness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.metrics import RunRecord
+from repro.experiments.stats import (
+    bootstrap_ci,
+    compare_algorithms,
+    paired_comparison,
+)
+
+
+class TestBootstrapCI:
+    def test_contains_true_mean_usually(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(10.0, 2.0, size=200)
+        ci = bootstrap_ci(data, rng=1)
+        assert ci.low <= 10.0 <= ci.high  # comfortably within at n=200
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_interval_narrows_with_samples(self):
+        rng = np.random.default_rng(2)
+        small = bootstrap_ci(rng.normal(0, 1, 20), rng=3)
+        large = bootstrap_ci(rng.normal(0, 1, 2000), rng=3)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_deterministic_given_seed(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        a = bootstrap_ci(data, rng=7)
+        b = bootstrap_ci(data, rng=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_other_statistics(self):
+        data = list(range(101))
+        ci = bootstrap_ci(data, np.median, rng=1)
+        assert ci.estimate == 50.0
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+    def test_contains_helper(self):
+        ci = bootstrap_ci([5.0] * 10, rng=1)
+        assert ci.contains(5.0)
+        assert not ci.contains(6.0)
+
+
+class TestPairedComparison:
+    def test_clear_winner_detected(self):
+        rng = np.random.default_rng(4)
+        b = rng.uniform(100, 110, size=60)
+        a = b * 0.8  # A is 20% faster everywhere
+        cmp = paired_comparison(list(a), list(b), name_a="A", name_b="B", rng=5)
+        assert cmp.a_significantly_faster
+        assert not cmp.b_significantly_faster
+        assert cmp.win_rate == 1.0
+        assert "A faster" in cmp.summary()
+
+    def test_tie_detected(self):
+        rng = np.random.default_rng(6)
+        base = rng.uniform(100, 110, size=60)
+        noise_a = base * rng.normal(1.0, 0.05, size=60)
+        noise_b = base * rng.normal(1.0, 0.05, size=60)
+        cmp = paired_comparison(list(noise_a), list(noise_b), rng=7)
+        assert not cmp.a_significantly_faster or not cmp.b_significantly_faster
+
+    def test_unpaired_rejected(self):
+        with pytest.raises(ValueError):
+            paired_comparison([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            paired_comparison([], [])
+
+
+class TestCompareAlgorithms:
+    def _rec(self, algo, rep, makespan):
+        return RunRecord(
+            family="f", n_tasks=10, instance=0, sigma_ratio=0.5,
+            algorithm=algo, budget=1.0, budget_index=0, rep=rep,
+            makespan=makespan, total_cost=0.5, n_vms=2, valid=True,
+            sched_seconds=0.0,
+        )
+
+    def test_pairs_by_grid_key(self):
+        records = []
+        for rep in range(20):
+            records.append(self._rec("fast", rep, 100.0))
+            records.append(self._rec("slow", rep, 150.0))
+        cmp = compare_algorithms(records, "fast", "slow", rng=8)
+        assert cmp.n_pairs == 20
+        assert cmp.a_significantly_faster
+
+    def test_missing_counterparts_dropped(self):
+        records = [self._rec("fast", r, 100.0) for r in range(5)]
+        records += [self._rec("slow", r, 150.0) for r in range(3)]
+        cmp = compare_algorithms(records, "fast", "slow", rng=9)
+        assert cmp.n_pairs == 3
+
+    def test_end_to_end_with_real_sweep(self):
+        from repro.experiments import ExperimentConfig, run_sweep
+
+        cfg = ExperimentConfig(
+            families=("montage",), n_tasks=14, n_instances=1,
+            budgets_per_workflow=2, n_reps=4,
+            algorithms=("heft_budg", "minmin_budg"), seed=2,
+        )
+        records = run_sweep(cfg)
+        cmp = compare_algorithms(records, "heft_budg", "minmin_budg", rng=10)
+        assert cmp.n_pairs == 8
+        assert 0.0 <= cmp.win_rate <= 1.0

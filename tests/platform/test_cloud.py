@@ -1,0 +1,134 @@
+"""Unit tests for the platform specification."""
+
+import pytest
+
+from repro import CloudPlatform, PAPER_PLATFORM, PlatformError, VMCategory
+from repro.platform.cloud import make_linear_platform
+from repro.units import GB, GFLOP, MB, MONTH
+
+
+def _cats():
+    return (
+        VMCategory("slow", speed=1 * GFLOP, hourly_cost=1.0),
+        VMCategory("fast", speed=4 * GFLOP, hourly_cost=4.0),
+        VMCategory("mid", speed=2 * GFLOP, hourly_cost=2.0),
+    )
+
+
+class TestCloudPlatform:
+    def test_categories_sorted_by_cost(self):
+        p = CloudPlatform(categories=_cats(), bandwidth=1 * MB)
+        assert [c.name for c in p.categories] == ["slow", "mid", "fast"]
+
+    def test_cheapest_and_most_expensive(self):
+        p = CloudPlatform(categories=_cats(), bandwidth=1 * MB)
+        assert p.cheapest.name == "slow"
+        assert p.most_expensive.name == "fast"
+        assert p.fastest.name == "fast"
+
+    def test_mean_speed(self):
+        p = CloudPlatform(categories=_cats(), bandwidth=1 * MB)
+        assert p.mean_speed == pytest.approx((1 + 2 + 4) / 3 * GFLOP)
+
+    def test_category_lookup(self):
+        p = CloudPlatform(categories=_cats(), bandwidth=1 * MB)
+        assert p.category("mid").speed == 2 * GFLOP
+        with pytest.raises(PlatformError):
+            p.category("nope")
+
+    def test_transfer_time(self):
+        p = CloudPlatform(categories=_cats(), bandwidth=100 * MB)
+        assert p.transfer_time(1 * GB) == pytest.approx(10.0)
+        with pytest.raises(PlatformError):
+            p.transfer_time(-1.0)
+
+    def test_needs_categories_and_bandwidth(self):
+        with pytest.raises(PlatformError):
+            CloudPlatform(categories=(), bandwidth=1.0)
+        with pytest.raises(PlatformError):
+            CloudPlatform(categories=_cats(), bandwidth=0.0)
+
+    def test_duplicate_names_rejected(self):
+        cats = (
+            VMCategory("x", speed=1.0, hourly_cost=1.0),
+            VMCategory("x", speed=2.0, hourly_cost=2.0),
+        )
+        with pytest.raises(PlatformError):
+            CloudPlatform(categories=cats, bandwidth=1.0)
+
+    def test_with_bandwidth(self):
+        p = CloudPlatform(categories=_cats(), bandwidth=1 * MB)
+        p2 = p.with_bandwidth(5 * MB)
+        assert p2.bandwidth == 5 * MB
+        assert p2.categories == p.categories
+
+    def test_datacenter_rate_from_storage(self, diamond):
+        p = CloudPlatform(
+            categories=_cats(),
+            bandwidth=1 * MB,
+            storage_cost_per_byte_month=0.02 / GB,
+        )
+        footprint = diamond.total_edge_data  # 4 GB, no external I/O
+        expected = 0.02 * (footprint / GB) / MONTH
+        assert p.datacenter_rate(diamond) == pytest.approx(expected)
+
+    def test_datacenter_rate_override(self, diamond):
+        p = CloudPlatform(
+            categories=_cats(), bandwidth=1 * MB,
+            storage_cost_per_byte_month=1.0, datacenter_rate_override=0.5,
+        )
+        assert p.datacenter_rate(diamond) == 0.5
+
+    def test_io_cost(self, single_task):
+        p = CloudPlatform(
+            categories=_cats(), bandwidth=1 * MB,
+            transfer_cost_per_byte=0.05 / GB,
+        )
+        expected = (200e6 + 100e6) / 1e9 * 0.05
+        assert p.io_cost(single_task) == pytest.approx(expected)
+
+
+class TestPaperPlatform:
+    def test_three_categories(self):
+        assert PAPER_PLATFORM.n_categories == 3
+
+    def test_faster_categories_less_cost_efficient(self):
+        """Faster categories pay more dollars per instruction (see the
+        make_linear_platform docstring for why the paper requires this)."""
+        per_flop = [c.hourly_cost / c.speed for c in PAPER_PLATFORM.categories]
+        assert per_flop == sorted(per_flop)
+        assert per_flop[-1] > per_flop[0]
+
+    def test_cost_roughly_linear_in_speed(self):
+        """§V-A: 'the cost ... is linear with the speed of the VM' — we keep
+        it within ~25% of proportional."""
+        base = PAPER_PLATFORM.categories[0]
+        for cat in PAPER_PLATFORM.categories:
+            ratio = (cat.hourly_cost / cat.speed) / (base.hourly_cost / base.speed)
+            assert 1.0 <= ratio < 1.30
+
+    def test_shared_setup_parameters(self):
+        """Table II lists one setup delay/cost for all categories."""
+        boots = {c.boot_time for c in PAPER_PLATFORM.categories}
+        inits = {c.initial_cost for c in PAPER_PLATFORM.categories}
+        assert len(boots) == 1
+        assert len(inits) == 1
+
+    def test_speeds_and_costs_increase(self):
+        speeds = [c.speed for c in PAPER_PLATFORM.categories]
+        costs = [c.hourly_cost for c in PAPER_PLATFORM.categories]
+        assert speeds == sorted(speeds)
+        assert costs == sorted(costs)
+        assert costs[1] == pytest.approx(2 * costs[0])
+
+
+class TestMakeLinearPlatform:
+    def test_category_count(self):
+        p = make_linear_platform(n_categories=5)
+        assert p.n_categories == 5
+
+    def test_invalid_args(self):
+        with pytest.raises(PlatformError):
+            make_linear_platform(n_categories=0)
+        with pytest.raises(PlatformError):
+            make_linear_platform(speed_factor=0.0)

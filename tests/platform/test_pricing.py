@@ -1,0 +1,74 @@
+"""Unit tests for the cost model (Eq. 1 and Eq. 2)."""
+
+import pytest
+
+from repro import CostBreakdown, PlatformError, VMCategory
+from repro.platform.pricing import datacenter_cost, vm_cost
+from repro.units import GB, GFLOP, MB
+
+
+@pytest.fixture
+def cat():
+    return VMCategory("c", speed=1 * GFLOP, hourly_cost=3.6, initial_cost=0.5)
+
+
+class TestVmCost:
+    def test_equation_1(self, cat):
+        # 100s at $0.001/s + $0.5 init
+        assert vm_cost(cat, 10.0, 110.0) == pytest.approx(0.1 + 0.5)
+
+    def test_per_second_billing_rounds_up(self, cat):
+        exact = vm_cost(cat, 0.0, 10.2, per_second_billing=True)
+        assert exact == pytest.approx(11 * 0.001 + 0.5)
+
+    def test_continuous_billing(self, cat):
+        exact = vm_cost(cat, 0.0, 10.2, per_second_billing=False)
+        assert exact == pytest.approx(10.2 * 0.001 + 0.5)
+
+    def test_zero_duration_still_pays_init(self, cat):
+        assert vm_cost(cat, 5.0, 5.0) == pytest.approx(0.5)
+
+    def test_end_before_start_rejected(self, cat):
+        with pytest.raises(PlatformError):
+            vm_cost(cat, 10.0, 5.0)
+
+    def test_float_fuzz_not_bumped(self, cat):
+        # a duration of 100 + 1e-12 seconds must not bill 101 seconds
+        assert vm_cost(cat, 0.0, 100.0 + 1e-12) == pytest.approx(
+            100 * 0.001 + 0.5
+        )
+
+
+class TestDatacenterCost:
+    def test_equation_2(self, single_task, booted_platform):
+        makespan = 1000.0
+        cost = datacenter_cost(booted_platform, single_task, makespan)
+        io = (200e6 + 100e6) * 0.05 / GB
+        rate = booted_platform.datacenter_rate(single_task)
+        assert cost == pytest.approx(io + makespan * rate)
+
+    def test_negative_makespan_rejected(self, single_task, booted_platform):
+        with pytest.raises(PlatformError):
+            datacenter_cost(booted_platform, single_task, -1.0)
+
+    def test_zero_charges_platform(self, diamond, simple_platform):
+        # simple_platform has no datacenter pricing at all
+        assert datacenter_cost(simple_platform, diamond, 500.0) == 0.0
+
+
+class TestCostBreakdown:
+    def test_total_is_sum(self):
+        b = CostBreakdown(vm_rental=1.0, vm_initial=0.2,
+                          datacenter_time=0.3, datacenter_io=0.4)
+        # vm_initial is informational, already inside vm_rental
+        assert b.total == pytest.approx(1.7)
+
+    def test_build_aggregates_vms(self, diamond, booted_platform, cat):
+        usage = [(cat, 0.0, 100.0), (cat, 50.0, 150.0)]
+        b = CostBreakdown.build(booted_platform, diamond, 150.0, usage)
+        assert b.vm_rental == pytest.approx(2 * (0.1 + 0.5))
+        assert b.vm_initial == pytest.approx(1.0)
+        assert b.datacenter_io == 0.0  # diamond has no external I/O
+        assert b.total == pytest.approx(
+            b.vm_rental + b.datacenter_time + b.datacenter_io
+        )

@@ -1,0 +1,54 @@
+"""Unit tests for VM categories."""
+
+import pytest
+
+from repro import PlatformError, VMCategory
+from repro.units import GFLOP, HOUR
+
+
+class TestVMCategory:
+    def test_cost_rate_conversion(self):
+        cat = VMCategory("c", speed=1 * GFLOP, hourly_cost=3.6)
+        assert cat.cost_rate == pytest.approx(0.001)
+
+    def test_compute_time(self):
+        cat = VMCategory("c", speed=2 * GFLOP, hourly_cost=1.0)
+        assert cat.compute_time(10 * GFLOP) == pytest.approx(5.0)
+
+    def test_compute_time_negative_rejected(self):
+        cat = VMCategory("c", speed=1 * GFLOP, hourly_cost=1.0)
+        with pytest.raises(PlatformError):
+            cat.compute_time(-1.0)
+
+    def test_zero_instructions(self):
+        cat = VMCategory("c", speed=1 * GFLOP, hourly_cost=1.0)
+        assert cat.compute_time(0.0) == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(name=""),
+            dict(speed=0.0),
+            dict(speed=-1.0),
+            dict(speed=float("nan")),
+            dict(hourly_cost=-1.0),
+            dict(initial_cost=-0.1),
+            dict(boot_time=-1.0),
+            dict(cores=0),
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        base = dict(name="c", speed=1 * GFLOP, hourly_cost=1.0)
+        base.update(kwargs)
+        with pytest.raises(PlatformError):
+            VMCategory(**base)
+
+    def test_frozen(self):
+        cat = VMCategory("c", speed=1.0, hourly_cost=1.0)
+        with pytest.raises(AttributeError):
+            cat.speed = 2.0
+
+    def test_free_category_allowed(self):
+        # hourly cost 0 is legal (useful in tests / degenerate scenarios)
+        cat = VMCategory("free", speed=1.0, hourly_cost=0.0)
+        assert cat.cost_rate == 0.0

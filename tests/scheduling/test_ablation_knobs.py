@@ -1,0 +1,76 @@
+"""Unit tests for HEFTBUDG's ablation knobs (pot, planning weights)."""
+
+import math
+
+import pytest
+
+from repro import PAPER_PLATFORM, evaluate_schedule, generate
+from repro.scheduling.budget import divide_budget
+from repro.scheduling.heft import HeftBudgScheduler
+from repro.scheduling.planning import PlanningState
+
+
+@pytest.fixture(scope="module")
+def wf():
+    return generate("montage", 20, rng=3, sigma_ratio=1.0)
+
+
+class TestPotKnob:
+    def test_default_uses_pot(self):
+        assert HeftBudgScheduler().use_pot is True
+
+    def test_no_pot_schedule_valid(self, wf):
+        res = HeftBudgScheduler(use_pot=False).schedule(wf, PAPER_PLATFORM, 1.0)
+        res.schedule.validate(wf)
+
+    def test_no_pot_never_cheaper_makespan_at_mid_budget(self, wf):
+        from repro.experiments.budgets import high_budget, minimal_budget
+
+        b = minimal_budget(wf, PAPER_PLATFORM)
+        budget = b + 0.3 * (high_budget(wf, PAPER_PLATFORM) - b)
+        with_pot = HeftBudgScheduler(use_pot=True).schedule(
+            wf, PAPER_PLATFORM, budget
+        )
+        without = HeftBudgScheduler(use_pot=False).schedule(
+            wf, PAPER_PLATFORM, budget
+        )
+        mk_with = evaluate_schedule(wf, PAPER_PLATFORM, with_pot.schedule).makespan
+        mk_without = evaluate_schedule(wf, PAPER_PLATFORM, without.schedule).makespan
+        assert mk_with <= mk_without * 1.02
+
+    def test_infinite_budget_knob_irrelevant(self, wf):
+        a = HeftBudgScheduler(use_pot=True).schedule(wf, PAPER_PLATFORM, math.inf)
+        b = HeftBudgScheduler(use_pot=False).schedule(wf, PAPER_PLATFORM, math.inf)
+        assert a.schedule.assignment == b.schedule.assignment
+
+
+class TestConservativeKnob:
+    def test_planning_weight_switch(self, wf):
+        cons = PlanningState(wf, PAPER_PLATFORM, use_conservative=True)
+        mean = PlanningState(wf, PAPER_PLATFORM, use_conservative=False)
+        tid = wf.topological_order[0]
+        assert cons.planning_weight(tid) > mean.planning_weight(tid)
+        assert mean.planning_weight(tid) == wf.task(tid).mean_weight
+
+    def test_divide_budget_switch(self, wf):
+        # with sigma = 100%, conservative t_calc doubles -> same *shares*
+        # proportionally, but reservations differ through t_seq
+        cons = divide_budget(wf, PAPER_PLATFORM, 2.0, use_conservative=True)
+        mean = divide_budget(wf, PAPER_PLATFORM, 2.0, use_conservative=False)
+        assert cons.reserve_datacenter > mean.reserve_datacenter
+
+    def test_mean_planning_estimates_shorter_makespan(self, wf):
+        cons = HeftBudgScheduler(use_conservative=True).schedule(
+            wf, PAPER_PLATFORM, math.inf
+        )
+        mean = HeftBudgScheduler(use_conservative=False).schedule(
+            wf, PAPER_PLATFORM, math.inf
+        )
+        assert mean.planned_makespan < cons.planned_makespan
+
+    def test_mean_schedule_still_executes(self, wf):
+        res = HeftBudgScheduler(use_conservative=False).schedule(
+            wf, PAPER_PLATFORM, 1.0
+        )
+        run = evaluate_schedule(wf, PAPER_PLATFORM, res.schedule)
+        assert set(run.tasks) == set(wf.tasks)

@@ -1,0 +1,127 @@
+"""Tests for the extended competitors BDT and CG/CG+ (§V-D)."""
+
+import math
+
+import pytest
+
+from repro import (
+    PAPER_PLATFORM,
+    evaluate_schedule,
+    generate,
+    make_scheduler,
+)
+from repro.experiments.budgets import high_budget, minimal_budget
+from repro.scheduling.cg import critical_tasks_of
+
+
+@pytest.fixture(scope="module")
+def montage():
+    return generate("montage", 20, rng=9, sigma_ratio=0.5)
+
+
+@pytest.fixture(scope="module")
+def cybershake():
+    return generate("cybershake", 20, rng=9, sigma_ratio=0.5)
+
+
+class TestBdt:
+    def test_schedule_complete_and_valid(self, montage):
+        res = make_scheduler("bdt").schedule(montage, PAPER_PLATFORM, 1.0)
+        res.schedule.validate(montage)
+
+    def test_eager_behaviour_overspends_tight_budget(self, montage):
+        """Paper Figure 3: BDT often violates small budgets."""
+        b_min = minimal_budget(montage, PAPER_PLATFORM)
+        res = make_scheduler("bdt").schedule(montage, PAPER_PLATFORM, b_min)
+        run = evaluate_schedule(montage, PAPER_PLATFORM, res.schedule)
+        assert run.total_cost > b_min  # invalid at the minimum budget
+
+    def test_fast_when_it_spends(self, montage):
+        """When BDT succeeds, its makespan is competitive (paper §V-D3)."""
+        budget = high_budget(montage, PAPER_PLATFORM)
+        bdt = make_scheduler("bdt").schedule(montage, PAPER_PLATFORM, budget)
+        cheap_mk = evaluate_schedule(
+            montage, PAPER_PLATFORM,
+            make_scheduler("heft_budg").schedule(
+                montage, PAPER_PLATFORM, minimal_budget(montage, PAPER_PLATFORM)
+            ).schedule,
+        ).makespan
+        bdt_mk = evaluate_schedule(montage, PAPER_PLATFORM, bdt.schedule).makespan
+        assert bdt_mk < cheap_mk / 2
+
+    def test_levels_scheduled_in_order(self, montage):
+        res = make_scheduler("bdt").schedule(montage, PAPER_PLATFORM, 5.0)
+        levels = montage.levels()
+        order_pos = {t: i for i, t in enumerate(res.schedule.order)}
+        for edge in montage.edges():
+            assert order_pos[edge.producer] < order_pos[edge.consumer]
+        # tasks appear grouped by non-decreasing level
+        seq = [levels[t] for t in res.schedule.order]
+        assert seq == sorted(seq)
+
+
+class TestCg:
+    def test_schedule_complete_and_valid(self, montage):
+        res = make_scheduler("cg").schedule(montage, PAPER_PLATFORM, 1.0)
+        res.schedule.validate(montage)
+
+    def test_low_budget_stays_cheap(self, montage):
+        """Paper: CG 'returns schedules that are close to the cheapest
+        possible schedule'."""
+        b_min = minimal_budget(montage, PAPER_PLATFORM)
+        res = make_scheduler("cg").schedule(montage, PAPER_PLATFORM, b_min)
+        cats = {res.schedule.categories[v].name for v in res.schedule.used_vms}
+        assert cats <= {PAPER_PLATFORM.cheapest.name}
+
+    def test_single_category_per_low_gb(self, montage):
+        """With gb ~ 0 every task targets its minimum cost category."""
+        b_min = minimal_budget(montage, PAPER_PLATFORM)
+        res = make_scheduler("cg").schedule(montage, PAPER_PLATFORM, b_min * 0.5)
+        cats = {res.schedule.categories[v].name for v in res.schedule.used_vms}
+        assert cats == {PAPER_PLATFORM.cheapest.name}
+
+    def test_infinite_budget(self, montage):
+        res = make_scheduler("cg").schedule(montage, PAPER_PLATFORM, math.inf)
+        res.schedule.validate(montage)
+
+
+class TestCgPlus:
+    def test_never_worse_than_cg(self, montage):
+        budget = high_budget(montage, PAPER_PLATFORM)
+        cg = make_scheduler("cg").schedule(montage, PAPER_PLATFORM, budget)
+        cgp = make_scheduler("cg_plus").schedule(montage, PAPER_PLATFORM, budget)
+        mk_cg = evaluate_schedule(montage, PAPER_PLATFORM, cg.schedule).makespan
+        mk_cgp = evaluate_schedule(montage, PAPER_PLATFORM, cgp.schedule).makespan
+        assert mk_cgp <= mk_cg + 1e-9
+
+    def test_budget_respected_by_refinement(self, montage):
+        budget = high_budget(montage, PAPER_PLATFORM)
+        cgp = make_scheduler("cg_plus").schedule(montage, PAPER_PLATFORM, budget)
+        run = evaluate_schedule(montage, PAPER_PLATFORM, cgp.schedule)
+        assert run.total_cost <= budget
+
+    def test_higher_makespan_than_refined_heft(self, cybershake):
+        """Paper Figure 4: CG+ keeps finding schedules with high makespans
+        compared to HEFTBUDG+."""
+        budget = high_budget(cybershake, PAPER_PLATFORM)
+        cgp = make_scheduler("cg_plus").schedule(cybershake, PAPER_PLATFORM, budget)
+        hbp = make_scheduler("heft_budg_plus").schedule(
+            cybershake, PAPER_PLATFORM, budget
+        )
+        mk_cgp = evaluate_schedule(cybershake, PAPER_PLATFORM, cgp.schedule).makespan
+        mk_hbp = evaluate_schedule(cybershake, PAPER_PLATFORM, hbp.schedule).makespan
+        assert mk_hbp <= mk_cgp
+
+
+class TestCriticalPath:
+    def test_critical_tasks_form_a_chain_in_time(self, montage):
+        res = make_scheduler("cg").schedule(montage, PAPER_PLATFORM, 2.0)
+        run = evaluate_schedule(montage, PAPER_PLATFORM, res.schedule)
+        path = critical_tasks_of(montage, res.schedule, run)
+        assert path  # non-empty
+        # ends at the last-finishing task
+        last = max(run.tasks.values(), key=lambda r: r.compute_end).tid
+        assert path[-1] == last
+        # strictly increasing finish times along the path
+        finishes = [run.tasks[t].compute_end for t in path]
+        assert finishes == sorted(finishes)

@@ -1,0 +1,83 @@
+"""Unit tests for budget reservation and division (Algorithm 1)."""
+
+import math
+
+import pytest
+
+from repro import divide_budget, generate
+from repro.errors import SchedulingError
+from repro.scheduling.budget import datacenter_reservation
+from repro.units import GFLOP
+
+
+class TestReservation:
+    def test_reservation_formula(self, single_task, booted_platform):
+        reserve = datacenter_reservation(single_task, booted_platform)
+        # t_seq = 55 Gflop / 1.5 Gflop/s + 300MB / 100MB/s
+        t_seq = 55e9 / booted_platform.mean_speed + 3.0
+        expected = (
+            t_seq * booted_platform.datacenter_rate(single_task)
+            + booted_platform.io_cost(single_task)
+        )
+        assert reserve == pytest.approx(expected)
+
+    def test_no_datacenter_charges_no_reservation(self, diamond, simple_platform):
+        assert datacenter_reservation(diamond, simple_platform) == 0.0
+
+
+class TestDivision:
+    def test_shares_sum_to_b_calc(self, diamond, booted_platform):
+        plan = divide_budget(diamond, booted_platform, 10.0)
+        assert plan.total_shares == pytest.approx(plan.b_calc)
+
+    def test_b_calc_accounting(self, diamond, booted_platform):
+        plan = divide_budget(diamond, booted_platform, 10.0)
+        assert plan.b_calc == pytest.approx(
+            10.0 - plan.reserve_datacenter - plan.reserve_init
+        )
+
+    def test_init_reservation_uses_cheapest(self, diamond, booted_platform):
+        plan = divide_budget(diamond, booted_platform, 10.0)
+        assert plan.reserve_init == pytest.approx(
+            diamond.n_tasks * booted_platform.cheapest.initial_cost
+        )
+
+    def test_shares_proportional_to_t_calc(self, chain, simple_platform):
+        plan = divide_budget(chain, simple_platform, 1.0)
+        # B has twice A's weight plus the same 500MB input as C
+        s = simple_platform.mean_speed
+        bw = simple_platform.bandwidth
+        t_a = 100e9 / s
+        t_b = 200e9 / s + 500e6 / bw
+        assert plan.share("B") / plan.share("A") == pytest.approx(t_b / t_a)
+
+    def test_budget_smaller_than_reservation_clamps(self, single_task, booted_platform):
+        plan = divide_budget(single_task, booted_platform, 0.0001)
+        assert plan.b_calc == 0.0
+        assert plan.share("only") == 0.0
+
+    def test_infinite_budget(self, diamond, simple_platform):
+        plan = divide_budget(diamond, simple_platform, math.inf)
+        assert all(math.isinf(v) for v in plan.shares.values())
+
+    def test_negative_budget_rejected(self, diamond, simple_platform):
+        with pytest.raises(SchedulingError):
+            divide_budget(diamond, simple_platform, -1.0)
+
+    def test_every_task_has_share(self):
+        from repro import PAPER_PLATFORM
+
+        wf = generate("ligo", 60, rng=1, sigma_ratio=0.5)
+        plan = divide_budget(wf, PAPER_PLATFORM, 50.0)
+        assert set(plan.shares) == set(wf.tasks)
+        assert all(v >= 0.0 for v in plan.shares.values())
+
+    def test_conservative_weights_used(self, diamond, simple_platform):
+        """Shares must grow with sigma (w̄+σ planning weight)."""
+        inflated = diamond.with_sigma_ratio(1.0)
+        base = divide_budget(diamond, simple_platform, 1.0)
+        more = divide_budget(inflated, simple_platform, 1.0)
+        # same relative split here (uniform sigma), but t_calc doubles;
+        # check the underlying total duration via equal shares + b_calc
+        assert more.b_calc == base.b_calc  # no DC/init on simple platform
+        assert more.total_shares == pytest.approx(base.total_shares)

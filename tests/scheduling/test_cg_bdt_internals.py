@@ -1,0 +1,93 @@
+"""Internals of the extended competitors: CG cost anchors and BDT's TCTF."""
+
+import math
+
+import pytest
+
+from repro import PAPER_PLATFORM, generate
+from repro.scheduling.bdt import BdtScheduler
+from repro.scheduling.cg import CgScheduler, _single_vm_cost, _task_cost_on
+from repro.scheduling.planning import HostEvaluation
+from repro.platform.vm import VMCategory
+
+
+@pytest.fixture(scope="module")
+def wf():
+    return generate("montage", 20, rng=6, sigma_ratio=0.5)
+
+
+class TestCgAnchors:
+    def test_single_vm_cost_positive_and_finite(self, wf):
+        for cat in PAPER_PLATFORM.categories:
+            c = _single_vm_cost(wf, PAPER_PLATFORM, cat)
+            assert 0 < c < math.inf
+
+    def test_task_cost_reflects_efficiency_penalty(self, wf):
+        """Per-task cost grows with category under sub-linear speed/cost."""
+        tid = wf.topological_order[0]
+        costs = [
+            _task_cost_on(wf, PAPER_PLATFORM, tid, cat)
+            for cat in PAPER_PLATFORM.categories
+        ]
+        assert costs == sorted(costs)
+        assert costs[-1] > costs[0]
+
+    def test_gb_extremes_select_extreme_categories(self, wf):
+        # essentially-zero budget -> everything on the cheapest category
+        low = CgScheduler().schedule(wf, PAPER_PLATFORM, 1e-6)
+        cats_low = {low.schedule.categories[v].name
+                    for v in low.schedule.used_vms}
+        assert cats_low == {PAPER_PLATFORM.cheapest.name}
+        # infinite budget -> everything on the most expensive category
+        high = CgScheduler().schedule(wf, PAPER_PLATFORM, math.inf)
+        cats_high = {high.schedule.categories[v].name
+                     for v in high.schedule.used_vms}
+        assert cats_high == {PAPER_PLATFORM.most_expensive.name}
+
+
+def _fake_eval(tid, eft, vm_id=None, cat=None):
+    cat = cat or VMCategory("x", speed=1e9, hourly_cost=1.0)
+    return HostEvaluation(
+        tid=tid, category=cat, vm_id=vm_id, eft=eft, cost=0.0,
+        t_begin=0.0, download_start=0.0, compute_start=0.0,
+        upload_end=eft, window_start=0.0, window_end=eft,
+    )
+
+
+class TestBdtTctf:
+    def test_prefers_fast_host_when_budget_allows(self):
+        slow_cheap = (_fake_eval("t", eft=100.0), 1.0)
+        fast_pricey = (_fake_eval("t", eft=50.0), 5.0)
+        chosen, cost = BdtScheduler._pick_tctf(
+            [slow_cheap, fast_pricey], sub_budget=10.0
+        )
+        assert chosen.eft == 50.0
+
+    def test_single_candidate(self):
+        only = (_fake_eval("t", eft=10.0), 2.0)
+        chosen, cost = BdtScheduler._pick_tctf([only], sub_budget=5.0)
+        assert chosen is only[0] and cost == 2.0
+
+    def test_equal_ect_span_handled(self):
+        a = (_fake_eval("t", eft=10.0), 1.0)
+        b = (_fake_eval("t", eft=10.0), 3.0)
+        chosen, cost = BdtScheduler._pick_tctf([a, b], sub_budget=5.0)
+        # tie on time factor: cheaper host wins through the tie-break
+        assert cost == 1.0
+
+    def test_full_cost_adds_init_for_new_vm_only(self):
+        cat = VMCategory("x", speed=1e9, hourly_cost=1.0, initial_cost=0.5)
+        new = _fake_eval("t", eft=10.0, vm_id=None, cat=cat)
+        used = _fake_eval("t", eft=10.0, vm_id=0, cat=cat)
+        assert BdtScheduler._full_cost(new) == pytest.approx(0.5)
+        assert BdtScheduler._full_cost(used) == pytest.approx(0.0)
+
+    def test_deterministic(self):
+        cands = [
+            (_fake_eval("t", eft=100.0), 1.0),
+            (_fake_eval("t", eft=60.0), 2.0),
+            (_fake_eval("t", eft=40.0), 4.0),
+        ]
+        first = BdtScheduler._pick_tctf(cands, sub_budget=8.0)
+        second = BdtScheduler._pick_tctf(cands, sub_budget=8.0)
+        assert first == second

@@ -1,0 +1,98 @@
+"""Tests for ensemble scheduling under a shared budget ([19]-style)."""
+
+import math
+
+import pytest
+
+from repro import PAPER_PLATFORM, SchedulingError, generate
+from repro.experiments.budgets import high_budget, minimal_budget
+from repro.scheduling.ensemble import (
+    EnsembleMember,
+    schedule_ensemble,
+)
+
+
+@pytest.fixture(scope="module")
+def members():
+    return [
+        EnsembleMember(generate("montage", 14, rng=i, sigma_ratio=0.5),
+                       priority=p)
+        for i, p in zip(range(3), (1.0, 5.0, 2.0))
+    ]
+
+
+@pytest.fixture(scope="module")
+def total_needed(members):
+    return sum(
+        minimal_budget(m.workflow, PAPER_PLATFORM) for m in members
+    )
+
+
+class TestAdmission:
+    def test_huge_budget_admits_all(self, members, total_needed):
+        out = schedule_ensemble(members, PAPER_PLATFORM, 100 * total_needed)
+        assert out.n_admitted == 3
+        assert not out.rejected
+        assert out.total_priority == pytest.approx(8.0)
+
+    def test_zero_budget_admits_none(self, members):
+        out = schedule_ensemble(members, PAPER_PLATFORM, 0.0)
+        assert out.n_admitted == 0
+        assert len(out.rejected) == 3
+
+    def test_scarce_budget_prefers_priority_density(self, members, total_needed):
+        # room for roughly one workflow: the priority-5 member must be in
+        one = total_needed / 3
+        out = schedule_ensemble(members, PAPER_PLATFORM, one * 1.2)
+        assert 1 <= out.n_admitted < 3
+        assert any(a.member.priority == 5.0 for a in out.admitted)
+
+    def test_spend_within_budget(self, members, total_needed):
+        budget = 1.5 * total_needed
+        out = schedule_ensemble(members, PAPER_PLATFORM, budget)
+        assert out.planned_spend <= budget * 1.02
+        assert sum(a.budget_share for a in out.admitted) <= budget + 1e-9
+
+    def test_negative_budget_rejected(self, members):
+        with pytest.raises(SchedulingError):
+            schedule_ensemble(members, PAPER_PLATFORM, -1.0)
+
+    def test_bad_priority_rejected(self):
+        with pytest.raises(SchedulingError):
+            EnsembleMember(generate("montage", 14, rng=1), priority=0.0)
+
+
+class TestDeadline:
+    def test_deadline_enforced_on_admitted(self, members, total_needed):
+        # a deadline achievable with parallelism but not sequentially
+        deadline = 4000.0
+        out = schedule_ensemble(
+            members, PAPER_PLATFORM, 10 * total_needed, deadline=deadline
+        )
+        for a in out.admitted:
+            assert a.planned_makespan <= deadline + 1e-6
+
+    def test_impossible_deadline_rejects_all(self, members):
+        out = schedule_ensemble(
+            members, PAPER_PLATFORM, 1e9, deadline=1.0
+        )
+        assert out.n_admitted == 0
+        assert len(out.rejected) == 3
+
+    def test_schedules_are_valid(self, members, total_needed):
+        out = schedule_ensemble(members, PAPER_PLATFORM, 2 * total_needed)
+        for a in out.admitted:
+            a.schedule.validate(a.member.workflow)
+
+
+class TestLeftoverRedistribution:
+    def test_bonus_improves_high_priority_makespan(self, members, total_needed):
+        tight = schedule_ensemble(members, PAPER_PLATFORM, total_needed * 1.01)
+        rich = schedule_ensemble(members, PAPER_PLATFORM, total_needed * 20)
+        if tight.n_admitted == 3 and rich.n_admitted == 3:
+            by_prio_t = {a.member.priority: a for a in tight.admitted}
+            by_prio_r = {a.member.priority: a for a in rich.admitted}
+            assert (
+                by_prio_r[5.0].planned_makespan
+                <= by_prio_t[5.0].planned_makespan + 1e-6
+            )

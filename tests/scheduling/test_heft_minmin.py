@@ -1,0 +1,121 @@
+"""Tests for HEFT / MIN-MIN and their budget-aware extensions."""
+
+import math
+
+import pytest
+
+from repro import (
+    PAPER_PLATFORM,
+    evaluate_schedule,
+    generate,
+    make_scheduler,
+)
+from repro.experiments.budgets import high_budget, minimal_budget
+
+ALGOS = ["minmin", "heft", "minmin_budg", "heft_budg"]
+
+
+@pytest.fixture(scope="module")
+def montage():
+    return generate("montage", 30, rng=7, sigma_ratio=0.5)
+
+
+@pytest.fixture(scope="module")
+def ligo():
+    return generate("ligo", 30, rng=7, sigma_ratio=0.5)
+
+
+class TestSchedulesAreValid:
+    @pytest.mark.parametrize("algo", ALGOS)
+    @pytest.mark.parametrize("fixture", ["montage", "ligo"])
+    def test_schedule_validates(self, algo, fixture, request):
+        wf = request.getfixturevalue(fixture)
+        budget = minimal_budget(wf, PAPER_PLATFORM) * 1.5
+        result = make_scheduler(algo).schedule(wf, PAPER_PLATFORM, budget)
+        result.schedule.validate(wf)
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_all_tasks_assigned(self, algo, montage):
+        result = make_scheduler(algo).schedule(montage, PAPER_PLATFORM, 1.0)
+        assert set(result.schedule.assignment) == set(montage.tasks)
+
+
+class TestBaselineEquivalence:
+    """Paper: 'when given an infinite initial budget, MIN-MIN and HEFT give
+    the same schedule as MIN-MINBUDG and HEFTBUDG respectively'."""
+
+    @pytest.mark.parametrize(
+        "baseline,budgeted", [("heft", "heft_budg"), ("minmin", "minmin_budg")]
+    )
+    def test_infinite_budget_identical(self, baseline, budgeted, montage):
+        a = make_scheduler(baseline).schedule(montage, PAPER_PLATFORM, math.inf)
+        b = make_scheduler(budgeted).schedule(montage, PAPER_PLATFORM, math.inf)
+        assert a.schedule.assignment == b.schedule.assignment
+        assert a.schedule.order == b.schedule.order
+
+
+class TestBudgetCompliance:
+    @pytest.mark.parametrize("algo", ["minmin_budg", "heft_budg"])
+    @pytest.mark.parametrize("factor", [1.0, 1.5, 3.0])
+    def test_deterministic_cost_within_budget(self, algo, factor, montage):
+        budget = minimal_budget(montage, PAPER_PLATFORM) * factor
+        result = make_scheduler(algo).schedule(montage, PAPER_PLATFORM, budget)
+        run = evaluate_schedule(montage, PAPER_PLATFORM, result.schedule)
+        assert run.total_cost <= budget * 1.02  # headroom for ceil billing
+
+    @pytest.mark.parametrize("algo", ["minmin_budg", "heft_budg"])
+    def test_minimal_budget_collapses_to_cheap(self, algo, montage):
+        b_min = minimal_budget(montage, PAPER_PLATFORM)
+        result = make_scheduler(algo).schedule(montage, PAPER_PLATFORM, b_min)
+        run = evaluate_schedule(montage, PAPER_PLATFORM, result.schedule)
+        # near-minimum budget: few, cheap VMs
+        assert run.n_vms <= 3
+        cats = {result.schedule.categories[v].name
+                for v in result.schedule.used_vms}
+        assert cats <= {PAPER_PLATFORM.cheapest.name}
+
+
+class TestMakespanBehaviour:
+    @pytest.mark.parametrize("algo", ["minmin_budg", "heft_budg"])
+    def test_makespan_improves_with_budget(self, algo, montage):
+        b_min = minimal_budget(montage, PAPER_PLATFORM)
+        b_high = high_budget(montage, PAPER_PLATFORM)
+        tight = make_scheduler(algo).schedule(montage, PAPER_PLATFORM, b_min)
+        loose = make_scheduler(algo).schedule(montage, PAPER_PLATFORM, b_high)
+        mk_tight = evaluate_schedule(montage, PAPER_PLATFORM, tight.schedule).makespan
+        mk_loose = evaluate_schedule(montage, PAPER_PLATFORM, loose.schedule).makespan
+        assert mk_loose < mk_tight
+
+    def test_high_budget_matches_baseline(self, montage):
+        """With a high budget HEFTBUDG reaches the HEFT makespan."""
+        b_high = high_budget(montage, PAPER_PLATFORM)
+        budg = make_scheduler("heft_budg").schedule(montage, PAPER_PLATFORM, b_high)
+        base = make_scheduler("heft").schedule(montage, PAPER_PLATFORM, math.inf)
+        mk_budg = evaluate_schedule(montage, PAPER_PLATFORM, budg.schedule).makespan
+        mk_base = evaluate_schedule(montage, PAPER_PLATFORM, base.schedule).makespan
+        assert mk_budg <= mk_base * 1.05
+
+    def test_heft_budg_beats_minmin_budg_on_montage(self, montage):
+        """Paper §V-B: HEFTBUDG is more budget-efficient on MONTAGE."""
+        budget = minimal_budget(montage, PAPER_PLATFORM) * 2.0
+        heftb = make_scheduler("heft_budg").schedule(montage, PAPER_PLATFORM, budget)
+        minmb = make_scheduler("minmin_budg").schedule(montage, PAPER_PLATFORM, budget)
+        mk_h = evaluate_schedule(montage, PAPER_PLATFORM, heftb.schedule).makespan
+        mk_m = evaluate_schedule(montage, PAPER_PLATFORM, minmb.schedule).makespan
+        assert mk_h <= mk_m * 1.10  # at least comparable, typically better
+
+
+class TestDiagnostics:
+    def test_within_budget_flag(self, montage):
+        b_high = high_budget(montage, PAPER_PLATFORM)
+        res = make_scheduler("heft_budg").schedule(montage, PAPER_PLATFORM, b_high)
+        assert res.within_budget_plan
+
+    def test_algorithm_names(self, montage):
+        for algo in ALGOS:
+            res = make_scheduler(algo).schedule(montage, PAPER_PLATFORM, 10.0)
+            assert res.algorithm == algo
+
+    def test_planned_makespan_positive(self, montage):
+        res = make_scheduler("heft_budg").schedule(montage, PAPER_PLATFORM, 10.0)
+        assert res.planned_makespan > 0

@@ -1,0 +1,132 @@
+"""Tests for the idle-gap VM splitting pass (§III-B discontinuous slots)."""
+
+import pytest
+
+from repro import (
+    CloudPlatform,
+    PAPER_PLATFORM,
+    Schedule,
+    StochasticWeight,
+    Task,
+    VMCategory,
+    Workflow,
+    evaluate_schedule,
+    generate,
+    make_scheduler,
+)
+from repro.scheduling.idle_split import split_idle_gaps
+from repro.units import GFLOP, MB
+
+
+@pytest.fixture
+def gap_platform():
+    """Expensive rent, cheap setup: gaps are worth splitting."""
+    return CloudPlatform(
+        categories=(
+            VMCategory("c", speed=1 * GFLOP, hourly_cost=36.0,
+                       initial_cost=0.001, boot_time=10.0),
+        ),
+        bandwidth=100 * MB,
+    )
+
+
+@pytest.fixture
+def gap_workflow():
+    """Two tasks forced far apart in time on the same VM.
+
+    slowpoke (1000s on another VM) gates `late`; `early` finishes at 10s.
+    Keeping `early`'s VM alive 990s costs ~$9.9; a re-book costs $0.001.
+    """
+    wf = Workflow("gap")
+    wf.add_task(Task("early", StochasticWeight(10 * GFLOP)))
+    wf.add_task(Task("slowpoke", StochasticWeight(1000 * GFLOP)))
+    wf.add_task(Task("late", StochasticWeight(10 * GFLOP)))
+    wf.add_edge("slowpoke", "late", 1 * MB)
+    return wf.freeze()
+
+
+def _gap_schedule(wf, platform):
+    return Schedule(
+        order=["early", "slowpoke", "late"],
+        assignment={"early": 0, "slowpoke": 1, "late": 0},
+        categories={0: platform.categories[0], 1: platform.categories[0]},
+    )
+
+
+class TestSplitIdleGaps:
+    def test_splits_profitable_gap(self, gap_workflow, gap_platform):
+        sched = _gap_schedule(gap_workflow, gap_platform)
+        out = split_idle_gaps(gap_workflow, gap_platform, sched,
+                              makespan_tolerance=0.05)
+        assert out.n_splits == 1
+        assert out.savings > 5.0  # ~990s of $0.01/s rent saved
+        assert out.schedule.vm_of("early") != out.schedule.vm_of("late")
+
+    def test_makespan_growth_bounded_by_tolerance(self, gap_workflow, gap_platform):
+        sched = _gap_schedule(gap_workflow, gap_platform)
+        out = split_idle_gaps(gap_workflow, gap_platform, sched,
+                              makespan_tolerance=0.05)
+        assert out.makespan_after <= out.makespan_before * 1.05 + 1e-6
+
+    def test_zero_tolerance_rejects_boot_delay(self, gap_workflow, gap_platform):
+        """Booting the replacement VM delays the tail, so the default
+        zero-tolerance pass keeps the continuous slot."""
+        sched = _gap_schedule(gap_workflow, gap_platform)
+        out = split_idle_gaps(gap_workflow, gap_platform, sched)
+        assert out.n_splits == 0
+
+    def test_negative_tolerance_rejected(self, gap_workflow, gap_platform):
+        sched = _gap_schedule(gap_workflow, gap_platform)
+        with pytest.raises(ValueError):
+            split_idle_gaps(gap_workflow, gap_platform, sched,
+                            makespan_tolerance=-0.1)
+
+    def test_result_schedule_valid_and_cheaper(self, gap_workflow, gap_platform):
+        sched = _gap_schedule(gap_workflow, gap_platform)
+        out = split_idle_gaps(gap_workflow, gap_platform, sched,
+                              makespan_tolerance=0.05)
+        out.schedule.validate(gap_workflow)
+        run = evaluate_schedule(gap_workflow, gap_platform, out.schedule)
+        assert run.total_cost == pytest.approx(out.cost_after)
+        assert out.cost_after < out.cost_before
+
+    def test_no_gap_no_split(self, chain, simple_platform):
+        sched = Schedule(
+            order=["A", "B", "C"],
+            assignment={t: 0 for t in "ABC"},
+            categories={0: simple_platform.cheapest},
+        )
+        out = split_idle_gaps(chain, simple_platform, sched)
+        assert out.n_splits == 0
+        assert out.cost_after == pytest.approx(out.cost_before)
+
+    def test_unprofitable_gap_kept(self, gap_workflow):
+        """With a big setup fee, re-booking never pays off."""
+        platform = CloudPlatform(
+            categories=(
+                VMCategory("c", speed=1 * GFLOP, hourly_cost=0.36,
+                           initial_cost=10.0, boot_time=10.0),
+            ),
+            bandwidth=100 * MB,
+        )
+        sched = _gap_schedule(gap_workflow, platform)
+        out = split_idle_gaps(gap_workflow, platform, sched,
+                              makespan_tolerance=0.5)
+        assert out.n_splits == 0
+
+    def test_budget_cap_respected(self, gap_workflow, gap_platform):
+        sched = _gap_schedule(gap_workflow, gap_platform)
+        out = split_idle_gaps(gap_workflow, gap_platform, sched, budget=1e9)
+        run = evaluate_schedule(gap_workflow, gap_platform, out.schedule)
+        assert run.total_cost <= 1e9
+
+    def test_never_worse_on_real_workflows(self):
+        """Safety: on HEFTBUDG schedules the pass only ever helps."""
+        for family in ("cybershake", "montage"):
+            wf = generate(family, 20, rng=4, sigma_ratio=0.5)
+            sched = make_scheduler("heft_budg").schedule(
+                wf, PAPER_PLATFORM, 1.0
+            ).schedule
+            out = split_idle_gaps(wf, PAPER_PLATFORM, sched)
+            assert out.cost_after <= out.cost_before + 1e-9
+            assert out.makespan_after <= out.makespan_before + 1e-6

@@ -1,0 +1,55 @@
+"""Unit tests for getBestHost (Algorithm 2)."""
+
+import math
+
+import pytest
+
+from repro.scheduling.list_base import get_best_host
+from repro.scheduling.planning import PlanningState
+
+
+class TestGetBestHost:
+    def test_infinite_allowance_picks_min_eft(self, chain, simple_platform):
+        state = PlanningState(chain, simple_platform)
+        ev, within = get_best_host(state, "A", math.inf)
+        assert within
+        # the big VM halves compute: min EFT
+        assert ev.category.name == "big"
+
+    def test_tight_allowance_forces_cheap_host(self, chain, simple_platform):
+        state = PlanningState(chain, simple_platform)
+        # big: 50s+5s upload at 0.002 = 0.110$; small: 105s at 0.001 = 0.105$
+        ev, within = get_best_host(state, "A", 0.106)
+        assert within
+        assert ev.category.name == "small"
+
+    def test_no_affordable_host_falls_back_to_cheapest(self, chain, simple_platform):
+        state = PlanningState(chain, simple_platform)
+        ev, within = get_best_host(state, "A", 0.0001)
+        assert not within
+        evaluations = state.evaluate_all("A")
+        assert ev.cost == min(e.cost for e in evaluations)
+
+    def test_reusing_vm_can_be_free_of_transfer(self, chain, simple_platform):
+        state = PlanningState(chain, simple_platform)
+        ev, _ = get_best_host(state, "A", math.inf)
+        state.commit(ev)
+        ev_b, within = get_best_host(state, "B", math.inf)
+        assert within
+        # staying on A's (big) VM avoids the DC round trip: EFT 50+100=150
+        assert ev_b.vm_id == 0
+        assert ev_b.eft == pytest.approx(150.0)
+
+    def test_deterministic_tie_break(self, single_task, simple_platform):
+        state = PlanningState(single_task, simple_platform)
+        a, _ = get_best_host(state, "only", math.inf)
+        b, _ = get_best_host(state, "only", math.inf)
+        assert (a.vm_id, a.category.name) == (b.vm_id, b.category.name)
+
+    def test_budget_tolerance(self, chain, simple_platform):
+        """A cost equal to the allowance (modulo float fuzz) is affordable."""
+        state = PlanningState(chain, simple_platform)
+        evaluations = state.evaluate_all("A")
+        cheapest = min(e.cost for e in evaluations)
+        ev, within = get_best_host(state, "A", cheapest)
+        assert within

@@ -1,0 +1,78 @@
+"""Tests for the on-line rescheduling prototype (§VI future work)."""
+
+import pytest
+
+from repro import PAPER_PLATFORM, evaluate_schedule, execute_schedule, generate
+from repro.errors import SchedulingError
+from repro.experiments.budgets import high_budget, minimal_budget
+from repro.scheduling.heft import HeftBudgScheduler
+from repro.scheduling.online import OnlineHeftBudg
+from repro.simulation.executor import sample_weights
+
+
+@pytest.fixture(scope="module")
+def wf():
+    return generate("montage", 20, rng=6, sigma_ratio=1.0)
+
+
+@pytest.fixture(scope="module")
+def budget(wf):
+    return high_budget(wf, PAPER_PLATFORM)
+
+
+class TestOnlineHeftBudg:
+    def test_bad_factor_rejected(self):
+        with pytest.raises(SchedulingError):
+            OnlineHeftBudg(timeout_factor=1.0)
+
+    def test_no_stragglers_no_reschedule(self, wf, budget):
+        """With actual == planned weights, nothing times out."""
+        from repro.simulation.executor import conservative_weights
+
+        online = OnlineHeftBudg(timeout_factor=1.5)
+        out = online.run(wf, PAPER_PLATFORM, budget,
+                         weights=conservative_weights(wf))
+        assert out.n_reschedules == 0
+        assert out.timeouts == []
+
+    def test_detects_injected_straggler(self, wf, budget):
+        """One task blown up to 5x its conservative weight must time out."""
+        from repro.simulation.executor import conservative_weights
+
+        weights = conservative_weights(wf)
+        victim = sorted(wf.tasks)[3]
+        weights[victim] *= 5.0
+        online = OnlineHeftBudg(timeout_factor=1.5)
+        out = online.run(wf, PAPER_PLATFORM, budget, weights=weights)
+        assert victim in out.timeouts
+        assert out.n_reschedules >= 1
+
+    def test_final_schedule_is_executable(self, wf, budget):
+        online = OnlineHeftBudg(timeout_factor=1.2)
+        out = online.run(wf, PAPER_PLATFORM, budget, rng=3)
+        out.schedule.validate(wf)
+        assert set(out.result.tasks) == set(wf.tasks)
+        assert out.makespan > 0 and out.total_cost > 0
+
+    def test_rescheduling_not_worse_on_average(self, wf, budget):
+        """Across stochastic runs the monitored execution should not lose
+        to the static schedule on average (that is its entire point)."""
+        online = OnlineHeftBudg(timeout_factor=1.3)
+        static_sched = HeftBudgScheduler().schedule(
+            wf, PAPER_PLATFORM, budget
+        ).schedule
+        static_total, online_total = 0.0, 0.0
+        for seed in range(6):
+            weights = sample_weights(wf, rng=seed)
+            static_total += execute_schedule(
+                wf, PAPER_PLATFORM, static_sched, weights
+            ).makespan
+            online_total += online.run(
+                wf, PAPER_PLATFORM, budget, weights=weights
+            ).makespan
+        assert online_total <= static_total * 1.05
+
+    def test_respects_reschedule_bound(self, wf, budget):
+        online = OnlineHeftBudg(timeout_factor=1.01, max_reschedules=2)
+        out = online.run(wf, PAPER_PLATFORM, budget, rng=1)
+        assert out.n_reschedules <= 2

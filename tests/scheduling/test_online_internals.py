@@ -1,0 +1,135 @@
+"""Internals of the on-line rescheduling prototype."""
+
+import pytest
+
+from repro import PAPER_PLATFORM, generate, make_scheduler
+from repro.scheduling.online import OnlineHeftBudg
+from repro.simulation.executor import conservative_weights, execute_schedule
+
+
+@pytest.fixture(scope="module")
+def setting():
+    wf = generate("montage", 16, rng=2, sigma_ratio=0.5)
+    sched = make_scheduler("heft_budg").schedule(wf, PAPER_PLATFORM, 2.0).schedule
+    weights = conservative_weights(wf)
+    run = execute_schedule(wf, PAPER_PLATFORM, sched, weights)
+    return wf, sched, weights, run
+
+
+class TestFirstTimeout:
+    def test_no_timeout_with_planned_weights(self, setting):
+        wf, sched, weights, run = setting
+        online = OnlineHeftBudg(timeout_factor=1.5)
+        assert online._first_timeout(wf, sched, run, weights, set()) is None
+
+    def test_detection_instant(self, setting):
+        wf, sched, weights, _ = setting
+        victim = sched.order[0]
+        blown = dict(weights)
+        blown[victim] *= 4.0
+        run = execute_schedule(wf, PAPER_PLATFORM, sched, blown)
+        online = OnlineHeftBudg(timeout_factor=1.5)
+        hit = online._first_timeout(wf, sched, run, blown, set())
+        assert hit is not None
+        tid, detection = hit
+        assert tid == victim
+        planned = online._planned_duration(wf, sched, victim)
+        assert detection == pytest.approx(
+            run.tasks[victim].compute_start + 1.5 * planned
+        )
+
+    def test_handled_set_respected(self, setting):
+        wf, sched, weights, _ = setting
+        victim = sched.order[0]
+        blown = dict(weights)
+        blown[victim] *= 4.0
+        run = execute_schedule(wf, PAPER_PLATFORM, sched, blown)
+        online = OnlineHeftBudg(timeout_factor=1.5)
+        assert online._first_timeout(wf, sched, run, blown, {victim}) is None
+
+    def test_earliest_detection_wins(self, setting):
+        wf, sched, weights, _ = setting
+        first, second = sched.order[0], sched.order[-1]
+        blown = dict(weights)
+        blown[first] *= 4.0
+        blown[second] *= 4.0
+        run = execute_schedule(wf, PAPER_PLATFORM, sched, blown)
+        online = OnlineHeftBudg(timeout_factor=1.5)
+        tid, _ = online._first_timeout(wf, sched, run, blown, set())
+        assert tid == first
+
+
+class TestKnowledgeWeights:
+    def test_finished_tasks_use_truth(self, setting):
+        wf, sched, weights, run = setting
+        online = OnlineHeftBudg(timeout_factor=1.5)
+        detection = run.end + 1.0  # everything finished
+        straggler = sched.order[0]
+        know = online._knowledge_weights(
+            wf, sched, run, weights, detection, straggler
+        )
+        for tid in wf.tasks:
+            if tid != straggler:
+                assert know[tid] == weights[tid]
+
+    def test_unfinished_tasks_use_conservative(self, setting):
+        wf, sched, weights, run = setting
+        online = OnlineHeftBudg(timeout_factor=1.5)
+        detection = -1.0  # nothing finished yet
+        straggler = sched.order[0]
+        know = online._knowledge_weights(
+            wf, sched, run, weights, detection, straggler
+        )
+        for tid in wf.tasks:
+            if tid != straggler:
+                assert know[tid] == wf.task(tid).conservative_weight
+
+    def test_straggler_floored_at_timeout_bound(self, setting):
+        wf, sched, weights, run = setting
+        online = OnlineHeftBudg(timeout_factor=1.5)
+        straggler = sched.order[0]
+        know = online._knowledge_weights(
+            wf, sched, run, weights, -1.0, straggler
+        )
+        assert know[straggler] >= 1.5 * wf.task(straggler).conservative_weight
+
+
+class TestRemap:
+    def test_remap_preserves_order_and_coverage(self, setting):
+        wf, sched, weights, _ = setting
+        victim = sched.order[0]
+        blown = dict(weights)
+        blown[victim] *= 6.0
+        run = execute_schedule(wf, PAPER_PLATFORM, sched, blown)
+        online = OnlineHeftBudg(timeout_factor=1.5)
+        detection = run.tasks[victim].compute_start + 1.5 * (
+            online._planned_duration(wf, sched, victim)
+        )
+        remapped = online._remap_remaining(
+            wf, PAPER_PLATFORM, 2.0, sched, run, detection
+        )
+        assert remapped.order == sched.order
+        remapped.validate(wf)
+
+    def test_frozen_tasks_keep_assignment(self, setting):
+        wf, sched, weights, _ = setting
+        victim = sched.order[0]
+        blown = dict(weights)
+        blown[victim] *= 6.0
+        run = execute_schedule(wf, PAPER_PLATFORM, sched, blown)
+        online = OnlineHeftBudg(timeout_factor=1.5)
+        detection = run.tasks[victim].compute_start + 1.5 * (
+            online._planned_duration(wf, sched, victim)
+        )
+        remapped = online._remap_remaining(
+            wf, PAPER_PLATFORM, 2.0, sched, run, detection
+        )
+        frozen = [t for t in sched.order
+                  if run.tasks[t].compute_start <= detection]
+        # frozen tasks stay grouped as before (vm ids may be renumbered):
+        # two frozen tasks co-located before must stay co-located.
+        for a in frozen:
+            for b in frozen:
+                same_before = sched.vm_of(a) == sched.vm_of(b)
+                same_after = remapped.vm_of(a) == remapped.vm_of(b)
+                assert same_before == same_after

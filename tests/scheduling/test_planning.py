@@ -1,0 +1,136 @@
+"""Unit tests for the incremental planning state (Eq. 7 arithmetic)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduling.planning import PlanningState
+from repro.units import GB, GFLOP, MB
+
+
+class TestReadiness:
+    def test_entry_tasks_ready(self, diamond, simple_platform):
+        state = PlanningState(diamond, simple_platform)
+        assert state.ready_tasks() == ["A"]
+
+    def test_readiness_progresses(self, diamond, simple_platform):
+        state = PlanningState(diamond, simple_platform)
+        state.commit(state.evaluate("A", None, simple_platform.cheapest))
+        assert set(state.ready_tasks()) == {"B", "C"}
+
+    def test_evaluating_before_predecessors_fails(self, diamond, simple_platform):
+        state = PlanningState(diamond, simple_platform)
+        with pytest.raises(SchedulingError):
+            state.evaluate("D", None, simple_platform.cheapest)
+
+
+class TestEvaluateNewVM:
+    def test_entry_task_timeline(self, chain, booted_platform):
+        # A: 100 Gflop, no inputs; new small VM with 100s boot
+        state = PlanningState(chain, booted_platform)
+        ev = state.evaluate("A", None, booted_platform.cheapest)
+        assert ev.t_begin == 0.0
+        assert ev.download_start == pytest.approx(100.0)  # after boot
+        assert ev.compute_start == pytest.approx(100.0)   # nothing to download
+        assert ev.eft == pytest.approx(200.0)
+        assert ev.upload_end == pytest.approx(205.0)      # 500MB at 100MB/s
+        assert ev.is_new_vm
+
+    def test_cost_excludes_boot(self, chain, booted_platform):
+        state = PlanningState(chain, booted_platform)
+        ev = state.evaluate("A", None, booted_platform.cheapest)
+        # window 100 -> 205 at $0.001/s
+        assert ev.cost == pytest.approx(105 * 0.001)
+
+    def test_faster_category(self, chain, booted_platform):
+        state = PlanningState(chain, booted_platform)
+        ev = state.evaluate("A", None, booted_platform.category("big"))
+        assert ev.eft == pytest.approx(150.0)  # 100 Gflop / 2 Gflop/s
+
+
+class TestEvaluateUsedVM:
+    def test_same_vm_skips_transfer(self, chain, simple_platform):
+        state = PlanningState(chain, simple_platform)
+        vm = state.commit(state.evaluate("A", None, simple_platform.cheapest))
+        ev = state.evaluate("B", vm, vm.category)
+        # no download, starts at A's EFT (100), runs 200s
+        assert ev.compute_start == pytest.approx(100.0)
+        assert ev.eft == pytest.approx(300.0)
+
+    def test_cross_vm_waits_for_upload(self, chain, simple_platform):
+        state = PlanningState(chain, simple_platform)
+        state.commit(state.evaluate("A", None, simple_platform.cheapest))
+        ev = state.evaluate("B", None, simple_platform.cheapest)
+        # A finishes at 100, upload 5s -> inputs at DC 105; download 5s
+        assert ev.t_begin == pytest.approx(105.0)
+        assert ev.compute_start == pytest.approx(110.0)
+        assert ev.eft == pytest.approx(310.0)
+
+    def test_used_vm_idle_gap_is_billed(self, simple_platform, fork_join):
+        state = PlanningState(fork_join, simple_platform)
+        src_vm = state.commit(state.evaluate("src", None, simple_platform.cheapest))
+        # place par0 on a second VM; then par1 back on the source VM
+        state.commit(state.evaluate("par0", None, simple_platform.cheapest))
+        ev = state.evaluate("par1", src_vm, src_vm.category)
+        # src: eft=10, upload ends 10 + 4*1s; par1 downloads 1s after its
+        # edge is at DC (11) -> no idle gap here; cost = window growth
+        assert ev.cost == pytest.approx(
+            (ev.window_end - max(src_vm.window_end, 0.0)) * 0.001
+        )
+
+    def test_stale_commit_rejected(self, diamond, simple_platform):
+        state = PlanningState(diamond, simple_platform)
+        vm = state.commit(state.evaluate("A", None, simple_platform.cheapest))
+        ev_b = state.evaluate("B", vm, vm.category)
+        state.commit(state.evaluate("C", vm, vm.category))  # vm moved on
+        with pytest.raises(SchedulingError, match="stale"):
+            state.commit(ev_b)
+
+    def test_double_commit_rejected(self, chain, simple_platform):
+        state = PlanningState(chain, simple_platform)
+        ev = state.evaluate("A", None, simple_platform.cheapest)
+        state.commit(ev)
+        with pytest.raises(SchedulingError, match="twice"):
+            state.commit(ev)
+
+
+class TestEvaluateAll:
+    def test_candidate_count(self, diamond, simple_platform):
+        state = PlanningState(diamond, simple_platform)
+        assert len(state.evaluate_all("A")) == 2  # no used VMs, 2 categories
+        state.commit(state.evaluate("A", None, simple_platform.cheapest))
+        assert len(state.evaluate_all("B")) == 3  # 1 used + 2 fresh
+
+    def test_to_schedule_requires_all_committed(self, diamond, simple_platform):
+        state = PlanningState(diamond, simple_platform)
+        state.commit(state.evaluate("A", None, simple_platform.cheapest))
+        with pytest.raises(SchedulingError, match="unscheduled"):
+            state.to_schedule()
+
+    def test_to_schedule_roundtrip(self, chain, simple_platform):
+        state = PlanningState(chain, simple_platform)
+        for tid in chain.topological_order:
+            state.commit(
+                min(state.evaluate_all(tid), key=lambda e: (e.eft, e.cost))
+            )
+        sched = state.to_schedule()
+        sched.validate(chain)
+        assert sched.order == chain.topological_order
+
+
+class TestMakespanAndCost:
+    def test_empty_state(self, chain, simple_platform):
+        state = PlanningState(chain, simple_platform)
+        assert state.makespan == 0.0
+        assert state.vm_rental_cost() == 0.0
+
+    def test_makespan_counts_uploads(self, chain, simple_platform):
+        state = PlanningState(chain, simple_platform)
+        state.commit(state.evaluate("A", None, simple_platform.cheapest))
+        # A ends at 100, conservative upload of its 500MB edge -> 105
+        assert state.makespan == pytest.approx(105.0)
+
+    def test_earliest_start(self, chain, simple_platform):
+        state = PlanningState(chain, simple_platform)
+        assert state.earliest_start("A") == 0.0
+        state.commit(state.evaluate("A", None, simple_platform.cheapest))
+        assert state.earliest_start("B") == pytest.approx(105.0)

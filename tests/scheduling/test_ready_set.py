@@ -1,0 +1,95 @@
+"""Tests for the MAX-MIN and SUFFERAGE extensions."""
+
+import math
+
+import pytest
+
+from repro import (
+    PAPER_PLATFORM,
+    evaluate_schedule,
+    generate,
+    make_scheduler,
+)
+from repro.experiments.budgets import high_budget, minimal_budget
+
+ALGOS = ["maxmin", "sufferage", "maxmin_budg", "sufferage_budg"]
+
+
+@pytest.fixture(scope="module")
+def wf():
+    return generate("montage", 20, rng=15, sigma_ratio=0.5)
+
+
+class TestBasics:
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_schedule_valid(self, algo, wf):
+        result = make_scheduler(algo).schedule(wf, PAPER_PLATFORM, 1.0)
+        result.schedule.validate(wf)
+        assert result.algorithm == algo
+
+    @pytest.mark.parametrize("pair", [("maxmin", "maxmin_budg"),
+                                      ("sufferage", "sufferage_budg")])
+    def test_infinite_budget_equivalence(self, pair, wf):
+        base, budg = pair
+        a = make_scheduler(base).schedule(wf, PAPER_PLATFORM, math.inf)
+        b = make_scheduler(budg).schedule(wf, PAPER_PLATFORM, math.inf)
+        assert a.schedule.assignment == b.schedule.assignment
+
+    @pytest.mark.parametrize("algo", ["maxmin_budg", "sufferage_budg"])
+    def test_budget_respected(self, algo, wf):
+        budget = 2.0 * minimal_budget(wf, PAPER_PLATFORM)
+        result = make_scheduler(algo).schedule(wf, PAPER_PLATFORM, budget)
+        run = evaluate_schedule(wf, PAPER_PLATFORM, result.schedule)
+        assert run.total_cost <= budget * 1.02
+
+    @pytest.mark.parametrize("algo", ["maxmin_budg", "sufferage_budg"])
+    def test_makespan_improves_with_budget(self, algo, wf):
+        b_min = minimal_budget(wf, PAPER_PLATFORM)
+        b_high = high_budget(wf, PAPER_PLATFORM)
+        tight = make_scheduler(algo).schedule(wf, PAPER_PLATFORM, b_min)
+        loose = make_scheduler(algo).schedule(wf, PAPER_PLATFORM, b_high)
+        mk_tight = evaluate_schedule(wf, PAPER_PLATFORM, tight.schedule).makespan
+        mk_loose = evaluate_schedule(wf, PAPER_PLATFORM, loose.schedule).makespan
+        assert mk_loose <= mk_tight
+
+
+class TestSelectionSemantics:
+    def test_maxmin_schedules_big_task_first(self, simple_platform):
+        """Among independent ready tasks, MAX-MIN picks the heaviest."""
+        from repro import StochasticWeight, Task, Workflow
+
+        wf = Workflow("bag")
+        wf.add_task(Task("small", StochasticWeight(10e9)))
+        wf.add_task(Task("huge", StochasticWeight(500e9)))
+        wf.add_task(Task("medium", StochasticWeight(100e9)))
+        wf.freeze()
+        result = make_scheduler("maxmin").schedule(
+            wf, simple_platform, math.inf
+        )
+        assert result.schedule.order[0] == "huge"
+
+    def test_minmin_schedules_small_task_first(self, simple_platform):
+        from repro import StochasticWeight, Task, Workflow
+
+        wf = Workflow("bag")
+        wf.add_task(Task("small", StochasticWeight(10e9)))
+        wf.add_task(Task("huge", StochasticWeight(500e9)))
+        wf.freeze()
+        result = make_scheduler("minmin").schedule(
+            wf, simple_platform, math.inf
+        )
+        assert result.schedule.order[0] == "small"
+
+    def test_competitive_makespan_at_high_budget(self, wf):
+        """The classical heuristics land in the same ballpark as HEFT."""
+        budget = high_budget(wf, PAPER_PLATFORM)
+        mk_heft = evaluate_schedule(
+            wf, PAPER_PLATFORM,
+            make_scheduler("heft").schedule(wf, PAPER_PLATFORM, math.inf).schedule,
+        ).makespan
+        for algo in ("maxmin", "sufferage"):
+            mk = evaluate_schedule(
+                wf, PAPER_PLATFORM,
+                make_scheduler(algo).schedule(wf, PAPER_PLATFORM, budget).schedule,
+            ).makespan
+            assert mk <= mk_heft * 2.0, algo

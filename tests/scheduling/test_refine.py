@@ -1,0 +1,122 @@
+"""Tests for HEFTBUDG+ / HEFTBUDG+INV (Algorithm 5)."""
+
+import math
+
+import pytest
+
+from repro import (
+    PAPER_PLATFORM,
+    evaluate_schedule,
+    generate,
+    make_scheduler,
+    refine_schedule,
+)
+from repro.experiments.budgets import minimal_budget
+
+
+@pytest.fixture(scope="module")
+def montage():
+    return generate("montage", 20, rng=5, sigma_ratio=0.5)
+
+
+@pytest.fixture(scope="module")
+def medium_budget_value(montage):
+    return minimal_budget(montage, PAPER_PLATFORM) * 2.0
+
+
+class TestRefineSchedule:
+    def test_never_degrades_makespan(self, montage, medium_budget_value):
+        base = make_scheduler("heft_budg").schedule(
+            montage, PAPER_PLATFORM, medium_budget_value
+        )
+        mk_base = evaluate_schedule(montage, PAPER_PLATFORM, base.schedule).makespan
+        for reverse in (False, True):
+            refined = refine_schedule(
+                montage, PAPER_PLATFORM, base.schedule,
+                medium_budget_value, reverse=reverse,
+            )
+            mk = evaluate_schedule(montage, PAPER_PLATFORM, refined).makespan
+            assert mk <= mk_base + 1e-9
+
+    def test_respects_budget(self, montage, medium_budget_value):
+        base = make_scheduler("heft_budg").schedule(
+            montage, PAPER_PLATFORM, medium_budget_value
+        )
+        refined = refine_schedule(
+            montage, PAPER_PLATFORM, base.schedule, medium_budget_value
+        )
+        run = evaluate_schedule(montage, PAPER_PLATFORM, refined)
+        assert run.total_cost <= medium_budget_value
+
+    def test_preserves_dispatch_order(self, montage, medium_budget_value):
+        base = make_scheduler("heft_budg").schedule(
+            montage, PAPER_PLATFORM, medium_budget_value
+        )
+        refined = refine_schedule(
+            montage, PAPER_PLATFORM, base.schedule, medium_budget_value
+        )
+        assert refined.order == base.schedule.order
+
+    def test_refined_schedule_is_structurally_valid(self, montage, medium_budget_value):
+        base = make_scheduler("heft_budg").schedule(
+            montage, PAPER_PLATFORM, medium_budget_value
+        )
+        refined = refine_schedule(
+            montage, PAPER_PLATFORM, base.schedule, medium_budget_value
+        )
+        refined.validate(montage)
+
+    def test_actually_improves_with_leftover(self, montage, medium_budget_value):
+        """With leftover budget the refinement pass should find real gains
+        (paper: up to one-third shorter makespans on MONTAGE)."""
+        base = make_scheduler("heft_budg").schedule(
+            montage, PAPER_PLATFORM, medium_budget_value
+        )
+        mk_base = evaluate_schedule(montage, PAPER_PLATFORM, base.schedule).makespan
+        refined = refine_schedule(
+            montage, PAPER_PLATFORM, base.schedule, medium_budget_value
+        )
+        mk = evaluate_schedule(montage, PAPER_PLATFORM, refined).makespan
+        assert mk < mk_base  # strict improvement on this instance
+
+
+class TestSchedulers:
+    @pytest.mark.parametrize("algo", ["heft_budg_plus", "heft_budg_plus_inv"])
+    def test_end_to_end(self, algo, montage, medium_budget_value):
+        res = make_scheduler(algo).schedule(
+            montage, PAPER_PLATFORM, medium_budget_value
+        )
+        res.schedule.validate(montage)
+        run = evaluate_schedule(montage, PAPER_PLATFORM, res.schedule)
+        assert run.total_cost <= medium_budget_value
+        assert res.algorithm == algo
+
+    def test_plus_beats_plain_heftbudg(self, montage, medium_budget_value):
+        plain = make_scheduler("heft_budg").schedule(
+            montage, PAPER_PLATFORM, medium_budget_value
+        )
+        plus = make_scheduler("heft_budg_plus").schedule(
+            montage, PAPER_PLATFORM, medium_budget_value
+        )
+        mk_plain = evaluate_schedule(
+            montage, PAPER_PLATFORM, plain.schedule
+        ).makespan
+        mk_plus = evaluate_schedule(montage, PAPER_PLATFORM, plus.schedule).makespan
+        assert mk_plus <= mk_plain
+
+    def test_uses_fewer_or_equal_vms(self, montage, medium_budget_value):
+        """Paper §V-C: the refined algorithms achieve smaller makespans with
+        *fewer* VMs (they co-locate interdependent tasks)."""
+        plain = make_scheduler("heft_budg").schedule(
+            montage, PAPER_PLATFORM, medium_budget_value
+        )
+        plus = make_scheduler("heft_budg_plus").schedule(
+            montage, PAPER_PLATFORM, medium_budget_value
+        )
+        assert plus.schedule.n_vms <= plain.schedule.n_vms
+
+    def test_infinite_budget_works(self, montage):
+        res = make_scheduler("heft_budg_plus").schedule(
+            montage, PAPER_PLATFORM, math.inf
+        )
+        res.schedule.validate(montage)

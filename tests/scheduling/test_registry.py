@@ -1,0 +1,32 @@
+"""Tests for the scheduler registry."""
+
+import pytest
+
+from repro import SchedulingError, available_schedulers, make_scheduler
+from repro.scheduling.list_base import Scheduler
+
+
+class TestRegistry:
+    def test_all_paper_algorithms_registered(self):
+        names = set(available_schedulers())
+        assert {
+            "minmin", "heft", "minmin_budg", "heft_budg",
+            "heft_budg_plus", "heft_budg_plus_inv", "bdt", "cg", "cg_plus",
+        } <= names
+
+    def test_make_scheduler_returns_instances(self):
+        for name in available_schedulers():
+            s = make_scheduler(name)
+            assert isinstance(s, Scheduler)
+            assert s.name == name
+
+    def test_case_insensitive(self):
+        assert make_scheduler("HEFT").name == "heft"
+
+    def test_unknown_name(self):
+        with pytest.raises(SchedulingError, match="unknown scheduler"):
+            make_scheduler("alien")
+
+    def test_sorted_output(self):
+        names = available_schedulers()
+        assert names == sorted(names)

@@ -1,0 +1,112 @@
+"""Unit tests for the Schedule container."""
+
+import pytest
+
+from repro import Schedule, ScheduleValidationError
+
+
+@pytest.fixture
+def sched(chain, simple_platform):
+    small = simple_platform.cheapest
+    big = simple_platform.category("big")
+    return Schedule(
+        order=["A", "B", "C"],
+        assignment={"A": 0, "B": 1, "C": 0},
+        categories={0: small, 1: big},
+    )
+
+
+class TestQueries:
+    def test_vm_of(self, sched):
+        assert sched.vm_of("B") == 1
+
+    def test_category_of(self, sched, simple_platform):
+        assert sched.category_of("B") == simple_platform.category("big")
+
+    def test_used_vms(self, sched):
+        assert sched.used_vms == [0, 1]
+        assert sched.n_vms == 2
+
+    def test_tasks_on(self, sched):
+        assert sched.tasks_on(0) == ["A", "C"]
+        assert sched.tasks_on(1) == ["B"]
+
+    def test_queues(self, sched):
+        assert sched.queues() == {0: ["A", "C"], 1: ["B"]}
+
+    def test_fresh_vm_id(self, sched):
+        assert sched.fresh_vm_id() == 2
+
+
+class TestReassigned:
+    def test_moves_task(self, sched, simple_platform):
+        moved = sched.reassigned("C", 1, simple_platform.category("big"))
+        assert moved.vm_of("C") == 1
+        assert sched.vm_of("C") == 0  # original untouched
+
+    def test_prunes_empty_vm(self, sched, simple_platform):
+        moved = sched.reassigned("B", 0, simple_platform.cheapest)
+        assert moved.used_vms == [0]
+        assert 1 not in moved.categories
+
+    def test_new_vm_enrolled(self, sched, simple_platform):
+        moved = sched.reassigned("C", 7, simple_platform.category("big"))
+        assert moved.vm_of("C") == 7
+        assert moved.categories[7] == simple_platform.category("big")
+
+    def test_category_conflict_rejected(self, sched, simple_platform):
+        with pytest.raises(ScheduleValidationError):
+            sched.reassigned("C", 1, simple_platform.cheapest)  # vm1 is big
+
+    def test_unknown_task_rejected(self, sched, simple_platform):
+        with pytest.raises(ScheduleValidationError):
+            sched.reassigned("Z", 0, simple_platform.cheapest)
+
+    def test_order_preserved(self, sched, simple_platform):
+        moved = sched.reassigned("C", 1, simple_platform.category("big"))
+        assert moved.order == sched.order
+
+
+class TestValidate:
+    def test_valid_schedule_passes(self, sched, chain):
+        sched.validate(chain)
+
+    def test_duplicate_order_rejected(self, chain, simple_platform):
+        s = Schedule(order=["A", "A", "B", "C"],
+                     assignment={"A": 0, "B": 0, "C": 0},
+                     categories={0: simple_platform.cheapest})
+        with pytest.raises(ScheduleValidationError, match="duplicates"):
+            s.validate(chain)
+
+    def test_missing_task_rejected(self, chain, simple_platform):
+        s = Schedule(order=["A", "B"], assignment={"A": 0, "B": 0},
+                     categories={0: simple_platform.cheapest})
+        with pytest.raises(ScheduleValidationError, match="mismatch"):
+            s.validate(chain)
+
+    def test_unknown_task_rejected(self, chain, simple_platform):
+        s = Schedule(order=["A", "B", "C", "Z"],
+                     assignment={t: 0 for t in "ABCZ"},
+                     categories={0: simple_platform.cheapest})
+        with pytest.raises(ScheduleValidationError):
+            s.validate(chain)
+
+    def test_unassigned_task_rejected(self, chain, simple_platform):
+        s = Schedule(order=["A", "B", "C"], assignment={"A": 0, "B": 0},
+                     categories={0: simple_platform.cheapest})
+        with pytest.raises(ScheduleValidationError, match="unassigned"):
+            s.validate(chain)
+
+    def test_vm_without_category_rejected(self, chain, simple_platform):
+        s = Schedule(order=["A", "B", "C"],
+                     assignment={"A": 0, "B": 5, "C": 0},
+                     categories={0: simple_platform.cheapest})
+        with pytest.raises(ScheduleValidationError, match="no category"):
+            s.validate(chain)
+
+    def test_order_violating_precedence_rejected(self, chain, simple_platform):
+        s = Schedule(order=["B", "A", "C"],
+                     assignment={t: 0 for t in "ABC"},
+                     categories={0: simple_platform.cheapest})
+        with pytest.raises(ScheduleValidationError, match="violates"):
+            s.validate(chain)

@@ -1,0 +1,119 @@
+"""Unit tests for the fluid-flow bandwidth pool."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.bandwidth import FlowPool
+
+
+class TestInfiniteCapacity:
+    def test_single_flow_at_cap(self):
+        pool = FlowPool()
+        pool.start("f", 1000.0, cap=100.0)
+        assert pool.next_completion() == pytest.approx(10.0)
+        done = pool.advance(10.0)
+        assert done == [("f", None)]
+        assert not pool
+
+    def test_flows_do_not_interfere(self):
+        pool = FlowPool()
+        pool.start("a", 1000.0, cap=100.0)
+        pool.start("b", 500.0, cap=100.0)
+        assert pool.next_completion() == pytest.approx(5.0)
+        done = pool.advance(5.0)
+        assert [f for f, _ in done] == ["b"]
+        assert pool.next_completion() == pytest.approx(10.0)
+
+    def test_partial_advance(self):
+        pool = FlowPool()
+        pool.start("a", 1000.0, cap=100.0)
+        assert pool.advance(4.0) == []
+        assert pool.next_completion() == pytest.approx(10.0)
+
+    def test_zero_byte_flow_completes_immediately(self):
+        pool = FlowPool()
+        pool.advance(3.0)
+        pool.start("z", 0.0, cap=100.0)
+        assert pool.next_completion() == 3.0
+        assert pool.advance(3.0) == [("z", None)]
+
+    def test_payload_returned(self):
+        pool = FlowPool()
+        pool.start("f", 10.0, cap=10.0, payload=("task", "x"))
+        assert pool.advance(1.0) == [("f", ("task", "x"))]
+
+    def test_tiny_residual_completes(self):
+        """Regression: a residual whose finish-dt underflows the float clock
+        must complete instead of stalling the simulation forever."""
+        pool = FlowPool()
+        pool.advance(568.0)
+        pool.start("f", 5e-6, cap=1.25e8)  # finishes 4e-14s later
+        t = pool.next_completion()
+        done = pool.advance(t)
+        assert [f for f, _ in done] == ["f"]
+
+
+class TestFiniteCapacity:
+    def test_two_flows_share_capacity(self):
+        pool = FlowPool(capacity=100.0)
+        pool.start("a", 1000.0, cap=100.0)
+        pool.start("b", 1000.0, cap=100.0)
+        # each gets 50 -> both complete at t=20
+        assert pool.next_completion() == pytest.approx(20.0)
+
+    def test_water_filling_respects_caps(self):
+        pool = FlowPool(capacity=100.0)
+        pool.start("small", 100.0, cap=10.0)   # capped at 10
+        pool.start("large", 1000.0, cap=100.0)  # gets the remaining 90
+        assert pool.next_completion() == pytest.approx(10.0)  # small: 100/10
+        pool.advance(10.0)
+        # large transferred 900 in 10s, 100 left at rate 100
+        assert pool.next_completion() == pytest.approx(11.0)
+
+    def test_rates_rebalance_after_completion(self):
+        pool = FlowPool(capacity=100.0)
+        pool.start("a", 500.0, cap=100.0)
+        pool.start("b", 1000.0, cap=100.0)
+        pool.advance(10.0)  # a done (50/s each)
+        # b has 500 left, now alone at full 100/s
+        assert pool.next_completion() == pytest.approx(15.0)
+
+    def test_aggregate_throughput_bounded(self):
+        pool = FlowPool(capacity=100.0)
+        for i in range(10):
+            pool.start(f"f{i}", 100.0, cap=100.0)
+        # 1000 bytes total at aggregate 100/s -> exactly 10s
+        assert pool.next_completion() == pytest.approx(10.0)
+
+
+class TestErrors:
+    def test_duplicate_flow_id(self):
+        pool = FlowPool()
+        pool.start("f", 10.0, cap=1.0)
+        with pytest.raises(SimulationError):
+            pool.start("f", 10.0, cap=1.0)
+
+    def test_negative_bytes(self):
+        with pytest.raises(SimulationError):
+            FlowPool().start("f", -1.0, cap=1.0)
+
+    def test_nonpositive_cap(self):
+        with pytest.raises(SimulationError):
+            FlowPool().start("f", 1.0, cap=0.0)
+
+    def test_bad_capacity(self):
+        with pytest.raises(SimulationError):
+            FlowPool(capacity=0.0)
+
+    def test_time_backwards(self):
+        pool = FlowPool()
+        pool.advance(5.0)
+        with pytest.raises(SimulationError):
+            pool.advance(4.0)
+
+    def test_empty_pool_idle(self):
+        pool = FlowPool()
+        assert pool.next_completion() == math.inf
+        assert pool.advance(100.0) == []

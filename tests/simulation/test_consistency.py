@@ -1,0 +1,75 @@
+"""Planner ↔ executor consistency.
+
+The incremental planner (Eq. 7) and the event-driven executor implement the
+same platform semantics; run deterministically (conservative weights,
+infinite DC capacity) on the *same* schedule, every task's planned EFT must
+equal its simulated compute end, and the planner's conservative cost
+envelope must upper-bound the simulated VM rental.
+"""
+
+import math
+
+import pytest
+
+from repro import PAPER_PLATFORM, generate, heft_order
+from repro.scheduling.planning import PlanningState
+from repro.simulation import evaluate_schedule
+
+
+def _plan_greedy_eft(wf, platform):
+    """Plain HEFT via the planner, returning the state (with finish times)."""
+    state = PlanningState(wf, platform)
+    for tid in heft_order(wf, platform.mean_speed, platform.bandwidth):
+        evaluations = state.evaluate_all(tid)
+        best = min(evaluations, key=lambda ev: (ev.eft, ev.cost))
+        state.commit(best)
+    return state
+
+
+@pytest.mark.parametrize("family", ["cybershake", "ligo", "montage"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_planned_eft_equals_simulated_finish(family, seed):
+    wf = generate(family, 30, rng=seed, sigma_ratio=0.5)
+    state = _plan_greedy_eft(wf, PAPER_PLATFORM)
+    schedule = state.to_schedule()
+    result = evaluate_schedule(wf, PAPER_PLATFORM, schedule, validate=True)
+    for tid in wf.tasks:
+        assert result.tasks[tid].compute_end == pytest.approx(
+            state.finish[tid], rel=1e-9, abs=1e-6
+        ), f"task {tid} diverges"
+
+
+@pytest.mark.parametrize("family", ["cybershake", "montage"])
+def test_planner_cost_envelope_upper_bounds_actual(family):
+    """The planner assumes every output is uploaded; the executor uploads
+    only what is needed, so planned VM rental >= simulated VM rental."""
+    wf = generate(family, 30, rng=3, sigma_ratio=0.5)
+    state = _plan_greedy_eft(wf, PAPER_PLATFORM)
+    schedule = state.to_schedule()
+    result = evaluate_schedule(wf, PAPER_PLATFORM, schedule)
+    # per-second billing can add <= 1s * rate per VM to the actual side;
+    # vm_rental includes the setup fees the planner accounts separately.
+    slack = sum(vm.category.cost_rate for vm in result.vms)
+    actual_rental = result.cost.vm_rental - result.cost.vm_initial
+    assert state.vm_rental_cost() + slack >= actual_rental - 1e-9
+
+
+@pytest.mark.parametrize("seed", [0, 5])
+def test_planner_makespan_upper_bounds_simulated(seed):
+    wf = generate("ligo", 30, rng=seed, sigma_ratio=0.25)
+    state = _plan_greedy_eft(wf, PAPER_PLATFORM)
+    schedule = state.to_schedule()
+    result = evaluate_schedule(wf, PAPER_PLATFORM, schedule)
+    assert state.makespan >= result.makespan - 1e-6
+
+
+def test_vm_booking_times_match(simple_platform):
+    """Planner booked_at (t_begin of first task) equals executor booked_at."""
+    wf = generate("montage", 20, rng=2, sigma_ratio=0.5)
+    state = _plan_greedy_eft(wf, simple_platform)
+    schedule = state.to_schedule()
+    result = evaluate_schedule(wf, simple_platform, schedule)
+    planned = {vm.vm_id: vm.booked_at for vm in state.vms}
+    actual = {vm.vm_id: vm.booked_at for vm in result.vms}
+    for vm_id, t in planned.items():
+        assert actual[vm_id] == pytest.approx(t, abs=1e-6)

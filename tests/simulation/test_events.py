@@ -1,0 +1,52 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.simulation.events import EventQueue
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(5.0, "b")
+        q.push(1.0, "a")
+        q.push(3.0, "c")
+        assert [q.pop()[1] for _ in range(3)] == ["a", "c", "b"]
+
+    def test_fifo_within_timestamp(self):
+        q = EventQueue()
+        for i in range(10):
+            q.push(1.0, "k", i)
+        assert [q.pop()[2] for _ in range(10)] == list(range(10))
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() == float("inf")
+        q.push(2.5, "x")
+        assert q.peek_time() == 2.5
+        assert len(q) == 1  # peek does not pop
+
+    def test_bool_and_len(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, "x")
+        assert q and len(q) == 1
+
+    def test_payload_roundtrip(self):
+        q = EventQueue()
+        payload = {"vm": 3}
+        q.push(1.0, "boot", payload)
+        t, kind, got = q.pop()
+        assert (t, kind) == (1.0, "boot")
+        assert got is payload
+
+    @pytest.mark.parametrize("bad", [-1.0, float("nan")])
+    def test_invalid_times_rejected(self, bad):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(bad, "x")
+
+    def test_zero_time_allowed(self):
+        q = EventQueue()
+        q.push(0.0, "start")
+        assert q.pop()[0] == 0.0

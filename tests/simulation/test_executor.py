@@ -1,0 +1,265 @@
+"""Executor tests with hand-computed timelines (simple_platform numbers).
+
+simple_platform: small VM = 1 Gflop/s at $0.001/s, big = 2 Gflop/s at
+$0.002/s, bandwidth 100 MB/s, no boot, no setup fee, no datacenter charges.
+"""
+
+import math
+
+import pytest
+
+from repro import Schedule, ScheduleValidationError
+from repro.errors import SimulationError
+from repro.simulation import (
+    conservative_weights,
+    execute_schedule,
+    evaluate_schedule,
+    mean_weights,
+    sample_weights,
+)
+from repro.units import GB, GFLOP, MB
+
+
+def _sched(wf, platform, mapping, order=None, cat=None):
+    cats = {}
+    for tid, vm in mapping.items():
+        cats[vm] = cat or platform.cheapest
+    return Schedule(
+        order=order or wf.topological_order,
+        assignment=dict(mapping),
+        categories=cats,
+    )
+
+
+class TestSingleTask:
+    def test_hand_computed_timeline(self, single_task, simple_platform):
+        # download 200MB -> 2s; compute 50 Gflop -> 50s; upload 100MB -> 1s
+        sched = _sched(single_task, simple_platform, {"only": 0})
+        run = execute_schedule(
+            single_task, simple_platform, sched, {"only": 50 * GFLOP}
+        )
+        rec = run.tasks["only"]
+        assert rec.download_start == pytest.approx(0.0)
+        assert rec.compute_start == pytest.approx(2.0)
+        assert rec.compute_end == pytest.approx(52.0)
+        assert rec.outputs_at_dc == pytest.approx(53.0)
+        assert run.makespan == pytest.approx(53.0)
+
+    def test_cost_is_rental_only(self, single_task, simple_platform):
+        sched = _sched(single_task, simple_platform, {"only": 0})
+        run = execute_schedule(
+            single_task, simple_platform, sched, {"only": 50 * GFLOP}
+        )
+        assert run.total_cost == pytest.approx(53 * 0.001)  # ceil(53.0)=53
+
+    def test_per_second_billing_rounds_up(self, single_task, simple_platform):
+        sched = _sched(single_task, simple_platform, {"only": 0})
+        run = execute_schedule(
+            single_task, simple_platform, sched, {"only": 50.5 * GFLOP}
+        )
+        # duration 53.5s -> billed 54s
+        assert run.cost.vm_rental == pytest.approx(54 * 0.001)
+
+    def test_continuous_billing_option(self, single_task, simple_platform):
+        sched = _sched(single_task, simple_platform, {"only": 0})
+        run = execute_schedule(
+            single_task, simple_platform, sched, {"only": 50.5 * GFLOP},
+            per_second_billing=False,
+        )
+        assert run.cost.vm_rental == pytest.approx(53.5 * 0.001)
+
+
+class TestChain:
+    def test_single_vm_no_transfers(self, chain, simple_platform):
+        sched = _sched(chain, simple_platform, {"A": 0, "B": 0, "C": 0})
+        run = execute_schedule(
+            chain, simple_platform, sched, mean_weights(chain)
+        )
+        # pure compute: 100 + 200 + 100 = 400s, no DC involvement
+        assert run.makespan == pytest.approx(400.0)
+        assert run.tasks["C"].compute_end == pytest.approx(400.0)
+        for rec in run.tasks.values():
+            assert rec.outputs_at_dc == rec.compute_end
+
+    def test_two_vms_transfer_via_datacenter(self, chain, simple_platform):
+        sched = _sched(chain, simple_platform, {"A": 0, "B": 1, "C": 0})
+        run = execute_schedule(chain, simple_platform, sched, mean_weights(chain))
+        # A: 0-100; upload 5s -> 105; B: dl 105-110, compute 110-310,
+        # upload ->315; C: dl 315-320, compute 320-420.
+        assert run.tasks["A"].compute_end == pytest.approx(100.0)
+        assert run.tasks["B"].compute_start == pytest.approx(110.0)
+        assert run.tasks["B"].compute_end == pytest.approx(310.0)
+        assert run.tasks["C"].compute_start == pytest.approx(320.0)
+        assert run.makespan == pytest.approx(420.0)
+
+    def test_vm_windows_and_cost(self, chain, simple_platform):
+        sched = _sched(chain, simple_platform, {"A": 0, "B": 1, "C": 0})
+        run = execute_schedule(chain, simple_platform, sched, mean_weights(chain))
+        vm0 = next(v for v in run.vms if v.vm_id == 0)
+        vm1 = next(v for v in run.vms if v.vm_id == 1)
+        assert vm0.ready_at == pytest.approx(0.0)
+        assert vm0.end_at == pytest.approx(420.0)
+        assert vm1.booked_at == pytest.approx(105.0)  # booked when input at DC
+        assert vm1.end_at == pytest.approx(315.0)     # until upload done
+        assert run.cost.vm_rental == pytest.approx(420 * 0.001 + 210 * 0.001)
+
+    def test_faster_category_halves_compute(self, chain, simple_platform):
+        big = simple_platform.category("big")
+        sched = _sched(chain, simple_platform, {"A": 0, "B": 0, "C": 0}, cat=big)
+        run = execute_schedule(chain, simple_platform, sched, mean_weights(chain))
+        assert run.makespan == pytest.approx(200.0)
+
+
+class TestBootSemantics:
+    def test_boot_delays_first_task_uncharged(self, chain, booted_platform):
+        sched = _sched(chain, booted_platform, {"A": 0, "B": 0, "C": 0})
+        run = execute_schedule(chain, booted_platform, sched, mean_weights(chain))
+        rec = run.tasks["A"]
+        assert rec.download_start == pytest.approx(100.0)  # after boot
+        vm = run.vms[0]
+        assert vm.booked_at == pytest.approx(0.0)
+        assert vm.ready_at == pytest.approx(100.0)
+        # makespan includes the boot (booked at 0, ends at 500)
+        assert run.makespan == pytest.approx(500.0)
+        # ...but billing starts at ready: 400s of work
+        assert vm.billed_duration == pytest.approx(400.0)
+
+    def test_second_vm_boots_on_demand(self, chain, booted_platform):
+        sched = _sched(chain, booted_platform, {"A": 0, "B": 1, "C": 0})
+        run = execute_schedule(chain, booted_platform, sched, mean_weights(chain))
+        vm1 = next(v for v in run.vms if v.vm_id == 1)
+        # A computes 100-200 (after boot), uploads ->205; vm1 booked at 205
+        assert vm1.booked_at == pytest.approx(205.0)
+        assert vm1.ready_at == pytest.approx(305.0)
+
+
+class TestOverlap:
+    def test_upload_overlaps_next_compute(self, simple_platform):
+        """A's upload to the other VM runs while B computes on the same VM."""
+        from repro import StochasticWeight, Task, Workflow
+
+        wf = Workflow("overlap")
+        wf.add_task(Task("A", StochasticWeight(100 * GFLOP)))
+        wf.add_task(Task("B", StochasticWeight(100 * GFLOP)))
+        wf.add_task(Task("C", StochasticWeight(10 * GFLOP)))
+        wf.add_edge("A", "C", 2 * GB)  # 20s upload
+        wf.freeze()
+        sched = _sched(wf, simple_platform, {"A": 0, "B": 0, "C": 1},
+                       order=["A", "B", "C"])
+        run = execute_schedule(wf, simple_platform, sched, mean_weights(wf))
+        # B starts right at A's compute end, not after A's 20s upload
+        assert run.tasks["B"].compute_start == pytest.approx(100.0)
+        assert run.tasks["A"].outputs_at_dc == pytest.approx(120.0)
+
+    def test_same_vm_edge_skips_datacenter(self, chain, simple_platform):
+        sched = _sched(chain, simple_platform, {"A": 0, "B": 0, "C": 0})
+        run = execute_schedule(chain, simple_platform, sched, mean_weights(chain))
+        # no flow ever happened: B starts exactly at A's end
+        assert run.tasks["B"].compute_start == pytest.approx(
+            run.tasks["A"].compute_end
+        )
+
+
+class TestForkJoin:
+    def test_parallel_speedup(self, fork_join, simple_platform):
+        serial = _sched(fork_join, simple_platform,
+                        {t: 0 for t in fork_join.tasks})
+        spread = {"src": 0, "sink": 0}
+        spread.update({f"par{i}": i for i in range(4)})
+        parallel = _sched(fork_join, simple_platform, spread)
+        r_serial = execute_schedule(
+            fork_join, simple_platform, serial, mean_weights(fork_join))
+        r_parallel = execute_schedule(
+            fork_join, simple_platform, parallel, mean_weights(fork_join))
+        assert r_parallel.makespan < r_serial.makespan / 2.5
+        assert r_parallel.n_vms == 4
+
+    def test_sink_waits_for_all_uploads(self, fork_join, simple_platform):
+        spread = {"src": 0, "sink": 0}
+        spread.update({f"par{i}": i for i in range(4)})
+        sched = _sched(fork_join, simple_platform, spread)
+        run = execute_schedule(
+            fork_join, simple_platform, sched, mean_weights(fork_join))
+        latest_upload = max(
+            run.tasks[f"par{i}"].outputs_at_dc for i in range(1, 4)
+        )
+        assert run.tasks["sink"].download_start >= latest_upload - 1e-9
+
+
+class TestDcContention:
+    def test_finite_capacity_slows_transfers(self, fork_join, simple_platform):
+        spread = {"src": 0, "sink": 0}
+        spread.update({f"par{i}": i for i in range(4)})
+        sched = _sched(fork_join, simple_platform, spread)
+        free = execute_schedule(
+            fork_join, simple_platform, sched, mean_weights(fork_join))
+        congested = execute_schedule(
+            fork_join, simple_platform, sched, mean_weights(fork_join),
+            dc_capacity=20 * MB,
+        )
+        assert congested.makespan > free.makespan
+
+    def test_infinite_capacity_is_default(self, chain, simple_platform):
+        sched = _sched(chain, simple_platform, {"A": 0, "B": 1, "C": 0})
+        a = execute_schedule(chain, simple_platform, sched, mean_weights(chain))
+        b = execute_schedule(chain, simple_platform, sched, mean_weights(chain),
+                             dc_capacity=math.inf)
+        assert a.makespan == b.makespan
+
+
+class TestWeightHandling:
+    def test_sampled_weights_change_makespan(self, diamond, simple_platform):
+        sched = _sched(diamond, simple_platform, {t: 0 for t in diamond.tasks})
+        runs = {
+            execute_schedule(
+                diamond, simple_platform, sched, sample_weights(diamond, rng=i)
+            ).makespan
+            for i in range(5)
+        }
+        assert len(runs) > 1
+
+    def test_missing_weights_rejected(self, chain, simple_platform):
+        sched = _sched(chain, simple_platform, {"A": 0, "B": 0, "C": 0})
+        with pytest.raises(SimulationError, match="weights missing"):
+            execute_schedule(chain, simple_platform, sched, {"A": 1.0})
+
+    def test_conservative_weights_helper(self, diamond):
+        w = conservative_weights(diamond)
+        for tid in diamond.tasks:
+            assert w[tid] == diamond.task(tid).conservative_weight
+
+    def test_evaluate_schedule_deterministic(self, diamond, simple_platform):
+        sched = _sched(diamond, simple_platform, {t: 0 for t in diamond.tasks})
+        a = evaluate_schedule(diamond, simple_platform, sched)
+        b = evaluate_schedule(diamond, simple_platform, sched)
+        assert a.makespan == b.makespan
+        assert a.total_cost == b.total_cost
+
+
+class TestValidation:
+    def test_bad_order_rejected(self, chain, simple_platform):
+        sched = Schedule(
+            order=["C", "B", "A"],
+            assignment={"A": 0, "B": 0, "C": 0},
+            categories={0: simple_platform.cheapest},
+        )
+        with pytest.raises(ScheduleValidationError):
+            execute_schedule(
+                chain, simple_platform, sched, mean_weights(chain)
+            )
+
+    def test_missing_assignment_rejected(self, chain, simple_platform):
+        sched = Schedule(
+            order=["A", "B", "C"],
+            assignment={"A": 0, "B": 0},
+            categories={0: simple_platform.cheapest},
+        )
+        with pytest.raises(ScheduleValidationError):
+            execute_schedule(chain, simple_platform, sched, mean_weights(chain))
+
+    def test_respects_budget(self, chain, simple_platform):
+        sched = _sched(chain, simple_platform, {"A": 0, "B": 0, "C": 0})
+        run = execute_schedule(chain, simple_platform, sched, mean_weights(chain))
+        assert run.respects_budget(run.total_cost)
+        assert run.respects_budget(run.total_cost + 1.0)
+        assert not run.respects_budget(run.total_cost - 0.01)

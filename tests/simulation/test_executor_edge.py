@@ -1,0 +1,168 @@
+"""Executor edge cases: degenerate sizes, boot/billing corners, flows."""
+
+import math
+
+import pytest
+
+from repro import (
+    CloudPlatform,
+    Schedule,
+    StochasticWeight,
+    Task,
+    VMCategory,
+    Workflow,
+)
+from repro.errors import SimulationError
+from repro.simulation import evaluate_schedule, execute_schedule, mean_weights
+from repro.units import GB, GFLOP, MB
+
+
+@pytest.fixture
+def free_boot_platform():
+    return CloudPlatform(
+        categories=(VMCategory("c", speed=1 * GFLOP, hourly_cost=3.6),),
+        bandwidth=100 * MB,
+    )
+
+
+def _single(ext_in=0.0, ext_out=0.0):
+    wf = Workflow("one")
+    wf.add_task(Task("t", StochasticWeight(10 * GFLOP),
+                     external_input=ext_in, external_output=ext_out))
+    return wf.freeze()
+
+
+def _sched_all_on(wf, platform, vm=0):
+    return Schedule(
+        order=wf.topological_order,
+        assignment={t: vm for t in wf.tasks},
+        categories={vm: platform.categories[0]},
+    )
+
+
+class TestDegenerateSizes:
+    def test_single_task_no_io(self, free_boot_platform):
+        wf = _single()
+        run = execute_schedule(
+            wf, free_boot_platform, _sched_all_on(wf, free_boot_platform),
+            mean_weights(wf),
+        )
+        assert run.makespan == pytest.approx(10.0)
+        assert run.tasks["t"].download_start == 0.0
+
+    def test_single_task_io_only_cost(self, free_boot_platform):
+        wf = _single(ext_in=1 * GB, ext_out=1 * GB)
+        run = execute_schedule(
+            wf, free_boot_platform, _sched_all_on(wf, free_boot_platform),
+            mean_weights(wf),
+        )
+        # 10s download + 10s compute + 10s upload
+        assert run.makespan == pytest.approx(30.0)
+
+    def test_two_independent_tasks_two_vms(self, free_boot_platform):
+        wf = Workflow("two")
+        wf.add_task(Task("a", StochasticWeight(10 * GFLOP)))
+        wf.add_task(Task("b", StochasticWeight(10 * GFLOP)))
+        wf.freeze()
+        sched = Schedule(
+            order=["a", "b"], assignment={"a": 0, "b": 1},
+            categories={0: free_boot_platform.categories[0],
+                        1: free_boot_platform.categories[0]},
+        )
+        run = execute_schedule(wf, free_boot_platform, sched, mean_weights(wf))
+        assert run.makespan == pytest.approx(10.0)
+        assert run.n_vms == 2
+
+
+class TestBillingCorners:
+    def test_zero_boot_zero_init_costs_nothing_extra(self, free_boot_platform):
+        wf = _single()
+        run = execute_schedule(
+            wf, free_boot_platform, _sched_all_on(wf, free_boot_platform),
+            mean_weights(wf),
+        )
+        assert run.cost.vm_initial == 0.0
+        assert run.cost.vm_rental == pytest.approx(10 * 0.001)
+
+    def test_boot_only_delays_never_bills(self, booted_platform):
+        wf = _single()
+        sched = _sched_all_on(wf, booted_platform)
+        run = execute_schedule(wf, booted_platform, sched, mean_weights(wf))
+        vm = run.vms[0]
+        assert vm.ready_at - vm.booked_at == pytest.approx(100.0)
+        assert vm.billed_duration == pytest.approx(10.0)
+
+    def test_cost_breakdown_total_consistency(self, diamond, booted_platform):
+        sched = _sched_all_on(diamond, booted_platform)
+        run = execute_schedule(diamond, booted_platform, sched,
+                               mean_weights(diamond))
+        assert run.total_cost == pytest.approx(
+            run.cost.vm_rental + run.cost.datacenter_time
+            + run.cost.datacenter_io
+        )
+
+
+class TestFlowCorners:
+    def test_zero_byte_edge_still_orders(self, free_boot_platform):
+        wf = Workflow.from_spec(
+            "zb", [("a", 10 * GFLOP, 0.0), ("b", 10 * GFLOP, 0.0)],
+            [("a", "b", 0.0)],
+        )
+        sched = Schedule(
+            order=["a", "b"], assignment={"a": 0, "b": 1},
+            categories={0: free_boot_platform.categories[0],
+                        1: free_boot_platform.categories[0]},
+        )
+        run = execute_schedule(wf, free_boot_platform, sched, mean_weights(wf))
+        # zero-byte upload and download are instantaneous but still gate
+        assert run.tasks["b"].compute_start == pytest.approx(10.0)
+
+    def test_tiny_dc_capacity_finishes(self, fork_join, simple_platform):
+        spread = {"src": 0, "sink": 0}
+        spread.update({f"par{i}": i for i in range(4)})
+        sched = Schedule(
+            order=fork_join.topological_order,
+            assignment=spread,
+            categories={v: simple_platform.cheapest for v in set(spread.values())},
+        )
+        run = execute_schedule(
+            fork_join, simple_platform, sched, mean_weights(fork_join),
+            dc_capacity=1 * MB,
+        )
+        assert set(run.tasks) == set(fork_join.tasks)
+
+    def test_weight_floor_protects_simulation(self, free_boot_platform):
+        """Sampled weights are floored > 0, so compute events always advance."""
+        wf = Workflow("floored")
+        wf.add_task(Task("t", StochasticWeight(10 * GFLOP, 100 * GFLOP)))
+        wf.freeze()
+        from repro.simulation import sample_weights
+
+        for seed in range(5):
+            weights = sample_weights(wf, rng=seed)
+            assert weights["t"] > 0
+            run = execute_schedule(
+                wf, free_boot_platform, _sched_all_on(wf, free_boot_platform),
+                weights,
+            )
+            assert run.makespan > 0
+
+
+class TestEvaluateOptions:
+    def test_mean_vs_conservative_evaluation(self, diamond, simple_platform):
+        sched = _sched_all_on(diamond, simple_platform)
+        cons = evaluate_schedule(diamond, simple_platform, sched,
+                                 use_conservative=True)
+        mean = evaluate_schedule(diamond, simple_platform, sched,
+                                 use_conservative=False)
+        assert cons.makespan > mean.makespan
+
+    def test_validate_flag(self, chain, simple_platform):
+        bad = Schedule(
+            order=["C", "B", "A"], assignment={t: 0 for t in "ABC"},
+            categories={0: simple_platform.cheapest},
+        )
+        # without validation the executor detects the deadlock itself
+        with pytest.raises(SimulationError):
+            execute_schedule(chain, simple_platform, bad, mean_weights(chain),
+                             validate=False)

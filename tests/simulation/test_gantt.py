@@ -1,0 +1,75 @@
+"""Tests for the ASCII Gantt renderer."""
+
+import pytest
+
+from repro import PAPER_PLATFORM, Schedule, evaluate_schedule, generate
+from repro.simulation import mean_weights, execute_schedule
+from repro.simulation.gantt import render_gantt, render_task_table
+
+
+@pytest.fixture()
+def run(chain, simple_platform):
+    sched = Schedule(
+        order=["A", "B", "C"],
+        assignment={"A": 0, "B": 1, "C": 0},
+        categories={0: simple_platform.cheapest,
+                    1: simple_platform.category("big")},
+    )
+    return execute_schedule(chain, simple_platform, sched, mean_weights(chain))
+
+
+class TestRenderGantt:
+    def test_one_row_per_vm(self, run):
+        text = render_gantt(run)
+        lines = text.splitlines()
+        assert sum(1 for l in lines if l.startswith("vm")) == run.n_vms
+
+    def test_contains_phases(self, run):
+        text = render_gantt(run)
+        assert "█" in text   # compute
+        assert "▒" in text   # download (B pulls A's output)
+        assert "legend" in text
+
+    def test_respects_width(self, run):
+        for width in (20, 60, 120):
+            text = render_gantt(run, width=width)
+            rows = [l for l in text.splitlines() if l.startswith("vm")]
+            label = rows[0].split(" ", 1)[0]
+            assert all(len(r) <= len(label) + 1 + width + 2 for r in rows)
+
+    def test_width_validation(self, run):
+        with pytest.raises(ValueError):
+            render_gantt(run, width=2)
+
+    def test_realistic_workflow_renders(self):
+        wf = generate("montage", 20, rng=1, sigma_ratio=0.5)
+        from repro import make_scheduler
+
+        sched = make_scheduler("heft_budg").schedule(
+            wf, PAPER_PLATFORM, 1.0
+        ).schedule
+        run = evaluate_schedule(wf, PAPER_PLATFORM, sched)
+        text = render_gantt(run)
+        assert text.count("\n") >= run.n_vms
+
+    def test_compute_dominates_markers(self, run):
+        """Compute cells must not be overpainted by uploads."""
+        text = render_gantt(run, width=200)
+        vm0 = next(l for l in text.splitlines() if l.startswith("vm0"))
+        assert vm0.count("█") >= vm0.count("░")
+
+
+class TestTaskTable:
+    def test_all_tasks_listed(self, run):
+        text = render_task_table(run)
+        for tid in ("A", "B", "C"):
+            assert tid in text
+
+    def test_limit(self, run):
+        text = render_task_table(run, limit=1)
+        assert len(text.strip().splitlines()) == 2  # header + 1 row
+
+    def test_sorted_by_compute_start(self, run):
+        lines = render_task_table(run).strip().splitlines()[1:]
+        starts = [float(l.split()[3]) for l in lines]
+        assert starts == sorted(starts)

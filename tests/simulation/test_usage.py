@@ -1,0 +1,67 @@
+"""Tests for the VM usage analysis."""
+
+import pytest
+
+from repro import PAPER_PLATFORM, Schedule, evaluate_schedule, generate, make_scheduler
+from repro.simulation import execute_schedule, mean_weights
+from repro.simulation.usage import analyze_usage
+
+
+@pytest.fixture
+def run(chain, simple_platform):
+    sched = Schedule(
+        order=["A", "B", "C"],
+        assignment={"A": 0, "B": 1, "C": 0},
+        categories={0: simple_platform.cheapest, 1: simple_platform.cheapest},
+    )
+    return execute_schedule(chain, simple_platform, sched, mean_weights(chain))
+
+
+class TestAnalyzeUsage:
+    def test_hand_computed_breakdown(self, run):
+        # vm0 window 0..420: A computes 0-100, idle 100-315, C dl 315-320,
+        # C computes 320-420 -> compute 200, download 5, idle 215
+        report = analyze_usage(run)
+        vm0 = next(u for u in report.vms if u.vm_id == 0)
+        assert vm0.window == pytest.approx(420.0)
+        assert vm0.compute == pytest.approx(200.0)
+        assert vm0.download == pytest.approx(5.0)
+        assert vm0.idle == pytest.approx(215.0)
+        assert vm0.n_tasks == 2
+
+    def test_components_sum_to_window(self, run):
+        for u in analyze_usage(run).vms:
+            assert u.compute + u.download + u.idle == pytest.approx(
+                u.window, abs=1e-6
+            )
+
+    def test_utilization_bounds(self, run):
+        report = analyze_usage(run)
+        for u in report.vms:
+            assert 0.0 <= u.utilization <= 1.0
+        assert 0.0 <= report.mean_utilization <= 1.0
+
+    def test_least_utilized_ordering(self, run):
+        worst = analyze_usage(run).least_utilized(2)
+        assert worst[0].utilization <= worst[1].utilization
+
+    def test_on_real_workflow(self):
+        wf = generate("montage", 20, rng=3, sigma_ratio=0.5)
+        sched = make_scheduler("heft_budg").schedule(
+            wf, PAPER_PLATFORM, 0.5
+        ).schedule
+        report = analyze_usage(evaluate_schedule(wf, PAPER_PLATFORM, sched))
+        assert len(report.vms) == sched.n_vms
+        assert report.total_compute > 0
+        assert report.mean_utilization > 0.1
+
+    def test_sequential_schedule_high_utilization(self):
+        """A single-VM chain has almost no idle time."""
+        wf = generate("epigenomics", 20, rng=3, sigma_ratio=0.0)
+        sched = Schedule(
+            order=wf.topological_order,
+            assignment={t: 0 for t in wf.tasks},
+            categories={0: PAPER_PLATFORM.cheapest},
+        )
+        report = analyze_usage(evaluate_schedule(wf, PAPER_PLATFORM, sched))
+        assert report.mean_utilization > 0.95

@@ -1,0 +1,71 @@
+"""Tests for the Eq. (3) planning advisor."""
+
+import math
+
+import pytest
+
+from repro import PAPER_PLATFORM, SchedulingError, generate
+from repro.advisor import recommend
+from repro.experiments.budgets import high_budget, minimal_budget
+from repro.simulation.executor import evaluate_schedule
+
+
+@pytest.fixture(scope="module")
+def wf():
+    return generate("montage", 20, rng=10, sigma_ratio=0.5)
+
+
+@pytest.fixture(scope="module")
+def loose_deadline(wf):
+    # comfortably above the parallel makespan
+    from repro import make_scheduler
+
+    sched = make_scheduler("heft").schedule(wf, PAPER_PLATFORM, math.inf).schedule
+    return 1.5 * evaluate_schedule(wf, PAPER_PLATFORM, sched).makespan
+
+
+class TestRecommend:
+    def test_feasible_plan_meets_confidence(self, wf, loose_deadline):
+        plan = recommend(wf, PAPER_PLATFORM, loose_deadline,
+                         confidence=0.9, n_samples=30, rng=1)
+        assert plan.feasible
+        assert plan.risk.p_meets_objective >= 0.9
+        plan.schedule.validate(wf)
+
+    def test_picks_cheapest_qualifying_budget(self, wf, loose_deadline):
+        plan = recommend(wf, PAPER_PLATFORM, loose_deadline,
+                         confidence=0.9, n_samples=30, rng=1)
+        # a loose deadline is typically met well below the high budget
+        assert plan.budget < high_budget(wf, PAPER_PLATFORM)
+
+    def test_impossible_deadline_reports_best_effort(self, wf):
+        plan = recommend(wf, PAPER_PLATFORM, deadline=1.0,
+                         confidence=0.9, n_samples=10, rng=2)
+        assert not plan.feasible
+        assert plan.risk.p_meets_objective == 0.0
+        assert "MISSES" in plan.summary()
+
+    def test_explicit_budget_list(self, wf, loose_deadline):
+        b = minimal_budget(wf, PAPER_PLATFORM) * 3
+        plan = recommend(wf, PAPER_PLATFORM, loose_deadline,
+                         budgets=[b], confidence=0.5, n_samples=10, rng=3)
+        assert plan.budget == b
+
+    def test_bad_parameters(self, wf):
+        with pytest.raises(SchedulingError):
+            recommend(wf, PAPER_PLATFORM, deadline=0.0)
+        with pytest.raises(SchedulingError):
+            recommend(wf, PAPER_PLATFORM, deadline=10.0, confidence=0.0)
+
+    def test_summary_mentions_target(self, wf, loose_deadline):
+        plan = recommend(wf, PAPER_PLATFORM, loose_deadline,
+                         confidence=0.9, n_samples=10, rng=4)
+        assert "90%" in plan.summary()
+
+    def test_deterministic(self, wf, loose_deadline):
+        a = recommend(wf, PAPER_PLATFORM, loose_deadline,
+                      confidence=0.9, n_samples=15, rng=5)
+        b = recommend(wf, PAPER_PLATFORM, loose_deadline,
+                      confidence=0.9, n_samples=15, rng=5)
+        assert a.budget == b.budget
+        assert a.risk.p_meets_objective == b.risk.p_meets_objective

@@ -1,0 +1,42 @@
+"""Exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.WorkflowError,
+            errors.CycleError,
+            errors.DanglingEdgeError,
+            errors.PlatformError,
+            errors.SchedulingError,
+            errors.InfeasibleBudgetError,
+            errors.ScheduleValidationError,
+            errors.SimulationError,
+            errors.DaxParseError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_specializations(self):
+        assert issubclass(errors.CycleError, errors.WorkflowError)
+        assert issubclass(errors.DanglingEdgeError, errors.WorkflowError)
+        assert issubclass(errors.DaxParseError, errors.WorkflowError)
+        assert issubclass(errors.InfeasibleBudgetError, errors.SchedulingError)
+
+    def test_one_except_catches_everything(self):
+        """The package contract: `except ReproError` is sufficient."""
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            with pytest.raises(errors.ReproError):
+                raise exc("boom")
+
+    def test_all_exported(self):
+        assert set(errors.__all__) >= {
+            "ReproError", "WorkflowError", "SimulationError",
+        }

@@ -1,0 +1,98 @@
+"""Tests for JSON persistence of schedules and results."""
+
+import io
+import json
+
+import pytest
+
+from repro import (
+    PAPER_PLATFORM,
+    ScheduleValidationError,
+    evaluate_schedule,
+    generate,
+    make_scheduler,
+)
+from repro.io import (
+    dump_schedule,
+    load_schedule,
+    result_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def wf():
+    return generate("montage", 20, rng=12, sigma_ratio=0.5)
+
+
+@pytest.fixture(scope="module")
+def sched(wf):
+    return make_scheduler("heft_budg").schedule(wf, PAPER_PLATFORM, 1.0).schedule
+
+
+class TestScheduleRoundTrip:
+    def test_dict_roundtrip_identical(self, wf, sched):
+        back = schedule_from_dict(schedule_to_dict(sched))
+        assert back.order == sched.order
+        assert back.assignment == sched.assignment
+        assert back.categories == sched.categories
+        back.validate(wf)
+
+    def test_roundtrip_replays_identically(self, wf, sched):
+        back = schedule_from_dict(schedule_to_dict(sched))
+        a = evaluate_schedule(wf, PAPER_PLATFORM, sched)
+        b = evaluate_schedule(wf, PAPER_PLATFORM, back)
+        assert a.makespan == b.makespan
+        assert a.total_cost == b.total_cost
+
+    def test_file_roundtrip(self, wf, sched, tmp_path):
+        path = str(tmp_path / "sched.json")
+        dump_schedule(sched, path)
+        back = load_schedule(path)
+        assert back.assignment == sched.assignment
+
+    def test_stream_roundtrip(self, sched):
+        buf = io.StringIO()
+        dump_schedule(sched, buf)
+        buf.seek(0)
+        back = load_schedule(buf)
+        assert back.order == sched.order
+
+    def test_json_is_plain(self, sched):
+        text = json.dumps(schedule_to_dict(sched))
+        assert "cat" in text  # categories embedded by value
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ScheduleValidationError, match="format"):
+            schedule_from_dict({"format": "bogus/9"})
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ScheduleValidationError, match="malformed"):
+            schedule_from_dict({"format": "repro.schedule/1", "order": []})
+
+    def test_multicore_category_preserved(self):
+        from repro import Schedule, StochasticWeight, Task, VMCategory, Workflow
+
+        wf = Workflow("w")
+        wf.add_task(Task("t", StochasticWeight(1e9)))
+        wf.freeze()
+        cat = VMCategory("dual", speed=1e9, hourly_cost=1.0, cores=2)
+        sched = Schedule(order=["t"], assignment={"t": 0}, categories={0: cat})
+        back = schedule_from_dict(schedule_to_dict(sched))
+        assert back.categories[0].cores == 2
+
+
+class TestResultExport:
+    def test_result_dict_complete(self, wf, sched):
+        run = evaluate_schedule(wf, PAPER_PLATFORM, sched)
+        data = result_to_dict(run)
+        assert data["makespan"] == run.makespan
+        assert data["total_cost"] == pytest.approx(run.total_cost)
+        assert set(data["tasks"]) == set(wf.tasks)
+        assert len(data["vms"]) == run.n_vms
+
+    def test_result_json_serializable(self, wf, sched):
+        run = evaluate_schedule(wf, PAPER_PLATFORM, sched)
+        text = json.dumps(result_to_dict(run))
+        assert json.loads(text)["format"] == "repro.result/1"

@@ -1,0 +1,66 @@
+"""Cross-product sanity matrix: every algorithm × every paper family.
+
+A cheap guarantee that no (algorithm, workflow-structure) combination
+crashes, deadlocks, or produces structurally invalid schedules — the kind
+of coverage individual unit tests can miss.
+"""
+
+import math
+
+import pytest
+
+from repro import (
+    PAPER_PLATFORM,
+    available_schedulers,
+    evaluate_schedule,
+    generate,
+    make_scheduler,
+)
+from repro.experiments.budgets import minimal_budget
+
+FAMILIES = ("cybershake", "ligo", "montage", "epigenomics", "sipht")
+FAST_ALGOS = ("minmin", "heft", "minmin_budg", "heft_budg", "bdt", "cg",
+              "maxmin", "maxmin_budg", "sufferage", "sufferage_budg")
+SLOW_ALGOS = ("heft_budg_plus", "heft_budg_plus_inv", "cg_plus")
+
+
+@pytest.fixture(scope="module")
+def workflows():
+    return {
+        family: generate(family, 20, rng=17, sigma_ratio=0.5)
+        for family in FAMILIES
+    }
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("algorithm", FAST_ALGOS)
+class TestFastMatrix:
+    def test_medium_budget(self, workflows, family, algorithm):
+        wf = workflows[family]
+        budget = 2.0 * minimal_budget(wf, PAPER_PLATFORM)
+        result = make_scheduler(algorithm).schedule(wf, PAPER_PLATFORM, budget)
+        result.schedule.validate(wf)
+        run = evaluate_schedule(wf, PAPER_PLATFORM, result.schedule)
+        assert set(run.tasks) == set(wf.tasks)
+        assert run.makespan > 0 and run.total_cost > 0
+
+    def test_infinite_budget(self, workflows, family, algorithm):
+        wf = workflows[family]
+        result = make_scheduler(algorithm).schedule(wf, PAPER_PLATFORM, math.inf)
+        result.schedule.validate(wf)
+
+
+@pytest.mark.parametrize("family", ("ligo", "sipht"))
+@pytest.mark.parametrize("algorithm", SLOW_ALGOS)
+class TestSlowMatrix:
+    def test_medium_budget(self, workflows, family, algorithm):
+        wf = workflows[family]
+        budget = 2.0 * minimal_budget(wf, PAPER_PLATFORM)
+        result = make_scheduler(algorithm).schedule(wf, PAPER_PLATFORM, budget)
+        result.schedule.validate(wf)
+        run = evaluate_schedule(wf, PAPER_PLATFORM, result.schedule)
+        assert set(run.tasks) == set(wf.tasks)
+
+
+def test_registry_covers_matrix():
+    assert set(FAST_ALGOS) | set(SLOW_ALGOS) == set(available_schedulers())

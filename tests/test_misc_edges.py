@@ -1,0 +1,72 @@
+"""Remaining edge cases across small surfaces."""
+
+import json
+
+import pytest
+
+from repro import PAPER_PLATFORM, ScheduleValidationError, generate, make_scheduler
+from repro.io import load_schedule
+from repro.simulation import evaluate_schedule
+from repro.simulation.gantt import render_gantt
+
+
+class TestIoEdges:
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(json.JSONDecodeError):
+            load_schedule(str(path))
+
+    def test_load_wrong_payload(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text(json.dumps({"format": "other/1"}))
+        with pytest.raises(ScheduleValidationError):
+            load_schedule(str(path))
+
+
+class TestGanttOptions:
+    def test_show_boot_toggle(self):
+        wf = generate("montage", 14, rng=2, sigma_ratio=0.5)
+        sched = make_scheduler("heft_budg").schedule(
+            wf, PAPER_PLATFORM, 1.0
+        ).schedule
+        run = evaluate_schedule(wf, PAPER_PLATFORM, sched)
+        with_boot = render_gantt(run, show_boot=True)
+        without = render_gantt(run, show_boot=False)
+        assert with_boot.count("|") >= without.count("|")
+
+
+class TestWorkflowEdges:
+    def test_edges_iterable_before_freeze(self):
+        from repro import StochasticWeight, Task, Workflow
+
+        wf = Workflow("unfrozen")
+        wf.add_task(Task("a", StochasticWeight(1e9)))
+        wf.add_task(Task("b", StochasticWeight(1e9)))
+        wf.add_edge("a", "b", 1.0)
+        assert len(list(wf.edges())) == 1  # iterable pre-freeze too
+
+    def test_with_bandwidth_keeps_override(self):
+        from repro import CloudPlatform, VMCategory
+
+        p = CloudPlatform(
+            categories=(VMCategory("c", speed=1e9, hourly_cost=1.0),),
+            bandwidth=1e6,
+            datacenter_rate_override=0.5,
+        )
+        assert p.with_bandwidth(2e6).datacenter_rate_override == 0.5
+
+
+class TestConsoleEntryPoint:
+    def test_repro_exp_installed(self):
+        import shutil
+        import subprocess
+
+        exe = shutil.which("repro-exp")
+        if exe is None:
+            pytest.skip("console script not on PATH in this environment")
+        out = subprocess.run(
+            [exe, "table2"], capture_output=True, text=True, timeout=120
+        )
+        assert out.returncode == 0
+        assert "cat1" in out.stdout

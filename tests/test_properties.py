@@ -1,0 +1,271 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These exercise randomly generated workflows, platforms, schedules and
+stochastic weights against the invariants that must hold for *every* input:
+DAG consistency, budget-division conservation, executor timeline sanity,
+precedence preservation, and cost accounting consistency.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    CloudPlatform,
+    Schedule,
+    StochasticWeight,
+    VMCategory,
+    divide_budget,
+    execute_schedule,
+    evaluate_schedule,
+    sample_weights,
+)
+from repro.scheduling.heft import HeftBudgScheduler
+from repro.simulation.bandwidth import FlowPool
+from repro.units import GB, GFLOP, MB
+from repro.workflow.generators import generate_random_layered
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@st.composite
+def workflows(draw, max_tasks: int = 22):
+    n = draw(st.integers(min_value=1, max_value=max_tasks))
+    depth = draw(st.integers(min_value=1, max_value=6))
+    fan = draw(st.integers(min_value=1, max_value=3))
+    sigma = draw(st.sampled_from([0.0, 0.25, 0.5, 1.0]))
+    seed = draw(seeds)
+    return generate_random_layered(
+        n, depth=depth, max_fan_in=fan, sigma_ratio=sigma, rng=seed
+    )
+
+
+@st.composite
+def platforms(draw):
+    k = draw(st.integers(min_value=1, max_value=4))
+    base_speed = draw(st.floats(min_value=0.5, max_value=8.0)) * GFLOP
+    base_cost = draw(st.floats(min_value=0.01, max_value=1.0))
+    boot = draw(st.sampled_from([0.0, 30.0, 120.0]))
+    cores = draw(st.sampled_from([1, 1, 2, 4]))  # mostly single-core
+    cats = tuple(
+        VMCategory(
+            f"c{i}",
+            speed=base_speed * (1.7**i),
+            hourly_cost=base_cost * (2.0**i),
+            initial_cost=0.002,
+            boot_time=boot,
+            cores=cores,
+        )
+        for i in range(k)
+    )
+    bw = draw(st.sampled_from([20.0 * MB, 125.0 * MB, 1.0 * GB]))
+    return CloudPlatform(
+        categories=cats, bandwidth=bw,
+        transfer_cost_per_byte=0.05 / GB,
+        storage_cost_per_byte_month=0.02 / GB,
+    )
+
+
+# ---------------------------------------------------------------------------
+# StochasticWeight
+# ---------------------------------------------------------------------------
+
+@given(
+    mean=st.floats(min_value=1e3, max_value=1e15),
+    ratio=st.floats(min_value=0.0, max_value=3.0),
+    seed=seeds,
+)
+def test_weight_samples_positive_and_floored(mean, ratio, seed):
+    w = StochasticWeight(mean, ratio * mean)
+    value = w.sample(rng=seed)
+    assert value > 0.0
+    assert value >= 0.01 * mean - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# DAG invariants
+# ---------------------------------------------------------------------------
+
+@given(wf=workflows())
+@settings(max_examples=40, deadline=None)
+def test_topological_order_is_linear_extension(wf):
+    pos = {t: i for i, t in enumerate(wf.topological_order)}
+    for edge in wf.edges():
+        assert pos[edge.producer] < pos[edge.consumer]
+
+
+@given(wf=workflows())
+@settings(max_examples=40, deadline=None)
+def test_levels_monotone_along_edges(wf):
+    levels = wf.levels()
+    for edge in wf.edges():
+        assert levels[edge.consumer] >= levels[edge.producer] + 1
+
+
+@given(wf=workflows())
+@settings(max_examples=40, deadline=None)
+def test_aggregate_data_conservation(wf):
+    per_task_in = sum(wf.input_data_of(t) for t in wf.tasks)
+    per_task_out = sum(wf.output_data_of(t) for t in wf.tasks)
+    assert math.isclose(per_task_in, per_task_out, rel_tol=1e-9)
+    assert math.isclose(per_task_in, wf.total_edge_data, rel_tol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Budget division (Algorithm 1)
+# ---------------------------------------------------------------------------
+
+@given(wf=workflows(), platform=platforms(),
+       budget=st.floats(min_value=0.0, max_value=1000.0))
+@settings(max_examples=40, deadline=None)
+def test_budget_shares_conserve_b_calc(wf, platform, budget):
+    plan = divide_budget(wf, platform, budget)
+    assert plan.b_calc >= 0.0
+    assert all(s >= 0.0 for s in plan.shares.values())
+    assert math.isclose(plan.total_shares, plan.b_calc,
+                        rel_tol=1e-9, abs_tol=1e-12)
+    assert set(plan.shares) == set(wf.tasks)
+
+
+@given(wf=workflows(), platform=platforms())
+@settings(max_examples=25, deadline=None)
+def test_budget_shares_monotone_in_budget(wf, platform):
+    small = divide_budget(wf, platform, 5.0)
+    large = divide_budget(wf, platform, 50.0)
+    for tid in wf.tasks:
+        assert large.share(tid) >= small.share(tid) - 1e-12
+
+
+# ---------------------------------------------------------------------------
+# FlowPool conservation
+# ---------------------------------------------------------------------------
+
+@given(
+    sizes=st.lists(st.floats(min_value=0.0, max_value=1e9),
+                   min_size=1, max_size=8),
+    capacity=st.sampled_from([math.inf, 50.0 * MB, 200.0 * MB]),
+)
+def test_flowpool_transfers_everything(sizes, capacity):
+    pool = FlowPool(capacity=capacity)
+    for i, size in enumerate(sizes):
+        pool.start(i, size, cap=100.0 * MB)
+    done = []
+    for _ in range(10 * len(sizes) + 10):
+        t = pool.next_completion()
+        if t == math.inf:
+            break
+        done.extend(fid for fid, _ in pool.advance(t))
+    assert sorted(done) == list(range(len(sizes)))
+    assert not pool
+
+
+@given(
+    n=st.integers(min_value=1, max_value=10),
+    capacity=st.floats(min_value=10.0, max_value=500.0),
+)
+def test_flowpool_finite_capacity_lower_bounds_duration(n, capacity):
+    """n equal flows of S bytes can never finish before n*S/capacity."""
+    size = 1000.0
+    pool = FlowPool(capacity=capacity)
+    for i in range(n):
+        pool.start(i, size, cap=1e9)
+    last = 0.0
+    while pool:
+        t = pool.next_completion()
+        pool.advance(t)
+        last = t
+    assert last >= n * size / capacity - 1e-6
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: schedule + execute
+# ---------------------------------------------------------------------------
+
+@given(wf=workflows(), platform=platforms(),
+       budget=st.floats(min_value=0.001, max_value=100.0), seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_heftbudg_execution_invariants(wf, platform, budget, seed):
+    result = HeftBudgScheduler().schedule(wf, platform, budget)
+    result.schedule.validate(wf)
+    weights = sample_weights(wf, rng=seed)
+    run = execute_schedule(wf, platform, result.schedule, weights)
+
+    # every task ran exactly once with a sane timeline
+    assert set(run.tasks) == set(wf.tasks)
+    for tid, rec in run.tasks.items():
+        assert rec.download_start <= rec.compute_start + 1e-9
+        assert rec.compute_start <= rec.compute_end + 1e-9
+        assert rec.compute_end <= rec.outputs_at_dc + 1e-9
+        speed = result.schedule.category_of(tid).speed
+        assert math.isclose(
+            rec.compute_end - rec.compute_start, weights[tid] / speed,
+            rel_tol=1e-9, abs_tol=1e-9,
+        )
+
+    # precedence: a consumer never starts computing before its producer ends
+    for edge in wf.edges():
+        assert (
+            run.tasks[edge.consumer].compute_start
+            >= run.tasks[edge.producer].compute_end - 1e-9
+        )
+
+    # per-VM capacity: never more than `cores` concurrent computes, and on
+    # single-core VMs computes are fully serialized
+    by_vm = {}
+    for rec in run.tasks.values():
+        by_vm.setdefault(rec.vm_id, []).append(rec)
+    for vm_id, recs in by_vm.items():
+        cores = result.schedule.categories[vm_id].cores
+        recs.sort(key=lambda r: r.compute_start)
+        if cores == 1:
+            for a, b in zip(recs, recs[1:]):
+                assert b.download_start >= a.compute_end - 1e-9
+        else:
+            boundaries = sorted(
+                {r.compute_start for r in recs} | {r.compute_end for r in recs}
+            )
+            for t in boundaries[:-1]:
+                concurrent = sum(
+                    1 for r in recs
+                    if r.compute_start - 1e-9 <= t < r.compute_end - 1e-9
+                )
+                assert concurrent <= cores
+
+    # accounting sanity
+    assert run.makespan >= 0.0
+    assert run.total_cost > 0.0
+    assert run.cost.vm_rental >= 0.0
+    assert run.n_vms == result.schedule.n_vms
+
+
+@given(wf=workflows(max_tasks=15), platform=platforms(), seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_generous_budget_is_respected(wf, platform, seed):
+    """With a budget far above the conservative envelope, the deterministic
+    cost must stay within it."""
+    from repro.experiments.budgets import high_budget
+
+    budget = high_budget(wf, platform) * 2.0
+    result = HeftBudgScheduler().schedule(wf, platform, budget)
+    run = evaluate_schedule(wf, platform, result.schedule)
+    assert run.total_cost <= budget
+
+
+@given(wf=workflows(max_tasks=15), platform=platforms(), seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_reassignment_keeps_executability(wf, platform, seed):
+    """Any single-task move to a fresh fastest VM still executes cleanly."""
+    import numpy as np
+
+    result = HeftBudgScheduler().schedule(wf, platform, math.inf)
+    sched = result.schedule
+    rng = np.random.default_rng(seed)
+    tid = sched.order[int(rng.integers(len(sched.order)))]
+    moved = sched.reassigned(tid, sched.fresh_vm_id(), platform.fastest)
+    moved.validate(wf)
+    run = evaluate_schedule(wf, platform, moved)
+    assert set(run.tasks) == set(wf.tasks)

@@ -1,0 +1,123 @@
+"""Additional property-based tests: DAX round-trips, schedule persistence,
+HEFT-order stability, and risk-probability consistency."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro import parse_dax, write_dax
+from repro.experiments.risk import Distribution
+from repro.io import schedule_from_dict, schedule_to_dict
+from repro.platform.cloud import make_linear_platform
+from repro.scheduling.heft import HeftBudgScheduler
+from repro.workflow.analysis import heft_order
+from repro.workflow.generators import generate_random_layered
+
+import numpy as np
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@st.composite
+def workflows(draw, max_tasks: int = 20):
+    n = draw(st.integers(min_value=1, max_value=max_tasks))
+    depth = draw(st.integers(min_value=1, max_value=5))
+    sigma = draw(st.sampled_from([0.0, 0.5, 1.0]))
+    return generate_random_layered(
+        n, depth=depth, sigma_ratio=sigma, rng=draw(seeds)
+    )
+
+
+@given(wf=workflows())
+@settings(max_examples=25, deadline=None)
+def test_dax_roundtrip_preserves_structure(wf):
+    back = parse_dax(write_dax(wf))
+    assert back.n_tasks == wf.n_tasks
+    assert back.n_edges == wf.n_edges
+    for tid in wf.tasks:
+        assert set(back.predecessors(tid)) == set(wf.predecessors(tid))
+        assert math.isclose(
+            back.task(tid).mean_weight, wf.task(tid).mean_weight,
+            rel_tol=1e-6,
+        )
+        assert math.isclose(
+            sum(back.predecessors(tid).values()),
+            sum(wf.predecessors(tid).values()),
+            rel_tol=1e-6, abs_tol=1.0,
+        )
+
+
+@given(wf=workflows(), seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_schedule_json_roundtrip_is_lossless(wf, seed):
+    platform = make_linear_platform()
+    sched = HeftBudgScheduler().schedule(wf, platform, 5.0).schedule
+    back = schedule_from_dict(schedule_to_dict(sched))
+    assert back.order == sched.order
+    assert back.assignment == sched.assignment
+    assert back.categories == sched.categories
+
+
+@given(wf=workflows())
+@settings(max_examples=25, deadline=None)
+def test_heft_order_is_stable_and_valid(wf):
+    platform = make_linear_platform()
+    a = heft_order(wf, platform.mean_speed, platform.bandwidth)
+    b = heft_order(wf, platform.mean_speed, platform.bandwidth)
+    assert a == b
+    pos = {t: i for i, t in enumerate(a)}
+    for edge in wf.edges():
+        assert pos[edge.producer] < pos[edge.consumer]
+
+
+@given(
+    samples=st.lists(
+        st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=200
+    )
+)
+def test_distribution_summary_bounds(samples):
+    d = Distribution.from_samples(np.array(samples))
+    tol = 1e-9 * max(abs(d.minimum), abs(d.maximum), 1.0)  # mean() ulp noise
+    assert d.minimum - tol <= d.mean <= d.maximum + tol
+    values = [d.percentiles[p] for p in sorted(d.percentiles)]
+    assert values == sorted(values)
+    assert d.minimum - 1e-9 <= values[0]
+    assert values[-1] <= d.maximum + 1e-9
+
+
+@given(wf=workflows(max_tasks=14), seed=seeds)
+@settings(max_examples=15, deadline=None)
+def test_idle_split_is_safe_by_construction(wf, seed):
+    """The idle-gap pass never raises cost and keeps schedules valid."""
+    from repro.scheduling.idle_split import split_idle_gaps
+
+    platform = make_linear_platform()
+    sched = HeftBudgScheduler().schedule(wf, platform, 5.0).schedule
+    out = split_idle_gaps(wf, platform, sched, makespan_tolerance=0.05)
+    out.schedule.validate(wf)
+    assert out.cost_after <= out.cost_before + 1e-9
+    assert out.makespan_after <= out.makespan_before * 1.05 + 1e-6
+
+
+@given(seed=seeds, budget_scale=st.floats(min_value=0.0, max_value=3.0))
+@settings(max_examples=10, deadline=None)
+def test_ensemble_never_overspends(seed, budget_scale):
+    """Admission + redistribution keep the planned spend within budget."""
+    from repro.experiments.budgets import minimal_budget
+    from repro.scheduling.ensemble import EnsembleMember, schedule_ensemble
+
+    platform = make_linear_platform()
+    members = [
+        EnsembleMember(
+            generate_random_layered(8 + 2 * i, depth=3, rng=seed + i),
+            priority=float(1 + i),
+        )
+        for i in range(3)
+    ]
+    needed = sum(minimal_budget(m.workflow, platform) for m in members)
+    budget = needed * budget_scale
+    out = schedule_ensemble(members, platform, budget)
+    assert out.planned_spend <= budget * 1.02 + 1e-9
+    assert out.n_admitted + len(out.rejected) == 3
+    for a in out.admitted:
+        a.schedule.validate(a.member.workflow)

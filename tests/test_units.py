@@ -1,0 +1,91 @@
+"""Unit tests for unit helpers and the rng utilities."""
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+from repro.units import (
+    GB,
+    HOUR,
+    MB,
+    ceil_seconds,
+    per_gb_month,
+    per_hour,
+    pretty_bytes,
+    pretty_money,
+    pretty_seconds,
+)
+
+
+class TestUnits:
+    def test_per_hour(self):
+        assert per_hour(3.6) == pytest.approx(0.001)
+
+    def test_per_gb_month(self):
+        # $0.03/GB/month over 2 GB => 0.06 $/month => /seconds-per-month
+        rate = per_gb_month(0.03, 2 * GB)
+        assert rate * 30 * 24 * 3600 == pytest.approx(0.06)
+
+    def test_ceil_seconds_rounds_up(self):
+        assert ceil_seconds(10.2) == 11.0
+
+    def test_ceil_seconds_integer_stays(self):
+        assert ceil_seconds(10.0) == 10.0
+
+    def test_ceil_seconds_float_fuzz(self):
+        assert ceil_seconds(10.0 + 1e-12) == 10.0
+        assert ceil_seconds(10.0 - 1e-12) == 10.0
+
+    def test_ceil_seconds_nonpositive(self):
+        assert ceil_seconds(0.0) == 0.0
+        assert ceil_seconds(-5.0) == 0.0
+
+    def test_pretty_bytes(self):
+        assert pretty_bytes(1.2 * GB) == "1.20 GB"
+        assert pretty_bytes(500) == "500 B"
+
+    def test_pretty_seconds(self):
+        assert pretty_seconds(2 * HOUR + 3 * 60) == "2h03m"
+        assert pretty_seconds(45.23).startswith("45.2")
+
+    def test_pretty_money(self):
+        assert pretty_money(1234.5) == "$1,234.50"
+
+
+class TestRng:
+    def test_as_generator_from_int_deterministic(self):
+        a = rng_mod.as_generator(7).random()
+        b = rng_mod.as_generator(7).random()
+        assert a == b
+
+    def test_as_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert rng_mod.as_generator(g) is g
+
+    def test_as_generator_none(self):
+        assert isinstance(rng_mod.as_generator(None), np.random.Generator)
+
+    def test_spawn_children_independent(self):
+        children = rng_mod.spawn(123, 5)
+        values = [c.random() for c in children]
+        assert len(set(values)) == 5
+
+    def test_spawn_deterministic(self):
+        a = [g.random() for g in rng_mod.spawn(9, 3)]
+        b = [g.random() for g in rng_mod.spawn(9, 3)]
+        assert a == b
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            rng_mod.spawn(0, -1)
+
+    def test_spawn_from_generator_advances(self):
+        g = np.random.default_rng(5)
+        first = rng_mod.spawn(g, 2)
+        second = rng_mod.spawn(g, 2)
+        assert [c.random() for c in first] != [c.random() for c in second]
+
+    def test_stream_yields_distinct(self):
+        it = rng_mod.stream(11)
+        values = [next(it).random() for _ in range(4)]
+        assert len(set(values)) == 4

@@ -1,0 +1,128 @@
+"""Unit tests for graph analyses (bottom levels, HEFT order, critical path)."""
+
+import pytest
+
+from repro import bottom_levels, critical_path, heft_order
+from repro.units import GB, GFLOP, MB
+from repro.workflow import Workflow
+from repro.workflow.analysis import graph_stats, top_levels
+
+SPEED = 1 * GFLOP
+BW = 100 * MB
+
+
+class TestBottomLevels:
+    def test_chain_values(self, chain):
+        # exec times: A=100s, B=200s, C=100s; comms: 5s each (500MB/100MBps)
+        ranks = bottom_levels(chain, SPEED, BW)
+        assert ranks["C"] == pytest.approx(100.0)
+        assert ranks["B"] == pytest.approx(200.0 + 5.0 + 100.0)
+        assert ranks["A"] == pytest.approx(100.0 + 5.0 + 305.0)
+
+    def test_conservative_vs_mean(self, diamond):
+        cons = bottom_levels(diamond, SPEED, BW, use_conservative=True)
+        mean = bottom_levels(diamond, SPEED, BW, use_conservative=False)
+        for tid in diamond:
+            assert cons[tid] > mean[tid]
+
+    def test_exit_rank_is_own_exec_time(self, diamond):
+        ranks = bottom_levels(diamond, SPEED, BW)
+        assert ranks["D"] == pytest.approx(110.0)  # (100+10) Gflop / 1 Gflop/s
+
+    def test_monotone_along_edges(self, fork_join):
+        ranks = bottom_levels(fork_join, SPEED, BW)
+        for e in fork_join.edges():
+            assert ranks[e.producer] > ranks[e.consumer]
+
+    def test_bad_parameters(self, chain):
+        with pytest.raises(ValueError):
+            bottom_levels(chain, 0.0, BW)
+        with pytest.raises(ValueError):
+            bottom_levels(chain, SPEED, 0.0)
+
+
+class TestTopLevels:
+    def test_entry_is_zero(self, diamond):
+        tl = top_levels(diamond, SPEED, BW)
+        assert tl["A"] == 0.0
+
+    def test_chain_accumulates(self, chain):
+        tl = top_levels(chain, SPEED, BW)
+        assert tl["B"] == pytest.approx(100.0 + 5.0)
+        assert tl["C"] == pytest.approx(105.0 + 200.0 + 5.0)
+
+    def test_top_plus_bottom_constant_on_critical_path(self, chain):
+        tl = top_levels(chain, SPEED, BW)
+        bl = bottom_levels(chain, SPEED, BW)
+        total = tl["A"] + bl["A"]
+        for tid in chain:  # a pure chain: every task is critical
+            assert tl[tid] + bl[tid] == pytest.approx(total)
+
+    def test_bad_parameters(self, chain):
+        with pytest.raises(ValueError):
+            top_levels(chain, -1.0, BW)
+
+
+class TestHeftOrder:
+    def test_is_linear_extension(self, fork_join):
+        order = heft_order(fork_join, SPEED, BW)
+        pos = {t: i for i, t in enumerate(order)}
+        for e in fork_join.edges():
+            assert pos[e.producer] < pos[e.consumer]
+
+    def test_descending_ranks(self, diamond):
+        order = heft_order(diamond, SPEED, BW)
+        ranks = bottom_levels(diamond, SPEED, BW)
+        values = [ranks[t] for t in order]
+        assert values == sorted(values, reverse=True)
+
+    def test_all_tasks_once(self, fork_join):
+        order = heft_order(fork_join, SPEED, BW)
+        assert sorted(order) == sorted(fork_join.tasks)
+
+
+class TestCriticalPath:
+    def test_chain_is_its_own_critical_path(self, chain):
+        path, length = critical_path(chain, SPEED, BW)
+        assert path == ["A", "B", "C"]
+        assert length == pytest.approx(100 + 5 + 200 + 5 + 100)
+
+    def test_path_is_connected(self, fork_join):
+        path, _ = critical_path(fork_join, SPEED, BW)
+        for u, v in zip(path, path[1:]):
+            assert v in fork_join.successors(u)
+
+    def test_length_matches_max_entry_rank(self, diamond):
+        ranks = bottom_levels(diamond, SPEED, BW)
+        _, length = critical_path(diamond, SPEED, BW)
+        assert length == pytest.approx(max(ranks[t] for t in diamond.entry_tasks))
+
+    def test_against_networkx_longest_path(self, diamond):
+        nx = pytest.importorskip("networkx")
+        g = nx.DiGraph()
+        for tid in diamond:
+            g.add_node(tid, w=diamond.task(tid).conservative_weight / SPEED)
+        for e in diamond.edges():
+            g.add_edge(e.producer, e.consumer, c=e.data / BW)
+        best = 0.0
+        for path in nx.all_simple_paths(g, "A", "D"):
+            w = sum(g.nodes[n]["w"] for n in path)
+            c = sum(g.edges[u, v]["c"] for u, v in zip(path, path[1:]))
+            best = max(best, w + c)
+        _, length = critical_path(diamond, SPEED, BW)
+        assert length == pytest.approx(best)
+
+
+class TestGraphStats:
+    def test_diamond_stats(self, diamond):
+        stats = graph_stats(diamond)
+        assert stats["n_tasks"] == 4
+        assert stats["n_edges"] == 4
+        assert stats["depth"] == 3
+        assert stats["width"] == 2
+
+    def test_single_task(self, single_task):
+        stats = graph_stats(single_task)
+        assert stats["depth"] == 1
+        assert stats["width"] == 1
+        assert stats["n_edges"] == 0

@@ -1,0 +1,190 @@
+"""Unit tests for the Workflow DAG container."""
+
+import pytest
+
+from repro import CycleError, StochasticWeight, Task, Workflow, WorkflowError
+from repro.errors import DanglingEdgeError
+
+
+def _task(tid: str, mean: float = 100.0, sigma: float = 10.0, **kw) -> Task:
+    return Task(tid, StochasticWeight(mean, sigma), **kw)
+
+
+class TestConstruction:
+    def test_duplicate_task_rejected(self):
+        wf = Workflow()
+        wf.add_task(_task("a"))
+        with pytest.raises(WorkflowError, match="duplicate"):
+            wf.add_task(_task("a"))
+
+    def test_edge_to_unknown_task_rejected(self):
+        wf = Workflow()
+        wf.add_task(_task("a"))
+        with pytest.raises(DanglingEdgeError):
+            wf.add_edge("a", "ghost", 1.0)
+
+    def test_self_edge_rejected(self):
+        wf = Workflow()
+        wf.add_task(_task("a"))
+        with pytest.raises(WorkflowError):
+            wf.add_edge("a", "a", 1.0)
+
+    def test_negative_edge_data_rejected(self):
+        wf = Workflow()
+        wf.add_task(_task("a"))
+        wf.add_task(_task("b"))
+        with pytest.raises(WorkflowError):
+            wf.add_edge("a", "b", -5.0)
+
+    def test_parallel_edges_merge_data(self):
+        wf = Workflow()
+        wf.add_task(_task("a"))
+        wf.add_task(_task("b"))
+        wf.add_edge("a", "b", 10.0)
+        wf.add_edge("a", "b", 15.0)
+        assert wf.predecessors("b")["a"] == 25.0
+        assert wf.n_edges == 1
+
+    def test_empty_workflow_cannot_freeze(self):
+        with pytest.raises(WorkflowError):
+            Workflow().freeze()
+
+    def test_cycle_detected(self):
+        wf = Workflow()
+        for tid in "abc":
+            wf.add_task(_task(tid))
+        wf.add_edge("a", "b")
+        wf.add_edge("b", "c")
+        wf.add_edge("c", "a")
+        with pytest.raises(CycleError):
+            wf.freeze()
+
+    def test_frozen_workflow_is_immutable(self, diamond):
+        with pytest.raises(WorkflowError):
+            diamond.add_task(_task("zz"))
+        with pytest.raises(WorkflowError):
+            diamond.add_edge("A", "D")
+
+    def test_freeze_idempotent(self, diamond):
+        assert diamond.freeze() is diamond
+
+
+class TestStructureQueries:
+    def test_counts(self, diamond):
+        assert diamond.n_tasks == 4
+        assert diamond.n_edges == 4
+        assert len(diamond) == 4
+
+    def test_contains_and_iter(self, diamond):
+        assert "A" in diamond
+        assert "Z" not in diamond
+        assert set(diamond) == {"A", "B", "C", "D"}
+
+    def test_task_lookup_error(self, diamond):
+        with pytest.raises(KeyError):
+            diamond.task("nope")
+
+    def test_entry_exit(self, diamond):
+        assert diamond.entry_tasks == ["A"]
+        assert diamond.exit_tasks == ["D"]
+
+    def test_topological_order_valid(self, diamond):
+        order = diamond.topological_order
+        pos = {t: i for i, t in enumerate(order)}
+        for edge in diamond.edges():
+            assert pos[edge.producer] < pos[edge.consumer]
+
+    def test_topological_order_deterministic(self, diamond):
+        assert diamond.topological_order == diamond.topological_order
+
+    def test_levels(self, diamond):
+        assert diamond.levels() == {"A": 0, "B": 1, "C": 1, "D": 2}
+
+    def test_levels_longest_path(self):
+        # a -> b -> d, a -> d: d is at level 2 (longest path), not 1.
+        wf = Workflow.from_spec(
+            "w", [("a", 1.0, 0), ("b", 1.0, 0), ("d", 1.0, 0)],
+            [("a", "b", 0), ("b", "d", 0), ("a", "d", 0)],
+        )
+        assert wf.levels()["d"] == 2
+
+    def test_edges_iteration_in_topo_order(self, diamond):
+        producers = [e.producer for e in diamond.edges()]
+        pos = {t: i for i, t in enumerate(diamond.topological_order)}
+        assert producers == sorted(producers, key=lambda p: pos[p])
+
+
+class TestAggregates:
+    def test_io_aggregates(self, diamond):
+        assert diamond.input_data_of("D") == 2e9
+        assert diamond.output_data_of("A") == 2e9
+        assert diamond.total_edge_data == 4e9
+
+    def test_external_data(self, single_task):
+        assert single_task.external_input_data == 200e6
+        assert single_task.external_output_data == 100e6
+
+    def test_work_aggregates(self, diamond):
+        assert diamond.total_mean_work == 400e9
+        assert diamond.total_conservative_work == 440e9
+
+
+class TestTransformations:
+    def test_with_sigma_ratio(self, diamond):
+        wf2 = diamond.with_sigma_ratio(1.0)
+        assert wf2.n_tasks == diamond.n_tasks
+        assert wf2.n_edges == diamond.n_edges
+        for tid in wf2:
+            assert wf2.task(tid).weight.sigma == wf2.task(tid).weight.mean
+
+    def test_with_sigma_ratio_does_not_mutate_original(self, diamond):
+        sigma_before = diamond.task("A").weight.sigma
+        diamond.with_sigma_ratio(1.0)
+        assert diamond.task("A").weight.sigma == sigma_before
+
+    def test_subgraph(self, diamond):
+        sub = diamond.subgraph({"A", "B"})
+        assert sub.n_tasks == 2
+        assert sub.n_edges == 1
+        assert sub.entry_tasks == ["A"]
+
+    def test_subgraph_unknown_id(self, diamond):
+        with pytest.raises(KeyError):
+            diamond.subgraph({"A", "nope"})
+
+    def test_from_spec_roundtrip(self, chain):
+        assert chain.n_tasks == 3
+        assert chain.predecessors("B") == {"A": 500e6}
+
+    def test_repr(self, diamond):
+        assert "diamond" in repr(diamond)
+
+
+class TestAgainstNetworkx:
+    """networkx as an independent oracle for graph algorithms."""
+
+    def test_toposort_matches_networkx(self, diamond):
+        nx = pytest.importorskip("networkx")
+        g = nx.DiGraph()
+        for e in diamond.edges():
+            g.add_edge(e.producer, e.consumer)
+        assert set(diamond.topological_order) == set(g.nodes) | set(diamond.tasks)
+        # our order must be one of the valid linear extensions
+        pos = {t: i for i, t in enumerate(diamond.topological_order)}
+        for u, v in g.edges:
+            assert pos[u] < pos[v]
+
+    def test_levels_match_networkx_longest_path(self):
+        nx = pytest.importorskip("networkx")
+        from repro.workflow.generators import generate_random_layered
+
+        wf = generate_random_layered(40, depth=6, rng=5)
+        g = nx.DiGraph()
+        g.add_nodes_from(wf.tasks)
+        for e in wf.edges():
+            g.add_edge(e.producer, e.consumer)
+        ours = wf.levels()
+        for tid in wf.tasks:
+            ancestors_sub = g.subgraph(nx.ancestors(g, tid) | {tid})
+            expected = nx.dag_longest_path_length(ancestors_sub)
+            assert ours[tid] == expected

@@ -1,0 +1,164 @@
+"""Unit tests for the Pegasus DAX reader/writer."""
+
+import io
+
+import pytest
+
+from repro import DaxParseError, parse_dax, read_dax, write_dax
+from repro.units import GFLOP
+from repro.workflow.generators import generate
+
+MINIMAL_DAX = """<?xml version="1.0" encoding="UTF-8"?>
+<adag xmlns="http://pegasus.isi.edu/schema/DAX" version="2.1" name="test">
+  <job id="ID0" namespace="X" name="stage_in" version="1.0" runtime="10.5">
+    <uses file="raw.dat" link="input" size="1000000"/>
+    <uses file="mid.dat" link="output" size="2000000"/>
+  </job>
+  <job id="ID1" namespace="X" name="process" version="1.0" runtime="99.0">
+    <uses file="mid.dat" link="input" size="2000000"/>
+    <uses file="final.dat" link="output" size="500000"/>
+  </job>
+  <child ref="ID1">
+    <parent ref="ID0"/>
+  </child>
+</adag>
+"""
+
+
+class TestParse:
+    def test_basic_structure(self):
+        wf = parse_dax(MINIMAL_DAX)
+        assert wf.n_tasks == 2
+        assert wf.n_edges == 1
+        assert wf.predecessors("ID1") == {"ID0": 2000000.0}
+
+    def test_runtime_to_weight(self):
+        wf = parse_dax(MINIMAL_DAX, reference_speed=1 * GFLOP)
+        assert wf.task("ID0").mean_weight == pytest.approx(10.5 * 1e9)
+
+    def test_sigma_ratio_applied(self):
+        wf = parse_dax(MINIMAL_DAX, sigma_ratio=0.5)
+        t = wf.task("ID1")
+        assert t.weight.sigma == pytest.approx(0.5 * t.weight.mean)
+
+    def test_external_io_classified(self):
+        wf = parse_dax(MINIMAL_DAX)
+        assert wf.task("ID0").external_input == 1000000.0  # raw.dat: no producer
+        assert wf.task("ID1").external_output == 500000.0  # final.dat: no consumer
+        assert wf.task("ID0").external_output == 0.0       # mid.dat is consumed
+
+    def test_name_from_adag(self):
+        assert parse_dax(MINIMAL_DAX).name == "test"
+        assert parse_dax(MINIMAL_DAX, name="other").name == "other"
+
+    def test_categories(self):
+        wf = parse_dax(MINIMAL_DAX)
+        assert wf.task("ID0").category == "stage_in"
+
+    def test_dataflow_edge_without_child_declaration(self):
+        # some emitters omit <child> when data flow implies the dependency
+        dax = MINIMAL_DAX.replace(
+            '  <child ref="ID1">\n    <parent ref="ID0"/>\n  </child>\n', ""
+        )
+        wf = parse_dax(dax)
+        assert wf.n_edges == 1
+        assert "ID0" in wf.predecessors("ID1")
+
+    def test_read_from_file(self, tmp_path):
+        p = tmp_path / "wf.dax"
+        p.write_text(MINIMAL_DAX)
+        wf = read_dax(str(p))
+        assert wf.n_tasks == 2
+
+    def test_read_missing_file(self):
+        with pytest.raises(DaxParseError):
+            read_dax("/nonexistent/path.dax")
+
+
+class TestParseErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(DaxParseError, match="malformed"):
+            parse_dax("<adag><job></adag>")
+
+    def test_wrong_root(self):
+        with pytest.raises(DaxParseError, match="adag"):
+            parse_dax("<workflow/>")
+
+    def test_no_jobs(self):
+        with pytest.raises(DaxParseError, match="no <job>"):
+            parse_dax('<adag name="x"></adag>')
+
+    def test_duplicate_job_id(self):
+        dax = '<adag><job id="a" runtime="1"/><job id="a" runtime="1"/></adag>'
+        with pytest.raises(DaxParseError, match="duplicate"):
+            parse_dax(dax)
+
+    def test_job_without_id(self):
+        with pytest.raises(DaxParseError, match="without id"):
+            parse_dax('<adag><job runtime="1"/></adag>')
+
+    def test_bad_runtime(self):
+        with pytest.raises(DaxParseError, match="runtime"):
+            parse_dax('<adag><job id="a" runtime="oops"/></adag>')
+
+    def test_negative_runtime(self):
+        with pytest.raises(DaxParseError, match="negative"):
+            parse_dax('<adag><job id="a" runtime="-5"/></adag>')
+
+    def test_child_unknown_ref(self):
+        dax = '<adag><job id="a" runtime="1"/><child ref="zzz"/></adag>'
+        with pytest.raises(DaxParseError, match="unknown"):
+            parse_dax(dax)
+
+    def test_parent_unknown_ref(self):
+        dax = (
+            '<adag><job id="a" runtime="1"/>'
+            '<child ref="a"><parent ref="zzz"/></child></adag>'
+        )
+        with pytest.raises(DaxParseError, match="unknown"):
+            parse_dax(dax)
+
+    def test_bad_reference_speed(self):
+        with pytest.raises(DaxParseError):
+            parse_dax(MINIMAL_DAX, reference_speed=0.0)
+
+    def test_negative_file_size(self):
+        dax = (
+            '<adag><job id="a" runtime="1">'
+            '<uses file="f" link="input" size="-2"/></job></adag>'
+        )
+        with pytest.raises(DaxParseError, match="negative size"):
+            parse_dax(dax)
+
+
+class TestWriteRoundTrip:
+    @pytest.mark.parametrize("family", ["cybershake", "ligo", "montage"])
+    def test_generated_workflow_roundtrips(self, family):
+        wf = generate(family, 30, rng=11, jitter=0.0)
+        text = write_dax(wf)
+        back = parse_dax(text)
+        assert back.n_tasks == wf.n_tasks
+        assert back.n_edges == wf.n_edges
+        for tid in wf.tasks:
+            assert back.task(tid).mean_weight == pytest.approx(
+                wf.task(tid).mean_weight, rel=1e-6
+            )
+            assert sum(back.predecessors(tid).values()) == pytest.approx(
+                sum(wf.predecessors(tid).values()), abs=1.0
+            )
+            assert back.task(tid).external_input == pytest.approx(
+                wf.task(tid).external_input, abs=1.0
+            )
+
+    def test_roundtrip_preserves_topology(self, diamond):
+        back = parse_dax(write_dax(diamond))
+        for tid in diamond.tasks:
+            assert set(back.predecessors(tid)) == set(diamond.predecessors(tid))
+
+    def test_inout_link(self):
+        dax = (
+            '<adag><job id="a" runtime="1">'
+            '<uses file="f" link="inout" size="10"/></job></adag>'
+        )
+        wf = parse_dax(dax)
+        assert wf.n_tasks == 1

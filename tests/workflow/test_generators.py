@@ -1,0 +1,218 @@
+"""Unit tests for the Pegasus-family workflow generators."""
+
+import pytest
+
+from repro import WorkflowError
+from repro.workflow.generators import (
+    FAMILIES,
+    PAPER_FAMILIES,
+    generate,
+    generate_cybershake,
+    generate_ligo,
+    generate_montage,
+    generate_random_layered,
+)
+from repro.workflow.generators.ligo import OVERSIZE_RATIO
+
+ALL_SIZES = [30, 60, 90]
+
+
+class TestDispatch:
+    def test_paper_families_present(self):
+        assert set(PAPER_FAMILIES) <= set(FAMILIES)
+
+    def test_unknown_family(self):
+        with pytest.raises(WorkflowError, match="unknown workflow family"):
+            generate("nope", 30)
+
+    def test_case_insensitive(self):
+        assert generate("MONTAGE", 30, rng=1).n_tasks == 30
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("n", ALL_SIZES)
+class TestExactSizes:
+    def test_task_count_exact(self, family, n):
+        wf = generate(family, n, rng=3)
+        assert wf.n_tasks == n
+
+    def test_dag_is_valid_and_connected_enough(self, family, n):
+        wf = generate(family, n, rng=3)
+        # frozen without CycleError and every non-entry task has a predecessor
+        for tid in wf.tasks:
+            if tid not in wf.entry_tasks:
+                assert wf.predecessors(tid)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+class TestDeterminism:
+    def test_same_seed_same_workflow(self, family):
+        a = generate(family, 30, rng=42)
+        b = generate(family, 30, rng=42)
+        assert a.tasks.keys() == b.tasks.keys()
+        for tid in a.tasks:
+            assert a.task(tid).mean_weight == b.task(tid).mean_weight
+        assert list(a.edges()) == list(b.edges())
+
+    def test_different_seed_different_weights(self, family):
+        a = generate(family, 30, rng=1)
+        b = generate(family, 30, rng=2)
+        assert any(
+            a.task(t).mean_weight != b.task(t).mean_weight for t in a.tasks
+        )
+
+    def test_sigma_ratio_applied_everywhere(self, family):
+        wf = generate(family, 30, rng=1, sigma_ratio=0.75)
+        for tid in wf.tasks:
+            t = wf.task(tid)
+            assert t.weight.sigma == pytest.approx(0.75 * t.weight.mean)
+
+
+class TestCybershakeShape:
+    def test_two_agglomerators(self):
+        wf = generate_cybershake(30, rng=1)
+        cats = [wf.task(t).category for t in wf.tasks]
+        assert cats.count("ZipSeis") == 1
+        assert cats.count("ZipPSA") == 1
+
+    def test_half_tasks_have_huge_inputs(self):
+        """Paper: 'In CYBERSHAKE, half the tasks have huge input data.'"""
+        wf = generate_cybershake(60, rng=1)
+        huge = [t for t in wf.tasks if wf.task(t).external_input > 100e6]
+        assert abs(len(huge) - 29) <= 1  # (60-2)/2 synthesis tasks
+
+    def test_generator_feeds_calculator_pairs(self):
+        wf = generate_cybershake(30, rng=1)
+        for tid in wf.tasks:
+            if wf.task(tid).category == "PeakValCalcOkaya":
+                preds = list(wf.predecessors(tid))
+                assert len(preds) == 1
+                assert wf.task(preds[0]).category == "SeismogramSynthesis"
+
+    def test_agglomerators_collect_everything(self):
+        wf = generate_cybershake(30, rng=1)
+        zipseis = next(t for t in wf.tasks if wf.task(t).category == "ZipSeis")
+        n_synth = sum(
+            1 for t in wf.tasks if wf.task(t).category == "SeismogramSynthesis"
+        )
+        assert len(wf.predecessors(zipseis)) == n_synth
+
+    def test_too_small_rejected(self):
+        with pytest.raises(WorkflowError):
+            generate_cybershake(3)
+
+
+class TestLigoShape:
+    def test_exactly_one_oversized_input(self):
+        """Paper: one input oversized by a ratio over 100."""
+        wf = generate_ligo(60, rng=2, jitter=0.0)
+        from repro.workflow.generators.ligo import PROFILES
+
+        base = PROFILES["TmpltBank"].input_bytes
+        oversized = [
+            t for t in wf.tasks
+            if wf.task(t).external_input >= base * OVERSIZE_RATIO * 0.99
+        ]
+        assert len(oversized) == 1
+        assert OVERSIZE_RATIO > 100
+
+    def test_independent_groups(self):
+        """Large LIGO decomposes into independent sub-workflows (paper §V-B)."""
+        nx = pytest.importorskip("networkx")
+        wf = generate_ligo(90, rng=2)
+        g = nx.Graph()
+        g.add_nodes_from(wf.tasks)
+        for e in wf.edges():
+            g.add_edge(e.producer, e.consumer)
+        assert nx.number_connected_components(g) > 1
+
+    def test_two_agglomeration_stages(self):
+        wf = generate_ligo(30, rng=2)
+        thincas = [t for t in wf.tasks if wf.task(t).category == "Thinca"]
+        with_preds_and_succs = [
+            t for t in thincas if wf.predecessors(t) and wf.successors(t)
+        ]
+        # first-stage Thincas agglomerate AND feed the second stage
+        assert with_preds_and_succs
+
+    def test_too_small_rejected(self):
+        with pytest.raises(WorkflowError):
+            generate_ligo(3)
+
+
+class TestMontageShape:
+    def test_single_sink_chain(self):
+        wf = generate_montage(30, rng=3)
+        assert len(wf.exit_tasks) == 1
+        assert wf.task(wf.exit_tasks[0]).category == "mJPEG"
+
+    def test_dense_interconnection(self):
+        """Paper: 'plenty highly inter-connected tasks'."""
+        wf = generate_montage(90, rng=3)
+        assert wf.n_edges / wf.n_tasks > 1.5
+
+    def test_diff_fits_read_two_projections(self):
+        wf = generate_montage(30, rng=3)
+        for tid in wf.tasks:
+            if wf.task(tid).category == "mDiffFit":
+                preds = list(wf.predecessors(tid))
+                assert len(preds) == 2
+                assert all(wf.task(p).category == "mProjectPP" for p in preds)
+
+    def test_backgrounds_read_model_and_projection(self):
+        wf = generate_montage(30, rng=3)
+        for tid in wf.tasks:
+            if wf.task(tid).category == "mBackground":
+                cats = {wf.task(p).category for p in wf.predecessors(tid)}
+                assert cats == {"mProjectPP", "mBgModel"}
+
+    def test_too_small_rejected(self):
+        with pytest.raises(WorkflowError):
+            generate_montage(5)
+
+    @pytest.mark.parametrize("n", [12, 13, 17, 23, 31, 47, 90, 121])
+    def test_awkward_sizes(self, n):
+        assert generate_montage(n, rng=1).n_tasks == n
+
+
+class TestRuntimeScale:
+    def test_scale_multiplies_weights(self):
+        a = generate("montage", 30, rng=9, jitter=0.0, runtime_scale=1.0)
+        b = generate("montage", 30, rng=9, jitter=0.0, runtime_scale=100.0)
+        for tid in a.tasks:
+            assert b.task(tid).mean_weight == pytest.approx(
+                100.0 * a.task(tid).mean_weight
+            )
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(WorkflowError):
+            generate("montage", 30, rng=1, runtime_scale=0.0)
+
+
+class TestRandomLayered:
+    def test_exact_count_and_acyclic(self):
+        wf = generate_random_layered(50, depth=7, rng=4)
+        assert wf.n_tasks == 50
+
+    def test_depth_respected(self):
+        wf = generate_random_layered(40, depth=5, rng=4)
+        assert max(wf.levels().values()) <= 4
+
+    def test_single_task(self):
+        wf = generate_random_layered(1, rng=4)
+        assert wf.n_tasks == 1
+
+    def test_determinism(self):
+        a = generate_random_layered(30, rng=8, sigma_ratio=0.5)
+        b = generate_random_layered(30, rng=8, sigma_ratio=0.5)
+        assert [a.task(t).mean_weight for t in sorted(a.tasks)] == [
+            b.task(t).mean_weight for t in sorted(b.tasks)
+        ]
+
+    def test_bad_params(self):
+        with pytest.raises(WorkflowError):
+            generate_random_layered(0)
+        with pytest.raises(WorkflowError):
+            generate_random_layered(10, depth=0)
+        with pytest.raises(WorkflowError):
+            generate_random_layered(10, max_fan_in=0)

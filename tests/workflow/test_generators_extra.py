@@ -1,0 +1,106 @@
+"""Deeper shape tests for the extension families and generator knobs."""
+
+import pytest
+
+from repro import WorkflowError
+from repro.workflow.generators import (
+    generate,
+    generate_epigenomics,
+    generate_sipht,
+)
+from repro.workflow.generators.cybershake import PROFILES as CS_PROFILES
+from repro.workflow.generators.epigenomics import _CHAIN
+
+
+class TestEpigenomicsShape:
+    def test_global_tail(self):
+        wf = generate_epigenomics(40, rng=1)
+        exits = wf.exit_tasks
+        assert len(exits) == 1
+        assert wf.task(exits[0]).category == "pileup"
+
+    def test_chain_stage_order(self):
+        """Each processing chain follows the published stage sequence."""
+        wf = generate_epigenomics(40, rng=1)
+        order = {stage: i for i, stage in enumerate(_CHAIN)}
+        for edge in wf.edges():
+            a = wf.task(edge.producer).category
+            b = wf.task(edge.consumer).category
+            if a in order and b in order:
+                assert order[b] == order[a] + 1, (a, b)
+
+    def test_lanes_merge_before_index(self):
+        wf = generate_epigenomics(40, rng=1)
+        maq = next(t for t in wf.tasks if wf.task(t).category == "maqIndex")
+        preds = {wf.task(p).category for p in wf.predecessors(maq)}
+        assert preds == {"mapMerge"}
+
+    @pytest.mark.parametrize("n", [8, 9, 15, 23, 40, 77])
+    def test_exact_sizes(self, n):
+        assert generate_epigenomics(n, rng=2).n_tasks == n
+
+    def test_too_small(self):
+        with pytest.raises(WorkflowError):
+            generate_epigenomics(7)
+
+
+class TestSiphtShape:
+    def test_two_wings_join_srna(self):
+        wf = generate_sipht(30, rng=1)
+        srna = next(t for t in wf.tasks if wf.task(t).category == "SRNA")
+        pred_cats = {wf.task(p).category for p in wf.predecessors(srna)}
+        assert pred_cats == {"Patser_concate", "Blast"}
+
+    def test_annotation_tail(self):
+        wf = generate_sipht(30, rng=1)
+        assert [wf.task(t).category for t in wf.exit_tasks] == ["SRNA_annotate"]
+
+    def test_blast_tasks_have_external_inputs(self):
+        wf = generate_sipht(30, rng=1)
+        for tid in wf.tasks:
+            if wf.task(tid).category == "Blast":
+                assert wf.task(tid).external_input > 0
+
+    @pytest.mark.parametrize("n", [6, 7, 11, 30, 90])
+    def test_exact_sizes(self, n):
+        assert generate_sipht(n, rng=2).n_tasks == n
+
+    def test_too_small(self):
+        with pytest.raises(WorkflowError):
+            generate_sipht(5)
+
+
+class TestGeneratorKnobs:
+    def test_zero_jitter_reproduces_nominal_profile(self):
+        wf = generate("cybershake", 20, rng=9, jitter=0.0, runtime_scale=1.0)
+        synth_profile = CS_PROFILES["SeismogramSynthesis"]
+        for tid in wf.tasks:
+            task = wf.task(tid)
+            if task.category == "SeismogramSynthesis":
+                assert task.mean_weight == pytest.approx(
+                    synth_profile.runtime * 1e9
+                )
+                assert task.external_input == pytest.approx(
+                    synth_profile.input_bytes
+                )
+
+    def test_jitter_produces_spread(self):
+        wf = generate("cybershake", 20, rng=9, jitter=0.5)
+        weights = {
+            wf.task(t).mean_weight
+            for t in wf.tasks
+            if wf.task(t).category == "SeismogramSynthesis"
+        }
+        assert len(weights) > 1
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(WorkflowError):
+            generate("montage", 20, rng=1, jitter=-0.5)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(WorkflowError):
+            generate("montage", 20, rng=1, sigma_ratio=-0.1)
+
+    def test_name_override(self):
+        wf = generate("ligo", 20, rng=1, name="my-run")
+        assert wf.name == "my-run"

@@ -1,0 +1,100 @@
+"""Unit tests for tasks and stochastic weights."""
+
+import numpy as np
+import pytest
+
+from repro import StochasticWeight, Task, WorkflowError
+from repro.workflow.task import TRUNCATION_FLOOR_FRACTION
+
+
+class TestStochasticWeight:
+    def test_conservative_is_mean_plus_sigma(self):
+        w = StochasticWeight(100.0, 25.0)
+        assert w.conservative == 125.0
+
+    def test_zero_sigma_sample_is_exact(self):
+        w = StochasticWeight(100.0, 0.0)
+        assert w.sample(rng=1) == 100.0
+
+    def test_sample_reproducible_with_seed(self):
+        w = StochasticWeight(100.0, 30.0)
+        assert w.sample(rng=42) == w.sample(rng=42)
+
+    def test_sample_varies_across_seeds(self):
+        w = StochasticWeight(100.0, 30.0)
+        samples = {w.sample(rng=i) for i in range(10)}
+        assert len(samples) > 1
+
+    def test_sample_truncated_at_floor(self):
+        # sigma = 10x mean: most raw draws are negative, all samples clamp.
+        w = StochasticWeight(100.0, 1000.0)
+        floor = TRUNCATION_FLOOR_FRACTION * 100.0
+        values = w.sample_many(2000, rng=7)
+        assert values.min() >= floor - 1e-12
+
+    def test_sample_many_matches_distribution(self):
+        w = StochasticWeight(1000.0, 100.0)
+        values = w.sample_many(20000, rng=3)
+        assert abs(values.mean() - 1000.0) < 10.0
+        assert abs(values.std() - 100.0) < 10.0
+
+    def test_sample_many_length(self):
+        assert len(StochasticWeight(10.0, 1.0).sample_many(17, rng=0)) == 17
+
+    def test_scaled_sigma(self):
+        w = StochasticWeight(200.0, 0.0).scaled_sigma(0.75)
+        assert w.mean == 200.0
+        assert w.sigma == 150.0
+
+    def test_negative_sigma_ratio_rejected(self):
+        with pytest.raises(WorkflowError):
+            StochasticWeight(100.0, 0.0).scaled_sigma(-0.1)
+
+    @pytest.mark.parametrize("mean", [0.0, -1.0, float("nan"), float("inf")])
+    def test_bad_mean_rejected(self, mean):
+        with pytest.raises(WorkflowError):
+            StochasticWeight(mean, 1.0)
+
+    @pytest.mark.parametrize("sigma", [-1.0, float("nan")])
+    def test_bad_sigma_rejected(self, sigma):
+        with pytest.raises(WorkflowError):
+            StochasticWeight(100.0, sigma)
+
+    def test_frozen(self):
+        w = StochasticWeight(100.0, 1.0)
+        with pytest.raises(AttributeError):
+            w.mean = 5.0
+
+
+class TestTask:
+    def test_basic_properties(self):
+        t = Task("t1", StochasticWeight(100.0, 25.0), category="map",
+                 external_input=10.0, external_output=5.0)
+        assert t.mean_weight == 100.0
+        assert t.conservative_weight == 125.0
+        assert t.category == "map"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(WorkflowError):
+            Task("", StochasticWeight(1.0))
+
+    def test_negative_external_io_rejected(self):
+        with pytest.raises(WorkflowError):
+            Task("t", StochasticWeight(1.0), external_input=-1.0)
+        with pytest.raises(WorkflowError):
+            Task("t", StochasticWeight(1.0), external_output=-1.0)
+
+    def test_with_sigma_ratio_preserves_everything_else(self):
+        t = Task("t1", StochasticWeight(100.0, 5.0), category="x",
+                 external_input=3.0, external_output=4.0)
+        t2 = t.with_sigma_ratio(1.0)
+        assert t2.weight.sigma == 100.0
+        assert t2.weight.mean == 100.0
+        assert (t2.id, t2.category) == ("t1", "x")
+        assert (t2.external_input, t2.external_output) == (3.0, 4.0)
+
+    def test_defaults(self):
+        t = Task("t", StochasticWeight(1.0))
+        assert t.external_input == 0.0
+        assert t.external_output == 0.0
+        assert t.category == ""
