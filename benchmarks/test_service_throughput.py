@@ -1,0 +1,98 @@
+"""Service-layer performance: cache hit path, engine, and HTTP gateway.
+
+Not a paper artefact — these guard the serving substrate added on top of
+the reproduction. The cache hit path must stay microseconds (it carries
+repeat traffic), the sync engine path milliseconds for mid-size workflows,
+and the HTTP gateway must not add more than low-millisecond overhead on
+top of the engine.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.service import SchedulingService
+from repro.service.http import start_gateway
+
+
+def _request(n_tasks=50, amount=2.0, n_reps=0):
+    return {
+        "workflow": {"family": "montage", "n_tasks": n_tasks, "rng": 1,
+                     "sigma_ratio": 0.5},
+        "algorithm": "heft_budg",
+        "budget": {"amount": amount},
+        "evaluation": {"n_reps": n_reps},
+    }
+
+
+@pytest.fixture(scope="module")
+def service():
+    with SchedulingService(max_workers=4, cache_size=256) as svc:
+        yield svc
+
+
+def test_cache_hit_path(benchmark, service):
+    req = _request()
+    service.schedule(req)  # warm the cache
+    resp = benchmark(service.schedule, req)
+    assert resp.cached
+
+
+def test_cold_schedule_50_tasks(benchmark, service):
+    counter = iter(range(10 ** 9))
+
+    def cold():
+        # distinct budget every round => guaranteed cache miss
+        return service.schedule(_request(amount=100.0 + next(counter)))
+
+    resp = benchmark(cold)
+    assert not resp.cached
+
+
+def test_schedule_with_evaluation_reps(benchmark, service):
+    counter = iter(range(10 ** 9))
+
+    def cold_with_reps():
+        return service.schedule(
+            _request(amount=200.0 + next(counter), n_reps=10)
+        )
+
+    resp = benchmark(cold_with_reps)
+    assert resp.evaluation["n_reps"] == 10
+
+
+def test_http_gateway_cached_roundtrip(benchmark, service):
+    gw = start_gateway(service)
+    try:
+        body = json.dumps(_request()).encode()
+        service.schedule(_request())  # warm
+
+        def post():
+            req = urllib.request.Request(
+                gw.url + "/v1/schedule", data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(req, timeout=60) as fh:
+                return json.load(fh)
+
+        payload = benchmark(post)
+        assert payload["cached"]
+    finally:
+        gw.shutdown()
+
+
+def test_batch_throughput_async(benchmark, service):
+    counter = iter(range(10 ** 9))
+
+    def batch_of_8():
+        base = 10_000.0 + 10 * next(counter)
+        ids = service.submit_batch(
+            [_request(n_tasks=30, amount=base + i) for i in range(8)]
+        )
+        for job_id in ids:
+            service.result(job_id, timeout=120)
+        return ids
+
+    ids = benchmark(batch_of_8)
+    assert len(ids) == 8

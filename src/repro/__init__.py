@@ -21,10 +21,12 @@ from .errors import (
     CycleError,
     DaxParseError,
     InfeasibleBudgetError,
+    JobNotFoundError,
     PlatformError,
     ReproError,
     ScheduleValidationError,
     SchedulingError,
+    ServiceError,
     SimulationError,
     WorkflowError,
 )
@@ -81,6 +83,11 @@ from .workflow import (
     read_dax,
     write_dax,
 )
+from .service import (
+    ScheduleRequest,
+    ScheduleResponse,
+    SchedulingService,
+)
 from .workflow.generators import FAMILIES, PAPER_FAMILIES, generate
 
 __version__ = "1.0.0"
@@ -99,6 +106,7 @@ __all__ = [
     "HeftBudgScheduler",
     "HeftScheduler",
     "InfeasibleBudgetError",
+    "JobNotFoundError",
     "MinMinBudgScheduler",
     "MinMinScheduler",
     "PAPER_FAMILIES",
@@ -111,10 +119,14 @@ __all__ = [
     "ReproError",
     "SCHEDULERS",
     "Schedule",
+    "ScheduleRequest",
+    "ScheduleResponse",
     "ScheduleValidationError",
     "Scheduler",
     "SchedulerResult",
     "SchedulingError",
+    "SchedulingService",
+    "ServiceError",
     "SimulationError",
     "SimulationResult",
     "StochasticWeight",

@@ -90,6 +90,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workflow size for table3a")
         p.add_argument("--refined", action="store_true",
                        help="include the (slow) refined variants")
+
+    srv = sub.add_parser(
+        "serve", help="run the scheduling service HTTP gateway"
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8080)
+    srv.add_argument("--workers", type=int, default=4,
+                     help="worker threads for async jobs")
+    srv.add_argument("--cache-size", type=int, default=256,
+                     help="response cache capacity (0 disables)")
+    srv.add_argument("--cache-ttl", type=float, default=None,
+                     help="response cache TTL in seconds (default: forever)")
+
+    sch = sub.add_parser(
+        "schedule", help="one-shot scheduling request, JSON response on stdout"
+    )
+    sch.add_argument("--request", type=str, default=None,
+                     help="path to a JSON request file ('-' for stdin); "
+                     "overrides the flags below")
+    sch.add_argument("--family", default="montage",
+                     help="workflow generator family")
+    sch.add_argument("--tasks", type=int, default=90)
+    sch.add_argument("--seed", type=int, default=1,
+                     help="workflow generator seed")
+    sch.add_argument("--sigma", type=float, default=0.5,
+                     help="sigma/mean ratio")
+    sch.add_argument("--algorithm", default="heft_budg")
+    group = sch.add_mutually_exclusive_group()
+    group.add_argument("--budget", type=float, default=None,
+                       help="absolute budget in dollars")
+    group.add_argument("--position", type=float, default=0.5,
+                       help="budget position on [B_min, B_high] (0..1)")
+    sch.add_argument("--reps", type=int, default=0,
+                     help="stochastic evaluation repetitions")
+    sch.add_argument("--no-schedule-payload", action="store_true",
+                     help="omit the full schedule dict from the output")
     return parser
 
 
@@ -113,6 +149,51 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
 
         cfg = replace(cfg, **overrides)
     return cfg
+
+
+def _run_schedule(args: argparse.Namespace) -> int:
+    """The ``schedule`` subcommand: one request in, one JSON response out."""
+    import json
+
+    from .errors import ServiceError
+    from .service import SchedulingService
+
+    if args.request is not None:
+        try:
+            if args.request == "-":
+                payload = json.load(sys.stdin)
+            else:
+                with open(args.request) as fh:
+                    payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read request: {exc}", file=sys.stderr)
+            return 2
+    else:
+        payload = {
+            "workflow": {
+                "family": args.family, "n_tasks": args.tasks,
+                "rng": args.seed, "sigma_ratio": args.sigma,
+            },
+            "algorithm": args.algorithm,
+            "budget": (
+                {"amount": args.budget} if args.budget is not None
+                else {"position": args.position}
+            ),
+            "evaluation": {"n_reps": args.reps},
+        }
+
+    with SchedulingService(max_workers=1, cache_size=0) as svc:
+        try:
+            response = svc.schedule(payload)
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    out = response.to_dict()
+    if args.no_schedule_payload:
+        out.pop("schedule")
+    json.dump(out, sys.stdout, indent=2, sort_keys=True)
+    print()
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -160,6 +241,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         print(render_cpu_table(table, title="Table III(a): CPU time vs budget"))
         return 0
+
+    if args.command == "serve":
+        from .service.http import serve
+
+        serve(
+            host=args.host, port=args.port, max_workers=args.workers,
+            cache_size=args.cache_size, cache_ttl=args.cache_ttl,
+        )
+        return 0
+
+    if args.command == "schedule":
+        return _run_schedule(args)
 
     if args.command == "table3b":
         if args.refined:

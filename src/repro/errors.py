@@ -20,6 +20,8 @@ __all__ = [
     "ScheduleValidationError",
     "SimulationError",
     "DaxParseError",
+    "ServiceError",
+    "JobNotFoundError",
 ]
 
 
@@ -67,3 +69,11 @@ class SimulationError(ReproError):
 
 class DaxParseError(WorkflowError):
     """A Pegasus DAX document could not be parsed."""
+
+
+class ServiceError(ReproError):
+    """Invalid service request or a service-level runtime failure."""
+
+
+class JobNotFoundError(ServiceError):
+    """A job id does not exist in the service's job store."""

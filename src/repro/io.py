@@ -11,10 +11,12 @@ only a workflow with matching task ids.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Dict, IO, Union
 
-from .errors import ScheduleValidationError
+from .errors import PlatformError, ScheduleValidationError
+from .platform.cloud import CloudPlatform
 from .platform.vm import VMCategory
 from .scheduling.schedule import Schedule
 from .simulation.trace import SimulationResult
@@ -25,10 +27,15 @@ __all__ = [
     "dump_schedule",
     "load_schedule",
     "result_to_dict",
+    "platform_to_dict",
+    "platform_from_dict",
+    "canonical_json",
+    "fingerprint",
 ]
 
 _SCHEDULE_FORMAT = "repro.schedule/1"
 _RESULT_FORMAT = "repro.result/1"
+_PLATFORM_FORMAT = "repro.platform/1"
 
 
 def _category_to_dict(cat: VMCategory) -> Dict[str, Any]:
@@ -103,6 +110,64 @@ def load_schedule(fp: Union[str, IO[str]]) -> Schedule:
     else:
         data = json.load(fp)
     return schedule_from_dict(data)
+
+
+def platform_to_dict(platform: CloudPlatform) -> Dict[str, Any]:
+    """Encode a platform as a JSON-ready dict (inverse of
+    :func:`platform_from_dict`)."""
+    return {
+        "format": _PLATFORM_FORMAT,
+        "name": platform.name,
+        "bandwidth": platform.bandwidth,
+        "transfer_cost_per_byte": platform.transfer_cost_per_byte,
+        "storage_cost_per_byte_month": platform.storage_cost_per_byte_month,
+        "datacenter_rate_override": platform.datacenter_rate_override,
+        "categories": [_category_to_dict(cat) for cat in platform.categories],
+    }
+
+
+def platform_from_dict(data: Dict[str, Any]) -> CloudPlatform:
+    """Decode a platform; raises on unknown format or malformed payload."""
+    if data.get("format") != _PLATFORM_FORMAT:
+        raise PlatformError(
+            f"unsupported platform format {data.get('format')!r}"
+        )
+    try:
+        return CloudPlatform(
+            categories=tuple(
+                _category_from_dict(cat) for cat in data["categories"]
+            ),
+            bandwidth=data["bandwidth"],
+            transfer_cost_per_byte=data.get("transfer_cost_per_byte", 0.0),
+            storage_cost_per_byte_month=data.get(
+                "storage_cost_per_byte_month", 0.0
+            ),
+            datacenter_rate_override=data.get("datacenter_rate_override"),
+            name=data.get("name", "cloud"),
+        )
+    except PlatformError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PlatformError(f"malformed platform payload: {exc}") from exc
+
+
+def canonical_json(payload: Any) -> str:
+    """A canonical JSON rendering: sorted keys, no whitespace, NaN banned.
+
+    Two structurally equal payloads always render to the same string, which
+    makes the output safe to hash (see :func:`fingerprint`).
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def fingerprint(payload: Any) -> str:
+    """Stable SHA-256 hex digest of a JSON-able payload.
+
+    Used as a content-addressed cache key by :mod:`repro.service`.
+    """
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
 def result_to_dict(result: SimulationResult) -> Dict[str, Any]:

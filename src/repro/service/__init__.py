@@ -1,0 +1,48 @@
+"""Scheduling-as-a-service layer (see :mod:`repro.service.engine`).
+
+Turn-key usage::
+
+    from repro.service import SchedulingService
+
+    with SchedulingService() as svc:
+        resp = svc.schedule({
+            "workflow": {"family": "montage", "n_tasks": 60, "rng": 1,
+                         "sigma_ratio": 0.5},
+            "algorithm": "heft_budg",
+            "budget": {"position": 0.5},
+            "evaluation": {"n_reps": 10},
+        })
+        print(resp.planned_makespan, resp.evaluation["budget_success_rate"])
+
+The HTTP gateway lives in :mod:`repro.service.http` (also exposed through
+the ``repro-exp serve`` command).
+"""
+
+from .cache import CacheStats, LRUCache
+from .engine import JobRecord, JobState, SchedulingService
+from .metrics import MetricsRegistry
+from .spec import (
+    BudgetSpec,
+    EvaluationSpec,
+    PlatformSpec,
+    ScheduleRequest,
+    ScheduleResponse,
+    WorkflowSpec,
+    parse_requests,
+)
+
+__all__ = [
+    "BudgetSpec",
+    "CacheStats",
+    "EvaluationSpec",
+    "JobRecord",
+    "JobState",
+    "LRUCache",
+    "MetricsRegistry",
+    "PlatformSpec",
+    "ScheduleRequest",
+    "ScheduleResponse",
+    "SchedulingService",
+    "WorkflowSpec",
+    "parse_requests",
+]

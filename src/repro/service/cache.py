@@ -1,0 +1,188 @@
+"""Thread-safe LRU + TTL cache for scheduling responses.
+
+Scheduling a 90-task workflow takes milliseconds to minutes depending on
+the algorithm (Table III), while identical requests are common in sweep
+and dashboard traffic — the same (workflow, platform, algorithm, budget)
+tuple hit repeatedly. Requests are content-addressed
+(:meth:`repro.service.spec.ScheduleRequest.fingerprint`), and every
+response is deterministic in its request (generators, schedulers, and the
+evaluation replays are all seeded), so caching whole responses is exact,
+not approximate.
+
+The clock is injectable so TTL behaviour is testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+__all__ = ["CacheStats", "LRUCache"]
+
+
+@dataclass
+class CacheStats:
+    """Monotonic counters describing cache effectiveness."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup; 0.0 before any lookup."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready counter snapshot (includes the hit rate)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class _Entry:
+    value: Any
+    stored_at: float = field(default=0.0)
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction and optional TTL.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; inserting beyond it evicts the least
+        recently *used* (looked-up or stored) entry. Must be >= 1.
+    ttl:
+        Seconds an entry stays valid; ``None`` means forever.
+    clock:
+        Monotonic time source (seconds); defaults to :func:`time.monotonic`.
+        Injectable for deterministic TTL tests.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        *,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        if ttl is not None and ttl <= 0.0:
+            raise ValueError(f"cache ttl must be > 0 or None, got {ttl}")
+        self._capacity = capacity
+        self._ttl = ttl
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Maximum number of entries."""
+        return self._capacity
+
+    @property
+    def ttl(self) -> Optional[float]:
+        """Entry lifetime in seconds; ``None`` means forever."""
+        return self._ttl
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self.get(key, touch=False) is not None
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, default: Any = None, *, touch: bool = True) -> Any:
+        """The cached value, or ``default`` on a miss/expiry.
+
+        ``touch=False`` peeks without refreshing recency or counting the
+        lookup in the stats.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and self._expired(entry):
+                del self._entries[key]
+                self._stats.expirations += 1
+                entry = None
+            if not touch:
+                return default if entry is None else entry.value
+            if entry is None:
+                self._stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._stats.hits += 1
+            return entry.value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store ``value``, evicting the LRU entry when over capacity."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = _Entry(value, stored_at=self._clock())
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+
+    def get_or_compute(
+        self, key: Hashable, compute: Callable[[], Any]
+    ) -> Tuple[Any, bool]:
+        """``(value, was_cached)`` — computes and stores on a miss.
+
+        ``compute`` runs *outside* the lock, so a slow scheduling job does
+        not serialize unrelated lookups; concurrent misses on the same key
+        may compute twice (last write wins — harmless, the values are
+        equal by determinism).
+        """
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is not sentinel:
+            return value, True
+        value = compute()
+        self.put(key, value)
+        return value, False
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """A snapshot copy of the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._stats.hits,
+                misses=self._stats.misses,
+                evictions=self._stats.evictions,
+                expirations=self._stats.expirations,
+            )
+
+    # ------------------------------------------------------------------
+    def _expired(self, entry: _Entry) -> bool:
+        return self._ttl is not None and (
+            self._clock() - entry.stored_at > self._ttl
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LRUCache(len={len(self)}, capacity={self._capacity}, "
+            f"ttl={self._ttl})"
+        )

@@ -1,0 +1,407 @@
+"""The scheduling service engine: sync calls, async jobs, cache, metrics.
+
+:class:`SchedulingService` is the in-process core that the HTTP gateway,
+the CLI, and library users all share. It turns a declarative
+:class:`~repro.service.spec.ScheduleRequest` into a full
+:class:`~repro.service.spec.ScheduleResponse`:
+
+1. resolve the workflow, platform and budget from the specs;
+2. run the requested algorithm;
+3. optionally replay the schedule against ``n_reps`` sampled weight
+   realizations (the paper's validity/makespan statistics, per request);
+4. serve repeats straight from a content-addressed LRU cache.
+
+Heavy traffic is absorbed two ways: identical requests collapse into cache
+hits, and distinct requests fan out over a worker pool via ``submit`` /
+``submit_batch`` (scheduling releases the GIL poorly, but the evaluation
+replays are numpy-heavy, and multi-worker throughput also keeps the HTTP
+gateway responsive while long HEFTBUDG+ jobs run).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from ..errors import JobNotFoundError, ReproError, ServiceError
+from ..io import schedule_to_dict
+from ..scheduling.registry import available_schedulers, make_scheduler
+from ..simulation.executor import execute_schedule, sample_weights
+from .cache import LRUCache
+from .metrics import MetricsRegistry, quantile
+from .spec import ScheduleRequest, ScheduleResponse
+
+__all__ = ["JobState", "JobRecord", "SchedulingService"]
+
+RequestLike = Union[ScheduleRequest, Mapping[str, Any]]
+
+
+class JobState:
+    """Lifecycle states of an async job (plain strings, JSON-friendly)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    ALL = (PENDING, RUNNING, DONE, FAILED, CANCELLED)
+
+
+@dataclass
+class JobRecord:
+    """Point-in-time snapshot of one async job."""
+
+    job_id: str
+    state: str
+    request: Dict[str, Any]
+    submitted_at: float
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    response: Optional[ScheduleResponse] = None
+
+    def to_dict(self, *, include_response: bool = True) -> Dict[str, Any]:
+        """JSON-ready snapshot; ``include_response=False`` keeps it small."""
+        out: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "state": self.state,
+            "request": self.request,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+        }
+        if include_response:
+            out["response"] = (
+                None if self.response is None else self.response.to_dict()
+            )
+        return out
+
+
+class _Job:
+    __slots__ = ("record", "future")
+
+    def __init__(self, record: JobRecord) -> None:
+        self.record = record
+        self.future: Optional["Future[ScheduleResponse]"] = None
+
+
+class SchedulingService:
+    """Scheduling-as-a-service façade (see module docstring).
+
+    Parameters
+    ----------
+    max_workers:
+        Worker threads for async jobs (default 4).
+    cache_size:
+        LRU capacity in responses; 0 disables caching entirely.
+    cache_ttl:
+        Seconds a cached response stays fresh; ``None`` means forever.
+    metrics:
+        An external :class:`MetricsRegistry` to share; a private one is
+        created by default.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_workers: int = 4,
+        cache_size: int = 256,
+        cache_ttl: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
+        if cache_size < 0:
+            raise ServiceError(f"cache_size must be >= 0, got {cache_size}")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._cache = (
+            LRUCache(cache_size, ttl=cache_ttl) if cache_size else None
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-service"
+        )
+        self._jobs: Dict[str, _Job] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._started_at = time.time()
+
+    # ------------------------------------------------------------------
+    # sync path
+    # ------------------------------------------------------------------
+    def schedule(self, request: RequestLike) -> ScheduleResponse:
+        """Serve one request synchronously (cache-aware)."""
+        req = self._coerce(request)
+        self.metrics.incr("requests")
+        if self._cache is None:
+            response = self._compute(req)
+        else:
+            key = req.fingerprint()
+            cached, was_cached = self._cache.get_or_compute(
+                key, lambda: self._compute(req)
+            )
+            if was_cached:
+                self.metrics.incr("cache_hits")
+                # Copy: callers may mutate, and the cached original must
+                # keep cached=False so first-compute responses stay honest.
+                return replace(cached, cached=True)
+            self.metrics.incr("cache_misses")
+            response = cached
+        return response
+
+    # ------------------------------------------------------------------
+    # async jobs
+    # ------------------------------------------------------------------
+    def submit(self, request: RequestLike) -> str:
+        """Queue one request; returns its job id immediately."""
+        req = self._coerce(request)
+        self._check_open()
+        job_id = f"job-{next(self._ids):06d}"
+        record = JobRecord(
+            job_id=job_id,
+            state=JobState.PENDING,
+            request=req.to_dict(),
+            submitted_at=time.time(),
+        )
+        job = _Job(record)
+        with self._lock:
+            self._jobs[job_id] = job
+        job.future = self._pool.submit(self._run_job, job_id, req)
+        self.metrics.incr("jobs_submitted")
+        return job_id
+
+    def submit_batch(self, requests: Sequence[RequestLike]) -> List[str]:
+        """Queue a batch; returns job ids in request order."""
+        if not requests:
+            raise ServiceError("submit_batch needs at least one request")
+        return [self.submit(req) for req in requests]
+
+    def job(self, job_id: str) -> JobRecord:
+        """Snapshot of a job's current state."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise JobNotFoundError(f"no such job {job_id!r}")
+            return replace(job.record)
+
+    def jobs(self, state: Optional[str] = None) -> List[JobRecord]:
+        """Snapshots of all jobs, optionally filtered by state."""
+        if state is not None and state not in JobState.ALL:
+            raise ServiceError(
+                f"unknown job state {state!r}; one of {JobState.ALL}"
+            )
+        with self._lock:
+            records = [replace(j.record) for j in self._jobs.values()]
+        if state is not None:
+            records = [r for r in records if r.state == state]
+        return records
+
+    def result(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> ScheduleResponse:
+        """Block until a job finishes and return its response.
+
+        Raises :class:`ServiceError` if the job failed or was cancelled,
+        and ``TimeoutError`` if ``timeout`` elapses first.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise JobNotFoundError(f"no such job {job_id!r}")
+            future = job.future
+        assert future is not None
+        try:
+            return future.result(timeout=timeout)
+        except ReproError:
+            raise
+        except Exception as exc:  # CancelledError, or a non-repro bug
+            record = self.job(job_id)
+            if record.state == JobState.CANCELLED:
+                raise ServiceError(f"job {job_id} was cancelled") from None
+            raise ServiceError(f"job {job_id} failed: {exc}") from exc
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job that has not started; True when it was cancelled."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise JobNotFoundError(f"no such job {job_id!r}")
+            future = job.future
+        assert future is not None
+        if not future.cancel():
+            return False
+        with self._lock:
+            job.record.state = JobState.CANCELLED
+            job.record.finished_at = time.time()
+        self.metrics.incr("jobs_cancelled")
+        return True
+
+    def wait_all(self, timeout: Optional[float] = None) -> None:
+        """Block until every submitted job left the pending/running states."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            futures = [
+                j.future for j in self._jobs.values() if j.future is not None
+            ]
+        for future in futures:
+            remaining = (
+                None if deadline is None else deadline - time.monotonic()
+            )
+            if remaining is not None and remaining <= 0:
+                raise TimeoutError("wait_all timed out")
+            try:
+                future.result(timeout=remaining)
+            except Exception:
+                pass  # failures are surfaced via job()/result(), not here
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Operational snapshot: jobs by state, cache, metric summaries."""
+        by_state = {state: 0 for state in JobState.ALL}
+        with self._lock:
+            for job in self._jobs.values():
+                by_state[job.record.state] += 1
+        out: Dict[str, Any] = {
+            "uptime_s": time.time() - self._started_at,
+            "jobs": by_state,
+            "cache": None if self._cache is None else self._cache.stats().to_dict(),
+            "metrics": self.metrics.snapshot(),
+            "schedulers": available_schedulers(),
+        }
+        return out
+
+    def clear_cache(self) -> None:
+        """Drop all cached responses (no-op when caching is disabled)."""
+        if self._cache is not None:
+            self._cache.clear()
+
+    def close(self, *, wait: bool = True) -> None:
+        """Shut the worker pool down; idempotent."""
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "SchedulingService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError("service is closed")
+
+    @staticmethod
+    def _coerce(request: RequestLike) -> ScheduleRequest:
+        if isinstance(request, ScheduleRequest):
+            return request
+        return ScheduleRequest.from_dict(request)
+
+    def _run_job(self, job_id: str, request: ScheduleRequest) -> ScheduleResponse:
+        with self._lock:
+            record = self._jobs[job_id].record
+            record.state = JobState.RUNNING
+            record.started_at = time.time()
+        try:
+            response = self.schedule(request)
+        except Exception as exc:
+            with self._lock:
+                record.state = JobState.FAILED
+                record.error = str(exc)
+                record.finished_at = time.time()
+            self.metrics.incr("jobs_failed")
+            raise
+        with self._lock:
+            record.state = JobState.DONE
+            record.response = response
+            record.finished_at = time.time()
+        self.metrics.incr("jobs_done")
+        return response
+
+    def _compute(self, request: ScheduleRequest) -> ScheduleResponse:
+        started = time.perf_counter()
+        with self.metrics.timer("schedule_latency_s"):
+            wf = request.workflow.resolve()
+            platform = request.platform.resolve()
+            budget = request.budget.resolve(wf, platform)
+            try:
+                result = make_scheduler(request.algorithm).schedule(
+                    wf, platform, budget
+                )
+            except ReproError as exc:
+                raise ServiceError(
+                    f"{request.algorithm} failed on {wf.name or 'workflow'}: {exc}"
+                ) from exc
+            evaluation = self._evaluate(request, wf, platform, result.schedule, budget)
+        return ScheduleResponse(
+            request_fingerprint=request.fingerprint(),
+            algorithm=result.algorithm,
+            budget=budget,
+            planned_makespan=result.planned_makespan,
+            planned_cost=result.planned_vm_cost,
+            within_budget_plan=result.within_budget_plan,
+            n_vms=result.schedule.n_vms,
+            n_tasks=wf.n_tasks,
+            workflow_name=wf.name,
+            schedule=schedule_to_dict(result.schedule),
+            evaluation=evaluation,
+            cached=False,
+            elapsed_s=time.perf_counter() - started,
+        )
+
+    def _evaluate(
+        self, request, wf, platform, schedule, budget
+    ) -> Optional[Dict[str, Any]]:
+        spec = request.evaluation
+        if spec.n_reps <= 0:
+            return None
+        cap = float("inf") if spec.dc_capacity is None else spec.dc_capacity
+        makespans: List[float] = []
+        costs: List[float] = []
+        n_valid = 0
+        reps: List[Dict[str, Any]] = []
+        for i in range(spec.n_reps):
+            run = execute_schedule(
+                wf, platform, schedule,
+                sample_weights(wf, rng=spec.seed + i),
+                dc_capacity=cap, validate=False,
+            )
+            valid = run.respects_budget(budget)
+            n_valid += valid
+            makespans.append(run.makespan)
+            costs.append(run.total_cost)
+            reps.append(
+                {
+                    "seed": spec.seed + i,
+                    "makespan": run.makespan,
+                    "cost": run.total_cost,
+                    "within_budget": valid,
+                }
+            )
+        self.metrics.incr("evaluation_reps", spec.n_reps)
+        return {
+            "n_reps": spec.n_reps,
+            "budget_success_rate": n_valid / spec.n_reps,
+            "makespan": _summary(makespans),
+            "cost": _summary(costs),
+            "reps": reps,
+        }
+
+
+def _summary(values: List[float]) -> Dict[str, float]:
+    return {
+        "mean": sum(values) / len(values),
+        "min": min(values),
+        "max": max(values),
+        "p95": quantile(values, 0.95),
+    }

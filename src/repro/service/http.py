@@ -1,0 +1,233 @@
+"""Stdlib-only HTTP/JSON gateway in front of :class:`SchedulingService`.
+
+No web framework — ``http.server.ThreadingHTTPServer`` plus a small JSON
+router, so the gateway works anywhere the library does. Endpoints
+(all under ``/v1``):
+
+====================  ======================================================
+``GET  /v1/healthz``     liveness + uptime
+``GET  /v1/schedulers``  registry names accepted in requests
+``GET  /v1/metrics``     cache / job / latency snapshot
+``POST /v1/schedule``    synchronous scheduling; body = one request dict
+``POST /v1/jobs``        async submit; body = one request or an array
+``GET  /v1/jobs``        all job snapshots (``?state=`` filters)
+``GET  /v1/jobs/<id>``   one job snapshot (response embedded when done)
+``DELETE /v1/jobs/<id>`` cancel a pending job
+====================  ======================================================
+
+Validation failures map to 400, unknown routes/jobs to 404, everything
+else to 500, always with a JSON ``{"error": ...}`` body. Use
+:func:`start_gateway` for an embedded server (tests, notebooks) and
+:func:`serve` to block a process on it (the ``repro-exp serve`` command).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..errors import JobNotFoundError, ServiceError
+from .engine import SchedulingService
+from .spec import parse_requests
+
+__all__ = ["ServiceGateway", "start_gateway", "serve"]
+
+_MAX_BODY_BYTES = 32 * 1024 * 1024  # inline DAX documents can be large
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Set by ServiceGateway when the server is built.
+    service: SchedulingService = None  # type: ignore[assignment]
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    def log_message(self, *args: Any) -> None:  # pragma: no cover - quiet
+        pass
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, method: str) -> None:
+        try:
+            status, payload = self._route(method)
+        except ServiceError as exc:
+            status_code = 404 if isinstance(exc, JobNotFoundError) else 400
+            status, payload = status_code, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive
+            status, payload = 500, {"error": f"internal error: {exc}"}
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _route(self, method: str) -> Tuple[int, Any]:
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
+        if not parts or parts[0] != "v1":
+            return 404, {"error": f"unknown route {parsed.path!r}"}
+        tail = parts[1:]
+
+        if method == "GET" and tail == ["healthz"]:
+            return 200, {"status": "ok", "uptime_s": self.service.stats()["uptime_s"]}
+        if method == "GET" and tail == ["schedulers"]:
+            return 200, {"schedulers": self.service.stats()["schedulers"]}
+        if method == "GET" and tail == ["metrics"]:
+            return 200, self.service.stats()
+        if method == "POST" and tail == ["schedule"]:
+            requests = parse_requests(self._read_json())
+            if len(requests) != 1:
+                raise ServiceError(
+                    "POST /v1/schedule takes exactly one request; "
+                    "use POST /v1/jobs for batches"
+                )
+            return 200, self.service.schedule(requests[0]).to_dict()
+        if method == "POST" and tail == ["jobs"]:
+            requests = parse_requests(self._read_json())
+            job_ids = self.service.submit_batch(requests)
+            return 202, {"job_ids": job_ids}
+        if method == "GET" and tail == ["jobs"]:
+            records = self.service.jobs(state=query.get("state"))
+            return 200, {
+                "jobs": [r.to_dict(include_response=False) for r in records]
+            }
+        if len(tail) == 2 and tail[0] == "jobs":
+            job_id = tail[1]
+            if method == "GET":
+                return 200, self.service.job(job_id).to_dict()
+            if method == "DELETE":
+                cancelled = self.service.cancel(job_id)
+                return 200, {"job_id": job_id, "cancelled": cancelled}
+        return 404, {"error": f"unknown route {method} {parsed.path!r}"}
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ServiceError("request body is empty")
+        if length > _MAX_BODY_BYTES:
+            raise ServiceError(
+                f"request body exceeds {_MAX_BODY_BYTES} bytes"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from exc
+
+
+class _Server(ThreadingHTTPServer):
+    # The http.server default backlog of 5 drops connections under bursty
+    # concurrent traffic (observed as client-side ECONNRESET at ~32
+    # simultaneous POSTs); raise it to absorb accept spikes.
+    request_queue_size = 128
+    daemon_threads = True
+
+
+class ServiceGateway:
+    """An embeddable HTTP server bound to one :class:`SchedulingService`.
+
+    The server thread is a daemon; call :meth:`shutdown` (or use the
+    context manager) for a clean stop. ``port=0`` picks a free port —
+    read it back from :attr:`address`.
+    """
+
+    def __init__(
+        self,
+        service: SchedulingService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        handler = type("_BoundHandler", (_Handler,), {"service": service})
+        self._server = _Server((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` actually bound."""
+        return self._server.server_address[0], self._server.server_port
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound server, e.g. ``http://127.0.0.1:8080``."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServiceGateway":
+        """Serve in a background daemon thread; returns self."""
+        if self._thread is not None:
+            raise ServiceError("gateway already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-gateway", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (blocks until shutdown)."""
+        self._server.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop serving, close the socket, join the server thread."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ServiceGateway":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+
+def start_gateway(
+    service: Optional[SchedulingService] = None,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **service_kwargs: Any,
+) -> ServiceGateway:
+    """Start a background gateway; builds a service when none is given."""
+    if service is None:
+        service = SchedulingService(**service_kwargs)
+    return ServiceGateway(service, host=host, port=port).start()
+
+
+def serve(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    max_workers: int = 4,
+    cache_size: int = 256,
+    cache_ttl: Optional[float] = None,
+) -> None:  # pragma: no cover - blocking entry point, exercised via CLI
+    """Run a gateway in the foreground until interrupted."""
+    service = SchedulingService(
+        max_workers=max_workers, cache_size=cache_size, cache_ttl=cache_ttl
+    )
+    gateway = ServiceGateway(service, host=host, port=port)
+    print(f"repro scheduling service listening on {gateway.url}")
+    print("endpoints: /v1/healthz /v1/schedulers /v1/metrics "
+          "/v1/schedule /v1/jobs")
+    try:
+        gateway.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        gateway.shutdown()
+        service.close()

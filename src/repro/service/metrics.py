@@ -1,0 +1,128 @@
+"""Lightweight operational metrics for the scheduling service.
+
+Counters and latency summaries, thread-safe, zero dependencies. A
+:class:`MetricsRegistry` is deliberately far simpler than a full metrics
+stack: monotonically increasing counters plus per-name observation
+summaries (count / sum / min / max and quantiles over a bounded window of
+recent samples). ``snapshot()`` returns plain dicts ready for the
+``/v1/metrics`` endpoint or a log line.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Deque, Dict, Iterator, List
+
+__all__ = ["MetricsRegistry", "quantile"]
+
+#: Samples retained per observation series for quantile estimates.
+_WINDOW = 1024
+
+
+def quantile(samples: List[float], q: float) -> float:
+    """Linear-interpolated quantile of ``samples`` (q in [0, 1]).
+
+    Raises ``ValueError`` on an empty list — callers guard.
+    """
+    if not samples:
+        raise ValueError("quantile of empty sample list")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile q must be in [0, 1], got {q}")
+    ordered = sorted(samples)
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class _Series:
+    __slots__ = ("count", "total", "minimum", "maximum", "window")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self.window: Deque[float] = deque(maxlen=_WINDOW)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        self.window.append(value)
+
+    def summary(self) -> Dict[str, float]:
+        recent = list(self.window)
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.total / self.count,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": quantile(recent, 0.50),
+            "p95": quantile(recent, 0.95),
+            "p99": quantile(recent, 0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named counters and observation series.
+
+    ``incr`` for event counts, ``observe`` for measured values (latencies,
+    batch sizes…), ``timer`` to observe a wall-clock duration around a
+    block. Unknown names spring into existence on first use.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._series: Dict[str, _Series] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at 0 on first use)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into observation series ``name``."""
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                series = self._series[name] = _Series()
+            series.observe(value)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Observe the duration of the enclosed block, in seconds."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - started)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All counters and series summaries, as plain JSON-able dicts."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "series": {
+                    name: series.summary()
+                    for name, series in self._series.items()
+                },
+            }
+
+    def reset(self) -> None:
+        """Forget every counter and series."""
+        with self._lock:
+            self._counters.clear()
+            self._series.clear()

@@ -48,3 +48,56 @@ class TestMain:
         out = capsys.readouterr().out
         assert "Table III(a)" in out
         assert "minmin_budg" in out
+
+
+class TestServiceCommands:
+    def test_serve_and_schedule_commands_exist(self):
+        args = build_parser().parse_args(["serve", "--port", "9090"])
+        assert args.command == "serve" and args.port == 9090
+        args = build_parser().parse_args(["schedule", "--family", "ligo"])
+        assert args.command == "schedule" and args.family == "ligo"
+
+    def test_schedule_from_flags(self, capsys):
+        import json
+
+        code = main([
+            "schedule", "--family", "montage", "--tasks", "15",
+            "--algorithm", "minmin_budg", "--position", "0.5",
+            "--reps", "2", "--no-schedule-payload",
+        ])
+        assert code == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["algorithm"] == "minmin_budg"
+        assert body["evaluation"]["n_reps"] == 2
+        assert "schedule" not in body
+
+    def test_schedule_from_request_file(self, capsys, tmp_path):
+        import json
+
+        req = tmp_path / "req.json"
+        req.write_text(json.dumps({
+            "workflow": {"family": "montage", "n_tasks": 15, "rng": 1},
+            "algorithm": "heft",
+            "budget": {"amount": 5.0},
+        }))
+        assert main(["schedule", "--request", str(req)]) == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["schedule"]["format"] == "repro.schedule/1"
+
+    def test_schedule_bad_request_exits_2(self, capsys, tmp_path):
+        req = tmp_path / "req.json"
+        req.write_text("{not json")
+        assert main(["schedule", "--request", str(req)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_schedule_service_error_exits_2(self, capsys, tmp_path):
+        import json
+
+        req = tmp_path / "req.json"
+        req.write_text(json.dumps({
+            "workflow": {"family": "montage", "n_tasks": 15},
+            "algorithm": "not_a_scheduler",
+            "budget": 1.0,
+        }))
+        assert main(["schedule", "--request", str(req)]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err

@@ -1,0 +1,143 @@
+"""LRU + TTL cache semantics."""
+
+import threading
+
+import pytest
+
+from repro.service.cache import LRUCache
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestBasics:
+    def test_get_put(self):
+        cache = LRUCache(4)
+        assert cache.get("k") is None
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        assert "k" in cache
+        assert len(cache) == 1
+
+    def test_default_on_miss(self):
+        cache = LRUCache(4)
+        assert cache.get("absent", "fallback") == "fallback"
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+        with pytest.raises(ValueError):
+            LRUCache(4, ttl=0.0)
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.get("c") == 3
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # re-store refreshes
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_eviction_counted(self):
+        cache = LRUCache(1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.stats().evictions == 1
+
+
+class TestTTL:
+    def test_entry_expires(self):
+        clock = FakeClock()
+        cache = LRUCache(4, ttl=10.0, clock=clock)
+        cache.put("k", 1)
+        clock.advance(9.0)
+        assert cache.get("k") == 1
+        clock.advance(2.0)
+        assert cache.get("k") is None
+        assert cache.stats().expirations == 1
+
+    def test_no_ttl_means_forever(self):
+        clock = FakeClock()
+        cache = LRUCache(4, clock=clock)
+        cache.put("k", 1)
+        clock.advance(1e9)
+        assert cache.get("k") == 1
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = LRUCache(4)
+        cache.put("k", 1)
+        cache.get("k")
+        cache.get("absent")
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == 0.5
+
+    def test_peek_does_not_count(self):
+        cache = LRUCache(4)
+        cache.put("k", 1)
+        assert cache.get("k", touch=False) == 1
+        assert cache.stats().lookups == 0
+
+    def test_stats_dict(self):
+        assert LRUCache(4).stats().to_dict()["hit_rate"] == 0.0
+
+
+class TestGetOrCompute:
+    def test_computes_once(self):
+        cache = LRUCache(4)
+        calls = []
+        value, was_cached = cache.get_or_compute("k", lambda: calls.append(1) or "v")
+        assert (value, was_cached) == ("v", False)
+        value, was_cached = cache.get_or_compute("k", lambda: calls.append(1) or "v")
+        assert (value, was_cached) == ("v", True)
+        assert len(calls) == 1
+
+    def test_clear(self):
+        cache = LRUCache(4)
+        cache.put("k", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_put_get(self):
+        cache = LRUCache(64)
+        errors = []
+
+        def worker(base):
+            try:
+                for i in range(200):
+                    cache.put((base, i % 32), i)
+                    cache.get((base, (i + 1) % 32))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 64

@@ -1,0 +1,85 @@
+"""Metrics registry: counters, series, quantiles, timers."""
+
+import threading
+
+import pytest
+
+from repro.service.metrics import MetricsRegistry, quantile
+
+
+class TestQuantile:
+    def test_median_interpolates(self):
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert quantile(values, 0.0) == 1.0
+        assert quantile(values, 1.0) == 5.0
+
+    def test_rejects_empty_and_bad_q(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+
+class TestCounters:
+    def test_incr(self):
+        reg = MetricsRegistry()
+        reg.incr("requests")
+        reg.incr("requests", 4)
+        assert reg.counter("requests") == 5
+        assert reg.counter("absent") == 0
+
+    def test_snapshot_contains_counters(self):
+        reg = MetricsRegistry()
+        reg.incr("a")
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a": 1}
+        assert snap["series"] == {}
+
+
+class TestSeries:
+    def test_observe_summary(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            reg.observe("lat", v)
+        summary = reg.snapshot()["series"]["lat"]
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["min"] == 1.0 and summary["max"] == 3.0
+        assert summary["p50"] == pytest.approx(2.0)
+
+    def test_timer_records_positive_duration(self):
+        reg = MetricsRegistry()
+        with reg.timer("block"):
+            sum(range(1000))
+        summary = reg.snapshot()["series"]["block"]
+        assert summary["count"] == 1
+        assert summary["min"] >= 0.0
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.incr("a")
+        reg.observe("b", 1.0)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["counters"] == {} and snap["series"] == {}
+
+
+class TestThreadSafety:
+    def test_concurrent_incr_is_exact(self):
+        reg = MetricsRegistry()
+
+        def worker():
+            for _ in range(1000):
+                reg.incr("n")
+                reg.observe("v", 1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("n") == 8000
+        assert reg.snapshot()["series"]["v"]["count"] == 8000

@@ -96,3 +96,58 @@ class TestResultExport:
         run = evaluate_schedule(wf, PAPER_PLATFORM, sched)
         text = json.dumps(result_to_dict(run))
         assert json.loads(text)["format"] == "repro.result/1"
+
+
+class TestPlatformRoundTrip:
+    def test_paper_platform_roundtrip(self):
+        from repro.io import platform_from_dict, platform_to_dict
+
+        back = platform_from_dict(platform_to_dict(PAPER_PLATFORM))
+        assert back.categories == PAPER_PLATFORM.categories
+        assert back.bandwidth == PAPER_PLATFORM.bandwidth
+        assert back.transfer_cost_per_byte == PAPER_PLATFORM.transfer_cost_per_byte
+        assert back.name == PAPER_PLATFORM.name
+
+    def test_json_serializable(self):
+        from repro.io import platform_from_dict, platform_to_dict
+
+        text = json.dumps(platform_to_dict(PAPER_PLATFORM))
+        back = platform_from_dict(json.loads(text))
+        assert back.n_categories == PAPER_PLATFORM.n_categories
+
+    def test_rejects_unknown_format(self):
+        from repro import PlatformError
+        from repro.io import platform_from_dict
+
+        with pytest.raises(PlatformError, match="unsupported platform format"):
+            platform_from_dict({"format": "repro.platform/999"})
+
+    def test_rejects_malformed_payload(self):
+        from repro import PlatformError
+        from repro.io import platform_from_dict
+
+        with pytest.raises(PlatformError, match="malformed platform payload"):
+            platform_from_dict({"format": "repro.platform/1"})
+
+
+class TestFingerprint:
+    def test_canonical_json_is_order_insensitive(self):
+        from repro.io import canonical_json
+
+        assert canonical_json({"a": 1, "b": [2, 3]}) == canonical_json(
+            {"b": [2, 3], "a": 1}
+        )
+
+    def test_fingerprint_stable_and_distinct(self):
+        from repro.io import fingerprint
+
+        a = fingerprint({"x": 1})
+        assert a == fingerprint({"x": 1})
+        assert a != fingerprint({"x": 2})
+        assert len(a) == 64
+
+    def test_fingerprint_rejects_nan(self):
+        from repro.io import fingerprint
+
+        with pytest.raises(ValueError):
+            fingerprint({"x": float("nan")})
