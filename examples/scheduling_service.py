@@ -74,7 +74,8 @@ def main() -> None:
 
         latency = svc.stats()["metrics"]["series"]["schedule_latency_s"]
         print(f"\nengine latency: mean={latency['mean'] * 1e3:.1f} ms  "
-              f"p95={latency['p95'] * 1e3:.1f} ms  over {latency['count']} runs")
+              f"window_p95={latency['window_p95'] * 1e3:.1f} ms  "
+              f"over {latency['count']} runs")
         gateway.shutdown()
 
 

@@ -102,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="response cache capacity (0 disables)")
     srv.add_argument("--cache-ttl", type=float, default=None,
                      help="response cache TTL in seconds (default: forever)")
+    _add_logging_flags(srv)
 
     sch = sub.add_parser(
         "schedule", help="one-shot scheduling request, JSON response on stdout"
@@ -126,7 +127,45 @@ def build_parser() -> argparse.ArgumentParser:
                      help="stochastic evaluation repetitions")
     sch.add_argument("--no-schedule-payload", action="store_true",
                      help="omit the full schedule dict from the output")
+    _add_logging_flags(sch)
+
+    trc = sub.add_parser(
+        "trace",
+        help="run one schedule+simulate with tracing enabled and export a "
+        "Perfetto-loadable .trace.json plus a JSONL decision log",
+    )
+    trc.add_argument("--workflow", default="montage",
+                     help="workflow generator family")
+    trc.add_argument("--n", type=int, default=50, help="workflow size")
+    trc.add_argument("--algo", default="heft_budg",
+                     help="scheduling algorithm (see /v1/schedulers)")
+    trc.add_argument("--seed", type=int, default=1,
+                     help="workflow generator seed")
+    trc.add_argument("--sigma", type=float, default=0.5,
+                     help="sigma/mean ratio")
+    tgroup = trc.add_mutually_exclusive_group()
+    tgroup.add_argument("--budget", type=float, default=None,
+                        help="absolute budget in dollars")
+    tgroup.add_argument("--position", type=float, default=0.5,
+                        help="budget position on [B_min, B_high] (0..1)")
+    trc.add_argument("--out", default="run.trace.json",
+                     help="Chrome trace-event JSON output path "
+                     "(open in ui.perfetto.dev)")
+    trc.add_argument("--decisions", default=None,
+                     help="decision-log JSONL path "
+                     "(default: <out stem>.decisions.jsonl)")
+    trc.add_argument("--gantt", action="store_true",
+                     help="also print the ASCII Gantt of the simulated run")
     return parser
+
+
+def _add_logging_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--log-level", default="info",
+                        choices=("debug", "info", "warning", "error",
+                                 "critical"),
+                        help="structured logging threshold")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit logs as JSON lines instead of key=value")
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -196,6 +235,68 @@ def _run_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_trace(args: argparse.Namespace) -> int:
+    """The ``trace`` subcommand: one traced schedule+simulate, two files."""
+    from .errors import ReproError
+    from .obs import Tracer, use_tracer
+    from .obs.export import write_chrome_trace, write_decision_log
+    from .platform.cloud import PAPER_PLATFORM
+    from .scheduling.registry import make_scheduler
+    from .service.spec import BudgetSpec
+    from .simulation.executor import evaluate_schedule
+    from .workflow.generators import generate
+
+    try:
+        wf = generate(args.workflow, args.n, rng=args.seed,
+                      sigma_ratio=args.sigma)
+        budget_spec = (
+            BudgetSpec(amount=args.budget) if args.budget is not None
+            else BudgetSpec(position=args.position)
+        )
+        budget = budget_spec.resolve(wf, PAPER_PLATFORM)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with tracer.span("trace.session", workflow=args.workflow,
+                             n_tasks=args.n, algorithm=args.algo,
+                             budget=budget):
+                result = make_scheduler(args.algo).schedule(
+                    wf, PAPER_PLATFORM, budget
+                )
+                run = evaluate_schedule(wf, PAPER_PLATFORM, result.schedule)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    stem = args.out
+    for suffix in (".trace.json", ".json"):
+        if stem.endswith(suffix):
+            stem = stem[: -len(suffix)]
+            break
+    decisions_path = args.decisions or f"{stem}.decisions.jsonl"
+    doc = write_chrome_trace(
+        args.out, tracer, run,
+        metadata={
+            "workflow": args.workflow, "n_tasks": args.n,
+            "algorithm": args.algo, "budget": budget,
+            "makespan": run.makespan, "total_cost": run.total_cost,
+        },
+    )
+    n_decisions = write_decision_log(decisions_path, tracer.decisions)
+
+    if args.gantt:
+        from .simulation.gantt import render_gantt
+
+        print(render_gantt(run))
+    print(f"algorithm       : {args.algo}")
+    print(f"budget          : ${budget:.4f}")
+    print(f"makespan        : {run.makespan:.1f}s on {run.n_vms} VMs "
+          f"(cost ${run.total_cost:.4f})")
+    print(f"trace           : {args.out} "
+          f"({len(doc['traceEvents'])} events; open in ui.perfetto.dev)")
+    print(f"decision log    : {decisions_path} ({n_decisions} records)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -248,11 +349,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         serve(
             host=args.host, port=args.port, max_workers=args.workers,
             cache_size=args.cache_size, cache_ttl=args.cache_ttl,
+            log_level=args.log_level, log_json=args.log_json,
         )
         return 0
 
     if args.command == "schedule":
+        from .obs.logging import configure_logging
+
+        configure_logging(level=args.log_level, json_mode=args.log_json)
         return _run_schedule(args)
+
+    if args.command == "trace":
+        return _run_trace(args)
 
     if args.command == "table3b":
         if args.refined:

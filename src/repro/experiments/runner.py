@@ -20,6 +20,7 @@ import math
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs.tracing import get_tracer
 from ..platform.cloud import CloudPlatform
 from ..rng import spawn
 from ..scheduling.registry import make_scheduler
@@ -74,41 +75,46 @@ def run_point(
     """
     scheduler = make_scheduler(algorithm)
     sched_budget = math.inf if algorithm in BASELINE_ALGORITHMS else budget
-    t0 = time.perf_counter()
-    result = scheduler.schedule(wf, platform, sched_budget)
-    sched_seconds = time.perf_counter() - t0
+    with get_tracer().span(
+        "experiments.run_point", family=family or wf.name,
+        algorithm=algorithm, budget=budget, n_reps=n_reps,
+    ) as point_span:
+        t0 = time.perf_counter()
+        result = scheduler.schedule(wf, platform, sched_budget)
+        sched_seconds = time.perf_counter() - t0
 
-    if weight_draws is not None and len(weight_draws) < n_reps:
-        raise ValueError(
-            f"need {n_reps} weight draws, got {len(weight_draws)}"
-        )
-    records: List[RunRecord] = []
-    for rep, rep_rng in enumerate(spawn(rng, n_reps)):
-        weights = (
-            weight_draws[rep] if weight_draws is not None
-            else sample_weights(wf, rep_rng)
-        )
-        run = execute_schedule(
-            wf, platform, result.schedule, weights,
-            dc_capacity=dc_capacity, validate=(rep == 0),
-        )
-        records.append(
-            RunRecord(
-                family=family or wf.name,
-                n_tasks=wf.n_tasks,
-                instance=instance,
-                sigma_ratio=sigma_ratio,
-                algorithm=algorithm,
-                budget=budget,
-                budget_index=budget_index,
-                rep=rep,
-                makespan=run.makespan,
-                total_cost=run.total_cost,
-                n_vms=run.n_vms,
-                valid=run.respects_budget(budget),
-                sched_seconds=sched_seconds,
+        if weight_draws is not None and len(weight_draws) < n_reps:
+            raise ValueError(
+                f"need {n_reps} weight draws, got {len(weight_draws)}"
             )
-        )
+        records: List[RunRecord] = []
+        for rep, rep_rng in enumerate(spawn(rng, n_reps)):
+            weights = (
+                weight_draws[rep] if weight_draws is not None
+                else sample_weights(wf, rep_rng)
+            )
+            run = execute_schedule(
+                wf, platform, result.schedule, weights,
+                dc_capacity=dc_capacity, validate=(rep == 0),
+            )
+            records.append(
+                RunRecord(
+                    family=family or wf.name,
+                    n_tasks=wf.n_tasks,
+                    instance=instance,
+                    sigma_ratio=sigma_ratio,
+                    algorithm=algorithm,
+                    budget=budget,
+                    budget_index=budget_index,
+                    rep=rep,
+                    makespan=run.makespan,
+                    total_cost=run.total_cost,
+                    n_vms=run.n_vms,
+                    valid=run.respects_budget(budget),
+                    sched_seconds=sched_seconds,
+                )
+            )
+        point_span.set(sched_seconds=sched_seconds, n_vms=result.schedule.n_vms)
     return records
 
 
@@ -125,39 +131,47 @@ def run_sweep(
     Budget indices are recorded as fractional positions via the budget value
     itself; figure builders group by grid position.
     """
+    tracer = get_tracer()
     instances = make_instances(config)
     records: List[RunRecord] = []
     exec_streams = spawn(config.seed + 1, len(instances))
     stream_idx = 0
     for (family, instance), wf in instances.items():
-        grid = (
-            list(budget_points)
-            if budget_points is not None
-            else budget_grid(wf, config.platform, config.budgets_per_workflow)
-        )
-        # common random numbers: one weight realization per repetition,
-        # shared by every (algorithm, budget) cell of this instance
-        instance_stream = exec_streams[stream_idx]
-        stream_idx += 1
-        draws = [
-            sample_weights(wf, r) for r in spawn(instance_stream, config.n_reps)
-        ]
-        for algorithm in config.algorithms:
-            for budget_index, budget in enumerate(grid):
-                records.extend(
-                    run_point(
-                        wf,
-                        config.platform,
-                        algorithm,
-                        budget,
-                        config.n_reps,
-                        instance_stream,
-                        family=family,
-                        instance=instance,
-                        sigma_ratio=config.sigma_ratio,
-                        budget_index=budget_index,
-                        dc_capacity=dc_capacity,
-                        weight_draws=draws,
-                    )
+        with tracer.span(
+            "experiments.instance", family=family, instance=instance,
+            n_tasks=wf.n_tasks,
+        ):
+            grid = (
+                list(budget_points)
+                if budget_points is not None
+                else budget_grid(
+                    wf, config.platform, config.budgets_per_workflow
                 )
+            )
+            # common random numbers: one weight realization per repetition,
+            # shared by every (algorithm, budget) cell of this instance
+            instance_stream = exec_streams[stream_idx]
+            stream_idx += 1
+            draws = [
+                sample_weights(wf, r)
+                for r in spawn(instance_stream, config.n_reps)
+            ]
+            for algorithm in config.algorithms:
+                for budget_index, budget in enumerate(grid):
+                    records.extend(
+                        run_point(
+                            wf,
+                            config.platform,
+                            algorithm,
+                            budget,
+                            config.n_reps,
+                            instance_stream,
+                            family=family,
+                            instance=instance,
+                            sigma_ratio=config.sigma_ratio,
+                            budget_index=budget_index,
+                            dc_capacity=dc_capacity,
+                            weight_draws=draws,
+                        )
+                    )
     return records

@@ -1,0 +1,73 @@
+"""repro.obs — zero-dependency observability: tracing, logs, exporters.
+
+Four pieces, all stdlib-only:
+
+* :mod:`repro.obs.tracing` — nested wall-clock spans, per-task scheduler
+  :class:`DecisionRecord`\\ s, counters; a process-global
+  :class:`NullTracer` keeps instrumentation free when disabled.
+* :mod:`repro.obs.export` — Chrome trace-event JSON (open in
+  `ui.perfetto.dev <https://ui.perfetto.dev>`_) rendering both wall-clock
+  spans and the simulated per-VM timeline, plus JSONL decision logs.
+* :mod:`repro.obs.logging` — structured ``key=value`` / JSON-lines
+  logging under the ``repro`` logger tree.
+* :mod:`repro.obs.prometheus` — text exposition of
+  :class:`~repro.service.metrics.MetricsRegistry` snapshots.
+
+See docs/OBSERVABILITY.md for the full tour.
+"""
+
+from typing import Any
+
+from .logging import configure_logging, get_logger
+from .prometheus import render_prometheus
+from .tracing import (
+    DecisionRecord,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+# Exporter names resolve lazily: repro.obs.export depends on
+# repro.simulation, whose modules themselves import repro.obs.tracing —
+# importing it here eagerly would close an import cycle.
+_EXPORT_NAMES = frozenset(
+    (
+        "decision_log_lines",
+        "simulation_events",
+        "to_chrome_trace",
+        "tracer_events",
+        "write_chrome_trace",
+        "write_decision_log",
+    )
+)
+
+
+def __getattr__(name: str) -> Any:
+    if name in _EXPORT_NAMES:
+        from . import export
+
+        return getattr(export, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "DecisionRecord",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "decision_log_lines",
+    "get_logger",
+    "get_tracer",
+    "render_prometheus",
+    "set_tracer",
+    "simulation_events",
+    "to_chrome_trace",
+    "tracer_events",
+    "use_tracer",
+    "write_chrome_trace",
+    "write_decision_log",
+]

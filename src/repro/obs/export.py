@@ -1,0 +1,211 @@
+"""Exporters: Chrome trace-event JSON (Perfetto) and JSONL decision logs.
+
+The Chrome trace-event format (``ph``/``ts``/``dur`` complete events plus
+``M`` metadata rows) is what `ui.perfetto.dev <https://ui.perfetto.dev>`_
+and ``chrome://tracing`` load natively. We emit two kinds of timelines
+into one file:
+
+* **wall-clock spans** from a :class:`~repro.obs.tracing.Tracer` — one
+  Perfetto "process" (default pid 1), one track per Python thread; and
+* the **simulated schedule** from a
+  :class:`~repro.simulation.trace.SimulationResult` — one process per VM,
+  with boot/download/compute slices on the main track and the overlapping
+  uploads on a second track. Simulated seconds map 1:1 onto trace seconds.
+
+Timestamps are microseconds (the format's unit); ``displayTimeUnit`` is
+milliseconds. See docs/OBSERVABILITY.md for a walkthrough.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Iterable, Iterator, List, Optional, Union
+
+from ..simulation.trace import SimulationResult
+from .tracing import DecisionRecord, Tracer
+
+__all__ = [
+    "tracer_events",
+    "simulation_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "decision_log_lines",
+    "write_decision_log",
+]
+
+#: pid of the wall-clock process in the exported trace.
+WALL_PID = 1
+#: pid of simulated VM ``v`` is ``SIM_PID_BASE + v``.
+SIM_PID_BASE = 100
+
+_US = 1_000_000.0  # seconds → trace microseconds
+
+
+def _meta(pid: int, name: str, *, tid: Optional[int] = None) -> Dict[str, Any]:
+    event: Dict[str, Any] = {
+        "ph": "M",
+        "pid": pid,
+        "name": "process_name" if tid is None else "thread_name",
+        "args": {"name": name},
+    }
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def _slice(
+    name: str,
+    cat: str,
+    start_s: float,
+    end_s: float,
+    pid: int,
+    tid: int,
+    args: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    event: Dict[str, Any] = {
+        "name": name,
+        "cat": cat,
+        "ph": "X",
+        "ts": round(start_s * _US, 3),
+        "dur": round(max(end_s - start_s, 0.0) * _US, 3),
+        "pid": pid,
+        "tid": tid,
+    }
+    if args:
+        event["args"] = args
+    return event
+
+
+# ----------------------------------------------------------------------
+def tracer_events(tracer: Tracer, *, pid: int = WALL_PID) -> List[Dict[str, Any]]:
+    """Wall-clock spans as complete events, one track per thread."""
+    events: List[Dict[str, Any]] = [_meta(pid, "wall-clock (python)")]
+    tids: Dict[str, int] = {}
+    origin = tracer.origin_s
+    for span in tracer.spans:
+        tid = tids.setdefault(span.thread, len(tids))
+        args: Dict[str, Any] = {"span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update(span.attributes)
+        events.append(
+            _slice(
+                span.name, "wall", span.start_s - origin, span.end_s - origin,
+                pid, tid, args,
+            )
+        )
+    for thread, tid in tids.items():
+        events.append(_meta(pid, thread, tid=tid))
+    return events
+
+
+def simulation_events(
+    result: SimulationResult, *, pid_base: int = SIM_PID_BASE
+) -> List[Dict[str, Any]]:
+    """The simulated timeline: one Perfetto process per VM.
+
+    Track 0 carries boot/download/compute slices (mutually exclusive on a
+    single-core VM); track 1 carries the uploads, which the platform model
+    lets overlap subsequent work (§III-B).
+    """
+    events: List[Dict[str, Any]] = []
+    t0 = result.start
+    for vm in sorted(result.vms, key=lambda v: v.vm_id):
+        pid = pid_base + vm.vm_id
+        events.append(_meta(pid, f"vm{vm.vm_id} ({vm.category.name})"))
+        events.append(_meta(pid, "tasks", tid=0))
+        events.append(_meta(pid, "uploads", tid=1))
+        events.append(
+            _slice(
+                "boot", "boot", vm.booked_at - t0, vm.ready_at - t0, pid, 0,
+                {"category": vm.category.name},
+            )
+        )
+    for rec in sorted(result.tasks.values(), key=lambda r: r.download_start):
+        pid = pid_base + rec.vm_id
+        if rec.compute_start > rec.download_start:
+            events.append(
+                _slice(
+                    f"{rec.tid} (download)", "download",
+                    rec.download_start - t0, rec.compute_start - t0, pid, 0,
+                )
+            )
+        events.append(
+            _slice(
+                rec.tid, "compute", rec.compute_start - t0,
+                rec.compute_end - t0, pid, 0,
+                {"actual_weight": rec.actual_weight},
+            )
+        )
+        if rec.outputs_at_dc > rec.compute_end:
+            events.append(
+                _slice(
+                    f"{rec.tid} (upload)", "upload",
+                    rec.compute_end - t0, rec.outputs_at_dc - t0, pid, 1,
+                )
+            )
+    return events
+
+
+def to_chrome_trace(
+    tracer: Optional[Tracer] = None,
+    result: Optional[SimulationResult] = None,
+    *,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble a loadable trace document from either or both sources."""
+    events: List[Dict[str, Any]] = []
+    if tracer is not None:
+        events.extend(tracer_events(tracer))
+    if result is not None:
+        events.extend(simulation_events(result))
+    doc: Dict[str, Any] = {
+        "displayTimeUnit": "ms",
+        "traceEvents": events,
+    }
+    other: Dict[str, Any] = {"generator": "repro.obs"}
+    if metadata:
+        other.update(metadata)
+    doc["otherData"] = other
+    return doc
+
+
+def write_chrome_trace(
+    target: Union[str, IO[str]],
+    tracer: Optional[Tracer] = None,
+    result: Optional[SimulationResult] = None,
+    *,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Write :func:`to_chrome_trace` output as JSON; returns the document."""
+    doc = to_chrome_trace(tracer, result, metadata=metadata)
+    if isinstance(target, str):
+        with open(target, "w") as fh:
+            json.dump(doc, fh)
+    else:
+        json.dump(doc, target)
+    return doc
+
+
+# ----------------------------------------------------------------------
+def decision_log_lines(decisions: Iterable[DecisionRecord]) -> Iterator[str]:
+    """One compact JSON object per decision record."""
+    for record in decisions:
+        yield json.dumps(record.to_dict(), separators=(",", ":"))
+
+
+def write_decision_log(
+    target: Union[str, IO[str]], decisions: Iterable[DecisionRecord]
+) -> int:
+    """Write a JSONL decision log; returns the number of records written."""
+    n = 0
+    if isinstance(target, str):
+        with open(target, "w") as fh:
+            for line in decision_log_lines(decisions):
+                fh.write(line + "\n")
+                n += 1
+    else:
+        for line in decision_log_lines(decisions):
+            target.write(line + "\n")
+            n += 1
+    return n

@@ -1,0 +1,96 @@
+"""Prometheus text exposition (version 0.0.4) for metrics snapshots.
+
+Renders a :meth:`repro.service.metrics.MetricsRegistry.snapshot` — plus
+optional gauges — in the plain-text scrape format. Counters become
+``<ns>_<name>_total``; observation series become a summary family (the
+quantiles are the registry's bounded-window estimates, ``_sum`` and
+``_count`` are lifetime) and, when bucket counts are present, a sibling
+``<name>_histogram`` family with cumulative ``_bucket`` lines.
+
+Zero dependencies and no scrape server: the HTTP gateway serves it at
+``GET /v1/metrics?format=prometheus``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = ["render_prometheus", "sanitize_metric_name"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_QUANTILES = (("0.5", "window_p50"), ("0.95", "window_p95"), ("0.99", "window_p99"))
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce an arbitrary registry name into a legal Prometheus name."""
+    cleaned = _NAME_RE.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _fmt(value: Any) -> str:
+    number = float(value)
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if math.isnan(number):
+        return "NaN"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(
+    snapshot: Mapping[str, Any],
+    *,
+    namespace: str = "repro",
+    gauges: Optional[Mapping[str, float]] = None,
+) -> str:
+    """The full exposition document (ends with a newline)."""
+    lines: List[str] = []
+
+    counters: Mapping[str, Any] = snapshot.get("counters", {})
+    for name in sorted(counters):
+        metric = f"{namespace}_{sanitize_metric_name(name)}_total"
+        lines.append(f"# HELP {metric} Monotonic event counter {name!r}.")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(counters[name])}")
+
+    series: Mapping[str, Any] = snapshot.get("series", {})
+    for name in sorted(series):
+        summary: Mapping[str, Any] = series[name]
+        metric = f"{namespace}_{sanitize_metric_name(name)}"
+        lines.append(
+            f"# HELP {metric} Observation series {name!r} "
+            "(quantiles over the bounded sample window)."
+        )
+        lines.append(f"# TYPE {metric} summary")
+        for label, key in _QUANTILES:
+            if key in summary:
+                lines.append(
+                    f'{metric}{{quantile="{label}"}} {_fmt(summary[key])}'
+                )
+        lines.append(f"{metric}_sum {_fmt(summary.get('sum', 0.0))}")
+        lines.append(f"{metric}_count {_fmt(summary.get('count', 0))}")
+
+        buckets: Mapping[str, Any] = summary.get("buckets") or {}
+        if buckets:
+            hist = f"{metric}_histogram"
+            lines.append(
+                f"# HELP {hist} Cumulative histogram of series {name!r}."
+            )
+            lines.append(f"# TYPE {hist} histogram")
+            for upper, count in buckets.items():
+                lines.append(f'{hist}_bucket{{le="{upper}"}} {_fmt(count)}')
+            lines.append(f"{hist}_sum {_fmt(summary.get('sum', 0.0))}")
+            lines.append(f"{hist}_count {_fmt(summary.get('count', 0))}")
+
+    for name in sorted(gauges or {}):
+        metric = f"{namespace}_{sanitize_metric_name(name)}"
+        lines.append(f"# HELP {metric} Gauge {name!r}.")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(gauges[name])}")  # type: ignore[index]
+
+    return "\n".join(lines) + "\n"

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 
+from ..obs.tracing import get_tracer
 from ..platform.cloud import CloudPlatform
 from ..workflow.analysis import heft_order
 from ..workflow.dag import Workflow
@@ -44,22 +45,32 @@ class HeftBudgScheduler(Scheduler):
     ) -> SchedulerResult:
         """Run Algorithm 4: budget division, then rank-ordered getBestHost."""
         wf.freeze()
-        plan = divide_budget(
-            wf, platform, budget, use_conservative=self.use_conservative
-        )
-        order = heft_order(wf, platform.mean_speed, platform.bandwidth)
-        state = PlanningState(wf, platform, use_conservative=self.use_conservative)
-        pot = 0.0
-        all_within = True
-        for tid in order:
-            allowance = plan.share(tid) + (pot if self.use_pot else 0.0)
-            ev, within = get_best_host(state, tid, allowance)
-            state.commit(ev)
-            if self.use_pot:
-                pot = allowance - ev.cost
-            if not within:
-                all_within = False
-                pot = min(pot, 0.0)  # an overrun cannot seed future leftovers
+        with get_tracer().span(
+            "schedule.heft_budg", workflow=wf.name, n_tasks=wf.n_tasks,
+            budget=budget,
+        ) as span:
+            plan = divide_budget(
+                wf, platform, budget, use_conservative=self.use_conservative
+            )
+            order = heft_order(wf, platform.mean_speed, platform.bandwidth)
+            state = PlanningState(
+                wf, platform, use_conservative=self.use_conservative
+            )
+            pot = 0.0
+            all_within = True
+            for tid in order:
+                allowance = plan.share(tid) + (pot if self.use_pot else 0.0)
+                ev, within = get_best_host(state, tid, allowance)
+                state.commit(ev)
+                if self.use_pot:
+                    pot = allowance - ev.cost
+                if not within:
+                    all_within = False
+                    pot = min(pot, 0.0)  # overruns cannot seed future leftovers
+            span.set(
+                n_vms=len(state.vms), within_budget=all_within,
+                leftover_pot=max(pot, 0.0),
+            )
         return SchedulerResult(
             schedule=state.to_schedule(),
             planned_makespan=state.makespan,

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from ..errors import SchedulingError
+from ..obs.tracing import DecisionRecord, get_tracer
 from ..platform.cloud import CloudPlatform
 from ..workflow.dag import Workflow
 from .planning import HostEvaluation, PlanningState
@@ -26,6 +27,45 @@ __all__ = ["get_best_host", "Scheduler", "SchedulerResult"]
 
 #: Absolute dollar slack for budget comparisons (float hygiene).
 _BUDGET_TOL = 1e-9
+
+#: Candidate evaluations kept per decision record (full count still logged).
+_MAX_LOGGED_CANDIDATES = 12
+
+
+def _record_selection(
+    tid: str,
+    evaluations: list,
+    chosen: HostEvaluation,
+    allowance: float,
+    within: bool,
+) -> None:
+    """Emit one host-selection decision record to the active tracer."""
+    ranked = sorted(evaluations, key=lambda ev: (ev.eft, ev.cost))
+    candidates = [
+        {
+            "vm": ev.vm_id,
+            "category": ev.category.name,
+            "eft": ev.eft,
+            "cost": ev.cost,
+            "affordable": ev.cost <= allowance + _BUDGET_TOL,
+        }
+        for ev in ranked[:_MAX_LOGGED_CANDIDATES]
+    ]
+    get_tracer().decide(
+        DecisionRecord(
+            kind="host_selection",
+            task=tid,
+            chosen_vm=chosen.vm_id,
+            category=chosen.category.name,
+            eft=chosen.eft,
+            cost=chosen.cost,
+            allowance=allowance,
+            remaining=allowance - chosen.cost,
+            within_budget=within,
+            n_candidates=len(evaluations),
+            candidates=candidates,
+        )
+    )
 
 
 def get_best_host(
@@ -48,10 +88,13 @@ def get_best_host(
 
     affordable = [ev for ev in evaluations if ev.cost <= allowance + _BUDGET_TOL]
     if affordable:
-        return min(affordable, key=sort_key), True
-    # Nothing fits: fall back to the cheapest option (EFT breaks ties).
-    cheapest = min(evaluations, key=lambda ev: (ev.cost, ev.eft))
-    return cheapest, False
+        chosen, within = min(affordable, key=sort_key), True
+    else:
+        # Nothing fits: fall back to the cheapest option (EFT breaks ties).
+        chosen, within = min(evaluations, key=lambda ev: (ev.cost, ev.eft)), False
+    if get_tracer().enabled:
+        _record_selection(tid, evaluations, chosen, allowance, within)
+    return chosen, within
 
 
 @dataclass

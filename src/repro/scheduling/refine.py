@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs.tracing import DecisionRecord, get_tracer
 from ..platform.cloud import CloudPlatform
 from ..simulation.executor import evaluate_schedule
 from ..workflow.dag import Workflow
@@ -45,33 +46,70 @@ def refine_schedule(
     improves the makespan and the simulated total cost respects ``budget``.
     """
     schedule.validate(wf)
-    current = schedule
-    base = evaluate_schedule(wf, platform, current)
-    best_makespan = base.makespan
+    tracer = get_tracer()
+    with tracer.span(
+        "schedule.refine", workflow=wf.name, n_tasks=wf.n_tasks,
+        budget=budget, reverse=reverse,
+    ) as span:
+        current = schedule
+        base = evaluate_schedule(wf, platform, current)
+        best_makespan = base.makespan
+        initial_makespan = base.makespan
+        n_evaluated = 0
+        n_moves = 0
 
-    visit = list(reversed(current.order)) if reverse else list(current.order)
-    for tid in visit:
-        current_vm = current.vm_of(tid)
-        best_candidate: Optional[Schedule] = None
-        # Try every other used VM...
-        for vm_id in current.used_vms:
-            if vm_id == current_vm:
-                continue
-            candidate = current.reassigned(tid, vm_id, current.categories[vm_id])
-            makespan = _accept(wf, platform, candidate, budget, best_makespan)
-            if makespan is not None:
-                best_makespan = makespan
-                best_candidate = candidate
-        # ... and a fresh VM of each category.
-        fresh_id = current.fresh_vm_id()
-        for category in platform.categories:
-            candidate = current.reassigned(tid, fresh_id, category)
-            makespan = _accept(wf, platform, candidate, budget, best_makespan)
-            if makespan is not None:
-                best_makespan = makespan
-                best_candidate = candidate
-        if best_candidate is not None:
-            current = best_candidate
+        visit = list(reversed(current.order)) if reverse else list(current.order)
+        for round_idx, tid in enumerate(visit):
+            current_vm = current.vm_of(tid)
+            best_candidate: Optional[Schedule] = None
+            best_vm: Optional[int] = None
+            # Try every other used VM...
+            for vm_id in current.used_vms:
+                if vm_id == current_vm:
+                    continue
+                candidate = current.reassigned(
+                    tid, vm_id, current.categories[vm_id]
+                )
+                n_evaluated += 1
+                makespan = _accept(wf, platform, candidate, budget, best_makespan)
+                if makespan is not None:
+                    best_makespan = makespan
+                    best_candidate = candidate
+                    best_vm = vm_id
+            # ... and a fresh VM of each category.
+            fresh_id = current.fresh_vm_id()
+            for category in platform.categories:
+                candidate = current.reassigned(tid, fresh_id, category)
+                n_evaluated += 1
+                makespan = _accept(wf, platform, candidate, budget, best_makespan)
+                if makespan is not None:
+                    best_makespan = makespan
+                    best_candidate = candidate
+                    best_vm = fresh_id
+            if best_candidate is not None:
+                if tracer.enabled:
+                    tracer.decide(
+                        DecisionRecord(
+                            kind="refine_move",
+                            task=tid,
+                            chosen_vm=best_vm,
+                            category=best_candidate.categories[best_vm].name,
+                            eft=best_makespan,
+                            allowance=budget,
+                            round=round_idx,
+                            extra={
+                                "from_vm": current_vm,
+                                "makespan_before": initial_makespan,
+                                "makespan_after": best_makespan,
+                            },
+                        )
+                    )
+                current = best_candidate
+                n_moves += 1
+        span.set(
+            n_evaluations=n_evaluated, n_moves=n_moves,
+            makespan_before=initial_makespan, makespan_after=best_makespan,
+        )
     return current
 
 

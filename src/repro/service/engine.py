@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from ..errors import JobNotFoundError, ReproError, ServiceError
 from ..io import schedule_to_dict
+from ..obs.tracing import get_tracer
 from ..scheduling.registry import available_schedulers, make_scheduler
 from ..simulation.executor import execute_schedule, sample_weights
 from .cache import LRUCache
@@ -330,7 +331,15 @@ class SchedulingService:
 
     def _compute(self, request: ScheduleRequest) -> ScheduleResponse:
         started = time.perf_counter()
-        with self.metrics.timer("schedule_latency_s"):
+        tracer = get_tracer()
+        attrs = (
+            {"algorithm": request.algorithm,
+             "fingerprint": request.fingerprint()}
+            if tracer.enabled else {}
+        )
+        with self.metrics.timer("schedule_latency_s"), tracer.span(
+            "service.compute", **attrs
+        ):
             wf = request.workflow.resolve()
             platform = request.platform.resolve()
             budget = request.budget.resolve(wf, platform)

@@ -15,27 +15,63 @@ router, so the gateway works anywhere the library does. Endpoints
 ``DELETE /v1/jobs/<id>`` cancel a pending job
 ====================  ======================================================
 
+``GET /v1/metrics`` defaults to the JSON snapshot; append
+``?format=prometheus`` for text exposition scrapable by Prometheus.
+
 Validation failures map to 400, unknown routes/jobs to 404, everything
-else to 500, always with a JSON ``{"error": ...}`` body. Use
-:func:`start_gateway` for an embedded server (tests, notebooks) and
-:func:`serve` to block a process on it (the ``repro-exp serve`` command).
+else to 500, always with a JSON ``{"error": ...}`` body. Every request is
+tagged with a fresh trace id, echoed in the ``X-Trace-Id`` response
+header and the structured access log line (``repro.service.http``
+logger — enable with :func:`repro.obs.logging.configure_logging` or the
+``repro-exp serve --log-level`` flag). Use :func:`start_gateway` for an
+embedded server (tests, notebooks) and :func:`serve` to block a process
+on it (the ``repro-exp serve`` command).
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from ..errors import JobNotFoundError, ServiceError
+from ..obs.logging import configure_logging, get_logger
+from ..obs.prometheus import render_prometheus
 from .engine import SchedulingService
 from .spec import parse_requests
 
 __all__ = ["ServiceGateway", "start_gateway", "serve"]
 
 _MAX_BODY_BYTES = 32 * 1024 * 1024  # inline DAX documents can be large
+
+_access_log = get_logger("service.http")
+
+
+class _PlainText:
+    """Marker for routes that answer text instead of JSON."""
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(self, text: str, content_type: str = "text/plain; version=0.0.4; charset=utf-8") -> None:
+        self.text = text
+        self.content_type = content_type
+
+
+def _prometheus_gauges(stats: Dict[str, Any]) -> Dict[str, float]:
+    """Flatten service stats into gauge metrics for the exposition."""
+    gauges: Dict[str, float] = {"uptime_seconds": stats["uptime_s"]}
+    for state, n in stats.get("jobs", {}).items():
+        gauges[f"jobs_{state}"] = n
+    cache = stats.get("cache")
+    if cache:
+        for key in ("hits", "misses", "evictions", "expirations", "hit_rate"):
+            if key in cache:
+                gauges[f"cache_{key}"] = cache[key]
+    return gauges
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -58,19 +94,43 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def _dispatch(self, method: str) -> None:
+        trace_id = uuid.uuid4().hex[:16]
+        started = time.perf_counter()
         try:
             status, payload = self._route(method)
         except ServiceError as exc:
             status_code = 404 if isinstance(exc, JobNotFoundError) else 400
-            status, payload = status_code, {"error": str(exc)}
+            status, payload = status_code, {"error": str(exc),
+                                            "trace_id": trace_id}
         except Exception as exc:  # pragma: no cover - defensive
-            status, payload = 500, {"error": f"internal error: {exc}"}
-        body = json.dumps(payload).encode("utf-8")
+            status, payload = 500, {"error": f"internal error: {exc}",
+                                    "trace_id": trace_id}
+        if isinstance(payload, _PlainText):
+            body = payload.text.encode("utf-8")
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Trace-Id", trace_id)
         self.end_headers()
         self.wfile.write(body)
+        _access_log.info(
+            "access",
+            extra={
+                "fields": {
+                    "method": method,
+                    "path": self.path,
+                    "status": status,
+                    "duration_ms": round(
+                        (time.perf_counter() - started) * 1e3, 3
+                    ),
+                    "trace_id": trace_id,
+                }
+            },
+        )
 
     def _route(self, method: str) -> Tuple[int, Any]:
         parsed = urlparse(self.path)
@@ -85,7 +145,18 @@ class _Handler(BaseHTTPRequestHandler):
         if method == "GET" and tail == ["schedulers"]:
             return 200, {"schedulers": self.service.stats()["schedulers"]}
         if method == "GET" and tail == ["metrics"]:
-            return 200, self.service.stats()
+            stats = self.service.stats()
+            fmt = query.get("format", "json")
+            if fmt == "prometheus":
+                text = render_prometheus(
+                    stats["metrics"], gauges=_prometheus_gauges(stats)
+                )
+                return 200, _PlainText(text)
+            if fmt != "json":
+                raise ServiceError(
+                    f"unknown metrics format {fmt!r}; 'json' or 'prometheus'"
+                )
+            return 200, stats
         if method == "POST" and tail == ["schedule"]:
             requests = parse_requests(self._read_json())
             if len(requests) != 1:
@@ -215,15 +286,18 @@ def serve(
     max_workers: int = 4,
     cache_size: int = 256,
     cache_ttl: Optional[float] = None,
+    log_level: str = "info",
+    log_json: bool = False,
 ) -> None:  # pragma: no cover - blocking entry point, exercised via CLI
     """Run a gateway in the foreground until interrupted."""
+    configure_logging(level=log_level, json_mode=log_json)
     service = SchedulingService(
         max_workers=max_workers, cache_size=cache_size, cache_ttl=cache_ttl
     )
     gateway = ServiceGateway(service, host=host, port=port)
     print(f"repro scheduling service listening on {gateway.url}")
     print("endpoints: /v1/healthz /v1/schedulers /v1/metrics "
-          "/v1/schedule /v1/jobs")
+          "/v1/schedule /v1/jobs  (metrics?format=prometheus)")
     try:
         gateway.serve_forever()
     except KeyboardInterrupt:

@@ -3,23 +3,39 @@
 Counters and latency summaries, thread-safe, zero dependencies. A
 :class:`MetricsRegistry` is deliberately far simpler than a full metrics
 stack: monotonically increasing counters plus per-name observation
-summaries (count / sum / min / max and quantiles over a bounded window of
-recent samples). ``snapshot()`` returns plain dicts ready for the
-``/v1/metrics`` endpoint or a log line.
+summaries (lifetime count / sum / min / max, cumulative histogram bucket
+counts, and quantiles over a bounded window of recent samples).
+``snapshot()`` returns plain dicts ready for the ``/v1/metrics`` endpoint
+or a log line; :func:`repro.obs.prometheus.render_prometheus` turns the
+same snapshot into Prometheus text exposition.
+
+Scope labelling: lifetime fields keep their plain names (``count``,
+``sum``, ``mean``, ``min``, ``max``, ``buckets``) while fields computed
+from the bounded sample window are prefixed ``window_`` (``window_count``,
+``window_p50``, …) so dashboards cannot silently mix the two scopes.
 """
 
 from __future__ import annotations
 
+import bisect
+import math
 import threading
 import time
 from collections import deque
 from contextlib import contextmanager
-from typing import Any, Deque, Dict, Iterator, List
+from typing import Any, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["MetricsRegistry", "quantile"]
+__all__ = ["MetricsRegistry", "quantile", "DEFAULT_BUCKETS"]
 
 #: Samples retained per observation series for quantile estimates.
 _WINDOW = 1024
+
+#: Default histogram upper bounds, in seconds — tuned for request/schedule
+#: latencies (sub-millisecond cache hits up to multi-minute refined runs).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
 
 
 def quantile(samples: List[float], q: float) -> float:
@@ -39,15 +55,23 @@ def quantile(samples: List[float], q: float) -> float:
     return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
-class _Series:
-    __slots__ = ("count", "total", "minimum", "maximum", "window")
+def _bound_label(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else f"{bound:g}"
 
-    def __init__(self) -> None:
+
+class _Series:
+    __slots__ = ("count", "total", "minimum", "maximum", "window",
+                 "bounds", "bucket_counts")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum = float("inf")
         self.maximum = float("-inf")
         self.window: Deque[float] = deque(maxlen=_WINDOW)
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        # One count per finite bound, plus the implicit +Inf bucket.
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -55,18 +79,29 @@ class _Series:
         self.minimum = min(self.minimum, value)
         self.maximum = max(self.maximum, value)
         self.window.append(value)
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> Dict[str, Any]:
         recent = list(self.window)
+        cumulative: Dict[str, int] = {}
+        running = 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            running += bucket
+            cumulative[_bound_label(bound)] = running
+        cumulative["+Inf"] = self.count
         return {
+            # lifetime scope
             "count": self.count,
             "sum": self.total,
             "mean": self.total / self.count,
             "min": self.minimum,
             "max": self.maximum,
-            "p50": quantile(recent, 0.50),
-            "p95": quantile(recent, 0.95),
-            "p99": quantile(recent, 0.99),
+            "buckets": cumulative,
+            # bounded-window scope (last _WINDOW samples only)
+            "window_count": len(recent),
+            "window_p50": quantile(recent, 0.50),
+            "window_p95": quantile(recent, 0.95),
+            "window_p99": quantile(recent, 0.99),
         }
 
 
@@ -75,13 +110,20 @@ class MetricsRegistry:
 
     ``incr`` for event counts, ``observe`` for measured values (latencies,
     batch sizes…), ``timer`` to observe a wall-clock duration around a
-    block. Unknown names spring into existence on first use.
+    block. Unknown names spring into existence on first use. ``buckets``
+    overrides the histogram upper bounds applied to new series.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, buckets: Optional[Sequence[float]] = None) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {}
         self._series: Dict[str, _Series] = {}
+        bounds = DEFAULT_BUCKETS if buckets is None else tuple(buckets)
+        if any(b <= 0 or math.isinf(b) for b in bounds):
+            raise ValueError("histogram buckets must be finite and positive")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self._buckets: Tuple[float, ...] = tuple(bounds)
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Add ``amount`` to counter ``name`` (created at 0 on first use)."""
@@ -98,7 +140,7 @@ class MetricsRegistry:
         with self._lock:
             series = self._series.get(name)
             if series is None:
-                series = self._series[name] = _Series()
+                series = self._series[name] = _Series(self._buckets)
             series.observe(value)
 
     @contextmanager

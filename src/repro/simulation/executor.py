@@ -29,10 +29,12 @@ assumption.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional
 
 from ..errors import SimulationError
+from ..obs.tracing import get_tracer
 from ..platform.cloud import CloudPlatform
 from ..platform.pricing import CostBreakdown
 from ..rng import RngLike, as_generator
@@ -100,7 +102,52 @@ def execute_schedule(
     :func:`sample_weights` for a stochastic run or
     :func:`conservative_weights` / :func:`mean_weights` for deterministic
     evaluation. Returns the full :class:`SimulationResult`.
+
+    When a :class:`~repro.obs.tracing.Tracer` is installed, the run is
+    wrapped in a ``simulate.execute`` span carrying per-phase timings
+    (setup / event loop / accounting) and event, transfer, and boot
+    counters; with the default null tracer the instrumented path is
+    bypassed entirely.
     """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return _execute(
+            wf, platform, schedule, weights, dc_capacity=dc_capacity,
+            per_second_billing=per_second_billing, validate=validate,
+        )[0]
+    with tracer.span(
+        "simulate.execute", workflow=wf.name, n_tasks=wf.n_tasks,
+        n_vms=schedule.n_vms,
+    ) as span:
+        result, stats = _execute(
+            wf, platform, schedule, weights, dc_capacity=dc_capacity,
+            per_second_billing=per_second_billing, validate=validate,
+            collect_stats=True,
+        )
+        span.set(makespan=result.makespan, total_cost=result.total_cost,
+                 **stats)
+        tracer.count("sim.runs")
+        tracer.count("sim.tasks", wf.n_tasks)
+        tracer.count("sim.boots", result.n_vms)
+        tracer.count("sim.events", stats["n_events"])
+        tracer.count("sim.downloads", stats["n_downloads"])
+        tracer.count("sim.uploads", stats["n_uploads"])
+    return result
+
+
+def _execute(
+    wf: Workflow,
+    platform: CloudPlatform,
+    schedule: Schedule,
+    weights: Mapping[str, float],
+    *,
+    dc_capacity: float = math.inf,
+    per_second_billing: bool = True,
+    validate: bool = True,
+    collect_stats: bool = False,
+):
+    """The discrete-event core; returns ``(result, stats-or-empty-dict)``."""
+    t_wall0 = time.perf_counter() if collect_stats else 0.0
     if validate:
         schedule.validate(wf)
     missing = set(wf.tasks) - set(weights)
@@ -241,6 +288,7 @@ def execute_schedule(
                 try_start(cvm, now)
 
     # --- main loop ----------------------------------------------------------
+    t_wall_setup = time.perf_counter() if collect_stats else 0.0
     for vm in vms.values():
         try_start(vm, 0.0)
     if all(not vm.boot_requested for vm in vms.values()):
@@ -287,6 +335,7 @@ def execute_schedule(
         )
 
     # --- accounting ---------------------------------------------------------
+    t_wall_loop = time.perf_counter() if collect_stats else 0.0
     vm_records: List[VMRecord] = []
     for vm in sorted(vms.values(), key=lambda v: v.vm_id):
         assert vm.record is not None
@@ -306,10 +355,30 @@ def execute_schedule(
         ((r.category, r.ready_at, r.end_at) for r in vm_records),
         per_second_billing=per_second_billing,
     )
-    return SimulationResult(
+    result = SimulationResult(
         makespan=makespan, start=start, end=end, cost=cost,
         tasks=records, vms=vm_records,
     )
+    stats: Dict[str, float] = {}
+    if collect_stats:
+        n_uploads = 0
+        for tid in wf.tasks:
+            vm_id = schedule.vm_of(tid)
+            n_uploads += sum(
+                1 for consumer in wf.successors(tid)
+                if schedule.vm_of(consumer) != vm_id
+            )
+            if wf.task(tid).external_output > 0.0:
+                n_uploads += 1
+        stats = {
+            "n_events": guard,
+            "n_downloads": sum(1 for b in download_bytes.values() if b > 0.0),
+            "n_uploads": n_uploads,
+            "setup_s": t_wall_setup - t_wall0,
+            "loop_s": t_wall_loop - t_wall_setup,
+            "accounting_s": time.perf_counter() - t_wall_loop,
+        }
+    return result, stats
 
 
 def evaluate_schedule(

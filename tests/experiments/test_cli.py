@@ -101,3 +101,57 @@ class TestServiceCommands:
         }))
         assert main(["schedule", "--request", str(req)]) == 2
         assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_logging_flags_exist(self):
+        args = build_parser().parse_args(
+            ["serve", "--log-level", "debug", "--log-json"]
+        )
+        assert args.log_level == "debug" and args.log_json
+        args = build_parser().parse_args(["schedule"])
+        assert args.log_level == "info" and not args.log_json
+
+
+class TestTraceCommand:
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.workflow == "montage" and args.n == 50
+        assert args.algo == "heft_budg" and args.out == "run.trace.json"
+
+    def test_trace_writes_trace_and_decision_log(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "run.trace.json"
+        code = main([
+            "trace", "--workflow", "montage", "--n", "15",
+            "--algo", "heft_budg", "--out", str(out),
+        ])
+        assert code == 0
+
+        doc = json.loads(out.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert all(e["ph"] in {"X", "M"} for e in doc["traceEvents"])
+        # Both timelines land in one file: wall-clock spans and the
+        # simulated per-VM tracks.
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert "trace.session" in names and "schedule.heft_budg" in names
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert 1 in pids and any(p >= 100 for p in pids)
+
+        decisions = tmp_path / "run.decisions.jsonl"
+        assert decisions.exists()
+        records = [json.loads(l) for l in decisions.read_text().splitlines()]
+        assert len([r for r in records if r["kind"] == "host_selection"]) == 15
+
+        report = capsys.readouterr().out
+        assert "perfetto" in report and "decision" in report
+
+    def test_trace_gantt_flag(self, capsys, tmp_path):
+        out = tmp_path / "g.trace.json"
+        assert main(["trace", "--n", "15", "--out", str(out),
+                     "--gantt"]) == 0
+        assert "legend" in capsys.readouterr().out
+
+    def test_trace_unknown_algo_exits_2(self, capsys, tmp_path):
+        out = tmp_path / "x.trace.json"
+        assert main(["trace", "--algo", "nope", "--out", str(out)]) == 2
+        assert "error" in capsys.readouterr().err.lower()

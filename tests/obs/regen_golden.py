@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Regenerate golden_chrome_trace.json from test_export.golden_result().
+
+Run from the repo root after a deliberate exporter format change:
+
+    PYTHONPATH=src:tests python tests/obs/regen_golden.py
+"""
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from test_export import GOLDEN_PATH, golden_result  # noqa: E402
+
+from repro.obs.export import to_chrome_trace  # noqa: E402
+
+
+def main() -> None:
+    doc = to_chrome_trace(result=golden_result(), metadata={"workflow": "golden"})
+    GOLDEN_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(doc['traceEvents'])} events)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,224 @@
+"""Exporters: Chrome trace-event JSON (Perfetto) and JSONL decision logs."""
+
+import io
+import json
+import pathlib
+
+import pytest
+
+from repro.obs.export import (
+    SIM_PID_BASE,
+    WALL_PID,
+    decision_log_lines,
+    simulation_events,
+    to_chrome_trace,
+    tracer_events,
+    write_chrome_trace,
+    write_decision_log,
+)
+from repro.obs.tracing import DecisionRecord, Tracer
+from repro.platform.pricing import CostBreakdown
+from repro.platform.vm import VMCategory
+from repro.simulation.trace import SimulationResult, TaskRecord, VMRecord
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_chrome_trace.json"
+
+
+def golden_result() -> SimulationResult:
+    """A hand-built, fully deterministic two-task / two-VM execution."""
+    small = VMCategory(name="small", speed=1e9, hourly_cost=3.6)
+    big = VMCategory(name="big", speed=2e9, hourly_cost=7.2)
+    tasks = {
+        # A downloads for 2 s, computes 23 s, uploads 2 s.
+        "A": TaskRecord(
+            tid="A", vm_id=0, download_start=5.0, compute_start=7.0,
+            compute_end=30.0, outputs_at_dc=32.0, actual_weight=23.0e9,
+        ),
+        # B starts computing immediately and uploads nothing.
+        "B": TaskRecord(
+            tid="B", vm_id=1, download_start=10.0, compute_start=10.0,
+            compute_end=40.0, outputs_at_dc=40.0, actual_weight=60.0e9,
+        ),
+    }
+    vms = [
+        VMRecord(vm_id=0, category=small, booked_at=0.0, ready_at=5.0,
+                 end_at=45.0, n_tasks=1),
+        VMRecord(vm_id=1, category=big, booked_at=0.0, ready_at=10.0,
+                 end_at=40.0, n_tasks=1),
+    ]
+    cost = CostBreakdown(vm_rental=0.12, vm_initial=0.0,
+                         datacenter_time=0.01, datacenter_io=0.002)
+    return SimulationResult(
+        makespan=40.0, start=0.0, end=40.0, cost=cost, tasks=tasks, vms=vms
+    )
+
+
+def slices(events, **filters):
+    out = [e for e in events if e["ph"] == "X"]
+    for key, value in filters.items():
+        out = [e for e in out if e.get(key) == value]
+    return out
+
+
+class TestTracerEvents:
+    def test_spans_become_complete_events(self):
+        tracer = Tracer()
+        with tracer.span("outer", workflow="montage"):
+            with tracer.span("inner"):
+                pass
+        events = tracer_events(tracer)
+        xs = slices(events)
+        assert {e["name"] for e in xs} == {"outer", "inner"}
+        for event in xs:
+            assert event["pid"] == WALL_PID
+            assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+        inner = next(e for e in xs if e["name"] == "inner")
+        outer = next(e for e in xs if e["name"] == "outer")
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        assert outer["args"]["workflow"] == "montage"
+
+    def test_process_and_thread_metadata_present(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        events = tracer_events(tracer)
+        metas = [e for e in events if e["ph"] == "M"]
+        assert any(e["name"] == "process_name" for e in metas)
+        assert any(e["name"] == "thread_name" for e in metas)
+
+
+class TestSimulationEvents:
+    def test_one_process_per_vm_with_boot_slices(self):
+        events = simulation_events(golden_result())
+        process_names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert process_names == {"vm0 (small)", "vm1 (big)"}
+        boots = slices(events, cat="boot")
+        assert len(boots) == 2
+        boot0 = next(e for e in boots if e["pid"] == SIM_PID_BASE)
+        assert boot0["ts"] == 0.0 and boot0["dur"] == pytest.approx(5e6)
+
+    def test_download_and_upload_slices_only_when_nonzero(self):
+        events = simulation_events(golden_result())
+        downloads = slices(events, cat="download")
+        uploads = slices(events, cat="upload")
+        assert [e["name"] for e in downloads] == ["A (download)"]
+        assert [e["name"] for e in uploads] == ["A (upload)"]
+        # Uploads overlap later work, so they live on their own track.
+        assert uploads[0]["tid"] == 1
+        assert downloads[0]["tid"] == 0
+
+    def test_compute_slices_carry_actual_weight(self):
+        events = simulation_events(golden_result())
+        computes = slices(events, cat="compute")
+        assert {e["name"] for e in computes} == {"A", "B"}
+        a = next(e for e in computes if e["name"] == "A")
+        assert a["args"]["actual_weight"] == pytest.approx(23.0e9)
+        assert a["dur"] == pytest.approx(23e6)  # seconds -> microseconds
+
+    def test_times_are_relative_to_simulation_start(self):
+        result = golden_result()
+        shifted = SimulationResult(
+            makespan=result.makespan, start=100.0, end=140.0,
+            cost=result.cost,
+            tasks={
+                tid: TaskRecord(
+                    tid=rec.tid, vm_id=rec.vm_id,
+                    download_start=rec.download_start + 100.0,
+                    compute_start=rec.compute_start + 100.0,
+                    compute_end=rec.compute_end + 100.0,
+                    outputs_at_dc=rec.outputs_at_dc + 100.0,
+                    actual_weight=rec.actual_weight,
+                )
+                for tid, rec in result.tasks.items()
+            },
+            vms=[
+                VMRecord(vm_id=vm.vm_id, category=vm.category,
+                         booked_at=vm.booked_at + 100.0,
+                         ready_at=vm.ready_at + 100.0,
+                         end_at=vm.end_at + 100.0, n_tasks=vm.n_tasks)
+                for vm in result.vms
+            ],
+        )
+        assert simulation_events(shifted) == simulation_events(result)
+
+
+class TestChromeTraceDocument:
+    def test_matches_golden_file(self):
+        # Golden check: the exported document is byte-for-byte stable for a
+        # fixed simulation result. Regenerate deliberately with
+        # tests/obs/regen_golden.py when the format changes.
+        doc = to_chrome_trace(result=golden_result(),
+                              metadata={"workflow": "golden"})
+        golden = json.loads(GOLDEN_PATH.read_text())
+        assert doc == golden
+
+    def test_golden_is_schema_valid(self):
+        doc = json.loads(GOLDEN_PATH.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+        for event in doc["traceEvents"]:
+            assert event["ph"] in {"X", "M"}
+            assert isinstance(event["pid"], int)
+            if event["ph"] == "X":
+                assert event["ts"] >= 0.0
+                assert event["dur"] >= 0.0
+                assert isinstance(event["name"], str)
+            else:
+                assert event["name"] in {"process_name", "thread_name"}
+                assert "name" in event["args"]
+
+    def test_combines_both_sources_and_metadata(self):
+        tracer = Tracer()
+        with tracer.span("schedule"):
+            pass
+        doc = to_chrome_trace(tracer, golden_result(),
+                              metadata={"algorithm": "heft_budg"})
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert WALL_PID in pids
+        assert SIM_PID_BASE in pids and SIM_PID_BASE + 1 in pids
+        assert doc["otherData"]["algorithm"] == "heft_budg"
+        assert doc["otherData"]["generator"] == "repro.obs"
+
+    def test_write_chrome_trace_to_path_and_stream(self, tmp_path):
+        path = tmp_path / "run.trace.json"
+        doc = write_chrome_trace(str(path), result=golden_result())
+        assert json.loads(path.read_text()) == doc
+        buf = io.StringIO()
+        write_chrome_trace(buf, result=golden_result())
+        assert json.loads(buf.getvalue()) == doc
+
+
+class TestDecisionLog:
+    def records(self):
+        return [
+            DecisionRecord(kind="host_selection", task="T1", chosen_vm=0,
+                           category="small", eft=12.5, cost=0.05,
+                           n_candidates=2),
+            DecisionRecord(kind="refine_move", task="T1", chosen_vm=1,
+                           round=1, extra={"from_vm": 0}),
+        ]
+
+    def test_lines_are_one_json_object_each(self):
+        lines = list(decision_log_lines(self.records()))
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["kind"] == "host_selection" and first["task"] == "T1"
+        second = json.loads(lines[1])
+        assert second["from_vm"] == 0  # extra is flattened into the record
+
+    def test_write_returns_count(self, tmp_path):
+        path = tmp_path / "decisions.jsonl"
+        n = write_decision_log(str(path), self.records())
+        assert n == 2
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line) for line in lines)
+
+    def test_write_to_stream(self):
+        buf = io.StringIO()
+        assert write_decision_log(buf, self.records()) == 2
+        assert len(buf.getvalue().splitlines()) == 2

@@ -1,0 +1,129 @@
+"""Instrumentation hooks: spans, decisions, and counters from real runs."""
+
+import pytest
+
+from repro import (
+    PAPER_PLATFORM,
+    evaluate_schedule,
+    generate,
+    make_scheduler,
+    refine_schedule,
+)
+from repro.experiments.budgets import minimal_budget
+from repro.obs.tracing import NullTracer, Tracer, get_tracer, use_tracer
+
+
+@pytest.fixture(scope="module")
+def montage():
+    return generate("montage", 20, rng=3, sigma_ratio=0.5)
+
+
+@pytest.fixture(scope="module")
+def budget(montage):
+    return minimal_budget(montage, PAPER_PLATFORM) * 2.0
+
+
+class TestSchedulerDecisions:
+    def test_one_host_selection_per_task(self, montage, budget):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            make_scheduler("heft_budg").schedule(montage, PAPER_PLATFORM, budget)
+        selections = [d for d in tracer.decisions if d.kind == "host_selection"]
+        assert len(selections) == montage.n_tasks
+        assert {d.task for d in selections} == set(montage.tasks)
+
+    def test_decision_carries_budget_arithmetic(self, montage, budget):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            make_scheduler("heft_budg").schedule(montage, PAPER_PLATFORM, budget)
+        for rec in tracer.decisions:
+            # chosen_vm is None when the winner is a yet-unbooted VM; the
+            # category then says which type gets enrolled.
+            assert rec.chosen_vm is None or rec.chosen_vm >= 0
+            assert rec.category
+            assert rec.n_candidates >= 1
+            assert rec.candidates, "ranked candidate list must not be empty"
+            top = rec.candidates[0]
+            assert {"vm", "category", "eft", "cost"} <= set(top)
+            assert rec.allowance >= 0.0
+
+    def test_schedule_span_wraps_the_run(self, montage, budget):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            make_scheduler("heft_budg").schedule(montage, PAPER_PLATFORM, budget)
+        spans = [s for s in tracer.spans if s.name == "schedule.heft_budg"]
+        assert len(spans) == 1
+        attrs = spans[0].attributes
+        assert attrs["n_tasks"] == montage.n_tasks
+        assert "within_budget" in attrs and "n_vms" in attrs
+
+    def test_refine_emits_span_and_move_records(self, montage, budget):
+        base = make_scheduler("heft_budg").schedule(
+            montage, PAPER_PLATFORM, budget
+        )
+        tracer = Tracer()
+        with use_tracer(tracer):
+            refine_schedule(
+                montage, PAPER_PLATFORM, base.schedule, budget
+            )
+        spans = [s for s in tracer.spans if s.name == "schedule.refine"]
+        assert len(spans) == 1
+        attrs = spans[0].attributes
+        assert attrs["n_evaluations"] >= 0
+        assert attrs["n_moves"] >= 0
+        moves = [d for d in tracer.decisions if d.kind == "refine_move"]
+        assert len(moves) == attrs["n_moves"]
+        for move in moves:
+            assert "from_vm" in move.to_dict()
+            assert move.extra["makespan_after"] <= move.extra["makespan_before"]
+
+
+class TestExecutorCounters:
+    def test_counters_match_run_shape(self, montage, budget):
+        planned = make_scheduler("heft_budg").schedule(
+            montage, PAPER_PLATFORM, budget
+        )
+        tracer = Tracer()
+        with use_tracer(tracer):
+            run = evaluate_schedule(montage, PAPER_PLATFORM, planned.schedule)
+        assert tracer.counters["sim.runs"] == 1
+        assert tracer.counters["sim.tasks"] == montage.n_tasks
+        assert tracer.counters["sim.boots"] == run.n_vms
+        assert tracer.counters["sim.events"] >= montage.n_tasks
+
+    def test_execute_span_carries_phase_timings(self, montage, budget):
+        planned = make_scheduler("heft_budg").schedule(
+            montage, PAPER_PLATFORM, budget
+        )
+        tracer = Tracer()
+        with use_tracer(tracer):
+            run = evaluate_schedule(montage, PAPER_PLATFORM, planned.schedule)
+        spans = [s for s in tracer.spans if s.name == "simulate.execute"]
+        assert len(spans) == 1
+        attrs = spans[0].attributes
+        assert attrs["makespan"] == pytest.approx(run.makespan)
+        for key in ("setup_s", "loop_s", "accounting_s"):
+            assert attrs[key] >= 0.0
+
+    def test_repeated_runs_accumulate(self, montage, budget):
+        planned = make_scheduler("heft_budg").schedule(
+            montage, PAPER_PLATFORM, budget
+        )
+        tracer = Tracer()
+        with use_tracer(tracer):
+            for _ in range(3):
+                evaluate_schedule(montage, PAPER_PLATFORM, planned.schedule)
+        assert tracer.counters["sim.runs"] == 3
+        assert tracer.counters["sim.tasks"] == 3 * montage.n_tasks
+
+
+class TestDisabledByDefault:
+    def test_runs_record_nothing_without_install(self, montage, budget):
+        assert isinstance(get_tracer(), NullTracer)
+        bystander = Tracer()  # never installed
+        planned = make_scheduler("heft_budg").schedule(
+            montage, PAPER_PLATFORM, budget
+        )
+        evaluate_schedule(montage, PAPER_PLATFORM, planned.schedule)
+        assert not bystander.spans and not bystander.decisions
+        assert get_tracer().summary()["n_decisions"] == 0

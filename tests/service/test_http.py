@@ -136,6 +136,44 @@ class TestJobEndpoints:
         gateway.service.wait_all(timeout=60)
 
 
+class TestObservability:
+    def test_prometheus_format(self, gateway):
+        # Warm at least one latency sample so the summary family renders.
+        call(gateway, "POST", "/v1/schedule", request_dict())
+        req = urllib.request.Request(gateway.url + "/v1/metrics?format=prometheus")
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            text = resp.read().decode()
+        lines = text.splitlines()
+        assert any(l.startswith("# TYPE repro_") for l in lines)
+        assert any("repro_uptime_seconds" in l for l in lines)
+        assert any("repro_schedule_latency_s_count" in l for l in lines)
+        # Every sample line is "name{labels} value" with a float value.
+        for line in lines:
+            if line and not line.startswith("#"):
+                float(line.rsplit(" ", 1)[1])
+
+    def test_json_stays_default(self, gateway):
+        status, body = call(gateway, "GET", "/v1/metrics?format=json")
+        assert status == 200
+        assert "cache" in body
+
+    def test_unknown_format_is_400(self, gateway):
+        status, body = call(gateway, "GET", "/v1/metrics?format=xml")
+        assert status == 400
+        assert "unknown metrics format" in body["error"]
+
+    def test_trace_id_header_on_every_response(self, gateway):
+        req = urllib.request.Request(gateway.url + "/v1/healthz")
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            trace_id = resp.headers["X-Trace-Id"]
+        assert trace_id and len(trace_id) == 16
+        # Errors carry one too, echoed in the body for correlation.
+        status, body = call(gateway, "GET", "/v1/jobs?state=zombie")
+        assert status == 400 and body["trace_id"]
+
+
 class TestRouting:
     def test_unknown_route_is_404(self, gateway):
         status, body = call(gateway, "GET", "/v2/healthz")

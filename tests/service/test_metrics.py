@@ -1,10 +1,10 @@
-"""Metrics registry: counters, series, quantiles, timers."""
+"""Metrics registry: counters, series, quantiles, histograms, timers."""
 
 import threading
 
 import pytest
 
-from repro.service.metrics import MetricsRegistry, quantile
+from repro.service.metrics import DEFAULT_BUCKETS, MetricsRegistry, quantile
 
 
 class TestQuantile:
@@ -40,15 +40,26 @@ class TestCounters:
 
 
 class TestSeries:
-    def test_observe_summary(self):
+    def test_observe_summary_lifetime_scope(self):
         reg = MetricsRegistry()
         for v in (1.0, 2.0, 3.0):
             reg.observe("lat", v)
         summary = reg.snapshot()["series"]["lat"]
         assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(6.0)
         assert summary["mean"] == pytest.approx(2.0)
         assert summary["min"] == 1.0 and summary["max"] == 3.0
-        assert summary["p50"] == pytest.approx(2.0)
+
+    def test_window_scope_is_labelled_explicitly(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            reg.observe("lat", v)
+        summary = reg.snapshot()["series"]["lat"]
+        assert summary["window_count"] == 3
+        assert summary["window_p50"] == pytest.approx(2.0)
+        assert summary["window_p95"] == pytest.approx(2.9)
+        # Unlabelled quantile keys must not exist — scopes differ.
+        assert "p50" not in summary and "p95" not in summary
 
     def test_timer_records_positive_duration(self):
         reg = MetricsRegistry()
@@ -65,6 +76,46 @@ class TestSeries:
         reg.reset()
         snap = reg.snapshot()
         assert snap["counters"] == {} and snap["series"] == {}
+
+
+class TestHistogramBuckets:
+    def test_buckets_are_cumulative_with_inf(self):
+        reg = MetricsRegistry(buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            reg.observe("lat", v)
+        buckets = reg.snapshot()["series"]["lat"]["buckets"]
+        assert buckets == {"0.1": 1, "1": 2, "10": 3, "+Inf": 4}
+
+    def test_boundary_value_counts_in_its_bucket(self):
+        # Prometheus `le` semantics: a sample equal to the bound is inside.
+        reg = MetricsRegistry(buckets=(0.1, 1.0))
+        reg.observe("lat", 0.1)
+        buckets = reg.snapshot()["series"]["lat"]["buckets"]
+        assert buckets["0.1"] == 1
+
+    def test_default_buckets_applied(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.003)
+        buckets = reg.snapshot()["series"]["lat"]["buckets"]
+        assert len(buckets) == len(DEFAULT_BUCKETS) + 1
+        assert buckets["0.005"] == 1 and buckets["0.001"] == 0
+
+    def test_invalid_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(buckets=(1.0, 0.5))      # not increasing
+        with pytest.raises(ValueError):
+            MetricsRegistry(buckets=(0.0, 1.0))      # non-positive
+        with pytest.raises(ValueError):
+            MetricsRegistry(buckets=(1.0, float("inf")))  # +Inf is implicit
+
+    def test_window_rolls_but_lifetime_does_not(self):
+        reg = MetricsRegistry(buckets=(10.0,))
+        for _ in range(2000):
+            reg.observe("lat", 1.0)
+        summary = reg.snapshot()["series"]["lat"]
+        assert summary["count"] == 2000
+        assert summary["window_count"] == 1024
+        assert summary["buckets"]["+Inf"] == 2000
 
 
 class TestThreadSafety:

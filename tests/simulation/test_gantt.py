@@ -3,8 +3,11 @@
 import pytest
 
 from repro import PAPER_PLATFORM, Schedule, evaluate_schedule, generate
+from repro.platform.pricing import CostBreakdown
+from repro.platform.vm import VMCategory
 from repro.simulation import mean_weights, execute_schedule
 from repro.simulation.gantt import render_gantt, render_task_table
+from repro.simulation.trace import SimulationResult, TaskRecord, VMRecord
 
 
 @pytest.fixture()
@@ -57,6 +60,59 @@ class TestRenderGantt:
         text = render_gantt(run, width=200)
         vm0 = next(l for l in text.splitlines() if l.startswith("vm0"))
         assert vm0.count("█") >= vm0.count("░")
+
+
+def synthetic_result(tasks, vms, *, start=0.0, end=10.0):
+    cost = CostBreakdown(vm_rental=0.0, vm_initial=0.0,
+                         datacenter_time=0.0, datacenter_io=0.0)
+    return SimulationResult(
+        makespan=end - start, start=start, end=end, cost=cost,
+        tasks={rec.tid: rec for rec in tasks}, vms=vms,
+    )
+
+
+class TestEdgeCases:
+    def test_zero_duration_task_renders(self):
+        cat = VMCategory(name="small", speed=1e9, hourly_cost=3.6)
+        vm = VMRecord(vm_id=0, category=cat, booked_at=0.0, ready_at=0.0,
+                      end_at=10.0, n_tasks=1)
+        instant = TaskRecord(tid="Z", vm_id=0, download_start=5.0,
+                             compute_start=5.0, compute_end=5.0,
+                             outputs_at_dc=5.0)
+        text = render_gantt(synthetic_result([instant], [vm]))
+        assert text.startswith("vm0/small")
+        assert "legend" in text
+        table = render_task_table(synthetic_result([instant], [vm]))
+        assert "Z" in table
+
+    def test_empty_result_renders_axis_and_legend(self):
+        text = render_gantt(synthetic_result([], []))
+        lines = text.splitlines()
+        assert len(lines) == 2  # axis + legend, no VM rows
+        assert "legend" in lines[-1]
+        assert render_task_table(synthetic_result([], [])).count("\n") == 1
+
+    def test_zero_span_result_does_not_divide_by_zero(self):
+        cat = VMCategory(name="small", speed=1e9, hourly_cost=3.6)
+        vm = VMRecord(vm_id=0, category=cat, booked_at=0.0, ready_at=0.0,
+                      end_at=0.0, n_tasks=0)
+        text = render_gantt(synthetic_result([], [vm], end=0.0))
+        assert text.startswith("vm0/small")
+
+    def test_custom_width_changes_row_length(self):
+        cat = VMCategory(name="small", speed=1e9, hourly_cost=3.6)
+        vm = VMRecord(vm_id=0, category=cat, booked_at=0.0, ready_at=0.0,
+                      end_at=10.0, n_tasks=1)
+        task = TaskRecord(tid="T", vm_id=0, download_start=0.0,
+                          compute_start=0.0, compute_end=10.0,
+                          outputs_at_dc=10.0)
+        result = synthetic_result([task], [vm])
+        narrow = render_gantt(result, width=10).splitlines()[0]
+        wide = render_gantt(result, width=100).splitlines()[0]
+        label = "vm0/small "
+        assert len(narrow) == len(label) + 10
+        assert len(wide) == len(label) + 100
+        assert set(wide[len(label):]) == {"█"}
 
 
 class TestTaskTable:
