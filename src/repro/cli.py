@@ -7,6 +7,8 @@ Examples::
     repro-exp table3a --repeats 5
     repro-exp table2
     repro-exp fig2 --csv out.csv                # raw records to CSV
+    repro-exp ledger sweep --db runs.db --smoke # archive a sweep
+    repro-exp ledger regress --db runs.db --baseline BENCH_PR3.json
 """
 
 from __future__ import annotations
@@ -66,6 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=None)
         p.add_argument("--csv", type=str, default=None,
                        help="also dump raw run records to this CSV file")
+        p.add_argument("--ledger", type=str, default=None,
+                       help="archive every sweep point into this SQLite "
+                       "run ledger")
 
     t2 = sub.add_parser("table2", help="print the platform constants")
 
@@ -102,6 +107,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="response cache capacity (0 disables)")
     srv.add_argument("--cache-ttl", type=float, default=None,
                      help="response cache TTL in seconds (default: forever)")
+    srv.add_argument("--ledger", type=str, default=None,
+                     help="archive every fresh schedule into this SQLite "
+                     "run ledger (served at /v1/runs)")
     _add_logging_flags(srv)
 
     sch = sub.add_parser(
@@ -156,6 +164,81 @@ def build_parser() -> argparse.ArgumentParser:
                      "(default: <out stem>.decisions.jsonl)")
     trc.add_argument("--gantt", action="store_true",
                      help="also print the ASCII Gantt of the simulated run")
+
+    led = sub.add_parser(
+        "ledger",
+        help="query the persistent run ledger and gate regressions",
+    )
+    lsub = led.add_subparsers(dest="ledger_command", required=True)
+
+    def _db_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--db", default="runs.db",
+                       help="ledger SQLite file (default: runs.db)")
+
+    l_sweep = lsub.add_parser(
+        "sweep", help="run an experiment sweep, archiving every point"
+    )
+    _db_flag(l_sweep)
+    l_sweep.add_argument("--smoke", action="store_true",
+                         help="down-scaled run (seconds instead of minutes)")
+    l_sweep.add_argument("--tasks", type=int, default=None)
+    l_sweep.add_argument("--instances", type=int, default=None)
+    l_sweep.add_argument("--reps", type=int, default=None)
+    l_sweep.add_argument("--budgets", type=int, default=None)
+    l_sweep.add_argument("--sigma", type=float, default=None)
+    l_sweep.add_argument("--seed", type=int, default=None)
+    l_sweep.add_argument("--families", nargs="+", default=None,
+                         help="workflow families (default: config's)")
+    l_sweep.add_argument("--algorithms", nargs="+", default=None,
+                         help="algorithms (default: config's)")
+
+    l_list = lsub.add_parser("list", help="newest archived runs")
+    _db_flag(l_list)
+    l_list.add_argument("--algorithm", default=None)
+    l_list.add_argument("--workflow", default=None,
+                        help="workflow name or family")
+    l_list.add_argument("--source", default=None,
+                        help="run source (service | sweep)")
+    l_list.add_argument("--limit", type=int, default=20,
+                        help="max rows (0 = all)")
+    l_list.add_argument("--csv", type=str, default=None,
+                        help="write the rows as CSV instead of a table")
+
+    l_show = lsub.add_parser("show", help="one archived run, as JSON")
+    _db_flag(l_show)
+    l_show.add_argument("run_id", type=int)
+
+    l_cmp = lsub.add_parser(
+        "compare", help="per family/n_tasks/algorithm group means"
+    )
+    _db_flag(l_cmp)
+    l_cmp.add_argument("--latest", type=int, default=0,
+                       help="only each group's newest N runs (0 = all)")
+
+    l_base = lsub.add_parser(
+        "baseline",
+        help="fold the ledger into a BENCH-style ledger_baseline JSON",
+    )
+    _db_flag(l_base)
+    l_base.add_argument("--latest", type=int, default=0,
+                        help="only each group's newest N runs (0 = all)")
+    l_base.add_argument("--out", type=str, default=None,
+                        help="write to this file instead of stdout")
+
+    l_reg = lsub.add_parser(
+        "regress",
+        help="compare the ledger against a BENCH_*.json baseline; "
+        "exit 1 on regression, 2 on no data",
+    )
+    _db_flag(l_reg)
+    l_reg.add_argument("--baseline", required=True,
+                       help="BENCH_*.json file with a ledger_baseline key")
+    l_reg.add_argument("--threshold", type=float, default=0.10,
+                       help="fractional makespan slowdown tolerated "
+                       "(default: 0.10)")
+    l_reg.add_argument("--cost-threshold", type=float, default=0.10,
+                       help="fractional cost growth tolerated "
+                       "(default: 0.10)")
     return parser
 
 
@@ -297,13 +380,148 @@ def _run_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_ledger(args: argparse.Namespace) -> int:
+    """The ``ledger`` subcommand group: archive, query, gate."""
+    import json
+
+    from .obs.ledger import (
+        RunLedger,
+        baseline_from_ledger,
+        compare_to_baseline,
+        extract_baseline,
+        use_ledger,
+    )
+
+    cmd = args.ledger_command
+    if cmd == "sweep":
+        from dataclasses import replace
+
+        from .experiments.runner import run_sweep
+
+        cfg = _config_from_args(args)
+        overrides = {}
+        if args.families:
+            overrides["families"] = tuple(args.families)
+        if args.algorithms:
+            overrides["algorithms"] = tuple(args.algorithms)
+        if overrides:
+            cfg = replace(cfg, **overrides)
+        with RunLedger(args.db) as ledger:
+            with use_ledger(ledger):
+                records = run_sweep(cfg)
+            n_runs = ledger.count()
+        print(f"archived {n_runs} run(s) ({len(records)} repetition records) "
+              f"to {args.db}")
+        return 0
+
+    with RunLedger(args.db) as ledger:
+        if cmd == "list":
+            rows = ledger.runs(
+                algorithm=args.algorithm, workflow=args.workflow,
+                source=args.source, limit=args.limit,
+            )
+            if args.csv:
+                from .io import runs_to_csv
+
+                with open(args.csv, "w", newline="") as fh:
+                    runs_to_csv(rows, fh)
+                print(f"{len(rows)} run(s) written to {args.csv}")
+                return 0
+            print(f"{'id':>5s} {'source':<8s} {'algorithm':<16s} "
+                  f"{'workflow':<24s} {'budget':>9s} {'makespan':>9s} "
+                  f"{'cost':>9s} {'succ':>5s}")
+            for r in rows:
+                mk = f"{r.sim_makespan:.1f}" if r.sim_makespan is not None else "—"
+                cost = f"{r.sim_cost:.4f}" if r.sim_cost is not None else "—"
+                succ = (f"{r.success_rate:.2f}"
+                        if r.success_rate is not None else "—")
+                print(f"{r.run_id:>5d} {r.source:<8s} {r.algorithm:<16s} "
+                      f"{(r.workflow or r.family):<24.24s} {r.budget:>9.4f} "
+                      f"{mk:>9s} {cost:>9s} {succ:>5s}")
+            print(f"{len(rows)} of {ledger.count()} run(s) in {args.db}")
+            return 0
+
+        if cmd == "show":
+            try:
+                row = ledger.run(args.run_id)
+            except KeyError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            json.dump(row.to_dict(), sys.stdout, indent=2, sort_keys=True)
+            print()
+            return 0
+
+        if cmd == "compare":
+            stats = ledger.group_stats(latest_per_group=args.latest)
+            print(f"{'group':<40s} {'n':>4s} {'makespan':>10s} "
+                  f"{'cost':>10s} {'success':>8s}")
+            for group, s in stats.items():
+                mk = f"{s['makespan']:.2f}" if "makespan" in s else "—"
+                cost = f"{s['cost']:.4f}" if "cost" in s else "—"
+                succ = (f"{s['success_rate']:.2f}"
+                        if "success_rate" in s else "—")
+                print(f"{group:<40s} {int(s['n_runs']):>4d} {mk:>10s} "
+                      f"{cost:>10s} {succ:>8s}")
+            print(f"{len(stats)} group(s)")
+            return 0
+
+        if cmd == "baseline":
+            baseline = baseline_from_ledger(
+                ledger, latest_per_group=args.latest
+            )
+            doc = {"ledger_baseline": baseline}
+            if args.out:
+                with open(args.out, "w") as fh:
+                    json.dump(doc, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                print(f"{len(baseline)} group(s) written to {args.out}")
+            else:
+                json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+                print()
+            if not baseline:
+                print("error: no simulated runs in the ledger",
+                      file=sys.stderr)
+                return 2
+            return 0
+
+        if cmd == "regress":
+            try:
+                with open(args.baseline) as fh:
+                    document = json.load(fh)
+                baseline = extract_baseline(document)
+            except (OSError, json.JSONDecodeError, ValueError) as exc:
+                print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+                return 2
+            report = compare_to_baseline(
+                ledger, baseline,
+                makespan_threshold=args.threshold,
+                cost_threshold=args.cost_threshold,
+            )
+            print(report.render())
+            if not report.deltas:
+                print("error: no baseline group found in the ledger",
+                      file=sys.stderr)
+                return 2
+            return 0 if report.ok else 1
+
+    return 1  # pragma: no cover - argparse guards subcommands
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
 
     if args.command in _FIGURES:
         builder, metrics = _FIGURES[args.command]
-        data = builder(_config_from_args(args))
+        if args.ledger:
+            from .obs.ledger import RunLedger, use_ledger
+
+            with RunLedger(args.ledger) as ledger:
+                with use_ledger(ledger):
+                    data = builder(_config_from_args(args))
+                print(f"archived {ledger.count()} run(s) to {args.ledger}")
+        else:
+            data = builder(_config_from_args(args))
         for metric in metrics:
             print(render_figure(data, metric=metric))
         if args.csv:
@@ -349,6 +567,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         serve(
             host=args.host, port=args.port, max_workers=args.workers,
             cache_size=args.cache_size, cache_ttl=args.cache_ttl,
+            ledger_path=args.ledger,
             log_level=args.log_level, log_json=args.log_json,
         )
         return 0
@@ -361,6 +580,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "trace":
         return _run_trace(args)
+
+    if args.command == "ledger":
+        return _run_ledger(args)
 
     if args.command == "table3b":
         if args.refined:

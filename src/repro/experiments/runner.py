@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.ledger import RunRow, get_ledger
 from ..obs.tracing import get_tracer
 from ..platform.cloud import CloudPlatform
 from ..rng import spawn
@@ -31,10 +32,104 @@ from .budgets import budget_grid
 from .config import ExperimentConfig
 from .metrics import RunRecord
 
-__all__ = ["run_point", "run_sweep", "make_instances", "BASELINE_ALGORITHMS"]
+__all__ = [
+    "run_point",
+    "run_sweep",
+    "make_instances",
+    "convergence_diagnostics",
+    "BASELINE_ALGORITHMS",
+]
 
 #: Algorithms that ignore the budget; scheduled once with B = ∞.
 BASELINE_ALGORITHMS = frozenset({"minmin", "heft"})
+
+
+def convergence_diagnostics(
+    values: Sequence[float], *, batch_size: int = 1, confidence_z: float = 1.96
+) -> Dict[str, Any]:
+    """Monte Carlo convergence of a sample mean, one point per batch.
+
+    After every ``batch_size`` samples, records the running mean and the
+    normal-approximation CI half-width ``z·s/√n`` (sample std, 0 while
+    n < 2). Answers the §V-A protocol question "were 25 repetitions
+    enough?": a flat running mean and a small final half-width say yes.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    running_mean: List[float] = []
+    ci_halfwidth: List[float] = []
+    total = 0.0
+    total_sq = 0.0
+    for i, value in enumerate(values):
+        total += value
+        total_sq += value * value
+        n = i + 1
+        if n % batch_size == 0 or n == len(values):
+            mean = total / n
+            if n > 1:
+                var = max((total_sq - n * mean * mean) / (n - 1), 0.0)
+                ci_halfwidth.append(confidence_z * math.sqrt(var / n))
+            else:
+                ci_halfwidth.append(0.0)
+            running_mean.append(mean)
+    return {
+        "n": len(values),
+        "batch_size": batch_size,
+        "running_mean": running_mean,
+        "ci_halfwidth": ci_halfwidth,
+        "final_mean": running_mean[-1] if running_mean else 0.0,
+        "final_ci_halfwidth": ci_halfwidth[-1] if ci_halfwidth else 0.0,
+    }
+
+
+def _record_point(
+    wf: Workflow,
+    algorithm: str,
+    budget: float,
+    result,
+    sched_seconds: float,
+    records: List[RunRecord],
+    *,
+    family: str,
+    instance: int,
+    sigma_ratio: float,
+    budget_index: int,
+) -> None:
+    """Archive one sweep point (schedule + its reps) into the ledger."""
+    ledger = get_ledger()
+    if not ledger.enabled or not records:
+        return
+    makespans = [r.makespan for r in records]
+    costs = [r.total_cost for r in records]
+    n = len(records)
+    batch = max(1, n // 5)
+    ledger.record(
+        RunRow(
+            source="sweep",
+            workflow=wf.name,
+            family=family or wf.name,
+            n_tasks=wf.n_tasks,
+            algorithm=algorithm,
+            budget=budget,
+            sigma_ratio=sigma_ratio,
+            planned_makespan=result.planned_makespan,
+            planned_cost=result.planned_vm_cost,
+            within_budget_plan=result.within_budget_plan,
+            sim_makespan=sum(makespans) / n,
+            sim_cost=sum(costs) / n,
+            success_rate=sum(r.valid for r in records) / n,
+            n_reps=n,
+            n_vms=result.schedule.n_vms,
+            sched_seconds=sched_seconds,
+            extra={
+                "instance": instance,
+                "budget_index": budget_index,
+                "makespan_convergence": convergence_diagnostics(
+                    makespans, batch_size=batch
+                ),
+            },
+        )
+    )
 
 
 def make_instances(config: ExperimentConfig) -> Dict[Tuple[str, int], Workflow]:
@@ -115,6 +210,11 @@ def run_point(
                 )
             )
         point_span.set(sched_seconds=sched_seconds, n_vms=result.schedule.n_vms)
+    _record_point(
+        wf, algorithm, budget, result, sched_seconds, records,
+        family=family, instance=instance, sigma_ratio=sigma_ratio,
+        budget_index=budget_index,
+    )
     return records
 
 

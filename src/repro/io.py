@@ -31,6 +31,7 @@ __all__ = [
     "platform_from_dict",
     "canonical_json",
     "fingerprint",
+    "runs_to_csv",
 ]
 
 _SCHEDULE_FORMAT = "repro.schedule/1"
@@ -168,6 +169,29 @@ def fingerprint(payload: Any) -> str:
     Used as a content-addressed cache key by :mod:`repro.service`.
     """
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def runs_to_csv(rows: Any, fp: IO[str]) -> int:
+    """Write ledger run rows (``repro.obs.ledger.RunRow``) as CSV.
+
+    Accepts any iterable of objects with a ``to_dict()`` method (duck-typed
+    to keep this module free of ``repro.obs`` imports); nested ``extra``
+    diagnostics are flattened to a JSON string cell. Returns the number of
+    rows written.
+    """
+    import csv
+
+    writer = None
+    n = 0
+    for row in rows:
+        data = row.to_dict()
+        data["extra"] = json.dumps(data.get("extra", {}), sort_keys=True)
+        if writer is None:
+            writer = csv.DictWriter(fp, fieldnames=list(data))
+            writer.writeheader()
+        writer.writerow(data)
+        n += 1
+    return n
 
 
 def result_to_dict(result: SimulationResult) -> Dict[str, Any]:

@@ -1,10 +1,16 @@
 """repro.obs — zero-dependency observability: tracing, logs, exporters.
 
-Four pieces, all stdlib-only:
+Six pieces, all stdlib-only:
 
 * :mod:`repro.obs.tracing` — nested wall-clock spans, per-task scheduler
   :class:`DecisionRecord`\\ s, counters; a process-global
   :class:`NullTracer` keeps instrumentation free when disabled.
+* :mod:`repro.obs.ledger` — persistent SQLite run archive (one row per
+  schedule/simulate/service run) with baseline/regression helpers; a
+  process-global :class:`NullLedger` keeps archiving free when disabled.
+* :mod:`repro.obs.events` — thread-safe in-process pub/sub bus for
+  job/run lifecycle events, with bounded history replay (backs the
+  service's Server-Sent-Events endpoints).
 * :mod:`repro.obs.export` — Chrome trace-event JSON (open in
   `ui.perfetto.dev <https://ui.perfetto.dev>`_) rendering both wall-clock
   spans and the simulated per-VM timeline, plus JSONL decision logs.
@@ -18,6 +24,15 @@ See docs/OBSERVABILITY.md for the full tour.
 
 from typing import Any
 
+from .events import Event, EventBus, Subscription
+from .ledger import (
+    NullLedger,
+    RunLedger,
+    RunRow,
+    get_ledger,
+    set_ledger,
+    use_ledger,
+)
 from .logging import configure_logging, get_logger
 from .prometheus import render_prometheus
 from .tracing import (
@@ -55,18 +70,27 @@ def __getattr__(name: str) -> Any:
 
 __all__ = [
     "DecisionRecord",
+    "Event",
+    "EventBus",
+    "NullLedger",
     "NullTracer",
+    "RunLedger",
+    "RunRow",
     "Span",
+    "Subscription",
     "Tracer",
     "configure_logging",
     "decision_log_lines",
+    "get_ledger",
     "get_logger",
     "get_tracer",
     "render_prometheus",
+    "set_ledger",
     "set_tracer",
     "simulation_events",
     "to_chrome_trace",
     "tracer_events",
+    "use_ledger",
     "use_tracer",
     "write_chrome_trace",
     "write_decision_log",

@@ -1,0 +1,589 @@
+"""Persistent run ledger: every schedule/simulate/service run, archived.
+
+The paper's evaluation (§V) compares makespan/cost/success-rate
+distributions across algorithms and hundreds of stochastic runs — exactly
+the longitudinal record a process throws away when it exits. The ledger
+keeps it: one SQLite row per run (spec fingerprint, workflow family,
+algorithm, budget, predicted vs. simulated makespan and cost, success
+flag, Monte Carlo sample stats, trace id, wall-clock timings, package
+version), written in WAL mode so concurrent writers — service worker
+threads, a sweep process, the CLI — do not serialize each other.
+
+Like the tracer, the ledger follows a null-object pattern: the
+process-global default is a :class:`NullLedger` whose ``record`` is a
+no-op, so instrumented paths cost one attribute check when disabled.
+Enable archiving for a region with::
+
+    from repro.obs.ledger import RunLedger, use_ledger
+
+    with use_ledger(RunLedger("runs.db")):
+        run_sweep(config)          # every point lands in runs.db
+
+On top of the archive sit the regression helpers:
+:func:`baseline_from_ledger` folds the latest runs into a per-group
+baseline (stored in ``BENCH_*.json``), and :func:`compare_to_baseline`
+re-measures the ledger against such a baseline — the ``repro-exp ledger
+regress`` CI gate. Simulated makespans and costs are deterministic given
+the seeds, so baselines transfer across machines.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import sys
+import threading
+import time
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from .events import RUN_RECORDED, EventBus
+
+__all__ = [
+    "RunRow",
+    "RunLedger",
+    "NullLedger",
+    "get_ledger",
+    "set_ledger",
+    "use_ledger",
+    "baseline_from_ledger",
+    "extract_baseline",
+    "compare_to_baseline",
+    "GroupDelta",
+    "RegressionReport",
+]
+
+SCHEMA_VERSION = 1
+
+_COLUMNS = (
+    "recorded_at", "source", "fingerprint", "workflow", "family", "n_tasks",
+    "algorithm", "budget", "sigma_ratio", "planned_makespan", "planned_cost",
+    "within_budget_plan", "sim_makespan", "sim_cost", "success_rate",
+    "n_reps", "n_vms", "sched_seconds", "elapsed_s", "trace_id", "version",
+    "extra",
+)
+
+_CREATE = f"""
+CREATE TABLE IF NOT EXISTS runs (
+    run_id             INTEGER PRIMARY KEY AUTOINCREMENT,
+    recorded_at        REAL NOT NULL,
+    source             TEXT NOT NULL,
+    fingerprint        TEXT NOT NULL DEFAULT '',
+    workflow           TEXT NOT NULL DEFAULT '',
+    family             TEXT NOT NULL DEFAULT '',
+    n_tasks            INTEGER NOT NULL DEFAULT 0,
+    algorithm          TEXT NOT NULL DEFAULT '',
+    budget             REAL NOT NULL DEFAULT 0.0,
+    sigma_ratio        REAL NOT NULL DEFAULT 0.0,
+    planned_makespan   REAL NOT NULL DEFAULT 0.0,
+    planned_cost       REAL NOT NULL DEFAULT 0.0,
+    within_budget_plan INTEGER NOT NULL DEFAULT 1,
+    sim_makespan       REAL,
+    sim_cost           REAL,
+    success_rate       REAL,
+    n_reps             INTEGER NOT NULL DEFAULT 0,
+    n_vms              INTEGER NOT NULL DEFAULT 0,
+    sched_seconds      REAL NOT NULL DEFAULT 0.0,
+    elapsed_s          REAL NOT NULL DEFAULT 0.0,
+    trace_id           TEXT NOT NULL DEFAULT '',
+    version            TEXT NOT NULL DEFAULT '',
+    extra              TEXT NOT NULL DEFAULT '{{}}'
+);
+CREATE INDEX IF NOT EXISTS idx_runs_algorithm   ON runs (algorithm);
+CREATE INDEX IF NOT EXISTS idx_runs_workflow    ON runs (workflow);
+CREATE INDEX IF NOT EXISTS idx_runs_fingerprint ON runs (fingerprint);
+CREATE INDEX IF NOT EXISTS idx_runs_recorded_at ON runs (recorded_at);
+"""
+
+
+def _package_version() -> str:
+    try:
+        from repro import __version__
+
+        return f"repro-{__version__}/py{sys.version_info[0]}.{sys.version_info[1]}"
+    except Exception:  # pragma: no cover - import-order edge
+        return f"py{sys.version_info[0]}.{sys.version_info[1]}"
+
+
+@dataclass
+class RunRow:
+    """One archived run (see the module docstring for field semantics).
+
+    ``sim_*`` fields are means over the run's Monte Carlo repetitions and
+    stay ``None`` when the run was planned but never replayed. ``extra``
+    carries free-form JSON diagnostics (e.g. the sweep runner's
+    convergence series).
+    """
+
+    run_id: int = 0
+    recorded_at: float = 0.0
+    source: str = "service"
+    fingerprint: str = ""
+    workflow: str = ""
+    family: str = ""
+    n_tasks: int = 0
+    algorithm: str = ""
+    budget: float = 0.0
+    sigma_ratio: float = 0.0
+    planned_makespan: float = 0.0
+    planned_cost: float = 0.0
+    within_budget_plan: bool = True
+    sim_makespan: Optional[float] = None
+    sim_cost: Optional[float] = None
+    success_rate: Optional[float] = None
+    n_reps: int = 0
+    n_vms: int = 0
+    sched_seconds: float = 0.0
+    elapsed_s: float = 0.0
+    trace_id: str = ""
+    version: str = ""
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def group_key(self) -> str:
+        """Baseline grouping identity: ``family/n_tasks/algorithm``."""
+        return f"{self.family or self.workflow}/{self.n_tasks}/{self.algorithm}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (one line of ``repro-exp ledger show``)."""
+        return {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunRow":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        names = {f.name for f in dataclass_fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ValueError(f"unknown run row fields: {sorted(unknown)}")
+        return cls(**{k: data[k] for k in data})
+
+
+class RunLedger:
+    """SQLite-backed run archive (thread-safe; see module docstring).
+
+    Parameters
+    ----------
+    path:
+        Database file; ``":memory:"`` keeps the archive process-local
+        (handy in tests). File databases are opened in WAL journal mode so
+        independent writer *processes* append concurrently; within one
+        process a single shared connection is serialized by a lock.
+    bus:
+        Optional :class:`~repro.obs.events.EventBus`; when set, every
+        committed row is announced as a ``run.recorded`` event.
+    """
+
+    enabled = True
+
+    def __init__(self, path: str = ":memory:", *, bus: Optional[EventBus] = None) -> None:
+        self.path = path
+        self.bus = bus
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(
+            path, check_same_thread=False, timeout=30.0
+        )
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            if path != ":memory:":
+                # WAL lets a second process (CI sweep + service) append
+                # while we read; busy_timeout rides out write bursts.
+                self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA busy_timeout=30000")
+            self._conn.executescript(_CREATE)
+            current = self._conn.execute("PRAGMA user_version").fetchone()[0]
+            if current == 0:
+                self._conn.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
+            elif current != SCHEMA_VERSION:
+                raise ValueError(
+                    f"ledger {path!r} has schema version {current}, "
+                    f"this build expects {SCHEMA_VERSION}"
+                )
+            self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def record(self, row: RunRow) -> int:
+        """Commit one row; returns its ``run_id`` (also set on ``row``)."""
+        if not row.recorded_at:
+            row.recorded_at = time.time()
+        if not row.version:
+            row.version = _package_version()
+        encoded = {
+            "within_budget_plan": int(row.within_budget_plan),
+            "extra": json.dumps(row.extra, sort_keys=True),
+        }
+        values = [encoded.get(col, getattr(row, col)) for col in _COLUMNS]
+        with self._lock:
+            cursor = self._conn.execute(
+                f"INSERT INTO runs ({', '.join(_COLUMNS)}) "
+                f"VALUES ({', '.join('?' * len(_COLUMNS))})",
+                values,
+            )
+            self._conn.commit()
+            row.run_id = int(cursor.lastrowid or 0)
+        if self.bus is not None:
+            self.bus.publish(
+                RUN_RECORDED,
+                run_id=row.run_id,
+                source=row.source,
+                algorithm=row.algorithm,
+                workflow=row.workflow or row.family,
+                fingerprint=row.fingerprint,
+                trace_id=row.trace_id,
+                sim_makespan=row.sim_makespan,
+                sim_cost=row.sim_cost,
+            )
+        return row.run_id
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def run(self, run_id: int) -> RunRow:
+        """The row with ``run_id``; raises ``KeyError`` when absent."""
+        with self._lock:
+            found = self._conn.execute(
+                "SELECT * FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        if found is None:
+            raise KeyError(f"no run {run_id} in ledger {self.path!r}")
+        return self._decode(found)
+
+    def runs(
+        self,
+        *,
+        algorithm: Optional[str] = None,
+        workflow: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        source: Optional[str] = None,
+        since: Optional[float] = None,
+        limit: int = 100,
+    ) -> List[RunRow]:
+        """Newest-first query over the archive.
+
+        ``workflow`` matches either the workflow name or the family
+        column; ``since`` is an epoch-seconds lower bound; ``limit <= 0``
+        means unbounded.
+        """
+        clauses, params = ["1=1"], []
+        if algorithm is not None:
+            clauses.append("algorithm = ?")
+            params.append(algorithm)
+        if workflow is not None:
+            clauses.append("(workflow = ? OR family = ?)")
+            params.extend([workflow, workflow])
+        if fingerprint is not None:
+            clauses.append("fingerprint = ?")
+            params.append(fingerprint)
+        if source is not None:
+            clauses.append("source = ?")
+            params.append(source)
+        if since is not None:
+            clauses.append("recorded_at >= ?")
+            params.append(since)
+        sql = (
+            f"SELECT * FROM runs WHERE {' AND '.join(clauses)} "
+            "ORDER BY run_id DESC"
+        )
+        if limit > 0:
+            sql += f" LIMIT {int(limit)}"
+        with self._lock:
+            found = self._conn.execute(sql, params).fetchall()
+        return [self._decode(r) for r in found]
+
+    def count(self) -> int:
+        """Total archived runs."""
+        with self._lock:
+            return int(
+                self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+            )
+
+    def group_stats(
+        self, *, latest_per_group: int = 0
+    ) -> Dict[str, Dict[str, float]]:
+        """Per ``family/n_tasks/algorithm`` group means over the archive.
+
+        ``latest_per_group`` keeps only each group's newest N rows (0 =
+        all rows). Only rows with simulated results participate in the
+        ``makespan``/``cost``/``success_rate`` means; the planned numbers
+        average over every row.
+        """
+        rows = self.runs(limit=0)
+        grouped: Dict[str, List[RunRow]] = {}
+        for row in rows:  # rows are newest-first
+            bucket = grouped.setdefault(row.group_key(), [])
+            if latest_per_group <= 0 or len(bucket) < latest_per_group:
+                bucket.append(row)
+        out: Dict[str, Dict[str, float]] = {}
+        for key, bucket in sorted(grouped.items()):
+            stats: Dict[str, float] = {
+                "n_runs": float(len(bucket)),
+                "planned_makespan": _mean(
+                    [r.planned_makespan for r in bucket]
+                ),
+                "planned_cost": _mean([r.planned_cost for r in bucket]),
+            }
+            simulated = [r for r in bucket if r.sim_makespan is not None]
+            if simulated:
+                stats["makespan"] = _mean([r.sim_makespan for r in simulated])
+                stats["cost"] = _mean(
+                    [r.sim_cost for r in simulated if r.sim_cost is not None]
+                )
+                stats["success_rate"] = _mean(
+                    [
+                        r.success_rate
+                        for r in simulated
+                        if r.success_rate is not None
+                    ]
+                )
+            out[key] = stats
+        return out
+
+    def _decode(self, found: sqlite3.Row) -> RunRow:
+        data = dict(found)
+        data["within_budget_plan"] = bool(data["within_budget_plan"])
+        data["extra"] = json.loads(data["extra"]) if data["extra"] else {}
+        return RunRow(**data)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the underlying connection; idempotent."""
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RunLedger(path={self.path!r})"
+
+
+class NullLedger:
+    """Disabled ledger: the process-global default, every call a no-op."""
+
+    enabled = False
+    path = None
+    bus = None
+
+    def record(self, row: RunRow) -> int:
+        """Discard the row."""
+        return 0
+
+    def run(self, run_id: int) -> RunRow:
+        """Always absent."""
+        raise KeyError(f"no run {run_id} (ledger disabled)")
+
+    def runs(self, **query: Any) -> List[RunRow]:
+        """Empty archive."""
+        return []
+
+    def count(self) -> int:
+        """Empty archive."""
+        return 0
+
+    def group_stats(self, **kwargs: Any) -> Dict[str, Dict[str, float]]:
+        """Empty archive."""
+        return {}
+
+    def close(self) -> None:
+        """Nothing to close."""
+
+
+_NULL_LEDGER = NullLedger()
+_current: Any = _NULL_LEDGER
+_swap_lock = threading.Lock()
+
+
+def get_ledger() -> Any:
+    """The process-global ledger (a :class:`NullLedger` unless installed)."""
+    return _current
+
+
+def set_ledger(ledger: Optional[Any]) -> None:
+    """Install ``ledger`` globally; ``None`` restores the null ledger."""
+    global _current
+    with _swap_lock:
+        _current = ledger if ledger is not None else _NULL_LEDGER
+
+
+class _UseLedger:
+    __slots__ = ("_ledger", "_previous")
+
+    def __init__(self, ledger: Any) -> None:
+        self._ledger = ledger
+        self._previous: Any = None
+
+    def __enter__(self) -> Any:
+        self._previous = get_ledger()
+        set_ledger(self._ledger)
+        return self._ledger
+
+    def __exit__(self, *exc_info: Any) -> None:
+        set_ledger(self._previous)
+
+
+def use_ledger(ledger: Any) -> _UseLedger:
+    """Scope-install a ledger: ``with use_ledger(RunLedger(path)): ...``."""
+    return _UseLedger(ledger)
+
+
+# ----------------------------------------------------------------------
+# regression gate
+# ----------------------------------------------------------------------
+def _mean(values: Sequence[Optional[float]]) -> float:
+    cleaned = [v for v in values if v is not None]
+    return sum(cleaned) / len(cleaned) if cleaned else 0.0
+
+
+def baseline_from_ledger(
+    ledger: RunLedger, *, latest_per_group: int = 0
+) -> Dict[str, Dict[str, float]]:
+    """Fold the ledger into a baseline payload for ``BENCH_*.json``.
+
+    The result maps ``family/n_tasks/algorithm`` group keys to their mean
+    simulated makespan/cost and success rate — store it under a
+    ``"ledger_baseline"`` key.
+    """
+    return {
+        key: stats
+        for key, stats in ledger.group_stats(
+            latest_per_group=latest_per_group
+        ).items()
+        if "makespan" in stats
+    }
+
+
+@dataclass(frozen=True)
+class GroupDelta:
+    """One baseline group re-measured against the current ledger."""
+
+    group: str
+    baseline_makespan: float
+    current_makespan: float
+    baseline_cost: float
+    current_cost: float
+    n_runs: int
+
+    @property
+    def makespan_change(self) -> float:
+        """Fractional makespan change (+0.2 = 20% slower)."""
+        if self.baseline_makespan <= 0.0:
+            return 0.0
+        return self.current_makespan / self.baseline_makespan - 1.0
+
+    @property
+    def cost_change(self) -> float:
+        """Fractional cost change (+0.2 = 20% more expensive)."""
+        if self.baseline_cost <= 0.0:
+            return 0.0
+        return self.current_cost / self.baseline_cost - 1.0
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of :func:`compare_to_baseline` (drives the CI exit code)."""
+
+    deltas: List[GroupDelta] = field(default_factory=list)
+    regressions: List[GroupDelta] = field(default_factory=list)
+    missing_groups: List[str] = field(default_factory=list)
+    makespan_threshold: float = 0.10
+    cost_threshold: float = 0.10
+
+    @property
+    def ok(self) -> bool:
+        """True when no group regressed and at least one was compared."""
+        return not self.regressions and bool(self.deltas)
+
+    def render(self) -> str:
+        """Human-readable table for the CLI."""
+        lines = [
+            f"{'group':<40s} {'makespan':>10s} {'Δ%':>8s} "
+            f"{'cost':>10s} {'Δ%':>8s}  verdict"
+        ]
+        for d in self.deltas:
+            verdict = "REGRESSED" if d in self.regressions else "ok"
+            lines.append(
+                f"{d.group:<40s} {d.current_makespan:>10.2f} "
+                f"{100 * d.makespan_change:>+7.2f}% "
+                f"{d.current_cost:>10.4f} {100 * d.cost_change:>+7.2f}%  "
+                f"{verdict}"
+            )
+        for group in self.missing_groups:
+            lines.append(f"{group:<40s} {'—':>10s} {'—':>8s} "
+                         f"{'—':>10s} {'—':>8s}  missing from ledger")
+        lines.append(
+            f"{len(self.deltas)} group(s) compared, "
+            f"{len(self.regressions)} regression(s), "
+            f"{len(self.missing_groups)} missing "
+            f"(thresholds: makespan +{100 * self.makespan_threshold:.0f}%, "
+            f"cost +{100 * self.cost_threshold:.0f}%)"
+        )
+        return "\n".join(lines)
+
+
+def extract_baseline(document: Mapping[str, Any]) -> Dict[str, Dict[str, float]]:
+    """The ledger baseline inside a ``BENCH_*.json`` document.
+
+    Accepts either a document with a ``"ledger_baseline"`` key or a bare
+    group → stats mapping. Raises ``ValueError`` when neither shape fits.
+    """
+    payload = document.get("ledger_baseline", document)
+    if not isinstance(payload, Mapping) or not payload:
+        raise ValueError("baseline document has no 'ledger_baseline' groups")
+    for key, stats in payload.items():
+        if not isinstance(stats, Mapping) or "makespan" not in stats:
+            raise ValueError(
+                f"baseline group {key!r} lacks a 'makespan' entry — "
+                "not a ledger baseline"
+            )
+    return {k: dict(v) for k, v in payload.items()}
+
+
+def compare_to_baseline(
+    ledger: RunLedger,
+    baseline: Mapping[str, Mapping[str, float]],
+    *,
+    makespan_threshold: float = 0.10,
+    cost_threshold: float = 0.10,
+) -> RegressionReport:
+    """Re-measure the ledger's latest runs against ``baseline`` groups.
+
+    For every baseline group, the current value is the mean over the
+    group's newest ``n_runs`` ledger rows (as many as the baseline itself
+    averaged). A group regresses when its makespan grows by more than
+    ``makespan_threshold`` (fractional) or its cost by more than
+    ``cost_threshold``. Groups absent from the ledger are reported, not
+    failed — the caller decides (the CLI fails only when *nothing*
+    matched).
+    """
+    report = RegressionReport(
+        makespan_threshold=makespan_threshold, cost_threshold=cost_threshold
+    )
+    stats_by_depth: Dict[int, Dict[str, Dict[str, float]]] = {}
+    for group, base in sorted(baseline.items()):
+        n_runs = int(base.get("n_runs", 0)) or 0
+        if n_runs not in stats_by_depth:
+            stats_by_depth[n_runs] = ledger.group_stats(
+                latest_per_group=n_runs
+            )
+        current = stats_by_depth[n_runs].get(group)
+        if current is None or "makespan" not in current:
+            report.missing_groups.append(group)
+            continue
+        delta = GroupDelta(
+            group=group,
+            baseline_makespan=float(base["makespan"]),
+            current_makespan=float(current["makespan"]),
+            baseline_cost=float(base.get("cost", 0.0)),
+            current_cost=float(current.get("cost", 0.0)),
+            n_runs=int(current.get("n_runs", 0)),
+        )
+        report.deltas.append(delta)
+        if (
+            delta.makespan_change > makespan_threshold
+            or delta.cost_change > cost_threshold
+        ):
+            report.regressions.append(delta)
+    return report

@@ -37,14 +37,55 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Tuple
 
+from ..obs.tracing import DecisionRecord, get_tracer
 from ..platform.cloud import CloudPlatform
 from ..workflow.dag import Workflow
-from .list_base import Scheduler, SchedulerResult
+from .list_base import _MAX_LOGGED_CANDIDATES, Scheduler, SchedulerResult
 from .planning import HostEvaluation, PlanningState
 
 __all__ = ["BdtScheduler"]
 
 _EPS = 1e-12
+
+
+def _record_fill(
+    tid: str,
+    level: int,
+    evaluations: List[HostEvaluation],
+    costs: List[float],
+    chosen: HostEvaluation,
+    chosen_cost: float,
+    allowance: float,
+    affordable: bool,
+) -> None:
+    """Emit one All-in budget-fill decision record to the active tracer."""
+    ranked = sorted(zip(evaluations, costs), key=lambda p: (p[0].eft, p[1]))
+    candidates = [
+        {
+            "vm": ev.vm_id,
+            "category": ev.category.name,
+            "eft": ev.eft,
+            "cost": ct,
+            "affordable": ct <= allowance + _EPS,
+        }
+        for ev, ct in ranked[:_MAX_LOGGED_CANDIDATES]
+    ]
+    get_tracer().decide(
+        DecisionRecord(
+            kind="budget_fill",
+            task=tid,
+            chosen_vm=chosen.vm_id,
+            category=chosen.category.name,
+            eft=chosen.eft,
+            cost=chosen_cost,
+            allowance=allowance,
+            remaining=allowance - chosen_cost,
+            within_budget=affordable,
+            round=level,
+            n_candidates=len(evaluations),
+            candidates=candidates,
+        )
+    )
 
 
 class BdtScheduler(Scheduler):
@@ -93,6 +134,11 @@ class BdtScheduler(Scheduler):
                         key=lambda i: (costs[i], evaluations[i].eft),
                     )
                     chosen, chosen_cost = evaluations[idx], costs[idx]
+                if get_tracer().enabled:
+                    _record_fill(
+                        tid, lvl, evaluations, costs, chosen, chosen_cost,
+                        sub_budget, bool(affordable),
+                    )
                 state.commit(chosen)
                 sub_budget -= chosen_cost  # leftover trickles onward
 

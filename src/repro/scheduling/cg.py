@@ -28,6 +28,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Tuple
 
+from ..obs.tracing import DecisionRecord, get_tracer
 from ..platform.cloud import CloudPlatform
 from ..platform.vm import VMCategory
 from ..simulation.executor import evaluate_schedule
@@ -114,6 +115,26 @@ class CgScheduler(Scheduler):
             ]
             candidates.append(state.evaluate(tid, None, chosen_cat))
             best = min(candidates, key=lambda ev: (ev.eft, ev.cost))
+            if get_tracer().enabled:
+                get_tracer().decide(
+                    DecisionRecord(
+                        kind="cluster_group",
+                        task=tid,
+                        chosen_vm=best.vm_id,
+                        category=chosen_cat.name,
+                        eft=best.eft,
+                        cost=best.cost,
+                        allowance=target,
+                        remaining=target - costs[chosen_cat.name],
+                        n_candidates=len(candidates),
+                        candidates=[
+                            {"category": name, "cost": ct,
+                             "gap": abs(ct - target)}
+                            for name, ct in sorted(costs.items())
+                        ],
+                        extra={"gb": gb, "ct_min": ct_min, "ct_max": ct_max},
+                    )
+                )
             state.commit(best)
 
         schedule = state.to_schedule()

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 from ..errors import SchedulingError
+from ..obs.tracing import DecisionRecord, get_tracer
 from ..platform.cloud import CloudPlatform
 from ..rng import RngLike
 from ..simulation.executor import execute_schedule, sample_weights
@@ -132,7 +133,22 @@ class OnlineHeftBudg:
             mk_move = execute_schedule(
                 wf, platform, candidate, knowledge, validate=False
             ).makespan
-            if mk_move < mk_keep - 1e-9:
+            accepted = mk_move < mk_keep - 1e-9
+            if get_tracer().enabled:
+                get_tracer().decide(
+                    DecisionRecord(
+                        kind="replan",
+                        task=tid,
+                        round=rounds,
+                        extra={
+                            "detection_s": detection,
+                            "accepted": accepted,
+                            "mk_keep": mk_keep,
+                            "mk_move": mk_move,
+                        },
+                    )
+                )
+            if accepted:
                 schedule = candidate
                 remaps += 1
         run = execute_schedule(wf, platform, schedule, actual, validate=False)

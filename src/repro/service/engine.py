@@ -29,6 +29,8 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from ..errors import JobNotFoundError, ReproError, ServiceError
 from ..io import schedule_to_dict
+from ..obs.events import EventBus
+from ..obs.ledger import RunRow, get_ledger
 from ..obs.tracing import get_tracer
 from ..scheduling.registry import available_schedulers, make_scheduler
 from ..simulation.executor import execute_schedule, sample_weights
@@ -106,6 +108,15 @@ class SchedulingService:
     metrics:
         An external :class:`MetricsRegistry` to share; a private one is
         created by default.
+    ledger:
+        A :class:`~repro.obs.ledger.RunLedger` to archive completed runs
+        into; defaults to the process-global ledger (a ``NullLedger``
+        unless one was installed), so archiving costs one attribute check
+        when disabled.
+    events:
+        An external :class:`~repro.obs.events.EventBus` to publish job
+        lifecycle events on; a private bus is created by default (the SSE
+        endpoints subscribe to it).
     """
 
     def __init__(
@@ -115,12 +126,19 @@ class SchedulingService:
         cache_size: int = 256,
         cache_ttl: Optional[float] = None,
         metrics: Optional[MetricsRegistry] = None,
+        ledger: Optional[Any] = None,
+        events: Optional[EventBus] = None,
     ) -> None:
         if max_workers < 1:
             raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
         if cache_size < 0:
             raise ServiceError(f"cache_size must be >= 0, got {cache_size}")
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.ledger = ledger if ledger is not None else get_ledger()
+        self.events = events if events is not None else EventBus()
+        if self.ledger.enabled and self.ledger.bus is None:
+            # run.recorded events join the job lifecycle stream.
+            self.ledger.bus = self.events
         self._cache = (
             LRUCache(cache_size, ttl=cache_ttl) if cache_size else None
         )
@@ -132,6 +150,10 @@ class SchedulingService:
         self._ids = itertools.count(1)
         self._closed = False
         self._started_at = time.time()
+        # Which job the current worker thread is computing for — lets the
+        # deep schedule/evaluate path publish job.progress without
+        # threading a job id through every signature.
+        self._job_context = threading.local()
 
     # ------------------------------------------------------------------
     # sync path
@@ -154,6 +176,8 @@ class SchedulingService:
                 return replace(cached, cached=True)
             self.metrics.incr("cache_misses")
             response = cached
+        if self.ledger.enabled:
+            self._record_run(req, response)
         return response
 
     # ------------------------------------------------------------------
@@ -173,6 +197,10 @@ class SchedulingService:
         job = _Job(record)
         with self._lock:
             self._jobs[job_id] = job
+        self.events.publish(
+            "job.queued", job_id=job_id, algorithm=req.algorithm,
+            fingerprint=req.fingerprint(),
+        )
         job.future = self._pool.submit(self._run_job, job_id, req)
         self.metrics.incr("jobs_submitted")
         return job_id
@@ -240,6 +268,9 @@ class SchedulingService:
         with self._lock:
             job.record.state = JobState.CANCELLED
             job.record.finished_at = time.time()
+        self.events.publish(
+            "job.finished", job_id=job_id, state=JobState.CANCELLED
+        )
         self.metrics.incr("jobs_cancelled")
         return True
 
@@ -270,14 +301,41 @@ class SchedulingService:
         with self._lock:
             for job in self._jobs.values():
                 by_state[job.record.state] += 1
+        self._sync_cache_metrics()
         out: Dict[str, Any] = {
             "uptime_s": time.time() - self._started_at,
             "jobs": by_state,
             "cache": None if self._cache is None else self._cache.stats().to_dict(),
             "metrics": self.metrics.snapshot(),
             "schedulers": available_schedulers(),
+            "ledger": {
+                "enabled": self.ledger.enabled,
+                "path": self.ledger.path,
+                "n_runs": self.ledger.count(),
+            },
+            "events": {
+                "last_seq": self.events.last_seq,
+                "n_subscribers": self.events.n_subscribers,
+            },
         }
         return out
+
+    def _sync_cache_metrics(self) -> None:
+        """Mirror the cache's own monotonic stats into the registry.
+
+        The engine's per-request ``cache_hits``/``cache_misses`` counters
+        only see the ``schedule()`` path; the cache itself also counts
+        evictions and TTL expirations. Snapping the registry counters to
+        the cache's totals keeps ``repro_cache_*_total`` authoritative in
+        the Prometheus exposition.
+        """
+        if self._cache is None:
+            return
+        stats = self._cache.stats()
+        self.metrics.set_counter("cache_hits", stats.hits)
+        self.metrics.set_counter("cache_misses", stats.misses)
+        self.metrics.set_counter("cache_evictions", stats.evictions)
+        self.metrics.set_counter("cache_expirations", stats.expirations)
 
     def clear_cache(self) -> None:
         """Drop all cached responses (no-op when caching is disabled)."""
@@ -313,6 +371,8 @@ class SchedulingService:
             record = self._jobs[job_id].record
             record.state = JobState.RUNNING
             record.started_at = time.time()
+        self.events.publish("job.started", job_id=job_id)
+        self._job_context.job_id = job_id
         try:
             response = self.schedule(request)
         except Exception as exc:
@@ -320,12 +380,22 @@ class SchedulingService:
                 record.state = JobState.FAILED
                 record.error = str(exc)
                 record.finished_at = time.time()
+            self.events.publish(
+                "job.finished", job_id=job_id, state=JobState.FAILED,
+                error=str(exc),
+            )
             self.metrics.incr("jobs_failed")
             raise
+        finally:
+            self._job_context.job_id = None
         with self._lock:
             record.state = JobState.DONE
             record.response = response
             record.finished_at = time.time()
+        self.events.publish(
+            "job.finished", job_id=job_id, state=JobState.DONE,
+            cached=response.cached, elapsed_s=response.elapsed_s,
+        )
         self.metrics.incr("jobs_done")
         return response
 
@@ -351,6 +421,7 @@ class SchedulingService:
                 raise ServiceError(
                     f"{request.algorithm} failed on {wf.name or 'workflow'}: {exc}"
                 ) from exc
+            self._publish_progress("scheduled", 1, 1)
             evaluation = self._evaluate(request, wf, platform, result.schedule, budget)
         return ScheduleResponse(
             request_fingerprint=request.fingerprint(),
@@ -368,6 +439,43 @@ class SchedulingService:
             elapsed_s=time.perf_counter() - started,
         )
 
+    def _record_run(self, request: ScheduleRequest, response: ScheduleResponse) -> None:
+        """Archive one freshly computed response into the ledger."""
+        evaluation = response.evaluation or {}
+        row = RunRow(
+            source="service",
+            fingerprint=response.request_fingerprint,
+            workflow=response.workflow_name,
+            family=request.workflow.family or "",
+            n_tasks=response.n_tasks,
+            algorithm=response.algorithm,
+            budget=response.budget,
+            sigma_ratio=request.workflow.sigma_ratio,
+            planned_makespan=response.planned_makespan,
+            planned_cost=response.planned_cost,
+            within_budget_plan=response.within_budget_plan,
+            sim_makespan=(evaluation.get("makespan") or {}).get("mean"),
+            sim_cost=(evaluation.get("cost") or {}).get("mean"),
+            success_rate=evaluation.get("budget_success_rate"),
+            n_reps=int(evaluation.get("n_reps", 0)),
+            n_vms=response.n_vms,
+            elapsed_s=response.elapsed_s,
+            trace_id=getattr(self._job_context, "job_id", None) or "",
+        )
+        try:
+            self.ledger.record(row)
+        except Exception:
+            # Archiving must never fail a request; surface via metrics.
+            self.metrics.incr("ledger_errors")
+
+    def _publish_progress(self, stage: str, done: int, total: int) -> None:
+        job_id = getattr(self._job_context, "job_id", None)
+        if job_id is not None:
+            self.events.publish(
+                "job.progress", job_id=job_id, stage=stage,
+                done=done, total=total,
+            )
+
     def _evaluate(
         self, request, wf, platform, schedule, budget
     ) -> Optional[Dict[str, Any]]:
@@ -379,6 +487,8 @@ class SchedulingService:
         costs: List[float] = []
         n_valid = 0
         reps: List[Dict[str, Any]] = []
+        # Progress granularity: ~4 updates per evaluation, never per-rep.
+        stride = max(1, spec.n_reps // 4)
         for i in range(spec.n_reps):
             run = execute_schedule(
                 wf, platform, schedule,
@@ -397,6 +507,8 @@ class SchedulingService:
                     "within_budget": valid,
                 }
             )
+            if (i + 1) % stride == 0 or i + 1 == spec.n_reps:
+                self._publish_progress("evaluating", i + 1, spec.n_reps)
         self.metrics.incr("evaluation_reps", spec.n_reps)
         return {
             "n_reps": spec.n_reps,

@@ -4,19 +4,35 @@ No web framework — ``http.server.ThreadingHTTPServer`` plus a small JSON
 router, so the gateway works anywhere the library does. Endpoints
 (all under ``/v1``):
 
-====================  ======================================================
-``GET  /v1/healthz``     liveness + uptime
-``GET  /v1/schedulers``  registry names accepted in requests
-``GET  /v1/metrics``     cache / job / latency snapshot
-``POST /v1/schedule``    synchronous scheduling; body = one request dict
-``POST /v1/jobs``        async submit; body = one request or an array
-``GET  /v1/jobs``        all job snapshots (``?state=`` filters)
-``GET  /v1/jobs/<id>``   one job snapshot (response embedded when done)
-``DELETE /v1/jobs/<id>`` cancel a pending job
-====================  ======================================================
+==============================  ==============================================
+``GET  /v1/healthz``               liveness + uptime
+``GET  /v1/schedulers``            registry names accepted in requests
+``GET  /v1/metrics``               cache / job / latency snapshot
+``POST /v1/schedule``              synchronous scheduling; body = one request
+``POST /v1/jobs``                  async submit; body = one request or array
+``GET  /v1/jobs``                  all job snapshots (``?state=`` filters)
+``GET  /v1/jobs/<id>``             one job snapshot (response when done)
+``DELETE /v1/jobs/<id>``           cancel a pending job
+``GET  /v1/jobs/<id>/events``      SSE stream of one job's lifecycle
+``GET  /v1/events``                SSE stream of all bus events
+``GET  /v1/runs``                  archived runs from the ledger (filters)
+``GET  /v1/runs/<id>``             one archived run
+==============================  ==============================================
 
 ``GET /v1/metrics`` defaults to the JSON snapshot; append
 ``?format=prometheus`` for text exposition scrapable by Prometheus.
+
+The SSE endpoints speak ``text/event-stream``: one frame per event
+(``id:`` = bus sequence number, ``event:`` = type, ``data:`` = JSON
+payload), ``: keep-alive`` comments while idle, and a clean close when
+the stream ends. ``/v1/jobs/<id>/events`` replays the job's buffered
+history first — a finished job yields its whole ``queued → started →
+finished`` lifecycle immediately — and closes after the terminal event.
+``/v1/events`` streams until ``?timeout=`` seconds elapse (default 30);
+``?types=a,b`` filters, ``?replay=n`` prepends the last *n* buffered
+events. ``/v1/runs`` requires a ledger-enabled service (``repro-exp
+serve --ledger runs.db``); without one it answers with an empty archive
+and ``"enabled": false``.
 
 Validation failures map to 400, unknown routes/jobs to 404, everything
 else to 500, always with a JSON ``{"error": ...}`` body. Every request is
@@ -39,6 +55,7 @@ from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from ..errors import JobNotFoundError, ServiceError
+from ..obs.events import JOB_EVENT_TYPES, RUN_RECORDED, EventBus
 from ..obs.logging import configure_logging, get_logger
 from ..obs.prometheus import render_prometheus
 from .engine import SchedulingService
@@ -59,6 +76,106 @@ class _PlainText:
     def __init__(self, text: str, content_type: str = "text/plain; version=0.0.4; charset=utf-8") -> None:
         self.text = text
         self.content_type = content_type
+
+
+class _SSEStream:
+    """Marker for routes that stream Server-Sent-Events frames.
+
+    ``frames`` yields ready-to-send SSE strings; the handler writes and
+    flushes them one by one, then closes the connection.
+    """
+
+    __slots__ = ("frames",)
+
+    def __init__(self, frames: Any) -> None:
+        self.frames = frames
+
+
+#: Bounds on the ``?timeout=`` query of the SSE endpoints (seconds).
+_SSE_DEFAULT_TIMEOUT = 30.0
+_SSE_MAX_TIMEOUT = 3600.0
+#: Poll interval while an SSE stream is idle (drives keep-alive comments).
+_SSE_POLL_S = 1.0
+
+
+def _sse_timeout(query: Dict[str, str]) -> float:
+    try:
+        timeout = float(query.get("timeout", _SSE_DEFAULT_TIMEOUT))
+    except ValueError:
+        raise ServiceError(f"invalid timeout {query['timeout']!r}") from None
+    if timeout <= 0:
+        raise ServiceError(f"timeout must be > 0, got {timeout}")
+    return min(timeout, _SSE_MAX_TIMEOUT)
+
+
+def _job_event_frames(service: SchedulingService, job_id: str, timeout: float):
+    """SSE frames of one job's lifecycle: buffered history, then live.
+
+    Subscribes *before* replaying history so no event can fall between
+    the two phases; duplicates are dropped by sequence number. Ends (and
+    the connection closes) right after the job's terminal
+    ``job.finished`` event, or when ``timeout`` elapses.
+    """
+    bus = service.events
+    types = JOB_EVENT_TYPES + (RUN_RECORDED,)
+
+    def matches(ev) -> bool:
+        data = ev.data
+        return data.get("job_id") == job_id or data.get("trace_id") == job_id
+
+    sub = bus.subscribe(types=types)
+    try:
+        last_seq = 0
+        for ev in bus.history(types=types, match=matches):
+            yield ev.to_sse()
+            last_seq = ev.seq
+            if ev.type == "job.finished":
+                return
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                yield ": timeout\n\n"
+                return
+            ev = sub.get(timeout=min(remaining, _SSE_POLL_S))
+            if ev is None:
+                yield ": keep-alive\n\n"
+                continue
+            if ev.seq <= last_seq or not matches(ev):
+                continue
+            yield ev.to_sse()
+            if ev.type == "job.finished":
+                return
+    finally:
+        sub.close()
+
+
+def _bus_event_frames(service: SchedulingService, types, replay: int,
+                      timeout: float):
+    """SSE frames of the whole event bus, with optional replay/filtering."""
+    bus = service.events
+    sub = bus.subscribe(types=types)
+    try:
+        last_seq = 0
+        if replay > 0:
+            for ev in bus.history(types=types, limit=replay):
+                yield ev.to_sse()
+                last_seq = ev.seq
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                yield ": timeout\n\n"
+                return
+            ev = sub.get(timeout=min(remaining, _SSE_POLL_S))
+            if ev is None:
+                yield ": keep-alive\n\n"
+                continue
+            if ev.seq <= last_seq:
+                continue
+            yield ev.to_sse()
+    finally:
+        sub.close()
 
 
 def _prometheus_gauges(stats: Dict[str, Any]) -> Dict[str, float]:
@@ -105,6 +222,24 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as exc:  # pragma: no cover - defensive
             status, payload = 500, {"error": f"internal error: {exc}",
                                     "trace_id": trace_id}
+        if isinstance(payload, _SSEStream):
+            self._stream_sse(status, payload, trace_id)
+            _access_log.info(
+                "access",
+                extra={
+                    "fields": {
+                        "method": method,
+                        "path": self.path,
+                        "status": status,
+                        "duration_ms": round(
+                            (time.perf_counter() - started) * 1e3, 3
+                        ),
+                        "trace_id": trace_id,
+                        "sse": True,
+                    }
+                },
+            )
+            return
         if isinstance(payload, _PlainText):
             body = payload.text.encode("utf-8")
             content_type = payload.content_type
@@ -131,6 +266,27 @@ class _Handler(BaseHTTPRequestHandler):
                 }
             },
         )
+
+    def _stream_sse(self, status: int, stream: _SSEStream, trace_id: str) -> None:
+        """Send headers, then write frames as they arrive until done.
+
+        SSE has no Content-Length, so the response is delimited by closing
+        the connection (``Connection: close``); a client hang-up simply
+        ends the stream.
+        """
+        self.send_response(status)
+        self.send_header("Content-Type", "text/event-stream; charset=utf-8")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.send_header("X-Trace-Id", trace_id)
+        self.end_headers()
+        self.close_connection = True
+        try:
+            for frame in stream.frames:
+                self.wfile.write(frame.encode("utf-8"))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # client went away; nothing left to deliver
 
     def _route(self, method: str) -> Tuple[int, Any]:
         parsed = urlparse(self.path)
@@ -174,6 +330,55 @@ class _Handler(BaseHTTPRequestHandler):
             return 200, {
                 "jobs": [r.to_dict(include_response=False) for r in records]
             }
+        if method == "GET" and tail == ["events"]:
+            timeout = _sse_timeout(query)
+            types = None
+            if "types" in query:
+                types = tuple(t for t in query["types"].split(",") if t)
+            try:
+                replay = int(query.get("replay", 0))
+            except ValueError:
+                raise ServiceError(
+                    f"invalid replay {query['replay']!r}"
+                ) from None
+            return 200, _SSEStream(
+                _bus_event_frames(self.service, types, replay, timeout)
+            )
+        if method == "GET" and tail == ["runs"]:
+            ledger = self.service.ledger
+            try:
+                limit = int(query.get("limit", 50))
+            except ValueError:
+                raise ServiceError(f"invalid limit {query['limit']!r}") from None
+            rows = ledger.runs(
+                algorithm=query.get("algorithm"),
+                workflow=query.get("workflow"),
+                fingerprint=query.get("fingerprint"),
+                source=query.get("source"),
+                limit=limit,
+            )
+            return 200, {
+                "enabled": ledger.enabled,
+                "runs": [r.to_dict() for r in rows],
+            }
+        if method == "GET" and len(tail) == 2 and tail[0] == "runs":
+            try:
+                row = self.service.ledger.run(int(tail[1]))
+            except (KeyError, ValueError):
+                return 404, {"error": f"no archived run {tail[1]!r}"}
+            return 200, row.to_dict()
+        if (
+            method == "GET"
+            and len(tail) == 3
+            and tail[0] == "jobs"
+            and tail[2] == "events"
+        ):
+            job_id = tail[1]
+            timeout = _sse_timeout(query)
+            self.service.job(job_id)  # 404 before headers when unknown
+            return 200, _SSEStream(
+                _job_event_frames(self.service, job_id, timeout)
+            )
         if len(tail) == 2 and tail[0] == "jobs":
             job_id = tail[1]
             if method == "GET":
@@ -286,18 +491,33 @@ def serve(
     max_workers: int = 4,
     cache_size: int = 256,
     cache_ttl: Optional[float] = None,
+    ledger_path: Optional[str] = None,
     log_level: str = "info",
     log_json: bool = False,
 ) -> None:  # pragma: no cover - blocking entry point, exercised via CLI
-    """Run a gateway in the foreground until interrupted."""
+    """Run a gateway in the foreground until interrupted.
+
+    ``ledger_path`` enables the persistent run ledger: every computed
+    response is archived there and ``GET /v1/runs`` serves the archive.
+    """
+    from ..obs.ledger import RunLedger
+
     configure_logging(level=log_level, json_mode=log_json)
+    bus = EventBus()
+    ledger = (
+        RunLedger(ledger_path, bus=bus) if ledger_path is not None else None
+    )
     service = SchedulingService(
-        max_workers=max_workers, cache_size=cache_size, cache_ttl=cache_ttl
+        max_workers=max_workers, cache_size=cache_size, cache_ttl=cache_ttl,
+        ledger=ledger, events=bus,
     )
     gateway = ServiceGateway(service, host=host, port=port)
     print(f"repro scheduling service listening on {gateway.url}")
     print("endpoints: /v1/healthz /v1/schedulers /v1/metrics "
-          "/v1/schedule /v1/jobs  (metrics?format=prometheus)")
+          "/v1/schedule /v1/jobs /v1/jobs/<id>/events /v1/events "
+          "/v1/runs  (metrics?format=prometheus)")
+    if ledger is not None:
+        print(f"run ledger: {ledger.path} ({ledger.count()} archived runs)")
     try:
         gateway.serve_forever()
     except KeyboardInterrupt:
@@ -305,3 +525,5 @@ def serve(
     finally:
         gateway.shutdown()
         service.close()
+        if ledger is not None:
+            ledger.close()

@@ -135,6 +135,16 @@ class MetricsRegistry:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def set_counter(self, name: str, value: int) -> None:
+        """Snap counter ``name`` to an externally tracked monotonic total.
+
+        For counters whose source of truth lives elsewhere (e.g. the
+        response cache's own hit/miss/eviction stats). The counter never
+        goes backwards: the new value is ``max(current, value)``.
+        """
+        with self._lock:
+            self._counters[name] = max(self._counters.get(name, 0), int(value))
+
     def observe(self, name: str, value: float) -> None:
         """Record one sample into observation series ``name``."""
         with self._lock:

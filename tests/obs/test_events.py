@@ -1,0 +1,133 @@
+"""In-process event bus: publish/subscribe, history replay, SSE frames."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.events import (
+    JOB_EVENT_TYPES,
+    RUN_RECORDED,
+    Event,
+    EventBus,
+    Subscription,
+)
+
+
+class TestEvent:
+    def test_to_dict_roundtrips_payload(self):
+        ev = Event(seq=3, type="job.queued", ts=12.5, data={"job_id": "j-1"})
+        d = ev.to_dict()
+        assert d["seq"] == 3
+        assert d["type"] == "job.queued"
+        assert d["data"] == {"job_id": "j-1"}
+
+    def test_sse_frame_shape(self):
+        ev = Event(seq=7, type="job.finished", ts=1.0, data={"state": "done"})
+        frame = ev.to_sse()
+        lines = frame.splitlines()
+        assert lines[0] == "id: 7"
+        assert lines[1] == "event: job.finished"
+        assert lines[2].startswith("data: ")
+        payload = json.loads(lines[2][len("data: "):])
+        assert payload["data"] == {"state": "done"}
+        assert frame.endswith("\n\n")
+
+
+class TestEventBus:
+    def test_publish_assigns_monotonic_seq(self):
+        bus = EventBus()
+        e1 = bus.publish("job.queued", job_id="a")
+        e2 = bus.publish("job.started", job_id="a")
+        assert (e1.seq, e2.seq) == (1, 2)
+        assert bus.last_seq == 2
+
+    def test_subscriber_receives_published_events(self):
+        bus = EventBus()
+        with bus.subscribe() as sub:
+            bus.publish("job.queued", job_id="a")
+            got = sub.get(timeout=1.0)
+        assert got is not None and got.type == "job.queued"
+
+    def test_type_filter(self):
+        bus = EventBus()
+        with bus.subscribe(types=("job.finished",)) as sub:
+            bus.publish("job.queued", job_id="a")
+            bus.publish("job.finished", job_id="a")
+            got = sub.get(timeout=1.0)
+            assert got.type == "job.finished"
+            assert sub.get(timeout=0.05) is None
+
+    def test_history_replay_and_after_seq(self):
+        bus = EventBus()
+        for i in range(5):
+            bus.publish("job.progress", step=i)
+        assert [e.data["step"] for e in bus.history()] == [0, 1, 2, 3, 4]
+        tail = bus.history(after_seq=3)
+        assert [e.seq for e in tail] == [4, 5]
+        newest = bus.history(limit=2)
+        assert [e.data["step"] for e in newest] == [3, 4]
+        assert bus.history(limit=0) == []
+
+    def test_history_match_predicate(self):
+        bus = EventBus()
+        bus.publish("job.queued", job_id="a")
+        bus.publish("job.queued", job_id="b")
+        mine = bus.history(match=lambda e: e.data.get("job_id") == "b")
+        assert len(mine) == 1 and mine[0].data["job_id"] == "b"
+
+    def test_slow_subscriber_drops_instead_of_blocking(self):
+        bus = EventBus()
+        sub = bus.subscribe(maxsize=2)
+        for i in range(10):
+            bus.publish("job.progress", step=i)
+        # publisher never blocked; the overflow is counted, not raised
+        assert sub.dropped == 8
+        assert sub.get(timeout=0.1).data["step"] == 0
+        sub.close()
+        assert bus.n_subscribers == 0
+
+    def test_closed_subscription_stops_receiving(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        sub.close()
+        bus.publish("job.queued", job_id="x")
+        assert sub.get(timeout=0.05) is None
+
+    def test_concurrent_publishers_keep_seq_unique(self):
+        bus = EventBus()
+        n, workers = 50, 8
+
+        def pump(k):
+            for _ in range(n):
+                bus.publish("job.progress", worker=k)
+
+        threads = [threading.Thread(target=pump, args=(k,))
+                   for k in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        seqs = [e.seq for e in bus.history()]
+        assert bus.last_seq == n * workers
+        assert len(set(seqs)) == len(seqs)
+
+    def test_known_event_type_constants(self):
+        assert "job.queued" in JOB_EVENT_TYPES
+        assert "job.finished" in JOB_EVENT_TYPES
+        assert RUN_RECORDED == "run.recorded"
+
+
+class TestSubscriptionIterator:
+    def test_events_iterator_yields_until_closed(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        bus.publish("job.queued", job_id="a")
+        bus.publish("job.finished", job_id="a")
+        seen = []
+        for ev in sub.events():
+            seen.append(ev.type)
+            if ev.type == "job.finished":
+                break
+        assert seen == ["job.queued", "job.finished"]
+        sub.close()

@@ -1,0 +1,258 @@
+"""Run ledger: persistence, concurrency, re-open, and the regression gate."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.events import EventBus
+from repro.obs.ledger import (
+    SCHEMA_VERSION,
+    NullLedger,
+    RunLedger,
+    RunRow,
+    baseline_from_ledger,
+    compare_to_baseline,
+    extract_baseline,
+    get_ledger,
+    set_ledger,
+    use_ledger,
+)
+
+
+def make_row(**overrides):
+    base = dict(
+        source="sweep", workflow="montage-30-i0", family="montage",
+        n_tasks=30, algorithm="heft_budg", budget=0.5, sigma_ratio=0.5,
+        planned_makespan=100.0, planned_cost=0.4, within_budget_plan=True,
+        sim_makespan=110.0, sim_cost=0.38, success_rate=1.0, n_reps=5,
+        n_vms=3, sched_seconds=0.01, extra={"note": "test"},
+    )
+    base.update(overrides)
+    return RunRow(**base)
+
+
+class TestRoundtrip:
+    def test_record_assigns_id_and_reads_back(self):
+        with RunLedger() as ledger:
+            run_id = ledger.record(make_row())
+            assert run_id == 1
+            row = ledger.run(run_id)
+            assert row.algorithm == "heft_budg"
+            assert row.within_budget_plan is True
+            assert row.extra == {"note": "test"}
+            assert row.recorded_at > 0
+            assert row.version  # auto-filled
+
+    def test_unknown_run_raises_keyerror(self):
+        with RunLedger() as ledger:
+            with pytest.raises(KeyError):
+                ledger.run(99)
+
+    def test_query_filters(self):
+        with RunLedger() as ledger:
+            ledger.record(make_row(algorithm="heft_budg"))
+            ledger.record(make_row(algorithm="bdt"))
+            ledger.record(make_row(algorithm="bdt", source="service"))
+            assert len(ledger.runs(algorithm="bdt")) == 2
+            assert len(ledger.runs(source="service")) == 1
+            # workflow filter matches the family column too
+            assert len(ledger.runs(workflow="montage")) == 3
+            assert ledger.count() == 3
+
+    def test_runs_are_newest_first_and_limited(self):
+        with RunLedger() as ledger:
+            for i in range(5):
+                ledger.record(make_row(budget=float(i)))
+            rows = ledger.runs(limit=2)
+            assert [r.budget for r in rows] == [4.0, 3.0]
+            assert len(ledger.runs(limit=0)) == 5
+
+    def test_row_dict_roundtrip(self):
+        row = make_row()
+        again = RunRow.from_dict(row.to_dict())
+        assert again == row
+        with pytest.raises(ValueError):
+            RunRow.from_dict({"nope": 1})
+
+    def test_record_publishes_run_recorded_event(self):
+        bus = EventBus()
+        with RunLedger(bus=bus) as ledger:
+            ledger.record(make_row(trace_id="job-7"))
+        events = bus.history(types=("run.recorded",))
+        assert len(events) == 1
+        assert events[0].data["trace_id"] == "job-7"
+        assert events[0].data["run_id"] == 1
+
+
+class TestPersistence:
+    def test_file_ledger_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "runs.db")
+        with RunLedger(path) as ledger:
+            ledger.record(make_row())
+        with RunLedger(path) as again:
+            assert again.count() == 1
+            assert again.run(1).algorithm == "heft_budg"
+
+    def test_schema_version_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "runs.db")
+        with RunLedger(path) as ledger:
+            ledger._conn.execute(f"PRAGMA user_version={SCHEMA_VERSION + 7}")
+            ledger._conn.commit()
+        with pytest.raises(ValueError, match="schema version"):
+            RunLedger(path)
+
+    def test_concurrent_writers_all_land(self, tmp_path):
+        path = str(tmp_path / "runs.db")
+        n, workers = 20, 6
+        with RunLedger(path) as ledger:
+            def pump(k):
+                for i in range(n):
+                    ledger.record(make_row(budget=float(k * 1000 + i)))
+
+            threads = [threading.Thread(target=pump, args=(k,))
+                       for k in range(workers)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert ledger.count() == n * workers
+            ids = [r.run_id for r in ledger.runs(limit=0)]
+            assert len(set(ids)) == n * workers
+
+    def test_two_connections_same_file(self, tmp_path):
+        # WAL mode: a second in-process connection appends concurrently.
+        path = str(tmp_path / "runs.db")
+        with RunLedger(path) as a, RunLedger(path) as b:
+            a.record(make_row(algorithm="a"))
+            b.record(make_row(algorithm="b"))
+            assert a.count() == 2
+            assert b.count() == 2
+
+
+class TestGlobalInstall:
+    def test_default_is_null_ledger(self):
+        assert isinstance(get_ledger(), NullLedger)
+        assert get_ledger().enabled is False
+
+    def test_null_ledger_is_inert(self):
+        null = NullLedger()
+        assert null.record(make_row()) == 0
+        assert null.runs() == []
+        assert null.count() == 0
+        assert null.group_stats() == {}
+        with pytest.raises(KeyError):
+            null.run(1)
+
+    def test_use_ledger_scopes_install(self):
+        ledger = RunLedger()
+        with use_ledger(ledger):
+            assert get_ledger() is ledger
+        assert isinstance(get_ledger(), NullLedger)
+        ledger.close()
+
+    def test_set_ledger_none_restores_null(self):
+        ledger = RunLedger()
+        set_ledger(ledger)
+        try:
+            assert get_ledger() is ledger
+        finally:
+            set_ledger(None)
+        assert isinstance(get_ledger(), NullLedger)
+        ledger.close()
+
+
+class TestGroupStats:
+    def test_groups_by_family_size_algorithm(self):
+        with RunLedger() as ledger:
+            ledger.record(make_row(sim_makespan=100.0))
+            ledger.record(make_row(sim_makespan=120.0))
+            ledger.record(make_row(algorithm="bdt", sim_makespan=90.0))
+            stats = ledger.group_stats()
+        assert stats["montage/30/heft_budg"]["makespan"] == pytest.approx(110.0)
+        assert stats["montage/30/heft_budg"]["n_runs"] == 2
+        assert stats["montage/30/bdt"]["makespan"] == pytest.approx(90.0)
+
+    def test_latest_per_group_keeps_newest(self):
+        with RunLedger() as ledger:
+            ledger.record(make_row(sim_makespan=100.0))
+            ledger.record(make_row(sim_makespan=200.0))
+            stats = ledger.group_stats(latest_per_group=1)
+        assert stats["montage/30/heft_budg"]["makespan"] == pytest.approx(200.0)
+
+    def test_planned_only_rows_have_no_makespan_key(self):
+        with RunLedger() as ledger:
+            ledger.record(make_row(sim_makespan=None, sim_cost=None,
+                                   success_rate=None))
+            stats = ledger.group_stats()
+            assert "makespan" not in stats["montage/30/heft_budg"]
+            assert baseline_from_ledger(ledger) == {}
+
+
+class TestRegressionGate:
+    def test_parity_is_ok(self):
+        with RunLedger() as ledger:
+            ledger.record(make_row())
+            baseline = baseline_from_ledger(ledger)
+            report = compare_to_baseline(ledger, baseline)
+        assert report.ok
+        assert not report.regressions
+        assert "ok" in report.render()
+
+    def test_injected_20pct_regression_flags(self):
+        with RunLedger() as ledger:
+            ledger.record(make_row(sim_makespan=120.0))
+            baseline = {"montage/30/heft_budg": {
+                "makespan": 100.0, "cost": 0.38, "n_runs": 1}}
+            report = compare_to_baseline(ledger, baseline,
+                                         makespan_threshold=0.10)
+        assert not report.ok
+        assert len(report.regressions) == 1
+        assert report.regressions[0].makespan_change == pytest.approx(0.20)
+        assert "REGRESSED" in report.render()
+
+    def test_cost_regression_flags_independently(self):
+        with RunLedger() as ledger:
+            ledger.record(make_row(sim_makespan=100.0, sim_cost=0.60))
+            baseline = {"montage/30/heft_budg": {
+                "makespan": 100.0, "cost": 0.38, "n_runs": 1}}
+            report = compare_to_baseline(ledger, baseline)
+        assert not report.ok and len(report.regressions) == 1
+
+    def test_missing_group_reported_not_failed(self):
+        with RunLedger() as ledger:
+            ledger.record(make_row())
+            baseline = {
+                "montage/30/heft_budg": {"makespan": 110.0, "cost": 0.38,
+                                         "n_runs": 1},
+                "ligo/90/bdt": {"makespan": 50.0, "cost": 1.0, "n_runs": 1},
+            }
+            report = compare_to_baseline(ledger, baseline)
+        assert report.missing_groups == ["ligo/90/bdt"]
+        assert report.ok  # the matched group is fine
+        assert "missing" in report.render()
+
+    def test_empty_comparison_is_not_ok(self):
+        with RunLedger() as ledger:
+            report = compare_to_baseline(
+                ledger, {"g/1/x": {"makespan": 1.0, "n_runs": 1}}
+            )
+        assert not report.ok
+        assert report.missing_groups == ["g/1/x"]
+
+    def test_extract_baseline_shapes(self):
+        groups = {"montage/30/heft_budg": {"makespan": 1.0}}
+        assert extract_baseline({"ledger_baseline": groups}) == groups
+        assert extract_baseline(groups) == groups
+        with pytest.raises(ValueError):
+            extract_baseline({"benchmarks": {"throughput": {"mean_s": 1.0}}})
+        with pytest.raises(ValueError):
+            extract_baseline({})
+
+    def test_baseline_json_roundtrip(self):
+        with RunLedger() as ledger:
+            ledger.record(make_row())
+            baseline = baseline_from_ledger(ledger)
+            doc = json.loads(json.dumps({"ledger_baseline": baseline}))
+            report = compare_to_baseline(ledger, extract_baseline(doc))
+        assert report.ok

@@ -1,0 +1,174 @@
+"""SSE endpoints: full job lifecycle over a live gateway, clean disconnect."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.events import EventBus
+from repro.obs.ledger import RunLedger
+from repro.service import SchedulingService
+from repro.service.http import start_gateway
+
+
+def request_dict(n_reps=2, amount=2.0):
+    return {
+        "workflow": {"family": "montage", "n_tasks": 15, "rng": 1,
+                     "sigma_ratio": 0.5},
+        "algorithm": "heft_budg",
+        "budget": {"amount": amount},
+        "evaluation": {"n_reps": n_reps},
+    }
+
+
+@pytest.fixture(scope="module")
+def gateway():
+    bus = EventBus()
+    ledger = RunLedger(bus=bus)
+    service = SchedulingService(
+        max_workers=2, cache_size=0, ledger=ledger, events=bus
+    )
+    gw = start_gateway(service)
+    yield gw
+    gw.shutdown()
+    service.close()
+    ledger.close()
+
+
+def call(gateway, method, path, payload=None):
+    data = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(
+        gateway.url + path, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.load(resp)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc)
+
+
+def read_sse(gateway, path, timeout=30):
+    """Consume an SSE stream to EOF; returns (content_type, frames).
+
+    Frames are (event, payload_dict) pairs; comment lines (keep-alives)
+    are returned separately as strings.
+    """
+    req = urllib.request.Request(gateway.url + path)
+    frames, comments = [], []
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        content_type = resp.headers.get("Content-Type", "")
+        event, data = None, None
+        for raw in resp:
+            line = raw.decode().rstrip("\n")
+            if line.startswith(":"):
+                comments.append(line)
+            elif line.startswith("event: "):
+                event = line[len("event: "):]
+            elif line.startswith("data: "):
+                data = json.loads(line[len("data: "):])
+            elif not line and event is not None:
+                frames.append((event, data))
+                event, data = None, None
+    return content_type, frames, comments
+
+
+def submit_and_wait(gateway, payload):
+    status, body = call(gateway, "POST", "/v1/jobs", payload)
+    assert status == 202
+    (job_id,) = body["job_ids"]
+    gateway.service.wait_all(timeout=60)
+    status, body = call(gateway, "GET", f"/v1/jobs/{job_id}")
+    assert status == 200 and body["state"] == "done"
+    return job_id
+
+
+class TestJobEventStream:
+    def test_full_lifecycle_frames(self, gateway):
+        job_id = submit_and_wait(gateway, request_dict())
+        content_type, frames, _ = read_sse(
+            gateway, f"/v1/jobs/{job_id}/events?timeout=10"
+        )
+        assert content_type.startswith("text/event-stream")
+        kinds = [event for event, _ in frames]
+        # replayed from history: queued -> started -> ... -> finished
+        assert kinds[0] == "job.queued"
+        assert "job.started" in kinds
+        assert "job.progress" in kinds
+        assert "run.recorded" in kinds
+        assert kinds[-1] == "job.finished"
+        assert kinds.index("job.queued") < kinds.index("job.started")
+        assert kinds.index("job.started") < kinds.index("job.finished")
+        finished = dict(frames)["job.finished"]
+        assert finished["data"]["state"] == "done"
+        # seq strictly increases: replay and live merged without dupes
+        seqs = [payload["seq"] for _, payload in frames]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+    def test_stream_closes_connection_cleanly(self, gateway):
+        # the job stream ends at job.finished; the server must close the
+        # connection (SSE over HTTP/1.0-style framing, no Content-Length)
+        job_id = submit_and_wait(gateway, request_dict())
+        req = urllib.request.Request(
+            gateway.url + f"/v1/jobs/{job_id}/events?timeout=10"
+        )
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            assert resp.headers.get("Connection", "").lower() == "close"
+            body = resp.read()  # EOF arrives without hanging
+        assert b"job.finished" in body
+
+    def test_unknown_job_is_404(self, gateway):
+        status, body = call(gateway, "GET", "/v1/jobs/nope/events")
+        assert status == 404
+        assert "error" in body
+
+    def test_bad_timeout_is_400(self, gateway):
+        job_id = submit_and_wait(gateway, request_dict())
+        status, body = call(
+            gateway, "GET", f"/v1/jobs/{job_id}/events?timeout=banana"
+        )
+        assert status == 400
+
+
+class TestBusEventStream:
+    def test_replay_and_keepalive(self, gateway):
+        submit_and_wait(gateway, request_dict())
+        _, frames, comments = read_sse(
+            gateway, "/v1/events?timeout=1&replay=5"
+        )
+        assert len(frames) <= 5 and frames  # bounded replay
+        assert any(c.startswith(": timeout") for c in comments)
+
+    def test_type_filter(self, gateway):
+        submit_and_wait(gateway, request_dict())
+        _, frames, _ = read_sse(
+            gateway, "/v1/events?timeout=1&types=run.recorded&replay=50"
+        )
+        assert frames
+        assert all(event == "run.recorded" for event, _ in frames)
+
+
+class TestRunsEndpoint:
+    def test_runs_archived_with_job_trace_id(self, gateway):
+        job_id = submit_and_wait(gateway, request_dict(amount=3.0))
+        status, body = call(gateway, "GET", "/v1/runs?limit=5")
+        assert status == 200
+        assert body["enabled"] is True
+        assert body["runs"]
+        newest = body["runs"][0]
+        assert newest["trace_id"] == job_id
+        assert newest["source"] == "service"
+        assert newest["algorithm"] == "heft_budg"
+        status, one = call(gateway, "GET", f"/v1/runs/{newest['run_id']}")
+        assert status == 200 and one["run_id"] == newest["run_id"]
+
+    def test_unknown_run_is_404(self, gateway):
+        status, _ = call(gateway, "GET", "/v1/runs/99999")
+        assert status == 404
+
+    def test_filter_by_algorithm(self, gateway):
+        submit_and_wait(gateway, request_dict())
+        status, body = call(gateway, "GET", "/v1/runs?algorithm=bdt")
+        assert status == 200
+        assert body["runs"] == []
