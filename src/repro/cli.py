@@ -9,6 +9,8 @@ Examples::
     repro-exp fig2 --csv out.csv                # raw records to CSV
     repro-exp ledger sweep --db runs.db --smoke # archive a sweep
     repro-exp ledger regress --db runs.db --baseline BENCH_PR3.json
+    repro-exp faults --rates 0 0.1 --ledger faults.db  # resilience sweep
+    repro-exp ledger prune --db runs.db --max-rows 10000
 """
 
 from __future__ import annotations
@@ -110,6 +112,14 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--ledger", type=str, default=None,
                      help="archive every fresh schedule into this SQLite "
                      "run ledger (served at /v1/runs)")
+    srv.add_argument("--max-queue-depth", type=int, default=None,
+                     help="pending-job backlog bound; beyond it POST "
+                     "/v1/jobs returns 429 (default: unbounded)")
+    srv.add_argument("--job-timeout", type=float, default=None,
+                     help="per-job wall-clock timeout in seconds")
+    srv.add_argument("--max-retries", type=int, default=0,
+                     help="transient-failure retries per async job "
+                     "(exponential backoff with jitter)")
     _add_logging_flags(srv)
 
     sch = sub.add_parser(
@@ -164,6 +174,32 @@ def build_parser() -> argparse.ArgumentParser:
                      "(default: <out stem>.decisions.jsonl)")
     trc.add_argument("--gantt", action="store_true",
                      help="also print the ASCII Gantt of the simulated run")
+
+    flt = sub.add_parser(
+        "faults",
+        help="resilience sweep: crash rates x recovery policies, success "
+        "and budget-safety per cell",
+    )
+    flt.add_argument("--families", nargs="+", default=["montage"],
+                     help="workflow generator families")
+    flt.add_argument("--tasks", type=int, default=30, help="workflow size")
+    flt.add_argument("--algorithms", nargs="+", default=["heft_budg"])
+    flt.add_argument("--policies", nargs="+", default=["none", "remap"],
+                     help="recovery policies ('none' measures the damage)")
+    flt.add_argument("--rates", type=float, nargs="+", default=[0.0, 0.1],
+                     help="VM crash rates per VM-hour")
+    flt.add_argument("--runs", type=int, default=5,
+                     help="fault-plan draws per cell")
+    flt.add_argument("--seed", type=int, default=1)
+    flt.add_argument("--position", type=float, default=0.5,
+                     help="budget position on [B_min, B_high] (0..1)")
+    flt.add_argument("--sigma", type=float, default=0.5,
+                     help="sigma/mean ratio")
+    flt.add_argument("--max-attempts", type=int, default=5,
+                     help="executions per run (recoveries + 1)")
+    flt.add_argument("--ledger", type=str, default=None,
+                     help="archive every run into this SQLite run ledger "
+                     "(source='faults')")
 
     led = sub.add_parser(
         "ledger",
@@ -239,6 +275,18 @@ def build_parser() -> argparse.ArgumentParser:
     l_reg.add_argument("--cost-threshold", type=float, default=0.10,
                        help="fractional cost growth tolerated "
                        "(default: 0.10)")
+    l_reg.add_argument("--success-threshold", type=float, default=0.05,
+                       help="absolute success-rate drop tolerated "
+                       "(default: 0.05)")
+
+    l_prune = lsub.add_parser(
+        "prune", help="delete old ledger rows to keep the database bounded"
+    )
+    _db_flag(l_prune)
+    l_prune.add_argument("--max-rows", type=int, default=None,
+                         help="keep only the newest N rows")
+    l_prune.add_argument("--max-age-days", type=float, default=None,
+                         help="drop rows older than this many days")
     return parser
 
 
@@ -380,6 +428,37 @@ def _run_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_faults(args: argparse.Namespace) -> int:
+    """The ``faults`` subcommand: run and render a resilience sweep."""
+    from .experiments.resilience import render_resilience, resilience_sweep
+
+    kwargs = dict(
+        families=tuple(args.families),
+        n_tasks=args.tasks,
+        algorithms=tuple(args.algorithms),
+        policies=tuple(args.policies),
+        crash_rates=tuple(args.rates),
+        n_runs=args.runs,
+        budget_position=args.position,
+        sigma_ratio=args.sigma,
+        seed=args.seed,
+        max_attempts=args.max_attempts,
+    )
+    if args.ledger:
+        from .obs.ledger import RunLedger, use_ledger
+
+        with RunLedger(args.ledger) as ledger:
+            with use_ledger(ledger):
+                study = resilience_sweep(**kwargs)
+            print(render_resilience(study))
+            print(f"archived {ledger.count()} run(s) to {args.ledger}")
+    else:
+        study = resilience_sweep(**kwargs)
+        print(render_resilience(study))
+    over = sum(p.n_over_budget for p in study.points)
+    return 1 if over else 0
+
+
 def _run_ledger(args: argparse.Namespace) -> int:
     """The ``ledger`` subcommand group: archive, query, gate."""
     import json
@@ -484,6 +563,18 @@ def _run_ledger(args: argparse.Namespace) -> int:
                 return 2
             return 0
 
+        if cmd == "prune":
+            if args.max_rows is None and args.max_age_days is None:
+                print("error: pass --max-rows and/or --max-age-days",
+                      file=sys.stderr)
+                return 2
+            deleted = ledger.prune(
+                max_rows=args.max_rows, max_age_days=args.max_age_days
+            )
+            print(f"pruned {deleted} run(s); {ledger.count()} left in "
+                  f"{args.db}")
+            return 0
+
         if cmd == "regress":
             try:
                 with open(args.baseline) as fh:
@@ -496,6 +587,7 @@ def _run_ledger(args: argparse.Namespace) -> int:
                 ledger, baseline,
                 makespan_threshold=args.threshold,
                 cost_threshold=args.cost_threshold,
+                success_threshold=args.success_threshold,
             )
             print(report.render())
             if not report.deltas:
@@ -568,6 +660,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             host=args.host, port=args.port, max_workers=args.workers,
             cache_size=args.cache_size, cache_ttl=args.cache_ttl,
             ledger_path=args.ledger,
+            max_queue_depth=args.max_queue_depth,
+            job_timeout=args.job_timeout, max_retries=args.max_retries,
             log_level=args.log_level, log_json=args.log_json,
         )
         return 0
@@ -580,6 +674,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "trace":
         return _run_trace(args)
+
+    if args.command == "faults":
+        return _run_faults(args)
 
     if args.command == "ledger":
         return _run_ledger(args)

@@ -17,11 +17,15 @@ __all__ = [
     "PlatformError",
     "SchedulingError",
     "InfeasibleBudgetError",
+    "BudgetExhaustedError",
     "ScheduleValidationError",
     "SimulationError",
     "DaxParseError",
     "ServiceError",
     "JobNotFoundError",
+    "JobTimeoutError",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
 ]
 
 
@@ -59,6 +63,28 @@ class InfeasibleBudgetError(SchedulingError):
     """
 
 
+class BudgetExhaustedError(SchedulingError):
+    """A recovery cannot be funded from the remaining budget.
+
+    Raised by the fault-recovery loop when re-executing the failed tasks —
+    even on the cheapest feasible hosts — would push the projected total
+    spend (committed rentals + lost VM-hours + the recovery itself) past
+    the reserved budget. The run then ends with an explicit
+    ``budget_exhausted`` outcome instead of silently overrunning.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        budget: float = 0.0,
+        projected_cost: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.budget = budget
+        self.projected_cost = projected_cost
+
+
 class ScheduleValidationError(ReproError):
     """A schedule violates a structural invariant (missing task, bad VM...)."""
 
@@ -77,3 +103,27 @@ class ServiceError(ReproError):
 
 class JobNotFoundError(ServiceError):
     """A job id does not exist in the service's job store."""
+
+
+class JobTimeoutError(ServiceError):
+    """An async job exceeded the service's per-job timeout."""
+
+
+class ServiceClosedError(ServiceError):
+    """The service is draining/closed and no longer accepts work (HTTP 503)."""
+
+    def __init__(self, message: str, *, retry_after_s: float = 5.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceOverloadedError(ServiceError):
+    """The async job queue is full — back off and retry (HTTP 429).
+
+    ``retry_after_s`` is the service's backpressure hint, surfaced as the
+    ``Retry-After`` response header by the HTTP gateway.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s

@@ -27,6 +27,12 @@ from .budget_frontier import (
     frontier_study,
     render_frontier,
 )
+from .resilience import (
+    ResiliencePoint,
+    ResilienceStudy,
+    render_resilience,
+    resilience_sweep,
+)
 from .risk import Distribution, RiskAssessment, assess
 from .runner import BASELINE_ALGORITHMS, make_instances, run_point, run_sweep
 from .sigma_study import SigmaPoint, SigmaStudy, render_sigma_study, sigma_study
@@ -50,6 +56,8 @@ __all__ = [
     "FIGURE_ALGORITHMS",
     "FigureData",
     "RiskAssessment",
+    "ResiliencePoint",
+    "ResilienceStudy",
     "RunRecord",
     "SeriesPoint",
     "SigmaPoint",
@@ -78,7 +86,9 @@ __all__ = [
     "render_cpu_table",
     "render_figure",
     "render_frontier",
+    "render_resilience",
     "render_sigma_study",
+    "resilience_sweep",
     "paired_comparison",
     "run_point",
     "run_sweep",

@@ -1,0 +1,227 @@
+"""Resilience study: success under VM crashes, with and without recovery.
+
+The paper evaluates budget validity on a *reliable* platform; this study
+asks the robustness question its cost model invites: **when VMs crash
+mid-run, how often does a budget-aware schedule still finish, and does
+recovering ever break the budget guarantee?**
+
+For each (family, algorithm) pair one schedule is planned, then executed
+under seeded :class:`~repro.faults.plan.FaultPlan` draws across a grid of
+crash rates and recovery policies (``none`` measures the damage, the
+others repair it via :func:`~repro.faults.runner.run_with_faults`). A run
+*succeeds* when every task eventually executed **and** the full spend —
+including rentals sunk into dead VMs — stayed within the reserved budget.
+
+Every run lands in the active ledger (``source="faults"``, algorithm
+labelled ``heft_budg+remap@0.1``) so ``repro-exp ledger regress
+--success-threshold`` can gate resilience in CI exactly like makespan and
+cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..experiments.budgets import high_budget, minimal_budget
+from ..faults.plan import FaultPlan
+from ..faults.runner import OUTCOME_BUDGET_EXHAUSTED, run_with_faults
+from ..obs.ledger import RunRow, get_ledger
+from ..platform.cloud import PAPER_PLATFORM, CloudPlatform
+from ..rng import RngLike, spawn
+from ..scheduling.registry import make_scheduler
+from ..workflow.generators import generate
+
+__all__ = ["ResiliencePoint", "ResilienceStudy", "render_resilience",
+           "resilience_sweep"]
+
+
+@dataclass(frozen=True)
+class ResiliencePoint:
+    """Aggregate outcome of one (family, algorithm, policy, rate) cell."""
+
+    family: str
+    n_tasks: int
+    algorithm: str
+    policy: str
+    crash_rate: float
+    budget: float
+    n_runs: int
+    n_success: int
+    n_budget_exhausted: int
+    mean_makespan: float
+    mean_cost: float
+    mean_faults: float
+    #: Runs that *completed* while spending over the reserved budget — a
+    #: breach of the recovery budget gate's discipline (refused runs'
+    #: sunk spend does not count; see :func:`resilience_sweep`).
+    n_over_budget: int
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of runs where every task executed within budget."""
+        return self.n_success / self.n_runs if self.n_runs else 0.0
+
+    @property
+    def label(self) -> str:
+        """Ledger algorithm label, e.g. ``heft_budg+remap@0.1``."""
+        return f"{self.algorithm}+{self.policy}@{self.crash_rate:g}"
+
+
+@dataclass
+class ResilienceStudy:
+    """All points of one :func:`resilience_sweep` invocation."""
+
+    points: List[ResiliencePoint] = field(default_factory=list)
+
+    def point(
+        self, algorithm: str, policy: str, crash_rate: float
+    ) -> ResiliencePoint:
+        """The first point matching the cell; raises ``KeyError`` if absent."""
+        for p in self.points:
+            if (p.algorithm == algorithm and p.policy == policy
+                    and abs(p.crash_rate - crash_rate) < 1e-12):
+                return p
+        raise KeyError(f"no point {algorithm}+{policy}@{crash_rate:g}")
+
+
+def resilience_sweep(
+    *,
+    families: Sequence[str] = ("montage",),
+    n_tasks: int = 30,
+    algorithms: Sequence[str] = ("heft_budg",),
+    policies: Sequence[str] = ("none", "remap"),
+    crash_rates: Sequence[float] = (0.0, 0.1),
+    n_runs: int = 5,
+    budget_position: float = 0.5,
+    sigma_ratio: float = 0.5,
+    seed: int = 1,
+    horizon_factor: float = 4.0,
+    max_attempts: int = 5,
+    platform: CloudPlatform = PAPER_PLATFORM,
+    rng: RngLike = None,
+) -> ResilienceStudy:
+    """Run the crash-rate × policy grid and archive every run.
+
+    ``crash_rates`` are per VM-hour; ``budget_position`` places the
+    reserved budget on ``[B_min, B_high]``; ``horizon_factor`` scales the
+    planned makespan into the window crashes may land in. ``rng``
+    defaults to ``seed``, and every (cell, run) draws its own derived
+    stream, so the sweep is deterministic end to end.
+    """
+    if n_runs < 1:
+        raise ValueError(f"n_runs must be >= 1, got {n_runs}")
+    ledger = get_ledger()
+    study = ResilienceStudy()
+    base_rng = rng if rng is not None else seed
+    cells = [
+        (family, algo, policy, rate)
+        for family in families
+        for algo in algorithms
+        for policy in policies
+        for rate in crash_rates
+    ]
+    # One stream per (cell, run): plans and weights never alias across cells.
+    streams = iter(spawn(base_rng, len(cells) * n_runs))
+
+    planned: Dict[Tuple[str, str], Tuple[object, object, float, float]] = {}
+    for family, algo, policy, rate in cells:
+        key = (family, algo)
+        if key not in planned:
+            wf = generate(family, n_tasks, rng=seed, sigma_ratio=sigma_ratio)
+            b_min = minimal_budget(wf, platform)
+            b_high = high_budget(wf, platform)
+            budget = b_min + budget_position * (b_high - b_min)
+            result = make_scheduler(algo).schedule(wf, platform, budget)
+            planned[key] = (wf, result.schedule, budget,
+                            result.planned_makespan)
+        wf, schedule, budget, planned_makespan = planned[key]
+
+        successes = exhausted = over = 0
+        makespans: List[float] = []
+        costs: List[float] = []
+        faults: List[int] = []
+        for _ in range(n_runs):
+            stream = next(streams)
+            plan = FaultPlan.sample(
+                schedule, rng=stream,
+                horizon=planned_makespan * horizon_factor,
+                crash_rate_per_hour=rate,
+            )
+            out = run_with_faults(
+                wf, platform, budget, plan,
+                schedule=schedule, policy=None if policy == "none" else policy,
+                rng=stream, max_attempts=max_attempts,
+            )
+            ok = out.success and out.within_budget()
+            successes += int(ok)
+            exhausted += int(out.outcome == OUTCOME_BUDGET_EXHAUSTED)
+            # Completed runs that overran the budget: the validity breach
+            # the budget gate exists to prevent. Refused recoveries
+            # (budget_exhausted) may show sunk spend above budget — that
+            # money was burned by the crash itself, not by a decision.
+            over += int(out.success and not out.within_budget())
+            makespans.append(out.makespan)
+            costs.append(out.total_cost)
+            faults.append(out.n_faults)
+            if ledger.enabled:
+                ledger.record(RunRow(
+                    source="faults",
+                    workflow=f"{family}-{n_tasks}",
+                    family=family,
+                    n_tasks=n_tasks,
+                    algorithm=f"{algo}+{policy}@{rate:g}",
+                    budget=budget,
+                    sigma_ratio=sigma_ratio,
+                    planned_makespan=planned_makespan,
+                    sim_makespan=out.makespan,
+                    sim_cost=out.total_cost,
+                    success_rate=1.0 if ok else 0.0,
+                    n_reps=1,
+                    n_vms=out.result.n_vms,
+                    outcome=out.outcome,
+                    n_faults=out.n_faults,
+                    extra={
+                        "policy": policy,
+                        "crash_rate": rate,
+                        "n_recoveries": out.n_recoveries,
+                        "lost_cost": out.lost_cost,
+                    },
+                ))
+        study.points.append(ResiliencePoint(
+            family=family,
+            n_tasks=n_tasks,
+            algorithm=algo,
+            policy=policy,
+            crash_rate=rate,
+            budget=budget,
+            n_runs=n_runs,
+            n_success=successes,
+            n_budget_exhausted=exhausted,
+            mean_makespan=sum(makespans) / len(makespans),
+            mean_cost=sum(costs) / len(costs),
+            mean_faults=sum(faults) / len(faults),
+            n_over_budget=over,
+        ))
+    return study
+
+
+def render_resilience(study: ResilienceStudy) -> str:
+    """Human-readable table of a resilience study."""
+    lines = [
+        f"{'cell':<36s} {'succ':>6s} {'b_exh':>5s} {'over':>4s} "
+        f"{'makespan':>9s} {'cost':>8s} {'faults':>6s}"
+    ]
+    for p in study.points:
+        cell = f"{p.family}/{p.n_tasks} {p.label}"
+        lines.append(
+            f"{cell:<36.36s} {p.success_rate:>5.0%} "
+            f"{p.n_budget_exhausted:>5d} {p.n_over_budget:>4d} "
+            f"{p.mean_makespan:>9.1f} {p.mean_cost:>8.4f} "
+            f"{p.mean_faults:>6.1f}"
+        )
+    lines.append(
+        f"{len(study.points)} cell(s); 'over' counts completed runs whose "
+        f"spend (incl. lost VMs) exceeded the budget"
+    )
+    return "\n".join(lines)

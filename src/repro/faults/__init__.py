@@ -1,0 +1,67 @@
+"""Fault injection and budget-aware recovery (ROADMAP robustness item).
+
+Three pieces:
+
+* :mod:`repro.faults.plan` — declarative, seedable :class:`FaultPlan`s the
+  discrete-event executor consumes (VM crashes, boot failures, transient
+  task failures, stragglers);
+* :mod:`repro.faults.recovery` — policies that rewrite a crashed schedule
+  into a recovered one while keeping the paper's non-preemptive ``ListT``
+  invariant and re-billing lost VM windows;
+* :mod:`repro.faults.runner` — the execute → detect → recover loop with a
+  budget projection that refuses unfundable recoveries
+  (:class:`~repro.errors.BudgetExhaustedError`).
+
+``recovery`` and ``runner`` import the scheduling layer, which itself pulls
+in the simulator — and the simulator imports :mod:`repro.faults.plan`. To
+keep that triangle acyclic, this package eagerly exposes only the plan
+types; everything else is loaded lazily on first attribute access (PEP 562).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .plan import FaultEvent, FaultPlan
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "RecoveryOutcome",
+    "RecoveryPolicy",
+    "RetrySameCategory",
+    "RemapRecovery",
+    "RECOVERY_POLICIES",
+    "make_policy",
+    "crashed_vms",
+    "FaultRunResult",
+    "run_with_faults",
+    "OUTCOME_SUCCESS",
+    "OUTCOME_FAILED",
+    "OUTCOME_BUDGET_EXHAUSTED",
+]
+
+_RECOVERY_NAMES = frozenset(
+    {"RecoveryOutcome", "RecoveryPolicy", "RetrySameCategory", "RemapRecovery",
+     "RECOVERY_POLICIES", "make_policy", "crashed_vms"}
+)
+_RUNNER_NAMES = frozenset(
+    {"FaultRunResult", "run_with_faults", "OUTCOME_SUCCESS", "OUTCOME_FAILED",
+     "OUTCOME_BUDGET_EXHAUSTED"}
+)
+
+
+def __getattr__(name: str) -> Any:
+    if name in _RECOVERY_NAMES:
+        from . import recovery
+
+        return getattr(recovery, name)
+    if name in _RUNNER_NAMES:
+        from . import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(__all__))

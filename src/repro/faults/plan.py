@@ -1,0 +1,309 @@
+"""Deterministic, seedable fault plans for the discrete-event simulator.
+
+A :class:`FaultPlan` is a *declarative* description of everything that goes
+wrong during one execution: VM crashes at absolute instants, boot failures
+(extra uncharged boot rounds — the cold-start variability of Sarkar et al.),
+transient task failures (the attempt is re-run from scratch on the same VM,
+wasting a fraction of the work), and stragglers (weight inflation, the
+paper's "unlikely events" of §VI). Plans are plain data: they serialize to
+JSON, compare by value, and — crucially — replay **deterministically**:
+executing the same schedule under the same plan and weights twice yields
+byte-identical traces. An empty plan is falsy and the executor treats it
+exactly like no plan at all, so the zero-fault path is a strict no-op.
+
+``retires`` is the recovery loop's billing bookkeeping: when a crash has
+*fired* and the failed work was moved elsewhere, the crash entry is
+rewritten into a retire entry so that replaying the recovered schedule
+still bills the dead VM's rental window up to the crash instant (the
+paper's cost model charges for started seconds whether or not the work
+survived). A retire never kills tasks — it only floors ``end_at``.
+
+:func:`FaultPlan.sample` draws a plan from failure *rates* (crash rate per
+VM-hour, per-task transient/straggler probabilities) with a seeded
+generator, which is what the resilience sweep uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..errors import SimulationError
+from ..rng import RngLike, as_generator
+
+__all__ = ["FaultEvent", "FaultPlan"]
+
+
+@dataclass
+class FaultEvent:
+    """One fault that actually fired during an execution.
+
+    ``kind`` is one of ``vm.crash``, ``vm.boot_failure``, ``task.retry``,
+    ``task.straggler``; ``info`` carries kind-specific detail (e.g. the
+    tasks a crash killed, the wasted seconds of a transient retry).
+    """
+
+    ts: float
+    kind: str
+    vm_id: Optional[int] = None
+    task: Optional[str] = None
+    info: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (event-bus payloads, golden traces)."""
+        return {
+            "ts": self.ts,
+            "kind": self.kind,
+            "vm_id": self.vm_id,
+            "task": self.task,
+            "info": dict(self.info),
+        }
+
+
+def _as_int_keys(mapping: Mapping[Any, Any]) -> Dict[int, Any]:
+    # JSON round-trips dict keys through strings; normalize back to int.
+    return {int(k): v for k, v in mapping.items()}
+
+
+class FaultPlan:
+    """Value object holding every injected fault for one execution.
+
+    Parameters
+    ----------
+    crashes:
+        ``vm_id -> absolute crash time``. A crash kills the VM if it is
+        provisioned and still has unfinished work at that instant: active
+        downloads are aborted, in-flight computes are lost, queued tasks
+        fail. Completed work (and uploads already streaming DC-side) is
+        durable. The VM is billed from ready to the crash.
+    retires:
+        ``vm_id -> billing floor time``; extends the VM's billed window to
+        at least that instant without killing anything (see module doc).
+    boot_failures:
+        ``vm_id -> n`` extra failed boot rounds; the VM becomes ready
+        ``n × t_boot`` seconds late (boots are uncharged, so the fault
+        costs time, not direct money).
+    task_retries:
+        ``tid -> (f1, f2, ...)`` transient failures: attempt *i* dies
+        after fraction ``f_i`` of the work, then restarts; total compute
+        time scales by ``1 + Σ f_i``.
+    stragglers:
+        ``tid -> factor >= 1`` weight inflation.
+    """
+
+    __slots__ = ("crashes", "retires", "boot_failures", "task_retries",
+                 "stragglers")
+
+    def __init__(
+        self,
+        *,
+        crashes: Optional[Mapping[int, float]] = None,
+        retires: Optional[Mapping[int, float]] = None,
+        boot_failures: Optional[Mapping[int, int]] = None,
+        task_retries: Optional[Mapping[str, Tuple[float, ...]]] = None,
+        stragglers: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self.crashes: Dict[int, float] = _as_int_keys(crashes or {})
+        self.retires: Dict[int, float] = _as_int_keys(retires or {})
+        self.boot_failures: Dict[int, int] = _as_int_keys(boot_failures or {})
+        self.task_retries: Dict[str, Tuple[float, ...]] = {
+            str(t): tuple(float(f) for f in fr)
+            for t, fr in (task_retries or {}).items()
+        }
+        self.stragglers: Dict[str, float] = {
+            str(t): float(f) for t, f in (stragglers or {}).items()
+        }
+        for vm_id, t in self.crashes.items():
+            if t < 0.0:
+                raise SimulationError(f"crash time for VM {vm_id} is negative: {t}")
+        for vm_id, t in self.retires.items():
+            if t < 0.0:
+                raise SimulationError(f"retire time for VM {vm_id} is negative: {t}")
+        for vm_id, n in self.boot_failures.items():
+            if int(n) < 1:
+                raise SimulationError(
+                    f"boot failure count for VM {vm_id} must be >= 1, got {n}"
+                )
+            self.boot_failures[vm_id] = int(n)
+        for tid, fractions in self.task_retries.items():
+            if not fractions or any(f <= 0.0 for f in fractions):
+                raise SimulationError(
+                    f"retry fractions for {tid!r} must be positive, got {fractions}"
+                )
+        for tid, factor in self.stragglers.items():
+            if factor < 1.0:
+                raise SimulationError(
+                    f"straggler factor for {tid!r} must be >= 1, got {factor}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return not (self.crashes or self.retires or self.boot_failures
+                    or self.task_retries or self.stragglers)
+
+    def __bool__(self) -> bool:
+        return not self.is_empty
+
+    @property
+    def size(self) -> int:
+        """Number of individual fault entries (guard-limit sizing)."""
+        return (len(self.crashes) + len(self.retires)
+                + len(self.boot_failures) + len(self.task_retries)
+                + len(self.stragglers))
+
+    # ------------------------------------------------------------------
+    def weight_factor(self, tid: str) -> float:
+        """Total compute-time inflation of a task (straggler × retries)."""
+        factor = self.stragglers.get(tid, 1.0)
+        fractions = self.task_retries.get(tid)
+        if fractions:
+            factor *= 1.0 + sum(fractions)
+        return factor
+
+    def extra_boots(self, vm_id: int) -> int:
+        """Failed boot rounds before the VM comes up (0 = boots cleanly)."""
+        return self.boot_failures.get(vm_id, 0)
+
+    # ------------------------------------------------------------------
+    def with_crashes_retired(
+        self,
+        fired: Mapping[int, float],
+        *,
+        drop: Tuple[int, ...] = (),
+    ) -> "FaultPlan":
+        """Rewrite fired crashes into billing retires (recovery bookkeeping).
+
+        ``fired`` maps crashed VM ids to their crash instants; each leaves
+        ``crashes`` and joins ``retires`` so replays bill the lost window.
+        VMs in ``drop`` (emptied by recovery — they host no surviving task)
+        are removed entirely; their cost is accounted by the recovery loop.
+        """
+        crashes = {v: t for v, t in self.crashes.items() if v not in fired}
+        retires = dict(self.retires)
+        dropped = set(drop)
+        for vm_id, at in fired.items():
+            if vm_id not in dropped:
+                retires[vm_id] = float(at)
+        boot_failures = {
+            v: n for v, n in self.boot_failures.items() if v not in dropped
+        }
+        return FaultPlan(
+            crashes={v: t for v, t in crashes.items() if v not in dropped},
+            retires={v: t for v, t in retires.items() if v not in dropped},
+            boot_failures=boot_failures,
+            task_retries=self.task_retries,
+            stragglers=self.stragglers,
+        )
+
+    def billing_only(self) -> "FaultPlan":
+        """The plan a budget monitor may assume: past losses, no future ones.
+
+        Keeps the retires (already-paid windows) and the per-task
+        inflations of work already scheduled, but strips the crashes the
+        monitor cannot foresee. Used for recovery cost projection.
+        """
+        return FaultPlan(
+            retires=self.retires,
+            boot_failures=self.boot_failures,
+            task_retries=self.task_retries,
+            stragglers=self.stragglers,
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form; inverse of :meth:`from_dict`."""
+        return {
+            "crashes": {str(k): v for k, v in sorted(self.crashes.items())},
+            "retires": {str(k): v for k, v in sorted(self.retires.items())},
+            "boot_failures": {
+                str(k): v for k, v in sorted(self.boot_failures.items())
+            },
+            "task_retries": {
+                k: list(v) for k, v in sorted(self.task_retries.items())
+            },
+            "stragglers": dict(sorted(self.stragglers.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        known = {"crashes", "retires", "boot_failures", "task_retries",
+                 "stragglers"}
+        unknown = set(data) - known
+        if unknown:
+            raise SimulationError(f"unknown fault plan fields: {sorted(unknown)}")
+        return cls(
+            crashes=data.get("crashes"),
+            retires=data.get("retires"),
+            boot_failures=data.get("boot_failures"),
+            task_retries={
+                t: tuple(fr) for t, fr in (data.get("task_retries") or {}).items()
+            },
+            stragglers=data.get("stragglers"),
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FaultPlan(crashes={len(self.crashes)}, retires={len(self.retires)}, "
+            f"boot_failures={len(self.boot_failures)}, "
+            f"task_retries={len(self.task_retries)}, "
+            f"stragglers={len(self.stragglers)})"
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def sample(
+        cls,
+        schedule: Any,
+        *,
+        rng: RngLike = None,
+        horizon: float,
+        crash_rate_per_hour: float = 0.0,
+        boot_failure_prob: float = 0.0,
+        task_retry_prob: float = 0.0,
+        retry_fraction: float = 0.5,
+        straggler_prob: float = 0.0,
+        straggler_factor: float = 2.0,
+    ) -> "FaultPlan":
+        """Draw a plan for ``schedule`` from failure rates (seeded).
+
+        Per VM, the crash instant is exponential with rate
+        ``crash_rate_per_hour`` (per VM-hour); crashes landing past
+        ``horizon`` (typically a generous multiple of the planned
+        makespan) are dropped — the VM outlives the run. Boot failures,
+        transient retries, and stragglers are Bernoulli per VM / task.
+        Iteration order is fixed (sorted VM ids, then dispatch order), so
+        a given seed always yields the same plan.
+        """
+        if horizon <= 0.0:
+            raise SimulationError(f"sample horizon must be > 0, got {horizon}")
+        gen = as_generator(rng)
+        crashes: Dict[int, float] = {}
+        boot_failures: Dict[int, int] = {}
+        for vm_id in sorted(schedule.categories):
+            if crash_rate_per_hour > 0.0:
+                at = float(gen.exponential(3600.0 / crash_rate_per_hour))
+                if at < horizon:
+                    crashes[vm_id] = at
+            if boot_failure_prob > 0.0 and gen.random() < boot_failure_prob:
+                boot_failures[vm_id] = 1
+        task_retries: Dict[str, Tuple[float, ...]] = {}
+        stragglers: Dict[str, float] = {}
+        for tid in schedule.order:
+            if task_retry_prob > 0.0 and gen.random() < task_retry_prob:
+                task_retries[tid] = (retry_fraction,)
+            if straggler_prob > 0.0 and gen.random() < straggler_prob:
+                stragglers[tid] = straggler_factor
+        return cls(
+            crashes=crashes,
+            boot_failures=boot_failures,
+            task_retries=task_retries,
+            stragglers=stragglers,
+        )

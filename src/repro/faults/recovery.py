@@ -1,0 +1,353 @@
+"""Recovery policies: rewrite a crashed schedule into a recovered one.
+
+Recovery is *checkpoint-free* (§III-A tasks are black boxes): work lost to a
+VM crash is re-executed from scratch. A policy receives the crashed
+execution and returns a :class:`RecoveryOutcome` holding
+
+* a new :class:`~repro.scheduling.schedule.Schedule` whose global dispatch
+  order (``ListT``) is **unchanged** — only assignments move, exactly like
+  the paper's Algorithm 5 refinements, so the result replays
+  deterministically;
+* a rewritten :class:`~repro.faults.plan.FaultPlan` where fired crashes
+  became billing *retires* (the dead VM's rental window up to the crash is
+  still paid for when the VM keeps surviving tasks) or were dropped with
+  the window charged to ``lost_cost`` (when recovery emptied the VM);
+* ``lost_cost``: dollars sunk into dropped VMs that no replay will re-bill.
+
+Two policies are provided. :class:`RetrySameCategory` is the conservative
+re-execution baseline — every failed task moves to one fresh VM of the same
+category per crashed VM, preserving per-queue order. :class:`RemapRecovery`
+is the budget-aware variant: it re-runs the paper's Algorithm 2
+(``getBestHost``) over the failed tasks, seeded with the committed timeline
+of the surviving VMs and allowances redistributed from the *unspent* budget
+(mirroring :mod:`repro.scheduling.online`).
+
+Recovered schedules keep the original VM ids for every surviving VM (fresh
+VMs get ids above every existing one) so that plan entries keyed by VM id —
+retires, boot failures — stay valid across replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import SchedulingError
+from ..platform.cloud import CloudPlatform
+from ..platform.pricing import vm_cost
+from ..scheduling.budget import divide_budget
+from ..scheduling.list_base import get_best_host
+from ..scheduling.planning import PlannedVM, PlanningState
+from ..scheduling.schedule import Schedule
+from ..simulation.trace import SimulationResult, VMRecord
+from ..workflow.dag import Workflow
+from .plan import FaultPlan
+
+__all__ = [
+    "RecoveryOutcome",
+    "RecoveryPolicy",
+    "RetrySameCategory",
+    "RemapRecovery",
+    "RECOVERY_POLICIES",
+    "make_policy",
+    "crashed_vms",
+]
+
+#: Base of the sentinel planner ids used for tasks that completed on a VM
+#: which later crashed: the VM is gone, so the planner must treat their
+#: outputs as datacenter-resident, never as host-local.
+_DEAD_VM_SENTINEL = -1000
+
+
+def crashed_vms(result: SimulationResult) -> Dict[int, float]:
+    """``vm_id -> crash instant`` for every VM that died during ``result``."""
+    return {
+        rec.vm_id: float(rec.crashed_at)
+        for rec in result.vms
+        if rec.crashed_at is not None
+    }
+
+
+@dataclass
+class RecoveryOutcome:
+    """What a policy proposes: new schedule, rewritten plan, sunk cost."""
+
+    schedule: Schedule
+    plan: FaultPlan
+    lost_cost: float
+    moved: List[str] = field(default_factory=list)
+    info: Dict[str, Any] = field(default_factory=dict)
+
+
+class RecoveryPolicy:
+    """Interface of all recovery policies."""
+
+    name = "abstract"
+
+    def recover(
+        self,
+        wf: Workflow,
+        platform: CloudPlatform,
+        budget: float,
+        schedule: Schedule,
+        plan: FaultPlan,
+        attempt: SimulationResult,
+    ) -> RecoveryOutcome:
+        """Propose a recovered schedule after ``attempt`` lost tasks.
+
+        Raises :class:`~repro.errors.SchedulingError` when there is nothing
+        to recover (no crash fired or no task failed).
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _settle(
+        self,
+        assignment: Dict[str, int],
+        plan: FaultPlan,
+        fired: Dict[int, float],
+        vm_records: Dict[int, VMRecord],
+    ) -> Tuple[Tuple[int, ...], float, FaultPlan]:
+        """Shared bookkeeping once the new assignment is fixed.
+
+        Fired crashes become retires; crashed VMs hosting no surviving task
+        are dropped from the plan and their billed window (ready → crash,
+        plus the init fee) becomes ``lost_cost`` — money spent that no
+        replay of the recovered schedule will bill again.
+        """
+        used = set(assignment.values())
+        drop = tuple(sorted(v for v in fired if v not in used))
+        lost = 0.0
+        for vm_id in drop:
+            rec = vm_records[vm_id]
+            lost += vm_cost(rec.category, rec.ready_at, rec.end_at)
+        return drop, lost, plan.with_crashes_retired(fired, drop=drop)
+
+    @staticmethod
+    def _check_recoverable(
+        fired: Dict[int, float], attempt: SimulationResult
+    ) -> None:
+        if not fired:
+            raise SchedulingError("no VM crash fired; nothing to recover")
+        if not attempt.failed_tasks:
+            raise SchedulingError("no task failed; nothing to recover")
+
+
+class RetrySameCategory(RecoveryPolicy):
+    """Re-execute each crashed VM's lost tasks on a fresh same-category VM.
+
+    The paper's cost model re-bills the replacement in full (``c_ini,k``
+    plus a new rental window, booted from scratch) — there is no warm
+    standby. Per crashed VM, all its failed tasks move together to one
+    replacement, so the per-queue execution order is preserved verbatim.
+    """
+
+    name = "retry"
+
+    def recover(self, wf, platform, budget, schedule, plan, attempt):
+        """Move each crashed VM's failed tasks to one fresh same-category VM."""
+        fired = crashed_vms(attempt)
+        self._check_recoverable(fired, attempt)
+        assignment = dict(schedule.assignment)
+        categories = dict(schedule.categories)
+        next_id = max(categories, default=-1) + 1
+        replacement: Dict[int, int] = {}
+        for tid in attempt.failed_tasks:
+            old = assignment[tid]
+            if old not in replacement:
+                replacement[old] = next_id
+                categories[next_id] = schedule.categories[old]
+                next_id += 1
+            assignment[tid] = replacement[old]
+        live = set(assignment.values())
+        categories = {v: c for v, c in categories.items() if v in live}
+        new_schedule = Schedule(
+            order=list(schedule.order),
+            assignment=assignment,
+            categories=categories,
+        )
+        vm_records = {rec.vm_id: rec for rec in attempt.vms}
+        drop, lost, new_plan = self._settle(assignment, plan, fired, vm_records)
+        return RecoveryOutcome(
+            schedule=new_schedule,
+            plan=new_plan,
+            lost_cost=lost,
+            moved=list(attempt.failed_tasks),
+            info={
+                "policy": self.name,
+                "replacements": dict(replacement),
+                "dropped_vms": list(drop),
+            },
+        )
+
+
+class RemapRecovery(RecoveryPolicy):
+    """Budget-constrained EFT re-mapping of the lost work (Algorithm 2).
+
+    Seeds a :class:`~repro.scheduling.planning.PlanningState` with the
+    committed truth — surviving VMs at their observed ready times, finished
+    tasks at their observed completion — then walks the failed and blocked
+    tasks in dispatch order. Blocked tasks (they never started; their VM is
+    fine) stay on their VM; failed tasks are re-placed by ``getBestHost``
+    with allowances carved from the unspent budget, exactly the division +
+    leftover-pot discipline of :class:`~repro.scheduling.online.OnlineHeftBudg`.
+    """
+
+    name = "remap"
+
+    def recover(self, wf, platform, budget, schedule, plan, attempt):
+        """Re-place failed tasks via getBestHost under the unspent budget."""
+        fired = crashed_vms(attempt)
+        self._check_recoverable(fired, attempt)
+        failed = set(attempt.failed_tasks)
+        blocked = set(attempt.blocked_tasks)
+        vm_records = {rec.vm_id: rec for rec in attempt.vms}
+
+        # --- seed the planner with the committed (observed) timeline -----
+        state = PlanningState(wf, platform)
+        real_of: Dict[int, int] = {}     # planner vm id -> schedule vm id
+        planner_of: Dict[int, int] = {}  # schedule vm id -> planner vm id
+        for old_id in sorted(vm_records):
+            rec = vm_records[old_id]
+            if rec.crashed_at is not None:
+                continue  # dead VMs are not candidate hosts
+            category = schedule.categories[old_id]
+            pid = len(state.vms)
+            state.vms.append(
+                PlannedVM(
+                    vm_id=pid,
+                    category=category,
+                    booked_at=rec.booked_at,
+                    ready_time=rec.ready_at,
+                    core_free=[rec.ready_at] * category.cores,
+                    window_end=rec.ready_at,
+                    last_dispatch=rec.ready_at,
+                )
+            )
+            planner_of[old_id] = pid
+            real_of[pid] = old_id
+
+        for tid in schedule.order:
+            if tid in failed or tid in blocked:
+                continue
+            rec = attempt.tasks[tid]
+            finish = rec.compute_end
+            old_vm = schedule.assignment[tid]
+            pid = planner_of.get(old_vm)
+            if pid is not None:
+                vm = state.vms[pid]
+                state.assignment[tid] = pid
+                vm.tasks.append(tid)
+                vm.compute_free = max(vm.compute_free, finish)
+                vm.window_end = max(vm.window_end, rec.outputs_at_dc, finish)
+            else:
+                # Completed on a VM that later crashed: the work is durable
+                # (outputs reached the datacenter) but the host is gone. A
+                # unique negative sentinel keeps the planner from treating
+                # its data as local to any live host.
+                state.assignment[tid] = _DEAD_VM_SENTINEL - old_vm
+            state.order.append(tid)
+            state.finish[tid] = finish
+
+        # Money already sunk: live VMs' committed windows plus every crashed
+        # VM's billed window (paid whether or not its tasks survived).
+        committed = sum(
+            (vm.window_end - vm.ready_time) * vm.category.cost_rate
+            + vm.category.initial_cost
+            for vm in state.vms
+        )
+        committed += sum(
+            vm_cost(vm_records[v].category,
+                    vm_records[v].ready_at, vm_records[v].end_at)
+            for v in fired
+        )
+
+        # --- redistribute the unspent budget over the lost work ----------
+        leftover = max(budget - committed, 0.0)
+        bplan = divide_budget(wf, platform, leftover)
+        pending = [t for t in schedule.order if t in failed or t in blocked]
+        failed_total = sum(bplan.share(t) for t in pending if t in failed)
+        scale = bplan.b_calc / failed_total if failed_total > 0.0 else 0.0
+
+        next_real = max(
+            schedule.fresh_vm_id(),
+            max(vm_records, default=-1) + 1,
+        )
+        pot = 0.0
+        for tid in pending:
+            if tid in blocked:
+                # Containment: the task's own VM is fine — keep it there.
+                old_vm = schedule.assignment[tid]
+                pid = planner_of.get(old_vm)
+                if pid is not None:
+                    vm_obj = state.vms[pid]
+                    ev = state.evaluate(tid, vm_obj, vm_obj.category)
+                else:
+                    # The VM was never provisioned (its whole queue was
+                    # gated behind the crash); enroll it afresh.
+                    ev = state.evaluate(tid, None, schedule.categories[old_vm])
+                committed_vm = state.commit(ev)
+                if committed_vm.vm_id not in real_of:
+                    planner_of[old_vm] = committed_vm.vm_id
+                    real_of[committed_vm.vm_id] = old_vm
+            else:
+                allowance = bplan.share(tid) * scale + pot
+                ev, _ = get_best_host(state, tid, allowance)
+                committed_vm = state.commit(ev)
+                pot = allowance - ev.cost
+                if committed_vm.vm_id not in real_of:
+                    real_of[committed_vm.vm_id] = next_real
+                    next_real += 1
+
+        # --- freeze, translating planner ids back to schedule ids --------
+        assignment: Dict[str, int] = {}
+        for tid in schedule.order:
+            pid = state.assignment[tid]
+            if pid >= 0:
+                assignment[tid] = real_of[pid]
+            else:
+                # Done on a crashed VM: keep the historical assignment.
+                assignment[tid] = schedule.assignment[tid]
+        used = set(assignment.values())
+        categories = {real_of[vm.vm_id]: vm.category for vm in state.vms}
+        for vm_id in used - set(categories):
+            categories[vm_id] = schedule.categories[vm_id]
+        categories = {v: c for v, c in categories.items() if v in used}
+        new_schedule = Schedule(
+            order=list(schedule.order),
+            assignment=assignment,
+            categories=categories,
+        )
+        drop, lost, new_plan = self._settle(assignment, plan, fired, vm_records)
+        moved = [t for t in pending if t in failed]
+        return RecoveryOutcome(
+            schedule=new_schedule,
+            plan=new_plan,
+            lost_cost=lost,
+            moved=moved,
+            info={
+                "policy": self.name,
+                "leftover_budget": leftover,
+                "committed_cost": committed,
+                "dropped_vms": list(drop),
+            },
+        )
+
+
+RECOVERY_POLICIES: Dict[str, Any] = {
+    "retry": RetrySameCategory,
+    "remap": RemapRecovery,
+}
+
+
+def make_policy(name: Optional[str]) -> Optional[RecoveryPolicy]:
+    """Policy instance by name; ``None``/``"none"`` means no recovery."""
+    if name is None or name == "none":
+        return None
+    try:
+        return RECOVERY_POLICIES[name]()
+    except KeyError:
+        raise SchedulingError(
+            f"unknown recovery policy {name!r}; "
+            f"known: none, {', '.join(sorted(RECOVERY_POLICIES))}"
+        ) from None

@@ -1,0 +1,298 @@
+"""The execute → detect → recover loop with a hard budget gate.
+
+:func:`run_with_faults` executes a schedule under a :class:`FaultPlan`,
+and — when a VM crash loses work and a recovery policy is active — asks the
+policy for a recovered schedule, *projects* its total cost, and only
+accepts it when the reserved budget can fund it. The projection uses the
+monitor's honest knowledge at recovery time:
+
+* observed (actual) weights for tasks that already completed,
+* conservative ``w̄ + σ`` weights for everything that must still run,
+* the plan's :meth:`~repro.faults.plan.FaultPlan.billing_only` view —
+  already-paid retires and known inflations, but no future crashes the
+  monitor cannot foresee,
+* plus every dollar already sunk into dropped VMs (``lost_cost``).
+
+An unfundable recovery ends the run with the explicit
+``budget_exhausted`` outcome (carrying a
+:class:`~repro.errors.BudgetExhaustedError` message) instead of silently
+overrunning — the fault-tolerant analogue of the paper's validity metric.
+
+Every step is observable: fault events and recovery decisions go to the
+event bus (``fault.injected``, ``recovery.applied``, ``recovery.rejected``),
+counters to the metrics registry (``repro_faults_injected_total``,
+``repro_recovery_*_total``), and a ``kind="recovery"`` decision record to
+the active tracer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..service.metrics import MetricsRegistry
+
+from ..errors import BudgetExhaustedError, SchedulingError
+from ..obs.events import (
+    EventBus,
+    FAULT_INJECTED,
+    RECOVERY_APPLIED,
+    RECOVERY_REJECTED,
+)
+from ..obs.tracing import DecisionRecord, get_tracer
+from ..platform.cloud import CloudPlatform
+from ..rng import RngLike
+from ..scheduling.registry import make_scheduler
+from ..scheduling.schedule import Schedule
+from ..simulation.executor import execute_schedule, sample_weights
+from ..simulation.trace import SimulationResult
+from ..workflow.dag import Workflow
+from .plan import FaultEvent, FaultPlan
+from .recovery import RecoveryPolicy, make_policy
+
+__all__ = [
+    "FaultRunResult",
+    "run_with_faults",
+    "OUTCOME_SUCCESS",
+    "OUTCOME_FAILED",
+    "OUTCOME_BUDGET_EXHAUSTED",
+]
+
+OUTCOME_SUCCESS = "success"
+OUTCOME_FAILED = "failed"
+OUTCOME_BUDGET_EXHAUSTED = "budget_exhausted"
+
+_TOL = 1e-9
+
+
+@dataclass
+class FaultRunResult:
+    """Outcome of one fault-injected (possibly recovered) execution.
+
+    ``result`` is the *final* attempt's trace; ``total_cost`` adds the
+    rentals sunk into VMs that recovery dropped (``lost_cost``) on top of
+    it, so the number is comparable with the reserved budget.
+    ``fault_events`` aggregates what fired across all attempts.
+    """
+
+    schedule: Schedule
+    result: SimulationResult
+    plan: FaultPlan
+    budget: float
+    outcome: str
+    n_attempts: int = 1
+    n_recoveries: int = 0
+    lost_cost: float = 0.0
+    recovered_tasks: List[str] = field(default_factory=list)
+    fault_events: List[FaultEvent] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def success(self) -> bool:
+        """True when every task eventually executed."""
+        return self.outcome == OUTCOME_SUCCESS
+
+    @property
+    def makespan(self) -> float:
+        """Makespan of the final attempt."""
+        return self.result.makespan
+
+    @property
+    def total_cost(self) -> float:
+        """Final attempt's bill plus the dropped VMs' sunk rentals."""
+        return self.result.total_cost + self.lost_cost
+
+    @property
+    def n_faults(self) -> int:
+        """Distinct injected faults that fired across all attempts."""
+        return len(self.fault_events)
+
+    def within_budget(self, tol: float = _TOL) -> bool:
+        """Whether the full spend (including losses) respects the budget."""
+        return self.total_cost <= self.budget * (1.0 + tol) + tol
+
+
+def _knowledge_weights(
+    wf: Workflow, attempt: SimulationResult, actual: Mapping[str, float]
+) -> Dict[str, float]:
+    """What the monitor knows at recovery time: observed past, cautious rest."""
+    out: Dict[str, float] = {}
+    for tid in wf.tasks:
+        rec = attempt.tasks.get(tid)
+        if rec is not None and not rec.failed:
+            out[tid] = actual[tid]
+        else:
+            out[tid] = wf.task(tid).conservative_weight
+    return out
+
+
+def run_with_faults(
+    wf: Workflow,
+    platform: CloudPlatform,
+    budget: float,
+    plan: FaultPlan,
+    *,
+    schedule: Optional[Schedule] = None,
+    algorithm: str = "heft_budg",
+    policy: Union[None, str, RecoveryPolicy] = None,
+    weights: Optional[Mapping[str, float]] = None,
+    rng: RngLike = None,
+    max_attempts: int = 5,
+    budget_tol: float = _TOL,
+    metrics: Optional["MetricsRegistry"] = None,
+    bus: Optional[EventBus] = None,
+) -> FaultRunResult:
+    """Execute ``wf`` under ``plan``; recover crashes while budget allows.
+
+    ``schedule`` fixes the initial mapping (otherwise ``algorithm`` plans
+    one under ``budget``); ``weights`` fixes the actual realization
+    (otherwise one is sampled from ``rng``). ``policy`` is ``None``/"none"
+    (measure the damage, recover nothing), a policy name from
+    :data:`~repro.faults.recovery.RECOVERY_POLICIES`, or an instance.
+
+    Never raises on fault outcomes — inspect ``outcome`` / ``error`` on the
+    returned :class:`FaultRunResult`. ``max_attempts`` bounds the number of
+    executions (so at most ``max_attempts - 1`` recoveries).
+    """
+    wf.freeze()
+    actual = dict(weights) if weights is not None else sample_weights(wf, rng)
+    if schedule is None:
+        schedule = make_scheduler(algorithm).schedule(wf, platform, budget).schedule
+    pol = make_policy(policy) if (policy is None or isinstance(policy, str)) \
+        else policy
+    tracer = get_tracer()
+
+    cur_plan = plan
+    lost = 0.0
+    recovered: List[str] = []
+    events: List[FaultEvent] = []
+    attempts = 0
+    recoveries = 0
+    while True:
+        attempts += 1
+        run = execute_schedule(
+            wf, platform, schedule, actual, validate=False, fault_plan=cur_plan
+        )
+        # First attempt logs everything; replays only log *new* crashes
+        # (fired ones were retired from the plan, boot failures and task
+        # inflations re-fire identically and are already on record).
+        if attempts == 1:
+            new_events = list(run.fault_events)
+        else:
+            new_events = [e for e in run.fault_events if e.kind == "vm.crash"]
+        events.extend(new_events)
+        if new_events:
+            if metrics is not None:
+                metrics.incr("faults_injected", len(new_events))
+            if bus is not None:
+                for ev in new_events:
+                    bus.publish(FAULT_INJECTED, attempt=attempts, **ev.to_dict())
+
+        def done(outcome: str, error: Optional[str] = None) -> FaultRunResult:
+            return FaultRunResult(
+                schedule=schedule,
+                result=run,
+                plan=cur_plan,
+                budget=budget,
+                outcome=outcome,
+                n_attempts=attempts,
+                n_recoveries=recoveries,
+                lost_cost=lost,
+                recovered_tasks=recovered,
+                fault_events=events,
+                error=error,
+            )
+
+        if run.completed:
+            return done(OUTCOME_SUCCESS)
+        if pol is None:
+            return done(
+                OUTCOME_FAILED,
+                f"{len(run.failed_tasks)} task(s) lost to VM crashes and "
+                f"no recovery policy is active",
+            )
+        if attempts >= max_attempts:
+            return done(
+                OUTCOME_FAILED,
+                f"still incomplete after {attempts} attempts "
+                f"({len(run.failed_tasks)} failed task(s))",
+            )
+
+        if metrics is not None:
+            metrics.incr("recovery_attempts")
+        try:
+            out = pol.recover(wf, platform, budget, schedule, cur_plan, run)
+        except SchedulingError as exc:
+            return done(OUTCOME_FAILED, f"recovery impossible: {exc}")
+
+        # --- budget gate: can the remaining budget fund this recovery? ---
+        lost_next = lost + out.lost_cost
+        knowledge = _knowledge_weights(wf, run, actual)
+        est = execute_schedule(
+            wf, platform, out.schedule, knowledge,
+            validate=False, fault_plan=out.plan.billing_only(),
+        )
+        projected = est.total_cost + lost_next
+        funded = projected <= budget * (1.0 + budget_tol) + budget_tol
+        if tracer.enabled:
+            tracer.decide(
+                DecisionRecord(
+                    kind="recovery",
+                    task=run.failed_tasks[0] if run.failed_tasks else "",
+                    round=recoveries + 1,
+                    cost=out.lost_cost,
+                    allowance=budget,
+                    remaining=budget - projected,
+                    within_budget=funded,
+                    extra={
+                        "policy": pol.name,
+                        "attempt": attempts,
+                        "n_failed": len(run.failed_tasks),
+                        "n_blocked": len(run.blocked_tasks),
+                        "projected_cost": projected,
+                        "lost_cost": lost_next,
+                        "moved": list(out.moved)[:16],
+                    },
+                )
+            )
+        if not funded:
+            if metrics is not None:
+                metrics.incr("recovery_budget_exhausted")
+            exc = BudgetExhaustedError(
+                f"recovering {len(run.failed_tasks)} task(s) with policy "
+                f"{pol.name!r} projects ${projected:.4f} against a budget "
+                f"of ${budget:.4f}",
+                budget=budget,
+                projected_cost=projected,
+            )
+            if bus is not None:
+                bus.publish(
+                    RECOVERY_REJECTED,
+                    policy=pol.name,
+                    attempt=attempts,
+                    projected_cost=projected,
+                    budget=budget,
+                    reason=str(exc),
+                )
+            return done(OUTCOME_BUDGET_EXHAUSTED, str(exc))
+
+        # --- accept --------------------------------------------------------
+        out.schedule.validate(wf)
+        schedule = out.schedule
+        cur_plan = out.plan
+        lost = lost_next
+        seen = set(recovered)
+        recovered.extend(t for t in out.moved if t not in seen)
+        recoveries += 1
+        if metrics is not None:
+            metrics.incr("recovery_applied")
+        if bus is not None:
+            bus.publish(
+                RECOVERY_APPLIED,
+                policy=pol.name,
+                attempt=attempts,
+                n_moved=len(out.moved),
+                lost_cost=out.lost_cost,
+                projected_cost=projected,
+            )

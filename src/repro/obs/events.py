@@ -27,13 +27,39 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Sequence
 
-__all__ = ["Event", "EventBus", "Subscription", "JOB_EVENT_TYPES", "RUN_RECORDED"]
+__all__ = [
+    "Event",
+    "EventBus",
+    "Subscription",
+    "JOB_EVENT_TYPES",
+    "RUN_RECORDED",
+    "FAULT_INJECTED",
+    "RECOVERY_APPLIED",
+    "RECOVERY_REJECTED",
+]
 
-#: The job lifecycle event types, in their natural order.
-JOB_EVENT_TYPES = ("job.queued", "job.started", "job.progress", "job.finished")
+#: The job lifecycle event types, in their natural order. ``job.retried``
+#: and ``job.failed`` only appear on unhappy paths; ``job.finished`` is
+#: always the terminal event (after ``job.failed`` when the job failed),
+#: which is what lets SSE job streams end on a single event type.
+JOB_EVENT_TYPES = (
+    "job.queued",
+    "job.started",
+    "job.progress",
+    "job.retried",
+    "job.failed",
+    "job.finished",
+)
 
 #: Published by the ledger after a run row is committed.
 RUN_RECORDED = "run.recorded"
+
+#: Published by the fault runner for every injected fault that fired.
+FAULT_INJECTED = "fault.injected"
+
+#: Published by the fault runner when a recovery is accepted / refused.
+RECOVERY_APPLIED = "recovery.applied"
+RECOVERY_REJECTED = "recovery.rejected"
 
 
 @dataclass(frozen=True)

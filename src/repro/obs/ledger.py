@@ -53,14 +53,23 @@ __all__ = [
     "RegressionReport",
 ]
 
-SCHEMA_VERSION = 1
+#: Schema history (tracked via SQLite ``PRAGMA user_version``):
+#:
+#: 1. initial layout
+#: 2. fault-injection fields: ``outcome`` (success / failed /
+#:    budget_exhausted / plain ``ok`` for non-fault runs) and ``n_faults``
+#:    (injected faults that fired).
+#:
+#: Older databases are migrated in place on open (``ALTER TABLE`` adds the
+#: new columns with their defaults); newer ones are rejected.
+SCHEMA_VERSION = 2
 
 _COLUMNS = (
     "recorded_at", "source", "fingerprint", "workflow", "family", "n_tasks",
     "algorithm", "budget", "sigma_ratio", "planned_makespan", "planned_cost",
     "within_budget_plan", "sim_makespan", "sim_cost", "success_rate",
     "n_reps", "n_vms", "sched_seconds", "elapsed_s", "trace_id", "version",
-    "extra",
+    "outcome", "n_faults", "extra",
 )
 
 _CREATE = f"""
@@ -87,6 +96,8 @@ CREATE TABLE IF NOT EXISTS runs (
     elapsed_s          REAL NOT NULL DEFAULT 0.0,
     trace_id           TEXT NOT NULL DEFAULT '',
     version            TEXT NOT NULL DEFAULT '',
+    outcome            TEXT NOT NULL DEFAULT 'ok',
+    n_faults           INTEGER NOT NULL DEFAULT 0,
     extra              TEXT NOT NULL DEFAULT '{{}}'
 );
 CREATE INDEX IF NOT EXISTS idx_runs_algorithm   ON runs (algorithm);
@@ -137,6 +148,8 @@ class RunRow:
     elapsed_s: float = 0.0
     trace_id: str = ""
     version: str = ""
+    outcome: str = "ok"
+    n_faults: int = 0
     extra: Dict[str, Any] = field(default_factory=dict)
 
     def group_key(self) -> str:
@@ -188,16 +201,35 @@ class RunLedger:
                 # while we read; busy_timeout rides out write bursts.
                 self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA busy_timeout=30000")
-            self._conn.executescript(_CREATE)
             current = self._conn.execute("PRAGMA user_version").fetchone()[0]
-            if current == 0:
-                self._conn.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
-            elif current != SCHEMA_VERSION:
+            if current > SCHEMA_VERSION:
                 raise ValueError(
                     f"ledger {path!r} has schema version {current}, "
-                    f"this build expects {SCHEMA_VERSION}"
+                    f"this build expects <= {SCHEMA_VERSION}"
                 )
+            # IF NOT EXISTS: creates the current layout on a fresh file,
+            # no-op on an existing one (which _migrate then upgrades).
+            self._conn.executescript(_CREATE)
+            if 0 < current < SCHEMA_VERSION:
+                self._migrate(current)
+            if current != SCHEMA_VERSION:
+                self._conn.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
             self._conn.commit()
+
+    def _migrate(self, current: int) -> None:
+        """Upgrade an existing database from ``current`` to the latest schema.
+
+        Each step is additive (``ALTER TABLE ... ADD COLUMN`` with a
+        default), so v1 rows read back with the documented defaults and
+        older readers are only stopped by the ``user_version`` bump.
+        """
+        if current <= 1:  # v1 -> v2: fault-injection outcome fields
+            self._conn.execute(
+                "ALTER TABLE runs ADD COLUMN outcome TEXT NOT NULL DEFAULT 'ok'"
+            )
+            self._conn.execute(
+                "ALTER TABLE runs ADD COLUMN n_faults INTEGER NOT NULL DEFAULT 0"
+            )
 
     # ------------------------------------------------------------------
     # writes
@@ -234,6 +266,41 @@ class RunLedger:
                 sim_cost=row.sim_cost,
             )
         return row.run_id
+
+    def prune(
+        self,
+        *,
+        max_rows: Optional[int] = None,
+        max_age_days: Optional[float] = None,
+    ) -> int:
+        """Delete old rows; returns how many were removed.
+
+        ``max_age_days`` drops rows older than that many days;
+        ``max_rows`` then keeps only the newest N. Both constraints may be
+        combined; with neither, nothing is deleted. Long-lived service
+        deployments call this periodically so ``runs.db`` stays bounded.
+        """
+        if max_rows is not None and max_rows < 0:
+            raise ValueError(f"max_rows must be >= 0, got {max_rows}")
+        if max_age_days is not None and max_age_days < 0:
+            raise ValueError(f"max_age_days must be >= 0, got {max_age_days}")
+        deleted = 0
+        with self._lock:
+            if max_age_days is not None:
+                cutoff = time.time() - max_age_days * 86400.0
+                cursor = self._conn.execute(
+                    "DELETE FROM runs WHERE recorded_at < ?", (cutoff,)
+                )
+                deleted += cursor.rowcount
+            if max_rows is not None:
+                cursor = self._conn.execute(
+                    "DELETE FROM runs WHERE run_id NOT IN "
+                    "(SELECT run_id FROM runs ORDER BY run_id DESC LIMIT ?)",
+                    (int(max_rows),),
+                )
+                deleted += cursor.rowcount
+            self._conn.commit()
+        return deleted
 
     # ------------------------------------------------------------------
     # reads
@@ -328,13 +395,13 @@ class RunLedger:
                 stats["cost"] = _mean(
                     [r.sim_cost for r in simulated if r.sim_cost is not None]
                 )
-                stats["success_rate"] = _mean(
-                    [
-                        r.success_rate
-                        for r in simulated
-                        if r.success_rate is not None
-                    ]
-                )
+                rates = [
+                    r.success_rate
+                    for r in simulated
+                    if r.success_rate is not None
+                ]
+                if rates:  # no rate data at all must not read as 0% success
+                    stats["success_rate"] = _mean(rates)
             out[key] = stats
         return out
 
@@ -369,6 +436,10 @@ class NullLedger:
 
     def record(self, row: RunRow) -> int:
         """Discard the row."""
+        return 0
+
+    def prune(self, **kwargs: Any) -> int:
+        """Nothing to prune."""
         return 0
 
     def run(self, run_id: int) -> RunRow:
@@ -465,6 +536,8 @@ class GroupDelta:
     baseline_cost: float
     current_cost: float
     n_runs: int
+    baseline_success: float = 1.0
+    current_success: float = 1.0
 
     @property
     def makespan_change(self) -> float:
@@ -480,6 +553,11 @@ class GroupDelta:
             return 0.0
         return self.current_cost / self.baseline_cost - 1.0
 
+    @property
+    def success_change(self) -> float:
+        """Absolute success-rate change (-0.1 = 10 points fewer successes)."""
+        return self.current_success - self.baseline_success
+
 
 @dataclass
 class RegressionReport:
@@ -490,6 +568,7 @@ class RegressionReport:
     missing_groups: List[str] = field(default_factory=list)
     makespan_threshold: float = 0.10
     cost_threshold: float = 0.10
+    success_threshold: float = 0.05
 
     @property
     def ok(self) -> bool:
@@ -500,25 +579,28 @@ class RegressionReport:
         """Human-readable table for the CLI."""
         lines = [
             f"{'group':<40s} {'makespan':>10s} {'Δ%':>8s} "
-            f"{'cost':>10s} {'Δ%':>8s}  verdict"
+            f"{'cost':>10s} {'Δ%':>8s} {'succ':>6s} {'Δpts':>6s}  verdict"
         ]
         for d in self.deltas:
             verdict = "REGRESSED" if d in self.regressions else "ok"
             lines.append(
                 f"{d.group:<40s} {d.current_makespan:>10.2f} "
                 f"{100 * d.makespan_change:>+7.2f}% "
-                f"{d.current_cost:>10.4f} {100 * d.cost_change:>+7.2f}%  "
+                f"{d.current_cost:>10.4f} {100 * d.cost_change:>+7.2f}% "
+                f"{d.current_success:>6.2f} {100 * d.success_change:>+5.1f}  "
                 f"{verdict}"
             )
         for group in self.missing_groups:
             lines.append(f"{group:<40s} {'—':>10s} {'—':>8s} "
-                         f"{'—':>10s} {'—':>8s}  missing from ledger")
+                         f"{'—':>10s} {'—':>8s} {'—':>6s} {'—':>6s}  "
+                         f"missing from ledger")
         lines.append(
             f"{len(self.deltas)} group(s) compared, "
             f"{len(self.regressions)} regression(s), "
             f"{len(self.missing_groups)} missing "
             f"(thresholds: makespan +{100 * self.makespan_threshold:.0f}%, "
-            f"cost +{100 * self.cost_threshold:.0f}%)"
+            f"cost +{100 * self.cost_threshold:.0f}%, "
+            f"success -{100 * self.success_threshold:.0f}pts)"
         )
         return "\n".join(lines)
 
@@ -547,19 +629,23 @@ def compare_to_baseline(
     *,
     makespan_threshold: float = 0.10,
     cost_threshold: float = 0.10,
+    success_threshold: float = 0.05,
 ) -> RegressionReport:
     """Re-measure the ledger's latest runs against ``baseline`` groups.
 
     For every baseline group, the current value is the mean over the
     group's newest ``n_runs`` ledger rows (as many as the baseline itself
     averaged). A group regresses when its makespan grows by more than
-    ``makespan_threshold`` (fractional) or its cost by more than
-    ``cost_threshold``. Groups absent from the ledger are reported, not
-    failed — the caller decides (the CLI fails only when *nothing*
-    matched).
+    ``makespan_threshold`` (fractional), its cost by more than
+    ``cost_threshold``, or its success rate drops by more than
+    ``success_threshold`` (absolute points — the fault-resilience gate).
+    Groups absent from the ledger are reported, not failed — the caller
+    decides (the CLI fails only when *nothing* matched).
     """
     report = RegressionReport(
-        makespan_threshold=makespan_threshold, cost_threshold=cost_threshold
+        makespan_threshold=makespan_threshold,
+        cost_threshold=cost_threshold,
+        success_threshold=success_threshold,
     )
     stats_by_depth: Dict[int, Dict[str, Dict[str, float]]] = {}
     for group, base in sorted(baseline.items()):
@@ -579,11 +665,14 @@ def compare_to_baseline(
             baseline_cost=float(base.get("cost", 0.0)),
             current_cost=float(current.get("cost", 0.0)),
             n_runs=int(current.get("n_runs", 0)),
+            baseline_success=float(base.get("success_rate", 1.0)),
+            current_success=float(current.get("success_rate", 1.0)),
         )
         report.deltas.append(delta)
         if (
             delta.makespan_change > makespan_threshold
             or delta.cost_change > cost_threshold
+            or -delta.success_change > success_threshold
         ):
             report.regressions.append(delta)
     return report

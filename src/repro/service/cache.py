@@ -9,7 +9,10 @@ response is deterministic in its request (generators, schedulers, and the
 evaluation replays are all seeded), so caching whole responses is exact,
 not approximate.
 
-The clock is injectable so TTL behaviour is testable without sleeping.
+Concurrent misses on one key are coalesced (single-flight): one thread
+computes, the rest wait and share — a thundering herd of identical sweep
+requests costs one scheduling run, not N. The clock is injectable so TTL
+behaviour is testable without sleeping.
 """
 
 from __future__ import annotations
@@ -25,12 +28,18 @@ __all__ = ["CacheStats", "LRUCache"]
 
 @dataclass
 class CacheStats:
-    """Monotonic counters describing cache effectiveness."""
+    """Monotonic counters describing cache effectiveness.
+
+    ``coalesced`` counts the hits served by waiting on another thread's
+    in-flight computation of the same key (single-flight); it is a subset
+    of ``hits``.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     expirations: int = 0
+    coalesced: int = 0
 
     @property
     def lookups(self) -> int:
@@ -49,6 +58,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "expirations": self.expirations,
+            "coalesced": self.coalesced,
             "hit_rate": self.hit_rate,
         }
 
@@ -57,6 +67,17 @@ class CacheStats:
 class _Entry:
     value: Any
     stored_at: float = field(default=0.0)
+
+
+class _InFlight:
+    """Single-flight rendezvous: followers wait on the leader's event."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
 
 
 class LRUCache:
@@ -90,6 +111,7 @@ class LRUCache:
         self._clock = clock
         self._lock = threading.RLock()
         self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._in_flight: Dict[Hashable, _InFlight] = {}
         self._stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -148,17 +170,56 @@ class LRUCache:
         """``(value, was_cached)`` — computes and stores on a miss.
 
         ``compute`` runs *outside* the lock, so a slow scheduling job does
-        not serialize unrelated lookups; concurrent misses on the same key
-        may compute twice (last write wins — harmless, the values are
-        equal by determinism).
+        not serialize unrelated lookups. Concurrent misses on the same key
+        are *coalesced* (single-flight): the first caller becomes the
+        leader and computes; the rest block on its completion and share the
+        result, counted as a hit plus a ``coalesced`` tick. If the leader's
+        ``compute`` raises, the error propagates to the leader only —
+        waiting followers retry (one of them becoming the new leader)
+        rather than inheriting a failure that may have been transient.
+
+        Each call counts exactly one lookup: a miss for the leader, a hit
+        for served followers and plain cache hits.
         """
-        sentinel = object()
-        value = self.get(key, sentinel)
-        if value is not sentinel:
-            return value, True
-        value = compute()
-        self.put(key, value)
-        return value, False
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None and self._expired(entry):
+                    del self._entries[key]
+                    self._stats.expirations += 1
+                    entry = None
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self._stats.hits += 1
+                    return entry.value, True
+                flight = self._in_flight.get(key)
+                leader = flight is None
+                if leader:
+                    flight = _InFlight()
+                    self._in_flight[key] = flight
+                    self._stats.misses += 1
+            if leader:
+                try:
+                    value = compute()
+                except BaseException as exc:
+                    with self._lock:
+                        self._in_flight.pop(key, None)
+                        flight.error = exc
+                        flight.event.set()
+                    raise
+                self.put(key, value)
+                with self._lock:
+                    self._in_flight.pop(key, None)
+                    flight.value = value
+                    flight.event.set()
+                return value, False
+            flight.event.wait()
+            if flight.error is None:
+                with self._lock:
+                    self._stats.hits += 1
+                    self._stats.coalesced += 1
+                return flight.value, True
+            # Leader failed: fall through and retry from the top.
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
@@ -173,6 +234,7 @@ class LRUCache:
                 misses=self._stats.misses,
                 evictions=self._stats.evictions,
                 expirations=self._stats.expirations,
+                coalesced=self._stats.coalesced,
             )
 
     # ------------------------------------------------------------------

@@ -21,13 +21,24 @@ gateway responsive while long HEFTBUDG+ jobs run).
 from __future__ import annotations
 
 import itertools
+import random
 import threading
 import time
+import traceback
+from concurrent.futures import CancelledError as FuturesCancelledError
 from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
-from ..errors import JobNotFoundError, ReproError, ServiceError
+from ..errors import (
+    JobNotFoundError,
+    JobTimeoutError,
+    ReproError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from ..io import schedule_to_dict
 from ..obs.events import EventBus
 from ..obs.ledger import RunRow, get_ledger
@@ -67,6 +78,8 @@ class JobRecord:
     finished_at: Optional[float] = None
     error: Optional[str] = None
     response: Optional[ScheduleResponse] = None
+    attempts: int = 0
+    traceback: Optional[str] = None
 
     def to_dict(self, *, include_response: bool = True) -> Dict[str, Any]:
         """JSON-ready snapshot; ``include_response=False`` keeps it small."""
@@ -78,6 +91,8 @@ class JobRecord:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "error": self.error,
+            "attempts": self.attempts,
+            "traceback": self.traceback,
         }
         if include_response:
             out["response"] = (
@@ -117,6 +132,23 @@ class SchedulingService:
         An external :class:`~repro.obs.events.EventBus` to publish job
         lifecycle events on; a private bus is created by default (the SSE
         endpoints subscribe to it).
+    max_queue_depth:
+        Backpressure limit: when this many jobs are already pending,
+        ``submit`` raises :class:`~repro.errors.ServiceOverloadedError`
+        (HTTP 429 at the gateway). ``None`` (default) accepts everything.
+    job_timeout:
+        Per-job wall-clock budget in seconds, enforced cooperatively: the
+        evaluation loop checks the deadline between replays and the job
+        fails with :class:`~repro.errors.JobTimeoutError` (never retried).
+        ``None`` disables the timeout.
+    max_retries:
+        Extra attempts for a job whose compute raised an *unexpected*
+        (non-:class:`~repro.errors.ReproError`) exception — deterministic
+        model errors are never retried. 0 (default) disables retries.
+    retry_backoff_s:
+        Base of the exponential backoff between retries; the actual sleep
+        is ``retry_backoff_s × 2^attempt`` scaled by a deterministic
+        per-job jitter in [0.5, 1.0].
     """
 
     def __init__(
@@ -128,11 +160,31 @@ class SchedulingService:
         metrics: Optional[MetricsRegistry] = None,
         ledger: Optional[Any] = None,
         events: Optional[EventBus] = None,
+        max_queue_depth: Optional[int] = None,
+        job_timeout: Optional[float] = None,
+        max_retries: int = 0,
+        retry_backoff_s: float = 0.5,
     ) -> None:
         if max_workers < 1:
             raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
         if cache_size < 0:
             raise ServiceError(f"cache_size must be >= 0, got {cache_size}")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ServiceError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        if job_timeout is not None and job_timeout <= 0:
+            raise ServiceError(f"job_timeout must be > 0, got {job_timeout}")
+        if max_retries < 0:
+            raise ServiceError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff_s < 0:
+            raise ServiceError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}"
+            )
+        self.max_queue_depth = max_queue_depth
+        self.job_timeout = job_timeout
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.ledger = ledger if ledger is not None else get_ledger()
         self.events = events if events is not None else EventBus()
@@ -159,7 +211,14 @@ class SchedulingService:
     # sync path
     # ------------------------------------------------------------------
     def schedule(self, request: RequestLike) -> ScheduleResponse:
-        """Serve one request synchronously (cache-aware)."""
+        """Serve one request synchronously (cache-aware).
+
+        Raises :class:`~repro.errors.ServiceClosedError` once the service
+        is draining — except for the worker threads finishing already
+        accepted jobs, which must be able to complete the drain.
+        """
+        if getattr(self._job_context, "job_id", None) is None:
+            self._check_open()
         req = self._coerce(request)
         self.metrics.incr("requests")
         if self._cache is None:
@@ -184,7 +243,13 @@ class SchedulingService:
     # async jobs
     # ------------------------------------------------------------------
     def submit(self, request: RequestLike) -> str:
-        """Queue one request; returns its job id immediately."""
+        """Queue one request; returns its job id immediately.
+
+        Raises :class:`~repro.errors.ServiceOverloadedError` when
+        ``max_queue_depth`` pending jobs are already waiting (the caller
+        should back off and retry) and
+        :class:`~repro.errors.ServiceClosedError` once the service drains.
+        """
         req = self._coerce(request)
         self._check_open()
         job_id = f"job-{next(self._ids):06d}"
@@ -196,12 +261,27 @@ class SchedulingService:
         )
         job = _Job(record)
         with self._lock:
+            if self.max_queue_depth is not None:
+                backlog = sum(
+                    1 for j in self._jobs.values()
+                    if j.record.state == JobState.PENDING
+                )
+                if backlog >= self.max_queue_depth:
+                    self.metrics.incr("jobs_rejected")
+                    raise ServiceOverloadedError(
+                        f"job queue is full ({backlog} pending >= "
+                        f"max_queue_depth={self.max_queue_depth})"
+                    )
             self._jobs[job_id] = job
         self.events.publish(
             "job.queued", job_id=job_id, algorithm=req.algorithm,
             fingerprint=req.fingerprint(),
         )
-        job.future = self._pool.submit(self._run_job, job_id, req)
+        with self._lock:
+            # cancel() may have won the race while job.queued was being
+            # published; a cancelled job must never reach the pool.
+            if job.record.state == JobState.PENDING:
+                job.future = self._pool.submit(self._run_job, job_id, req)
         self.metrics.incr("jobs_submitted")
         return job_id
 
@@ -239,21 +319,47 @@ class SchedulingService:
         Raises :class:`ServiceError` if the job failed or was cancelled,
         and ``TimeoutError`` if ``timeout`` elapses first.
         """
-        with self._lock:
-            job = self._jobs.get(job_id)
-            if job is None:
-                raise JobNotFoundError(f"no such job {job_id!r}")
-            future = job.future
-        assert future is not None
+        deadline = None if timeout is None else time.monotonic() + timeout
+        future = self._wait_for_future(job_id, deadline)
+        remaining = None if deadline is None else deadline - time.monotonic()
         try:
-            return future.result(timeout=timeout)
+            return future.result(timeout=remaining)
         except ReproError:
             raise
-        except Exception as exc:  # CancelledError, or a non-repro bug
-            record = self.job(job_id)
-            if record.state == JobState.CANCELLED:
-                raise ServiceError(f"job {job_id} was cancelled") from None
+        except FuturesCancelledError:
+            raise ServiceError(f"job {job_id} was cancelled") from None
+        except FuturesTimeoutError:
+            raise TimeoutError(
+                f"job {job_id} did not finish within {timeout}s"
+            ) from None
+        except KeyboardInterrupt:
+            raise  # the *caller* was interrupted; don't mask it
+        except BaseException as exc:  # a non-repro bug in the compute path
+            # SystemExit and friends raised by a job are contained in
+            # _run_job; what reaches the caller here is always wrapped.
             raise ServiceError(f"job {job_id} failed: {exc}") from exc
+
+    def _wait_for_future(
+        self, job_id: str, deadline: Optional[float]
+    ) -> "Future[ScheduleResponse]":
+        """The job's future, waiting out the submit()/cancel() races.
+
+        A job can briefly exist without a future (``submit`` publishes
+        ``job.queued`` before handing the callable to the pool) — and a
+        job cancelled in that window never gets one.
+        """
+        while True:
+            with self._lock:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    raise JobNotFoundError(f"no such job {job_id!r}")
+                if job.future is not None:
+                    return job.future
+                if job.record.state == JobState.CANCELLED:
+                    raise ServiceError(f"job {job_id} was cancelled")
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} was never started")
+            time.sleep(0.001)
 
     def cancel(self, job_id: str) -> bool:
         """Cancel a job that has not started; True when it was cancelled."""
@@ -262,12 +368,19 @@ class SchedulingService:
             if job is None:
                 raise JobNotFoundError(f"no such job {job_id!r}")
             future = job.future
-        assert future is not None
-        if not future.cancel():
-            return False
-        with self._lock:
-            job.record.state = JobState.CANCELLED
-            job.record.finished_at = time.time()
+            if future is None:
+                # submit() has not handed the job to the pool yet (or lost
+                # a race doing so); flipping the state here is enough —
+                # submit() re-checks it under this same lock.
+                if job.record.state != JobState.PENDING:
+                    return False
+                job.record.state = JobState.CANCELLED
+                job.record.finished_at = time.time()
+            elif future.cancel():
+                job.record.state = JobState.CANCELLED
+                job.record.finished_at = time.time()
+            else:
+                return False
         self.events.publish(
             "job.finished", job_id=job_id, state=JobState.CANCELLED
         )
@@ -289,6 +402,10 @@ class SchedulingService:
                 raise TimeoutError("wait_all timed out")
             try:
                 future.result(timeout=remaining)
+            except FuturesTimeoutError:
+                raise TimeoutError("wait_all timed out") from None
+            except FuturesCancelledError:
+                pass  # cancellation is a terminal state, not a failure
             except Exception:
                 pass  # failures are surfaced via job()/result(), not here
 
@@ -296,11 +413,32 @@ class SchedulingService:
     # introspection / lifecycle
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
-        """Operational snapshot: jobs by state, cache, metric summaries."""
+        """Operational snapshot: jobs by state, cache, metric summaries.
+
+        Also asserts the state-machine invariant: a job whose future has
+        completed must be in a terminal state (worker threads set the
+        state under the service lock *before* their future resolves), so a
+        violation means containment in ``_run_job`` is broken — better a
+        loud :class:`~repro.errors.ServiceError` here than a job stuck
+        "running" forever.
+        """
         by_state = {state: 0 for state in JobState.ALL}
+        stuck: List[str] = []
         with self._lock:
             for job in self._jobs.values():
                 by_state[job.record.state] += 1
+                if (
+                    job.future is not None
+                    and job.future.done()
+                    and not job.future.cancelled()
+                    and job.record.state in (JobState.PENDING, JobState.RUNNING)
+                ):
+                    stuck.append(job.record.job_id)
+        if stuck:
+            raise ServiceError(
+                f"job state invariant violated: finished futures with "
+                f"non-terminal records: {stuck[:5]}"
+            )
         self._sync_cache_metrics()
         out: Dict[str, Any] = {
             "uptime_s": time.time() - self._started_at,
@@ -336,6 +474,7 @@ class SchedulingService:
         self.metrics.set_counter("cache_misses", stats.misses)
         self.metrics.set_counter("cache_evictions", stats.evictions)
         self.metrics.set_counter("cache_expirations", stats.expirations)
+        self.metrics.set_counter("cache_coalesced", stats.coalesced)
 
     def clear_cache(self) -> None:
         """Drop all cached responses (no-op when caching is disabled)."""
@@ -343,9 +482,27 @@ class SchedulingService:
             self._cache.clear()
 
     def close(self, *, wait: bool = True) -> None:
-        """Shut the worker pool down; idempotent."""
-        self._closed = True
+        """Drain and shut the worker pool down; idempotent.
+
+        New work is refused immediately (``ServiceClosedError``); with
+        ``wait=True`` (the default graceful drain) every already-accepted
+        job runs to completion before the pool stops. ``service.draining``
+        / ``service.closed`` events bracket the drain on the bus.
+        """
+        with self._lock:
+            first = not self._closed
+            self._closed = True
+            in_flight = sum(
+                1 for j in self._jobs.values()
+                if j.record.state in (JobState.PENDING, JobState.RUNNING)
+            )
+        if first:
+            self.events.publish(
+                "service.draining", in_flight=in_flight, wait=wait
+            )
         self._pool.shutdown(wait=wait)
+        if first:
+            self.events.publish("service.closed")
 
     def __enter__(self) -> "SchedulingService":
         return self
@@ -358,7 +515,7 @@ class SchedulingService:
     # ------------------------------------------------------------------
     def _check_open(self) -> None:
         if self._closed:
-            raise ServiceError("service is closed")
+            raise ServiceClosedError("service is draining/closed")
 
     @staticmethod
     def _coerce(request: RequestLike) -> ScheduleRequest:
@@ -366,28 +523,76 @@ class SchedulingService:
             return request
         return ScheduleRequest.from_dict(request)
 
+    def _retry_delay(self, job_id: str, attempt: int) -> float:
+        """Exponential backoff with deterministic per-job jitter."""
+        jitter = random.Random(f"{job_id}:{attempt}").uniform(0.5, 1.0)
+        return self.retry_backoff_s * (2.0 ** attempt) * jitter
+
     def _run_job(self, job_id: str, request: ScheduleRequest) -> ScheduleResponse:
         with self._lock:
             record = self._jobs[job_id].record
+            if record.state == JobState.CANCELLED:
+                # cancel() won the submit race; the pool picked up a
+                # corpse. Surface it as a cancellation to result().
+                raise FuturesCancelledError()
             record.state = JobState.RUNNING
             record.started_at = time.time()
         self.events.publish("job.started", job_id=job_id)
         self._job_context.job_id = job_id
+        self._job_context.deadline = (
+            None if self.job_timeout is None
+            else time.monotonic() + self.job_timeout
+        )
         try:
-            response = self.schedule(request)
-        except Exception as exc:
+            attempt = 0
+            while True:
+                with self._lock:
+                    record.attempts = attempt + 1
+                try:
+                    self._check_job_deadline()
+                    response = self.schedule(request)
+                    break
+                except Exception as exc:
+                    # ReproError (bad spec, infeasible, timeout) is
+                    # deterministic — retrying cannot help. Anything else
+                    # is treated as transient, up to max_retries times.
+                    if isinstance(exc, ReproError) or attempt >= self.max_retries:
+                        raise
+                    delay = self._retry_delay(job_id, attempt)
+                    attempt += 1
+                    self.events.publish(
+                        "job.retried", job_id=job_id, attempt=attempt,
+                        max_retries=self.max_retries, error=str(exc),
+                        backoff_s=delay,
+                    )
+                    self.metrics.incr("jobs_retried")
+                    if delay > 0:
+                        time.sleep(delay)
+        except BaseException as exc:
+            # Containment: *nothing* a job raises may corrupt the worker
+            # pool or leave the record non-terminal — KeyboardInterrupt
+            # and friends included.
+            tb = traceback.format_exc()
             with self._lock:
                 record.state = JobState.FAILED
-                record.error = str(exc)
+                record.error = str(exc) or type(exc).__name__
+                record.traceback = tb
                 record.finished_at = time.time()
             self.events.publish(
+                "job.failed", job_id=job_id, error=record.error,
+                exc_type=type(exc).__name__, attempts=record.attempts,
+            )
+            self.events.publish(
                 "job.finished", job_id=job_id, state=JobState.FAILED,
-                error=str(exc),
+                error=record.error,
             )
             self.metrics.incr("jobs_failed")
+            if isinstance(exc, JobTimeoutError):
+                self.metrics.incr("jobs_timed_out")
             raise
         finally:
             self._job_context.job_id = None
+            self._job_context.deadline = None
         with self._lock:
             record.state = JobState.DONE
             record.response = response
@@ -398,6 +603,14 @@ class SchedulingService:
         )
         self.metrics.incr("jobs_done")
         return response
+
+    def _check_job_deadline(self) -> None:
+        """Cooperative per-job timeout (checked between evaluation reps)."""
+        deadline = getattr(self._job_context, "deadline", None)
+        if deadline is not None and time.monotonic() > deadline:
+            raise JobTimeoutError(
+                f"job exceeded its {self.job_timeout}s timeout"
+            )
 
     def _compute(self, request: ScheduleRequest) -> ScheduleResponse:
         started = time.perf_counter()
@@ -490,6 +703,7 @@ class SchedulingService:
         # Progress granularity: ~4 updates per evaluation, never per-rep.
         stride = max(1, spec.n_reps // 4)
         for i in range(spec.n_reps):
+            self._check_job_deadline()
             run = execute_schedule(
                 wf, platform, schedule,
                 sample_weights(wf, rng=spec.seed + i),

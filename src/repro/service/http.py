@@ -34,8 +34,10 @@ events. ``/v1/runs`` requires a ledger-enabled service (``repro-exp
 serve --ledger runs.db``); without one it answers with an empty archive
 and ``"enabled": false``.
 
-Validation failures map to 400, unknown routes/jobs to 404, everything
-else to 500, always with a JSON ``{"error": ...}`` body. Every request is
+Validation failures map to 400, unknown routes/jobs to 404, a full job
+queue to 429 and a draining service to 503 (both with a ``Retry-After``
+header), everything else to 500, always with a JSON ``{"error": ...}``
+body. Every request is
 tagged with a fresh trace id, echoed in the ``X-Trace-Id`` response
 header and the structured access log line (``repro.service.http``
 logger — enable with :func:`repro.obs.logging.configure_logging` or the
@@ -54,7 +56,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
-from ..errors import JobNotFoundError, ServiceError
+from ..errors import (
+    JobNotFoundError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from ..obs.events import JOB_EVENT_TYPES, RUN_RECORDED, EventBus
 from ..obs.logging import configure_logging, get_logger
 from ..obs.prometheus import render_prometheus
@@ -213,8 +220,18 @@ class _Handler(BaseHTTPRequestHandler):
     def _dispatch(self, method: str) -> None:
         trace_id = uuid.uuid4().hex[:16]
         started = time.perf_counter()
+        extra_headers: Dict[str, str] = {}
         try:
             status, payload = self._route(method)
+        except ServiceOverloadedError as exc:
+            # Backpressure: the job queue is full. 429 + Retry-After tells
+            # well-behaved clients how long to back off.
+            extra_headers["Retry-After"] = f"{max(exc.retry_after_s, 0):.0f}"
+            status, payload = 429, {"error": str(exc), "trace_id": trace_id}
+        except ServiceClosedError as exc:
+            # Graceful drain: the service no longer accepts work.
+            extra_headers["Retry-After"] = f"{max(exc.retry_after_s, 0):.0f}"
+            status, payload = 503, {"error": str(exc), "trace_id": trace_id}
         except ServiceError as exc:
             status_code = 404 if isinstance(exc, JobNotFoundError) else 400
             status, payload = status_code, {"error": str(exc),
@@ -250,6 +267,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.send_header("X-Trace-Id", trace_id)
+        for name, value in extra_headers.items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
         _access_log.info(
@@ -494,12 +513,19 @@ def serve(
     ledger_path: Optional[str] = None,
     log_level: str = "info",
     log_json: bool = False,
+    max_queue_depth: Optional[int] = None,
+    job_timeout: Optional[float] = None,
+    max_retries: int = 0,
 ) -> None:  # pragma: no cover - blocking entry point, exercised via CLI
     """Run a gateway in the foreground until interrupted.
 
     ``ledger_path`` enables the persistent run ledger: every computed
     response is archived there and ``GET /v1/runs`` serves the archive.
+    SIGTERM and SIGINT both trigger a graceful drain: the socket closes,
+    in-flight jobs finish, then the process exits.
     """
+    import signal
+
     from ..obs.ledger import RunLedger
 
     configure_logging(level=log_level, json_mode=log_json)
@@ -509,9 +535,15 @@ def serve(
     )
     service = SchedulingService(
         max_workers=max_workers, cache_size=cache_size, cache_ttl=cache_ttl,
-        ledger=ledger, events=bus,
+        ledger=ledger, events=bus, max_queue_depth=max_queue_depth,
+        job_timeout=job_timeout, max_retries=max_retries,
     )
     gateway = ServiceGateway(service, host=host, port=port)
+
+    def _sigterm(signum: int, frame: Any) -> None:
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _sigterm)
     print(f"repro scheduling service listening on {gateway.url}")
     print("endpoints: /v1/healthz /v1/schedulers /v1/metrics "
           "/v1/schedule /v1/jobs /v1/jobs/<id>/events /v1/events "
@@ -521,9 +553,10 @@ def serve(
     try:
         gateway.serve_forever()
     except KeyboardInterrupt:
-        print("\nshutting down")
+        print("\ndraining: waiting for in-flight jobs", flush=True)
     finally:
         gateway.shutdown()
-        service.close()
+        service.close(wait=True)
         if ledger is not None:
             ledger.close()
+        print("drained; bye", flush=True)

@@ -79,6 +79,20 @@ class FlowPool:
         self._flows[flow_id] = _Flow(remaining=nbytes, cap=cap, payload=payload)
         self._recompute_rates()
 
+    def cancel(self, flow_id: Hashable) -> bool:
+        """Abort an in-flight flow without completing it.
+
+        Used by fault injection: a VM crash kills its active download, so
+        the flow must leave the pool (freeing its bandwidth share) without
+        ever being reported by :meth:`advance`. Returns whether the flow
+        existed.
+        """
+        if flow_id not in self._flows:
+            return False
+        del self._flows[flow_id]
+        self._recompute_rates()
+        return True
+
     def _recompute_rates(self) -> None:
         """Max-min fair share of ``capacity`` among active flows.
 

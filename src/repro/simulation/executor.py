@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional
 
 from ..errors import SimulationError
+from ..faults.plan import FaultEvent, FaultPlan
 from ..obs.tracing import get_tracer
 from ..platform.cloud import CloudPlatform
 from ..platform.pricing import CostBreakdown
@@ -53,7 +54,7 @@ __all__ = [
 ]
 
 # Task lifecycle phases.
-_PENDING, _DOWNLOADING, _COMPUTING, _DONE = range(4)
+_PENDING, _DOWNLOADING, _COMPUTING, _DONE, _FAILED = range(5)
 
 
 def conservative_weights(wf: Workflow) -> Dict[str, float]:
@@ -84,6 +85,7 @@ class _VMState:
     record: Optional[VMRecord] = None
     last_compute_end: float = 0.0
     last_upload_end: float = 0.0
+    dead: bool = False    # killed by an injected crash; dispatches nothing
 
 
 def execute_schedule(
@@ -95,6 +97,7 @@ def execute_schedule(
     dc_capacity: float = math.inf,
     per_second_billing: bool = True,
     validate: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> SimulationResult:
     """Execute ``schedule`` on ``platform`` with the given actual weights.
 
@@ -102,6 +105,15 @@ def execute_schedule(
     :func:`sample_weights` for a stochastic run or
     :func:`conservative_weights` / :func:`mean_weights` for deterministic
     evaluation. Returns the full :class:`SimulationResult`.
+
+    ``fault_plan`` injects deterministic failures (see
+    :class:`~repro.faults.plan.FaultPlan`): crashed VMs lose their
+    unfinished work, boot failures delay readiness, stragglers and
+    transient retries inflate compute time. A run with failures does not
+    raise — it returns a partial result with ``failed_tasks`` /
+    ``blocked_tasks`` populated and every started VM-second billed. An
+    empty (or absent) plan leaves the executor on the exact fault-free
+    code path.
 
     When a :class:`~repro.obs.tracing.Tracer` is installed, the run is
     wrapped in a ``simulate.execute`` span carrying per-phase timings
@@ -114,6 +126,7 @@ def execute_schedule(
         return _execute(
             wf, platform, schedule, weights, dc_capacity=dc_capacity,
             per_second_billing=per_second_billing, validate=validate,
+            fault_plan=fault_plan,
         )[0]
     with tracer.span(
         "simulate.execute", workflow=wf.name, n_tasks=wf.n_tasks,
@@ -122,7 +135,7 @@ def execute_schedule(
         result, stats = _execute(
             wf, platform, schedule, weights, dc_capacity=dc_capacity,
             per_second_billing=per_second_billing, validate=validate,
-            collect_stats=True,
+            fault_plan=fault_plan, collect_stats=True,
         )
         span.set(makespan=result.makespan, total_cost=result.total_cost,
                  **stats)
@@ -132,6 +145,10 @@ def execute_schedule(
         tracer.count("sim.events", stats["n_events"])
         tracer.count("sim.downloads", stats["n_downloads"])
         tracer.count("sim.uploads", stats["n_uploads"])
+        if result.fault_events:
+            span.set(n_faults=len(result.fault_events),
+                     n_failed_tasks=len(result.failed_tasks))
+            tracer.count("sim.faults", len(result.fault_events))
     return result
 
 
@@ -144,6 +161,7 @@ def _execute(
     dc_capacity: float = math.inf,
     per_second_billing: bool = True,
     validate: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
     collect_stats: bool = False,
 ):
     """The discrete-event core; returns ``(result, stats-or-empty-dict)``."""
@@ -153,6 +171,18 @@ def _execute(
     missing = set(wf.tasks) - set(weights)
     if missing:
         raise SimulationError(f"weights missing for tasks {sorted(missing)[:5]}")
+
+    # An empty plan must be indistinguishable from no plan: every fault
+    # branch below is guarded by `plan`, so the zero-fault path is the
+    # exact pre-fault-framework code.
+    plan = fault_plan if fault_plan else None
+    fault_events: List[FaultEvent] = []
+    if plan:
+        # Inflate the affected weights (stragglers + transient re-runs);
+        # the recorded actual_weight is what the VM really ground through.
+        weights = {
+            tid: w * plan.weight_factor(tid) for tid, w in weights.items()
+        }
 
     bw = platform.bandwidth
     events = EventQueue()
@@ -199,6 +229,8 @@ def _execute(
         this degenerates to the serial queue of §III-B.
         """
         while vm.idx < len(vm.queue) and vm.active < vm.cores:
+            if vm.dead:
+                return
             head = vm.queue[vm.idx]
             if phase[head] != _PENDING or gates[head] > 0:
                 return
@@ -208,7 +240,17 @@ def _execute(
                 vm.record = VMRecord(
                     vm_id=vm.vm_id, category=category, booked_at=now
                 )
-                events.push(now + category.boot_time, "boot", vm.vm_id)
+                boot_time = category.boot_time
+                if plan:
+                    extra = plan.extra_boots(vm.vm_id)
+                    for k in range(extra):
+                        fault_events.append(FaultEvent(
+                            ts=now + boot_time * (k + 1),
+                            kind="vm.boot_failure", vm_id=vm.vm_id,
+                            info={"attempt": k + 1},
+                        ))
+                    boot_time *= 1 + extra
+                events.push(now + boot_time, "boot", vm.vm_id)
                 return
             if not vm.ready:
                 return
@@ -229,10 +271,38 @@ def _execute(
         rec.compute_start = now
         phase[tid] = _COMPUTING
         speed = schedule.category_of(tid).speed
-        events.push(now + weights[tid] / speed, "compute", tid)
+        duration = weights[tid] / speed
+        if plan:
+            _emit_compute_faults(tid, rec.vm_id, now, duration)
+        events.push(now + duration, "compute", tid)
+
+    def _emit_compute_faults(
+        tid: str, vm_id: int, now: float, duration: float
+    ) -> None:
+        """Log straggler / transient-retry faults for one compute phase."""
+        straggler = plan.stragglers.get(tid)
+        if straggler is not None:
+            fault_events.append(FaultEvent(
+                ts=now, kind="task.straggler", vm_id=vm_id, task=tid,
+                info={"factor": straggler},
+            ))
+        fractions = plan.task_retries.get(tid)
+        if fractions:
+            # `duration` covers all attempts; one clean attempt takes
+            # duration / (1 + Σf), and attempt i dies f_i of the way in.
+            attempt = duration / (1.0 + sum(fractions))
+            t = now
+            for i, f in enumerate(fractions):
+                t += f * attempt
+                fault_events.append(FaultEvent(
+                    ts=t, kind="task.retry", vm_id=vm_id, task=tid,
+                    info={"attempt": i + 1, "wasted_s": f * attempt},
+                ))
 
     def on_boot(vm_id: int, now: float) -> None:
         vm = vms[vm_id]
+        if vm.dead:
+            return  # crashed while booting; nothing comes up
         vm.ready = True
         assert vm.record is not None
         vm.record.ready_at = now
@@ -242,6 +312,8 @@ def _execute(
 
     def on_compute_done(tid: str, now: float) -> None:
         nonlocal tasks_remaining
+        if plan and phase[tid] != _COMPUTING:
+            return  # stale event: the task was killed by a crash
         vm = vms[schedule.vm_of(tid)]
         rec = records[tid]
         rec.compute_end = now
@@ -287,8 +359,56 @@ def _execute(
             if cvm.idx < len(cvm.queue) and cvm.queue[cvm.idx] == consumer:
                 try_start(cvm, now)
 
+    def on_crash(vm_id: int, now: float) -> None:
+        """Kill a VM: lose its unfinished work, keep its durable outputs.
+
+        Completed tasks (and uploads already streaming, which are modeled
+        as datacenter-side and therefore durable) survive; active
+        downloads/computes and the queued remainder fail. A crash on a VM
+        that was never provisioned, already died, or already finished its
+        queue is a no-op. Billing runs to the crash instant — the paper's
+        cost model charges for started seconds, useful or not.
+        """
+        vm = vms[vm_id]
+        if vm.dead or not vm.boot_requested:
+            return
+        killed = [
+            tid for tid in vm.queue[:vm.idx]
+            if phase[tid] in (_DOWNLOADING, _COMPUTING)
+        ] + [
+            tid for tid in vm.queue[vm.idx:] if phase[tid] == _PENDING
+        ]
+        if not killed:
+            return  # queue fully executed; the VM was done anyway
+        vm.dead = True
+        for tid in killed:
+            if phase[tid] == _DOWNLOADING:
+                pool.cancel(("dl", tid))
+            if tid in records:
+                records[tid].failed = True
+            phase[tid] = _FAILED
+        vm.active = 0
+        assert vm.record is not None
+        vm.record.crashed_at = now
+        if not vm.ready:
+            # Crashed mid-boot: never billed a productive second, but the
+            # booking fee is still owed (ready == end == crash instant).
+            vm.record.ready_at = now
+        fault_events.append(FaultEvent(
+            ts=now, kind="vm.crash", vm_id=vm_id,
+            info={"killed": sorted(killed), "was_ready": vm.ready},
+        ))
+
     # --- main loop ----------------------------------------------------------
     t_wall_setup = time.perf_counter() if collect_stats else 0.0
+    if plan:
+        # Crash events enter the queue up front; the handler ignores ones
+        # that land on unprovisioned or finished VMs. At equal timestamps
+        # the crash wins (lower sequence number) — a task completing at
+        # the very crash instant is lost, deterministically.
+        for vm_id in sorted(plan.crashes):
+            if vm_id in vms:
+                events.push(plan.crashes[vm_id], "crash", vm_id)
     for vm in vms.values():
         try_start(vm, 0.0)
     if all(not vm.boot_requested for vm in vms.values()):
@@ -298,6 +418,8 @@ def _execute(
 
     guard = 0
     guard_limit = 20 * (wf.n_tasks + wf.n_edges) + 100
+    if plan:
+        guard_limit += 20 * plan.size
     while events or pool:
         guard += 1
         if guard > guard_limit:
@@ -324,10 +446,18 @@ def _execute(
                 on_boot(payload, now)
             elif kind == "compute":
                 on_compute_done(payload, now)
+            elif kind == "crash":
+                on_crash(payload, now)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event kind {kind!r}")
 
-    if tasks_remaining != 0:
+    failed_tasks = (
+        [tid for tid in schedule.order if phase[tid] == _FAILED] if plan else []
+    )
+    blocked_tasks = (
+        [tid for tid in schedule.order if phase[tid] == _PENDING] if plan else []
+    )
+    if tasks_remaining != 0 and not failed_tasks:
         stuck = sorted(tid for tid, p in phase.items() if p != _DONE)
         raise SimulationError(
             f"{tasks_remaining} tasks never executed, e.g. {stuck[:5]} — "
@@ -338,15 +468,44 @@ def _execute(
     t_wall_loop = time.perf_counter() if collect_stats else 0.0
     vm_records: List[VMRecord] = []
     for vm in sorted(vms.values(), key=lambda v: v.vm_id):
+        if plan and vm.record is None:
+            continue  # never provisioned: an upstream failure starved it
         assert vm.record is not None
-        vm.record.end_at = max(vm.last_compute_end, vm.last_upload_end)
+        end_at = max(vm.last_compute_end, vm.last_upload_end)
+        if plan:
+            if vm.dead:
+                # Billing stops at the crash; the tail from the last useful
+                # second to the crash is the lost VM-hours the paper's cost
+                # model still charges for.
+                end_at = vm.record.crashed_at or end_at
+            else:
+                retire = plan.retires.get(vm.vm_id)
+                if retire is not None and retire > end_at >= vm.record.ready_at:
+                    # Recovery bookkeeping: a previously crashed VM whose
+                    # surviving tasks finish early still bills its full
+                    # pre-crash rental window on replays.
+                    end_at = retire
+        vm.record.end_at = end_at
         vm_records.append(vm.record)
 
+    if not vm_records:  # pragma: no cover - needs a plan crashing everything
+        raise SimulationError("no VM was ever provisioned")
     start = min(r.booked_at for r in vm_records)
-    end = max(
-        max(r.end_at for r in vm_records),
-        max(rec.outputs_at_dc for rec in records.values()),
-    )
+    if plan and (failed_tasks or blocked_tasks):
+        outputs = [
+            rec.outputs_at_dc for rec in records.values() if not rec.failed
+        ]
+        end = max([r.end_at for r in vm_records] + outputs)
+    else:
+        end = max(
+            max(r.end_at for r in vm_records),
+            max(rec.outputs_at_dc for rec in records.values()),
+        )
+    if fault_events:
+        # Events are appended when scheduled (a retry's timestamp lies in
+        # the future); present the log in fired order.
+        fault_events.sort(key=lambda e: (e.ts, e.kind, e.vm_id or -1,
+                                         e.task or ""))
     makespan = end - start
     cost = CostBreakdown.build(
         platform,
@@ -358,6 +517,8 @@ def _execute(
     result = SimulationResult(
         makespan=makespan, start=start, end=end, cost=cost,
         tasks=records, vms=vm_records,
+        fault_events=fault_events, failed_tasks=failed_tasks,
+        blocked_tasks=blocked_tasks,
     )
     stats: Dict[str, float] = {}
     if collect_stats:

@@ -6,7 +6,10 @@ phases distinguished. Used by examples and invaluable when debugging
 schedules; deliberately plain text so it works in logs and docstrings.
 
 Legend: ``.`` idle (billed), ``▒`` download, ``█`` compute, ``░`` upload,
-``|`` boot completion. Rows are labelled ``vm<id>/<category>``.
+``|`` boot completion. Rows are labelled ``vm<id>/<category>``. On
+fault-injected runs a ``✗`` marks the crash instant of a dead VM; the
+zero-fault rendering is byte-identical to what it was before fault
+injection existed.
 """
 
 from __future__ import annotations
@@ -18,7 +21,7 @@ from .trace import SimulationResult, TaskRecord
 
 __all__ = ["render_gantt", "render_task_table"]
 
-_IDLE, _DOWN, _COMP, _UP = ".", "▒", "█", "░"
+_IDLE, _DOWN, _COMP, _UP, _CRASH = ".", "▒", "█", "░", "✗"
 
 
 def _paint(row: List[str], start: float, end: float, t0: float, scale: float,
@@ -73,6 +76,10 @@ def render_gantt(
             boot_idx = int((vm.ready_at - t0) * scale)
             if 0 <= boot_idx < width and row[boot_idx] == _IDLE:
                 row[boot_idx] = "|"
+        if vm.crashed_at is not None:
+            crash_idx = min(int((vm.crashed_at - t0) * scale), width - 1)
+            if crash_idx >= 0:
+                row[crash_idx] = _CRASH
         label = f"vm{vm.vm_id}/{vm.category.name}".ljust(label_width)
         out.write(f"{label} {''.join(row)}\n")
     axis = "0".ljust(width - 9) + f"{span:8.0f}s"
@@ -81,6 +88,12 @@ def render_gantt(
         f"legend: {_DOWN} download  {_COMP} compute  {_UP} upload  "
         f"{_IDLE} idle (billed)  | boot done\n"
     )
+    if result.fault_events:
+        out.write(
+            f"faults: {len(result.fault_events)} injected  "
+            f"{_CRASH} crash  failed={len(result.failed_tasks)}  "
+            f"blocked={len(result.blocked_tasks)}\n"
+        )
     return out.getvalue()
 
 

@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..platform.pricing import CostBreakdown
 from ..platform.vm import VMCategory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..faults.plan import FaultEvent
 
 __all__ = ["TaskRecord", "VMRecord", "SimulationResult"]
 
@@ -18,6 +21,9 @@ class TaskRecord:
     ``download_start ≤ compute_start ≤ compute_end ≤ outputs_at_dc``; when
     the task needs no download the first two coincide, and when none of its
     outputs go through the datacenter ``outputs_at_dc == compute_end``.
+
+    ``failed`` marks a task killed by an injected VM crash mid-download or
+    mid-compute; its later timeline fields keep their pre-crash defaults.
     """
 
     tid: str
@@ -27,6 +33,7 @@ class TaskRecord:
     compute_end: float = 0.0
     outputs_at_dc: float = 0.0
     actual_weight: float = 0.0
+    failed: bool = False
 
 
 @dataclass
@@ -36,6 +43,10 @@ class VMRecord:
     ``booked_at`` is when the VM was requested (``H_start,first`` uses the
     earliest booking); ``ready_at`` is after the uncharged boot; billing
     runs from ``ready_at`` to ``end_at`` (Eq. 1).
+
+    ``crashed_at`` is set by fault injection when the VM died mid-run; the
+    billed window then ends at the crash instant (the lost VM-hours are
+    paid for — Eq. 1 knows nothing about usefulness).
     """
 
     vm_id: int
@@ -44,6 +55,7 @@ class VMRecord:
     ready_at: float = 0.0
     end_at: float = 0.0
     n_tasks: int = 0
+    crashed_at: Optional[float] = None
 
     @property
     def billed_duration(self) -> float:
@@ -57,6 +69,12 @@ class SimulationResult:
 
     ``makespan`` is ``H_end,last − H_start,first`` (§III-C). ``cost`` is the
     itemized :class:`CostBreakdown`; ``total_cost`` is ``C_wf``.
+
+    The fault fields stay at their empty defaults on a fault-free run:
+    ``fault_events`` is the ordered log of injected faults that actually
+    fired; ``failed_tasks`` are tasks killed by a VM crash; and
+    ``blocked_tasks`` are tasks that never started because a (transitive)
+    predecessor failed. ``completed`` is True iff every task ran to the end.
     """
 
     makespan: float
@@ -65,6 +83,14 @@ class SimulationResult:
     cost: CostBreakdown
     tasks: Dict[str, TaskRecord] = field(default_factory=dict)
     vms: List[VMRecord] = field(default_factory=list)
+    fault_events: List["FaultEvent"] = field(default_factory=list)
+    failed_tasks: List[str] = field(default_factory=list)
+    blocked_tasks: List[str] = field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        """True when every task executed (no crash losses, no blockage)."""
+        return not self.failed_tasks and not self.blocked_tasks
 
     @property
     def total_cost(self) -> float:

@@ -1,0 +1,1 @@
+"""Fault-injection and budget-aware recovery tests."""

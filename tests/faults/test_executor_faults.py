@@ -1,0 +1,157 @@
+"""Executor fault semantics: strict zero-fault no-op, crash billing, golden traces."""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.platform.cloud import PAPER_PLATFORM
+from repro.scheduling.registry import make_scheduler
+from repro.simulation.executor import conservative_weights, execute_schedule
+from repro.simulation.gantt import render_gantt
+from repro.workflow.generators import generate
+
+
+@pytest.fixture(scope="module")
+def instance():
+    wf = generate("montage", 15, rng=1, sigma_ratio=0.5)
+    schedule = make_scheduler("heft_budg").schedule(
+        wf, PAPER_PLATFORM, 1.0
+    ).schedule
+    return wf, schedule
+
+
+def run(wf, schedule, plan=None, weights=None):
+    return execute_schedule(
+        wf, PAPER_PLATFORM, schedule,
+        weights if weights is not None else conservative_weights(wf),
+        validate=False, fault_plan=plan,
+    )
+
+
+class TestZeroFaultNoOp:
+    def test_empty_plan_is_byte_identical(self, instance):
+        wf, schedule = instance
+        base = run(wf, schedule, plan=None)
+        empty = run(wf, schedule, plan=FaultPlan())
+        assert empty.makespan == base.makespan
+        assert empty.total_cost == base.total_cost
+        for tid, rec in base.tasks.items():
+            other = empty.tasks[tid]
+            assert (rec.download_start, rec.compute_start, rec.compute_end,
+                    rec.outputs_at_dc, rec.vm_id) == (
+                        other.download_start, other.compute_start,
+                        other.compute_end, other.outputs_at_dc, other.vm_id)
+        assert not empty.fault_events
+        assert render_gantt(empty) == render_gantt(base)
+
+    def test_zero_fault_gantt_has_no_fault_lines(self, instance):
+        wf, schedule = instance
+        text = render_gantt(run(wf, schedule))
+        assert "faults:" not in text
+        assert "✗" not in text
+
+
+class TestCrashSemantics:
+    def test_crash_kills_unfinished_work_and_bills_to_crash(self, instance):
+        wf, schedule = instance
+        base = run(wf, schedule)
+        victim = max(
+            (v for v in base.vms), key=lambda v: v.end_at - v.ready_at
+        )
+        crash_at = (victim.ready_at + victim.end_at) / 2.0
+        faulty = run(wf, schedule, plan=FaultPlan(crashes={victim.vm_id: crash_at}))
+        assert not faulty.completed
+        assert faulty.failed_tasks
+        dead = next(v for v in faulty.vms if v.vm_id == victim.vm_id)
+        assert dead.crashed_at == pytest.approx(crash_at)
+        assert dead.end_at == pytest.approx(crash_at)
+        assert faulty.total_cost < base.total_cost  # truncated rental
+        kinds = [e.kind for e in faulty.fault_events]
+        assert "vm.crash" in kinds
+
+    def test_crash_before_any_work_fails_all_vm_tasks(self, instance):
+        wf, schedule = instance
+        base = run(wf, schedule)
+        victim = max((v for v in base.vms),
+                     key=lambda v: sum(1 for r in base.tasks.values()
+                                       if r.vm_id == v.vm_id))
+        n_hosted = sum(1 for r in base.tasks.values()
+                       if r.vm_id == victim.vm_id)
+        faulty = run(wf, schedule, plan=FaultPlan(crashes={victim.vm_id: 0.0}))
+        assert len(faulty.failed_tasks) == n_hosted
+        # downstream tasks that depended on the dead VM never start
+        assert set(faulty.failed_tasks).isdisjoint(faulty.blocked_tasks)
+
+    def test_crash_marker_in_gantt(self, instance):
+        wf, schedule = instance
+        base = run(wf, schedule)
+        victim = base.vms[0]
+        crash_at = (victim.ready_at + victim.end_at) / 2.0
+        text = render_gantt(
+            run(wf, schedule, plan=FaultPlan(crashes={victim.vm_id: crash_at}))
+        )
+        assert "✗" in text
+        assert "faults: 1 injected" in text
+
+    def test_crash_past_vm_end_does_not_fire(self, instance):
+        wf, schedule = instance
+        base = run(wf, schedule)
+        late = base.end + 10_000.0
+        plan = FaultPlan(crashes={base.vms[0].vm_id: late})
+        out = run(wf, schedule, plan=plan)
+        assert out.completed
+        assert not out.fault_events
+        assert out.total_cost == base.total_cost
+
+
+class TestBillingFaults:
+    def test_retire_floors_the_billing_window(self, instance):
+        wf, schedule = instance
+        base = run(wf, schedule)
+        vm = base.vms[0]
+        floor = vm.end_at + 3600.0
+        out = run(wf, schedule, plan=FaultPlan(retires={vm.vm_id: floor}))
+        assert out.completed  # retires never kill work
+        retired = next(v for v in out.vms if v.vm_id == vm.vm_id)
+        assert retired.end_at >= floor
+        assert out.total_cost > base.total_cost
+
+    def test_straggler_inflates_compute_and_makespan(self, instance):
+        wf, schedule = instance
+        base = run(wf, schedule)
+        tid = max(base.tasks,
+                  key=lambda t: base.tasks[t].compute_end
+                  - base.tasks[t].compute_start)
+        out = run(wf, schedule, plan=FaultPlan(stragglers={tid: 2.0}))
+        assert out.completed
+        b, f = base.tasks[tid], out.tasks[tid]
+        base_len = b.compute_end - b.compute_start
+        assert (f.compute_end - f.compute_start) == pytest.approx(2 * base_len)
+        kinds = [e.kind for e in out.fault_events]
+        assert "task.straggler" in kinds
+
+    def test_transient_retry_wastes_a_fraction(self, instance):
+        wf, schedule = instance
+        base = run(wf, schedule)
+        tid = next(iter(schedule.order))
+        out = run(wf, schedule, plan=FaultPlan(task_retries={tid: (0.5,)}))
+        assert out.completed
+        b, f = base.tasks[tid], out.tasks[tid]
+        base_len = b.compute_end - b.compute_start
+        assert (f.compute_end - f.compute_start) == pytest.approx(1.5 * base_len)
+
+
+class TestGoldenTrace:
+    def test_fault_run_is_deterministic(self, instance):
+        wf, schedule = instance
+        plan = FaultPlan.sample(schedule, rng=7, horizon=7200.0,
+                                crash_rate_per_hour=3.0,
+                                straggler_prob=0.3)
+        a = run(wf, schedule, plan=plan)
+        b = run(wf, schedule, plan=plan)
+        assert [e.to_dict() for e in a.fault_events] == [
+            e.to_dict() for e in b.fault_events
+        ]
+        assert a.makespan == b.makespan
+        assert a.total_cost == b.total_cost
+        assert a.failed_tasks == b.failed_tasks
+        assert render_gantt(a) == render_gantt(b)

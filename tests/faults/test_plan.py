@@ -1,0 +1,141 @@
+"""FaultPlan value semantics: validation, views, serialization, sampling."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.faults import FaultPlan
+from repro.platform.cloud import PAPER_PLATFORM
+from repro.scheduling.registry import make_scheduler
+from repro.workflow.generators import generate
+
+
+def small_schedule():
+    wf = generate("montage", 15, rng=1, sigma_ratio=0.5)
+    return wf, make_scheduler("heft_budg").schedule(wf, PAPER_PLATFORM, 1.0).schedule
+
+
+class TestValidation:
+    def test_negative_crash_time_rejected(self):
+        with pytest.raises(SimulationError, match="negative"):
+            FaultPlan(crashes={0: -1.0})
+
+    def test_negative_retire_time_rejected(self):
+        with pytest.raises(SimulationError, match="negative"):
+            FaultPlan(retires={0: -5.0})
+
+    def test_boot_failure_count_must_be_positive(self):
+        with pytest.raises(SimulationError, match=">= 1"):
+            FaultPlan(boot_failures={0: 0})
+
+    def test_retry_fractions_must_be_positive(self):
+        with pytest.raises(SimulationError, match="positive"):
+            FaultPlan(task_retries={"t": (0.5, -0.1)})
+        with pytest.raises(SimulationError, match="positive"):
+            FaultPlan(task_retries={"t": ()})
+
+    def test_straggler_factor_below_one_rejected(self):
+        with pytest.raises(SimulationError, match=">= 1"):
+            FaultPlan(stragglers={"t": 0.5})
+
+
+class TestViews:
+    def test_empty_plan_is_falsy(self):
+        plan = FaultPlan()
+        assert plan.is_empty
+        assert not plan
+        assert plan.size == 0
+
+    def test_size_counts_every_entry(self):
+        plan = FaultPlan(
+            crashes={0: 10.0}, retires={1: 5.0}, boot_failures={2: 1},
+            task_retries={"a": (0.5,)}, stragglers={"b": 2.0},
+        )
+        assert plan.size == 5
+        assert plan and not plan.is_empty
+
+    def test_weight_factor_composes_straggler_and_retries(self):
+        plan = FaultPlan(task_retries={"t": (0.5,)}, stragglers={"t": 2.0})
+        assert plan.weight_factor("t") == pytest.approx(2.0 * 1.5)
+        assert plan.weight_factor("other") == 1.0
+
+    def test_extra_boots(self):
+        plan = FaultPlan(boot_failures={3: 2})
+        assert plan.extra_boots(3) == 2
+        assert plan.extra_boots(0) == 0
+
+    def test_billing_only_strips_crashes_keeps_the_rest(self):
+        plan = FaultPlan(
+            crashes={0: 10.0}, retires={1: 5.0}, boot_failures={2: 1},
+            task_retries={"a": (0.5,)}, stragglers={"b": 2.0},
+        )
+        billing = plan.billing_only()
+        assert billing.crashes == {}
+        assert billing.retires == {1: 5.0}
+        assert billing.boot_failures == {2: 1}
+        assert billing.task_retries == {"a": (0.5,)}
+        assert billing.stragglers == {"b": 2.0}
+
+    def test_with_crashes_retired_moves_fired_entries(self):
+        plan = FaultPlan(crashes={0: 10.0, 1: 20.0})
+        out = plan.with_crashes_retired({0: 10.0})
+        assert out.crashes == {1: 20.0}
+        assert out.retires == {0: 10.0}
+        # original untouched (value semantics)
+        assert plan.crashes == {0: 10.0, 1: 20.0}
+
+    def test_with_crashes_retired_drop_removes_vm_entirely(self):
+        plan = FaultPlan(crashes={0: 10.0}, boot_failures={0: 1})
+        out = plan.with_crashes_retired({0: 10.0}, drop=(0,))
+        assert out.crashes == {} and out.retires == {}
+        assert out.boot_failures == {}
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        plan = FaultPlan(
+            crashes={3: 100.0}, retires={1: 5.0}, boot_failures={2: 1},
+            task_retries={"a": (0.5, 0.25)}, stragglers={"b": 2.0},
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_json_string_keys_normalized_to_int(self):
+        plan = FaultPlan.from_dict({"crashes": {"7": 42.0}})
+        assert plan.crashes == {7: 42.0}
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SimulationError, match="unknown fault plan"):
+            FaultPlan.from_dict({"crashes": {}, "meteor_strikes": {}})
+
+    def test_equality_by_value(self):
+        assert FaultPlan(crashes={0: 1.0}) == FaultPlan(crashes={0: 1.0})
+        assert FaultPlan(crashes={0: 1.0}) != FaultPlan(crashes={0: 2.0})
+        assert FaultPlan() != object()
+
+
+class TestSampling:
+    def test_horizon_must_be_positive(self):
+        _, schedule = small_schedule()
+        with pytest.raises(SimulationError, match="horizon"):
+            FaultPlan.sample(schedule, rng=1, horizon=0.0)
+
+    def test_same_seed_same_plan(self):
+        _, schedule = small_schedule()
+        kwargs = dict(horizon=7200.0, crash_rate_per_hour=2.0,
+                      boot_failure_prob=0.3, task_retry_prob=0.2,
+                      straggler_prob=0.2)
+        a = FaultPlan.sample(schedule, rng=42, **kwargs)
+        b = FaultPlan.sample(schedule, rng=42, **kwargs)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        _, schedule = small_schedule()
+        kwargs = dict(horizon=7200.0, crash_rate_per_hour=5.0,
+                      task_retry_prob=0.5, straggler_prob=0.5)
+        plans = {FaultPlan.sample(schedule, rng=s, **kwargs).to_dict().__str__()
+                 for s in range(6)}
+        assert len(plans) > 1
+
+    def test_zero_rates_yield_empty_plan(self):
+        _, schedule = small_schedule()
+        plan = FaultPlan.sample(schedule, rng=1, horizon=7200.0)
+        assert plan.is_empty

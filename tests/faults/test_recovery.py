@@ -1,0 +1,176 @@
+"""Recovery policies and the execute → detect → recover loop's budget gate."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.faults import FaultPlan, make_policy, run_with_faults
+from repro.faults.recovery import RECOVERY_POLICIES, RemapRecovery, RetrySameCategory
+from repro.faults.runner import (
+    OUTCOME_BUDGET_EXHAUSTED,
+    OUTCOME_FAILED,
+    OUTCOME_SUCCESS,
+)
+from repro.obs.events import EventBus
+from repro.platform.cloud import PAPER_PLATFORM
+from repro.scheduling.registry import make_scheduler
+from repro.service.metrics import MetricsRegistry
+from repro.simulation.executor import conservative_weights, execute_schedule
+from repro.workflow.generators import generate
+
+BUDGET = 0.5
+
+
+@pytest.fixture(scope="module")
+def instance():
+    wf = generate("montage", 20, rng=1, sigma_ratio=0.5)
+    schedule = make_scheduler("heft_budg").schedule(
+        wf, PAPER_PLATFORM, BUDGET
+    ).schedule
+    return wf, schedule
+
+
+def crash_plan(wf, schedule, *, rng=3, rate=3.0):
+    """A sampled plan guaranteed (by construction below) to fire a crash."""
+    base = execute_schedule(wf, PAPER_PLATFORM, schedule,
+                            conservative_weights(wf), validate=False)
+    victim = max(base.vms, key=lambda v: v.end_at - v.ready_at)
+    return FaultPlan(crashes={victim.vm_id: (victim.ready_at + victim.end_at) / 2})
+
+
+class TestPolicyFactory:
+    def test_registry_names(self):
+        assert set(RECOVERY_POLICIES) == {"retry", "remap"}
+        assert isinstance(make_policy("retry"), RetrySameCategory)
+        assert isinstance(make_policy("remap"), RemapRecovery)
+
+    def test_none_means_no_policy(self):
+        assert make_policy(None) is None
+        assert make_policy("none") is None
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SchedulingError, match="unknown recovery policy"):
+            make_policy("prayer")
+
+
+class TestRunWithFaults:
+    def test_no_faults_is_single_attempt_success(self, instance):
+        wf, schedule = instance
+        out = run_with_faults(wf, PAPER_PLATFORM, BUDGET, FaultPlan(),
+                              schedule=schedule,
+                              weights=conservative_weights(wf))
+        assert out.outcome == OUTCOME_SUCCESS and out.success
+        assert out.n_attempts == 1 and out.n_recoveries == 0
+        assert out.lost_cost == 0.0 and not out.fault_events
+        assert out.within_budget()
+
+    def test_crash_without_policy_fails(self, instance):
+        wf, schedule = instance
+        out = run_with_faults(
+            wf, PAPER_PLATFORM, BUDGET, crash_plan(wf, schedule),
+            schedule=schedule, weights=conservative_weights(wf), policy=None,
+        )
+        assert out.outcome == OUTCOME_FAILED
+        assert "no recovery policy" in out.error
+        assert out.n_faults >= 1
+
+    @pytest.mark.parametrize("policy", ["retry", "remap"])
+    def test_crash_recovered_within_budget(self, instance, policy):
+        wf, schedule = instance
+        out = run_with_faults(
+            wf, PAPER_PLATFORM, BUDGET, crash_plan(wf, schedule),
+            schedule=schedule, weights=conservative_weights(wf), policy=policy,
+        )
+        assert out.outcome == OUTCOME_SUCCESS
+        assert out.n_recoveries >= 1
+        assert out.recovered_tasks
+        # Dead-VM rentals are billed either as plan retires (VM kept some
+        # completed work) or as lost_cost (VM dropped empty) — never both.
+        assert out.lost_cost >= 0.0
+        assert out.within_budget()
+        out.schedule.validate(wf)
+
+    def test_tight_budget_is_exhausted_not_overrun(self, instance):
+        wf, schedule = instance
+        base = execute_schedule(wf, PAPER_PLATFORM, schedule,
+                                conservative_weights(wf), validate=False)
+        tight = base.total_cost * 1.001  # no slack for a recovery
+        out = run_with_faults(
+            wf, PAPER_PLATFORM, tight, crash_plan(wf, schedule),
+            schedule=schedule, weights=conservative_weights(wf),
+            policy="remap",
+        )
+        assert out.outcome == OUTCOME_BUDGET_EXHAUSTED
+        assert "projects" in out.error and "budget" in out.error
+
+    def test_events_and_metrics_observed(self, instance):
+        wf, schedule = instance
+        bus, metrics = EventBus(), MetricsRegistry()
+        out = run_with_faults(
+            wf, PAPER_PLATFORM, BUDGET, crash_plan(wf, schedule),
+            schedule=schedule, weights=conservative_weights(wf),
+            policy="remap", bus=bus, metrics=metrics,
+        )
+        assert out.success
+        seen = [ev.type for ev in bus.history()]
+        assert "fault.injected" in seen
+        assert "recovery.applied" in seen
+        assert metrics.counter("faults_injected") >= 1
+        assert metrics.counter("recovery_attempts") >= 1
+        assert metrics.counter("recovery_applied") >= 1
+
+    def test_rejected_recovery_publishes_and_counts(self, instance):
+        wf, schedule = instance
+        bus, metrics = EventBus(), MetricsRegistry()
+        base = execute_schedule(wf, PAPER_PLATFORM, schedule,
+                                conservative_weights(wf), validate=False)
+        out = run_with_faults(
+            wf, PAPER_PLATFORM, base.total_cost * 1.001,
+            crash_plan(wf, schedule), schedule=schedule,
+            weights=conservative_weights(wf), policy="remap",
+            bus=bus, metrics=metrics,
+        )
+        assert out.outcome == OUTCOME_BUDGET_EXHAUSTED
+        seen = [ev.type for ev in bus.history()]
+        assert "recovery.rejected" in seen
+        assert metrics.counter("recovery_budget_exhausted") == 1
+
+    def test_max_attempts_bounds_the_loop(self, instance):
+        wf, schedule = instance
+        out = run_with_faults(
+            wf, PAPER_PLATFORM, BUDGET, crash_plan(wf, schedule),
+            schedule=schedule, weights=conservative_weights(wf),
+            policy="remap", max_attempts=1,
+        )
+        assert out.outcome == OUTCOME_FAILED
+        assert out.n_attempts == 1 and out.n_recoveries == 0
+
+
+class TestBudgetProperty:
+    """Property: a successful recovered run never exceeds the budget.
+
+    With ``weights=conservative_weights`` the budget gate's projection is
+    exact (the monitor's cautious estimate *is* the realization), so the
+    guarantee is sharp: success + at least one recovery implies the full
+    spend, lost VM rentals included, fits the reserved budget.
+    """
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_recovered_run_never_exceeds_budget(self, seed):
+        wf = generate("montage", 15, rng=1, sigma_ratio=0.5)
+        schedule = make_scheduler("heft_budg").schedule(
+            wf, PAPER_PLATFORM, 0.35
+        ).schedule
+        plan = FaultPlan.sample(schedule, rng=seed, horizon=14_400.0,
+                                crash_rate_per_hour=4.0)
+        out = run_with_faults(
+            wf, PAPER_PLATFORM, 0.35, plan, schedule=schedule,
+            weights=conservative_weights(wf), policy="remap",
+        )
+        if out.success:
+            assert out.within_budget(), (
+                f"seed {seed}: spent {out.total_cost:.6f} over budget 0.35 "
+                f"after {out.n_recoveries} recoveries"
+            )
+        else:
+            assert out.outcome in (OUTCOME_FAILED, OUTCOME_BUDGET_EXHAUSTED)
+            assert out.error

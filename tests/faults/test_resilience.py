@@ -1,0 +1,87 @@
+"""Resilience sweep: determinism, ledger archiving, recovery beats no-recovery."""
+
+import pytest
+
+from repro.experiments.resilience import render_resilience, resilience_sweep
+from repro.obs.ledger import RunLedger, use_ledger
+
+
+def sweep(**overrides):
+    kwargs = dict(
+        families=("montage",), n_tasks=15, algorithms=("heft_budg",),
+        policies=("none", "remap"), crash_rates=(0.0, 5.0),
+        n_runs=3, seed=3,
+    )
+    kwargs.update(overrides)
+    return resilience_sweep(**kwargs)
+
+
+class TestSweep:
+    def test_grid_shape_and_labels(self):
+        study = sweep()
+        assert len(study.points) == 4  # 2 policies x 2 rates
+        labels = {p.label for p in study.points}
+        assert labels == {"heft_budg+none@0", "heft_budg+none@5",
+                          "heft_budg+remap@0", "heft_budg+remap@5"}
+        for p in study.points:
+            assert p.n_runs == 3
+            assert 0.0 <= p.success_rate <= 1.0
+
+    def test_deterministic_given_seed(self):
+        a, b = sweep(), sweep()
+        assert [p.__dict__ for p in a.points] == [p.__dict__ for p in b.points]
+
+    def test_zero_rate_fires_nothing_and_succeeds(self):
+        study = sweep(crash_rates=(0.0,))
+        for p in study.points:
+            assert p.mean_faults == 0.0
+            assert p.success_rate == 1.0
+            assert p.n_over_budget == 0
+
+    def test_remap_success_at_least_no_recovery_baseline(self):
+        study = sweep(n_runs=5)
+        for rate in (0.0, 5.0):
+            none = study.point("heft_budg", "none", rate)
+            remap = study.point("heft_budg", "remap", rate)
+            assert remap.success_rate >= none.success_rate
+            assert remap.n_over_budget == 0
+
+    def test_point_lookup_raises_on_unknown_cell(self):
+        with pytest.raises(KeyError):
+            sweep().point("heft_budg", "retry", 99.0)
+
+    def test_n_runs_validated(self):
+        with pytest.raises(ValueError, match="n_runs"):
+            sweep(n_runs=0)
+
+
+class TestLedgerArchiving:
+    def test_runs_archived_with_fault_fields(self):
+        with RunLedger(":memory:") as ledger:
+            with use_ledger(ledger):
+                study = sweep(crash_rates=(5.0,), policies=("remap",))
+            rows = ledger.runs(source="faults", limit=0)
+            assert len(rows) == 3  # one row per run
+            for row in rows:
+                assert row.algorithm == "heft_budg+remap@5"
+                assert row.family == "montage" and row.n_tasks == 15
+                assert row.outcome in ("success", "failed", "budget_exhausted")
+                assert row.n_faults >= 0
+                assert row.extra["policy"] == "remap"
+                assert row.extra["crash_rate"] == 5.0
+            (point,) = study.points
+            archived_success = sum(r.success_rate for r in rows) / len(rows)
+            assert archived_success == pytest.approx(point.success_rate)
+
+    def test_no_ledger_installed_archives_nothing(self):
+        study = sweep(crash_rates=(0.0,), policies=("none",), n_runs=1)
+        assert len(study.points) == 1  # and no error from the NullLedger
+
+
+class TestRender:
+    def test_render_lists_every_cell(self):
+        study = sweep(n_runs=1)
+        text = render_resilience(study)
+        for p in study.points:
+            assert p.label in text
+        assert "4 cell(s)" in text

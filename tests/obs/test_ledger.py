@@ -256,3 +256,172 @@ class TestRegressionGate:
             doc = json.loads(json.dumps({"ledger_baseline": baseline}))
             report = compare_to_baseline(ledger, extract_baseline(doc))
         assert report.ok
+
+
+class TestPrune:
+    def test_max_rows_keeps_newest(self):
+        with RunLedger() as ledger:
+            for i in range(6):
+                ledger.record(make_row(budget=float(i)))
+            assert ledger.prune(max_rows=2) == 4
+            rows = ledger.runs(limit=0)
+            assert [r.budget for r in rows] == [5.0, 4.0]
+
+    def test_max_age_drops_old_rows(self):
+        with RunLedger() as ledger:
+            ledger.record(make_row(budget=1.0))
+            ledger.record(make_row(budget=2.0))
+            # backdate the first row by ten days
+            ledger._conn.execute(
+                "UPDATE runs SET recorded_at = recorded_at - 864000 "
+                "WHERE run_id = 1"
+            )
+            ledger._conn.commit()
+            assert ledger.prune(max_age_days=5.0) == 1
+            (row,) = ledger.runs(limit=0)
+            assert row.budget == 2.0
+
+    def test_combined_constraints(self):
+        with RunLedger() as ledger:
+            for i in range(4):
+                ledger.record(make_row(budget=float(i)))
+            ledger._conn.execute(
+                "UPDATE runs SET recorded_at = recorded_at - 864000 "
+                "WHERE run_id = 1"
+            )
+            ledger._conn.commit()
+            assert ledger.prune(max_age_days=5.0, max_rows=2) == 2
+            assert ledger.count() == 2
+
+    def test_no_constraints_deletes_nothing(self):
+        with RunLedger() as ledger:
+            ledger.record(make_row())
+            assert ledger.prune() == 0
+            assert ledger.count() == 1
+
+    def test_negative_arguments_rejected(self):
+        with RunLedger() as ledger:
+            with pytest.raises(ValueError, match="max_rows"):
+                ledger.prune(max_rows=-1)
+            with pytest.raises(ValueError, match="max_age_days"):
+                ledger.prune(max_age_days=-0.5)
+
+    def test_null_ledger_prunes_nothing(self):
+        assert NullLedger().prune(max_rows=0) == 0
+
+
+# The v1 layout, as shipped before the fault-injection fields landed —
+# used to prove in-place migration below.
+_V1_CREATE = """
+CREATE TABLE runs (
+    run_id             INTEGER PRIMARY KEY AUTOINCREMENT,
+    recorded_at        REAL NOT NULL,
+    source             TEXT NOT NULL,
+    fingerprint        TEXT NOT NULL DEFAULT '',
+    workflow           TEXT NOT NULL DEFAULT '',
+    family             TEXT NOT NULL DEFAULT '',
+    n_tasks            INTEGER NOT NULL DEFAULT 0,
+    algorithm          TEXT NOT NULL DEFAULT '',
+    budget             REAL NOT NULL DEFAULT 0.0,
+    sigma_ratio        REAL NOT NULL DEFAULT 0.0,
+    planned_makespan   REAL NOT NULL DEFAULT 0.0,
+    planned_cost       REAL NOT NULL DEFAULT 0.0,
+    within_budget_plan INTEGER NOT NULL DEFAULT 1,
+    sim_makespan       REAL,
+    sim_cost           REAL,
+    success_rate       REAL,
+    n_reps             INTEGER NOT NULL DEFAULT 0,
+    n_vms              INTEGER NOT NULL DEFAULT 0,
+    sched_seconds      REAL NOT NULL DEFAULT 0.0,
+    elapsed_s          REAL NOT NULL DEFAULT 0.0,
+    trace_id           TEXT NOT NULL DEFAULT '',
+    version            TEXT NOT NULL DEFAULT '',
+    extra              TEXT NOT NULL DEFAULT '{}'
+);
+"""
+
+
+class TestMigration:
+    def _make_v1_db(self, path):
+        import sqlite3
+
+        conn = sqlite3.connect(path)
+        conn.executescript(_V1_CREATE)
+        conn.execute(
+            "INSERT INTO runs (recorded_at, source, algorithm, family, "
+            "n_tasks) VALUES (1.0, 'sweep', 'heft_budg', 'montage', 30)"
+        )
+        conn.execute("PRAGMA user_version=1")
+        conn.commit()
+        conn.close()
+
+    def test_v1_database_migrates_in_place(self, tmp_path):
+        path = str(tmp_path / "old.db")
+        self._make_v1_db(path)
+        with RunLedger(path) as ledger:
+            row = ledger.run(1)
+            assert row.algorithm == "heft_budg"
+            # new columns arrive with their defaults
+            assert row.outcome == "ok"
+            assert row.n_faults == 0
+            version = ledger._conn.execute("PRAGMA user_version").fetchone()[0]
+            assert version == SCHEMA_VERSION
+            # the migrated db accepts v2 rows
+            ledger.record(make_row(outcome="failed", n_faults=3))
+            assert ledger.run(2).outcome == "failed"
+
+    def test_migrated_db_reopens_without_remigration(self, tmp_path):
+        path = str(tmp_path / "old.db")
+        self._make_v1_db(path)
+        with RunLedger(path):
+            pass
+        with RunLedger(path) as again:  # second open: already at v2
+            assert again.run(1).outcome == "ok"
+
+    def test_fresh_database_is_stamped_current(self, tmp_path):
+        path = str(tmp_path / "new.db")
+        with RunLedger(path) as ledger:
+            version = ledger._conn.execute("PRAGMA user_version").fetchone()[0]
+            assert version == SCHEMA_VERSION
+
+
+class TestSuccessGate:
+    def test_success_rate_drop_flags_regression(self):
+        with RunLedger() as ledger:
+            ledger.record(make_row(success_rate=0.5))
+            baseline = {"montage/30/heft_budg": {
+                "makespan": 110.0, "cost": 0.38, "success_rate": 1.0,
+                "n_runs": 1}}
+            report = compare_to_baseline(ledger, baseline)
+        assert not report.ok and len(report.regressions) == 1
+        delta = report.regressions[0]
+        assert delta.success_change == pytest.approx(-0.5)
+        assert "REGRESSED" in report.render()
+
+    def test_success_rate_improvement_is_ok(self):
+        with RunLedger() as ledger:
+            ledger.record(make_row(success_rate=1.0))
+            baseline = {"montage/30/heft_budg": {
+                "makespan": 110.0, "cost": 0.38, "success_rate": 0.8,
+                "n_runs": 1}}
+            report = compare_to_baseline(ledger, baseline)
+        assert report.ok
+
+    def test_small_drop_within_threshold_is_ok(self):
+        with RunLedger() as ledger:
+            ledger.record(make_row(success_rate=0.97))
+            baseline = {"montage/30/heft_budg": {
+                "makespan": 110.0, "cost": 0.38, "success_rate": 1.0,
+                "n_runs": 1}}
+            report = compare_to_baseline(ledger, baseline,
+                                         success_threshold=0.05)
+        assert report.ok
+
+    def test_legacy_baseline_without_success_is_ok(self):
+        # pre-v2 BENCH files have no success_rate key: treated as parity
+        with RunLedger() as ledger:
+            ledger.record(make_row(success_rate=None))
+            baseline = {"montage/30/heft_budg": {
+                "makespan": 110.0, "cost": 0.38, "n_runs": 1}}
+            report = compare_to_baseline(ledger, baseline)
+        assert report.ok

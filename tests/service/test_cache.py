@@ -1,6 +1,7 @@
 """LRU + TTL cache semantics."""
 
 import threading
+import time
 
 import pytest
 
@@ -141,3 +142,86 @@ class TestThreadSafety:
             t.join()
         assert not errors
         assert len(cache) <= 64
+
+
+class TestSingleFlight:
+    def test_concurrent_misses_coalesce_into_one_compute(self):
+        cache = LRUCache(4)
+        n_threads = 6
+        entered = threading.Event()
+        release = threading.Event()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            entered.set()
+            release.wait(timeout=30)
+            return "value"
+
+        results = []
+
+        def worker():
+            results.append(cache.get_or_compute("k", compute))
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        threads[0].start()
+        assert entered.wait(timeout=10)  # leader is inside compute()
+        for t in threads[1:]:
+            t.start()
+        time.sleep(0.1)  # let followers park on the in-flight event
+        release.set()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(calls) == 1
+        assert [v for v, _ in results] == ["value"] * n_threads
+        assert sum(1 for _, was_cached in results if not was_cached) == 1
+        stats = cache.stats()
+        assert stats.misses == 1
+        # every follower that parked counts as both a hit and a coalesce;
+        # any straggler thread that started after put() is a plain hit
+        assert stats.hits == n_threads - 1
+        assert 0 <= stats.coalesced <= n_threads - 1
+        assert stats.hits + stats.misses == n_threads
+
+    def test_leader_failure_releases_followers_to_retry(self):
+        cache = LRUCache(4)
+        entered = threading.Event()
+        release = threading.Event()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            if len(calls) == 1:
+                entered.set()
+                release.wait(timeout=30)
+                raise RuntimeError("leader blew up")
+            return "second try"
+
+        outcomes = []
+
+        def worker():
+            try:
+                outcomes.append(cache.get_or_compute("k", compute))
+            except RuntimeError as exc:
+                outcomes.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        threads[0].start()
+        assert entered.wait(timeout=10)
+        for t in threads[1:]:
+            t.start()
+        release.set()
+        for t in threads:
+            t.join(timeout=30)
+        # exactly one caller saw the error (the leader); the followers
+        # retried, one of them became the new leader and computed
+        errors = [o for o in outcomes if isinstance(o, RuntimeError)]
+        values = [o for o in outcomes if not isinstance(o, RuntimeError)]
+        assert len(errors) == 1 and "blew up" in str(errors[0])
+        assert all(v == "second try" for v, _ in values)
+        assert len(calls) == 2
+
+    def test_coalesced_survives_in_stats_dict(self):
+        stats = LRUCache(4).stats()
+        assert stats.coalesced == 0
+        assert "coalesced" in stats.to_dict()
