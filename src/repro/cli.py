@@ -120,6 +120,11 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--max-retries", type=int, default=0,
                      help="transient-failure retries per async job "
                      "(exponential backoff with jitter)")
+    srv.add_argument("--executor", choices=("thread", "process"),
+                     default="thread",
+                     help="compute in worker threads (default) or worker "
+                     "processes (CPU-bound jobs off the GIL; see "
+                     "docs/PARALLEL.md)")
     _add_logging_flags(srv)
 
     sch = sub.add_parser(
@@ -200,6 +205,9 @@ def build_parser() -> argparse.ArgumentParser:
     flt.add_argument("--ledger", type=str, default=None,
                      help="archive every run into this SQLite run ledger "
                      "(source='faults')")
+    flt.add_argument("--workers", type=int, default=0,
+                     help="worker processes for the sweep cells (0 = serial; "
+                     "results are bit-identical either way)")
 
     led = sub.add_parser(
         "ledger",
@@ -227,6 +235,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="workflow families (default: config's)")
     l_sweep.add_argument("--algorithms", nargs="+", default=None,
                          help="algorithms (default: config's)")
+    l_sweep.add_argument("--workers", type=int, default=0,
+                         help="worker processes for the sweep points "
+                         "(0 = serial; results are bit-identical either way)")
 
     l_list = lsub.add_parser("list", help="newest archived runs")
     _db_flag(l_list)
@@ -278,6 +289,13 @@ def build_parser() -> argparse.ArgumentParser:
     l_reg.add_argument("--success-threshold", type=float, default=0.05,
                        help="absolute success-rate drop tolerated "
                        "(default: 0.05)")
+    l_reg.add_argument("--stat", action="store_true",
+                       help="statistical gating: flag a makespan regression "
+                       "only when a one-sided Welch test on the stored MC "
+                       "sample stats finds a significant slowdown (groups "
+                       "without stats fall back to --threshold)")
+    l_reg.add_argument("--confidence", type=float, default=0.95,
+                       help="confidence level for --stat (default: 0.95)")
 
     l_prune = lsub.add_parser(
         "prune", help="delete old ledger rows to keep the database bounded"
@@ -443,6 +461,7 @@ def _run_faults(args: argparse.Namespace) -> int:
         sigma_ratio=args.sigma,
         seed=args.seed,
         max_attempts=args.max_attempts,
+        workers=args.workers,
     )
     if args.ledger:
         from .obs.ledger import RunLedger, use_ledger
@@ -487,7 +506,7 @@ def _run_ledger(args: argparse.Namespace) -> int:
             cfg = replace(cfg, **overrides)
         with RunLedger(args.db) as ledger:
             with use_ledger(ledger):
-                records = run_sweep(cfg)
+                records = run_sweep(cfg, workers=args.workers)
             n_runs = ledger.count()
         print(f"archived {n_runs} run(s) ({len(records)} repetition records) "
               f"to {args.db}")
@@ -588,6 +607,8 @@ def _run_ledger(args: argparse.Namespace) -> int:
                 makespan_threshold=args.threshold,
                 cost_threshold=args.cost_threshold,
                 success_threshold=args.success_threshold,
+                stat=args.stat,
+                confidence=args.confidence,
             )
             print(report.render())
             if not report.deltas:
@@ -662,6 +683,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             ledger_path=args.ledger,
             max_queue_depth=args.max_queue_depth,
             job_timeout=args.job_timeout, max_retries=args.max_retries,
+            executor=args.executor,
             log_level=args.log_level, log_json=args.log_json,
         )
         return 0

@@ -26,6 +26,7 @@ __all__ = [
     "JobTimeoutError",
     "ServiceClosedError",
     "ServiceOverloadedError",
+    "WorkerCrashError",
 ]
 
 
@@ -115,6 +116,20 @@ class ServiceClosedError(ServiceError):
     def __init__(self, message: str, *, retry_after_s: float = 5.0) -> None:
         super().__init__(message)
         self.retry_after_s = retry_after_s
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died and the shard exhausted its retries.
+
+    Deliberately *not* a :class:`ReproError`: a crash says nothing about
+    the model — it is a transient infrastructure failure, so layers with
+    their own retry policy (the service job loop) are allowed to retry it,
+    while deterministic model errors are not.
+    """
+
+    def __init__(self, message: str, *, shard_indices: tuple = ()) -> None:
+        super().__init__(message)
+        self.shard_indices = tuple(shard_indices)
 
 
 class ServiceOverloadedError(ServiceError):

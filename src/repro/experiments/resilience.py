@@ -23,10 +23,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from typing import Any
+
 from ..experiments.budgets import high_budget, minimal_budget
 from ..faults.plan import FaultPlan
 from ..faults.runner import OUTCOME_BUDGET_EXHAUSTED, run_with_faults
 from ..obs.ledger import RunRow, get_ledger
+from ..parallel import WorkerPool, resolve_workers
 from ..platform.cloud import PAPER_PLATFORM, CloudPlatform
 from ..rng import RngLike, spawn
 from ..scheduling.registry import make_scheduler
@@ -85,6 +88,45 @@ class ResilienceStudy:
         raise KeyError(f"no point {algorithm}+{policy}@{crash_rate:g}")
 
 
+def _resilience_cell_task(task: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Execute all runs of one resilience cell (pickle-safe worker entry).
+
+    ``task`` carries the pre-planned (workflow, schedule, budget) for the
+    cell plus its dedicated slice of derived streams — the same streams
+    the serial loop would have consumed, so outputs are bit-identical.
+    Returns one plain dict per run; the parent does all ledger recording.
+    """
+    wf = task["wf"]
+    schedule = task["schedule"]
+    budget = task["budget"]
+    policy = task["policy"]
+    rate = task["rate"]
+    runs: List[Dict[str, Any]] = []
+    for stream in task["streams"]:
+        plan = FaultPlan.sample(
+            schedule, rng=stream,
+            horizon=task["planned_makespan"] * task["horizon_factor"],
+            crash_rate_per_hour=rate,
+        )
+        out = run_with_faults(
+            wf, task["platform"], budget, plan,
+            schedule=schedule, policy=None if policy == "none" else policy,
+            rng=stream, max_attempts=task["max_attempts"],
+        )
+        runs.append({
+            "success": out.success,
+            "within_budget": out.within_budget(),
+            "outcome": out.outcome,
+            "makespan": out.makespan,
+            "total_cost": out.total_cost,
+            "n_faults": out.n_faults,
+            "n_vms": out.result.n_vms,
+            "n_recoveries": out.n_recoveries,
+            "lost_cost": out.lost_cost,
+        })
+    return runs
+
+
 def resilience_sweep(
     *,
     families: Sequence[str] = ("montage",),
@@ -100,6 +142,7 @@ def resilience_sweep(
     max_attempts: int = 5,
     platform: CloudPlatform = PAPER_PLATFORM,
     rng: RngLike = None,
+    workers: int = 0,
 ) -> ResilienceStudy:
     """Run the crash-rate × policy grid and archive every run.
 
@@ -108,6 +151,11 @@ def resilience_sweep(
     planned makespan into the window crashes may land in. ``rng``
     defaults to ``seed``, and every (cell, run) draws its own derived
     stream, so the sweep is deterministic end to end.
+
+    ``workers > 1`` fans whole cells out to worker processes: planning
+    stays in the parent, cell ``i`` receives stream slice
+    ``[i·n_runs, (i+1)·n_runs)`` exactly as the serial loop would, and
+    the parent records every run — results are bit-identical to serial.
     """
     if n_runs < 1:
         raise ValueError(f"n_runs must be >= 1, got {n_runs}")
@@ -122,10 +170,11 @@ def resilience_sweep(
         for rate in crash_rates
     ]
     # One stream per (cell, run): plans and weights never alias across cells.
-    streams = iter(spawn(base_rng, len(cells) * n_runs))
+    all_streams = spawn(base_rng, len(cells) * n_runs)
 
     planned: Dict[Tuple[str, str], Tuple[object, object, float, float]] = {}
-    for family, algo, policy, rate in cells:
+    tasks: List[Dict[str, Any]] = []
+    for i, (family, algo, policy, rate) in enumerate(cells):
         key = (family, algo)
         if key not in planned:
             wf = generate(family, n_tasks, rng=seed, sigma_ratio=sigma_ratio)
@@ -136,34 +185,39 @@ def resilience_sweep(
             planned[key] = (wf, result.schedule, budget,
                             result.planned_makespan)
         wf, schedule, budget, planned_makespan = planned[key]
+        tasks.append({
+            "wf": wf, "platform": platform, "schedule": schedule,
+            "budget": budget, "planned_makespan": planned_makespan,
+            "policy": policy, "rate": rate,
+            "horizon_factor": horizon_factor, "max_attempts": max_attempts,
+            "streams": all_streams[i * n_runs:(i + 1) * n_runs],
+        })
 
+    n_workers = resolve_workers(workers)
+    if n_workers > 1 and len(tasks) > 1:
+        with WorkerPool(min(n_workers, len(tasks))) as pool:
+            per_cell = pool.map(_resilience_cell_task, tasks)
+    else:
+        per_cell = [_resilience_cell_task(t) for t in tasks]
+
+    for (family, algo, policy, rate), task, runs in zip(cells, tasks, per_cell):
+        budget = task["budget"]
         successes = exhausted = over = 0
         makespans: List[float] = []
         costs: List[float] = []
         faults: List[int] = []
-        for _ in range(n_runs):
-            stream = next(streams)
-            plan = FaultPlan.sample(
-                schedule, rng=stream,
-                horizon=planned_makespan * horizon_factor,
-                crash_rate_per_hour=rate,
-            )
-            out = run_with_faults(
-                wf, platform, budget, plan,
-                schedule=schedule, policy=None if policy == "none" else policy,
-                rng=stream, max_attempts=max_attempts,
-            )
-            ok = out.success and out.within_budget()
+        for out in runs:
+            ok = out["success"] and out["within_budget"]
             successes += int(ok)
-            exhausted += int(out.outcome == OUTCOME_BUDGET_EXHAUSTED)
+            exhausted += int(out["outcome"] == OUTCOME_BUDGET_EXHAUSTED)
             # Completed runs that overran the budget: the validity breach
             # the budget gate exists to prevent. Refused recoveries
             # (budget_exhausted) may show sunk spend above budget — that
             # money was burned by the crash itself, not by a decision.
-            over += int(out.success and not out.within_budget())
-            makespans.append(out.makespan)
-            costs.append(out.total_cost)
-            faults.append(out.n_faults)
+            over += int(out["success"] and not out["within_budget"])
+            makespans.append(out["makespan"])
+            costs.append(out["total_cost"])
+            faults.append(out["n_faults"])
             if ledger.enabled:
                 ledger.record(RunRow(
                     source="faults",
@@ -173,19 +227,19 @@ def resilience_sweep(
                     algorithm=f"{algo}+{policy}@{rate:g}",
                     budget=budget,
                     sigma_ratio=sigma_ratio,
-                    planned_makespan=planned_makespan,
-                    sim_makespan=out.makespan,
-                    sim_cost=out.total_cost,
+                    planned_makespan=task["planned_makespan"],
+                    sim_makespan=out["makespan"],
+                    sim_cost=out["total_cost"],
                     success_rate=1.0 if ok else 0.0,
                     n_reps=1,
-                    n_vms=out.result.n_vms,
-                    outcome=out.outcome,
-                    n_faults=out.n_faults,
+                    n_vms=out["n_vms"],
+                    outcome=out["outcome"],
+                    n_faults=out["n_faults"],
                     extra={
                         "policy": policy,
                         "crash_rate": rate,
-                        "n_recoveries": out.n_recoveries,
-                        "lost_cost": out.lost_cost,
+                        "n_recoveries": out["n_recoveries"],
+                        "lost_cost": out["lost_cost"],
                     },
                 ))
         study.points.append(ResiliencePoint(

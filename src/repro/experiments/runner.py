@@ -22,10 +22,11 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..obs.ledger import RunRow, get_ledger
 from ..obs.tracing import get_tracer
+from ..parallel import ShardPlan, ShardStats, WorkerPool, resolve_workers
 from ..platform.cloud import CloudPlatform
-from ..rng import spawn
+from ..rng import spawn, spawn_seeds
 from ..scheduling.registry import make_scheduler
-from ..simulation.executor import execute_schedule, sample_weights
+from ..simulation.executor import run_replications, sample_weights
 from ..workflow.dag import Workflow
 from ..workflow.generators import generate
 from .budgets import budget_grid
@@ -86,17 +87,22 @@ def _record_point(
     wf: Workflow,
     algorithm: str,
     budget: float,
-    result,
-    sched_seconds: float,
-    records: List[RunRecord],
+    payload: Dict[str, Any],
     *,
     family: str,
     instance: int,
     sigma_ratio: float,
     budget_index: int,
 ) -> None:
-    """Archive one sweep point (schedule + its reps) into the ledger."""
+    """Archive one sweep point (schedule + its reps) into the ledger.
+
+    ``payload`` is a :func:`_run_point_payload` result — plain values, so
+    recording works identically whether the point was computed in-process
+    or returned from a worker (workers never write the ledger; the parent
+    records every point, in serial iteration order).
+    """
     ledger = get_ledger()
+    records = payload["records"]
     if not ledger.enabled or not records:
         return
     makespans = [r.makespan for r in records]
@@ -112,21 +118,24 @@ def _record_point(
             algorithm=algorithm,
             budget=budget,
             sigma_ratio=sigma_ratio,
-            planned_makespan=result.planned_makespan,
-            planned_cost=result.planned_vm_cost,
-            within_budget_plan=result.within_budget_plan,
+            planned_makespan=payload["planned_makespan"],
+            planned_cost=payload["planned_cost"],
+            within_budget_plan=payload["within_budget_plan"],
             sim_makespan=sum(makespans) / n,
             sim_cost=sum(costs) / n,
             success_rate=sum(r.valid for r in records) / n,
             n_reps=n,
-            n_vms=result.schedule.n_vms,
-            sched_seconds=sched_seconds,
+            n_vms=payload["plan_n_vms"],
+            sched_seconds=payload["sched_seconds"],
             extra={
                 "instance": instance,
                 "budget_index": budget_index,
                 "makespan_convergence": convergence_diagnostics(
                     makespans, batch_size=batch
                 ),
+                # Sample stats for the Welch-CI regression gate
+                # (`repro-exp ledger regress --stat`).
+                "makespan_stats": ShardStats.of(makespans).to_dict(),
             },
         )
     )
@@ -147,6 +156,94 @@ def make_instances(config: ExperimentConfig) -> Dict[Tuple[str, int], Workflow]:
     return out
 
 
+def _run_point_payload(
+    task: Dict[str, Any], pool: Optional[WorkerPool] = None
+) -> Dict[str, Any]:
+    """Compute one sweep point: schedule once, replicate, build records.
+
+    Pure compute, no ledger access — this is the pickle-safe entrypoint
+    :func:`run_sweep` ships to worker processes (called with the default
+    ``pool=None``, so each worker runs its point serially). When called
+    in-process by :func:`run_point` with a pool, the replication loop
+    itself is sharded across the pool via
+    :func:`repro.simulation.executor.run_replications`.
+
+    ``task["seeds"]`` must be the :func:`repro.rng.spawn_seeds` substreams
+    of the caller's generator — spawned by the *caller* so the parent
+    generator advances identically on the serial and parallel paths.
+    """
+    wf: Workflow = task["wf"]
+    platform: CloudPlatform = task["platform"]
+    algorithm: str = task["algorithm"]
+    budget: float = task["budget"]
+    n_reps: int = task["n_reps"]
+    weight_draws = task.get("weight_draws")
+    seeds = task["seeds"]
+    dc_capacity = task.get("dc_capacity", math.inf)
+
+    if weight_draws is not None and len(weight_draws) < n_reps:
+        raise ValueError(
+            f"need {n_reps} weight draws, got {len(weight_draws)}"
+        )
+    scheduler = make_scheduler(algorithm)
+    sched_budget = math.inf if algorithm in BASELINE_ALGORITHMS else budget
+    t0 = time.perf_counter()
+    result = scheduler.schedule(wf, platform, sched_budget)
+    sched_seconds = time.perf_counter() - t0
+
+    plan = ShardPlan.plan(
+        n_reps, pool.workers if pool is not None else 0
+    )
+    shard_tasks = []
+    for shard in plan.shards:
+        shard_tasks.append({
+            "wf": wf,
+            "platform": platform,
+            "schedule": result.schedule,
+            "budget": budget,
+            "dc_capacity": dc_capacity,
+            "validate_first": shard.start == 0,
+            "weights": (
+                list(shard.slice(weight_draws))
+                if weight_draws is not None else None
+            ),
+            "seeds": None if weight_draws is not None
+            else list(shard.slice(seeds)),
+        })
+    if pool is None or plan.is_serial:
+        per_shard = [run_replications(t) for t in shard_tasks]
+    else:
+        per_shard = pool.map(run_replications, shard_tasks)
+    rows = plan.merge(per_shard)
+
+    records = [
+        RunRecord(
+            family=task.get("family") or wf.name,
+            n_tasks=wf.n_tasks,
+            instance=task.get("instance", 0),
+            sigma_ratio=task.get("sigma_ratio", 0.0),
+            algorithm=algorithm,
+            budget=budget,
+            budget_index=task.get("budget_index", 0),
+            rep=rep,
+            makespan=makespan,
+            total_cost=total_cost,
+            n_vms=n_vms,
+            valid=valid,
+            sched_seconds=sched_seconds,
+        )
+        for rep, (makespan, total_cost, n_vms, valid) in enumerate(rows)
+    ]
+    return {
+        "records": records,
+        "planned_makespan": result.planned_makespan,
+        "planned_cost": result.planned_vm_cost,
+        "within_budget_plan": result.within_budget_plan,
+        "plan_n_vms": result.schedule.n_vms,
+        "sched_seconds": sched_seconds,
+    }
+
+
 def run_point(
     wf: Workflow,
     platform: CloudPlatform,
@@ -161,61 +258,54 @@ def run_point(
     budget_index: int = 0,
     dc_capacity: float = math.inf,
     weight_draws: Optional[Sequence[Dict[str, float]]] = None,
+    workers: int = 0,
+    pool: Optional[WorkerPool] = None,
 ) -> List[RunRecord]:
     """Schedule once, execute ``n_reps`` stochastic runs, return records.
 
     ``weight_draws`` fixes the actual-weight realizations (one mapping per
     repetition) — used by :func:`run_sweep` for common random numbers; by
     default fresh draws are sampled from ``rng``.
-    """
-    scheduler = make_scheduler(algorithm)
-    sched_budget = math.inf if algorithm in BASELINE_ALGORITHMS else budget
-    with get_tracer().span(
-        "experiments.run_point", family=family or wf.name,
-        algorithm=algorithm, budget=budget, n_reps=n_reps,
-    ) as point_span:
-        t0 = time.perf_counter()
-        result = scheduler.schedule(wf, platform, sched_budget)
-        sched_seconds = time.perf_counter() - t0
 
-        if weight_draws is not None and len(weight_draws) < n_reps:
-            raise ValueError(
-                f"need {n_reps} weight draws, got {len(weight_draws)}"
+    ``workers > 1`` shards the replication loop across worker processes
+    (or an existing ``pool``); every returned number is bit-identical to
+    the serial run — see ``docs/PARALLEL.md`` for the contract. Tiny
+    replication counts fall back to serial automatically.
+    """
+    # Spawning here (not in the payload) keeps the caller's generator
+    # advancing identically on every path, parallel or not.
+    seeds = spawn_seeds(rng, n_reps)
+    task = {
+        "wf": wf, "platform": platform, "algorithm": algorithm,
+        "budget": budget, "n_reps": n_reps, "seeds": seeds,
+        "family": family, "instance": instance,
+        "sigma_ratio": sigma_ratio, "budget_index": budget_index,
+        "dc_capacity": dc_capacity, "weight_draws": weight_draws,
+    }
+    n_workers = resolve_workers(workers)
+    own_pool: Optional[WorkerPool] = None
+    if pool is None and n_workers > 1:
+        if not ShardPlan.plan(n_reps, n_workers).is_serial:
+            own_pool = WorkerPool(n_workers)
+    try:
+        with get_tracer().span(
+            "experiments.run_point", family=family or wf.name,
+            algorithm=algorithm, budget=budget, n_reps=n_reps,
+        ) as point_span:
+            payload = _run_point_payload(task, pool=pool or own_pool)
+            point_span.set(
+                sched_seconds=payload["sched_seconds"],
+                n_vms=payload["plan_n_vms"],
             )
-        records: List[RunRecord] = []
-        for rep, rep_rng in enumerate(spawn(rng, n_reps)):
-            weights = (
-                weight_draws[rep] if weight_draws is not None
-                else sample_weights(wf, rep_rng)
-            )
-            run = execute_schedule(
-                wf, platform, result.schedule, weights,
-                dc_capacity=dc_capacity, validate=(rep == 0),
-            )
-            records.append(
-                RunRecord(
-                    family=family or wf.name,
-                    n_tasks=wf.n_tasks,
-                    instance=instance,
-                    sigma_ratio=sigma_ratio,
-                    algorithm=algorithm,
-                    budget=budget,
-                    budget_index=budget_index,
-                    rep=rep,
-                    makespan=run.makespan,
-                    total_cost=run.total_cost,
-                    n_vms=run.n_vms,
-                    valid=run.respects_budget(budget),
-                    sched_seconds=sched_seconds,
-                )
-            )
-        point_span.set(sched_seconds=sched_seconds, n_vms=result.schedule.n_vms)
+    finally:
+        if own_pool is not None:
+            own_pool.close()
     _record_point(
-        wf, algorithm, budget, result, sched_seconds, records,
+        wf, algorithm, budget, payload,
         family=family, instance=instance, sigma_ratio=sigma_ratio,
         budget_index=budget_index,
     )
-    return records
+    return payload["records"]
 
 
 def run_sweep(
@@ -223,6 +313,7 @@ def run_sweep(
     *,
     dc_capacity: float = math.inf,
     budget_points: Optional[Sequence[float]] = None,
+    workers: int = 0,
 ) -> List[RunRecord]:
     """Full sweep: instances × budgets × algorithms × repetitions.
 
@@ -230,12 +321,22 @@ def run_sweep(
     ``B_min``-to-high grid) unless explicit ``budget_points`` are given.
     Budget indices are recorded as fractional positions via the budget value
     itself; figure builders group by grid position.
+
+    ``workers > 1`` fans whole sweep points (one schedule + its
+    replications) out to worker processes. Instances, budget grids, and
+    the common-random-number weight draws are still generated serially in
+    the parent, results come back in submission order, and the parent
+    records every point to the ledger — so rows, records, and all floats
+    are bit-identical to the serial run (see ``docs/PARALLEL.md``).
     """
     tracer = get_tracer()
     instances = make_instances(config)
     records: List[RunRecord] = []
     exec_streams = spawn(config.seed + 1, len(instances))
     stream_idx = 0
+    n_workers = resolve_workers(workers)
+    parallel = n_workers > 1
+    tasks: List[Dict[str, Any]] = []
     for (family, instance), wf in instances.items():
         with tracer.span(
             "experiments.instance", family=family, instance=instance,
@@ -258,20 +359,46 @@ def run_sweep(
             ]
             for algorithm in config.algorithms:
                 for budget_index, budget in enumerate(grid):
-                    records.extend(
-                        run_point(
-                            wf,
-                            config.platform,
-                            algorithm,
-                            budget,
-                            config.n_reps,
-                            instance_stream,
-                            family=family,
-                            instance=instance,
-                            sigma_ratio=config.sigma_ratio,
-                            budget_index=budget_index,
-                            dc_capacity=dc_capacity,
-                            weight_draws=draws,
+                    if not parallel:
+                        records.extend(
+                            run_point(
+                                wf,
+                                config.platform,
+                                algorithm,
+                                budget,
+                                config.n_reps,
+                                instance_stream,
+                                family=family,
+                                instance=instance,
+                                sigma_ratio=config.sigma_ratio,
+                                budget_index=budget_index,
+                                dc_capacity=dc_capacity,
+                                weight_draws=draws,
+                            )
                         )
-                    )
+                        continue
+                    # Mirror run_point's spawn so the instance stream
+                    # advances identically on both paths.
+                    seeds = spawn_seeds(instance_stream, config.n_reps)
+                    tasks.append({
+                        "wf": wf, "platform": config.platform,
+                        "algorithm": algorithm, "budget": budget,
+                        "n_reps": config.n_reps, "seeds": seeds,
+                        "family": family, "instance": instance,
+                        "sigma_ratio": config.sigma_ratio,
+                        "budget_index": budget_index,
+                        "dc_capacity": dc_capacity,
+                        "weight_draws": draws,
+                    })
+    if parallel and tasks:
+        with WorkerPool(n_workers) as worker_pool:
+            payloads = worker_pool.map(_run_point_payload, tasks)
+        for task, payload in zip(tasks, payloads):
+            _record_point(
+                task["wf"], task["algorithm"], task["budget"], payload,
+                family=task["family"], instance=task["instance"],
+                sigma_ratio=task["sigma_ratio"],
+                budget_index=task["budget_index"],
+            )
+            records.extend(payload["records"])
     return records

@@ -36,6 +36,7 @@ __all__ = [
     "FAULT_INJECTED",
     "RECOVERY_APPLIED",
     "RECOVERY_REJECTED",
+    "WORKER_CRASHED",
 ]
 
 #: The job lifecycle event types, in their natural order. ``job.retried``
@@ -60,6 +61,10 @@ FAULT_INJECTED = "fault.injected"
 #: Published by the fault runner when a recovery is accepted / refused.
 RECOVERY_APPLIED = "recovery.applied"
 RECOVERY_REJECTED = "recovery.rejected"
+
+#: Published by :class:`repro.parallel.WorkerPool` when a worker process
+#: dies mid-shard (the pool respawns and retries the affected shards).
+WORKER_CRASHED = "worker.crashed"
 
 
 @dataclass(frozen=True)

@@ -30,12 +30,14 @@ the seeds, so baselines transfer across machines.
 from __future__ import annotations
 
 import json
+import math
 import sqlite3
+import statistics
 import sys
 import threading
 import time
 from dataclasses import dataclass, field, fields as dataclass_fields
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .events import RUN_RECORDED, EventBus
 
@@ -49,6 +51,7 @@ __all__ = [
     "baseline_from_ledger",
     "extract_baseline",
     "compare_to_baseline",
+    "welch_slowdown",
     "GroupDelta",
     "RegressionReport",
 ]
@@ -402,6 +405,16 @@ class RunLedger:
                 ]
                 if rates:  # no rate data at all must not read as 0% success
                     stats["success_rate"] = _mean(rates)
+                pooled = _pool_sample_stats(
+                    r.extra.get("makespan_stats") for r in simulated
+                )
+                if pooled is not None:
+                    # Per-replication sample stats (written by sweeps and
+                    # the service under extra["makespan_stats"]), pooled
+                    # across rows — the inputs to the Welch gate.
+                    stats["makespan_sample_mean"] = pooled[0]
+                    stats["makespan_std"] = pooled[1]
+                    stats["n_samples"] = float(pooled[2])
             out[key] = stats
         return out
 
@@ -508,6 +521,79 @@ def _mean(values: Sequence[Optional[float]]) -> float:
     return sum(cleaned) / len(cleaned) if cleaned else 0.0
 
 
+def _pool_sample_stats(
+    per_row: Any,
+) -> Optional[Tuple[float, float, int]]:
+    """Pool per-row ``{mean, std, n}`` sample stats into ``(mean, std, N)``.
+
+    Rows without stats (old databases, single-shot runs) are skipped; the
+    pooled variance recombines each row's sum/sum-of-squares exactly, so
+    pooling K rows of n reps equals one row of K·n reps.
+    """
+    parts = [
+        s for s in per_row
+        if isinstance(s, Mapping) and int(s.get("n", 0) or 0) >= 1
+    ]
+    if not parts:
+        return None
+    total_n = sum(int(s["n"]) for s in parts)
+    mean = sum(float(s["mean"]) * int(s["n"]) for s in parts) / total_n
+    if total_n < 2:
+        return mean, 0.0, total_n
+    # Σx² per row from (n-1)·var + n·mean²; then var of the union.
+    sum_sq = sum(
+        (int(s["n"]) - 1) * float(s.get("std", 0.0) or 0.0) ** 2
+        + int(s["n"]) * float(s["mean"]) ** 2
+        for s in parts
+    )
+    var = max((sum_sq - total_n * mean * mean) / (total_n - 1), 0.0)
+    return mean, math.sqrt(var), total_n
+
+
+def _t_quantile(p: float, df: float) -> float:
+    """Upper ``p`` quantile of Student's t with ``df`` degrees of freedom.
+
+    Cornish–Fisher expansion around the normal quantile — accurate to a
+    few 1e-3 for df ≥ 3, plenty for a CI gate, and stdlib-only (no scipy).
+    """
+    z = statistics.NormalDist().inv_cdf(p)
+    if df <= 0 or math.isinf(df):
+        return z
+    g1 = (z ** 3 + z) / 4.0
+    g2 = (5 * z ** 5 + 16 * z ** 3 + 3 * z) / 96.0
+    return z + g1 / df + g2 / df ** 2
+
+
+def welch_slowdown(
+    baseline: Tuple[float, float, int],
+    current: Tuple[float, float, int],
+    *,
+    confidence: float = 0.95,
+) -> Tuple[bool, float, float]:
+    """One-sided Welch test for "current is slower than baseline".
+
+    ``baseline``/``current`` are ``(mean, std, n)`` triples. Returns
+    ``(significant, t_stat, t_crit)``: significant is True only when the
+    current mean exceeds the baseline mean by more than sampling noise
+    explains at the given one-sided confidence level. Degenerate inputs
+    (n < 2 on either side, or zero variance on both) never test as
+    significant — callers should fall back to a fixed threshold.
+    """
+    mb, sb, nb = baseline
+    mc, sc, nc = current
+    if nb < 2 or nc < 2:
+        return False, 0.0, math.inf
+    vb, vc = sb * sb / nb, sc * sc / nc
+    se = math.sqrt(vb + vc)
+    if se <= 0.0:  # both sides exactly constant: no noise model to test
+        return False, 0.0, math.inf
+    t_stat = (mc - mb) / se
+    # Welch–Satterthwaite degrees of freedom.
+    df = (vb + vc) ** 2 / (vb ** 2 / (nb - 1) + vc ** 2 / (nc - 1))
+    t_crit = _t_quantile(confidence, df)
+    return t_stat > t_crit, t_stat, t_crit
+
+
 def baseline_from_ledger(
     ledger: RunLedger, *, latest_per_group: int = 0
 ) -> Dict[str, Dict[str, float]]:
@@ -538,6 +624,11 @@ class GroupDelta:
     n_runs: int
     baseline_success: float = 1.0
     current_success: float = 1.0
+    #: Welch-test annotations; ``stat_tested`` stays False when either
+    #: side lacked usable sample stats and the fixed threshold judged.
+    stat_tested: bool = False
+    t_stat: float = 0.0
+    t_crit: float = 0.0
 
     @property
     def makespan_change(self) -> float:
@@ -569,6 +660,8 @@ class RegressionReport:
     makespan_threshold: float = 0.10
     cost_threshold: float = 0.10
     success_threshold: float = 0.05
+    stat: bool = False
+    confidence: float = 0.95
 
     @property
     def ok(self) -> bool:
@@ -583,6 +676,8 @@ class RegressionReport:
         ]
         for d in self.deltas:
             verdict = "REGRESSED" if d in self.regressions else "ok"
+            if d.stat_tested:
+                verdict += f" (t={d.t_stat:+.2f} vs {d.t_crit:.2f})"
             lines.append(
                 f"{d.group:<40s} {d.current_makespan:>10.2f} "
                 f"{100 * d.makespan_change:>+7.2f}% "
@@ -594,11 +689,18 @@ class RegressionReport:
             lines.append(f"{group:<40s} {'—':>10s} {'—':>8s} "
                          f"{'—':>10s} {'—':>8s} {'—':>6s} {'—':>6s}  "
                          f"missing from ledger")
+        gate = (
+            f"makespan: Welch test at {100 * self.confidence:.0f}% "
+            f"one-sided confidence (fallback +"
+            f"{100 * self.makespan_threshold:.0f}%)"
+            if self.stat
+            else f"makespan +{100 * self.makespan_threshold:.0f}%"
+        )
         lines.append(
             f"{len(self.deltas)} group(s) compared, "
             f"{len(self.regressions)} regression(s), "
             f"{len(self.missing_groups)} missing "
-            f"(thresholds: makespan +{100 * self.makespan_threshold:.0f}%, "
+            f"({gate}, "
             f"cost +{100 * self.cost_threshold:.0f}%, "
             f"success -{100 * self.success_threshold:.0f}pts)"
         )
@@ -623,6 +725,17 @@ def extract_baseline(document: Mapping[str, Any]) -> Dict[str, Dict[str, float]]
     return {k: dict(v) for k, v in payload.items()}
 
 
+def _sample_triple(
+    stats: Mapping[str, float]
+) -> Optional[Tuple[float, float, int]]:
+    """``(mean, std, n)`` from a group-stats mapping, if it carries them."""
+    n = int(stats.get("n_samples", 0) or 0)
+    if n < 2 or "makespan_std" not in stats:
+        return None
+    mean = float(stats.get("makespan_sample_mean", stats.get("makespan", 0.0)))
+    return mean, float(stats["makespan_std"]), n
+
+
 def compare_to_baseline(
     ledger: RunLedger,
     baseline: Mapping[str, Mapping[str, float]],
@@ -630,6 +743,8 @@ def compare_to_baseline(
     makespan_threshold: float = 0.10,
     cost_threshold: float = 0.10,
     success_threshold: float = 0.05,
+    stat: bool = False,
+    confidence: float = 0.95,
 ) -> RegressionReport:
     """Re-measure the ledger's latest runs against ``baseline`` groups.
 
@@ -641,11 +756,24 @@ def compare_to_baseline(
     ``success_threshold`` (absolute points — the fault-resilience gate).
     Groups absent from the ledger are reported, not failed — the caller
     decides (the CLI fails only when *nothing* matched).
+
+    ``stat=True`` replaces the fixed makespan threshold with a one-sided
+    Welch test (:func:`welch_slowdown`) at ``confidence`` wherever both
+    sides carry pooled Monte Carlo sample stats (``makespan_std`` /
+    ``n_samples``, written by sweeps and the service): the gate then fails
+    only on *statistically significant* slowdowns, so a noisy-but-flat
+    group with wide replication variance no longer trips CI. Groups
+    without sample stats on either side keep the fixed threshold. The
+    cost and success gates are unchanged either way.
     """
+    if not 0.5 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0.5, 1), got {confidence}")
     report = RegressionReport(
         makespan_threshold=makespan_threshold,
         cost_threshold=cost_threshold,
         success_threshold=success_threshold,
+        stat=stat,
+        confidence=confidence,
     )
     stats_by_depth: Dict[int, Dict[str, Dict[str, float]]] = {}
     for group, base in sorted(baseline.items()):
@@ -658,6 +786,19 @@ def compare_to_baseline(
         if current is None or "makespan" not in current:
             report.missing_groups.append(group)
             continue
+        stat_tested = False
+        t_stat = t_crit = 0.0
+        makespan_regressed: Optional[bool] = None
+        if stat:
+            base_triple = _sample_triple(base)
+            cur_triple = _sample_triple(current)
+            if base_triple is not None and cur_triple is not None:
+                significant, t_stat, t_crit = welch_slowdown(
+                    base_triple, cur_triple, confidence=confidence
+                )
+                if math.isfinite(t_crit):
+                    stat_tested = True
+                    makespan_regressed = significant
         delta = GroupDelta(
             group=group,
             baseline_makespan=float(base["makespan"]),
@@ -667,10 +808,15 @@ def compare_to_baseline(
             n_runs=int(current.get("n_runs", 0)),
             baseline_success=float(base.get("success_rate", 1.0)),
             current_success=float(current.get("success_rate", 1.0)),
+            stat_tested=stat_tested,
+            t_stat=t_stat,
+            t_crit=t_crit if stat_tested else 0.0,
         )
+        if makespan_regressed is None:
+            makespan_regressed = delta.makespan_change > makespan_threshold
         report.deltas.append(delta)
         if (
-            delta.makespan_change > makespan_threshold
+            makespan_regressed
             or delta.cost_change > cost_threshold
             or -delta.success_change > success_threshold
         ):

@@ -1,0 +1,20 @@
+"""Seed-deterministic multiprocess execution fabric.
+
+Splits Monte Carlo replication loops and sweep grids across worker
+processes without changing a single returned number: sharding follows the
+``SeedSequence`` spawn tree (see :func:`repro.rng.spawn_seeds`), results
+merge in shard order, and a crashed worker's shards are retried on a
+respawned pool. See ``docs/PARALLEL.md`` for the determinism contract.
+"""
+
+from .pool import WorkerPool, resolve_workers
+from .shard import MIN_SHARD_SIZE, Shard, ShardPlan, ShardStats
+
+__all__ = [
+    "MIN_SHARD_SIZE",
+    "Shard",
+    "ShardPlan",
+    "ShardStats",
+    "WorkerPool",
+    "resolve_workers",
+]

@@ -15,7 +15,7 @@ from typing import Iterator, Optional, Union
 
 import numpy as np
 
-__all__ = ["RngLike", "as_generator", "spawn", "stream"]
+__all__ = ["RngLike", "as_generator", "spawn", "spawn_seeds", "stream"]
 
 RngLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
 
@@ -51,6 +51,28 @@ def spawn(rng: RngLike, n: int) -> list[np.random.Generator]:
         return [np.random.default_rng(s) for s in rng.spawn(n)]
     root = np.random.SeedSequence(rng if rng is not None else None)
     return [np.random.default_rng(s) for s in root.spawn(n)]
+
+
+def spawn_seeds(rng: RngLike, n: int) -> list[np.random.SeedSequence]:
+    """The seed sequences behind :func:`spawn`, without building generators.
+
+    ``spawn(rng, n)`` is exactly ``[np.random.default_rng(s) for s in
+    spawn_seeds(rng, n)]`` — both advance the parent's spawn counter the
+    same way, so a caller may take either path and land on identical
+    streams. The seed sequences themselves are small and picklable, which
+    is what lets :mod:`repro.parallel` ship per-replication substreams to
+    worker processes and still merge results bit-identical to the serial
+    run.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} seed sequences")
+    if isinstance(rng, np.random.Generator):
+        seed_seq = rng.bit_generator.seed_seq  # type: ignore[attr-defined]
+        return seed_seq.spawn(n)
+    if isinstance(rng, np.random.SeedSequence):
+        return rng.spawn(n)
+    root = np.random.SeedSequence(rng if rng is not None else None)
+    return root.spawn(n)
 
 
 def stream(rng: RngLike) -> Iterator[np.random.Generator]:

@@ -43,13 +43,20 @@ from ..io import schedule_to_dict
 from ..obs.events import EventBus
 from ..obs.ledger import RunRow, get_ledger
 from ..obs.tracing import get_tracer
+from ..parallel import ShardStats, WorkerPool
 from ..scheduling.registry import available_schedulers, make_scheduler
 from ..simulation.executor import execute_schedule, sample_weights
 from .cache import LRUCache
 from .metrics import MetricsRegistry, quantile
 from .spec import ScheduleRequest, ScheduleResponse
 
-__all__ = ["JobState", "JobRecord", "SchedulingService"]
+__all__ = ["JobState", "JobRecord", "SchedulingService", "compute_response"]
+
+#: Execution modes for the service's compute path. ``thread`` keeps the
+#: historical in-process behaviour; ``process`` routes each compute into a
+#: :class:`repro.parallel.WorkerPool` worker, taking CPU-bound
+#: HEFTBUDG+/HEFTBUDG+INV refinement off the GIL.
+EXECUTORS = ("thread", "process")
 
 RequestLike = Union[ScheduleRequest, Mapping[str, Any]]
 
@@ -109,6 +116,124 @@ class _Job:
         self.future: Optional["Future[ScheduleResponse]"] = None
 
 
+def _noop_deadline() -> None:
+    return None
+
+
+def _noop_progress(stage: str, done: int, total: int) -> None:
+    return None
+
+
+def compute_response(
+    request: ScheduleRequest,
+    *,
+    check_deadline=_noop_deadline,
+    publish_progress=_noop_progress,
+) -> ScheduleResponse:
+    """The pure compute path: resolve → schedule → evaluate → response.
+
+    Module-level (and using only its arguments) so it runs identically on
+    a service worker thread or inside a :class:`repro.parallel.WorkerPool`
+    process — the ``--executor process`` mode ships exactly this function.
+    ``check_deadline`` is called between evaluation replications (the
+    cooperative timeout hook); ``publish_progress`` receives coarse
+    ``(stage, done, total)`` updates.
+    """
+    started = time.perf_counter()
+    wf = request.workflow.resolve()
+    platform = request.platform.resolve()
+    budget = request.budget.resolve(wf, platform)
+    try:
+        result = make_scheduler(request.algorithm).schedule(
+            wf, platform, budget
+        )
+    except ReproError as exc:
+        raise ServiceError(
+            f"{request.algorithm} failed on {wf.name or 'workflow'}: {exc}"
+        ) from exc
+    publish_progress("scheduled", 1, 1)
+    evaluation = _evaluate_schedule(
+        request, wf, platform, result.schedule, budget,
+        check_deadline=check_deadline, publish_progress=publish_progress,
+    )
+    return ScheduleResponse(
+        request_fingerprint=request.fingerprint(),
+        algorithm=result.algorithm,
+        budget=budget,
+        planned_makespan=result.planned_makespan,
+        planned_cost=result.planned_vm_cost,
+        within_budget_plan=result.within_budget_plan,
+        n_vms=result.schedule.n_vms,
+        n_tasks=wf.n_tasks,
+        workflow_name=wf.name,
+        schedule=schedule_to_dict(result.schedule),
+        evaluation=evaluation,
+        cached=False,
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+def _evaluate_schedule(
+    request, wf, platform, schedule, budget,
+    *,
+    check_deadline=_noop_deadline,
+    publish_progress=_noop_progress,
+) -> Optional[Dict[str, Any]]:
+    """Replay a schedule against ``n_reps`` sampled weight realizations."""
+    spec = request.evaluation
+    if spec.n_reps <= 0:
+        return None
+    cap = float("inf") if spec.dc_capacity is None else spec.dc_capacity
+    makespans: List[float] = []
+    costs: List[float] = []
+    n_valid = 0
+    reps: List[Dict[str, Any]] = []
+    # Progress granularity: ~4 updates per evaluation, never per-rep.
+    stride = max(1, spec.n_reps // 4)
+    for i in range(spec.n_reps):
+        check_deadline()
+        run = execute_schedule(
+            wf, platform, schedule,
+            sample_weights(wf, rng=spec.seed + i),
+            dc_capacity=cap, validate=False,
+        )
+        valid = run.respects_budget(budget)
+        n_valid += valid
+        makespans.append(run.makespan)
+        costs.append(run.total_cost)
+        reps.append(
+            {
+                "seed": spec.seed + i,
+                "makespan": run.makespan,
+                "cost": run.total_cost,
+                "within_budget": valid,
+            }
+        )
+        if (i + 1) % stride == 0 or i + 1 == spec.n_reps:
+            publish_progress("evaluating", i + 1, spec.n_reps)
+    return {
+        "n_reps": spec.n_reps,
+        "budget_success_rate": n_valid / spec.n_reps,
+        "makespan": _summary(makespans),
+        "cost": _summary(costs),
+        "reps": reps,
+    }
+
+
+def _warmup(index: int) -> int:
+    """Trivial task used to pre-fork the process pool at service start."""
+    return index
+
+
+def _process_compute(request_dict: Dict[str, Any]) -> ScheduleResponse:
+    """Worker-process entrypoint for ``--executor process`` (pickle-safe).
+
+    Deadlines and progress are supervised by the parent thread (which
+    bounds the worker call itself); the child just computes.
+    """
+    return compute_response(ScheduleRequest.from_dict(request_dict))
+
+
 class SchedulingService:
     """Scheduling-as-a-service façade (see module docstring).
 
@@ -149,6 +274,15 @@ class SchedulingService:
         Base of the exponential backoff between retries; the actual sleep
         is ``retry_backoff_s × 2^attempt`` scaled by a deterministic
         per-job jitter in [0.5, 1.0].
+    executor:
+        ``"thread"`` (default) computes on the worker threads;
+        ``"process"`` routes each compute into a worker *process* via
+        :class:`repro.parallel.WorkerPool`, so CPU-bound refinement runs
+        off the GIL. Job lifecycle, cache, backpressure, retries, and
+        timeout supervision all stay in the parent either way — a crashed
+        worker surfaces as a retryable
+        :class:`~repro.errors.WorkerCrashError` after the pool's own
+        shard retries are exhausted.
     """
 
     def __init__(
@@ -164,9 +298,14 @@ class SchedulingService:
         job_timeout: Optional[float] = None,
         max_retries: int = 0,
         retry_backoff_s: float = 0.5,
+        executor: str = "thread",
     ) -> None:
         if max_workers < 1:
             raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
+        if executor not in EXECUTORS:
+            raise ServiceError(
+                f"unknown executor {executor!r}; one of {EXECUTORS}"
+            )
         if cache_size < 0:
             raise ServiceError(f"cache_size must be >= 0, got {cache_size}")
         if max_queue_depth is not None and max_queue_depth < 1:
@@ -197,6 +336,16 @@ class SchedulingService:
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-service"
         )
+        self.executor = executor
+        self._proc_pool: Optional[WorkerPool] = None
+        if executor == "process":
+            # Fork the worker processes *now*, before the service's own
+            # threads get busy — forking from a quiescent parent avoids
+            # inheriting locks held mid-operation.
+            self._proc_pool = WorkerPool(
+                max_workers, metrics=self.metrics, events=self.events
+            )
+            self._proc_pool.map(_warmup, list(range(max_workers)))
         self._jobs: Dict[str, _Job] = {}
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
@@ -442,6 +591,11 @@ class SchedulingService:
         self._sync_cache_metrics()
         out: Dict[str, Any] = {
             "uptime_s": time.time() - self._started_at,
+            "executor": self.executor,
+            "workers": (
+                None if self._proc_pool is None
+                else self._proc_pool.worker_stats()
+            ),
             "jobs": by_state,
             "cache": None if self._cache is None else self._cache.stats().to_dict(),
             "metrics": self.metrics.snapshot(),
@@ -501,6 +655,8 @@ class SchedulingService:
                 "service.draining", in_flight=in_flight, wait=wait
             )
         self._pool.shutdown(wait=wait)
+        if self._proc_pool is not None:
+            self._proc_pool.close()
         if first:
             self.events.publish("service.closed")
 
@@ -617,44 +773,66 @@ class SchedulingService:
         tracer = get_tracer()
         attrs = (
             {"algorithm": request.algorithm,
-             "fingerprint": request.fingerprint()}
+             "fingerprint": request.fingerprint(),
+             "executor": self.executor}
             if tracer.enabled else {}
         )
         with self.metrics.timer("schedule_latency_s"), tracer.span(
             "service.compute", **attrs
         ):
-            wf = request.workflow.resolve()
-            platform = request.platform.resolve()
-            budget = request.budget.resolve(wf, platform)
-            try:
-                result = make_scheduler(request.algorithm).schedule(
-                    wf, platform, budget
+            if self._proc_pool is not None:
+                response = self._compute_in_process(request)
+            else:
+                response = compute_response(
+                    request,
+                    check_deadline=self._check_job_deadline,
+                    publish_progress=self._publish_progress,
                 )
-            except ReproError as exc:
-                raise ServiceError(
-                    f"{request.algorithm} failed on {wf.name or 'workflow'}: {exc}"
-                ) from exc
-            self._publish_progress("scheduled", 1, 1)
-            evaluation = self._evaluate(request, wf, platform, result.schedule, budget)
-        return ScheduleResponse(
-            request_fingerprint=request.fingerprint(),
-            algorithm=result.algorithm,
-            budget=budget,
-            planned_makespan=result.planned_makespan,
-            planned_cost=result.planned_vm_cost,
-            within_budget_plan=result.within_budget_plan,
-            n_vms=result.schedule.n_vms,
-            n_tasks=wf.n_tasks,
-            workflow_name=wf.name,
-            schedule=schedule_to_dict(result.schedule),
-            evaluation=evaluation,
-            cached=False,
-            elapsed_s=time.perf_counter() - started,
-        )
+        evaluation = response.evaluation
+        if evaluation:
+            self.metrics.incr("evaluation_reps", evaluation["n_reps"])
+        return replace(response, elapsed_s=time.perf_counter() - started)
+
+    def _compute_in_process(self, request: ScheduleRequest) -> ScheduleResponse:
+        """Route one compute into the process pool, supervised from here.
+
+        The child cannot check the cooperative deadline, so the parent
+        bounds the worker call with the job's remaining budget and maps a
+        pool timeout onto the same :class:`~repro.errors.JobTimeoutError`
+        the thread path raises. Worker crashes surface as
+        :class:`~repro.errors.WorkerCrashError` (not a ``ReproError``), so
+        the job retry loop treats them as transient.
+        """
+        deadline = getattr(self._job_context, "deadline", None)
+        remaining: Optional[float] = None
+        if deadline is not None:
+            remaining = max(deadline - time.monotonic(), 0.001)
+        self._publish_progress("dispatched", 1, 1)
+        try:
+            response = self._proc_pool.run(
+                _process_compute, request.to_dict(), timeout=remaining
+            )
+        except TimeoutError:
+            raise JobTimeoutError(
+                f"job exceeded its {self.job_timeout}s timeout "
+                f"(process executor)"
+            ) from None
+        evaluation = response.evaluation or {}
+        n_reps = int(evaluation.get("n_reps", 0))
+        if n_reps:
+            self._publish_progress("evaluating", n_reps, n_reps)
+        return response
 
     def _record_run(self, request: ScheduleRequest, response: ScheduleResponse) -> None:
         """Archive one freshly computed response into the ledger."""
         evaluation = response.evaluation or {}
+        makespans = [
+            rep["makespan"] for rep in (evaluation.get("reps") or [])
+        ]
+        extra = (
+            {"makespan_stats": ShardStats.of(makespans).to_dict()}
+            if makespans else {}
+        )
         row = RunRow(
             source="service",
             fingerprint=response.request_fingerprint,
@@ -674,6 +852,7 @@ class SchedulingService:
             n_vms=response.n_vms,
             elapsed_s=response.elapsed_s,
             trace_id=getattr(self._job_context, "job_id", None) or "",
+            extra=extra,
         )
         try:
             self.ledger.record(row)
@@ -688,50 +867,6 @@ class SchedulingService:
                 "job.progress", job_id=job_id, stage=stage,
                 done=done, total=total,
             )
-
-    def _evaluate(
-        self, request, wf, platform, schedule, budget
-    ) -> Optional[Dict[str, Any]]:
-        spec = request.evaluation
-        if spec.n_reps <= 0:
-            return None
-        cap = float("inf") if spec.dc_capacity is None else spec.dc_capacity
-        makespans: List[float] = []
-        costs: List[float] = []
-        n_valid = 0
-        reps: List[Dict[str, Any]] = []
-        # Progress granularity: ~4 updates per evaluation, never per-rep.
-        stride = max(1, spec.n_reps // 4)
-        for i in range(spec.n_reps):
-            self._check_job_deadline()
-            run = execute_schedule(
-                wf, platform, schedule,
-                sample_weights(wf, rng=spec.seed + i),
-                dc_capacity=cap, validate=False,
-            )
-            valid = run.respects_budget(budget)
-            n_valid += valid
-            makespans.append(run.makespan)
-            costs.append(run.total_cost)
-            reps.append(
-                {
-                    "seed": spec.seed + i,
-                    "makespan": run.makespan,
-                    "cost": run.total_cost,
-                    "within_budget": valid,
-                }
-            )
-            if (i + 1) % stride == 0 or i + 1 == spec.n_reps:
-                self._publish_progress("evaluating", i + 1, spec.n_reps)
-        self.metrics.incr("evaluation_reps", spec.n_reps)
-        return {
-            "n_reps": spec.n_reps,
-            "budget_success_rate": n_valid / spec.n_reps,
-            "makespan": _summary(makespans),
-            "cost": _summary(costs),
-            "reps": reps,
-        }
-
 
 def _summary(values: List[float]) -> Dict[str, float]:
     return {

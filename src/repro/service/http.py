@@ -516,13 +516,16 @@ def serve(
     max_queue_depth: Optional[int] = None,
     job_timeout: Optional[float] = None,
     max_retries: int = 0,
+    executor: str = "thread",
 ) -> None:  # pragma: no cover - blocking entry point, exercised via CLI
     """Run a gateway in the foreground until interrupted.
 
     ``ledger_path`` enables the persistent run ledger: every computed
     response is archived there and ``GET /v1/runs`` serves the archive.
-    SIGTERM and SIGINT both trigger a graceful drain: the socket closes,
-    in-flight jobs finish, then the process exits.
+    ``executor="process"`` computes in worker processes (see
+    ``docs/PARALLEL.md``). SIGTERM and SIGINT both trigger a graceful
+    drain: the socket closes, in-flight jobs finish, then the process
+    exits.
     """
     import signal
 
@@ -536,7 +539,7 @@ def serve(
     service = SchedulingService(
         max_workers=max_workers, cache_size=cache_size, cache_ttl=cache_ttl,
         ledger=ledger, events=bus, max_queue_depth=max_queue_depth,
-        job_timeout=job_timeout, max_retries=max_retries,
+        job_timeout=job_timeout, max_retries=max_retries, executor=executor,
     )
     gateway = ServiceGateway(service, host=host, port=port)
 

@@ -51,6 +51,7 @@ __all__ = [
     "conservative_weights",
     "mean_weights",
     "sample_weights",
+    "run_replications",
 ]
 
 # Task lifecycle phases.
@@ -71,6 +72,61 @@ def sample_weights(wf: Workflow, rng: RngLike = None) -> Dict[str, float]:
     """One stochastic draw of actual weights (truncated Gaussian, §III-A)."""
     gen = as_generator(rng)
     return {tid: wf.task(tid).weight.sample(gen) for tid in wf.topological_order}
+
+
+def run_replications(task: Mapping) -> List[tuple]:
+    """Execute one shard of a Monte Carlo replication loop (pickle-safe).
+
+    The module-level entrypoint that :mod:`repro.parallel` ships to worker
+    processes: ``task`` is a plain mapping (everything in it must pickle)
+    with keys
+
+    ``wf`` / ``platform`` / ``schedule``
+        the workflow, platform, and the *already computed* schedule;
+    ``budget``
+        the budget each replication's cost is checked against;
+    ``seeds``
+        per-replication :class:`numpy.random.SeedSequence` substreams from
+        :func:`repro.rng.spawn_seeds` — building a generator from seed
+        ``k`` reproduces the serial run's ``spawn()`` child exactly;
+    ``weights``
+        optional pre-drawn weight mappings (common random numbers); when
+        present, ``seeds`` may be ``None`` and is ignored;
+    ``dc_capacity``
+        optional datacenter capacity (default infinite);
+    ``validate_first``
+        validate the schedule before the shard's first replication —
+        ``True`` only for the shard containing global repetition 0, so the
+        sharded loop validates exactly as often as the serial one.
+
+    Returns one ``(makespan, total_cost, n_vms, within_budget)`` tuple per
+    replication, in order — plain floats/ints/bools so results cross the
+    process boundary cheaply.
+    """
+    wf = task["wf"]
+    platform = task["platform"]
+    schedule = task["schedule"]
+    budget = task["budget"]
+    weights_list = task.get("weights")
+    seeds = task.get("seeds")
+    dc_capacity = task.get("dc_capacity", math.inf)
+    validate_first = task.get("validate_first", True)
+    n = len(weights_list if weights_list is not None else seeds)
+    out: List[tuple] = []
+    for k in range(n):
+        weights = (
+            weights_list[k] if weights_list is not None
+            else sample_weights(wf, as_generator(seeds[k]))
+        )
+        run = execute_schedule(
+            wf, platform, schedule, weights,
+            dc_capacity=dc_capacity, validate=(k == 0 and validate_first),
+        )
+        out.append(
+            (run.makespan, run.total_cost, run.n_vms,
+             run.respects_budget(budget))
+        )
+    return out
 
 
 @dataclass

@@ -1,0 +1,83 @@
+"""Golden parity: parallel execution is bit-identical to serial.
+
+The contract from ``docs/PARALLEL.md``: for any worker count, every
+returned float equals the serial run exactly — not approximately. The only
+exempt fields are wall-clock measurements (``sched_seconds``), which by
+nature differ between runs.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.resilience import resilience_sweep
+from repro.experiments.runner import run_point, run_sweep
+from repro.obs.ledger import RunLedger, use_ledger
+from repro.workflow.generators import generate
+
+
+def smoke_config(seed):
+    return ExperimentConfig.smoke(
+        families=("montage",), n_tasks=15, n_instances=1,
+        budgets_per_workflow=2, n_reps=8, seed=seed,
+        algorithms=("heft_budg", "minmin"),
+    )
+
+
+def strip_wallclock(records):
+    """Records with wall-clock fields zeroed — everything else must match."""
+    return [replace(r, sched_seconds=0.0) for r in records]
+
+
+class TestSweepParity:
+    @pytest.mark.parametrize("seed", [2018, 7])
+    def test_run_sweep_bit_identical_across_workers(self, seed):
+        serial = run_sweep(smoke_config(seed))
+        parallel = run_sweep(smoke_config(seed), workers=4)
+        assert strip_wallclock(parallel) == strip_wallclock(serial)
+
+    def test_ledger_rows_match_serial(self):
+        def rows(workers):
+            with RunLedger() as ledger, use_ledger(ledger):
+                run_sweep(smoke_config(5), workers=workers)
+                return ledger.runs(limit=0)
+
+        serial, parallel = rows(0), rows(2)
+        assert len(serial) == len(parallel) > 0
+        for a, b in zip(serial, parallel):
+            assert a.algorithm == b.algorithm and a.budget == b.budget
+            assert a.sim_makespan == b.sim_makespan
+            assert a.sim_cost == b.sim_cost
+            assert a.success_rate == b.success_rate
+            assert a.extra["makespan_stats"] == b.extra["makespan_stats"]
+
+
+class TestPointParity:
+    @pytest.mark.parametrize("workers", [2, 3, 5])
+    def test_run_point_shards_reps_identically(self, workers):
+        wf = generate("cybershake", 20, rng=5, sigma_ratio=0.5)
+        from repro.experiments.budgets import high_budget
+        from repro.platform.cloud import PAPER_PLATFORM
+
+        budget = high_budget(wf, PAPER_PLATFORM)
+        serial = run_point(
+            wf, PAPER_PLATFORM, "heft_budg", budget, 12, 42
+        )
+        sharded = run_point(
+            wf, PAPER_PLATFORM, "heft_budg", budget, 12, 42, workers=workers
+        )
+        assert strip_wallclock(sharded) == strip_wallclock(serial)
+
+
+class TestFaultInjectedParity:
+    def test_resilience_sweep_bit_identical_across_workers(self):
+        def sweep(workers):
+            study = resilience_sweep(
+                families=("montage",), n_tasks=15,
+                algorithms=("heft_budg",), policies=("none", "remap"),
+                crash_rates=(0.0, 5.0), n_runs=3, seed=3, workers=workers,
+            )
+            return [p.__dict__ for p in study.points]
+
+        assert sweep(workers=2) == sweep(workers=0)

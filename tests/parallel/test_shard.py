@@ -1,0 +1,115 @@
+"""ShardPlan invariants and ShardStats merge exactness."""
+
+import statistics
+
+import numpy as np
+import pytest
+
+from repro.parallel import MIN_SHARD_SIZE, Shard, ShardPlan, ShardStats
+
+
+class TestShardPlan:
+    @pytest.mark.parametrize("n_items", [0, 1, 3, 4, 7, 8, 25, 100, 101])
+    @pytest.mark.parametrize("workers", [0, 1, 2, 3, 4, 8])
+    def test_shards_cover_range_exactly_once(self, n_items, workers):
+        plan = ShardPlan.plan(n_items, workers)
+        covered = [
+            i for shard in plan.shards for i in range(shard.start, shard.stop)
+        ]
+        assert covered == list(range(n_items))
+        assert [s.index for s in plan.shards] == list(range(plan.n_shards))
+
+    def test_serial_fallback_below_min_shard_size(self):
+        # 2 * MIN_SHARD_SIZE - 1 items cannot fill two minimum shards
+        plan = ShardPlan.plan(2 * MIN_SHARD_SIZE - 1, workers=4)
+        assert plan.is_serial and plan.n_shards == 1
+        assert ShardPlan.plan(2 * MIN_SHARD_SIZE, workers=4).n_shards == 2
+
+    def test_workers_zero_is_serial(self):
+        plan = ShardPlan.plan(100, workers=0)
+        assert plan.is_serial
+        assert plan.shards == (Shard(index=0, start=0, stop=100),)
+
+    def test_remainder_spread_over_first_shards(self):
+        plan = ShardPlan.plan(10, workers=2, min_shard_size=1)
+        assert [s.size for s in plan.shards] == [5, 5]
+        plan = ShardPlan.plan(11, workers=2, min_shard_size=1)
+        assert [s.size for s in plan.shards] == [6, 5]
+
+    def test_shards_per_worker_over_partitions(self):
+        plan = ShardPlan.plan(64, workers=2, shards_per_worker=4)
+        assert plan.n_shards == 8
+
+    def test_never_more_shards_than_items_allow(self):
+        plan = ShardPlan.plan(9, workers=8, min_shard_size=4)
+        assert plan.n_shards == 2  # 9 // 4
+
+    def test_zero_items(self):
+        plan = ShardPlan.plan(0, workers=4)
+        assert plan.n_shards == 0 and plan.is_serial
+        assert plan.merge([]) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="cannot shard"):
+            ShardPlan.plan(-1, 2)
+        with pytest.raises(ValueError, match="min_shard_size"):
+            ShardPlan.plan(10, 2, min_shard_size=0)
+        with pytest.raises(ValueError, match="shards_per_worker"):
+            ShardPlan.plan(10, 2, shards_per_worker=0)
+
+    def test_slice_matches_shard_bounds(self):
+        items = list(range(20))
+        plan = ShardPlan.plan(20, workers=3, min_shard_size=1)
+        rebuilt = [x for shard in plan.shards for x in shard.slice(items)]
+        assert rebuilt == items
+
+
+class TestMerge:
+    def test_merge_restores_serial_order(self):
+        plan = ShardPlan.plan(10, workers=3, min_shard_size=1)
+        per_shard = [list(shard.slice(range(10))) for shard in plan.shards]
+        # completion order must not matter: merge takes shard order as given
+        assert plan.merge(per_shard) == list(range(10))
+
+    def test_merge_rejects_wrong_shard_count(self):
+        plan = ShardPlan.plan(8, workers=2, min_shard_size=1)
+        with pytest.raises(ValueError, match="shard results"):
+            plan.merge([[0, 1, 2, 3]])
+
+    def test_merge_rejects_short_shard(self):
+        plan = ShardPlan.plan(8, workers=2, min_shard_size=1)
+        with pytest.raises(ValueError, match="shard 1 returned"):
+            plan.merge([[0, 1, 2, 3], [4, 5, 6]])
+
+
+class TestShardStats:
+    def test_matches_statistics_module(self):
+        rng = np.random.default_rng(11)
+        samples = list(rng.normal(50, 9, 40))
+        stats = ShardStats.of(samples)
+        assert stats.n == 40
+        assert stats.mean == pytest.approx(statistics.fmean(samples))
+        assert stats.std == pytest.approx(statistics.stdev(samples))
+        assert stats.minimum == min(samples)
+        assert stats.maximum == max(samples)
+        assert stats.values == samples
+
+    def test_merge_equals_stats_of_union(self):
+        rng = np.random.default_rng(3)
+        shards = [list(rng.normal(100, 20, n)) for n in (5, 1, 12)]
+        merged = ShardStats.merge([ShardStats.of(s) for s in shards])
+        union = ShardStats.of([x for s in shards for x in s])
+        assert merged.n == union.n
+        assert merged.mean == pytest.approx(union.mean, abs=0, rel=1e-12)
+        assert merged.std == pytest.approx(union.std, abs=0, rel=1e-12)
+        assert merged.values == union.values
+        assert merged.to_dict()["min"] == union.minimum
+
+    def test_empty_and_singleton(self):
+        empty = ShardStats()
+        assert empty.mean == 0.0 and empty.std == 0.0
+        assert empty.to_dict() == {"mean": 0.0, "std": 0.0, "n": 0,
+                                   "min": 0.0, "max": 0.0}
+        one = ShardStats.of([7.5])
+        assert one.mean == 7.5 and one.std == 0.0
+        assert one.to_dict()["min"] == 7.5 and one.to_dict()["max"] == 7.5

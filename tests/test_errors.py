@@ -30,9 +30,16 @@ class TestHierarchy:
         assert issubclass(errors.InfeasibleBudgetError, errors.SchedulingError)
 
     def test_one_except_catches_everything(self):
-        """The package contract: `except ReproError` is sufficient."""
+        """The package contract: `except ReproError` catches every
+        *deterministic* error. ``WorkerCrashError`` is the one deliberate
+        exception — a transient infrastructure failure that retry layers
+        must be able to catch separately from model errors."""
         for name in errors.__all__:
             exc = getattr(errors, name)
+            if exc is errors.WorkerCrashError:
+                assert issubclass(exc, RuntimeError)
+                assert not issubclass(exc, errors.ReproError)
+                continue
             with pytest.raises(errors.ReproError):
                 raise exc("boom")
 
