@@ -1,0 +1,154 @@
+"""Mixed-tenant admission contention scenario (the CI admission-gate).
+
+Three tenants with different policies hammer one service at once:
+
+- ``gold``   — weight 2.0, generous cost budget, 2 concurrent slots;
+- ``silver`` — weight 1.0, generous cost budget, 2 concurrent slots;
+- ``free``   — tiny cost budget, so most of its burst must be refused
+  with a typed ``budget_exhausted``.
+
+The gate asserts the admission layer's contract under contention:
+
+1. **No overspend** — every tenant's committed window spend stays within
+   its ``cost_budget``.
+2. **Typed refusals only** — every rejection carries a known reason.
+3. **Bounded waiting** — no admitted job waited longer than the bound.
+4. **No losses** — every admitted job reaches ``done``.
+
+Throughput and per-tenant accounting land in a JSON report compatible
+with ``BENCH_PR6.json``::
+
+    python benchmarks/admission_contention.py --out BENCH_PR6.json
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.admission import TenantPolicy, TenantRegistry
+from repro.errors import AdmissionRejected
+from repro.service import SchedulingService
+
+MAX_WAIT_S = 60.0
+KNOWN_REASONS = {"rate_limited", "budget_exhausted", "queue_full"}
+
+
+def request_dict(amount, seed, priority):
+    """One small schedule+evaluate request (seconds, not minutes)."""
+    return {
+        "workflow": {"family": "montage", "n_tasks": 15, "rng": 1,
+                     "sigma_ratio": 0.5},
+        "algorithm": "heft_budg",
+        "budget": {"amount": amount},
+        "evaluation": {"n_reps": 2, "seed": seed},
+        "priority": priority,
+    }
+
+
+def run_scenario(workers=2):
+    """Run the contention burst; returns (report, failures)."""
+    registry = TenantRegistry({
+        "gold": TenantPolicy(name="gold", weight=2.0, cost_budget=50.0,
+                             max_concurrent=2),
+        "silver": TenantPolicy(name="silver", weight=1.0, cost_budget=50.0,
+                               max_concurrent=2),
+        "free": TenantPolicy(name="free", cost_budget=0.6),
+    })
+    bursts = []
+    for i in range(12):
+        bursts.append(("gold", request_dict(2.0, 100 + i, "batch")))
+        bursts.append(("silver", request_dict(2.0, 200 + i, "batch")))
+    for i in range(8):
+        bursts.append(("free", request_dict(0.5, 300 + i, "best_effort")))
+
+    admitted = {"gold": [], "silver": [], "free": []}
+    rejected = {"gold": 0, "silver": 0, "free": 0}
+    failures = []
+    started = time.perf_counter()
+    with SchedulingService(max_workers=workers, cache_size=0,
+                           tenants=registry) as svc:
+        for tenant, body in bursts:
+            body = dict(body, tenant=tenant)
+            try:
+                admitted[tenant].append(svc.submit(body))
+            except AdmissionRejected as exc:
+                rejected[tenant] += 1
+                if exc.reason not in KNOWN_REASONS:
+                    failures.append(
+                        f"untyped rejection reason {exc.reason!r}"
+                    )
+        svc.wait_all(timeout=300)
+        elapsed = time.perf_counter() - started
+
+        done = sum(
+            1
+            for jobs in admitted.values()
+            for job_id in jobs
+            if svc.job(job_id).state == "done"
+        )
+        n_admitted = sum(len(jobs) for jobs in admitted.values())
+        if done != n_admitted:
+            failures.append(f"only {done}/{n_admitted} admitted jobs done")
+
+        queue_stats = svc.stats()["admission"]["queue"]
+        if queue_stats["max_wait_s"] > MAX_WAIT_S:
+            failures.append(
+                f"max queue wait {queue_stats['max_wait_s']:.1f}s "
+                f"exceeds the {MAX_WAIT_S:.0f}s bound"
+            )
+
+        per_tenant = {}
+        for name in ("gold", "silver", "free"):
+            spent = registry.spent_window(name)
+            budget = registry.policy(name).cost_budget
+            if spent > budget + 1e-9:
+                failures.append(
+                    f"tenant {name} overspent: {spent:.4f} > {budget}"
+                )
+            per_tenant[name] = {
+                "admitted": len(admitted[name]),
+                "rejected": rejected[name],
+                "spent_window": round(spent, 6),
+                "cost_budget": budget,
+            }
+        if not rejected["free"]:
+            failures.append("free tier was never refused — budget gate idle")
+
+    report = {
+        "config": {"workers": workers, "jobs_offered": len(bursts),
+                   "n_tasks": 15, "n_reps": 2},
+        "throughput_jobs_per_s": round(done / elapsed, 3) if elapsed else 0.0,
+        "elapsed_s": round(elapsed, 3),
+        "jobs_done": done,
+        "per_tenant": per_tenant,
+        "queue": {k: queue_stats[k] for k in
+                  ("pushed", "popped", "promoted_pops", "max_wait_s",
+                   "mean_wait_s")},
+    }
+    return report, failures
+
+
+def main(argv=None):
+    """CLI entry point; exits non-zero on any contract violation."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here")
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    report, failures = run_scenario(workers=args.workers)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump({"admission_contention": report}, fh, indent=1,
+                      sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Multi-tenant budget-aware admission control for the scheduling service.
+
+The paper's thesis — spend a fixed budget wisely under uncertainty — is
+applied here to the service's *own* traffic: every request is priced
+before it runs (:mod:`~repro.admission.estimator`), charged against its
+tenant's simulated-dollar budget window and rate/concurrency limits
+(:mod:`~repro.admission.tenants`), queued by priority class with weighted
+fair sharing and starvation aging (:mod:`~repro.admission.queue`), and —
+when near-identical to other traffic — batched into a shared computation
+(:mod:`~repro.admission.batcher`). The
+:class:`~repro.admission.controller.AdmissionController` chains the gates
+and settles the accounting when runs finish.
+
+See ``docs/ADMISSION.md`` for the tenants-file format, priority
+semantics, and estimator calibration.
+"""
+
+from .batcher import FamilyBatcher
+from .controller import AdmissionController, AdmissionDecision
+from .estimator import CostEstimator, Estimate, estimate_error_report
+from .queue import AdmissionQueue, QueuedEntry
+from .tenants import TenantPolicy, TenantRegistry, TenantState
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionQueue",
+    "QueuedEntry",
+    "CostEstimator",
+    "Estimate",
+    "estimate_error_report",
+    "FamilyBatcher",
+    "TenantPolicy",
+    "TenantRegistry",
+    "TenantState",
+]

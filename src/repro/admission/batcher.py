@@ -1,0 +1,140 @@
+"""Spec-family batching: merge near-identical requests into one compute.
+
+PR 4's coalescer collapsed *identical* requests (same fingerprint) into a
+single in-flight computation. This module generalizes it one level up:
+requests in the same **spec family** — equal modulo ``evaluation.seed``,
+``evaluation.n_reps``, tenant and priority
+(:meth:`~repro.service.spec.ScheduleRequest.family_key`) — share the
+expensive part, the *schedule*, computed once per family, while their
+evaluation replications are computed per **seed** and cached, following
+the PR 5 shard-plan contract: replication ``i`` of a request depends only
+on ``evaluation.seed + i``, never on ``n_reps`` or neighbours. Two
+requests asking for overlapping seed ranges therefore share every
+overlapping replication bit-for-bit, and a batched response is
+byte-identical to its unbatched equivalent (the wall-clock ``elapsed_s``
+field excepted, by definition).
+
+The batcher itself is pure orchestration — it owns two single-flight
+:class:`~repro.service.cache.LRUCache` layers (family → base bundle,
+``(family, seed)`` → replication record) and three caller-supplied
+callables:
+
+``compute_base(request)``
+    Resolve + schedule once for the whole family; returns an opaque
+    bundle (the engine packs workflow/platform/schedule/budget plus the
+    response template).
+``compute_rep(base, seed)``
+    One evaluation replication from the bundle; must be a pure function
+    of ``(family, seed)``.
+``assemble(base, reps, request)``
+    Fold the bundle and this request's replication list into the final
+    response.
+
+Keeping the callables outside means the engine depends on the batcher,
+not the other way around, and the batcher is testable with toy
+functions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List
+
+from ..service.cache import LRUCache
+from ..service.spec import ScheduleRequest
+
+__all__ = ["FamilyBatcher"]
+
+
+class FamilyBatcher:
+    """Two-level single-flight batching over spec families (thread-safe).
+
+    Parameters
+    ----------
+    compute_base, compute_rep, assemble:
+        The three compute callables (see the module docstring).
+    max_families:
+        Base-bundle cache capacity (a bundle holds a resolved workflow
+        and schedule — heavier than a response, so keep this modest).
+    max_reps:
+        Replication-record cache capacity (records are small dicts).
+    clock:
+        Monotonic seconds source for the caches; injectable for tests.
+    """
+
+    def __init__(
+        self,
+        compute_base: Callable[[ScheduleRequest], Any],
+        compute_rep: Callable[[Any, int], Dict[str, Any]],
+        assemble: Callable[[Any, List[Dict[str, Any]], ScheduleRequest], Any],
+        *,
+        max_families: int = 64,
+        max_reps: int = 8192,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._compute_base = compute_base
+        self._compute_rep = compute_rep
+        self._assemble = assemble
+        self._bases = LRUCache(max_families, clock=clock)
+        self._reps = LRUCache(max_reps, clock=clock)
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._batched = 0
+        self._reps_shared = 0
+        self._reps_computed = 0
+
+    def compute(self, request: ScheduleRequest) -> Any:
+        """Serve ``request`` through the family/seed caches.
+
+        The schedule is computed at most once per family (concurrent
+        first requests coalesce single-flight), each replication at most
+        once per ``(family, seed)``; the per-request response is then
+        assembled from shared parts.
+        """
+        family = request.family_key()
+        base, base_shared = self._bases.get_or_compute(
+            family, lambda: self._compute_base(request)
+        )
+        spec = request.evaluation
+        reps: List[Dict[str, Any]] = []
+        shared = 0
+        for i in range(spec.n_reps):
+            seed = spec.seed + i
+            rep, was_cached = self._reps.get_or_compute(
+                (family, seed), lambda s=seed: self._compute_rep(base, s)
+            )
+            shared += was_cached
+            reps.append(rep)
+        with self._lock:
+            self._requests += 1
+            self._batched += base_shared
+            self._reps_shared += shared
+            self._reps_computed += spec.n_reps - shared
+        return self._assemble(base, reps, request)
+
+    def served_batched(self, request: ScheduleRequest) -> bool:
+        """Whether this request's family base already exists (peek only)."""
+        return self._bases.get(request.family_key(), touch=False) is not None
+
+    def clear(self) -> None:
+        """Drop all cached bases and replications (counters kept)."""
+        self._bases.clear()
+        self._reps.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-ready batching statistics (for ``/v1/admission``).
+
+        ``batched`` counts requests that *reused* a family base computed
+        for an earlier request — the work the batcher saved.
+        """
+        with self._lock:
+            out = {
+                "requests": self._requests,
+                "batched": self._batched,
+                "reps_shared": self._reps_shared,
+                "reps_computed": self._reps_computed,
+            }
+        out["families_cached"] = len(self._bases)
+        out["reps_cached"] = len(self._reps)
+        return out

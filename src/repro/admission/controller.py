@@ -1,0 +1,306 @@
+"""Admission controller: the gate in front of the service's job queue.
+
+One object owns the whole admission decision chain for a request:
+
+1. **Rate** — the tenant's token bucket
+   (:class:`~repro.admission.tenants.TenantRegistry`); an empty bucket
+   refuses with ``rate_limited``.
+2. **Price** — the request is priced by the
+   :class:`~repro.admission.estimator.CostEstimator` *before* any
+   compute runs.
+3. **Budget** — the estimate is reserved against the tenant's cost
+   budget window; not fitting refuses with ``budget_exhausted``.
+4. **Queue** — the admitted entry joins the
+   :class:`~repro.admission.queue.AdmissionQueue`; a full queue refuses
+   with ``queue_full`` (the reservation is refunded).
+
+Every decision is published on the event bus (``admission.admitted`` /
+``admission.rejected``) and counted in the metrics registry
+(``repro_admission_{admitted,rejected,queued}_total``). Completion flows
+back through :meth:`reconcile` (convert the reservation into committed
+spend, teach the estimator the actual numbers) or :meth:`release` (refund
+a cancelled/failed reservation); both paths also free the tenant's
+concurrency slot bookkeeping via :meth:`release_slot`.
+
+The controller is engine-agnostic: it never touches jobs, futures or
+responses — only tenants, estimates and queue entries — so it is unit
+testable with a fake clock and no service at all.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..errors import AdmissionRejected
+from ..obs.events import ADMISSION_ADMITTED, ADMISSION_REJECTED, EventBus
+from ..service.metrics import MetricsRegistry
+from ..service.spec import ScheduleRequest
+from .estimator import CostEstimator, Estimate
+from .queue import AdmissionQueue, QueuedEntry
+from .tenants import TenantRegistry
+
+__all__ = ["AdmissionDecision", "AdmissionController"]
+
+
+@dataclass
+class AdmissionDecision:
+    """The record of one admitted request (carried on the job).
+
+    ``reconciled`` flips once the reservation was settled (committed or
+    refunded) so the settle-exactly-once contract survives retries and
+    failure paths.
+    """
+
+    job_id: str
+    tenant: str
+    priority: str
+    estimate: Estimate
+    queue_depth: int = 0
+    reconciled: bool = False
+    slot_held: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (for job snapshots and events)."""
+        return {
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "estimate": self.estimate.to_dict(),
+            "queue_depth": self.queue_depth,
+        }
+
+
+class AdmissionController:
+    """Rate → price → budget → queue, with accounting on the way back.
+
+    Parameters
+    ----------
+    tenants:
+        Tenant policies + live accounting; a permissive default registry
+        (no limits) when omitted, so an unconfigured service admits
+        everything — exactly the pre-admission behaviour.
+    estimator:
+        Request pricer; a fresh uncalibrated one when omitted.
+    max_queue_depth, aging_s:
+        Forwarded to the owned :class:`AdmissionQueue`.
+    metrics, events:
+        Counter registry and event bus to report decisions on; both
+        optional (silent when omitted).
+    clock:
+        Monotonic seconds source shared with the registry/queue.
+    """
+
+    def __init__(
+        self,
+        *,
+        tenants: Optional[TenantRegistry] = None,
+        estimator: Optional[CostEstimator] = None,
+        max_queue_depth: Optional[int] = None,
+        aging_s: float = 30.0,
+        metrics: Optional[MetricsRegistry] = None,
+        events: Optional[EventBus] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.tenants = (
+            tenants if tenants is not None else TenantRegistry(clock=clock)
+        )
+        self.estimator = estimator if estimator is not None else CostEstimator()
+        self.queue = AdmissionQueue(
+            max_depth=max_queue_depth,
+            aging_s=aging_s,
+            weight_of=lambda name: self.tenants.policy(name).weight,
+            clock=clock,
+        )
+        self.metrics = metrics
+        self.events = events
+
+    # ------------------------------------------------------------------
+    # the admit path
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        request: ScheduleRequest,
+        job_id: str,
+        *,
+        enqueue: bool = True,
+    ) -> AdmissionDecision:
+        """Run the full gate chain; enqueue on success.
+
+        Returns the :class:`AdmissionDecision` the caller must carry to
+        :meth:`reconcile`/:meth:`release`. Raises
+        :class:`~repro.errors.AdmissionRejected` with a typed reason on
+        any refusal; refused requests leave no reservation behind.
+
+        ``enqueue=False`` is the synchronous path: the rate and budget
+        gates apply and the reservation is taken, but the request runs
+        immediately on the caller's thread — no queue entry, no
+        concurrency slot.
+        """
+        tenant = request.tenant
+        ok, retry_after = self.tenants.try_rate(tenant)
+        if not ok:
+            raise self._reject(
+                AdmissionRejected(
+                    f"tenant {tenant!r} is rate limited "
+                    f"(retry in {retry_after:.2f}s)",
+                    reason="rate_limited",
+                    tenant=tenant,
+                    retry_after_s=retry_after,
+                    queue_depth=len(self.queue),
+                )
+            )
+        estimate = self.estimator.estimate(request)
+        ok, retry_after = self.tenants.try_reserve(tenant, estimate.cost)
+        if not ok:
+            raise self._reject(
+                AdmissionRejected(
+                    f"tenant {tenant!r} cost budget exhausted: estimated "
+                    f"${estimate.cost:.4f} does not fit the current window "
+                    f"(resets in {retry_after:.0f}s)",
+                    reason="budget_exhausted",
+                    tenant=tenant,
+                    retry_after_s=max(retry_after, 1.0),
+                    queue_depth=len(self.queue),
+                    estimated_cost=estimate.cost,
+                )
+            )
+        depth = 0
+        if enqueue:
+            entry = QueuedEntry(
+                job_id=job_id,
+                tenant=tenant,
+                priority=request.priority,
+                estimated_cost=estimate.cost,
+            )
+            try:
+                depth = self.queue.push(entry)
+            except AdmissionRejected as exc:
+                # The reservation must not outlive the refused request.
+                self.tenants.release(tenant, estimate.cost)
+                raise self._reject(exc)
+        decision = AdmissionDecision(
+            job_id=job_id,
+            tenant=tenant,
+            priority=request.priority,
+            estimate=estimate,
+            queue_depth=depth,
+        )
+        if self.metrics is not None:
+            self.metrics.incr("admission_admitted")
+            if enqueue:
+                self.metrics.incr("admission_queued")
+        if self.events is not None:
+            self.events.publish(
+                ADMISSION_ADMITTED,
+                job_id=job_id,
+                tenant=tenant,
+                priority=request.priority,
+                estimated_cost=estimate.cost,
+                estimate_source=estimate.source,
+                queue_depth=depth,
+            )
+        return decision
+
+    def _reject(self, exc: AdmissionRejected) -> AdmissionRejected:
+        """Count + publish a refusal; returns ``exc`` for ``raise``."""
+        if exc.reason == "queue_full":
+            # rate/budget refusals are already counted by the registry's
+            # own gates; queue_full is decided outside it.
+            self.tenants.note_rejected(exc.tenant, exc.reason)
+        if self.metrics is not None:
+            self.metrics.incr("admission_rejected")
+            self.metrics.incr(f"admission_rejected_{exc.reason}")
+        if self.events is not None:
+            self.events.publish(
+                ADMISSION_REJECTED,
+                tenant=exc.tenant,
+                reason=exc.reason,
+                retry_after_s=exc.retry_after_s,
+                queue_depth=exc.queue_depth,
+                estimated_cost=exc.estimated_cost,
+            )
+        return exc
+
+    # ------------------------------------------------------------------
+    # the dispatch path (called by the engine's dispatcher threads)
+    # ------------------------------------------------------------------
+    def next_entry(
+        self, *, timeout: Optional[float] = None
+    ) -> Optional[QueuedEntry]:
+        """Pop the best runnable entry and claim its tenant's slot.
+
+        Blocks (bounded by ``timeout``) while only over-cap tenants wait;
+        returns ``None`` when the queue is empty.
+        """
+        while True:
+            entry = self.queue.pop(self.tenants.can_run, timeout=timeout)
+            if entry is None:
+                return None
+            if self.tenants.acquire_slot(entry.tenant):
+                return entry
+            # Lost the slot to a concurrent dispatcher: put the entry
+            # back (order preserved) and select again.
+            self.queue.requeue(entry)
+
+    def withdraw(self, job_id: str) -> bool:
+        """Remove a still-queued entry (cancellation), refunding it."""
+        entry = self.queue.remove(job_id)
+        if entry is None:
+            return False
+        self.tenants.release(entry.tenant, entry.estimated_cost)
+        return True
+
+    def release_slot(self, tenant: str) -> None:
+        """Free a tenant concurrency slot and wake waiting dispatchers."""
+        self.tenants.release_slot(tenant)
+        self.queue.notify()
+
+    # ------------------------------------------------------------------
+    # the settle path
+    # ------------------------------------------------------------------
+    def reconcile(
+        self,
+        request: ScheduleRequest,
+        decision: AdmissionDecision,
+        *,
+        actual_cost: float,
+        actual_duration_s: float,
+    ) -> Optional[Dict[str, Any]]:
+        """Settle a *completed* run: commit spend, teach the estimator.
+
+        Returns the admission diagnostics for the ledger row (tenant,
+        priority, estimate, relative errors), or ``None`` when this
+        decision was already settled.
+        """
+        if decision.reconciled:
+            return None
+        decision.reconciled = True
+        self.tenants.commit(
+            decision.tenant, decision.estimate.cost, actual_cost
+        )
+        diagnostics = self.estimator.observe(
+            request,
+            decision.estimate,
+            actual_cost=actual_cost,
+            actual_duration_s=actual_duration_s,
+        )
+        diagnostics["tenant"] = decision.tenant
+        diagnostics["priority"] = decision.priority
+        return diagnostics
+
+    def release(self, decision: AdmissionDecision) -> None:
+        """Refund an *unfinished* run's reservation (failed / cancelled)."""
+        if decision.reconciled:
+            return
+        decision.reconciled = True
+        self.tenants.release(decision.tenant, decision.estimate.cost)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """JSON-ready admission snapshot (``GET /v1/admission``)."""
+        return {
+            "queue": self.queue.stats(),
+            "tenants": self.tenants.snapshot(),
+            "estimator": self.estimator.accuracy(),
+        }

@@ -1,0 +1,296 @@
+"""Pre-admission cost/duration estimator for :class:`ScheduleRequest`.
+
+The admission gate needs a price *before* running anything: how many
+simulated dollars will this request's schedule commit, and roughly how
+long will the service compute it? :class:`CostEstimator` answers in three
+tiers, best first:
+
+``observed``
+    An exponentially-weighted moving average over this process's own
+    reconciled runs, keyed by the request's *spec family*
+    (:meth:`ScheduleRequest.family_key`). Schedules are deterministic
+    given the spec, so after one observation a repeat request is priced
+    **exactly** — which is what makes the never-overspend CI invariant
+    exact rather than probabilistic.
+``ledger``
+    Historical ``planned_cost`` / ``elapsed_s`` rows from the run ledger
+    (exact fingerprint first, then the ``family/n_tasks/algorithm``
+    group), so a freshly restarted service inherits calibration from its
+    archive.
+``analytic``
+    A cold-start prior from the spec alone: a declared budget is taken as
+    the spend ceiling (the paper's algorithms spend *up to* the budget,
+    so this never underestimates), and duration scales with task count
+    and replication count. Deliberately coarse — it exists to be
+    replaced by the first reconciliation.
+
+Every finished run flows back through :meth:`CostEstimator.observe`,
+which updates the EWMA table and returns the relative errors that the
+engine archives in the ledger row (``extra["admission"]``) — the raw
+material of ``repro-exp ledger estimate-error``
+(:func:`estimate_error_report`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..service.spec import ScheduleRequest
+
+__all__ = ["Estimate", "CostEstimator", "estimate_error_report"]
+
+#: EWMA weight of the newest observation. Deterministic specs re-observe
+#: the same numbers so any alpha is exact for them; for specs whose
+#: duration drifts (machine load), the high alpha tracks recency.
+EWMA_ALPHA = 0.5
+
+#: Cold-start duration prior: seconds of scheduler work per task (the
+#: list-scheduling algorithms are near-quadratic, softened to ^1.5 here)
+#: and seconds of simulator work per (replication × task).
+_SCHED_COEF = 2e-5
+_REP_COEF = 2e-5
+
+#: Cold-start cost prior for budget-axis requests: assumed mean task
+#: compute time in hours on the cheapest category (order of magnitude of
+#: the paper's generator families).
+_NOMINAL_TASK_HOURS = 0.05
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """One pre-admission price: cost ($ simulated), duration (wall s).
+
+    ``source`` names the tier that produced it (``observed`` / ``ledger``
+    / ``analytic``); ``key`` is the spec-family key the estimate is
+    reconciled under.
+    """
+
+    cost: float
+    duration_s: float
+    source: str
+    key: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (for ledger rows and admission events)."""
+        return {
+            "cost": self.cost,
+            "duration_s": self.duration_s,
+            "source": self.source,
+        }
+
+
+class CostEstimator:
+    """Tiered request pricer with run-to-run reconciliation (thread-safe).
+
+    Parameters
+    ----------
+    ledger:
+        Optional run ledger queried for historical calibration rows; any
+        object with the :class:`~repro.obs.ledger.RunLedger` read API
+        (the :class:`~repro.obs.ledger.NullLedger` works and yields the
+        analytic tier).
+    """
+
+    def __init__(self, ledger: Optional[Any] = None) -> None:
+        self._ledger = ledger
+        self._lock = threading.Lock()
+        # family_key -> EWMA planned cost
+        self._cost: Dict[str, float] = {}
+        # (family_key, n_reps) -> EWMA wall duration
+        self._duration: Dict[Tuple[str, int], float] = {}
+        # per-algorithm reconciliation samples: (|rel cost err|, |rel dur err|)
+        self._errors: Dict[str, List[Tuple[float, float]]] = {}
+
+    # ------------------------------------------------------------------
+    def estimate(self, request: ScheduleRequest) -> Estimate:
+        """Price ``request`` without computing it (best available tier)."""
+        key = request.family_key()
+        n_reps = request.evaluation.n_reps
+        with self._lock:
+            cost = self._cost.get(key)
+            duration = self._duration.get((key, n_reps))
+        if cost is not None:
+            if duration is None:
+                duration = self._analytic_duration(request)
+            return Estimate(cost, duration, "observed", key)
+        ledger_est = self._from_ledger(request)
+        if ledger_est is not None:
+            return Estimate(ledger_est[0], ledger_est[1], "ledger", key)
+        return Estimate(
+            self._analytic_cost(request),
+            self._analytic_duration(request),
+            "analytic",
+            key,
+        )
+
+    def observe(
+        self,
+        request: ScheduleRequest,
+        estimate: Estimate,
+        *,
+        actual_cost: float,
+        actual_duration_s: float,
+    ) -> Dict[str, Any]:
+        """Reconcile ``estimate`` against the finished run.
+
+        Updates the EWMA tables and returns the admission diagnostics the
+        engine stores in the ledger row: the estimate itself plus signed
+        relative errors (``(estimated - actual) / actual``; ``None`` when
+        the actual value is zero).
+        """
+        key = estimate.key
+        n_reps = request.evaluation.n_reps
+        with self._lock:
+            prev_cost = self._cost.get(key)
+            self._cost[key] = (
+                actual_cost if prev_cost is None
+                else prev_cost + EWMA_ALPHA * (actual_cost - prev_cost)
+            )
+            prev_dur = self._duration.get((key, n_reps))
+            self._duration[(key, n_reps)] = (
+                actual_duration_s if prev_dur is None
+                else prev_dur + EWMA_ALPHA * (actual_duration_s - prev_dur)
+            )
+            cost_err = (
+                (estimate.cost - actual_cost) / actual_cost
+                if actual_cost > 0.0 else None
+            )
+            dur_err = (
+                (estimate.duration_s - actual_duration_s) / actual_duration_s
+                if actual_duration_s > 0.0 else None
+            )
+            samples = self._errors.setdefault(request.algorithm.lower(), [])
+            samples.append(
+                (
+                    abs(cost_err) if cost_err is not None else 0.0,
+                    abs(dur_err) if dur_err is not None else 0.0,
+                )
+            )
+            del samples[:-500]  # bounded memory per algorithm
+        out = estimate.to_dict()
+        out["cost_rel_error"] = cost_err
+        out["duration_rel_error"] = dur_err
+        return out
+
+    def accuracy(self) -> Dict[str, Dict[str, float]]:
+        """Per-algorithm mean absolute relative error of past estimates."""
+        with self._lock:
+            out: Dict[str, Dict[str, float]] = {}
+            for algorithm, samples in sorted(self._errors.items()):
+                n = len(samples)
+                out[algorithm] = {
+                    "n": float(n),
+                    "cost_mare": sum(s[0] for s in samples) / n,
+                    "duration_mare": sum(s[1] for s in samples) / n,
+                }
+            return out
+
+    # ------------------------------------------------------------------
+    # calibration tiers
+    # ------------------------------------------------------------------
+    def _from_ledger(
+        self, request: ScheduleRequest
+    ) -> Optional[Tuple[float, float]]:
+        """``(cost, duration)`` from archived runs, or ``None``."""
+        ledger = self._ledger
+        if ledger is None or not getattr(ledger, "enabled", False):
+            return None
+        try:
+            rows = ledger.runs(fingerprint=request.fingerprint(), limit=5)
+            if not rows:
+                wf = request.workflow
+                rows = [
+                    r for r in ledger.runs(
+                        workflow=(wf.family or wf.name or ""),
+                        algorithm=request.algorithm.lower(),
+                        limit=25,
+                    )
+                    if wf.family is None or r.n_tasks == wf.n_tasks
+                ][:5]
+        except Exception:
+            return None  # a broken archive must never block admission
+        if not rows:
+            return None
+        cost = sum(r.planned_cost for r in rows) / len(rows)
+        duration = sum(max(r.elapsed_s, r.sched_seconds) for r in rows) / len(rows)
+        return cost, max(duration, 0.0)
+
+    def _analytic_cost(self, request: ScheduleRequest) -> float:
+        """Cold-start cost prior (never *under*-estimates a declared budget)."""
+        if request.budget.amount is not None:
+            # Budget-aware algorithms spend at most the budget; admitting
+            # against the ceiling is conservative.
+            return request.budget.amount
+        # Budget-axis mode: scale a nominal per-task rental between the
+        # cheapest-possible (position 0) and a generous multiple.
+        n_tasks = max(request.workflow.n_tasks, 1)
+        try:
+            platform = request.platform.resolve()
+            hourly = platform.cheapest.hourly_cost
+        except Exception:
+            hourly = 0.05
+        position = request.budget.position or 0.0
+        return n_tasks * _NOMINAL_TASK_HOURS * hourly * (1.0 + 3.0 * position)
+
+    def _analytic_duration(self, request: ScheduleRequest) -> float:
+        """Cold-start wall-clock prior: scheduling + replication terms."""
+        n_tasks = max(request.workflow.n_tasks, 1)
+        n_reps = request.evaluation.n_reps
+        return _SCHED_COEF * n_tasks ** 1.5 + _REP_COEF * n_reps * n_tasks
+
+
+def estimate_error_report(
+    ledger: Any, *, since: Optional[float] = None, limit: int = 0
+) -> Dict[str, Dict[str, Any]]:
+    """Estimation accuracy per algorithm family, from archived runs.
+
+    Scans ledger rows whose ``extra["admission"]`` carries reconciled
+    estimates (written by the service engine) and aggregates, per
+    ``algorithm``: row count, mean absolute relative error and worst
+    signed error for cost and duration, and the mix of estimate sources.
+    Backs the ``repro-exp ledger estimate-error`` subcommand.
+    """
+    groups: Dict[str, Dict[str, Any]] = {}
+    for row in ledger.runs(since=since, limit=limit):
+        admission = row.extra.get("admission")
+        if not isinstance(admission, dict):
+            continue
+        group = groups.setdefault(
+            row.algorithm or "?",
+            {
+                "n": 0,
+                "cost_errors": [],
+                "duration_errors": [],
+                "sources": {},
+            },
+        )
+        group["n"] += 1
+        source = str(admission.get("source", "?"))
+        group["sources"][source] = group["sources"].get(source, 0) + 1
+        for field_name, bucket in (
+            ("cost_rel_error", "cost_errors"),
+            ("duration_rel_error", "duration_errors"),
+        ):
+            value = admission.get(field_name)
+            if isinstance(value, (int, float)):
+                group[bucket].append(float(value))
+    out: Dict[str, Dict[str, Any]] = {}
+    for algorithm, group in sorted(groups.items()):
+        entry: Dict[str, Any] = {
+            "n": group["n"],
+            "sources": dict(sorted(group["sources"].items())),
+        }
+        for bucket, prefix in (
+            ("cost_errors", "cost"),
+            ("duration_errors", "duration"),
+        ):
+            errors = group[bucket]
+            if errors:
+                entry[f"{prefix}_mare"] = (
+                    sum(abs(e) for e in errors) / len(errors)
+                )
+                entry[f"{prefix}_worst"] = max(errors, key=abs)
+        out[algorithm] = entry
+    return out

@@ -1,0 +1,454 @@
+"""Per-tenant admission policies and live accounting state.
+
+A :class:`TenantPolicy` is the declarative half: how fast a tenant may
+submit (token-bucket rate + burst), how many of its jobs may run at once,
+how many simulated dollars it may spend per refill window, and how much
+weight it carries in fair-share ordering. A :class:`TenantRegistry` pairs
+each policy with a :class:`TenantState` — the mutable half: current
+bucket fill, window spend, reserved (in-flight) estimates, running count.
+
+The registry is deliberately permissive by default: unknown tenants fall
+back to the ``default`` policy (unlimited unless configured otherwise),
+so a service without a tenants file behaves exactly like the
+pre-admission service. Load real policies from JSON with
+:meth:`TenantRegistry.from_json` (``repro-exp serve --tenants
+tenants.json``)::
+
+    {
+      "default": {"rate": 50, "burst": 100},
+      "tenants": {
+        "team-a": {"rate": 10, "burst": 20, "max_concurrent": 4,
+                   "cost_budget": 25.0, "budget_window_s": 3600,
+                   "weight": 2.0},
+        "team-b": {"cost_budget": 5.0}
+      }
+    }
+
+The clock is injectable (monotonic seconds) so bucket refills and budget
+windows are testable without sleeping. All mutation happens under one
+registry lock — admission decisions are cheap (a handful of float ops),
+so a single lock does not serialize anything that matters.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from ..errors import ServiceError
+
+__all__ = ["TenantPolicy", "TenantState", "TenantRegistry"]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ServiceError(message)
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Declarative admission policy of one tenant.
+
+    ``None`` means *unlimited* for every limit field. ``rate`` is
+    requests per second flowing into a token bucket of capacity
+    ``burst`` (defaulting to ``max(1, 2·rate)``); ``cost_budget`` is the
+    simulated-dollar spend allowed per ``budget_window_s`` rolling-reset
+    window; ``max_concurrent`` caps simultaneously *running* jobs;
+    ``weight`` scales the tenant's share in weighted fair queueing.
+    """
+
+    name: str = "default"
+    rate: Optional[float] = None
+    burst: Optional[float] = None
+    max_concurrent: Optional[int] = None
+    cost_budget: Optional[float] = None
+    budget_window_s: float = 3600.0
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "tenant policy needs a non-empty name")
+        if self.rate is not None:
+            _require(
+                math.isfinite(self.rate) and self.rate > 0,
+                f"tenant {self.name!r}: rate must be > 0, got {self.rate}",
+            )
+        if self.burst is not None:
+            _require(
+                math.isfinite(self.burst) and self.burst >= 1,
+                f"tenant {self.name!r}: burst must be >= 1, got {self.burst}",
+            )
+        if self.max_concurrent is not None:
+            _require(
+                self.max_concurrent >= 1,
+                f"tenant {self.name!r}: max_concurrent must be >= 1, "
+                f"got {self.max_concurrent}",
+            )
+        if self.cost_budget is not None:
+            _require(
+                math.isfinite(self.cost_budget) and self.cost_budget > 0,
+                f"tenant {self.name!r}: cost_budget must be > 0, "
+                f"got {self.cost_budget}",
+            )
+        _require(
+            math.isfinite(self.budget_window_s) and self.budget_window_s > 0,
+            f"tenant {self.name!r}: budget_window_s must be > 0, "
+            f"got {self.budget_window_s}",
+        )
+        _require(
+            math.isfinite(self.weight) and self.weight > 0,
+            f"tenant {self.name!r}: weight must be > 0, got {self.weight}",
+        )
+
+    @property
+    def bucket_capacity(self) -> float:
+        """Token-bucket capacity: explicit ``burst`` or ``max(1, 2·rate)``."""
+        if self.burst is not None:
+            return self.burst
+        if self.rate is None:
+            return math.inf
+        return max(1.0, 2.0 * self.rate)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
+        out: Dict[str, Any] = {"name": self.name}
+        for key in ("rate", "burst", "max_concurrent", "cost_budget"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        if self.budget_window_s != 3600.0:
+            out["budget_window_s"] = self.budget_window_s
+        if self.weight != 1.0:
+            out["weight"] = self.weight
+        return out
+
+    @classmethod
+    def from_dict(cls, name: str, data: Mapping[str, Any]) -> "TenantPolicy":
+        """Decode one policy; unknown fields are rejected by name."""
+        _require(
+            isinstance(data, Mapping),
+            f"tenant {name!r} policy must be a JSON object",
+        )
+        unknown = set(data) - {
+            "name", "rate", "burst", "max_concurrent", "cost_budget",
+            "budget_window_s", "weight",
+        }
+        _require(
+            not unknown,
+            f"tenant {name!r}: unknown policy fields {sorted(unknown)}",
+        )
+        raw_mc = data.get("max_concurrent")
+        return cls(
+            name=name,
+            rate=None if data.get("rate") is None else float(data["rate"]),
+            burst=None if data.get("burst") is None else float(data["burst"]),
+            max_concurrent=None if raw_mc is None else int(raw_mc),
+            cost_budget=(
+                None if data.get("cost_budget") is None
+                else float(data["cost_budget"])
+            ),
+            budget_window_s=float(data.get("budget_window_s", 3600.0)),
+            weight=float(data.get("weight", 1.0)),
+        )
+
+
+@dataclass
+class TenantState:
+    """Mutable accounting of one tenant (owned by the registry's lock).
+
+    ``spent`` is the committed simulated spend in the current budget
+    window; ``reserved`` holds the estimates of admitted-but-unfinished
+    requests (refunded or converted to actual spend on completion), so
+    the admission gate projects ``spent + reserved + estimate`` and a
+    burst of concurrent admissions cannot collectively overshoot.
+    """
+
+    tokens: float = math.inf
+    last_refill: float = 0.0
+    window_start: float = 0.0
+    spent: float = 0.0
+    reserved: float = 0.0
+    running: int = 0
+    served: float = 0.0
+    admitted: int = 0
+    completed: int = 0
+    rejected: Dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self, policy: TenantPolicy) -> Dict[str, Any]:
+        """JSON-ready live view, paired with the policy's limits."""
+        budget = policy.cost_budget
+        return {
+            "policy": policy.to_dict(),
+            "tokens": None if math.isinf(self.tokens) else self.tokens,
+            "running": self.running,
+            "spent_window": self.spent,
+            "reserved": self.reserved,
+            "budget_remaining": (
+                None if budget is None
+                else max(budget - self.spent - self.reserved, 0.0)
+            ),
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "rejected": dict(self.rejected),
+        }
+
+
+class TenantRegistry:
+    """All tenant policies plus their live accounting (thread-safe).
+
+    Parameters
+    ----------
+    policies:
+        Mapping of tenant name to :class:`TenantPolicy`. Tenants not in
+        the mapping are governed by ``default_policy`` (each still gets
+        its *own* state, so fair sharing and accounting stay per-tenant).
+    default_policy:
+        Policy applied to unnamed tenants; the permissive all-``None``
+        policy unless configured.
+    clock:
+        Monotonic seconds source; injectable for tests.
+    """
+
+    def __init__(
+        self,
+        policies: Optional[Mapping[str, TenantPolicy]] = None,
+        *,
+        default_policy: Optional[TenantPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._clock = clock
+        self.default_policy = (
+            default_policy if default_policy is not None else TenantPolicy()
+        )
+        self._policies: Dict[str, TenantPolicy] = dict(policies or {})
+        self._states: Dict[str, TenantState] = {}
+
+    # ------------------------------------------------------------------
+    # construction from JSON
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_json(
+        cls,
+        document: Mapping[str, Any],
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "TenantRegistry":
+        """Build a registry from a ``{"default": ..., "tenants": ...}`` doc.
+
+        ``tenants`` maps tenant names to policy objects; a top-level
+        ``default`` object overrides the permissive default policy.
+        """
+        _require(
+            isinstance(document, Mapping),
+            "tenants document must be a JSON object",
+        )
+        unknown = set(document) - {"default", "tenants"}
+        _require(
+            not unknown,
+            f"unknown tenants document fields: {sorted(unknown)}",
+        )
+        default = TenantPolicy()
+        if "default" in document:
+            default = TenantPolicy.from_dict("default", document["default"])
+        tenants = document.get("tenants", {})
+        _require(
+            isinstance(tenants, Mapping),
+            "'tenants' must map tenant names to policy objects",
+        )
+        policies = {
+            str(name): TenantPolicy.from_dict(str(name), spec)
+            for name, spec in tenants.items()
+        }
+        return cls(policies, default_policy=default, clock=clock)
+
+    @classmethod
+    def from_json_file(
+        cls,
+        path: str,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "TenantRegistry":
+        """Load :meth:`from_json` from a file, with readable errors."""
+        try:
+            with open(path) as fh:
+                document = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"cannot load tenants file {path!r}: {exc}") from exc
+        return cls.from_json(document, clock=clock)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def policy(self, tenant: str) -> TenantPolicy:
+        """The tenant's policy (the default one, renamed, when unlisted)."""
+        with self._lock:
+            return self._policy_locked(tenant)
+
+    def _policy_locked(self, tenant: str) -> TenantPolicy:
+        found = self._policies.get(tenant)
+        if found is None:
+            found = replace(self.default_policy, name=tenant)
+            self._policies[tenant] = found
+        return found
+
+    def _state_locked(self, tenant: str) -> Tuple[TenantPolicy, TenantState]:
+        policy = self._policy_locked(tenant)
+        state = self._states.get(tenant)
+        now = self._clock()
+        if state is None:
+            state = TenantState(
+                tokens=policy.bucket_capacity,
+                last_refill=now,
+                window_start=now,
+            )
+            self._states[tenant] = state
+        self._refill_locked(policy, state, now)
+        return policy, state
+
+    def _refill_locked(
+        self, policy: TenantPolicy, state: TenantState, now: float
+    ) -> None:
+        """Advance the token bucket and roll the budget window."""
+        if policy.rate is not None:
+            elapsed = max(now - state.last_refill, 0.0)
+            state.tokens = min(
+                state.tokens + elapsed * policy.rate, policy.bucket_capacity
+            )
+        state.last_refill = now
+        if now - state.window_start >= policy.budget_window_s:
+            # Whole windows elapsed: spend resets, reservations persist
+            # (they belong to still-running work).
+            windows = math.floor(
+                (now - state.window_start) / policy.budget_window_s
+            )
+            state.window_start += windows * policy.budget_window_s
+            state.spent = 0.0
+
+    # ------------------------------------------------------------------
+    # admission gates (called by the controller)
+    # ------------------------------------------------------------------
+    def try_rate(self, tenant: str) -> Tuple[bool, float]:
+        """Take one token; ``(ok, retry_after_s)``.
+
+        ``retry_after_s`` is how long until the bucket holds a full token
+        again (0 when the take succeeded or the tenant is unlimited).
+        """
+        with self._lock:
+            policy, state = self._state_locked(tenant)
+            if policy.rate is None:
+                return True, 0.0
+            if state.tokens >= 1.0:
+                state.tokens -= 1.0
+                return True, 0.0
+            state.rejected["rate_limited"] = (
+                state.rejected.get("rate_limited", 0) + 1
+            )
+            return False, (1.0 - state.tokens) / policy.rate
+
+    def try_reserve(self, tenant: str, estimated_cost: float) -> Tuple[bool, float]:
+        """Reserve ``estimated_cost`` against the window budget.
+
+        ``(ok, retry_after_s)``; on refusal ``retry_after_s`` is the time
+        until the current budget window resets.
+        """
+        with self._lock:
+            policy, state = self._state_locked(tenant)
+            if policy.cost_budget is not None:
+                projected = state.spent + state.reserved + estimated_cost
+                if projected > policy.cost_budget:
+                    state.rejected["budget_exhausted"] = (
+                        state.rejected.get("budget_exhausted", 0) + 1
+                    )
+                    remaining = policy.budget_window_s - (
+                        self._clock() - state.window_start
+                    )
+                    return False, max(remaining, 0.0)
+            state.reserved += estimated_cost
+            state.admitted += 1
+            return True, 0.0
+
+    def commit(self, tenant: str, estimated_cost: float, actual_cost: float) -> None:
+        """Convert a reservation into committed spend (on completion)."""
+        with self._lock:
+            _, state = self._state_locked(tenant)
+            state.reserved = max(state.reserved - estimated_cost, 0.0)
+            state.spent += max(actual_cost, 0.0)
+            state.completed += 1
+
+    def release(self, tenant: str, estimated_cost: float) -> None:
+        """Refund a reservation (cancelled / failed before completion)."""
+        with self._lock:
+            _, state = self._state_locked(tenant)
+            state.reserved = max(state.reserved - estimated_cost, 0.0)
+
+    # ------------------------------------------------------------------
+    # concurrency slots + fair-share bookkeeping
+    # ------------------------------------------------------------------
+    def can_run(self, tenant: str) -> bool:
+        """True when the tenant is under its concurrent-job cap."""
+        with self._lock:
+            policy, state = self._state_locked(tenant)
+            return (
+                policy.max_concurrent is None
+                or state.running < policy.max_concurrent
+            )
+
+    def acquire_slot(self, tenant: str) -> bool:
+        """Claim one running slot; False when the cap is already reached."""
+        with self._lock:
+            policy, state = self._state_locked(tenant)
+            if (
+                policy.max_concurrent is not None
+                and state.running >= policy.max_concurrent
+            ):
+                return False
+            state.running += 1
+            state.served += 1.0 / policy.weight
+            return True
+
+    def release_slot(self, tenant: str) -> None:
+        """Return a running slot."""
+        with self._lock:
+            _, state = self._state_locked(tenant)
+            state.running = max(state.running - 1, 0)
+
+    def virtual_time(self, tenant: str) -> float:
+        """Weighted service received so far (fair queueing sort key)."""
+        with self._lock:
+            _, state = self._state_locked(tenant)
+            return state.served
+
+    def note_rejected(self, tenant: str, reason: str) -> None:
+        """Count a refusal decided outside the registry (e.g. queue_full)."""
+        with self._lock:
+            _, state = self._state_locked(tenant)
+            state.rejected[reason] = state.rejected.get(reason, 0) + 1
+
+    # ------------------------------------------------------------------
+    def spent_window(self, tenant: str) -> float:
+        """Committed spend of the tenant's current budget window."""
+        with self._lock:
+            _, state = self._state_locked(tenant)
+            return state.spent
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready view of every known tenant (for ``/v1/tenants``)."""
+        with self._lock:
+            now = self._clock()
+            out: Dict[str, Any] = {
+                "default_policy": self.default_policy.to_dict(),
+                "tenants": {},
+            }
+            for name in sorted(set(self._policies) | set(self._states)):
+                policy = self._policy_locked(name)
+                state = self._states.get(name)
+                if state is None:
+                    out["tenants"][name] = {"policy": policy.to_dict()}
+                    continue
+                self._refill_locked(policy, state, now)
+                out["tenants"][name] = state.snapshot(policy)
+            return out

@@ -11,6 +11,8 @@ Examples::
     repro-exp ledger regress --db runs.db --baseline BENCH_PR3.json
     repro-exp faults --rates 0 0.1 --ledger faults.db  # resilience sweep
     repro-exp ledger prune --db runs.db --max-rows 10000
+    repro-exp serve --tenants tenants.json      # multi-tenant admission
+    repro-exp ledger estimate-error --db runs.db
 """
 
 from __future__ import annotations
@@ -125,6 +127,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="compute in worker threads (default) or worker "
                      "processes (CPU-bound jobs off the GIL; see "
                      "docs/PARALLEL.md)")
+    srv.add_argument("--tenants", type=str, default=None,
+                     help="JSON file of per-tenant admission policies "
+                     "(rate, concurrency, cost budget per window; see "
+                     "docs/ADMISSION.md). Without it every request runs "
+                     "under the permissive default tenant")
     _add_logging_flags(srv)
 
     sch = sub.add_parser(
@@ -305,6 +312,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="keep only the newest N rows")
     l_prune.add_argument("--max-age-days", type=float, default=None,
                          help="drop rows older than this many days")
+
+    l_est = lsub.add_parser(
+        "estimate-error",
+        help="summarize pre-admission estimate accuracy per algorithm "
+        "(needs rows recorded by an admission-enabled service)",
+    )
+    _db_flag(l_est)
+    l_est.add_argument("--limit", type=int, default=0,
+                       help="scan only the newest N rows (default: all)")
+    l_est.add_argument("--json", action="store_true",
+                       help="emit the report as JSON instead of a table")
     return parser
 
 
@@ -594,6 +612,38 @@ def _run_ledger(args: argparse.Namespace) -> int:
                   f"{args.db}")
             return 0
 
+        if cmd == "estimate-error":
+            from .admission import estimate_error_report
+
+            report = estimate_error_report(ledger, limit=args.limit)
+            if args.json:
+                json.dump(report, sys.stdout, indent=2, sort_keys=True)
+                print()
+            else:
+                print(f"{'algorithm':<20s} {'n':>5s} {'cost MARE':>10s} "
+                      f"{'worst':>8s} {'dur MARE':>9s} {'worst':>8s} sources")
+                for algorithm, entry in report.items():
+                    cm = (f"{entry['cost_mare']:.3f}"
+                          if "cost_mare" in entry else "—")
+                    cw = (f"{entry['cost_worst']:+.2f}"
+                          if "cost_worst" in entry else "—")
+                    dm = (f"{entry['duration_mare']:.3f}"
+                          if "duration_mare" in entry else "—")
+                    dw = (f"{entry['duration_worst']:+.2f}"
+                          if "duration_worst" in entry else "—")
+                    sources = ",".join(
+                        f"{k}:{v}" for k, v in entry["sources"].items()
+                    )
+                    print(f"{algorithm:<20.20s} {entry['n']:>5d} {cm:>10s} "
+                          f"{cw:>8s} {dm:>9s} {dw:>8s} {sources}")
+                print(f"{len(report)} algorithm(s) with reconciled estimates "
+                      f"in {args.db}")
+            if not report:
+                print("error: no admission-reconciled rows in the ledger",
+                      file=sys.stderr)
+                return 2
+            return 0
+
         if cmd == "regress":
             try:
                 with open(args.baseline) as fh:
@@ -683,7 +733,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             ledger_path=args.ledger,
             max_queue_depth=args.max_queue_depth,
             job_timeout=args.job_timeout, max_retries=args.max_retries,
-            executor=args.executor,
+            executor=args.executor, tenants_path=args.tenants,
             log_level=args.log_level, log_json=args.log_json,
         )
         return 0

@@ -26,6 +26,7 @@ __all__ = [
     "JobTimeoutError",
     "ServiceClosedError",
     "ServiceOverloadedError",
+    "AdmissionRejected",
     "WorkerCrashError",
 ]
 
@@ -136,9 +137,62 @@ class ServiceOverloadedError(ServiceError):
     """The async job queue is full — back off and retry (HTTP 429).
 
     ``retry_after_s`` is the service's backpressure hint, surfaced as the
-    ``Retry-After`` response header by the HTTP gateway.
+    ``Retry-After`` response header by the HTTP gateway. ``reason`` is a
+    machine-readable refusal category (one of :data:`ADMISSION_REASONS`)
+    and ``queue_depth`` the admission backlog at refusal time, so 429
+    bodies carry more than a bare message.
     """
 
-    def __init__(self, message: str, *, retry_after_s: float = 1.0) -> None:
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after_s: float = 1.0,
+        reason: str = "queue_full",
+        queue_depth: int = 0,
+    ) -> None:
         super().__init__(message)
         self.retry_after_s = retry_after_s
+        self.reason = reason
+        self.queue_depth = queue_depth
+
+
+#: The typed refusal categories of the admission layer (``repro.admission``).
+ADMISSION_REASONS = ("rate_limited", "budget_exhausted", "queue_full")
+
+
+class AdmissionRejected(ServiceOverloadedError):
+    """The admission controller refused a request (typed; HTTP 429/402).
+
+    ``reason`` is one of :data:`ADMISSION_REASONS`:
+
+    * ``rate_limited`` — the tenant's token bucket is empty (429);
+    * ``budget_exhausted`` — the request's estimated cost does not fit the
+      tenant's remaining cost budget for this window (402);
+    * ``queue_full`` — the admission queue is at capacity (429).
+
+    ``tenant`` names the refused tenant; ``estimated_cost`` carries the
+    pre-admission price that drove a budget refusal.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "queue_full",
+        tenant: str = "default",
+        retry_after_s: float = 1.0,
+        queue_depth: int = 0,
+        estimated_cost: float = 0.0,
+    ) -> None:
+        if reason not in ADMISSION_REASONS:
+            raise ValueError(
+                f"unknown admission reason {reason!r}; "
+                f"one of {ADMISSION_REASONS}"
+            )
+        super().__init__(
+            message, retry_after_s=retry_after_s, reason=reason,
+            queue_depth=queue_depth,
+        )
+        self.tenant = tenant
+        self.estimated_cost = estimated_cost

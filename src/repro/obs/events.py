@@ -37,6 +37,8 @@ __all__ = [
     "RECOVERY_APPLIED",
     "RECOVERY_REJECTED",
     "WORKER_CRASHED",
+    "ADMISSION_ADMITTED",
+    "ADMISSION_REJECTED",
 ]
 
 #: The job lifecycle event types, in their natural order. ``job.retried``
@@ -65,6 +67,13 @@ RECOVERY_REJECTED = "recovery.rejected"
 #: Published by :class:`repro.parallel.WorkerPool` when a worker process
 #: dies mid-shard (the pool respawns and retries the affected shards).
 WORKER_CRASHED = "worker.crashed"
+
+#: Published by the admission controller for every decision: an admitted
+#: request carries its tenant, priority and pre-admission estimate; a
+#: refusal carries the typed reason (rate_limited / budget_exhausted /
+#: queue_full) and the backoff hint.
+ADMISSION_ADMITTED = "admission.admitted"
+ADMISSION_REJECTED = "admission.rejected"
 
 
 @dataclass(frozen=True)

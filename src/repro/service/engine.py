@@ -32,12 +32,12 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from ..errors import (
+    AdmissionRejected,
     JobNotFoundError,
     JobTimeoutError,
     ReproError,
     ServiceClosedError,
     ServiceError,
-    ServiceOverloadedError,
 )
 from ..io import schedule_to_dict
 from ..obs.events import EventBus
@@ -109,11 +109,29 @@ class JobRecord:
 
 
 class _Job:
-    __slots__ = ("record", "future")
+    __slots__ = ("record", "future", "request", "decision")
 
     def __init__(self, record: JobRecord) -> None:
         self.record = record
         self.future: Optional["Future[ScheduleResponse]"] = None
+        self.request: Optional[ScheduleRequest] = None
+        self.decision: Any = None  # AdmissionDecision of an admitted job
+
+
+@dataclass
+class _FamilyBase:
+    """The spec-family-invariant bundle the batcher caches once.
+
+    Everything downstream of the scheduler call that does not depend on
+    ``evaluation.seed`` / ``n_reps``: resolved workflow, platform, budget,
+    the scheduling result, and the (family-invariant) datacenter capacity.
+    """
+
+    wf: Any
+    platform: Any
+    budget: float
+    result: Any
+    cap: float
 
 
 def _noop_deadline() -> None:
@@ -283,6 +301,20 @@ class SchedulingService:
         worker surfaces as a retryable
         :class:`~repro.errors.WorkerCrashError` after the pool's own
         shard retries are exhausted.
+    tenants:
+        A :class:`~repro.admission.TenantRegistry` with per-tenant rate /
+        concurrency / cost-budget policies. Omitted, every request runs
+        under the permissive ``default`` tenant (no limits) — the
+        pre-admission behaviour.
+    admission_aging_s:
+        Seconds of queue wait per one-class starvation promotion in the
+        admission queue (see :mod:`repro.admission.queue`).
+    batching:
+        Spec-family batching: requests identical modulo seed /
+        ``n_samples`` share one schedule computation and a per-seed
+        replication cache (bit-identical results, see
+        :mod:`repro.admission.batcher`). Defaults to on for the thread
+        executor, off for the process executor.
     """
 
     def __init__(
@@ -299,6 +331,9 @@ class SchedulingService:
         max_retries: int = 0,
         retry_backoff_s: float = 0.5,
         executor: str = "thread",
+        tenants: Optional[Any] = None,
+        admission_aging_s: float = 30.0,
+        batching: Optional[bool] = None,
     ) -> None:
         if max_workers < 1:
             raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
@@ -355,20 +390,73 @@ class SchedulingService:
         # deep schedule/evaluate path publish job.progress without
         # threading a job id through every signature.
         self._job_context = threading.local()
+        # Imported lazily: repro.admission imports service submodules, so
+        # a module-level import here would cycle when the admission
+        # package is imported first.
+        from ..admission import (
+            AdmissionController,
+            CostEstimator,
+            FamilyBatcher,
+        )
+
+        self.admission = AdmissionController(
+            tenants=tenants,
+            estimator=CostEstimator(
+                self.ledger if self.ledger.enabled else None
+            ),
+            max_queue_depth=max_queue_depth,
+            aging_s=admission_aging_s,
+            metrics=self.metrics,
+            events=self.events,
+        )
+        # Family batching needs the compute in-process, so the process
+        # executor always runs unbatched.
+        self.batching = executor == "thread" and (
+            True if batching is None else bool(batching)
+        )
+        self._batcher = (
+            FamilyBatcher(
+                self._family_base, self._family_rep, self._family_assemble
+            )
+            if self.batching
+            else None
+        )
 
     # ------------------------------------------------------------------
     # sync path
     # ------------------------------------------------------------------
     def schedule(self, request: RequestLike) -> ScheduleResponse:
-        """Serve one request synchronously (cache-aware).
+        """Serve one request synchronously (cache-aware, admission-gated).
+
+        Direct (non-job) callers pass the tenant admission gates — rate
+        limit and cost budget — without queueing, and their spend is
+        reconciled like any job's; a refusal raises
+        :class:`~repro.errors.AdmissionRejected`. Worker threads serving
+        an already-admitted job skip the gates (their reservation was
+        taken at ``submit``).
 
         Raises :class:`~repro.errors.ServiceClosedError` once the service
         is draining — except for the worker threads finishing already
         accepted jobs, which must be able to complete the drain.
         """
-        if getattr(self._job_context, "job_id", None) is None:
-            self._check_open()
         req = self._coerce(request)
+        if getattr(self._job_context, "job_id", None) is not None:
+            return self._serve(req)
+        self._check_open()
+        decision = self.admission.admit(
+            req, f"sync-{next(self._ids):06d}", enqueue=False
+        )
+        self._job_context.decision = decision
+        try:
+            return self._serve(req)
+        finally:
+            # No-op when the response reconciled the reservation (the
+            # normal path); a compute that raised refunds it here.
+            self.admission.release(decision)
+            self._job_context.decision = None
+
+    def _serve(self, req: ScheduleRequest) -> ScheduleResponse:
+        """Cache-aware compute, admission settlement, ledger archive."""
         self.metrics.incr("requests")
         if self._cache is None:
             response = self._compute(req)
@@ -381,23 +469,51 @@ class SchedulingService:
                 self.metrics.incr("cache_hits")
                 # Copy: callers may mutate, and the cached original must
                 # keep cached=False so first-compute responses stay honest.
-                return replace(cached, cached=True)
+                # Cache hits commit tenant spend but add no ledger row.
+                response = replace(cached, cached=True)
+                self._settle_admission(req, response)
+                return response
             self.metrics.incr("cache_misses")
             response = cached
+        admission = self._settle_admission(req, response)
         if self.ledger.enabled:
-            self._record_run(req, response)
+            self._record_run(req, response, admission=admission)
         return response
+
+    def _settle_admission(
+        self, req: ScheduleRequest, response: ScheduleResponse
+    ) -> Optional[Dict[str, Any]]:
+        """Commit the current request's reservation against actuals.
+
+        Settles at most once per admission decision (retries re-enter
+        here only after a failed attempt, which never settles). Returns
+        the admission diagnostics destined for the ledger row, or
+        ``None`` when the caller was not admission-tracked.
+        """
+        decision = getattr(self._job_context, "decision", None)
+        if decision is None:
+            return None
+        return self.admission.reconcile(
+            req,
+            decision,
+            actual_cost=response.planned_cost,
+            actual_duration_s=response.elapsed_s,
+        )
 
     # ------------------------------------------------------------------
     # async jobs
     # ------------------------------------------------------------------
     def submit(self, request: RequestLike) -> str:
-        """Queue one request; returns its job id immediately.
+        """Admit and queue one request; returns its job id immediately.
 
-        Raises :class:`~repro.errors.ServiceOverloadedError` when
-        ``max_queue_depth`` pending jobs are already waiting (the caller
-        should back off and retry) and
-        :class:`~repro.errors.ServiceClosedError` once the service drains.
+        The request passes the tenant's admission gates first; a refusal
+        raises :class:`~repro.errors.AdmissionRejected` with a typed
+        reason — ``rate_limited``, ``budget_exhausted`` or ``queue_full``
+        (the latter replaces the old ``max_queue_depth`` FIFO
+        backpressure; all three surface as
+        :class:`~repro.errors.ServiceOverloadedError` to old callers).
+        Raises :class:`~repro.errors.ServiceClosedError` once the service
+        drains.
         """
         req = self._coerce(request)
         self._check_open()
@@ -409,30 +525,82 @@ class SchedulingService:
             submitted_at=time.time(),
         )
         job = _Job(record)
+        job.request = req
+        job.future = Future()
+        try:
+            job.decision = self.admission.admit(req, job_id)
+        except AdmissionRejected:
+            self.metrics.incr("jobs_rejected")
+            raise
         with self._lock:
-            if self.max_queue_depth is not None:
-                backlog = sum(
-                    1 for j in self._jobs.values()
-                    if j.record.state == JobState.PENDING
-                )
-                if backlog >= self.max_queue_depth:
-                    self.metrics.incr("jobs_rejected")
-                    raise ServiceOverloadedError(
-                        f"job queue is full ({backlog} pending >= "
-                        f"max_queue_depth={self.max_queue_depth})"
-                    )
             self._jobs[job_id] = job
         self.events.publish(
             "job.queued", job_id=job_id, algorithm=req.algorithm,
-            fingerprint=req.fingerprint(),
+            fingerprint=req.fingerprint(), tenant=req.tenant,
+            priority=req.priority,
         )
-        with self._lock:
-            # cancel() may have won the race while job.queued was being
-            # published; a cancelled job must never reach the pool.
-            if job.record.state == JobState.PENDING:
-                job.future = self._pool.submit(self._run_job, job_id, req)
+        # One dispatcher per admitted entry; a dispatcher is not married
+        # to "its" job — it claims whichever queued entry the admission
+        # queue ranks best among tenants with free concurrency slots.
+        self._pool.submit(self._dispatch)
         self.metrics.incr("jobs_submitted")
         return job_id
+
+    def _dispatch(self) -> None:
+        """One dispatcher pass: claim the best admitted entry, run it.
+
+        Entries cancelled before dispatch leave the queue, so surplus
+        dispatchers drain a ``None`` and exit; the dispatcher settles the
+        tenant's concurrency slot and resolves the job's future in every
+        outcome.
+        """
+        entry = self.admission.next_entry()
+        if entry is None:
+            return
+        job = self._lookup_job(entry.job_id)
+        if job is None or job.future is None:
+            # Unreachable in practice (entries are registered right after
+            # admission); refund rather than leak the reservation.
+            self.admission.tenants.release(entry.tenant, entry.estimated_cost)
+            self.admission.release_slot(entry.tenant)
+            return
+        future = job.future
+        if not future.set_running_or_notify_cancel():
+            # cancel() won after the entry was popped: the queue withdraw
+            # missed it, so the refund happens here — exactly once.
+            if job.decision is not None:
+                self.admission.release(job.decision)
+            self.admission.release_slot(entry.tenant)
+            return
+        self._job_context.decision = job.decision
+        try:
+            response = self._run_job(entry.job_id, job.request)
+        except BaseException as exc:
+            if job.decision is not None:
+                self.admission.release(job.decision)
+            self.admission.release_slot(entry.tenant)
+            future.set_exception(exc)
+            return
+        finally:
+            self._job_context.decision = None
+        self.admission.release_slot(entry.tenant)
+        future.set_result(response)
+
+    def _lookup_job(self, job_id: str) -> Optional[_Job]:
+        """The job for an entry, waiting out the admit/register race.
+
+        ``admit`` enqueues the entry moments before ``submit`` registers
+        the job, so a fast foreign dispatcher can pop an entry whose job
+        is not yet visible; the window is two statements long, hence the
+        tight bounded spin.
+        """
+        deadline = time.monotonic() + 1.0
+        while True:
+            with self._lock:
+                job = self._jobs.get(job_id)
+            if job is not None or time.monotonic() >= deadline:
+                return job
+            time.sleep(0.001)
 
     def submit_batch(self, requests: Sequence[RequestLike]) -> List[str]:
         """Queue a batch; returns job ids in request order."""
@@ -518,9 +686,8 @@ class SchedulingService:
                 raise JobNotFoundError(f"no such job {job_id!r}")
             future = job.future
             if future is None:
-                # submit() has not handed the job to the pool yet (or lost
-                # a race doing so); flipping the state here is enough —
-                # submit() re-checks it under this same lock.
+                # Defensive: every submitted job gets a future before it
+                # is registered, so this branch only guards torn state.
                 if job.record.state != JobState.PENDING:
                     return False
                 job.record.state = JobState.CANCELLED
@@ -530,6 +697,12 @@ class SchedulingService:
                 job.record.finished_at = time.time()
             else:
                 return False
+        # Refund responsibility: if this call removed the queue entry, no
+        # dispatcher will ever claim it and the withdraw refund is final;
+        # otherwise a dispatcher already popped it and its failed
+        # set_running_or_notify_cancel() performs the (single) refund.
+        if self.admission.withdraw(job_id) and job.decision is not None:
+            job.decision.reconciled = True
         self.events.publish(
             "job.finished", job_id=job_id, state=JobState.CANCELLED
         )
@@ -609,6 +782,10 @@ class SchedulingService:
                 "last_seq": self.events.last_seq,
                 "n_subscribers": self.events.n_subscribers,
             },
+            "admission": self.admission.stats(),
+            "batching": (
+                None if self._batcher is None else self._batcher.stats()
+            ),
         }
         return out
 
@@ -782,6 +959,10 @@ class SchedulingService:
         ):
             if self._proc_pool is not None:
                 response = self._compute_in_process(request)
+            elif self._batcher is not None:
+                if self._batcher.served_batched(request):
+                    self.metrics.incr("admission_batched")
+                response = self._batcher.compute(request)
             else:
                 response = compute_response(
                     request,
@@ -823,16 +1004,122 @@ class SchedulingService:
             self._publish_progress("evaluating", n_reps, n_reps)
         return response
 
-    def _record_run(self, request: ScheduleRequest, response: ScheduleResponse) -> None:
-        """Archive one freshly computed response into the ledger."""
+    # ------------------------------------------------------------------
+    # spec-family batching callables (see repro.admission.batcher)
+    # ------------------------------------------------------------------
+    def _family_base(self, request: ScheduleRequest) -> "_FamilyBase":
+        """Resolve + schedule once for a whole spec family.
+
+        Mirrors the first half of :func:`compute_response` exactly: same
+        resolution, same scheduler call, same error wrapping — so a
+        batched response is bit-identical to an unbatched one.
+        """
+        wf = request.workflow.resolve()
+        platform = request.platform.resolve()
+        budget = request.budget.resolve(wf, platform)
+        try:
+            result = make_scheduler(request.algorithm).schedule(
+                wf, platform, budget
+            )
+        except ReproError as exc:
+            raise ServiceError(
+                f"{request.algorithm} failed on "
+                f"{wf.name or 'workflow'}: {exc}"
+            ) from exc
+        self._publish_progress("scheduled", 1, 1)
+        spec = request.evaluation
+        cap = float("inf") if spec.dc_capacity is None else spec.dc_capacity
+        return _FamilyBase(
+            wf=wf, platform=platform, budget=budget, result=result, cap=cap
+        )
+
+    def _family_rep(self, base: "_FamilyBase", seed: int) -> Dict[str, Any]:
+        """One evaluation replication, a pure function of (family, seed).
+
+        The PR 5 shard-plan contract — replication ``i`` samples weights
+        from ``evaluation.seed + i`` alone — is what lets requests with
+        overlapping seed ranges share these records bit-for-bit.
+        """
+        self._check_job_deadline()
+        run = execute_schedule(
+            base.wf, base.platform, base.result.schedule,
+            sample_weights(base.wf, rng=seed),
+            dc_capacity=base.cap, validate=False,
+        )
+        valid = run.respects_budget(base.budget)
+        return {
+            "seed": seed,
+            "makespan": run.makespan,
+            "cost": run.total_cost,
+            "within_budget": valid,
+        }
+
+    def _family_assemble(
+        self,
+        base: "_FamilyBase",
+        reps: List[Dict[str, Any]],
+        request: ScheduleRequest,
+    ) -> ScheduleResponse:
+        """Fold shared family parts into this request's response.
+
+        Reconstructs exactly what :func:`compute_response` builds
+        (``elapsed_s`` excepted — the caller stamps wall time over it
+        either way); replication dicts are copied so callers mutating a
+        response cannot corrupt the shared cache.
+        """
+        spec = request.evaluation
+        evaluation: Optional[Dict[str, Any]] = None
+        if spec.n_reps > 0:
+            makespans = [rep["makespan"] for rep in reps]
+            costs = [rep["cost"] for rep in reps]
+            n_valid = sum(1 for rep in reps if rep["within_budget"])
+            evaluation = {
+                "n_reps": spec.n_reps,
+                "budget_success_rate": n_valid / spec.n_reps,
+                "makespan": _summary(makespans),
+                "cost": _summary(costs),
+                "reps": [dict(rep) for rep in reps],
+            }
+            self._publish_progress("evaluating", spec.n_reps, spec.n_reps)
+        return ScheduleResponse(
+            request_fingerprint=request.fingerprint(),
+            algorithm=base.result.algorithm,
+            budget=base.budget,
+            planned_makespan=base.result.planned_makespan,
+            planned_cost=base.result.planned_vm_cost,
+            within_budget_plan=base.result.within_budget_plan,
+            n_vms=base.result.schedule.n_vms,
+            n_tasks=base.wf.n_tasks,
+            workflow_name=base.wf.name,
+            schedule=schedule_to_dict(base.result.schedule),
+            evaluation=evaluation,
+            cached=False,
+            elapsed_s=0.0,
+        )
+
+    def _record_run(
+        self,
+        request: ScheduleRequest,
+        response: ScheduleResponse,
+        *,
+        admission: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Archive one freshly computed response into the ledger.
+
+        ``admission`` carries the reconciled estimate-vs-actual
+        diagnostics (tenant, priority, estimate source, relative errors)
+        that ``repro-exp ledger estimate-error`` aggregates.
+        """
         evaluation = response.evaluation or {}
         makespans = [
             rep["makespan"] for rep in (evaluation.get("reps") or [])
         ]
-        extra = (
+        extra: Dict[str, Any] = (
             {"makespan_stats": ShardStats.of(makespans).to_dict()}
             if makespans else {}
         )
+        if admission is not None:
+            extra["admission"] = admission
         row = RunRow(
             source="service",
             fingerprint=response.request_fingerprint,

@@ -17,7 +17,18 @@ router, so the gateway works anywhere the library does. Endpoints
 ``GET  /v1/events``                SSE stream of all bus events
 ``GET  /v1/runs``                  archived runs from the ledger (filters)
 ``GET  /v1/runs/<id>``             one archived run
+``GET  /v1/tenants``               tenant policies + live budget accounting
+``GET  /v1/admission``             admission queue / estimator / batching stats
 ==============================  ==============================================
+
+``POST /v1/schedule`` and ``POST /v1/jobs`` honour two optional request
+headers: ``X-Tenant`` bills the work to a named tenant (see
+``docs/ADMISSION.md``; unknown tenants fall back to the default policy)
+and ``X-Priority`` picks its admission class (``interactive`` / ``batch``
+/ ``best_effort``). An admission refusal answers 429 — or 402 when the
+tenant's cost budget is exhausted — with a typed JSON body
+(``reason``, ``tenant``, ``queue_depth``, ``retry_after_s``) and a
+``Retry-After`` header.
 
 ``GET /v1/metrics`` defaults to the JSON snapshot; append
 ``?format=prometheus`` for text exposition scrapable by Prometheus.
@@ -56,7 +67,10 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from dataclasses import replace
+
 from ..errors import (
+    AdmissionRejected,
     JobNotFoundError,
     ServiceClosedError,
     ServiceError,
@@ -66,7 +80,7 @@ from ..obs.events import JOB_EVENT_TYPES, RUN_RECORDED, EventBus
 from ..obs.logging import configure_logging, get_logger
 from ..obs.prometheus import render_prometheus
 from .engine import SchedulingService
-from .spec import parse_requests
+from .spec import DEFAULT_PRIORITY, DEFAULT_TENANT, parse_requests
 
 __all__ = ["ServiceGateway", "start_gateway", "serve"]
 
@@ -223,11 +237,31 @@ class _Handler(BaseHTTPRequestHandler):
         extra_headers: Dict[str, str] = {}
         try:
             status, payload = self._route(method)
+        except AdmissionRejected as exc:
+            # Typed admission refusal: 402 when the tenant's cost budget
+            # is exhausted (retry only helps once the window resets),
+            # 429 for rate limiting / a full queue. Retry-After either way.
+            extra_headers["Retry-After"] = f"{max(exc.retry_after_s, 0):.0f}"
+            status = 402 if exc.reason == "budget_exhausted" else 429
+            payload = {
+                "error": str(exc),
+                "reason": exc.reason,
+                "tenant": exc.tenant,
+                "queue_depth": exc.queue_depth,
+                "retry_after_s": exc.retry_after_s,
+                "trace_id": trace_id,
+            }
         except ServiceOverloadedError as exc:
             # Backpressure: the job queue is full. 429 + Retry-After tells
             # well-behaved clients how long to back off.
             extra_headers["Retry-After"] = f"{max(exc.retry_after_s, 0):.0f}"
-            status, payload = 429, {"error": str(exc), "trace_id": trace_id}
+            status, payload = 429, {
+                "error": str(exc),
+                "reason": exc.reason,
+                "queue_depth": exc.queue_depth,
+                "retry_after_s": exc.retry_after_s,
+                "trace_id": trace_id,
+            }
         except ServiceClosedError as exc:
             # Graceful drain: the service no longer accepts work.
             extra_headers["Retry-After"] = f"{max(exc.retry_after_s, 0):.0f}"
@@ -332,8 +366,14 @@ class _Handler(BaseHTTPRequestHandler):
                     f"unknown metrics format {fmt!r}; 'json' or 'prometheus'"
                 )
             return 200, stats
+        if method == "GET" and tail == ["tenants"]:
+            return 200, {"tenants": self.service.admission.tenants.snapshot()}
+        if method == "GET" and tail == ["admission"]:
+            out = self.service.admission.stats()
+            out["batching"] = self.service.stats()["batching"]
+            return 200, out
         if method == "POST" and tail == ["schedule"]:
-            requests = parse_requests(self._read_json())
+            requests = self._tagged_requests(self._read_json())
             if len(requests) != 1:
                 raise ServiceError(
                     "POST /v1/schedule takes exactly one request; "
@@ -341,7 +381,7 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             return 200, self.service.schedule(requests[0]).to_dict()
         if method == "POST" and tail == ["jobs"]:
-            requests = parse_requests(self._read_json())
+            requests = self._tagged_requests(self._read_json())
             job_ids = self.service.submit_batch(requests)
             return 202, {"job_ids": job_ids}
         if method == "GET" and tail == ["jobs"]:
@@ -406,6 +446,28 @@ class _Handler(BaseHTTPRequestHandler):
                 cancelled = self.service.cancel(job_id)
                 return 200, {"job_id": job_id, "cancelled": cancelled}
         return 404, {"error": f"unknown route {method} {parsed.path!r}"}
+
+    def _tagged_requests(self, payload: Any) -> Any:
+        """Parse requests, applying ``X-Tenant`` / ``X-Priority`` headers.
+
+        A header fills the field only where the request body left it at
+        its default — an explicit body value wins, so batches can mix
+        priorities while still sharing one tenant header.
+        """
+        requests = parse_requests(payload)
+        tenant = self.headers.get("X-Tenant")
+        priority = self.headers.get("X-Priority")
+        if not tenant and not priority:
+            return requests
+        tagged = []
+        for req in requests:
+            updates: Dict[str, str] = {}
+            if tenant and req.tenant == DEFAULT_TENANT:
+                updates["tenant"] = tenant
+            if priority and req.priority == DEFAULT_PRIORITY:
+                updates["priority"] = priority
+            tagged.append(replace(req, **updates) if updates else req)
+        return tagged
 
     def _read_json(self) -> Any:
         length = int(self.headers.get("Content-Length", 0))
@@ -517,18 +579,22 @@ def serve(
     job_timeout: Optional[float] = None,
     max_retries: int = 0,
     executor: str = "thread",
+    tenants_path: Optional[str] = None,
 ) -> None:  # pragma: no cover - blocking entry point, exercised via CLI
     """Run a gateway in the foreground until interrupted.
 
     ``ledger_path`` enables the persistent run ledger: every computed
     response is archived there and ``GET /v1/runs`` serves the archive.
-    ``executor="process"`` computes in worker processes (see
-    ``docs/PARALLEL.md``). SIGTERM and SIGINT both trigger a graceful
-    drain: the socket closes, in-flight jobs finish, then the process
-    exits.
+    ``tenants_path`` loads per-tenant admission policies (JSON; see
+    ``docs/ADMISSION.md``) — without it every request runs under the
+    permissive default tenant. ``executor="process"`` computes in worker
+    processes (see ``docs/PARALLEL.md``). SIGTERM and SIGINT both trigger
+    a graceful drain: the socket closes, in-flight jobs finish, then the
+    process exits.
     """
     import signal
 
+    from ..admission import TenantRegistry
     from ..obs.ledger import RunLedger
 
     configure_logging(level=log_level, json_mode=log_json)
@@ -536,10 +602,15 @@ def serve(
     ledger = (
         RunLedger(ledger_path, bus=bus) if ledger_path is not None else None
     )
+    tenants = (
+        TenantRegistry.from_json_file(tenants_path)
+        if tenants_path is not None else None
+    )
     service = SchedulingService(
         max_workers=max_workers, cache_size=cache_size, cache_ttl=cache_ttl,
         ledger=ledger, events=bus, max_queue_depth=max_queue_depth,
         job_timeout=job_timeout, max_retries=max_retries, executor=executor,
+        tenants=tenants,
     )
     gateway = ServiceGateway(service, host=host, port=port)
 
@@ -550,9 +621,12 @@ def serve(
     print(f"repro scheduling service listening on {gateway.url}")
     print("endpoints: /v1/healthz /v1/schedulers /v1/metrics "
           "/v1/schedule /v1/jobs /v1/jobs/<id>/events /v1/events "
-          "/v1/runs  (metrics?format=prometheus)")
+          "/v1/runs /v1/tenants /v1/admission  (metrics?format=prometheus)")
     if ledger is not None:
         print(f"run ledger: {ledger.path} ({ledger.count()} archived runs)")
+    if tenants is not None:
+        names = sorted(tenants.snapshot()["tenants"])
+        print(f"tenants: {tenants_path} ({', '.join(names) or 'default only'})")
     try:
         gateway.serve_forever()
     except KeyboardInterrupt:

@@ -38,7 +38,22 @@ __all__ = [
     "ScheduleRequest",
     "ScheduleResponse",
     "parse_requests",
+    "PRIORITIES",
+    "DEFAULT_TENANT",
+    "DEFAULT_PRIORITY",
 ]
+
+#: Admission priority classes, best-served first. ``interactive`` jumps the
+#: queue, ``batch`` is the default, ``best_effort`` runs when nothing
+#: better waits (starvation aging eventually promotes it; see
+#: :mod:`repro.admission.queue`).
+PRIORITIES = ("interactive", "batch", "best_effort")
+
+#: Requests that name no tenant are accounted to this one.
+DEFAULT_TENANT = "default"
+
+#: Requests that name no priority class land here.
+DEFAULT_PRIORITY = "batch"
 
 #: Keyword arguments accepted by :func:`make_linear_platform`, allowed in a
 #: ``PlatformSpec(kind="linear")`` params mapping.
@@ -323,13 +338,22 @@ class EvaluationSpec:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ScheduleRequest:
-    """One complete scheduling job description."""
+    """One complete scheduling job description.
+
+    ``tenant`` and ``priority`` are *admission* attributes: they decide how
+    the service treats the request (rate limits, cost budgets, queue
+    order) but not what is computed — they are therefore excluded from
+    :meth:`fingerprint`, so identical work from different tenants shares
+    one cache entry.
+    """
 
     workflow: WorkflowSpec
     algorithm: str
     budget: BudgetSpec
     platform: PlatformSpec = field(default_factory=PlatformSpec)
     evaluation: EvaluationSpec = field(default_factory=EvaluationSpec)
+    tenant: str = DEFAULT_TENANT
+    priority: str = DEFAULT_PRIORITY
 
     def __post_init__(self) -> None:
         names = available_schedulers()
@@ -337,23 +361,42 @@ class ScheduleRequest:
             self.algorithm.lower() in names,
             f"unknown algorithm {self.algorithm!r}; available: {names}",
         )
+        _require(
+            bool(self.tenant) and isinstance(self.tenant, str),
+            f"tenant must be a non-empty string, got {self.tenant!r}",
+        )
+        _require(
+            self.priority in PRIORITIES,
+            f"unknown priority {self.priority!r}; one of {PRIORITIES}",
+        )
 
     def to_dict(self) -> Dict[str, Any]:
-        """Canonical JSON-ready encoding (hashed by :meth:`fingerprint`)."""
-        return {
+        """Canonical JSON-ready encoding (roundtrips via :meth:`from_dict`).
+
+        Admission attributes appear only when they differ from the
+        defaults, so pre-admission request documents keep their historical
+        shape.
+        """
+        out: Dict[str, Any] = {
             "workflow": self.workflow.to_dict(),
             "platform": self.platform.to_dict(),
             "algorithm": self.algorithm.lower(),
             "budget": self.budget.to_dict(),
             "evaluation": self.evaluation.to_dict(),
         }
+        if self.tenant != DEFAULT_TENANT:
+            out["tenant"] = self.tenant
+        if self.priority != DEFAULT_PRIORITY:
+            out["priority"] = self.priority
+        return out
 
     @classmethod
     def from_dict(cls, data: Any) -> "ScheduleRequest":
         """Decode a full request, naming any missing/unknown field."""
         data = _as_mapping(data, "schedule request")
         unknown = set(data) - {
-            "workflow", "platform", "algorithm", "budget", "evaluation"
+            "workflow", "platform", "algorithm", "budget", "evaluation",
+            "tenant", "priority",
         }
         _require(not unknown, f"unknown request fields: {sorted(unknown)}")
         _require("workflow" in data, "request is missing 'workflow'")
@@ -365,11 +408,38 @@ class ScheduleRequest:
             algorithm=str(data["algorithm"]),
             budget=BudgetSpec.from_dict(data["budget"]),
             evaluation=EvaluationSpec.from_dict(data.get("evaluation", {})),
+            tenant=str(data.get("tenant", DEFAULT_TENANT)),
+            priority=str(data.get("priority", DEFAULT_PRIORITY)),
         )
 
     def fingerprint(self) -> str:
-        """Content-addressed identity of this request (cache key)."""
-        return _fingerprint(self.to_dict())
+        """Content-addressed identity of this request (cache key).
+
+        Hashes the *work*, not the admission attributes: two tenants
+        posting the same job produce the same fingerprint.
+        """
+        payload = self.to_dict()
+        payload.pop("tenant", None)
+        payload.pop("priority", None)
+        return _fingerprint(payload)
+
+    def family_key(self) -> str:
+        """Identity of this request's *spec family* (batching key).
+
+        Two requests belong to one family when they compute the same
+        schedule and draw evaluation replications from the same
+        deterministic per-seed stream — i.e. they differ at most in
+        ``evaluation.n_reps``, ``evaluation.seed``, tenant and priority.
+        ``dc_capacity`` changes replay results, so it stays in the key.
+        """
+        payload = self.to_dict()
+        payload.pop("tenant", None)
+        payload.pop("priority", None)
+        evaluation = payload["evaluation"]
+        payload["evaluation"] = {
+            k: v for k, v in evaluation.items() if k == "dc_capacity"
+        }
+        return _fingerprint(payload)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,118 @@
+"""Cost estimator tiers, reconciliation, and the ledger error report."""
+
+import pytest
+
+from repro.admission import CostEstimator, estimate_error_report
+from repro.service.spec import ScheduleRequest
+
+
+def request(amount=2.0, n_reps=3, seed=42, n_tasks=15):
+    return ScheduleRequest.from_dict({
+        "workflow": {"family": "montage", "n_tasks": n_tasks, "rng": 1,
+                     "sigma_ratio": 0.5},
+        "algorithm": "heft_budg",
+        "budget": {"amount": amount},
+        "evaluation": {"n_reps": n_reps, "seed": seed},
+    })
+
+
+class TestAnalyticTier:
+    def test_declared_budget_is_the_ceiling(self):
+        est = CostEstimator().estimate(request(amount=3.5))
+        assert est.source == "analytic"
+        assert est.cost == pytest.approx(3.5)
+
+    def test_duration_scales_with_reps(self):
+        estimator = CostEstimator()
+        small = estimator.estimate(request(n_reps=1))
+        large = estimator.estimate(request(n_reps=100))
+        assert large.duration_s > small.duration_s
+
+    def test_budget_axis_request_gets_positive_cost(self):
+        req = ScheduleRequest.from_dict({
+            "workflow": {"family": "montage", "n_tasks": 15, "rng": 1},
+            "algorithm": "heft_budg",
+            "budget": {"position": 0.5},
+        })
+        est = CostEstimator().estimate(req)
+        assert est.cost > 0.0
+
+
+class TestObservedTier:
+    def test_first_observation_prices_repeats_exactly(self):
+        estimator = CostEstimator()
+        req = request()
+        first = estimator.estimate(req)
+        estimator.observe(req, first, actual_cost=1.25,
+                          actual_duration_s=0.5)
+        second = estimator.estimate(req)
+        assert second.source == "observed"
+        assert second.cost == pytest.approx(1.25, abs=0.0)
+        assert second.duration_s == pytest.approx(0.5, abs=0.0)
+
+    def test_family_members_share_calibration(self):
+        # Same spec modulo seed => same family => same observed price.
+        estimator = CostEstimator()
+        estimator.observe(request(seed=1), estimator.estimate(request(seed=1)),
+                          actual_cost=2.0, actual_duration_s=1.0)
+        est = estimator.estimate(request(seed=999))
+        assert est.source == "observed"
+        assert est.cost == pytest.approx(2.0)
+
+    def test_observe_reports_signed_relative_errors(self):
+        estimator = CostEstimator()
+        req = request(amount=2.0)
+        est = estimator.estimate(req)  # analytic: cost == 2.0
+        diag = estimator.observe(req, est, actual_cost=1.0,
+                                 actual_duration_s=0.0)
+        assert diag["cost_rel_error"] == pytest.approx(1.0)  # (2-1)/1
+        assert diag["duration_rel_error"] is None  # zero actual
+        accuracy = estimator.accuracy()
+        assert accuracy["heft_budg"]["n"] == 1.0
+        assert accuracy["heft_budg"]["cost_mare"] == pytest.approx(1.0)
+
+
+class TestLedgerTier:
+    def test_ledger_rows_calibrate_a_fresh_estimator(self, tmp_path):
+        from repro.obs.ledger import RunLedger
+
+        from repro.service import SchedulingService
+
+        db = tmp_path / "runs.db"
+        with RunLedger(str(db)) as ledger:
+            with SchedulingService(max_workers=1, cache_size=0,
+                                   ledger=ledger) as svc:
+                svc.schedule(request())
+            fresh = CostEstimator(ledger)
+            est = fresh.estimate(request())
+            assert est.source == "ledger"
+            assert est.cost > 0.0
+
+    def test_estimate_error_report_aggregates(self, tmp_path):
+        from repro.obs.ledger import RunLedger
+
+        from repro.service import SchedulingService
+
+        db = tmp_path / "runs.db"
+        with RunLedger(str(db)) as ledger:
+            with SchedulingService(max_workers=1, cache_size=0,
+                                   ledger=ledger) as svc:
+                svc.schedule(request(seed=1))
+                svc.schedule(request(seed=2))
+            report = estimate_error_report(ledger)
+        assert "heft_budg" in report
+        entry = report["heft_budg"]
+        assert entry["n"] == 2
+        assert sum(entry["sources"].values()) == 2
+        assert "cost_mare" in entry
+
+    def test_broken_ledger_never_blocks_admission(self):
+        class Broken:
+            enabled = True
+
+            def runs(self, **kwargs):
+                raise RuntimeError("corrupt archive")
+
+        est = CostEstimator(Broken()).estimate(request(amount=2.0))
+        assert est.source == "analytic"
+        assert est.cost == pytest.approx(2.0)

@@ -1,0 +1,171 @@
+"""Tenant policies: token-bucket rate, cost-budget windows, slots."""
+
+import pytest
+
+from repro.admission import TenantPolicy, TenantRegistry
+from repro.errors import ServiceError
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def registry(clock, **policy):
+    policies = {"t": TenantPolicy(name="t", **policy)} if policy else None
+    return TenantRegistry(policies, clock=clock)
+
+
+class TestTokenBucket:
+    def test_burst_then_rate_limited(self):
+        clock = FakeClock()
+        reg = registry(clock, rate=1.0, burst=2.0)
+        assert reg.try_rate("t") == (True, 0.0)
+        assert reg.try_rate("t") == (True, 0.0)
+        ok, retry = reg.try_rate("t")
+        assert not ok
+        assert retry == pytest.approx(1.0)
+
+    def test_refill_restores_tokens(self):
+        clock = FakeClock()
+        reg = registry(clock, rate=2.0, burst=2.0)
+        assert reg.try_rate("t")[0]
+        assert reg.try_rate("t")[0]
+        assert not reg.try_rate("t")[0]
+        clock.advance(0.5)  # 2 tokens/s x 0.5s = 1 token back
+        assert reg.try_rate("t")[0]
+        assert not reg.try_rate("t")[0]
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        reg = registry(clock, rate=10.0, burst=3.0)
+        clock.advance(100.0)
+        for _ in range(3):
+            assert reg.try_rate("t")[0]
+        assert not reg.try_rate("t")[0]
+
+    def test_unlimited_tenant_never_rate_limited(self):
+        reg = registry(FakeClock())
+        for _ in range(1000):
+            assert reg.try_rate("anyone")[0]
+
+    def test_default_burst_is_twice_rate(self):
+        assert TenantPolicy(name="x", rate=5.0).bucket_capacity == 10.0
+        assert TenantPolicy(name="x", rate=0.1).bucket_capacity == 1.0
+
+
+class TestCostBudget:
+    def test_exhaustion_and_retry_hint(self):
+        clock = FakeClock()
+        reg = registry(clock, cost_budget=10.0, budget_window_s=60.0)
+        assert reg.try_reserve("t", 6.0) == (True, 0.0)
+        ok, retry = reg.try_reserve("t", 6.0)  # 6 + 6 > 10
+        assert not ok
+        assert retry == pytest.approx(60.0)
+
+    def test_window_reset_restores_budget(self):
+        clock = FakeClock()
+        reg = registry(clock, cost_budget=10.0, budget_window_s=60.0)
+        assert reg.try_reserve("t", 8.0)[0]
+        reg.commit("t", 8.0, 8.0)
+        assert not reg.try_reserve("t", 8.0)[0]
+        clock.advance(61.0)
+        assert reg.try_reserve("t", 8.0)[0]
+
+    def test_reservations_survive_window_roll(self):
+        # In-flight reservations belong to running work and must not be
+        # wiped by a window reset — only committed spend resets.
+        clock = FakeClock()
+        reg = registry(clock, cost_budget=10.0, budget_window_s=60.0)
+        assert reg.try_reserve("t", 7.0)[0]
+        clock.advance(61.0)
+        assert not reg.try_reserve("t", 7.0)[0]  # 7 reserved + 7 > 10
+        assert reg.try_reserve("t", 3.0)[0]
+
+    def test_concurrent_reservations_cannot_overshoot(self):
+        clock = FakeClock()
+        reg = registry(clock, cost_budget=10.0, budget_window_s=60.0)
+        assert reg.try_reserve("t", 4.0)[0]
+        assert reg.try_reserve("t", 4.0)[0]
+        assert not reg.try_reserve("t", 4.0)[0]  # projected 12 > 10
+
+    def test_release_refunds_reservation(self):
+        clock = FakeClock()
+        reg = registry(clock, cost_budget=10.0, budget_window_s=60.0)
+        assert reg.try_reserve("t", 9.0)[0]
+        reg.release("t", 9.0)
+        assert reg.try_reserve("t", 9.0)[0]
+
+    def test_commit_converts_reservation_to_spend(self):
+        clock = FakeClock()
+        reg = registry(clock, cost_budget=10.0, budget_window_s=60.0)
+        assert reg.try_reserve("t", 5.0)[0]
+        reg.commit("t", 5.0, 3.0)  # actual came in under the estimate
+        assert reg.spent_window("t") == pytest.approx(3.0)
+        assert reg.try_reserve("t", 7.0)[0]  # 3 + 7 <= 10
+
+
+class TestSlots:
+    def test_concurrency_cap(self):
+        reg = registry(FakeClock(), max_concurrent=2)
+        assert reg.acquire_slot("t")
+        assert reg.acquire_slot("t")
+        assert not reg.can_run("t")
+        assert not reg.acquire_slot("t")
+        reg.release_slot("t")
+        assert reg.can_run("t")
+        assert reg.acquire_slot("t")
+
+    def test_weighted_virtual_time(self):
+        clock = FakeClock()
+        reg = TenantRegistry(
+            {"heavy": TenantPolicy(name="heavy", weight=2.0),
+             "light": TenantPolicy(name="light", weight=1.0)},
+            clock=clock,
+        )
+        for _ in range(2):
+            reg.acquire_slot("heavy")
+            reg.acquire_slot("light")
+        assert reg.virtual_time("heavy") == pytest.approx(1.0)
+        assert reg.virtual_time("light") == pytest.approx(2.0)
+
+
+class TestJsonLoading:
+    def test_round_trip(self, tmp_path):
+        doc = {
+            "default": {"rate": 50.0},
+            "tenants": {
+                "a": {"rate": 10.0, "burst": 20.0, "max_concurrent": 4,
+                      "cost_budget": 25.0, "budget_window_s": 120.0,
+                      "weight": 2.0},
+                "b": {"cost_budget": 5.0},
+            },
+        }
+        path = tmp_path / "tenants.json"
+        path.write_text(__import__("json").dumps(doc))
+        reg = TenantRegistry.from_json_file(str(path))
+        assert reg.policy("a").max_concurrent == 4
+        assert reg.policy("b").cost_budget == 5.0
+        assert reg.policy("unlisted").rate == 50.0  # default applies
+        snap = reg.snapshot()
+        assert set(snap["tenants"]) >= {"a", "b"}
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ServiceError, match="unknown policy fields"):
+            TenantRegistry.from_json({"tenants": {"a": {"ratee": 1}}})
+        with pytest.raises(ServiceError, match="unknown tenants document"):
+            TenantRegistry.from_json({"tenant": {}})
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ServiceError, match="rate must be > 0"):
+            TenantPolicy(name="x", rate=0.0)
+        with pytest.raises(ServiceError, match="cost_budget must be > 0"):
+            TenantPolicy(name="x", cost_budget=-1.0)
+        with pytest.raises(ServiceError, match="weight must be > 0"):
+            TenantPolicy(name="x", weight=0.0)

@@ -1,0 +1,163 @@
+"""Admission control over HTTP: headers, typed refusals, introspection."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.admission import TenantPolicy, TenantRegistry
+from repro.service import SchedulingService
+from repro.service.http import start_gateway
+
+
+def request_dict(amount=2.0, n_reps=0, seed=42, **extra):
+    doc = {
+        "workflow": {"family": "montage", "n_tasks": 15, "rng": 1,
+                     "sigma_ratio": 0.5},
+        "algorithm": "heft_budg",
+        "budget": {"amount": amount},
+        "evaluation": {"n_reps": n_reps, "seed": seed},
+    }
+    doc.update(extra)
+    return doc
+
+
+@pytest.fixture()
+def gateway():
+    registry = TenantRegistry({
+        "metered": TenantPolicy(name="metered", cost_budget=2.5,
+                                budget_window_s=3600.0),
+        "throttled": TenantPolicy(name="throttled", rate=0.001, burst=1.0),
+    })
+    service = SchedulingService(max_workers=2, cache_size=0,
+                                tenants=registry)
+    gw = start_gateway(service)
+    yield gw
+    gw.shutdown()
+    service.close()
+
+
+def call(gateway, method, path, payload=None, headers=None):
+    data = None if payload is None else json.dumps(payload).encode()
+    all_headers = {"Content-Type": "application/json"}
+    all_headers.update(headers or {})
+    req = urllib.request.Request(
+        gateway.url + path, data=data, method=method, headers=all_headers,
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.load(resp), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc), dict(exc.headers)
+
+
+class TestTenantHeaders:
+    def test_x_tenant_header_tags_the_job(self, gateway):
+        status, body, _ = call(
+            gateway, "POST", "/v1/jobs", request_dict(),
+            headers={"X-Tenant": "metered", "X-Priority": "interactive"},
+        )
+        assert status == 202
+        (job_id,) = body["job_ids"]
+        gateway.service.wait_all(timeout=60)
+        status, body, _ = call(gateway, "GET", f"/v1/jobs/{job_id}")
+        assert status == 200
+        assert body["request"]["tenant"] == "metered"
+        assert body["request"]["priority"] == "interactive"
+
+    def test_body_fields_beat_headers(self, gateway):
+        status, body, _ = call(
+            gateway, "POST", "/v1/jobs",
+            request_dict(tenant="explicit", priority="best_effort"),
+            headers={"X-Tenant": "metered", "X-Priority": "interactive"},
+        )
+        assert status == 202
+        gateway.service.wait_all(timeout=60)
+        _, body, _ = call(gateway, "GET", f"/v1/jobs/{body['job_ids'][0]}")
+        assert body["request"]["tenant"] == "explicit"
+        assert body["request"]["priority"] == "best_effort"
+
+    def test_invalid_priority_header_is_400(self, gateway):
+        status, body, _ = call(
+            gateway, "POST", "/v1/schedule", request_dict(),
+            headers={"X-Priority": "urgent"},
+        )
+        assert status == 400
+        assert "priority" in body["error"]
+
+
+class TestTypedRefusals:
+    def test_budget_exhausted_is_402_with_retry_after(self, gateway):
+        status, _, _ = call(
+            gateway, "POST", "/v1/schedule", request_dict(amount=2.0),
+            headers={"X-Tenant": "metered"},
+        )
+        assert status == 200
+        # Priced analytically at its declared 3.0 budget (new family),
+        # which cannot fit in what remains of the 2.5 window.
+        status, body, headers = call(
+            gateway, "POST", "/v1/schedule", request_dict(amount=3.0, seed=7),
+            headers={"X-Tenant": "metered"},
+        )
+        assert status == 402
+        assert body["reason"] == "budget_exhausted"
+        assert body["tenant"] == "metered"
+        assert body["retry_after_s"] > 0.0
+        assert body["trace_id"]
+        assert float(headers["Retry-After"]) >= 1.0
+
+    def test_rate_limited_is_429(self, gateway):
+        status, _, _ = call(
+            gateway, "POST", "/v1/schedule", request_dict(),
+            headers={"X-Tenant": "throttled"},
+        )
+        assert status == 200
+        status, body, headers = call(
+            gateway, "POST", "/v1/jobs", request_dict(seed=7),
+            headers={"X-Tenant": "throttled"},
+        )
+        assert status == 429
+        assert body["reason"] == "rate_limited"
+        assert "Retry-After" in headers
+
+    def test_rejections_counted_in_metrics(self, gateway):
+        call(gateway, "POST", "/v1/schedule", request_dict(),
+             headers={"X-Tenant": "throttled"})
+        call(gateway, "POST", "/v1/schedule", request_dict(seed=8),
+             headers={"X-Tenant": "throttled"})
+        req = urllib.request.Request(
+            gateway.url + "/v1/metrics?format=prometheus")
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            text = resp.read().decode()
+        assert "repro_admission_rejected_total" in text
+
+
+class TestIntrospection:
+    def test_tenants_endpoint(self, gateway):
+        call(gateway, "POST", "/v1/schedule", request_dict(),
+             headers={"X-Tenant": "metered"})
+        status, body, _ = call(gateway, "GET", "/v1/tenants")
+        assert status == 200
+        tenants = body["tenants"]["tenants"]
+        assert "metered" in tenants
+        metered = tenants["metered"]
+        assert metered["policy"]["cost_budget"] == 2.5
+        assert metered["spent_window"] > 0.0
+        assert metered["budget_remaining"] < 2.5
+
+    def test_admission_endpoint(self, gateway):
+        status, body, _ = call(gateway, "GET", "/v1/admission")
+        assert status == 200
+        assert "queue" in body
+        assert "estimator" in body
+        assert "batching" in body
+        assert body["queue"]["depth"] == 0
+
+    def test_admission_counters_in_json_metrics(self, gateway):
+        call(gateway, "POST", "/v1/schedule", request_dict(),
+             headers={"X-Tenant": "metered"})
+        status, body, _ = call(gateway, "GET", "/v1/metrics")
+        assert status == 200
+        counters = body["metrics"]["counters"]
+        assert counters.get("admission_admitted", 0) >= 1
