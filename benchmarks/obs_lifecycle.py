@@ -1,0 +1,210 @@
+"""Request-lifecycle observability scenario (the CI obs-gate).
+
+A mixed-tenant burst runs through the **process executor** with a live
+tracer and a run ledger attached. The gate asserts the lifecycle
+telemetry contract end to end:
+
+1. **One trace across the fork seam** — spans from the worker processes
+   come back merged into the parent tracer, stamped with the request's
+   trace id and their worker pid.
+2. **Stages partition the wall clock** — every service ledger row
+   carries a complete, non-negative stage decomposition
+   (``extra["stages"]``) whose segments sum to the recorded wall time.
+3. **Tracing is cheap** — enabling the tracer costs < 5 % over the
+   ``NullTracer`` baseline on the replication workload (median-of-N,
+   with an absolute floor so sub-millisecond jitter cannot fail CI).
+
+Timings and counts land in a JSON report compatible with
+``BENCH_PR7.json``::
+
+    python benchmarks/obs_lifecycle.py --out BENCH_PR7.json
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import tempfile
+import time
+
+from repro.admission import TenantPolicy, TenantRegistry
+from repro.obs.ledger import RunLedger
+from repro.obs.tracing import Tracer, use_tracer
+from repro.platform.cloud import PAPER_PLATFORM
+from repro.rng import as_generator, spawn_seeds
+from repro.scheduling import make_scheduler
+from repro.service import SchedulingService
+from repro.simulation.executor import run_replications
+from repro.workflow.generators import generate
+
+OVERHEAD_LIMIT = 0.05       # 5 % relative ...
+OVERHEAD_FLOOR_S = 0.010    # ... or under 10 ms absolute: jitter, not cost
+STAGE_SUM_TOL = 1e-6
+
+
+def request_dict(seed, priority="batch"):
+    """One small schedule+evaluate request (seconds, not minutes)."""
+    return {
+        "workflow": {"family": "montage", "n_tasks": 15, "rng": 1,
+                     "sigma_ratio": 0.5},
+        "algorithm": "heft_budg",
+        "budget": {"amount": 2.0},
+        "evaluation": {"n_reps": 2, "seed": seed},
+        "priority": priority,
+    }
+
+
+def run_lifecycle(workers=2):
+    """Mixed-tenant burst through the process executor; (report, failures)."""
+    registry = TenantRegistry({
+        "gold": TenantPolicy(name="gold", weight=2.0, cost_budget=50.0),
+        "silver": TenantPolicy(name="silver", weight=1.0, cost_budget=50.0),
+    })
+    failures = []
+    tracer = Tracer(max_spans=100_000)
+    db_path = os.path.join(tempfile.mkdtemp(prefix="obs-gate-"), "runs.db")
+    ledger = RunLedger(db_path)
+    job_ids = []
+    with use_tracer(tracer):
+        with SchedulingService(max_workers=workers, cache_size=0,
+                               executor="process", tenants=registry,
+                               ledger=ledger) as svc:
+            for i in range(3):
+                job_ids.append(svc.submit(
+                    dict(request_dict(100 + i), tenant="gold")))
+                job_ids.append(svc.submit(
+                    dict(request_dict(200 + i, "interactive"),
+                         tenant="silver")))
+            svc.wait_all(timeout=300)
+            done = sum(1 for job_id in job_ids
+                       if svc.job(job_id).state == "done")
+            if done != len(job_ids):
+                failures.append(f"only {done}/{len(job_ids)} jobs done")
+
+    # 1. worker spans merged under the request trace
+    worker_spans = [sp for sp in tracer.spans
+                    if "worker_pid" in sp.attributes]
+    if not worker_spans:
+        failures.append("no worker-process spans merged into the trace")
+    foreign = [sp for sp in worker_spans
+               if sp.attributes.get("trace_id") != tracer.trace_id]
+    if foreign:
+        failures.append(
+            f"{len(foreign)} worker spans carry a foreign trace id"
+        )
+    worker_pids = {sp.attributes["worker_pid"] for sp in worker_spans}
+
+    # 2. complete, non-negative stage decompositions on every ledger row
+    rows = ledger.runs(source="service", limit=0)
+    if len(rows) != len(job_ids):
+        failures.append(
+            f"expected {len(job_ids)} service ledger rows, got {len(rows)}"
+        )
+    for row in rows:
+        payload = (row.extra or {}).get("stages")
+        if not payload or not payload.get("stages"):
+            failures.append(f"run {row.run_id} has no stage decomposition")
+            continue
+        stages, wall = payload["stages"], payload["wall_s"]
+        negative = {k: v for k, v in stages.items() if v < 0}
+        if negative:
+            failures.append(f"run {row.run_id} negative stages: {negative}")
+        if abs(sum(stages.values()) - wall) > STAGE_SUM_TOL:
+            failures.append(
+                f"run {row.run_id} stages sum {sum(stages.values()):.6f} "
+                f"!= wall {wall:.6f}"
+            )
+        if "execute" not in stages:
+            failures.append(f"run {row.run_id} never marked execute")
+    ledger.close()
+
+    report = {
+        "jobs_done": len(job_ids) - len([f for f in failures if "jobs" in f]),
+        "worker_spans": len(worker_spans),
+        "worker_processes": len(worker_pids),
+        "ledger_rows": len(rows),
+        "total_spans": len(tracer.spans),
+    }
+    return report, failures
+
+
+def _replication_workload():
+    """The shared Monte Carlo workload both overhead arms execute."""
+    wf = generate("montage", 50, rng=1, sigma_ratio=0.5)
+    result = make_scheduler("heft_budg").schedule(wf, PAPER_PLATFORM,
+                                                  budget=2.0)
+    seeds = spawn_seeds(as_generator(0), 100)
+    return {"wf": wf, "platform": PAPER_PLATFORM,
+            "schedule": result.schedule, "budget": 2.0,
+            "seeds": list(seeds), "validate_first": True}
+
+
+def measure_overhead(repeats=7):
+    """Median wall time of the workload, NullTracer vs live Tracer."""
+    task = _replication_workload()
+    run_replications(dict(task))  # warm caches outside both arms
+    base, traced = [], []
+    for _ in range(repeats):  # interleave the arms to damp drift
+        started = time.perf_counter()
+        run_replications(dict(task))
+        base.append(time.perf_counter() - started)
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            started = time.perf_counter()
+            run_replications(dict(task))
+            traced.append(time.perf_counter() - started)
+
+    base_median = statistics.median(base)
+    traced_median = statistics.median(traced)
+    delta = traced_median - base_median
+    overhead = delta / base_median if base_median else 0.0
+    ok = overhead < OVERHEAD_LIMIT or delta < OVERHEAD_FLOOR_S
+    report = {
+        "repeats": repeats,
+        "base_median_s": round(base_median, 6),
+        "traced_median_s": round(traced_median, 6),
+        "overhead_pct": round(overhead * 100.0, 3),
+        "limit_pct": OVERHEAD_LIMIT * 100.0,
+        "floor_s": OVERHEAD_FLOOR_S,
+    }
+    failures = []
+    if not ok:
+        failures.append(
+            f"tracer overhead {overhead * 100.0:.2f}% exceeds "
+            f"{OVERHEAD_LIMIT * 100.0:.0f}% (base {base_median:.4f}s, "
+            f"traced {traced_median:.4f}s)"
+        )
+    return report, failures
+
+
+def main(argv=None):
+    """CLI entry point; exits non-zero on any contract violation."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--repeats", type=int, default=7,
+                        help="overhead measurement repeats per arm")
+    args = parser.parse_args(argv)
+
+    lifecycle, failures = run_lifecycle(workers=args.workers)
+    overhead, more = measure_overhead(repeats=args.repeats)
+    failures.extend(more)
+
+    report = {"lifecycle": lifecycle, "tracer_overhead": overhead}
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump({"obs_lifecycle": report}, fh, indent=1,
+                      sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

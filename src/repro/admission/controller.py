@@ -124,6 +124,7 @@ class AdmissionController:
         job_id: str,
         *,
         enqueue: bool = True,
+        stages: Optional[Any] = None,
     ) -> AdmissionDecision:
         """Run the full gate chain; enqueue on success.
 
@@ -136,6 +137,12 @@ class AdmissionController:
         gates apply and the reservation is taken, but the request runs
         immediately on the caller's thread — no queue entry, no
         concurrency slot.
+
+        ``stages`` is an optional
+        :class:`~repro.obs.stages.StageTimings`; each gate marks its
+        boundary (``admit`` → ``estimate`` → ``reserve``, with the
+        enqueue cost folded into ``reserve``) so admitted requests carry
+        the gate chain's latency decomposition.
         """
         tenant = request.tenant
         ok, retry_after = self.tenants.try_rate(tenant)
@@ -150,7 +157,11 @@ class AdmissionController:
                     queue_depth=len(self.queue),
                 )
             )
+        if stages is not None:
+            stages.mark("admit")
         estimate = self.estimator.estimate(request)
+        if stages is not None:
+            stages.mark("estimate")
         ok, retry_after = self.tenants.try_reserve(tenant, estimate.cost)
         if not ok:
             raise self._reject(
@@ -179,6 +190,8 @@ class AdmissionController:
                 # The reservation must not outlive the refused request.
                 self.tenants.release(tenant, estimate.cost)
                 raise self._reject(exc)
+        if stages is not None:
+            stages.mark("reserve")
         decision = AdmissionDecision(
             job_id=job_id,
             tenant=tenant,

@@ -56,6 +56,10 @@ class QueuedEntry:
     enqueued_at: float = 0.0
     seq: int = 0
     payload: Any = None
+    #: Stamped by the queue at pop time (its own clock): seconds this
+    #: entry spent queued. The engine surfaces it on ``job.started``
+    #: events next to the coarser ``queued`` stage mark.
+    waited_s: float = 0.0
 
     def effective_rank(self, now: float, aging_s: float) -> int:
         """Class rank after starvation aging (lower serves first)."""
@@ -208,6 +212,7 @@ class AdmissionQueue:
             self._served.get(entry.tenant, 0.0) + 1.0 / weight
         )
         waited = max(now - entry.enqueued_at, 0.0)
+        entry.waited_s = waited
         self._stats.popped += 1
         self._stats.total_wait_s += waited
         self._stats.max_wait_s = max(self._stats.max_wait_s, waited)

@@ -13,6 +13,9 @@ Examples::
     repro-exp ledger prune --db runs.db --max-rows 10000
     repro-exp serve --tenants tenants.json      # multi-tenant admission
     repro-exp ledger estimate-error --db runs.db
+    repro-exp trace --workers 4                 # trace with worker spans
+    repro-exp slo --db runs.db                  # offline SLO burn rates
+    repro-exp profile --reps 25 --out prof.txt  # sampling profiler
 """
 
 from __future__ import annotations
@@ -186,6 +189,61 @@ def build_parser() -> argparse.ArgumentParser:
                      "(default: <out stem>.decisions.jsonl)")
     trc.add_argument("--gantt", action="store_true",
                      help="also print the ASCII Gantt of the simulated run")
+    trc.add_argument("--workers", type=int, default=0,
+                     help="also run the Monte Carlo replications sharded "
+                     "across this many worker processes; their spans merge "
+                     "back into the trace under the session's trace id "
+                     "(0 = no parallel phase)")
+    trc.add_argument("--reps", type=int, default=16,
+                     help="Monte Carlo replications for the parallel phase "
+                     "(only with --workers > 0)")
+
+    slo = sub.add_parser(
+        "slo",
+        help="SLO report: per-stage streaming percentiles and multi-window "
+        "burn rates, from a live service (--url) or a run ledger (--db)",
+    )
+    source = slo.add_mutually_exclusive_group(required=True)
+    source.add_argument("--url", default=None,
+                        help="base URL of a running service "
+                        "(e.g. http://127.0.0.1:8080); reads GET /v1/slo")
+    source.add_argument("--db", default=None,
+                        help="ledger SQLite file; computes the report "
+                        "offline from archived service rows")
+    slo.add_argument("--limit", type=int, default=0,
+                     help="with --db: scan only the newest N rows "
+                     "(default: all)")
+    slo.add_argument("--json", action="store_true",
+                     help="emit the raw report as JSON instead of tables")
+
+    prof = sub.add_parser(
+        "profile",
+        help="sampling profiler over one schedule+simulate run; prints the "
+        "top frames and can write collapsed stacks for flamegraphs",
+    )
+    prof.add_argument("--workflow", default="montage",
+                      help="workflow generator family")
+    prof.add_argument("--n", type=int, default=90, help="workflow size")
+    prof.add_argument("--algo", default="heft_budg",
+                      help="scheduling algorithm (see /v1/schedulers)")
+    prof.add_argument("--seed", type=int, default=1,
+                      help="workflow generator seed")
+    prof.add_argument("--sigma", type=float, default=0.5,
+                      help="sigma/mean ratio")
+    pgroup = prof.add_mutually_exclusive_group()
+    pgroup.add_argument("--budget", type=float, default=None,
+                        help="absolute budget in dollars")
+    pgroup.add_argument("--position", type=float, default=0.5,
+                        help="budget position on [B_min, B_high] (0..1)")
+    prof.add_argument("--reps", type=int, default=25,
+                      help="Monte Carlo replications to profile")
+    prof.add_argument("--interval", type=float, default=0.005,
+                      help="sampling period in seconds (default 5 ms)")
+    prof.add_argument("--top", type=int, default=15,
+                      help="rows in the top-frames table")
+    prof.add_argument("--out", default=None,
+                      help="write collapsed stacks (flamegraph.pl / "
+                      "speedscope input) to this path")
 
     flt = sub.add_parser(
         "faults",
@@ -422,6 +480,7 @@ def _run_trace(args: argparse.Namespace) -> int:
         )
         budget = budget_spec.resolve(wf, PAPER_PLATFORM)
         tracer = Tracer()
+        n_worker_spans = 0
         with use_tracer(tracer):
             with tracer.span("trace.session", workflow=args.workflow,
                              n_tasks=args.n, algorithm=args.algo,
@@ -430,6 +489,11 @@ def _run_trace(args: argparse.Namespace) -> int:
                     wf, PAPER_PLATFORM, budget
                 )
                 run = evaluate_schedule(wf, PAPER_PLATFORM, result.schedule)
+                if args.workers > 0 and args.reps > 0:
+                    n_worker_spans = _traced_replications(
+                        tracer, wf, result.schedule, budget,
+                        n_reps=args.reps, workers=args.workers,
+                    )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -458,9 +522,184 @@ def _run_trace(args: argparse.Namespace) -> int:
     print(f"budget          : ${budget:.4f}")
     print(f"makespan        : {run.makespan:.1f}s on {run.n_vms} VMs "
           f"(cost ${run.total_cost:.4f})")
+    print(f"trace id        : {tracer.trace_id}")
+    if args.workers > 0:
+        print(f"worker spans    : {n_worker_spans} merged from "
+              f"{args.workers} worker process(es) ({args.reps} reps)")
     print(f"trace           : {args.out} "
           f"({len(doc['traceEvents'])} events; open in ui.perfetto.dev)")
     print(f"decision log    : {decisions_path} ({n_decisions} records)")
+    return 0
+
+
+def _traced_replications(tracer, wf, schedule, budget, *, n_reps: int,
+                         workers: int) -> int:
+    """Run the Monte Carlo replications on a worker pool under the trace.
+
+    Shards exactly like :func:`repro.experiments.runner` does; each worker
+    runs a worker-local tracer carrying the parent's trace id, and
+    :meth:`repro.parallel.WorkerPool.map` merges the per-shard spans back
+    into ``tracer``. Returns how many spans the merge added.
+    """
+    from .parallel import ShardPlan, WorkerPool
+    from .platform.cloud import PAPER_PLATFORM
+    from .rng import as_generator, spawn_seeds
+    from .simulation.executor import run_replications
+
+    seeds = spawn_seeds(as_generator(0), n_reps)
+    plan = ShardPlan.plan(n_reps, workers)
+    shard_tasks = [{
+        "wf": wf,
+        "platform": PAPER_PLATFORM,
+        "schedule": schedule,
+        "budget": budget,
+        "seeds": list(shard.slice(seeds)),
+        "validate_first": shard.start == 0,
+    } for shard in plan.shards]
+    before = len(tracer.spans)
+    with tracer.span("trace.replications", n_reps=n_reps,
+                     n_shards=len(plan.shards), workers=workers):
+        if plan.is_serial:
+            for task in shard_tasks:
+                run_replications(task)
+        else:
+            with WorkerPool(workers) as pool:
+                pool.map(run_replications, shard_tasks)
+    return len(tracer.spans) - before - 1  # minus our own wrapper span
+
+
+def _render_slo_report(report: dict) -> str:
+    """Human tables for an SLO report (live snapshot or offline)."""
+    lines: List[str] = []
+    observed = report.get("observed", 0)
+    failures = report.get("failures", 0)
+    lines.append(f"requests observed : {observed} ({failures} failed)")
+    stages = report.get("stages", {})
+    if stages:
+        lines.append("")
+        lines.append(f"{'stage':<12s} {'count':>7s} {'p50':>10s} "
+                     f"{'p95':>10s} {'p99':>10s}")
+        for name, pcts in stages.items():
+            lines.append(
+                f"{name:<12.12s} {int(pcts.get('count', 0)):>7d} "
+                f"{pcts.get('p50', 0.0):>10.4f} "
+                f"{pcts.get('p95', 0.0):>10.4f} "
+                f"{pcts.get('p99', 0.0):>10.4f}"
+            )
+    targets = report.get("targets", [])
+    if targets:
+        labels = list(targets[0].get("windows", {}))
+        lines.append("")
+        header = f"{'objective':<16s} {'target':>8s}"
+        for label in labels:
+            header += f" {'burn ' + label:>10s}"
+        lines.append(header)
+        for target in targets:
+            row = f"{target['name']:<16.16s} {target['target']:>8.3f}"
+            for label in labels:
+                burn = target["windows"].get(label, {}).get("burn_rate", 0.0)
+                row += f" {burn:>10.2f}"
+            exhausted = [
+                label for label in labels
+                if target["windows"].get(label, {}).get("budget_exhausted")
+            ]
+            if exhausted:
+                row += f"  ! budget exhausted ({', '.join(exhausted)})"
+            lines.append(row)
+    if not stages and not targets:
+        lines.append("no data")
+    return "\n".join(lines)
+
+
+def _run_slo(args: argparse.Namespace) -> int:
+    """The ``slo`` subcommand: burn rates + stage percentiles."""
+    import json
+
+    if args.url is not None:
+        import urllib.error
+        import urllib.request
+
+        url = args.url.rstrip("/") + "/v1/slo"
+        try:
+            with urllib.request.urlopen(url, timeout=10.0) as resp:
+                report = json.load(resp)
+        except (urllib.error.URLError, OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot fetch {url}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        from .obs.ledger import RunLedger
+        from .obs.slo import report_from_rows
+
+        with RunLedger(args.db) as ledger:
+            rows = ledger.runs(source="service", limit=args.limit)
+        report = report_from_rows(rows)
+        if not rows:
+            print(f"error: no service rows in {args.db}", file=sys.stderr)
+            return 2
+
+    if args.json:
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(_render_slo_report(report))
+    return 0
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    """The ``profile`` subcommand: sample one schedule+simulate run."""
+    from .errors import ReproError
+    from .obs.profiler import SamplingProfiler
+    from .platform.cloud import PAPER_PLATFORM
+    from .rng import as_generator, spawn_seeds
+    from .scheduling.registry import make_scheduler
+    from .service.spec import BudgetSpec
+    from .simulation.executor import run_replications
+    from .workflow.generators import generate
+
+    try:
+        wf = generate(args.workflow, args.n, rng=args.seed,
+                      sigma_ratio=args.sigma)
+        budget_spec = (
+            BudgetSpec(amount=args.budget) if args.budget is not None
+            else BudgetSpec(position=args.position)
+        )
+        budget = budget_spec.resolve(wf, PAPER_PLATFORM)
+        profiler = SamplingProfiler(interval_s=args.interval)
+        with profiler:
+            result = make_scheduler(args.algo).schedule(
+                wf, PAPER_PLATFORM, budget
+            )
+            if args.reps > 0:
+                seeds = spawn_seeds(as_generator(args.seed), args.reps)
+                run_replications({
+                    "wf": wf, "platform": PAPER_PLATFORM,
+                    "schedule": result.schedule, "budget": budget,
+                    "seeds": seeds,
+                })
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    summary = profiler.to_dict()
+    print(f"profiled        : {args.algo} on {args.workflow} "
+          f"(n={args.n}, reps={args.reps})")
+    print(f"samples         : {summary['n_samples']} stacks over "
+          f"{summary['duration_s']:.2f}s "
+          f"(interval {args.interval * 1e3:.1f} ms)")
+    top = profiler.top(args.top)
+    if top:
+        print(f"\n{'self%':>6s} {'cum%':>6s} {'self':>6s} {'cum':>6s}  frame")
+        for row in top:
+            print(f"{row['self_pct']:>6.1f} {row['cumulative_pct']:>6.1f} "
+                  f"{row['self']:>6d} {row['cumulative']:>6d}  "
+                  f"{row['frame']}")
+    else:
+        print("no samples collected (run too short for the interval; "
+              "raise --reps or lower --interval)")
+    if args.out:
+        n_lines = profiler.write_collapsed(args.out)
+        print(f"\ncollapsed stacks: {args.out} ({n_lines} lines; feed to "
+              f"flamegraph.pl or speedscope)")
     return 0
 
 
@@ -746,6 +985,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "trace":
         return _run_trace(args)
+
+    if args.command == "slo":
+        return _run_slo(args)
+
+    if args.command == "profile":
+        return _run_profile(args)
 
     if args.command == "faults":
         return _run_faults(args)

@@ -1,6 +1,6 @@
 """repro.obs — zero-dependency observability: tracing, logs, exporters.
 
-Six pieces, all stdlib-only:
+All stdlib-only:
 
 * :mod:`repro.obs.tracing` — nested wall-clock spans, per-task scheduler
   :class:`DecisionRecord`\\ s, counters; a process-global
@@ -18,6 +18,14 @@ Six pieces, all stdlib-only:
   logging under the ``repro`` logger tree.
 * :mod:`repro.obs.prometheus` — text exposition of
   :class:`~repro.service.metrics.MetricsRegistry` snapshots.
+* :mod:`repro.obs.sketch` — mergeable streaming quantile sketch whose
+  percentiles are bit-identical however the stream was sharded.
+* :mod:`repro.obs.stages` — request-lifecycle stage timing
+  (:data:`STAGES`) whose segments partition a request's wall time.
+* :mod:`repro.obs.slo` — declarative SLO targets with multi-window burn
+  rates, backing ``GET /v1/slo`` and ``repro-exp slo``.
+* :mod:`repro.obs.profiler` — sampling stack profiler with
+  collapsed-stack export (``repro-exp profile``).
 
 See docs/OBSERVABILITY.md for the full tour.
 """
@@ -34,7 +42,11 @@ from .ledger import (
     use_ledger,
 )
 from .logging import configure_logging, get_logger
+from .profiler import SamplingProfiler
 from .prometheus import render_prometheus
+from .sketch import QuantileSketch
+from .slo import SLOMonitor, SLOTarget, report_from_rows
+from .stages import STAGES, StageTimings
 from .tracing import (
     DecisionRecord,
     NullTracer,
@@ -74,9 +86,15 @@ __all__ = [
     "EventBus",
     "NullLedger",
     "NullTracer",
+    "QuantileSketch",
     "RunLedger",
     "RunRow",
+    "SLOMonitor",
+    "SLOTarget",
+    "STAGES",
+    "SamplingProfiler",
     "Span",
+    "StageTimings",
     "Subscription",
     "Tracer",
     "configure_logging",
@@ -85,6 +103,7 @@ __all__ = [
     "get_logger",
     "get_tracer",
     "render_prometheus",
+    "report_from_rows",
     "set_ledger",
     "set_tracer",
     "simulation_events",

@@ -117,7 +117,7 @@ class Subscription:
         self.dropped = 0
         self.closed = False
 
-    # Called by the bus, under its lock.
+    # Called by the bus (outside its lock; see EventBus.publish).
     def _offer(self, event: Event) -> None:
         if self._types is not None and event.type not in self._types:
             return
@@ -125,6 +125,7 @@ class Subscription:
             self._queue.put_nowait(event)
         except queue.Full:
             self.dropped += 1
+            self._bus._note_drop(event.type)
 
     def get(self, timeout: Optional[float] = None) -> Optional[Event]:
         """Next event, or ``None`` when ``timeout`` elapses first."""
@@ -157,14 +158,42 @@ class EventBus:
     """Publish/subscribe with bounded history replay (thread-safe).
 
     ``history`` bounds the replay ring; older events fall off silently
-    (their loss is visible as a gap in ``seq``).
+    (their loss is visible as a gap in ``seq``). Events dropped because a
+    *subscriber's* bounded queue overflowed are counted — per
+    subscriber (``Subscription.dropped``), bus-wide
+    (:attr:`dropped_total`, by event type in :meth:`dropped_by_type`),
+    and into an optional :class:`~repro.service.metrics.MetricsRegistry`
+    as the ``events_dropped`` counter (rendered as
+    ``repro_events_dropped_total`` on ``/metrics``).
     """
 
-    def __init__(self, *, history: int = 2048) -> None:
+    def __init__(self, *, history: int = 2048,
+                 metrics: Optional[Any] = None) -> None:
         self._lock = threading.Lock()
         self._seq = 0
         self._history: Deque[Event] = deque(maxlen=history)
         self._subscribers: List[Subscription] = []
+        self._dropped_by_type: Dict[str, int] = {}
+        self.dropped_total = 0
+        #: Optional metrics registry; assignable after construction (the
+        #: engine wires its own registry into a caller-supplied bus).
+        self.metrics = metrics
+
+    def _note_drop(self, event_type: str) -> None:
+        # Called from _offer, outside the bus lock (publish fans out
+        # unlocked so a slow subscriber cannot block the bus).
+        with self._lock:
+            self.dropped_total += 1
+            self._dropped_by_type[event_type] = (
+                self._dropped_by_type.get(event_type, 0) + 1)
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.incr("events_dropped")
+
+    def dropped_by_type(self) -> Dict[str, int]:
+        """Bus-wide dropped-event counts keyed by event type."""
+        with self._lock:
+            return dict(self._dropped_by_type)
 
     def publish(self, type: str, **data: Any) -> Event:
         """Publish one event; returns it (with its assigned ``seq``)."""

@@ -6,7 +6,12 @@ and ``chrome://tracing`` load natively. We emit two kinds of timelines
 into one file:
 
 * **wall-clock spans** from a :class:`~repro.obs.tracing.Tracer` — one
-  Perfetto "process" (default pid 1), one track per Python thread; and
+  Perfetto "process" (default pid 1), one track per Python thread.
+  Spans merged in from worker processes (tagged with a ``worker_pid``
+  attribute by :meth:`~repro.obs.tracing.Tracer.merge_payload`) are
+  routed to their own Perfetto processes at ``WORKER_PID_BASE + k``, so
+  the fan-out reads as parent process + one lane per worker, all
+  parented under the request's trace id; and
 * the **simulated schedule** from a
   :class:`~repro.simulation.trace.SimulationResult` — one process per VM,
   with boot/download/compute slices on the main track and the overlapping
@@ -35,6 +40,10 @@ __all__ = [
 
 #: pid of the wall-clock process in the exported trace.
 WALL_PID = 1
+#: pid of the ``k``-th distinct worker process seen in merged spans is
+#: ``WORKER_PID_BASE + k`` (kept below :data:`SIM_PID_BASE` so VM tracks
+#: remain the only pids >= 100).
+WORKER_PID_BASE = 10
 #: pid of simulated VM ``v`` is ``SIM_PID_BASE + v``.
 SIM_PID_BASE = 100
 
@@ -78,12 +87,34 @@ def _slice(
 
 # ----------------------------------------------------------------------
 def tracer_events(tracer: Tracer, *, pid: int = WALL_PID) -> List[Dict[str, Any]]:
-    """Wall-clock spans as complete events, one track per thread."""
+    """Wall-clock spans as complete events, one track per thread.
+
+    Spans carrying a ``worker_pid`` attribute (merged in from worker
+    processes by :meth:`Tracer.merge_payload`) land in a dedicated
+    Perfetto process per distinct worker, ``WORKER_PID_BASE + k`` in
+    order of first appearance, named after the OS pid.
+    """
     events: List[Dict[str, Any]] = [_meta(pid, "wall-clock (python)")]
-    tids: Dict[str, int] = {}
+    # (trace pid, thread name) -> tid; worker os-pid -> trace pid.
+    tids: Dict[Any, int] = {}
+    worker_pids: Dict[int, int] = {}
     origin = tracer.origin_s
     for span in tracer.spans:
-        tid = tids.setdefault(span.thread, len(tids))
+        worker = span.attributes.get("worker_pid")
+        if worker is None:
+            span_pid = pid
+        else:
+            span_pid = worker_pids.get(int(worker))
+            if span_pid is None:
+                span_pid = WORKER_PID_BASE + len(worker_pids)
+                worker_pids[int(worker)] = span_pid
+                events.append(
+                    _meta(span_pid, f"worker (os pid {int(worker)})"))
+        track_key = (span_pid, span.thread)
+        tid = tids.get(track_key)
+        if tid is None:
+            tid = sum(1 for key in tids if key[0] == span_pid)
+            tids[track_key] = tid
         args: Dict[str, Any] = {"span_id": span.span_id}
         if span.parent_id is not None:
             args["parent_id"] = span.parent_id
@@ -91,11 +122,11 @@ def tracer_events(tracer: Tracer, *, pid: int = WALL_PID) -> List[Dict[str, Any]
         events.append(
             _slice(
                 span.name, "wall", span.start_s - origin, span.end_s - origin,
-                pid, tid, args,
+                span_pid, tid, args,
             )
         )
-    for thread, tid in tids.items():
-        events.append(_meta(pid, thread, tid=tid))
+    for (track_pid, thread), tid in tids.items():
+        events.append(_meta(track_pid, thread, tid=tid))
     return events
 
 
@@ -164,6 +195,8 @@ def to_chrome_trace(
         "traceEvents": events,
     }
     other: Dict[str, Any] = {"generator": "repro.obs"}
+    if tracer is not None and getattr(tracer, "trace_id", ""):
+        other["trace_id"] = tracer.trace_id
     if metadata:
         other.update(metadata)
     doc["otherData"] = other

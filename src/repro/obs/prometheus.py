@@ -17,7 +17,10 @@ import math
 import re
 from typing import Any, Dict, List, Mapping, Optional
 
-__all__ = ["render_prometheus", "sanitize_metric_name"]
+__all__ = [
+    "render_prometheus", "sanitize_metric_name", "escape_label_value",
+    "escape_help",
+]
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 _QUANTILES = (("0.5", "window_p50"), ("0.95", "window_p95"), ("0.99", "window_p99"))
@@ -29,6 +32,23 @@ def sanitize_metric_name(name: str) -> str:
     if not cleaned or cleaned[0].isdigit():
         cleaned = f"_{cleaned}"
     return cleaned
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format.
+
+    Backslash, double-quote and newline are the only characters the
+    format requires escaping inside ``label="…"``.
+    """
+    return (str(value)
+            .replace("\\", r"\\")
+            .replace('"', r"\"")
+            .replace("\n", r"\n"))
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring (backslash and newline only)."""
+    return str(text).replace("\\", r"\\").replace("\n", r"\n")
 
 
 def _fmt(value: Any) -> str:
@@ -83,7 +103,10 @@ def render_prometheus(
             )
             lines.append(f"# TYPE {hist} histogram")
             for upper, count in buckets.items():
-                lines.append(f'{hist}_bucket{{le="{upper}"}} {_fmt(count)}')
+                lines.append(
+                    f'{hist}_bucket{{le="{escape_label_value(upper)}"}} '
+                    f"{_fmt(count)}"
+                )
             lines.append(f"{hist}_sum {_fmt(summary.get('sum', 0.0))}")
             lines.append(f"{hist}_count {_fmt(summary.get('count', 0))}")
 

@@ -22,6 +22,17 @@ collection for a region with::
 Spans carry both a monotonic clock (``start_s``/``end_s`` from
 ``perf_counter``, used for durations) and a wall-clock epoch anchor
 (``start_epoch_s``) so exporters can place them on a real timeline.
+
+**Cross-process propagation.** Each tracer owns a ``trace_id``; the
+worker pool (:mod:`repro.parallel.pool`) ships it to worker processes,
+installs a worker-local tracer under the same id, and returns
+:meth:`Tracer.export_payload` alongside each shard result. The parent
+folds those in with :meth:`Tracer.merge_payload`, which re-anchors the
+worker's monotonic timestamps onto the parent timeline via the shared
+wall-clock epoch (``new_start = parent.origin_s + (span.start_epoch_s -
+parent.origin_epoch_s)``, durations preserved) and re-parents worker
+root spans under the caller's currently-open span — so one exported
+Chrome trace shows gateway → admission → queue → worker shards → merge.
 """
 
 from __future__ import annotations
@@ -29,8 +40,9 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
 __all__ = [
     "Span",
@@ -73,6 +85,7 @@ class Span:
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "start_s": self.start_s,
+            "start_epoch_s": self.start_epoch_s,
             "end_s": self.end_s,
             "duration_s": self.duration_s,
             "thread": self.thread,
@@ -171,11 +184,16 @@ class Tracer:
     enabled = True
 
     def __init__(
-        self, *, max_spans: int = 100_000, max_decisions: int = 1_000_000
+        self, *, max_spans: int = 100_000, max_decisions: int = 1_000_000,
+        trace_id: Optional[str] = None,
     ) -> None:
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._stack = threading.local()
+        #: Request-scoped identity shared across process boundaries:
+        #: worker-local tracers are created with the parent's id so a
+        #: merged trace is one logical request.
+        self.trace_id = trace_id or uuid.uuid4().hex[:16]
         self.max_spans = max_spans
         self.max_decisions = max_decisions
         self.spans: List[Span] = []
@@ -209,6 +227,11 @@ class Tracer:
             stack = self._stack.ids = []
         return stack
 
+    def current_span_id(self) -> Optional[int]:
+        """Id of the calling thread's innermost open span, if any."""
+        stack = self._parents()
+        return stack[-1] if stack else None
+
     def _finish(self, span: Span) -> None:
         span.end_s = time.perf_counter()
         stack = self._parents()
@@ -233,6 +256,93 @@ class Tracer:
         """Add ``amount`` to counter ``name`` (created at 0 on first use)."""
         with self._lock:
             self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    # ------------------------------------------------------------------
+    def export_payload(self) -> Dict[str, Any]:
+        """Picklable snapshot shipped across the process boundary.
+
+        Returned by worker processes next to their shard results (see
+        ``repro.parallel.pool._invoke``) and folded into the parent
+        with :meth:`merge_payload`. Decision records deliberately stay
+        worker-local — they can number in the millions and the decision
+        log is a per-schedule artifact, not a per-request one.
+        """
+        with self._lock:
+            spans = [sp.to_dict() for sp in self.spans]
+            counters = dict(self.counters)
+            dropped = dict(self.dropped)
+        return {
+            "trace_id": self.trace_id,
+            "origin_epoch_s": self.origin_epoch_s,
+            "origin_s": self.origin_s,
+            "spans": spans,
+            "counters": counters,
+            "dropped": dropped,
+        }
+
+    def merge_payload(
+        self,
+        payload: Mapping[str, Any],
+        *,
+        parent_id: Optional[int] = None,
+        worker_pid: Optional[int] = None,
+    ) -> int:
+        """Fold a worker tracer's :meth:`export_payload` into this one.
+
+        Worker spans get fresh ids from this tracer's counter (parent
+        links remapped), are re-anchored onto this tracer's monotonic
+        timeline through the shared wall-clock epoch, and worker root
+        spans are re-parented under ``parent_id`` (typically the span
+        the caller had open when the shard was submitted). ``worker_pid``
+        and the payload's ``trace_id`` are stamped as attributes so
+        exporters can route the spans to per-worker process tracks.
+        Counters merge additively. Returns the number of spans merged.
+        """
+        spans = list(payload.get("spans") or ())
+        trace_id = payload.get("trace_id")
+        merged = 0
+        with self._lock:
+            id_map = {
+                int(data["span_id"]): next(self._ids) for data in spans
+            }
+            for data in spans:
+                if len(self.spans) >= self.max_spans:
+                    self.dropped["spans"] += len(spans) - merged
+                    break
+                old_parent = data.get("parent_id")
+                if old_parent is not None and int(old_parent) in id_map:
+                    new_parent: Optional[int] = id_map[int(old_parent)]
+                else:
+                    new_parent = parent_id
+                start_epoch = float(
+                    data.get("start_epoch_s") or self.origin_epoch_s)
+                start_s = self.origin_s + (
+                    start_epoch - self.origin_epoch_s)
+                duration = float(data.get("duration_s") or 0.0)
+                attributes = dict(data.get("attributes") or {})
+                if worker_pid is not None:
+                    attributes.setdefault("worker_pid", worker_pid)
+                if trace_id:
+                    attributes.setdefault("trace_id", trace_id)
+                self.spans.append(Span(
+                    name=str(data.get("name", "")),
+                    span_id=id_map[int(data["span_id"])],
+                    parent_id=new_parent,
+                    start_s=start_s,
+                    start_epoch_s=start_epoch,
+                    end_s=start_s + duration,
+                    thread=str(data.get("thread", "")),
+                    attributes=attributes,
+                ))
+                merged += 1
+            for name, amount in dict(
+                    payload.get("counters") or {}).items():
+                self.counters[name] = (
+                    self.counters.get(name, 0.0) + float(amount))
+            for key, n in dict(payload.get("dropped") or {}).items():
+                if n:
+                    self.dropped[key] = self.dropped.get(key, 0) + int(n)
+        return merged
 
     # ------------------------------------------------------------------
     def clear(self) -> None:
@@ -269,6 +379,7 @@ class NullTracer:
     """
 
     enabled = False
+    trace_id = ""
     spans: Tuple[Span, ...] = ()
     decisions: Tuple[DecisionRecord, ...] = ()
     counters: Dict[str, float] = {}
@@ -277,11 +388,26 @@ class NullTracer:
         """Return the shared no-op span context."""
         return _NULL_SPAN
 
+    def current_span_id(self) -> Optional[int]:
+        """No open spans, ever."""
+        return None
+
     def decide(self, record: DecisionRecord) -> None:
         """Discard the record."""
 
     def count(self, name: str, amount: float = 1.0) -> None:
         """Discard the increment."""
+
+    def export_payload(self) -> Dict[str, Any]:
+        """An empty payload, shaped like :meth:`Tracer.export_payload`."""
+        return {"trace_id": "", "origin_epoch_s": 0.0, "origin_s": 0.0,
+                "spans": [], "counters": {}, "dropped": {}}
+
+    def merge_payload(self, payload: Mapping[str, Any], *,
+                      parent_id: Optional[int] = None,
+                      worker_pid: Optional[int] = None) -> int:
+        """Discard the payload."""
+        return 0
 
     def clear(self) -> None:
         """Nothing to clear."""

@@ -20,7 +20,14 @@ with the semantics the rest of :mod:`repro` needs:
 * **fork hygiene** — workers start by resetting the process-global ledger
   and tracer: a forked child inherits the parent's open SQLite connection
   and span buffers, and must never write to either. All recording happens
-  in the parent, in serial order.
+  in the parent, in serial order;
+* **trace propagation** — when the *parent's* tracer is live, each item
+  runs under a worker-local :class:`~repro.obs.tracing.Tracer` sharing
+  the parent's ``trace_id``; its span/counter payload rides back with the
+  result and is merged into the parent tracer
+  (:meth:`~repro.obs.tracing.Tracer.merge_payload`), so one exported
+  trace covers the whole fan-out. Untraced runs ship no context and pay
+  nothing.
 
 Shard functions must be module-level (picklable); results flow back as
 plain values. Per-worker heartbeat/latency aggregates are available from
@@ -41,6 +48,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import WorkerCrashError
 from ..obs.events import WORKER_CRASHED
+from ..obs.tracing import Tracer, get_tracer, use_tracer
 
 __all__ = ["WorkerPool", "resolve_workers"]
 
@@ -84,11 +92,32 @@ def _worker_initializer() -> None:
     set_tracer(None)
 
 
-def _invoke(fn: Callable[[Any], Any], item: Any) -> Tuple[Any, int, float]:
-    """Worker-side wrapper: run ``fn(item)``, report pid and latency."""
+def _invoke(
+    fn: Callable[[Any], Any],
+    item: Any,
+    trace_ctx: Optional[Dict[str, Any]] = None,
+) -> Tuple[Any, int, float, Optional[Dict[str, Any]]]:
+    """Worker-side wrapper: run ``fn(item)``, report pid and latency.
+
+    When the parent's tracer is live it ships a ``trace_ctx`` carrying
+    its ``trace_id``; the wrapper then installs a worker-local
+    :class:`~repro.obs.tracing.Tracer` under the same id for the
+    duration of the item and returns its
+    :meth:`~repro.obs.tracing.Tracer.export_payload` as the fourth
+    element, so the parent can merge worker spans/counters into one
+    request trace. With no context (the common untraced path) the
+    fourth element is ``None`` and tracing costs nothing — the
+    initializer's null tracer stays in place.
+    """
     start = time.perf_counter()
-    result = fn(item)
-    return result, os.getpid(), time.perf_counter() - start
+    if trace_ctx is None:
+        result = fn(item)
+        return result, os.getpid(), time.perf_counter() - start, None
+    tracer = Tracer(trace_id=trace_ctx.get("trace_id"))
+    with use_tracer(tracer):
+        result = fn(item)
+    payload = tracer.export_payload()
+    return result, os.getpid(), time.perf_counter() - start, payload
 
 
 class WorkerPool:
@@ -253,11 +282,22 @@ class WorkerPool:
         inflight: Dict[Future, int] = {}
         deadline = None if timeout is None else time.monotonic() + timeout
 
+        # Propagate the live tracer's identity to workers; their spans
+        # come back in each item's payload and merge under the span the
+        # caller currently has open (one trace across the fork seam).
+        parent_tracer = get_tracer()
+        trace_ctx: Optional[Dict[str, Any]] = None
+        merge_parent_id: Optional[int] = None
+        if parent_tracer.enabled:
+            trace_ctx = {"trace_id": parent_tracer.trace_id}
+            merge_parent_id = parent_tracer.current_span_id()
+
         executor = self._get_executor()
         while pending or inflight:
             while pending and len(inflight) < self.max_inflight:
                 index = pending.popleft()
-                future = executor.submit(_invoke, fn, items[index])
+                future = executor.submit(
+                    _invoke, fn, items[index], trace_ctx)
                 inflight[future] = index
             remaining = None
             if deadline is not None:
@@ -276,7 +316,7 @@ class WorkerPool:
             for future in done:
                 index = inflight.pop(future)
                 try:
-                    value, pid, elapsed = future.result()
+                    value, pid, elapsed, span_payload = future.result()
                 except BrokenProcessPool:
                     # The whole pool is poisoned: every other in-flight
                     # future fails too. Collect them all, retry as one
@@ -285,6 +325,12 @@ class WorkerPool:
                     pending.appendleft(index)
                     break
                 self._note_completion(pid, elapsed)
+                if span_payload is not None:
+                    parent_tracer.merge_payload(
+                        span_payload,
+                        parent_id=merge_parent_id,
+                        worker_pid=pid,
+                    )
                 results[index] = value
             if crashed:
                 # pending[0] is the future that surfaced the crash (pushed

@@ -42,6 +42,8 @@ from ..errors import (
 from ..io import schedule_to_dict
 from ..obs.events import EventBus
 from ..obs.ledger import RunRow, get_ledger
+from ..obs.slo import SLOMonitor, SLOTarget
+from ..obs.stages import StageTimings
 from ..obs.tracing import get_tracer
 from ..parallel import ShardStats, WorkerPool
 from ..scheduling.registry import available_schedulers, make_scheduler
@@ -109,13 +111,14 @@ class JobRecord:
 
 
 class _Job:
-    __slots__ = ("record", "future", "request", "decision")
+    __slots__ = ("record", "future", "request", "decision", "stages")
 
     def __init__(self, record: JobRecord) -> None:
         self.record = record
         self.future: Optional["Future[ScheduleResponse]"] = None
         self.request: Optional[ScheduleRequest] = None
         self.decision: Any = None  # AdmissionDecision of an admitted job
+        self.stages: Optional[StageTimings] = None  # request lifecycle
 
 
 @dataclass
@@ -334,6 +337,7 @@ class SchedulingService:
         tenants: Optional[Any] = None,
         admission_aging_s: float = 30.0,
         batching: Optional[bool] = None,
+        slo_targets: Optional[Sequence[SLOTarget]] = None,
     ) -> None:
         if max_workers < 1:
             raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
@@ -362,6 +366,11 @@ class SchedulingService:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.ledger = ledger if ledger is not None else get_ledger()
         self.events = events if events is not None else EventBus()
+        if getattr(self.events, "metrics", None) is None:
+            # Dropped-event counts surface as repro_events_dropped_total.
+            self.events.metrics = self.metrics
+        #: Per-stage latency sketches + burn-rate windows (GET /v1/slo).
+        self.slo = SLOMonitor(targets=slo_targets)
         if self.ledger.enabled and self.ledger.bus is None:
             # run.recorded events join the job lifecycle stream.
             self.ledger.bus = self.events
@@ -443,21 +452,31 @@ class SchedulingService:
         if getattr(self._job_context, "job_id", None) is not None:
             return self._serve(req)
         self._check_open()
+        stages = StageTimings()
         decision = self.admission.admit(
-            req, f"sync-{next(self._ids):06d}", enqueue=False
+            req, f"sync-{next(self._ids):06d}", enqueue=False, stages=stages
         )
         self._job_context.decision = decision
+        self._job_context.stages = stages
         try:
             return self._serve(req)
+        except BaseException:
+            self.slo.observe_request(
+                duration_s=stages.wall_s, success=False,
+                stages=stages.stages,
+            )
+            raise
         finally:
             # No-op when the response reconciled the reservation (the
             # normal path); a compute that raised refunds it here.
             self.admission.release(decision)
             self._job_context.decision = None
+            self._job_context.stages = None
 
     def _serve(self, req: ScheduleRequest) -> ScheduleResponse:
         """Cache-aware compute, admission settlement, ledger archive."""
         self.metrics.incr("requests")
+        stages = getattr(self._job_context, "stages", None)
         if self._cache is None:
             response = self._compute(req)
         else:
@@ -467,21 +486,29 @@ class SchedulingService:
             )
             if was_cached:
                 self.metrics.incr("cache_hits")
+                if stages is not None:
+                    # Hit lookup plus any single-flight coalesced wait.
+                    stages.mark("cache")
                 # Copy: callers may mutate, and the cached original must
                 # keep cached=False so first-compute responses stay honest.
                 # Cache hits commit tenant spend but add no ledger row.
                 response = replace(cached, cached=True)
-                self._settle_admission(req, response)
-                return response
+                admission = self._settle_admission(req, response, stages)
+                return self._finish_request(
+                    req, response, stages, record=False, admission=admission
+                )
             self.metrics.incr("cache_misses")
             response = cached
-        admission = self._settle_admission(req, response)
-        if self.ledger.enabled:
-            self._record_run(req, response, admission=admission)
-        return response
+        admission = self._settle_admission(req, response, stages)
+        return self._finish_request(
+            req, response, stages, record=True, admission=admission
+        )
 
     def _settle_admission(
-        self, req: ScheduleRequest, response: ScheduleResponse
+        self,
+        req: ScheduleRequest,
+        response: ScheduleResponse,
+        stages: Optional[StageTimings] = None,
     ) -> Optional[Dict[str, Any]]:
         """Commit the current request's reservation against actuals.
 
@@ -491,14 +518,49 @@ class SchedulingService:
         ``None`` when the caller was not admission-tracked.
         """
         decision = getattr(self._job_context, "decision", None)
-        if decision is None:
-            return None
-        return self.admission.reconcile(
-            req,
-            decision,
-            actual_cost=response.planned_cost,
-            actual_duration_s=response.elapsed_s,
-        )
+        try:
+            if decision is None:
+                return None
+            return self.admission.reconcile(
+                req,
+                decision,
+                actual_cost=response.planned_cost,
+                actual_duration_s=response.elapsed_s,
+            )
+        finally:
+            if stages is not None:
+                stages.mark("reconcile")
+
+    def _finish_request(
+        self,
+        req: ScheduleRequest,
+        response: ScheduleResponse,
+        stages: Optional[StageTimings],
+        *,
+        record: bool,
+        admission: Optional[Dict[str, Any]],
+    ) -> ScheduleResponse:
+        """Close out one served request: stage telemetry, SLO, ledger.
+
+        The returned response carries the stage decomposition; the
+        cached original (if any) stays untouched, so every hit gets its
+        own per-request timings.
+        """
+        stage_dict: Optional[Dict[str, Any]] = None
+        if stages is not None:
+            stage_dict = stages.to_dict()
+            for name, seconds in stage_dict["stages"].items():
+                self.metrics.observe(f"stage_{name}_seconds", seconds)
+            self.slo.observe_request(
+                duration_s=stage_dict["wall_s"], success=True,
+                stages=stage_dict["stages"],
+            )
+            response = replace(response, stages=stage_dict)
+        if record and self.ledger.enabled:
+            self._record_run(
+                req, response, admission=admission, stages=stage_dict
+            )
+        return response
 
     # ------------------------------------------------------------------
     # async jobs
@@ -527,8 +589,11 @@ class SchedulingService:
         job = _Job(record)
         job.request = req
         job.future = Future()
+        job.stages = StageTimings()
         try:
-            job.decision = self.admission.admit(req, job_id)
+            job.decision = self.admission.admit(
+                req, job_id, stages=job.stages
+            )
         except AdmissionRejected:
             self.metrics.incr("jobs_rejected")
             raise
@@ -572,7 +637,14 @@ class SchedulingService:
                 self.admission.release(job.decision)
             self.admission.release_slot(entry.tenant)
             return
+        if job.stages is not None:
+            # Everything between the admission gates and this claim —
+            # queue wait plus dispatch overhead — is the queued stage;
+            # entry.waited_s keeps the queue's own precise measurement.
+            job.stages.mark("queued")
         self._job_context.decision = job.decision
+        self._job_context.stages = job.stages
+        self._job_context.queue_waited_s = entry.waited_s
         try:
             response = self._run_job(entry.job_id, job.request)
         except BaseException as exc:
@@ -583,6 +655,8 @@ class SchedulingService:
             return
         finally:
             self._job_context.decision = None
+            self._job_context.stages = None
+            self._job_context.queue_waited_s = None
         self.admission.release_slot(entry.tenant)
         future.set_result(response)
 
@@ -781,7 +855,9 @@ class SchedulingService:
             "events": {
                 "last_seq": self.events.last_seq,
                 "n_subscribers": self.events.n_subscribers,
+                "dropped_total": getattr(self.events, "dropped_total", 0),
             },
+            "slo": self.slo.snapshot(),
             "admission": self.admission.stats(),
             "batching": (
                 None if self._batcher is None else self._batcher.stats()
@@ -870,7 +946,13 @@ class SchedulingService:
                 raise FuturesCancelledError()
             record.state = JobState.RUNNING
             record.started_at = time.time()
-        self.events.publish("job.started", job_id=job_id)
+        waited = getattr(self._job_context, "queue_waited_s", None)
+        if waited is not None:
+            self.events.publish(
+                "job.started", job_id=job_id, queue_waited_s=waited
+            )
+        else:
+            self.events.publish("job.started", job_id=job_id)
         self._job_context.job_id = job_id
         self._job_context.deadline = (
             None if self.job_timeout is None
@@ -919,6 +1001,12 @@ class SchedulingService:
                 "job.finished", job_id=job_id, state=JobState.FAILED,
                 error=record.error,
             )
+            stages = getattr(self._job_context, "stages", None)
+            self.slo.observe_request(
+                duration_s=stages.wall_s if stages is not None else 0.0,
+                success=False,
+                stages=stages.stages if stages is not None else None,
+            )
             self.metrics.incr("jobs_failed")
             if isinstance(exc, JobTimeoutError):
                 self.metrics.incr("jobs_timed_out")
@@ -930,10 +1018,14 @@ class SchedulingService:
             record.state = JobState.DONE
             record.response = response
             record.finished_at = time.time()
-        self.events.publish(
-            "job.finished", job_id=job_id, state=JobState.DONE,
-            cached=response.cached, elapsed_s=response.elapsed_s,
-        )
+        finished_data: Dict[str, Any] = {
+            "job_id": job_id, "state": JobState.DONE,
+            "cached": response.cached, "elapsed_s": response.elapsed_s,
+        }
+        if response.stages is not None:
+            finished_data["stages"] = response.stages["stages"]
+            finished_data["wall_s"] = response.stages["wall_s"]
+        self.events.publish("job.finished", **finished_data)
         self.metrics.incr("jobs_done")
         return response
 
@@ -959,16 +1051,22 @@ class SchedulingService:
         ):
             if self._proc_pool is not None:
                 response = self._compute_in_process(request)
+                stage = "execute"
             elif self._batcher is not None:
                 if self._batcher.served_batched(request):
                     self.metrics.incr("admission_batched")
                 response = self._batcher.compute(request)
+                stage = "batched"
             else:
                 response = compute_response(
                     request,
                     check_deadline=self._check_job_deadline,
                     publish_progress=self._publish_progress,
                 )
+                stage = "execute"
+        stages = getattr(self._job_context, "stages", None)
+        if stages is not None:
+            stages.mark(stage)
         evaluation = response.evaluation
         if evaluation:
             self.metrics.incr("evaluation_reps", evaluation["n_reps"])
@@ -1103,12 +1201,15 @@ class SchedulingService:
         response: ScheduleResponse,
         *,
         admission: Optional[Dict[str, Any]] = None,
+        stages: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Archive one freshly computed response into the ledger.
 
         ``admission`` carries the reconciled estimate-vs-actual
         diagnostics (tenant, priority, estimate source, relative errors)
-        that ``repro-exp ledger estimate-error`` aggregates.
+        that ``repro-exp ledger estimate-error`` aggregates; ``stages``
+        is the request's wall-clock stage decomposition
+        (``extra["stages"]``, consumed by ``repro-exp slo --db``).
         """
         evaluation = response.evaluation or {}
         makespans = [
@@ -1120,6 +1221,8 @@ class SchedulingService:
         )
         if admission is not None:
             extra["admission"] = admission
+        if stages is not None:
+            extra["stages"] = stages
         row = RunRow(
             source="service",
             fingerprint=response.request_fingerprint,

@@ -209,6 +209,21 @@ def _prometheus_gauges(stats: Dict[str, Any]) -> Dict[str, float]:
         for key in ("hits", "misses", "evictions", "expirations", "hit_rate"):
             if key in cache:
                 gauges[f"cache_{key}"] = cache[key]
+    slo = stats.get("slo")
+    if slo:
+        # Streaming percentiles per lifecycle stage (from the mergeable
+        # quantile sketches) plus the end-to-end "request" series.
+        for stage, pcts in slo.get("stages", {}).items():
+            for key in ("p50", "p95", "p99"):
+                if key in pcts:
+                    gauges[f"slo_stage_{stage}_{key}_seconds"] = pcts[key]
+        for target in slo.get("targets", []):
+            name = target.get("name")
+            windows = target.get("windows", {})
+            for label, window in windows.items():
+                gauges[f"slo_burn_rate_{name}_{label}"] = (
+                    window.get("burn_rate", 0.0)
+                )
     return gauges
 
 
@@ -366,6 +381,8 @@ class _Handler(BaseHTTPRequestHandler):
                     f"unknown metrics format {fmt!r}; 'json' or 'prometheus'"
                 )
             return 200, stats
+        if method == "GET" and tail == ["slo"]:
+            return 200, self.service.slo.snapshot()
         if method == "GET" and tail == ["tenants"]:
             return 200, {"tenants": self.service.admission.tenants.snapshot()}
         if method == "GET" and tail == ["admission"]:
@@ -621,7 +638,8 @@ def serve(
     print(f"repro scheduling service listening on {gateway.url}")
     print("endpoints: /v1/healthz /v1/schedulers /v1/metrics "
           "/v1/schedule /v1/jobs /v1/jobs/<id>/events /v1/events "
-          "/v1/runs /v1/tenants /v1/admission  (metrics?format=prometheus)")
+          "/v1/runs /v1/tenants /v1/admission /v1/slo  "
+          "(metrics?format=prometheus)")
     if ledger is not None:
         print(f"run ledger: {ledger.path} ({ledger.count()} archived runs)")
     if tenants is not None:

@@ -89,7 +89,7 @@ class _Series:
             running += bucket
             cumulative[_bound_label(bound)] = running
         cumulative["+Inf"] = self.count
-        return {
+        out = {
             # lifetime scope
             "count": self.count,
             "sum": self.total,
@@ -99,10 +99,15 @@ class _Series:
             "buckets": cumulative,
             # bounded-window scope (last _WINDOW samples only)
             "window_count": len(recent),
-            "window_p50": quantile(recent, 0.50),
-            "window_p95": quantile(recent, 0.95),
-            "window_p99": quantile(recent, 0.99),
         }
+        # A freshly reset window has no samples to take quantiles over;
+        # the window_p* keys are simply absent (the Prometheus renderer
+        # skips missing quantile keys).
+        if recent:
+            out["window_p50"] = quantile(recent, 0.50)
+            out["window_p95"] = quantile(recent, 0.95)
+            out["window_p99"] = quantile(recent, 0.99)
+        return out
 
 
 class MetricsRegistry:
@@ -162,16 +167,29 @@ class MetricsRegistry:
         finally:
             self.observe(name, time.perf_counter() - started)
 
-    def snapshot(self) -> Dict[str, Any]:
-        """All counters and series summaries, as plain JSON-able dicts."""
+    def snapshot(self, *, reset_windows: bool = False) -> Dict[str, Any]:
+        """All counters and series summaries, as plain JSON-able dicts.
+
+        ``reset_windows=True`` atomically drains each series' bounded
+        sample window *after* computing its summary, for delta-style
+        scrapers that want per-interval quantiles. The read and the
+        reset happen under the same lock that ``observe`` takes, so a
+        sample is either included in this snapshot or lands in the next
+        window — never both, never neither. Lifetime fields (``count``,
+        ``sum``, ``buckets``…) are unaffected.
+        """
         with self._lock:
-            return {
+            out = {
                 "counters": dict(self._counters),
                 "series": {
                     name: series.summary()
                     for name, series in self._series.items()
                 },
             }
+            if reset_windows:
+                for series in self._series.values():
+                    series.window.clear()
+            return out
 
     def reset(self) -> None:
         """Forget every counter and series."""

@@ -451,6 +451,11 @@ class ScheduleResponse:
     back with :func:`repro.io.schedule_from_dict`). ``evaluation`` is
     ``None`` unless the request asked for stochastic replays; it then holds
     the per-rep records and summary statistics produced by the engine.
+    ``stages`` is this request's wall-clock stage decomposition
+    (:meth:`repro.obs.stages.StageTimings.to_dict`) when the engine
+    recorded one — per-request telemetry, like ``elapsed_s``, so it is
+    excluded from any response-identity comparison and omitted from the
+    encoding when absent.
     """
 
     request_fingerprint: str
@@ -466,10 +471,11 @@ class ScheduleResponse:
     evaluation: Optional[Dict[str, Any]] = None
     cached: bool = False
     elapsed_s: float = 0.0
+    stages: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready encoding (inverse of :meth:`from_dict`)."""
-        return {
+        out = {
             "request_fingerprint": self.request_fingerprint,
             "algorithm": self.algorithm,
             "budget": self.budget,
@@ -484,6 +490,9 @@ class ScheduleResponse:
             "cached": self.cached,
             "elapsed_s": self.elapsed_s,
         }
+        if self.stages is not None:
+            out["stages"] = self.stages
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScheduleResponse":
@@ -492,6 +501,7 @@ class ScheduleResponse:
             "request_fingerprint", "algorithm", "budget", "planned_makespan",
             "planned_cost", "within_budget_plan", "n_vms", "n_tasks",
             "workflow_name", "schedule", "evaluation", "cached", "elapsed_s",
+            "stages",
         }
         unknown = set(data) - fields_
         _require(not unknown, f"unknown response fields: {sorted(unknown)}")

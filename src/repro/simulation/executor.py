@@ -113,19 +113,27 @@ def run_replications(task: Mapping) -> List[tuple]:
     validate_first = task.get("validate_first", True)
     n = len(weights_list if weights_list is not None else seeds)
     out: List[tuple] = []
-    for k in range(n):
-        weights = (
-            weights_list[k] if weights_list is not None
-            else sample_weights(wf, as_generator(seeds[k]))
-        )
-        run = execute_schedule(
-            wf, platform, schedule, weights,
-            dc_capacity=dc_capacity, validate=(k == 0 and validate_first),
-        )
-        out.append(
-            (run.makespan, run.total_cost, run.n_vms,
-             run.respects_budget(budget))
-        )
+    # One span per shard (a no-op under the null tracer): in a traced
+    # parallel run the worker-local tracer records it, and the pool
+    # merges it back so the parent trace shows each shard's extent.
+    with get_tracer().span(
+        "simulate.replications", n_reps=n,
+        workflow=getattr(wf, "name", ""),
+    ):
+        for k in range(n):
+            weights = (
+                weights_list[k] if weights_list is not None
+                else sample_weights(wf, as_generator(seeds[k]))
+            )
+            run = execute_schedule(
+                wf, platform, schedule, weights,
+                dc_capacity=dc_capacity,
+                validate=(k == 0 and validate_first),
+            )
+            out.append(
+                (run.makespan, run.total_cost, run.n_vms,
+                 run.respects_budget(budget))
+            )
     return out
 
 

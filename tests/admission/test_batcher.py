@@ -20,8 +20,8 @@ def request(seed=100, n_reps=4, amount=2.0):
 
 
 def normalized(response):
-    """Response dict with the wall-clock field removed."""
-    out = replace(response, elapsed_s=0.0).to_dict()
+    """Response dict with the wall-clock telemetry fields removed."""
+    out = replace(response, elapsed_s=0.0, stages=None).to_dict()
     return out
 
 

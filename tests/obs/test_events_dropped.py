@@ -1,0 +1,70 @@
+"""Dropped-event accounting on the bus (bounded subscriber queues)."""
+
+from repro.obs.events import EventBus
+from repro.obs.prometheus import render_prometheus
+from repro.service.metrics import MetricsRegistry
+
+
+class TestDropCounting:
+    def test_overflow_counts_per_subscriber_and_bus_wide(self):
+        bus = EventBus()
+        sub = bus.subscribe(maxsize=2)
+        for i in range(5):
+            bus.publish("job.progress", i=i)
+        assert sub.dropped == 3
+        assert bus.dropped_total == 3
+        assert bus.dropped_by_type() == {"job.progress": 3}
+        sub.close()
+
+    def test_drops_split_by_event_type(self):
+        bus = EventBus()
+        sub = bus.subscribe(maxsize=1)
+        bus.publish("job.queued")
+        bus.publish("job.started")
+        bus.publish("job.finished")
+        assert bus.dropped_by_type() == {"job.started": 1, "job.finished": 1}
+        sub.close()
+
+    def test_only_overflowing_subscribers_drop(self):
+        bus = EventBus()
+        wide = bus.subscribe(maxsize=16)
+        narrow = bus.subscribe(maxsize=1)
+        for _ in range(3):
+            bus.publish("job.progress")
+        assert wide.dropped == 0
+        assert narrow.dropped == 2
+        assert bus.dropped_total == 2
+        wide.close(), narrow.close()
+
+    def test_filtered_subscribers_do_not_drop_unwanted_types(self):
+        bus = EventBus()
+        sub = bus.subscribe(types=["job.finished"], maxsize=1)
+        for _ in range(4):
+            bus.publish("job.progress")  # filtered out, never enqueued
+        assert sub.dropped == 0
+        assert bus.dropped_total == 0
+        sub.close()
+
+
+class TestMetricsExport:
+    def test_drops_increment_events_dropped_counter(self):
+        metrics = MetricsRegistry()
+        bus = EventBus(metrics=metrics)
+        sub = bus.subscribe(maxsize=1)
+        for _ in range(4):
+            bus.publish("job.progress")
+        assert metrics.counter("events_dropped") == 3
+        text = render_prometheus(metrics.snapshot())
+        assert "repro_events_dropped_total 3" in text.splitlines()
+        sub.close()
+
+    def test_metrics_assignable_after_construction(self):
+        # the engine wires its registry into a caller-supplied bus
+        bus = EventBus()
+        metrics = MetricsRegistry()
+        bus.metrics = metrics
+        sub = bus.subscribe(maxsize=1)
+        bus.publish("a")
+        bus.publish("b")
+        assert metrics.counter("events_dropped") == 1
+        sub.close()

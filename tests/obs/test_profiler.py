@@ -1,0 +1,78 @@
+"""Sampling profiler: collapsed stacks, top frames, lifecycle."""
+
+import time
+
+import pytest
+
+from repro.obs.profiler import SamplingProfiler
+
+
+def spin(seconds):
+    """Busy loop so the sampler has frames to catch."""
+    deadline = time.perf_counter() + seconds
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(range(200))
+    return total
+
+
+class TestLifecycle:
+    def test_context_manager_collects_samples(self):
+        with SamplingProfiler(interval_s=0.001) as prof:
+            spin(0.15)
+        assert prof.n_ticks > 0
+        assert prof.n_samples > 0
+        assert prof.duration_s >= 0.1
+
+    def test_double_start_rejected_and_stop_idempotent(self):
+        prof = SamplingProfiler(interval_s=0.01)
+        prof.start()
+        with pytest.raises(RuntimeError, match="already started"):
+            prof.start()
+        prof.stop()
+        prof.stop()  # no-op
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError, match="interval_s"):
+            SamplingProfiler(interval_s=0.0)
+
+
+class TestOutput:
+    def profiled(self):
+        with SamplingProfiler(interval_s=0.001) as prof:
+            spin(0.2)
+        return prof
+
+    def test_collapsed_format(self):
+        prof = self.profiled()
+        lines = prof.collapsed()
+        assert lines
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) > 0
+            assert ";" in stack or "(" in stack  # root;child;leaf labels
+        assert lines == sorted(lines)  # deterministic ordering
+
+    def test_spin_frame_appears_in_top(self):
+        prof = self.profiled()
+        top = prof.top(50)
+        assert top
+        labels = " ".join(row["frame"] for row in top)
+        assert "spin" in labels
+        for row in top:
+            assert row["cumulative"] >= row["self"] >= 0
+            assert 0.0 <= row["self_pct"] <= 100.0
+
+    def test_write_collapsed(self, tmp_path):
+        prof = self.profiled()
+        path = tmp_path / "out.collapsed"
+        n = prof.write_collapsed(str(path))
+        content = path.read_text().splitlines()
+        assert len(content) == n == len(prof.collapsed())
+
+    def test_to_dict_summary(self):
+        prof = self.profiled()
+        summary = prof.to_dict()
+        assert summary["n_samples"] == prof.n_samples
+        assert summary["interval_s"] == 0.001
+        assert summary["duration_s"] > 0

@@ -1,0 +1,135 @@
+"""QuantileSketch: accuracy, merge bit-identity, serialization."""
+
+import math
+import random
+
+import pytest
+
+from repro.obs.sketch import DEFAULT_ALPHA, QuantileSketch
+
+
+def exact_quantile(values, q):
+    ordered = sorted(values)
+    rank = max(math.ceil(q * len(ordered)), 1)
+    return ordered[rank - 1]
+
+
+class TestAccuracy:
+    def test_quantiles_within_relative_error(self):
+        rng = random.Random(7)
+        values = [rng.lognormvariate(0.0, 1.5) for _ in range(5000)]
+        sketch = QuantileSketch(alpha=0.01)
+        sketch.extend(values)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            expect = exact_quantile(values, q)
+            got = sketch.quantile(q)
+            assert abs(got - expect) <= 0.02 * expect + 1e-12
+
+    def test_min_and_max_are_exact(self):
+        sketch = QuantileSketch()
+        sketch.extend([3.5, 0.2, 7.75, 1.0])
+        assert sketch.quantile(0.0) >= 0.2 * (1 - 2 * DEFAULT_ALPHA)
+        assert sketch.quantile(1.0) == 7.75
+        assert sketch.minimum == 0.2
+        assert sketch.maximum == 7.75
+
+    def test_zero_and_negative_values(self):
+        sketch = QuantileSketch()
+        sketch.extend([0.0, -1.0, 0.0, 5.0])
+        assert sketch.count == 4
+        assert sketch.zero_count == 3  # negatives clamp to the zero bucket
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.quantile(1.0) == 5.0
+
+    def test_nan_is_skipped(self):
+        sketch = QuantileSketch()
+        sketch.add(float("nan"))
+        sketch.add(1.0)
+        assert sketch.count == 1
+
+    def test_empty_sketch(self):
+        sketch = QuantileSketch()
+        assert len(sketch) == 0
+        assert sketch.percentiles() == {}
+        assert sketch.mean == 0.0
+        with pytest.raises(ValueError, match="empty"):
+            sketch.quantile(0.5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="alpha"):
+            QuantileSketch(alpha=1.0)
+        sketch = QuantileSketch()
+        sketch.add(1.0)
+        with pytest.raises(ValueError, match="q must be"):
+            sketch.quantile(1.5)
+
+
+class TestMergeIdentity:
+    """The property the /v1/slo acceptance gate rests on."""
+
+    def values(self, n=800):
+        rng = random.Random(42)
+        return [rng.expovariate(1.0) for _ in range(n)]
+
+    def shardings(self, n):
+        return [
+            [(0, n)],
+            [(0, n // 2), (n // 2, n)],
+            [(0, 1), (1, n // 3), (n // 3, n)],
+            [(i, i + 1) for i in range(n)][:50] + [(50, n)],
+        ]
+
+    def test_merged_state_is_identical_for_any_sharding(self):
+        values = self.values()
+        serial = QuantileSketch()
+        serial.extend(values)
+        for sharding in self.shardings(len(values)):
+            parts = []
+            for start, stop in sharding:
+                part = QuantileSketch()
+                part.extend(values[start:stop])
+                parts.append(part)
+            merged = QuantileSketch.merged(parts)
+            # Bit-identical serialized state, hence bit-identical answers.
+            assert merged.to_dict() == serial.to_dict()
+            for q in (0.5, 0.95, 0.99):
+                assert merged.quantile(q) == serial.quantile(q)
+            assert merged.mean == serial.mean
+
+    def test_merge_order_does_not_matter(self):
+        values = self.values(300)
+        a, b, c = (QuantileSketch() for _ in range(3))
+        a.extend(values[:100])
+        b.extend(values[100:200])
+        c.extend(values[200:])
+        abc = QuantileSketch.merged([a, b, c])
+        cba = QuantileSketch.merged([c, b, a])
+        assert abc.to_dict() == cba.to_dict()
+
+    def test_merge_rejects_alpha_mismatch(self):
+        with pytest.raises(ValueError, match="alpha"):
+            QuantileSketch(alpha=0.01).merge(QuantileSketch(alpha=0.02))
+
+    def test_merge_returns_self_and_handles_empties(self):
+        a = QuantileSketch()
+        a.extend([1.0, 2.0])
+        out = a.merge(QuantileSketch())
+        assert out is a
+        assert a.count == 2
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        sketch = QuantileSketch()
+        sketch.extend([0.0, 0.1, 1.0, 10.0, 10.0])
+        clone = QuantileSketch.from_dict(sketch.to_dict())
+        assert clone.to_dict() == sketch.to_dict()
+        assert clone.quantile(0.95) == sketch.quantile(0.95)
+
+    def test_payload_is_json_ready(self):
+        import json
+
+        sketch = QuantileSketch()
+        sketch.extend([0.5, 2.0])
+        payload = json.loads(json.dumps(sketch.to_dict()))
+        assert QuantileSketch.from_dict(payload).count == 2

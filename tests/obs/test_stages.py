@@ -1,0 +1,71 @@
+"""StageTimings: boundary stamps partition the request's wall clock."""
+
+from repro.obs.stages import STAGES, StageTimings
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestPartitionInvariant:
+    def test_segments_sum_to_wall_time(self):
+        clock = FakeClock()
+        st = StageTimings(clock=clock)
+        for stage, dt in (("admit", 0.01), ("estimate", 0.02),
+                          ("reserve", 0.005), ("execute", 1.5),
+                          ("reconcile", 0.001)):
+            clock.advance(dt)
+            st.mark(stage)
+        assert st.wall_s == sum(st.stages.values())
+        assert abs(st.wall_s - 1.536) < 1e-12
+
+    def test_real_clock_partition_holds(self):
+        st = StageTimings()
+        for stage in ("admit", "estimate", "execute", "reconcile"):
+            st.mark(stage)
+        assert all(v >= 0.0 for v in st.stages.values())
+        assert abs(sum(st.stages.values()) - st.wall_s) <= 1e-9
+
+    def test_repeated_mark_accumulates(self):
+        clock = FakeClock()
+        st = StageTimings(clock=clock)
+        clock.advance(1.0)
+        assert st.mark("execute") == 1.0
+        clock.advance(0.5)
+        assert st.mark("execute") == 1.5
+        assert st.stages == {"execute": 1.5}
+        assert st.wall_s == 1.5
+
+    def test_uncrossed_stages_are_absent(self):
+        clock = FakeClock()
+        st = StageTimings(clock=clock)
+        clock.advance(0.1)
+        st.mark("admit")
+        assert "cache" not in st.stages
+        assert "batched" not in st.stages
+
+
+class TestSnapshot:
+    def test_to_dict_shape(self):
+        clock = FakeClock()
+        st = StageTimings(clock=clock)
+        clock.advance(0.25)
+        st.mark("execute")
+        out = st.to_dict()
+        assert out["stages"] == {"execute": 0.25}
+        assert out["wall_s"] == 0.25
+        assert out["started_epoch_s"] > 0
+        # the snapshot is detached from the recorder
+        out["stages"]["execute"] = -1
+        assert st.stages["execute"] == 0.25
+
+    def test_canonical_stage_order_is_complete(self):
+        assert STAGES == ("admit", "estimate", "reserve", "queued",
+                          "batched", "execute", "cache", "reconcile")

@@ -1,0 +1,146 @@
+"""Cross-process trace propagation: export, merge, pool round trip."""
+
+import pytest
+
+from repro.obs.export import WORKER_PID_BASE, to_chrome_trace, tracer_events
+from repro.obs.tracing import NullTracer, Tracer, get_tracer, use_tracer
+from repro.parallel import WorkerPool
+
+
+def traced_square(x):
+    """Pickle-safe worker fn that opens a span under the worker tracer."""
+    with get_tracer().span("unit.work", item=x):
+        get_tracer().count("units", 1.0)
+        return x * x
+
+
+class TestExportPayload:
+    def test_payload_shape(self):
+        tracer = Tracer(trace_id="abc123")
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        tracer.count("n", 2.0)
+        payload = tracer.export_payload()
+        assert payload["trace_id"] == "abc123"
+        assert [s["name"] for s in payload["spans"]] == ["inner", "outer"]
+        assert payload["counters"] == {"n": 2.0}
+        assert payload["origin_epoch_s"] > 0
+
+    def test_trace_id_defaults_to_fresh_hex(self):
+        a, b = Tracer(), Tracer()
+        assert a.trace_id and b.trace_id
+        assert a.trace_id != b.trace_id
+
+    def test_null_tracer_payload_is_empty(self):
+        payload = NullTracer().export_payload()
+        assert payload["spans"] == []
+        assert NullTracer().merge_payload(payload) == 0
+
+
+class TestMergePayload:
+    def worker_payload(self):
+        worker = Tracer(trace_id="parent-id")
+        with worker.span("shard"):
+            with worker.span("replication"):
+                pass
+        worker.count("reps", 4.0)
+        return worker.export_payload()
+
+    def test_reparenting_and_ids(self):
+        parent = Tracer(trace_id="parent-id")
+        with parent.span("request") as req:
+            n = parent.merge_payload(self.worker_payload(),
+                                     parent_id=req.span_id, worker_pid=4242)
+        assert n == 2
+        by_name = {sp.name: sp for sp in parent.spans}
+        shard, rep = by_name["shard"], by_name["replication"]
+        # worker root re-parented under the open request span
+        assert shard.parent_id == by_name["request"].span_id
+        # in-payload parent link remapped, not clobbered
+        assert rep.parent_id == shard.span_id
+        # fresh ids from the parent's counter — no collisions
+        assert len({sp.span_id for sp in parent.spans}) == 3
+        assert shard.attributes["worker_pid"] == 4242
+        assert shard.attributes["trace_id"] == "parent-id"
+
+    def test_reanchoring_preserves_durations_and_epoch_offsets(self):
+        parent = Tracer()
+        payload = self.worker_payload()
+        span_data = payload["spans"][0]
+        parent.merge_payload(payload)
+        merged = parent.spans[0]
+        assert merged.duration_s == pytest.approx(
+            span_data["duration_s"], abs=1e-9)
+        # re-anchored onto the parent's monotonic timeline via the epoch
+        expect_start = parent.origin_s + (
+            span_data["start_epoch_s"] - parent.origin_epoch_s)
+        assert merged.start_s == pytest.approx(expect_start, abs=1e-9)
+
+    def test_counters_merge_additively(self):
+        parent = Tracer()
+        parent.count("reps", 1.0)
+        parent.merge_payload(self.worker_payload())
+        parent.merge_payload(self.worker_payload())
+        assert parent.counters["reps"] == 9.0
+
+    def test_max_spans_overflow_counts_dropped(self):
+        parent = Tracer(max_spans=1)
+        n = parent.merge_payload(self.worker_payload())
+        assert n == 1
+        assert parent.dropped["spans"] == 1
+
+
+class TestExportRouting:
+    def merged_parent(self):
+        parent = Tracer()
+        with parent.span("request") as req:
+            for pid in (111, 222):
+                worker = Tracer(trace_id=parent.trace_id)
+                with worker.span("shard"):
+                    pass
+                parent.merge_payload(worker.export_payload(),
+                                     parent_id=req.span_id, worker_pid=pid)
+        return parent
+
+    def test_worker_spans_land_on_worker_pids(self):
+        events = tracer_events(self.merged_parent())
+        worker_x = [e for e in events
+                    if e["ph"] == "X" and e["pid"] >= WORKER_PID_BASE]
+        assert {e["pid"] for e in worker_x} == {WORKER_PID_BASE,
+                                                WORKER_PID_BASE + 1}
+        names = [e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"
+                 and e["pid"] >= WORKER_PID_BASE]
+        assert sorted(names) == ["worker (os pid 111)",
+                                 "worker (os pid 222)"]
+        # worker pids stay below the simulation track range
+        assert all(e["pid"] < 100 for e in worker_x)
+
+    def test_trace_id_in_chrome_trace_metadata(self):
+        parent = self.merged_parent()
+        doc = to_chrome_trace(tracer=parent)
+        assert doc["otherData"]["trace_id"] == parent.trace_id
+
+
+class TestPoolRoundTrip:
+    def test_worker_spans_merge_under_parent_trace(self):
+        parent = Tracer()
+        with use_tracer(parent):
+            with parent.span("request"):
+                with WorkerPool(2) as pool:
+                    results = pool.map(traced_square, [1, 2, 3, 4])
+        assert results == [1, 4, 9, 16]
+        work = [sp for sp in parent.spans if sp.name == "unit.work"]
+        assert len(work) == 4
+        request = next(sp for sp in parent.spans if sp.name == "request")
+        for sp in work:
+            assert sp.parent_id == request.span_id
+            assert sp.attributes["trace_id"] == parent.trace_id
+            assert "worker_pid" in sp.attributes
+        assert parent.counters["units"] == 4.0
+
+    def test_untraced_pool_ships_no_payload(self):
+        with WorkerPool(2) as pool:
+            results = pool.map(traced_square, [2, 3])
+        assert results == [4, 9]
