@@ -361,6 +361,12 @@ def build_parser() -> argparse.ArgumentParser:
                        "without stats fall back to --threshold)")
     l_reg.add_argument("--confidence", type=float, default=0.95,
                        help="confidence level for --stat (default: 0.95)")
+    l_reg.add_argument("--rps-threshold", type=float, default=0.15,
+                       help="fractional achieved-rate drop tolerated for "
+                       "load_baseline groups (default: 0.15)")
+    l_reg.add_argument("--p99-threshold", type=float, default=0.25,
+                       help="fractional p99 latency growth tolerated for "
+                       "load_baseline groups (default: 0.25)")
 
     l_prune = lsub.add_parser(
         "prune", help="delete old ledger rows to keep the database bounded"
@@ -381,6 +387,113 @@ def build_parser() -> argparse.ArgumentParser:
                        help="scan only the newest N rows (default: all)")
     l_est.add_argument("--json", action="store_true",
                        help="emit the report as JSON instead of a table")
+
+    ld = sub.add_parser(
+        "load",
+        help="seeded open-loop load generation (the load observatory)",
+    )
+    ldsub = ld.add_subparsers(dest="load_command", required=True)
+
+    def _arrival_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--process", default="poisson",
+                       choices=("poisson", "mmpp", "trace"),
+                       help="arrival process (default: poisson)")
+        p.add_argument("--rate", type=float, default=50.0,
+                       help="long-run offered rate, requests/s (default: 50)")
+        p.add_argument("--requests", type=int, default=1000,
+                       help="total planned requests (default: 1000)")
+        p.add_argument("--seed", type=int, default=0,
+                       help="sequence seed — same seed, same sequence")
+        p.add_argument("--burstiness", type=float, default=4.0,
+                       help="mmpp burst:calm rate ratio (default: 4)")
+        p.add_argument("--mean-burst-s", type=float, default=2.0,
+                       help="mmpp mean burst dwell (default: 2s)")
+        p.add_argument("--mean-calm-s", type=float, default=8.0,
+                       help="mmpp mean calm dwell (default: 8s)")
+        p.add_argument("--batch-tail-alpha", type=float, default=0.0,
+                       help="Pareto tail for batched arrivals "
+                       "(0 disables; smaller = heavier tail)")
+        p.add_argument("--trace-file", default=None,
+                       help="arrival offsets file for --process trace")
+        p.add_argument("--families", nargs="+", default=["montage", "ligo"],
+                       help="workflow families in the spec pool")
+        p.add_argument("--n-tasks", nargs="+", type=int, default=[15],
+                       help="workflow sizes in the spec pool")
+        p.add_argument("--algorithms", nargs="+", default=["heft_budg"],
+                       help="algorithms in the spec pool")
+        p.add_argument("--budgets", nargs="+", type=float, default=[2.0],
+                       help="budget positions in the spec pool")
+        p.add_argument("--spec-seeds", type=int, default=3,
+                       help="workflow RNG seeds per pool entry (default: 3)")
+        p.add_argument("--reps", type=int, default=2,
+                       help="Monte-Carlo reps per request (default: 2)")
+        p.add_argument("--tenants", default=None,
+                       help="weighted tenant mix, 'name=w,name=w' "
+                       "(default: one 'default' tenant)")
+        p.add_argument("--priorities", default=None,
+                       help="weighted priority mix, 'name=w,name=w'")
+
+    l_run = ldsub.add_parser(
+        "run", help="replay a seeded workload and archive the load_run"
+    )
+    _arrival_flags(l_run)
+    l_run.add_argument("--target", default=None,
+                       help="gateway base URL (default: in-process engine)")
+    l_run.add_argument("--label", default=None,
+                       help="ledger group label for this run")
+    l_run.add_argument("--concurrency", type=int, default=8,
+                       help="dispatch threads (default: 8)")
+    l_run.add_argument("--no-pace", action="store_true",
+                       help="ignore planned offsets; fire as fast as "
+                       "the pool drains (throughput probe)")
+    l_run.add_argument("--db", default=None,
+                       help="archive the run into this ledger SQLite file")
+    l_run.add_argument("--json", action="store_true",
+                       help="print the full result as JSON")
+    l_run.add_argument("--out", default=None,
+                       help="also write the JSON result to this file")
+
+    l_seq = ldsub.add_parser(
+        "sequence",
+        help="plan the request sequence and print its fingerprint "
+        "(no requests are sent)",
+    )
+    _arrival_flags(l_seq)
+    l_seq.add_argument("--show", type=int, default=10,
+                       help="print the first N planned arrivals "
+                       "(default: 10; 0 = none)")
+    l_seq.add_argument("--json", action="store_true",
+                       help="dump every planned arrival as JSON lines")
+
+    l_rep = ldsub.add_parser(
+        "report",
+        help="render archived load runs as a standalone HTML report",
+    )
+    l_rep.add_argument("--db", default="runs.db",
+                       help="ledger SQLite file (default: runs.db)")
+    l_rep.add_argument("--label", action="append", default=None,
+                       help="only runs with this label (repeatable)")
+    l_rep.add_argument("--limit", type=int, default=50,
+                       help="newest N runs per query (default: 50)")
+    l_rep.add_argument("--out", default="load_report.html",
+                       help="output file (default: load_report.html)")
+    l_rep.add_argument("--title", default="Load observatory report")
+
+    dash = sub.add_parser(
+        "dash",
+        help="live terminal dashboard over a running gateway",
+    )
+    dash.add_argument("--url", default="http://127.0.0.1:8080",
+                      help="gateway base URL (default: http://127.0.0.1:8080)")
+    dash.add_argument("--interval", type=float, default=1.0,
+                      help="refresh interval seconds (default: 1.0)")
+    dash.add_argument("--iterations", type=int, default=None,
+                      help="draw N frames then exit (default: until 'q')")
+    dash.add_argument("--no-ansi", action="store_true",
+                      help="plain frames without colour or screen clears "
+                      "(CI logs)")
+    dash.add_argument("--no-events", action="store_true",
+                      help="skip the SSE event ticker subscription")
     return parser
 
 
@@ -742,8 +855,11 @@ def _run_ledger(args: argparse.Namespace) -> int:
     from .obs.ledger import (
         RunLedger,
         baseline_from_ledger,
+        compare_load_to_baseline,
         compare_to_baseline,
         extract_baseline,
+        extract_load_baseline,
+        load_baseline_from_ledger,
         use_ledger,
     )
 
@@ -825,16 +941,22 @@ def _run_ledger(args: argparse.Namespace) -> int:
                 ledger, latest_per_group=args.latest
             )
             doc = {"ledger_baseline": baseline}
+            load_baseline = load_baseline_from_ledger(
+                ledger, latest_per_group=args.latest
+            )
+            if load_baseline:
+                doc["load_baseline"] = load_baseline
             if args.out:
                 with open(args.out, "w") as fh:
                     json.dump(doc, fh, indent=2, sort_keys=True)
                     fh.write("\n")
-                print(f"{len(baseline)} group(s) written to {args.out}")
+                print(f"{len(baseline)} run group(s) + {len(load_baseline)} "
+                      f"load group(s) written to {args.out}")
             else:
                 json.dump(doc, sys.stdout, indent=2, sort_keys=True)
                 print()
-            if not baseline:
-                print("error: no simulated runs in the ledger",
+            if not baseline and not load_baseline:
+                print("error: no simulated or load runs in the ledger",
                       file=sys.stderr)
                 return 2
             return 0
@@ -887,26 +1009,240 @@ def _run_ledger(args: argparse.Namespace) -> int:
             try:
                 with open(args.baseline) as fh:
                     document = json.load(fh)
-                baseline = extract_baseline(document)
-            except (OSError, json.JSONDecodeError, ValueError) as exc:
+            except (OSError, json.JSONDecodeError) as exc:
                 print(f"error: cannot load baseline: {exc}", file=sys.stderr)
                 return 2
-            report = compare_to_baseline(
-                ledger, baseline,
-                makespan_threshold=args.threshold,
-                cost_threshold=args.cost_threshold,
-                success_threshold=args.success_threshold,
-                stat=args.stat,
-                confidence=args.confidence,
-            )
-            print(report.render())
-            if not report.deltas:
+            # A BENCH document may carry a simulation baseline, a load
+            # baseline, or both; gate every kind it has.
+            baseline = load_baseline = None
+            errors = []
+            try:
+                baseline = extract_baseline(document)
+            except ValueError as exc:
+                errors.append(str(exc))
+            try:
+                load_baseline = extract_load_baseline(document)
+            except ValueError as exc:
+                errors.append(str(exc))
+            if baseline is None and load_baseline is None:
+                print(f"error: cannot load baseline: {'; '.join(errors)}",
+                      file=sys.stderr)
+                return 2
+            ok = True
+            any_deltas = False
+            if baseline is not None:
+                report = compare_to_baseline(
+                    ledger, baseline,
+                    makespan_threshold=args.threshold,
+                    cost_threshold=args.cost_threshold,
+                    success_threshold=args.success_threshold,
+                    stat=args.stat,
+                    confidence=args.confidence,
+                )
+                print(report.render())
+                ok = ok and report.ok
+                any_deltas = any_deltas or bool(report.deltas)
+            if load_baseline is not None:
+                load_report = compare_load_to_baseline(
+                    ledger, load_baseline,
+                    rps_threshold=args.rps_threshold,
+                    p99_threshold=args.p99_threshold,
+                    stat=args.stat,
+                    confidence=args.confidence,
+                )
+                print(load_report.render())
+                ok = ok and load_report.ok
+                any_deltas = any_deltas or bool(load_report.deltas)
+            if not any_deltas:
                 print("error: no baseline group found in the ledger",
                       file=sys.stderr)
                 return 2
-            return 0 if report.ok else 1
+            return 0 if ok else 1
 
     return 1  # pragma: no cover - argparse guards subcommands
+
+
+def _parse_mix(text: Optional[str], what: str) -> Optional[dict]:
+    """``'name=w,name=w'`` → weighted-mix dict (None passes through)."""
+    if text is None:
+        return None
+    mix = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, eq, weight = part.partition("=")
+        if not eq:
+            raise SystemExit(
+                f"error: {what} entry {part!r} is not 'name=weight'"
+            )
+        try:
+            mix[name.strip()] = float(weight)
+        except ValueError:
+            raise SystemExit(
+                f"error: {what} weight in {part!r} is not a number"
+            ) from None
+    if not mix:
+        raise SystemExit(f"error: {what} mix is empty")
+    return mix
+
+
+def _arrival_config_from_args(args: argparse.Namespace):
+    """Build an :class:`ArrivalConfig` from the shared ``load`` flags."""
+    from .loadgen import ArrivalConfig
+    from .loadgen.arrivals import load_trace_offsets
+
+    kwargs = dict(
+        process=args.process,
+        rate=args.rate,
+        n_requests=args.requests,
+        seed=args.seed,
+        burstiness=args.burstiness,
+        mean_burst_s=args.mean_burst_s,
+        mean_calm_s=args.mean_calm_s,
+        batch_tail_alpha=args.batch_tail_alpha,
+        families=tuple(args.families),
+        n_tasks=tuple(args.n_tasks),
+        algorithms=tuple(args.algorithms),
+        budgets=tuple(args.budgets),
+        spec_seeds=args.spec_seeds,
+        n_reps=args.reps,
+    )
+    if args.trace_file:
+        kwargs["trace_offsets"] = load_trace_offsets(args.trace_file)
+    tenants = _parse_mix(args.tenants, "tenants")
+    if tenants:
+        kwargs["tenants"] = tenants
+    priorities = _parse_mix(args.priorities, "priorities")
+    if priorities:
+        kwargs["priorities"] = priorities
+    return ArrivalConfig(**kwargs)
+
+
+def _run_load(args: argparse.Namespace) -> int:
+    """The ``load`` subcommand group: sequence, run, report."""
+    import json
+
+    from .errors import ServiceError
+
+    cmd = args.load_command
+    if cmd == "sequence":
+        from .loadgen import generate_sequence, sequence_fingerprint
+
+        try:
+            config = _arrival_config_from_args(args)
+            planned = generate_sequence(config)
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            for p in planned:
+                json.dump({"index": p.index, "offset_s": p.offset_s,
+                           "fingerprint": p.fingerprint, "tenant": p.tenant,
+                           "priority": p.priority}, sys.stdout,
+                          sort_keys=True)
+                print()
+        print(f"config   {config.fingerprint()}")
+        print(f"sequence {sequence_fingerprint(planned)}")
+        print(f"{len(planned)} request(s) over "
+              f"{planned[-1].offset_s if planned else 0.0:.2f}s "
+              f"(offered {config.offered_rate:.1f} req/s)")
+        for p in planned[:max(args.show, 0)]:
+            print(f"  #{p.index:<5d} +{p.offset_s:8.3f}s "
+                  f"{p.fingerprint[:12]} {p.tenant}/{p.priority}")
+        return 0
+
+    if cmd == "run":
+        from .loadgen import LoadDriver
+
+        try:
+            config = _arrival_config_from_args(args)
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        service = None
+        target = args.target
+        if target is None:
+            from .service.engine import SchedulingService
+
+            service = SchedulingService()
+            target = service
+        driver = LoadDriver(
+            target, concurrency=args.concurrency, pace=not args.no_pace
+        )
+        try:
+            result = driver.run(config, label=args.label)
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        finally:
+            if service is not None:
+                service.close()
+        payload = result.to_dict()
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        if args.json:
+            json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+            print()
+        else:
+            pcts = result.percentiles()
+            print(f"{result.n_requests} request(s) in "
+                  f"{result.duration_s:.2f}s — offered "
+                  f"{result.offered_rps:.1f} req/s, achieved "
+                  f"{result.achieved_rps:.1f} req/s")
+            print("outcomes: " + ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(result.outcomes.items())
+            ))
+            print(f"latency p50={pcts.get('p50', 0.0) * 1e3:.2f}ms "
+                  f"p95={pcts.get('p95', 0.0) * 1e3:.2f}ms "
+                  f"p99={pcts.get('p99', 0.0) * 1e3:.2f}ms  cost "
+                  f"{result.cost_total:.4f}")
+            print(f"sequence {result.sequence_fp}")
+        if args.db:
+            from .obs.ledger import RunLedger
+
+            with RunLedger(args.db) as ledger:
+                load_id = ledger.record_load_run(result.to_row())
+            print(f"archived load_run #{load_id} to {args.db}")
+        return 0
+
+    if cmd == "report":
+        from .loadgen import write_load_report
+        from .obs.ledger import RunLedger
+
+        with RunLedger(args.db) as ledger:
+            if args.label:
+                rows = []
+                for label in args.label:
+                    rows.extend(ledger.load_runs(
+                        label=label, limit=args.limit
+                    ))
+            else:
+                rows = ledger.load_runs(limit=args.limit)
+        if not rows:
+            print("error: no load runs in the ledger", file=sys.stderr)
+            return 2
+        path = write_load_report(rows, args.out, title=args.title)
+        print(f"{len(rows)} load run(s) written to {path}")
+        return 0
+
+    return 1  # pragma: no cover - argparse guards subcommands
+
+
+def _run_dash(args: argparse.Namespace) -> int:
+    """The ``dash`` command: live terminal dashboard over a gateway."""
+    from .loadgen import Dashboard
+
+    dashboard = Dashboard(
+        args.url, interval_s=args.interval, ansi=not args.no_ansi
+    )
+    frames = dashboard.run(
+        iterations=args.iterations, events=not args.no_events
+    )
+    return 0 if frames > 0 else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -997,6 +1333,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "ledger":
         return _run_ledger(args)
+
+    if args.command == "load":
+        return _run_load(args)
+
+    if args.command == "dash":
+        return _run_dash(args)
 
     if args.command == "table3b":
         if args.refined:

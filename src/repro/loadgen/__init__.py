@@ -1,0 +1,45 @@
+"""Seed-deterministic open-loop load generation (the load observatory).
+
+The paper's evaluation measures algorithm quality one workflow at a
+time; a serving deployment instead faces *streams* of requests — bursty
+arrivals, mixed tenants, mixed priorities — and the question becomes
+what latency/cost the stack sustains under contention. This package
+closes that loop:
+
+- :mod:`repro.loadgen.arrivals` plans the workload: a request sequence
+  (arrival offsets + schedule specs + tenants + priorities) that is a
+  pure function of an :class:`~repro.loadgen.arrivals.ArrivalConfig`
+  and its seed — bit-identical at any worker count.
+- :mod:`repro.loadgen.driver` replays the plan open-loop against a live
+  gateway or an in-process engine, folds per-request latency into
+  mergeable :class:`~repro.obs.sketch.QuantileSketch`\\ es, and archives
+  every run as a ledger ``load_run`` row.
+- :mod:`repro.loadgen.report` renders archived load runs as a
+  self-contained HTML comparison report.
+- :mod:`repro.loadgen.dash` renders a live ANSI terminal dashboard from
+  ``/v1/metrics`` + ``/v1/slo`` + the SSE event bus.
+"""
+
+from .arrivals import (
+    ARRIVAL_PROCESSES,
+    ArrivalConfig,
+    PlannedRequest,
+    generate_sequence,
+    sequence_fingerprint,
+)
+from .dash import Dashboard
+from .driver import LoadDriver, LoadRunResult
+from .report import render_load_report, write_load_report
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "ArrivalConfig",
+    "PlannedRequest",
+    "generate_sequence",
+    "sequence_fingerprint",
+    "LoadDriver",
+    "LoadRunResult",
+    "Dashboard",
+    "render_load_report",
+    "write_load_report",
+]

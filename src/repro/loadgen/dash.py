@@ -1,0 +1,455 @@
+"""Live ANSI terminal dashboard over a running scheduling service.
+
+``repro-exp dash`` polls ``/v1/metrics`` + ``/v1/slo`` + ``/v1/healthz``
+(or the same snapshots of an in-process
+:class:`~repro.service.engine.SchedulingService`) once per interval and
+redraws one full-screen frame: rolling throughput with a sparkline,
+queue depth per priority class, tenant budget fill, worker heartbeats,
+SLO burn rates and schedule-latency percentiles, plus a ticker of the
+most recent bus events (subscribed over SSE for URL targets, directly
+on the event bus in process).
+
+Rendering is a pure function — :func:`render` maps a
+:class:`DashState` to a string, which is what the tests exercise and
+what ``--no-ansi`` CI smokes print — while :class:`Dashboard` owns the
+poll/redraw loop and the (optional, tty-only) ``q`` / ``p``
+keybindings. No curses: frames are plain text with ANSI colour and a
+home-and-clear prefix, so the dashboard works over ssh and inside CI
+logs alike.
+"""
+
+from __future__ import annotations
+
+import json
+import select
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from collections import deque
+from typing import Any, Deque, Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["DashState", "Dashboard", "render", "sparkline"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+_RESET = "\x1b[0m"
+_BOLD = "\x1b[1m"
+_DIM = "\x1b[2m"
+_GREEN = "\x1b[32m"
+_YELLOW = "\x1b[33m"
+_RED = "\x1b[31m"
+_CLEAR = "\x1b[H\x1b[2J"
+
+
+def sparkline(values: List[float], width: int = 32) -> str:
+    """Unicode block sparkline of the last ``width`` samples."""
+    tail = [float(v) for v in values[-width:]]
+    if not tail:
+        return ""
+    low, high = min(tail), max(tail)
+    span = high - low
+    if span <= 0:
+        return _BLOCKS[0] * len(tail)
+    steps = len(_BLOCKS) - 1
+    return "".join(
+        _BLOCKS[int(round((v - low) / span * steps))] for v in tail
+    )
+
+
+def _fmt_rate(value: float) -> str:
+    return f"{value:,.1f}" if value < 1000 else f"{value:,.0f}"
+
+
+def _fmt_ms(seconds: Any) -> str:
+    try:
+        return f"{float(seconds) * 1e3:.2f}ms"
+    except (TypeError, ValueError):
+        return "—"
+
+
+def _fill_bar(fraction: float, width: int = 20) -> str:
+    fraction = max(0.0, min(1.0, fraction))
+    filled = int(round(fraction * width))
+    return "█" * filled + "░" * (width - filled)
+
+
+class DashState:
+    """Rolling history the renderer reads; updated once per poll.
+
+    Throughput is derived from the ``requests`` counter delta between
+    polls, so it tracks whatever the service actually absorbed —
+    including cache hits — not just completed evaluations.
+    """
+
+    def __init__(self, history: int = 64) -> None:
+        self.throughput: Deque[float] = deque(maxlen=history)
+        self.queue_depth: Deque[float] = deque(maxlen=history)
+        self.p95_latency: Deque[float] = deque(maxlen=history)
+        self.events: Deque[str] = deque(maxlen=8)
+        self.health: Dict[str, Any] = {}
+        self.stats: Dict[str, Any] = {}
+        self.slo: Dict[str, Any] = {}
+        self.frame = 0
+        self.paused = False
+        self.error: Optional[str] = None
+        self._last_requests: Optional[float] = None
+        self._last_poll: Optional[float] = None
+
+    def update(
+        self,
+        health: Mapping[str, Any],
+        stats: Mapping[str, Any],
+        slo: Mapping[str, Any],
+        *,
+        now: Optional[float] = None,
+    ) -> None:
+        """Fold one poll's snapshots into the rolling history."""
+        now = time.monotonic() if now is None else now
+        self.health = dict(health)
+        self.stats = dict(stats)
+        self.slo = dict(slo)
+        self.error = None
+        self.frame += 1
+
+        counters = (stats.get("metrics") or {}).get("counters") or {}
+        requests = float(counters.get("requests", 0))
+        if self._last_requests is not None and self._last_poll is not None:
+            dt = max(now - self._last_poll, 1e-9)
+            self.throughput.append(
+                max(requests - self._last_requests, 0.0) / dt
+            )
+        self._last_requests = requests
+        self._last_poll = now
+
+        queue = (stats.get("admission") or {}).get("queue") or {}
+        self.queue_depth.append(float(queue.get("depth", 0)))
+        series = (stats.get("metrics") or {}).get("series") or {}
+        latency = series.get("schedule_latency_s") or {}
+        if "window_p95" in latency:
+            self.p95_latency.append(float(latency["window_p95"]))
+
+
+def _status_colour(health: Mapping[str, Any], ansi: bool) -> Tuple[str, str]:
+    status = str(health.get("status", "unknown"))
+    if not ansi:
+        return status.upper(), ""
+    colour = _GREEN if health.get("ready") else _RED
+    return f"{colour}{_BOLD}{status.upper()}{_RESET}", colour
+
+
+def render(state: DashState, *, width: int = 100, ansi: bool = True) -> str:
+    """One dashboard frame as a string (pure; no I/O, no ANSI clears)."""
+    dim = _DIM if ansi else ""
+    bold = _BOLD if ansi else ""
+    reset = _RESET if ansi else ""
+    lines: List[str] = []
+
+    health = state.health
+    stats = state.stats
+    status, _ = _status_colour(health, ansi)
+    uptime = float(health.get("uptime_s", stats.get("uptime_s", 0.0)) or 0.0)
+    executor = stats.get("executor") or "—"
+    lines.append(
+        f"{bold}repro load observatory{reset}  {status}  "
+        f"{dim}executor={executor}  uptime={uptime:,.0f}s  "
+        f"frame={state.frame}"
+        f"{'  [PAUSED]' if state.paused else ''}{reset}"
+    )
+    if state.error:
+        mark = f"{_RED}{_BOLD}" if ansi else ""
+        lines.append(f"{mark}poll error: {state.error}{reset}")
+    lines.append("─" * min(width, 100))
+
+    # Throughput + queue sparklines.
+    rps = state.throughput[-1] if state.throughput else 0.0
+    lines.append(
+        f"throughput  {sparkline(list(state.throughput)):<32} "
+        f"{_fmt_rate(rps):>9} req/s"
+    )
+    depth = state.queue_depth[-1] if state.queue_depth else 0.0
+    lines.append(
+        f"queue depth {sparkline(list(state.queue_depth)):<32} "
+        f"{depth:>9,.0f} queued"
+    )
+    p95 = state.p95_latency[-1] if state.p95_latency else None
+    lines.append(
+        f"sched p95   {sparkline(list(state.p95_latency)):<32} "
+        f"{_fmt_ms(p95):>11}"
+    )
+
+    # Queue depth per priority class + in-flight.
+    queue = (stats.get("admission") or {}).get("queue") or {}
+    by_priority = queue.get("by_priority") or {}
+    jobs = stats.get("jobs") or {}
+    parts = [f"{cls}={by_priority[cls]}" for cls in sorted(by_priority)]
+    lines.append(
+        f"classes     {' '.join(parts) if parts else dim + '(queue empty)' + reset}"
+        f"   inflight={health.get('inflight_jobs', jobs.get('running', 0))}"
+        f"  running={jobs.get('running', 0)} pending={jobs.get('pending', 0)}"
+        f" done={jobs.get('done', 0)} failed={jobs.get('failed', 0)}"
+    )
+
+    # Tenant budget fill.
+    tenants = ((stats.get("admission") or {}).get("tenants") or {})
+    entries = tenants.get("tenants") or {}
+    if entries:
+        lines.append(f"{bold}tenants{reset}")
+        for name in sorted(entries):
+            entry = entries[name] or {}
+            policy = entry.get("policy") or {}
+            budget = policy.get("cost_budget")
+            spent = float(entry.get("spent_window", 0.0) or 0.0)
+            reserved = float(entry.get("reserved", 0.0) or 0.0)
+            if budget:
+                frac = (spent + reserved) / float(budget)
+                bar = _fill_bar(frac)
+                if ansi:
+                    colour = (_RED if frac >= 0.9
+                              else _YELLOW if frac >= 0.7 else _GREEN)
+                    bar = f"{colour}{bar}{reset}"
+                detail = (f"{bar} {spent + reserved:.2f}/"
+                          f"{float(budget):.2f} ({frac:.0%})")
+            else:
+                detail = f"{dim}no budget cap{reset}  spent={spent:.2f}"
+            lines.append(
+                f"  {name:<16} {detail}  admitted={entry.get('admitted', 0)}"
+                f" rejected={sum((entry.get('rejected') or {}).values())}"
+            )
+
+    # Worker heartbeats.
+    workers = stats.get("workers")
+    if workers:
+        beat = health.get("worker_heartbeat_age_s")
+        beat_txt = f"{beat:.1f}s ago" if isinstance(beat, (int, float)) else "—"
+        lines.append(
+            f"{bold}workers{reset} ({len(workers)} alive, "
+            f"oldest heartbeat {beat_txt})"
+        )
+        for pid in sorted(workers)[:8]:
+            info = workers[pid] or {}
+            lines.append(
+                f"  pid {pid:<8} tasks={info.get('tasks', 0):<6}"
+                f" busy={float(info.get('busy_s', 0.0)):.1f}s"
+            )
+
+    # SLO burn rates.
+    targets = (state.slo or {}).get("targets") or []
+    if targets:
+        lines.append(f"{bold}slo burn rates{reset}")
+        for target in targets:
+            cells = []
+            for label, window in (target.get("windows") or {}).items():
+                burn = float(window.get("burn_rate", 0.0))
+                cell = f"{label}={burn:.2f}"
+                if ansi and (burn > 1.0 or window.get("budget_exhausted")):
+                    cell = f"{_RED}{cell}{_RESET}"
+                cells.append(cell)
+            lines.append(
+                f"  {target.get('name', '?'):<18} {' '.join(cells)}"
+            )
+
+    # Event ticker.
+    if state.events:
+        lines.append(f"{bold}events{reset}  " + " · ".join(state.events))
+
+    lines.append("─" * min(width, 100))
+    lines.append(
+        f"{dim}q quit · p pause · refresh {state.frame}{reset}"
+    )
+    return "\n".join(lines) + "\n"
+
+
+class Dashboard:
+    """Poll-and-redraw loop around :func:`render`.
+
+    ``target`` is a gateway base URL or a live
+    :class:`~repro.service.engine.SchedulingService`. ``iterations``
+    bounds the loop for CI smokes (``None`` runs until ``q`` /
+    interrupt). Keyboard handling only engages when stdin is a tty.
+    """
+
+    def __init__(
+        self,
+        target: Any,
+        *,
+        interval_s: float = 1.0,
+        ansi: bool = True,
+        history: int = 64,
+    ) -> None:
+        self.interval_s = max(0.05, float(interval_s))
+        self.ansi = bool(ansi)
+        self.state = DashState(history=history)
+        self._url: Optional[str] = None
+        self._service = None
+        if isinstance(target, str):
+            self._url = target.rstrip("/")
+        else:
+            self._service = target
+        self._stop = threading.Event()
+        self._events_thread: Optional[threading.Thread] = None
+
+    # -- collection ----------------------------------------------------
+    def _get_json(self, path: str) -> Dict[str, Any]:
+        assert self._url is not None
+        try:
+            with urllib.request.urlopen(
+                f"{self._url}{path}", timeout=5.0
+            ) as resp:
+                return json.load(resp)
+        except urllib.error.HTTPError as exc:
+            # healthz answers 503 with the same JSON body while draining.
+            try:
+                return json.load(exc)
+            except Exception:
+                raise exc
+
+    def poll(self) -> None:
+        """One collection cycle; errors land in ``state.error``."""
+        try:
+            if self._service is not None:
+                health = self._service.health()
+                stats = self._service.stats()
+                slo = self._service.slo.snapshot()
+            else:
+                health = self._get_json("/v1/healthz")
+                stats = self._get_json("/v1/metrics")
+                slo = self._get_json("/v1/slo")
+        except Exception as exc:  # noqa: BLE001 - dashboard must not die
+            self.state.error = str(exc)
+            self.state.frame += 1
+            return
+        self.state.update(health, stats, slo)
+
+    # -- event ticker --------------------------------------------------
+    def _watch_events_inproc(self) -> None:
+        assert self._service is not None
+        with self._service.events.subscribe() as sub:
+            while not self._stop.is_set():
+                event = sub.get(timeout=0.5)
+                if event is not None:
+                    self.state.events.append(event.type)
+
+    def _watch_events_http(self) -> None:
+        assert self._url is not None
+        while not self._stop.is_set():
+            try:
+                request = urllib.request.Request(
+                    f"{self._url}/v1/events?timeout=10"
+                )
+                with urllib.request.urlopen(request, timeout=15.0) as resp:
+                    for raw in resp:
+                        if self._stop.is_set():
+                            return
+                        line = raw.decode("utf-8", "replace").strip()
+                        if line.startswith("event:"):
+                            self.state.events.append(
+                                line.split(":", 1)[1].strip()
+                            )
+            except Exception:
+                if self._stop.wait(1.0):
+                    return
+
+    def start_event_ticker(self) -> None:
+        """Start the SSE / bus subscription thread (idempotent)."""
+        if self._events_thread is not None:
+            return
+        worker = (self._watch_events_inproc if self._service is not None
+                  else self._watch_events_http)
+        self._events_thread = threading.Thread(
+            target=worker, name="dash-events", daemon=True
+        )
+        self._events_thread.start()
+
+    # -- keyboard ------------------------------------------------------
+    def _read_key(self, timeout_s: float) -> Optional[str]:
+        if not sys.stdin.isatty():
+            self._stop.wait(timeout_s)
+            return None
+        ready, _, _ = select.select([sys.stdin], [], [], timeout_s)
+        if ready:
+            return sys.stdin.read(1)
+        return None
+
+    # -- main loop -----------------------------------------------------
+    def run(
+        self,
+        *,
+        iterations: Optional[int] = None,
+        stream: Any = None,
+        events: bool = True,
+    ) -> int:
+        """Redraw until ``iterations`` frames, ``q``, or Ctrl-C.
+
+        Returns the number of frames drawn. ``stream`` defaults to
+        stdout; pass any writable for tests.
+        """
+        out = stream if stream is not None else sys.stdout
+        if events:
+            self.start_event_ticker()
+        raw_context = _RawTerminal() if sys.stdin.isatty() else None
+        frames = 0
+        try:
+            if raw_context:
+                raw_context.__enter__()
+            while not self._stop.is_set():
+                if not self.state.paused:
+                    self.poll()
+                frame = render(self.state, ansi=self.ansi)
+                try:
+                    if self.ansi:
+                        out.write(_CLEAR)
+                    out.write(frame)
+                    out.flush()
+                except (BrokenPipeError, ValueError):
+                    # Downstream pipe closed (e.g. `dash | head`) —
+                    # stop drawing instead of crashing mid-frame.
+                    break
+                frames += 1
+                if iterations is not None and frames >= iterations:
+                    break
+                key = self._read_key(self.interval_s)
+                if key in ("q", "Q", "\x03"):
+                    break
+                if key in ("p", "P"):
+                    self.state.paused = not self.state.paused
+        except KeyboardInterrupt:
+            pass
+        finally:
+            if raw_context:
+                raw_context.__exit__(None, None, None)
+            self._stop.set()
+            if self._events_thread is not None:
+                self._events_thread.join(timeout=2.0)
+        return frames
+
+
+class _RawTerminal:
+    """cbreak-mode guard so single keypresses arrive unbuffered.
+
+    Degrades to a no-op when :mod:`termios` is unavailable (non-POSIX)
+    or stdin is not a real terminal.
+    """
+
+    def __init__(self) -> None:
+        self._saved: Optional[Any] = None
+        self._fd: Optional[int] = None
+
+    def __enter__(self) -> "_RawTerminal":
+        try:
+            import termios
+            import tty
+
+            self._fd = sys.stdin.fileno()
+            self._saved = termios.tcgetattr(self._fd)
+            tty.setcbreak(self._fd)
+        except Exception:
+            self._saved = None
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._saved is not None and self._fd is not None:
+            import termios
+
+            termios.tcsetattr(self._fd, termios.TCSADRAIN, self._saved)

@@ -1,0 +1,223 @@
+"""Self-contained HTML reports comparing archived load runs.
+
+:func:`render_load_report` turns a set of ledger
+:class:`~repro.obs.ledger.LoadRunRow`\\ s into one standalone HTML
+document — inline CSS, no scripts, no external assets — so a CI
+artifact or an emailed file renders anywhere. Rows are grouped by
+:meth:`~repro.obs.ledger.LoadRunRow.group_key` (label, else config
+fingerprint), which is how runs of the same workload across different
+algorithms / executors / commits line up for comparison.
+
+The tables surface exactly what the load gate asserts on: offered vs
+achieved rate, end-to-end p50/p95/p99, the per-stage latency
+decomposition, typed refusal counts and total cost. Relative bars are
+scaled against the best value in the document so regressions are
+visible at a glance without reading numbers.
+
+Everything is stdlib: :mod:`html` for escaping, string formatting for
+templating.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Dict, Iterable, List, Sequence
+
+from ..obs.ledger import LoadRunRow
+
+__all__ = ["render_load_report", "write_load_report"]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; color: #1c2733; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; margin: 0.75rem 0;
+        font-size: 0.85rem; }
+th, td { border: 1px solid #d4dbe2; padding: 0.3rem 0.55rem;
+         text-align: right; white-space: nowrap; }
+th { background: #eef2f6; } td.name, th.name { text-align: left; }
+td.bar { position: relative; min-width: 8rem; }
+td.bar span.fill { position: absolute; left: 0; top: 0; bottom: 0;
+                   background: #b3d4f0; z-index: 0; }
+td.bar span.txt { position: relative; z-index: 1; }
+.bad { color: #a41623; font-weight: 600; }
+.muted { color: #6b7a89; }
+footer { margin-top: 2.5rem; font-size: 0.75rem; color: #6b7a89; }
+code { background: #eef2f6; padding: 0 0.2rem; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: Any, digits: int = 4) -> str:
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        return _esc(value)
+    if number == int(number) and abs(number) < 1e12:
+        return str(int(number))
+    return f"{number:.{digits}g}"
+
+
+def _ms(seconds: Any) -> str:
+    """Latency cell: seconds rendered as milliseconds."""
+    try:
+        return f"{float(seconds) * 1e3:.2f}"
+    except (TypeError, ValueError):
+        return "—"
+
+
+def _bar(value: float, best: float, text: str) -> str:
+    """A table cell with a relative background bar behind its text."""
+    width = 0.0 if best <= 0 else max(0.0, min(1.0, value / best)) * 100.0
+    return (f'<td class="bar"><span class="fill" '
+            f'style="width:{width:.1f}%"></span>'
+            f'<span class="txt">{_esc(text)}</span></td>')
+
+
+def _summary_table(rows: Sequence[LoadRunRow]) -> List[str]:
+    best_rps = max((r.achieved_rps for r in rows), default=0.0)
+    out = ['<table><tr>'
+           '<th class="name">run</th><th class="name">process</th>'
+           '<th class="name">executor</th><th>requests</th><th>ok</th>'
+           '<th>cached</th><th>rejected</th><th>errors</th>'
+           '<th>offered r/s</th><th>achieved r/s</th>'
+           '<th>p50 ms</th><th>p95 ms</th><th>p99 ms</th>'
+           '<th>cost</th></tr>']
+    for row in rows:
+        errors = (f'<td class="bad">{row.n_errors}</td>'
+                  if row.n_errors else f"<td>{row.n_errors}</td>")
+        name = row.label or row.config_fingerprint[:12]
+        out.append(
+            "<tr>"
+            f'<td class="name">{_esc(name)} '
+            f'<span class="muted">#{row.load_id}</span></td>'
+            f'<td class="name">{_esc(row.process)}</td>'
+            f'<td class="name">{_esc(row.executor or "—")}</td>'
+            f"<td>{row.n_requests}</td><td>{row.n_ok}</td>"
+            f"<td>{row.n_cached}</td><td>{row.n_rejected}</td>{errors}"
+            f"<td>{_fmt(row.offered_rps)}</td>"
+            f"{_bar(row.achieved_rps, best_rps, _fmt(row.achieved_rps))}"
+            f"<td>{_ms(row.p50_s)}</td><td>{_ms(row.p95_s)}</td>"
+            f"<td>{_ms(row.p99_s)}</td>"
+            f"<td>{_fmt(row.cost_total, 6)}</td></tr>"
+        )
+    out.append("</table>")
+    return out
+
+
+def _stage_table(rows: Sequence[LoadRunRow]) -> List[str]:
+    stages: List[str] = []
+    for row in rows:
+        for stage in row.stages:
+            if stage not in stages:
+                stages.append(stage)
+    if not stages:
+        return ["<p class=\"muted\">No stage decomposition recorded.</p>"]
+    out = ['<table><tr><th class="name">run</th>']
+    for stage in stages:
+        out.append(f'<th colspan="3">{_esc(stage)} (ms)</th>')
+    out.append("</tr><tr><th></th>")
+    out.append("<th>p50</th><th>p95</th><th>p99</th>" * len(stages))
+    out.append("</tr>")
+    for row in rows:
+        name = row.label or row.config_fingerprint[:12]
+        cells = [f'<tr><td class="name">{_esc(name)} '
+                 f'<span class="muted">#{row.load_id}</span></td>']
+        for stage in stages:
+            pcts: Dict[str, Any] = row.stages.get(stage) or {}
+            for key in ("p50", "p95", "p99"):
+                cells.append(f"<td>{_ms(pcts.get(key))}</td>"
+                             if key in pcts else '<td class="muted">—</td>')
+        cells.append("</tr>")
+        out.append("".join(cells))
+    out.append("</table>")
+    return out
+
+
+def _refusal_table(rows: Sequence[LoadRunRow]) -> List[str]:
+    reasons: List[str] = []
+    for row in rows:
+        for reason in row.refusals:
+            if reason not in reasons:
+                reasons.append(reason)
+    if not reasons:
+        return ['<p class="muted">No refusals in any run.</p>']
+    out = ['<table><tr><th class="name">run</th>']
+    out.extend(f"<th>{_esc(r)}</th>" for r in reasons)
+    out.append("</tr>")
+    for row in rows:
+        name = row.label or row.config_fingerprint[:12]
+        out.append(f'<tr><td class="name">{_esc(name)} '
+                   f'<span class="muted">#{row.load_id}</span></td>')
+        out.extend(f"<td>{row.refusals.get(r, 0)}</td>" for r in reasons)
+        out.append("</tr>")
+    out.append("</table>")
+    return out
+
+
+def render_load_report(
+    rows: Iterable[LoadRunRow],
+    *,
+    title: str = "Load observatory report",
+) -> str:
+    """One standalone HTML document over ``rows``.
+
+    Rows are grouped by :meth:`LoadRunRow.group_key`; each group gets a
+    summary table (throughput, tail latency, outcome counts with a
+    relative achieved-rate bar), a per-stage percentile table and a
+    typed-refusal table. Runs inside a group keep their ledger order.
+    """
+    ordered = list(rows)
+    groups: Dict[str, List[LoadRunRow]] = {}
+    for row in ordered:
+        groups.setdefault(row.group_key(), []).append(row)
+
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        f'<p class="muted">{len(ordered)} run(s) in {len(groups)} '
+        "group(s); latency columns are milliseconds; bars are relative "
+        "to the best achieved rate in each group.</p>",
+    ]
+    if not ordered:
+        parts.append('<p class="muted">No load runs matched.</p>')
+    for key, group_rows in groups.items():
+        parts.append(f"<h2>Group <code>{_esc(key)}</code></h2>")
+        first = group_rows[0]
+        parts.append(
+            f'<p class="muted">config <code>'
+            f"{_esc(first.config_fingerprint[:16])}</code> · sequence "
+            f"<code>{_esc(first.sequence_fingerprint[:16])}</code> · "
+            f"target <code>{_esc(first.target or 'in-process')}</code>"
+            "</p>"
+        )
+        parts.extend(_summary_table(group_rows))
+        parts.append("<h3>Stage latency decomposition</h3>")
+        parts.extend(_stage_table(group_rows))
+        parts.append("<h3>Typed refusals</h3>")
+        parts.extend(_refusal_table(group_rows))
+    parts.append(
+        "<footer>Generated by <code>repro-exp load report</code>; "
+        "rows come from the run ledger's <code>load_runs</code> table."
+        "</footer></body></html>"
+    )
+    return "\n".join(parts) + "\n"
+
+
+def write_load_report(
+    rows: Iterable[LoadRunRow],
+    path: str,
+    *,
+    title: str = "Load observatory report",
+) -> str:
+    """Render and write the report; returns ``path``."""
+    document = render_load_report(rows, title=title)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(document)
+    return path

@@ -43,6 +43,7 @@ from .events import RUN_RECORDED, EventBus
 
 __all__ = [
     "RunRow",
+    "LoadRunRow",
     "RunLedger",
     "NullLedger",
     "get_ledger",
@@ -51,9 +52,14 @@ __all__ = [
     "baseline_from_ledger",
     "extract_baseline",
     "compare_to_baseline",
+    "load_baseline_from_ledger",
+    "extract_load_baseline",
+    "compare_load_to_baseline",
     "welch_slowdown",
     "GroupDelta",
+    "LoadDelta",
     "RegressionReport",
+    "LoadRegressionReport",
 ]
 
 #: Schema history (tracked via SQLite ``PRAGMA user_version``):
@@ -62,10 +68,14 @@ __all__ = [
 #: 2. fault-injection fields: ``outcome`` (success / failed /
 #:    budget_exhausted / plain ``ok`` for non-fault runs) and ``n_faults``
 #:    (injected faults that fired).
+#: 3. the ``load_runs`` table: one row per archived load-generator
+#:    replay (arrival config fingerprint, achieved vs offered rate,
+#:    serialized per-stage quantile sketches, typed refusal counts,
+#:    cost totals) — the load observatory's archive.
 #:
 #: Older databases are migrated in place on open (``ALTER TABLE`` adds the
 #: new columns with their defaults); newer ones are rejected.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _COLUMNS = (
     "recorded_at", "source", "fingerprint", "workflow", "family", "n_tasks",
@@ -107,6 +117,52 @@ CREATE INDEX IF NOT EXISTS idx_runs_algorithm   ON runs (algorithm);
 CREATE INDEX IF NOT EXISTS idx_runs_workflow    ON runs (workflow);
 CREATE INDEX IF NOT EXISTS idx_runs_fingerprint ON runs (fingerprint);
 CREATE INDEX IF NOT EXISTS idx_runs_recorded_at ON runs (recorded_at);
+"""
+
+_LOAD_COLUMNS = (
+    "recorded_at", "label", "config_fingerprint", "sequence_fingerprint",
+    "process", "target", "executor", "n_requests", "n_ok", "n_cached",
+    "n_rejected", "n_errors", "refusals", "offered_rps", "achieved_rps",
+    "duration_s", "latency_mean_s", "latency_std_s", "p50_s", "p95_s",
+    "p99_s", "cost_total", "stages", "sketches", "version", "extra",
+)
+
+_CREATE_LOAD = """
+CREATE TABLE IF NOT EXISTS load_runs (
+    load_id              INTEGER PRIMARY KEY AUTOINCREMENT,
+    recorded_at          REAL NOT NULL,
+    label                TEXT NOT NULL DEFAULT '',
+    config_fingerprint   TEXT NOT NULL DEFAULT '',
+    sequence_fingerprint TEXT NOT NULL DEFAULT '',
+    process              TEXT NOT NULL DEFAULT 'poisson',
+    target               TEXT NOT NULL DEFAULT 'inproc',
+    executor             TEXT NOT NULL DEFAULT '',
+    n_requests           INTEGER NOT NULL DEFAULT 0,
+    n_ok                 INTEGER NOT NULL DEFAULT 0,
+    n_cached             INTEGER NOT NULL DEFAULT 0,
+    n_rejected           INTEGER NOT NULL DEFAULT 0,
+    n_errors             INTEGER NOT NULL DEFAULT 0,
+    refusals             TEXT NOT NULL DEFAULT '{}',
+    offered_rps          REAL NOT NULL DEFAULT 0.0,
+    achieved_rps         REAL NOT NULL DEFAULT 0.0,
+    duration_s           REAL NOT NULL DEFAULT 0.0,
+    latency_mean_s       REAL NOT NULL DEFAULT 0.0,
+    latency_std_s        REAL NOT NULL DEFAULT 0.0,
+    p50_s                REAL NOT NULL DEFAULT 0.0,
+    p95_s                REAL NOT NULL DEFAULT 0.0,
+    p99_s                REAL NOT NULL DEFAULT 0.0,
+    cost_total           REAL NOT NULL DEFAULT 0.0,
+    stages               TEXT NOT NULL DEFAULT '{}',
+    sketches             TEXT NOT NULL DEFAULT '{}',
+    version              TEXT NOT NULL DEFAULT '',
+    extra                TEXT NOT NULL DEFAULT '{}'
+);
+CREATE INDEX IF NOT EXISTS idx_load_runs_label
+    ON load_runs (label);
+CREATE INDEX IF NOT EXISTS idx_load_runs_config
+    ON load_runs (config_fingerprint);
+CREATE INDEX IF NOT EXISTS idx_load_runs_recorded_at
+    ON load_runs (recorded_at);
 """
 
 
@@ -173,6 +229,65 @@ class RunRow:
         return cls(**{k: data[k] for k in data})
 
 
+@dataclass
+class LoadRunRow:
+    """One archived load-generator replay (see ``repro.loadgen``).
+
+    ``stages`` maps stage name to ``{count, p50, p95, p99}`` percentile
+    summaries; ``sketches`` holds the full serialized
+    :class:`~repro.obs.sketch.QuantileSketch` per stage (plus the
+    end-to-end ``request`` sketch), so archived runs merge and re-query
+    exactly. ``latency_mean_s`` / ``latency_std_s`` are *exact* sample
+    statistics over every completed request — the inputs to the Welch
+    tail-latency gate, same machinery as the makespan gate.
+    """
+
+    load_id: int = 0
+    recorded_at: float = 0.0
+    label: str = ""
+    config_fingerprint: str = ""
+    sequence_fingerprint: str = ""
+    process: str = "poisson"
+    target: str = "inproc"
+    executor: str = ""
+    n_requests: int = 0
+    n_ok: int = 0
+    n_cached: int = 0
+    n_rejected: int = 0
+    n_errors: int = 0
+    refusals: Dict[str, int] = field(default_factory=dict)
+    offered_rps: float = 0.0
+    achieved_rps: float = 0.0
+    duration_s: float = 0.0
+    latency_mean_s: float = 0.0
+    latency_std_s: float = 0.0
+    p50_s: float = 0.0
+    p95_s: float = 0.0
+    p99_s: float = 0.0
+    cost_total: float = 0.0
+    stages: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    sketches: Dict[str, Any] = field(default_factory=dict)
+    version: str = ""
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def group_key(self) -> str:
+        """Baseline grouping identity: the run's label (or config)."""
+        return self.label or self.config_fingerprint
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form."""
+        return {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LoadRunRow":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        names = {f.name for f in dataclass_fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ValueError(f"unknown load run fields: {sorted(unknown)}")
+        return cls(**{k: data[k] for k in data})
+
+
 class RunLedger:
     """SQLite-backed run archive (thread-safe; see module docstring).
 
@@ -213,6 +328,7 @@ class RunLedger:
             # IF NOT EXISTS: creates the current layout on a fresh file,
             # no-op on an existing one (which _migrate then upgrades).
             self._conn.executescript(_CREATE)
+            self._conn.executescript(_CREATE_LOAD)
             if 0 < current < SCHEMA_VERSION:
                 self._migrate(current)
             if current != SCHEMA_VERSION:
@@ -233,6 +349,9 @@ class RunLedger:
             self._conn.execute(
                 "ALTER TABLE runs ADD COLUMN n_faults INTEGER NOT NULL DEFAULT 0"
             )
+        # v2 -> v3 adds the load_runs table, which the _CREATE_LOAD
+        # script above already created (IF NOT EXISTS) — nothing to
+        # alter; the user_version bump alone stops older readers.
 
     # ------------------------------------------------------------------
     # writes
@@ -269,6 +388,41 @@ class RunLedger:
                 sim_cost=row.sim_cost,
             )
         return row.run_id
+
+    def record_load_run(self, row: LoadRunRow) -> int:
+        """Commit one load-run row; returns its ``load_id``."""
+        if not row.recorded_at:
+            row.recorded_at = time.time()
+        if not row.version:
+            row.version = _package_version()
+        encoded = {
+            "refusals": json.dumps(row.refusals, sort_keys=True),
+            "stages": json.dumps(row.stages, sort_keys=True),
+            "sketches": json.dumps(row.sketches, sort_keys=True),
+            "extra": json.dumps(row.extra, sort_keys=True),
+        }
+        values = [
+            encoded.get(col, getattr(row, col)) for col in _LOAD_COLUMNS
+        ]
+        with self._lock:
+            cursor = self._conn.execute(
+                f"INSERT INTO load_runs ({', '.join(_LOAD_COLUMNS)}) "
+                f"VALUES ({', '.join('?' * len(_LOAD_COLUMNS))})",
+                values,
+            )
+            self._conn.commit()
+            row.load_id = int(cursor.lastrowid or 0)
+        if self.bus is not None:
+            self.bus.publish(
+                "load_run.recorded",
+                load_id=row.load_id,
+                label=row.label,
+                config_fingerprint=row.config_fingerprint,
+                n_requests=row.n_requests,
+                achieved_rps=row.achieved_rps,
+                p99_s=row.p99_s,
+            )
+        return row.load_id
 
     def prune(
         self,
@@ -367,6 +521,69 @@ class RunLedger:
                 self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
             )
 
+    def load_run(self, load_id: int) -> LoadRunRow:
+        """The load run with ``load_id``; raises ``KeyError`` when absent."""
+        with self._lock:
+            found = self._conn.execute(
+                "SELECT * FROM load_runs WHERE load_id = ?", (load_id,)
+            ).fetchone()
+        if found is None:
+            raise KeyError(f"no load run {load_id} in ledger {self.path!r}")
+        return self._decode_load(found)
+
+    def load_runs(
+        self,
+        *,
+        label: Optional[str] = None,
+        config_fingerprint: Optional[str] = None,
+        since: Optional[float] = None,
+        limit: int = 100,
+    ) -> List[LoadRunRow]:
+        """Newest-first query over archived load runs (``limit <= 0`` = all)."""
+        clauses, params = ["1=1"], []
+        if label is not None:
+            clauses.append("label = ?")
+            params.append(label)
+        if config_fingerprint is not None:
+            clauses.append("config_fingerprint = ?")
+            params.append(config_fingerprint)
+        if since is not None:
+            clauses.append("recorded_at >= ?")
+            params.append(since)
+        sql = (
+            f"SELECT * FROM load_runs WHERE {' AND '.join(clauses)} "
+            "ORDER BY load_id DESC"
+        )
+        if limit > 0:
+            sql += f" LIMIT {int(limit)}"
+        with self._lock:
+            found = self._conn.execute(sql, params).fetchall()
+        return [self._decode_load(r) for r in found]
+
+    def load_count(self) -> int:
+        """Total archived load runs."""
+        with self._lock:
+            return int(
+                self._conn.execute(
+                    "SELECT COUNT(*) FROM load_runs"
+                ).fetchone()[0]
+            )
+
+    def writable(self) -> bool:
+        """Whether the database currently accepts writes (healthz probe).
+
+        Takes and immediately rolls back a write lock — cheap, and
+        honest about read-only filesystems or a sibling process holding
+        the database exclusively.
+        """
+        try:
+            with self._lock:
+                self._conn.execute("BEGIN IMMEDIATE")
+                self._conn.execute("ROLLBACK")
+            return True
+        except sqlite3.Error:
+            return False
+
     def group_stats(
         self, *, latest_per_group: int = 0
     ) -> Dict[str, Dict[str, float]]:
@@ -424,6 +641,12 @@ class RunLedger:
         data["extra"] = json.loads(data["extra"]) if data["extra"] else {}
         return RunRow(**data)
 
+    def _decode_load(self, found: sqlite3.Row) -> LoadRunRow:
+        data = dict(found)
+        for key in ("refusals", "stages", "sketches", "extra"):
+            data[key] = json.loads(data[key]) if data[key] else {}
+        return LoadRunRow(**data)
+
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Close the underlying connection; idempotent."""
@@ -451,6 +674,10 @@ class NullLedger:
         """Discard the row."""
         return 0
 
+    def record_load_run(self, row: LoadRunRow) -> int:
+        """Discard the row."""
+        return 0
+
     def prune(self, **kwargs: Any) -> int:
         """Nothing to prune."""
         return 0
@@ -463,9 +690,25 @@ class NullLedger:
         """Empty archive."""
         return []
 
+    def load_run(self, load_id: int) -> LoadRunRow:
+        """Always absent."""
+        raise KeyError(f"no load run {load_id} (ledger disabled)")
+
+    def load_runs(self, **query: Any) -> List[LoadRunRow]:
+        """Empty archive."""
+        return []
+
     def count(self) -> int:
         """Empty archive."""
         return 0
+
+    def load_count(self) -> int:
+        """Empty archive."""
+        return 0
+
+    def writable(self) -> bool:
+        """Nothing to write to — trivially healthy."""
+        return True
 
     def group_stats(self, **kwargs: Any) -> Dict[str, Dict[str, float]]:
         """Empty archive."""
@@ -819,6 +1062,238 @@ def compare_to_baseline(
             makespan_regressed
             or delta.cost_change > cost_threshold
             or -delta.success_change > success_threshold
+        ):
+            report.regressions.append(delta)
+    return report
+
+
+# ----------------------------------------------------------------------
+# load-run regression gate
+# ----------------------------------------------------------------------
+def _pool_load_rows(rows: Sequence[LoadRunRow]) -> Dict[str, float]:
+    """Fold one group's load rows into baseline stats.
+
+    Rates and percentiles are plain means over the rows; latency sample
+    stats pool exactly via :func:`_pool_sample_stats` (each row carries
+    the exact mean/std over its completed requests).
+    """
+    stats: Dict[str, float] = {
+        "n_runs": float(len(rows)),
+        "offered_rps": _mean([r.offered_rps for r in rows]),
+        "achieved_rps": _mean([r.achieved_rps for r in rows]),
+        "p50_s": _mean([r.p50_s for r in rows]),
+        "p95_s": _mean([r.p95_s for r in rows]),
+        "p99_s": _mean([r.p99_s for r in rows]),
+        "cost_total": _mean([r.cost_total for r in rows]),
+    }
+    pooled = _pool_sample_stats(
+        {"mean": r.latency_mean_s, "std": r.latency_std_s,
+         "n": r.n_ok + r.n_cached}
+        for r in rows
+    )
+    if pooled is not None:
+        stats["latency_mean_s"] = pooled[0]
+        stats["latency_std_s"] = pooled[1]
+        stats["n_samples"] = float(pooled[2])
+    return stats
+
+
+def load_baseline_from_ledger(
+    ledger: RunLedger, *, latest_per_group: int = 0
+) -> Dict[str, Dict[str, float]]:
+    """Fold archived load runs into a ``"load_baseline"`` payload.
+
+    Groups by each row's label (or config fingerprint when unlabeled);
+    ``latest_per_group`` keeps only each group's newest N rows.
+    """
+    grouped: Dict[str, List[LoadRunRow]] = {}
+    for row in ledger.load_runs(limit=0):  # newest-first
+        bucket = grouped.setdefault(row.group_key(), [])
+        if latest_per_group <= 0 or len(bucket) < latest_per_group:
+            bucket.append(row)
+    return {
+        key: _pool_load_rows(bucket)
+        for key, bucket in sorted(grouped.items())
+    }
+
+
+def extract_load_baseline(
+    document: Mapping[str, Any]
+) -> Dict[str, Dict[str, float]]:
+    """The ``"load_baseline"`` groups inside a ``BENCH_*.json`` document.
+
+    Raises ``ValueError`` when the document has none (callers treat that
+    as "no load gate configured", not an error).
+    """
+    payload = document.get("load_baseline")
+    if not isinstance(payload, Mapping) or not payload:
+        raise ValueError("baseline document has no 'load_baseline' groups")
+    for key, stats in payload.items():
+        if not isinstance(stats, Mapping) or "achieved_rps" not in stats:
+            raise ValueError(
+                f"load baseline group {key!r} lacks an 'achieved_rps' "
+                "entry — not a load baseline"
+            )
+    return {k: dict(v) for k, v in payload.items()}
+
+
+@dataclass(frozen=True)
+class LoadDelta:
+    """One load-baseline group re-measured against the current ledger."""
+
+    group: str
+    baseline_rps: float
+    current_rps: float
+    baseline_p99_s: float
+    current_p99_s: float
+    n_runs: int
+    stat_tested: bool = False
+    t_stat: float = 0.0
+    t_crit: float = 0.0
+
+    @property
+    def rps_change(self) -> float:
+        """Fractional throughput change (-0.2 = 20% slower)."""
+        if self.baseline_rps <= 0.0:
+            return 0.0
+        return self.current_rps / self.baseline_rps - 1.0
+
+    @property
+    def p99_change(self) -> float:
+        """Fractional p99 change (+0.2 = 20% longer tail)."""
+        if self.baseline_p99_s <= 0.0:
+            return 0.0
+        return self.current_p99_s / self.baseline_p99_s - 1.0
+
+
+@dataclass
+class LoadRegressionReport:
+    """Outcome of :func:`compare_load_to_baseline`."""
+
+    deltas: List[LoadDelta] = field(default_factory=list)
+    regressions: List[LoadDelta] = field(default_factory=list)
+    missing_groups: List[str] = field(default_factory=list)
+    rps_threshold: float = 0.15
+    p99_threshold: float = 0.25
+    stat: bool = False
+    confidence: float = 0.95
+
+    @property
+    def ok(self) -> bool:
+        """True when no group regressed and at least one was compared."""
+        return not self.regressions and bool(self.deltas)
+
+    def render(self) -> str:
+        """Human-readable table for the CLI."""
+        lines = [
+            f"{'load group':<32s} {'rps':>9s} {'Δ%':>8s} "
+            f"{'p99(s)':>9s} {'Δ%':>8s}  verdict"
+        ]
+        for d in self.deltas:
+            verdict = "REGRESSED" if d in self.regressions else "ok"
+            if d.stat_tested:
+                verdict += f" (t={d.t_stat:+.2f} vs {d.t_crit:.2f})"
+            lines.append(
+                f"{d.group:<32.32s} {d.current_rps:>9.1f} "
+                f"{100 * d.rps_change:>+7.2f}% "
+                f"{d.current_p99_s:>9.4f} {100 * d.p99_change:>+7.2f}%  "
+                f"{verdict}"
+            )
+        for group in self.missing_groups:
+            lines.append(f"{group:<32.32s} {'—':>9s} {'—':>8s} "
+                         f"{'—':>9s} {'—':>8s}  missing from ledger")
+        tail_gate = (
+            f"latency: Welch test at {100 * self.confidence:.0f}% "
+            f"one-sided confidence (p99 cap +{100 * self.p99_threshold:.0f}%)"
+            if self.stat
+            else f"p99 +{100 * self.p99_threshold:.0f}%"
+        )
+        lines.append(
+            f"{len(self.deltas)} load group(s) compared, "
+            f"{len(self.regressions)} regression(s), "
+            f"{len(self.missing_groups)} missing "
+            f"(throughput -{100 * self.rps_threshold:.0f}%, {tail_gate})"
+        )
+        return "\n".join(lines)
+
+
+def _load_sample_triple(
+    stats: Mapping[str, float]
+) -> Optional[Tuple[float, float, int]]:
+    n = int(stats.get("n_samples", 0) or 0)
+    if n < 2 or "latency_std_s" not in stats:
+        return None
+    return (float(stats.get("latency_mean_s", 0.0)),
+            float(stats["latency_std_s"]), n)
+
+
+def compare_load_to_baseline(
+    ledger: RunLedger,
+    baseline: Mapping[str, Mapping[str, float]],
+    *,
+    rps_threshold: float = 0.15,
+    p99_threshold: float = 0.25,
+    stat: bool = False,
+    confidence: float = 0.95,
+) -> LoadRegressionReport:
+    """Re-measure archived load runs against ``baseline`` groups.
+
+    A group regresses when its achieved throughput drops by more than
+    ``rps_threshold`` (fractional) or its p99 grows by more than
+    ``p99_threshold``. ``stat=True`` additionally runs the one-sided
+    Welch test on the exact latency sample stats — a statistically
+    significant mean-latency slowdown regresses even under the p99 cap,
+    and mirrors the ``ledger regress --stat`` makespan contract.
+    """
+    if not 0.5 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0.5, 1), got {confidence}")
+    report = LoadRegressionReport(
+        rps_threshold=rps_threshold,
+        p99_threshold=p99_threshold,
+        stat=stat,
+        confidence=confidence,
+    )
+    grouped: Dict[str, List[LoadRunRow]] = {}
+    for row in ledger.load_runs(limit=0):
+        grouped.setdefault(row.group_key(), []).append(row)
+    for group, base in sorted(baseline.items()):
+        rows = grouped.get(group)
+        if not rows:
+            report.missing_groups.append(group)
+            continue
+        n_runs = int(base.get("n_runs", 0)) or 0
+        if n_runs > 0:
+            rows = rows[:n_runs]  # newest-first, match the baseline depth
+        current = _pool_load_rows(rows)
+        stat_tested = False
+        t_stat = t_crit = 0.0
+        latency_regressed = False
+        if stat:
+            base_triple = _load_sample_triple(base)
+            cur_triple = _load_sample_triple(current)
+            if base_triple is not None and cur_triple is not None:
+                significant, t_stat, t_crit = welch_slowdown(
+                    base_triple, cur_triple, confidence=confidence
+                )
+                if math.isfinite(t_crit):
+                    stat_tested = True
+                    latency_regressed = significant
+        delta = LoadDelta(
+            group=group,
+            baseline_rps=float(base.get("achieved_rps", 0.0)),
+            current_rps=float(current.get("achieved_rps", 0.0)),
+            baseline_p99_s=float(base.get("p99_s", 0.0)),
+            current_p99_s=float(current.get("p99_s", 0.0)),
+            n_runs=len(rows),
+            stat_tested=stat_tested,
+            t_stat=t_stat,
+            t_crit=t_crit if stat_tested else 0.0,
+        )
+        report.deltas.append(delta)
+        if (
+            -delta.rps_change > rps_threshold
+            or delta.p99_change > p99_threshold
+            or latency_regressed
         ):
             report.regressions.append(delta)
     return report

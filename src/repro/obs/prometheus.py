@@ -110,10 +110,21 @@ def render_prometheus(
             lines.append(f"{hist}_sum {_fmt(summary.get('sum', 0.0))}")
             lines.append(f"{hist}_count {_fmt(summary.get('count', 0))}")
 
+    # Gauge names may carry a literal label set after the metric name
+    # (``queue_depth{class="batch"}``): the base name is sanitized, the
+    # label block passes through verbatim, and samples sharing one base
+    # emit a single HELP/TYPE header per family as the format requires.
+    families: Dict[str, List[Any]] = {}
     for name in sorted(gauges or {}):
-        metric = f"{namespace}_{sanitize_metric_name(name)}"
-        lines.append(f"# HELP {metric} Gauge {name!r}.")
+        base, brace, label = name.partition("{")
+        metric = f"{namespace}_{sanitize_metric_name(base)}"
+        families.setdefault(metric, []).append(
+            (f"{brace}{label}", gauges[name])  # type: ignore[index]
+        )
+    for metric, samples in families.items():
+        lines.append(f"# HELP {metric} Gauge {metric!r}.")
         lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {_fmt(gauges[name])}")  # type: ignore[index]
+        for label_block, value in samples:
+            lines.append(f"{metric}{label_block} {_fmt(value)}")
 
     return "\n".join(lines) + "\n"

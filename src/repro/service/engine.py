@@ -865,6 +865,52 @@ class SchedulingService:
         }
         return out
 
+    def health(self) -> Dict[str, Any]:
+        """Readiness snapshot backing ``GET /v1/healthz``.
+
+        ``ready`` is the single go/no-go bit (drain started, ledger
+        unwritable, or every worker process dead ⇒ not ready); the rest
+        is the evidence: queue depth, in-flight jobs, the age of the
+        stalest worker heartbeat, and whether the ledger accepts writes.
+        Deliberately cheaper than :meth:`stats` — load-generator warmup
+        gates and orchestrator probes may poll it at high frequency.
+        """
+        with self._lock:
+            draining = self._closed
+            inflight = sum(
+                1 for j in self._jobs.values()
+                if j.record.state == JobState.RUNNING
+            )
+        queue_stats = self.admission.queue.stats()
+        heartbeat_age: Optional[float] = None
+        workers_alive = True
+        if self._proc_pool is not None:
+            worker_stats = self._proc_pool.worker_stats()
+            workers_alive = bool(worker_stats)
+            if worker_stats:
+                now = time.time()
+                heartbeat_age = max(
+                    now - s.get("last_seen", now)
+                    for s in worker_stats.values()
+                )
+        ledger_writable = (
+            not self.ledger.enabled or self.ledger.writable()
+        )
+        return {
+            "ready": not draining and ledger_writable and workers_alive,
+            "status": "draining" if draining else "ok",
+            "draining": draining,
+            "uptime_s": time.time() - self._started_at,
+            "queue_depth": queue_stats["depth"],
+            "inflight_jobs": inflight,
+            "worker_heartbeat_age_s": heartbeat_age,
+            "workers_alive": workers_alive,
+            "ledger": {
+                "enabled": self.ledger.enabled,
+                "writable": ledger_writable,
+            },
+        }
+
     def _sync_cache_metrics(self) -> None:
         """Mirror the cache's own monotonic stats into the registry.
 

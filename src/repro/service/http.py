@@ -209,6 +209,18 @@ def _prometheus_gauges(stats: Dict[str, Any]) -> Dict[str, float]:
         for key in ("hits", "misses", "evictions", "expirations", "hit_rate"):
             if key in cache:
                 gauges[f"cache_{key}"] = cache[key]
+    # Queue depth per priority class and in-flight jobs are *sampled on
+    # every scrape* (not just at event edges), so a stalled queue shows
+    # its true depth even when no admission event has fired recently.
+    admission = stats.get("admission") or {}
+    queue = admission.get("queue") or {}
+    for cls, depth in sorted((queue.get("by_priority") or {}).items()):
+        gauges[f'queue_depth{{class="{cls}"}}'] = depth
+    if "depth" in queue:
+        gauges["queue_depth_total"] = queue["depth"]
+    if "oldest_wait_s" in queue:
+        gauges["queue_oldest_wait_seconds"] = queue["oldest_wait_s"]
+    gauges["inflight_jobs"] = stats.get("jobs", {}).get("running", 0)
     slo = stats.get("slo")
     if slo:
         # Streaming percentiles per lifecycle stage (from the mergeable
@@ -365,7 +377,11 @@ class _Handler(BaseHTTPRequestHandler):
         tail = parts[1:]
 
         if method == "GET" and tail == ["healthz"]:
-            return 200, {"status": "ok", "uptime_s": self.service.stats()["uptime_s"]}
+            # Readiness, not just liveness: 503 while draining (or with
+            # an unwritable ledger / a dead worker pool) tells load
+            # balancers and the loadgen warmup gate to hold traffic.
+            health = self.service.health()
+            return (200 if health["ready"] else 503), health
         if method == "GET" and tail == ["schedulers"]:
             return 200, {"schedulers": self.service.stats()["schedulers"]}
         if method == "GET" and tail == ["metrics"]:

@@ -1,0 +1,103 @@
+"""Dashboard: pure rendering, rolling state, bounded in-process runs."""
+
+import io
+
+from repro.loadgen import ArrivalConfig, Dashboard, LoadDriver
+from repro.loadgen.dash import DashState, render, sparkline
+from repro.service.engine import SchedulingService
+
+
+class TestSparkline:
+    def test_empty_is_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_is_flat(self):
+        assert sparkline([5.0] * 6) == "▁" * 6
+
+    def test_monotone_series_rises(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_width_caps_the_tail(self):
+        assert len(sparkline(list(range(100)), width=16)) == 16
+
+
+class TestState:
+    def test_throughput_derives_from_counter_deltas(self):
+        state = DashState()
+        stats = {"metrics": {"counters": {"requests": 0}, "series": {}},
+                 "admission": {"queue": {"depth": 0}}}
+        state.update({}, stats, {}, now=10.0)
+        stats2 = {"metrics": {"counters": {"requests": 50}, "series": {}},
+                  "admission": {"queue": {"depth": 3}}}
+        state.update({}, stats2, {}, now=12.0)
+        assert list(state.throughput) == [25.0]
+        assert list(state.queue_depth) == [0.0, 3.0]
+
+    def test_counter_reset_never_goes_negative(self):
+        state = DashState()
+        high = {"metrics": {"counters": {"requests": 100}, "series": {}}}
+        low = {"metrics": {"counters": {"requests": 5}, "series": {}}}
+        state.update({}, high, {}, now=1.0)
+        state.update({}, low, {}, now=2.0)
+        assert state.throughput[-1] == 0.0
+
+
+class TestRender:
+    def test_render_is_pure_text_without_ansi(self):
+        frame = render(DashState(), ansi=False)
+        assert "repro load observatory" in frame
+        assert "\x1b[" not in frame
+        assert "q quit" in frame
+
+    def test_render_with_ansi_colours_status(self):
+        state = DashState()
+        state.update({"ready": True, "status": "ok"}, {}, {})
+        assert "\x1b[32m" in render(state, ansi=True)
+
+    def test_tenant_budget_fill_renders(self):
+        state = DashState()
+        stats = {"admission": {"tenants": {"tenants": {"acme": {
+            "policy": {"cost_budget": 10.0},
+            "spent_window": 8.0, "reserved": 1.0,
+            "admitted": 4, "rejected": {"budget_exhausted": 2},
+        }}}, "queue": {}}, "metrics": {}}
+        state.update({}, stats, {})
+        frame = render(state, ansi=False)
+        assert "acme" in frame
+        assert "(90%)" in frame
+        assert "rejected=2" in frame
+
+    def test_slo_burn_rates_render(self):
+        state = DashState()
+        slo = {"targets": [{"name": "latency_fast", "windows": {
+            "5m": {"burn_rate": 2.5, "budget_exhausted": True},
+        }}]}
+        state.update({}, {}, slo)
+        frame = render(state, ansi=False)
+        assert "latency_fast" in frame and "5m=2.50" in frame
+
+
+class TestDashboardLoop:
+    def test_bounded_inprocess_run_draws_frames(self):
+        svc = SchedulingService(cache_size=32)
+        try:
+            driver = LoadDriver(svc, pace=False)
+            driver.run(ArrivalConfig(rate=500.0, n_requests=10, seed=1,
+                                     spec_seeds=1, n_reps=1))
+            dash = Dashboard(svc, interval_s=0.01, ansi=False)
+            buf = io.StringIO()
+            frames = dash.run(iterations=2, stream=buf, events=True)
+        finally:
+            svc.close()
+        text = buf.getvalue()
+        assert frames == 2
+        assert text.count("repro load observatory") == 2
+        assert "throughput" in text
+
+    def test_poll_error_lands_in_state_not_raised(self):
+        dash = Dashboard("http://127.0.0.1:1", interval_s=0.01, ansi=False)
+        dash.poll()
+        assert dash.state.error
+        frame = render(dash.state, ansi=False)
+        assert "poll error" in frame

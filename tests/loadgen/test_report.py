@@ -1,0 +1,60 @@
+"""HTML load report: structure, grouping, escaping."""
+
+from repro.loadgen import ArrivalConfig, LoadDriver, render_load_report
+from repro.loadgen.report import write_load_report
+from repro.obs.ledger import LoadRunRow
+from repro.service.engine import SchedulingService
+
+
+def run_row(label="demo", seed=1):
+    svc = SchedulingService(cache_size=32)
+    try:
+        driver = LoadDriver(svc, pace=False)
+        cfg = ArrivalConfig(rate=500.0, n_requests=15, seed=seed,
+                            spec_seeds=1, n_reps=1)
+        return driver.run(cfg, label=label).to_row()
+    finally:
+        svc.close()
+
+
+class TestReport:
+    def test_document_is_standalone_html(self):
+        doc = render_load_report([run_row()])
+        assert doc.startswith("<!DOCTYPE html>")
+        assert "<script" not in doc
+        assert 'href="http' not in doc  # no external assets
+        assert "demo" in doc
+        assert "Stage latency decomposition" in doc
+
+    def test_rows_group_by_label(self):
+        rows = [run_row("alpha", 1), run_row("alpha", 2), run_row("beta", 3)]
+        doc = render_load_report(rows)
+        assert doc.count("<h2>") == 2
+        assert "alpha" in doc and "beta" in doc
+
+    def test_labels_are_escaped(self):
+        row = run_row()
+        hostile = LoadRunRow(**{**row.to_dict(),
+                                "label": "<script>alert(1)</script>"})
+        doc = render_load_report([hostile])
+        assert "<script>alert(1)</script>" not in doc
+        assert "&lt;script&gt;" in doc
+
+    def test_empty_input_renders_a_note(self):
+        doc = render_load_report([])
+        assert "No load runs matched" in doc
+
+    def test_write_report(self, tmp_path):
+        path = str(tmp_path / "report.html")
+        assert write_load_report([run_row()], path) == path
+        with open(path, encoding="utf-8") as fh:
+            assert "<!DOCTYPE html>" in fh.read()
+
+    def test_refusal_columns_appear_when_present(self):
+        row = run_row()
+        with_refusals = LoadRunRow(**{
+            **row.to_dict(), "refusals": {"rate_limited": 7},
+        })
+        doc = render_load_report([with_refusals])
+        assert "rate_limited" in doc
+        assert ">7<" in doc

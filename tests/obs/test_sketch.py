@@ -133,3 +133,42 @@ class TestSerialization:
         sketch.extend([0.5, 2.0])
         payload = json.loads(json.dumps(sketch.to_dict()))
         assert QuantileSketch.from_dict(payload).count == 2
+
+
+class TestJSONShardMerging:
+    """Serialization + merge at shard counts the loadgen driver uses."""
+
+    def test_json_roundtrip_through_string_form(self):
+        import json
+
+        rng = random.Random(3)
+        sketch = QuantileSketch(alpha=0.01)
+        sketch.extend(rng.expovariate(10.0) for _ in range(2000))
+        wire = json.dumps(sketch.to_dict(), sort_keys=True)
+        clone = QuantileSketch.from_dict(json.loads(wire))
+        assert clone.to_dict() == sketch.to_dict()
+        assert json.dumps(clone.to_dict(), sort_keys=True) == wire
+
+    def test_merge_with_empties_at_high_shard_count(self):
+        # 256 shards, most empty — the merged sketch must be identical
+        # to the serially-built one, bucket for bucket.
+        rng = random.Random(17)
+        values = [rng.lognormvariate(0.0, 1.0) for _ in range(512)]
+        shards = [QuantileSketch() for _ in range(256)]
+        for i, value in enumerate(values):
+            # Only every fourth shard receives data.
+            shards[(i % 64) * 4].add(value)
+        serial = QuantileSketch()
+        serial.extend(values)
+        merged = QuantileSketch.merged(shards)
+        assert merged.count == serial.count
+        assert merged.to_dict() == serial.to_dict()
+        for q in (0.5, 0.95, 0.99):
+            assert merged.quantile(q) == serial.quantile(q)
+
+    def test_merging_only_empty_shards_stays_empty(self):
+        merged = QuantileSketch.merged([QuantileSketch()
+                                        for _ in range(256)])
+        assert merged.count == 0
+        clone = QuantileSketch.from_dict(merged.to_dict())
+        assert clone.count == 0

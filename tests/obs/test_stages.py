@@ -69,3 +69,34 @@ class TestSnapshot:
     def test_canonical_stage_order_is_complete(self):
         assert STAGES == ("admit", "estimate", "reserve", "queued",
                           "batched", "execute", "cache", "reconcile")
+
+
+class TestRejectedBeforeAnyStage:
+    """A request refused before any boundary closes leaves a clean record."""
+
+    def test_no_marks_means_empty_stages_and_zero_wall(self):
+        clock = FakeClock()
+        st = StageTimings(clock=clock)
+        clock.advance(0.5)  # time passes, but no boundary ever closes
+        assert st.stages == {}
+        assert st.wall_s == 0.0
+
+    def test_to_dict_of_rejected_request_is_consistent(self):
+        clock = FakeClock()
+        st = StageTimings(clock=clock)
+        out = st.to_dict()
+        assert out["stages"] == {}
+        assert out["wall_s"] == 0.0
+        # The partition invariant holds vacuously: sum({}) == wall.
+        assert abs(sum(out["stages"].values()) - out["wall_s"]) < 1e-9
+
+    def test_first_mark_after_rejection_window_attributes_everything(self):
+        # If a caller does close one boundary late (e.g. an 'admit' stamp
+        # on the refusal path), the whole wait lands in that stage and
+        # the partition invariant is restored.
+        clock = FakeClock()
+        st = StageTimings(clock=clock)
+        clock.advance(0.125)
+        st.mark("admit")
+        assert st.stages == {"admit": 0.125}
+        assert st.wall_s == 0.125

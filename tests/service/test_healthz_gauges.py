@@ -1,0 +1,108 @@
+"""Readiness endpoint and queue/in-flight gauges on the metrics scrape."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import SchedulingService
+from repro.service.http import start_gateway
+
+
+def fetch(url):
+    try:
+        with urllib.request.urlopen(url, timeout=30) as resp:
+            return resp.status, resp.read().decode()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode()
+
+
+class TestHealthSnapshot:
+    def test_ready_service_reports_depth_and_ledger(self):
+        svc = SchedulingService()
+        try:
+            health = svc.health()
+        finally:
+            svc.close()
+        assert health["ready"] is True
+        assert health["status"] == "ok"
+        assert health["queue_depth"] == 0
+        assert health["inflight_jobs"] == 0
+        assert health["ledger"] == {"enabled": False, "writable": True}
+
+    def test_draining_service_is_not_ready(self):
+        svc = SchedulingService()
+        svc.close()
+        health = svc.health()
+        assert health["ready"] is False
+        assert health["status"] == "draining"
+        assert health["draining"] is True
+
+
+class TestHealthzEndpoint:
+    @pytest.fixture()
+    def service(self):
+        svc = SchedulingService(max_workers=2)
+        yield svc
+        svc.close()
+
+    def test_healthz_is_200_when_ready(self, service):
+        gw = start_gateway(service)
+        try:
+            status, body = fetch(gw.url + "/v1/healthz")
+        finally:
+            gw.shutdown()
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["ready"] is True
+        assert "queue_depth" in payload
+        assert "worker_heartbeat_age_s" in payload
+
+    def test_healthz_is_503_while_draining(self, service):
+        gw = start_gateway(service)
+        try:
+            service.close()
+            status, body = fetch(gw.url + "/v1/healthz")
+        finally:
+            gw.shutdown()
+        payload = json.loads(body)
+        assert status == 503
+        assert payload["ready"] is False
+        assert payload["status"] == "draining"
+
+
+class TestScrapeGauges:
+    def test_queue_and_inflight_gauges_present_on_every_scrape(self):
+        svc = SchedulingService(max_workers=2)
+        gw = start_gateway(svc)
+        try:
+            status, text = fetch(gw.url + "/v1/metrics?format=prometheus")
+        finally:
+            gw.shutdown()
+            svc.close()
+        assert status == 200
+        lines = text.splitlines()
+        assert any(l.startswith("repro_queue_depth_total ") for l in lines)
+        assert any(l.startswith("repro_inflight_jobs ") for l in lines)
+        assert any(
+            l.startswith("repro_queue_oldest_wait_seconds ") for l in lines
+        )
+
+    def test_priority_class_labels_render_as_one_family(self):
+        from repro.obs.prometheus import render_prometheus
+
+        text = render_prometheus(
+            {"counters": {}, "series": {}},
+            gauges={
+                'queue_depth{class="batch"}': 3,
+                'queue_depth{class="interactive"}': 1,
+            },
+        )
+        lines = text.splitlines()
+        assert 'repro_queue_depth{class="batch"} 3' in lines
+        assert 'repro_queue_depth{class="interactive"} 1' in lines
+        # One HELP/TYPE header per family, not per labeled sample.
+        assert sum(
+            1 for l in lines if l.startswith("# TYPE repro_queue_depth ")
+        ) == 1
