@@ -267,6 +267,26 @@ def build_parser() -> argparse.ArgumentParser:
                      help="sigma/mean ratio")
     flt.add_argument("--max-attempts", type=int, default=5,
                      help="executions per run (recoveries + 1)")
+    flt.add_argument("--spot", action="store_true",
+                     help="spot-market sweep: plan spot-first on discounted "
+                     "preemptible capacity, inject correlated revocation "
+                     "bursts (--rates become bursts/hour), recover via "
+                     "checkpoints and on-demand fallback")
+    flt.add_argument("--reserves", type=float, nargs="+", default=[0.0],
+                     help="[--spot] contingency-reserve budget fractions "
+                     "withheld from planning (0..1)")
+    flt.add_argument("--discount", type=float, default=0.6,
+                     help="[--spot] spot price discount off on-demand (0..1)")
+    flt.add_argument("--warning", type=float, default=120.0,
+                     help="[--spot] revocation warning lead time, seconds")
+    flt.add_argument("--checkpoint-interval", type=float, default=None,
+                     help="[--spot] checkpoint every N seconds of useful "
+                     "work (omit to disable checkpointing)")
+    flt.add_argument("--checkpoint-overhead", type=float, default=30.0,
+                     help="[--spot] seconds billed per checkpoint flush")
+    flt.add_argument("--max-replans", type=int, default=None,
+                     help="cap accepted recoveries per run (default: "
+                     "unlimited up to --max-attempts)")
     flt.add_argument("--ledger", type=str, default=None,
                      help="archive every run into this SQLite run ledger "
                      "(source='faults')")
@@ -817,32 +837,62 @@ def _run_profile(args: argparse.Namespace) -> int:
 
 
 def _run_faults(args: argparse.Namespace) -> int:
-    """The ``faults`` subcommand: run and render a resilience sweep."""
-    from .experiments.resilience import render_resilience, resilience_sweep
+    """The ``faults`` subcommand: run and render a resilience sweep.
+
+    ``--spot`` switches to the spot-market variant: ``--rates`` become
+    correlated revocation bursts per hour, plans go spot-first, and the
+    ``--reserves`` axis maps the contingency-reserve frontier.
+    """
+    from .experiments.resilience import (
+        render_resilience,
+        resilience_sweep,
+        spot_resilience_sweep,
+    )
 
     kwargs = dict(
         families=tuple(args.families),
         n_tasks=args.tasks,
         algorithms=tuple(args.algorithms),
         policies=tuple(args.policies),
-        crash_rates=tuple(args.rates),
         n_runs=args.runs,
         budget_position=args.position,
         sigma_ratio=args.sigma,
         seed=args.seed,
         max_attempts=args.max_attempts,
+        max_replans=args.max_replans,
         workers=args.workers,
     )
+    if args.spot:
+        from .faults.spot import CheckpointConfig
+        from .platform.pricing import SpotMarket
+
+        checkpoint = None
+        if args.checkpoint_interval is not None:
+            checkpoint = CheckpointConfig(
+                interval_s=args.checkpoint_interval,
+                overhead_s=args.checkpoint_overhead,
+            )
+        sweep = spot_resilience_sweep
+        kwargs.update(
+            preemption_rates=tuple(args.rates),
+            reserves=tuple(args.reserves),
+            warning_s=args.warning,
+            checkpoint=checkpoint,
+            market=SpotMarket.sample(rng=args.seed, discount=args.discount),
+        )
+    else:
+        sweep = resilience_sweep
+        kwargs["crash_rates"] = tuple(args.rates)
     if args.ledger:
         from .obs.ledger import RunLedger, use_ledger
 
         with RunLedger(args.ledger) as ledger:
             with use_ledger(ledger):
-                study = resilience_sweep(**kwargs)
+                study = sweep(**kwargs)
             print(render_resilience(study))
             print(f"archived {ledger.count()} run(s) to {args.ledger}")
     else:
-        study = resilience_sweep(**kwargs)
+        study = sweep(**kwargs)
         print(render_resilience(study))
     over = sum(p.n_over_budget for p in study.points)
     return 1 if over else 0

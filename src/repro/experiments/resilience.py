@@ -12,8 +12,18 @@ others repair it via :func:`~repro.faults.runner.run_with_faults`). A run
 *succeeds* when every task eventually executed **and** the full spend —
 including rentals sunk into dead VMs — stayed within the reserved budget.
 
+:func:`spot_resilience_sweep` is the spot-market variant: schedules are
+planned spot-first on discounted preemptible capacity, fault plans are
+correlated market revocation bursts
+(:meth:`~repro.faults.spot.SpotScenario.sample_plan`), recoveries resume
+from banked checkpoints and fall back to on-demand twins, and a
+contingency-reserve axis (:class:`~repro.scheduling.contingency.
+ContingencyScheduler`) maps the reserve-fraction × revocation-rate
+cost/makespan/success frontier.
+
 Every run lands in the active ledger (``source="faults"``, algorithm
-labelled ``heft_budg+remap@0.1``) so ``repro-exp ledger regress
+labelled ``heft_budg+remap@0.1`` — spot cells
+``heft_budg+retry@spot0.5r0.2``) so ``repro-exp ledger regress
 --success-threshold`` can gate resilience in CI exactly like makespan and
 cost.
 """
@@ -21,22 +31,25 @@ cost.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from typing import Any
 
 from ..experiments.budgets import high_budget, minimal_budget
 from ..faults.plan import FaultPlan
 from ..faults.runner import OUTCOME_BUDGET_EXHAUSTED, run_with_faults
+from ..faults.spot import CheckpointConfig, SpotScenario
 from ..obs.ledger import RunRow, get_ledger
 from ..parallel import WorkerPool, resolve_workers
 from ..platform.cloud import PAPER_PLATFORM, CloudPlatform
+from ..platform.pricing import SpotMarket, add_spot_categories, spot_only
 from ..rng import RngLike, spawn
+from ..scheduling.contingency import RESERVE_SEPARATOR
 from ..scheduling.registry import make_scheduler
 from ..workflow.generators import generate
 
 __all__ = ["ResiliencePoint", "ResilienceStudy", "render_resilience",
-           "resilience_sweep"]
+           "resilience_sweep", "spot_resilience_sweep"]
 
 
 @dataclass(frozen=True)
@@ -59,6 +72,12 @@ class ResiliencePoint:
     #: breach of the recovery budget gate's discipline (refused runs'
     #: sunk spend does not count; see :func:`resilience_sweep`).
     n_over_budget: int
+    #: Spot-sweep axes (defaults keep crash-sweep cells unchanged):
+    #: market-wide revocation bursts per hour, withheld budget fraction,
+    #: and whether the cell ran spot-first planning.
+    preemption_rate: float = 0.0
+    reserve: float = 0.0
+    spot: bool = False
 
     @property
     def success_rate(self) -> float:
@@ -67,7 +86,11 @@ class ResiliencePoint:
 
     @property
     def label(self) -> str:
-        """Ledger algorithm label, e.g. ``heft_budg+remap@0.1``."""
+        """Ledger algorithm label, e.g. ``heft_budg+remap@0.1`` for crash
+        cells or ``heft_budg+retry@spot0.5r0.2`` for spot cells."""
+        if self.spot:
+            return (f"{self.algorithm}+{self.policy}"
+                    f"@spot{self.preemption_rate:g}r{self.reserve:g}")
         return f"{self.algorithm}+{self.policy}@{self.crash_rate:g}"
 
 
@@ -82,10 +105,23 @@ class ResilienceStudy:
     ) -> ResiliencePoint:
         """The first point matching the cell; raises ``KeyError`` if absent."""
         for p in self.points:
-            if (p.algorithm == algorithm and p.policy == policy
+            if (not p.spot and p.algorithm == algorithm and p.policy == policy
                     and abs(p.crash_rate - crash_rate) < 1e-12):
                 return p
         raise KeyError(f"no point {algorithm}+{policy}@{crash_rate:g}")
+
+    def spot_point(
+        self, algorithm: str, policy: str, rate: float, reserve: float
+    ) -> ResiliencePoint:
+        """The first spot cell matching; raises ``KeyError`` if absent."""
+        for p in self.points:
+            if (p.spot and p.algorithm == algorithm and p.policy == policy
+                    and abs(p.preemption_rate - rate) < 1e-12
+                    and abs(p.reserve - reserve) < 1e-12):
+                return p
+        raise KeyError(
+            f"no spot point {algorithm}+{policy}@spot{rate:g}r{reserve:g}"
+        )
 
 
 def _resilience_cell_task(task: Dict[str, Any]) -> List[Dict[str, Any]]:
@@ -95,23 +131,34 @@ def _resilience_cell_task(task: Dict[str, Any]) -> List[Dict[str, Any]]:
     cell plus its dedicated slice of derived streams — the same streams
     the serial loop would have consumed, so outputs are bit-identical.
     Returns one plain dict per run; the parent does all ledger recording.
+
+    A ``scenario`` key (a :class:`~repro.faults.spot.SpotScenario`) makes
+    this a *spot* cell: fault plans are correlated revocation bursts, and
+    the scenario's checkpoint policy plus the cell's ``max_replans`` ride
+    into :func:`~repro.faults.runner.run_with_faults`.
     """
     wf = task["wf"]
     schedule = task["schedule"]
     budget = task["budget"]
     policy = task["policy"]
     rate = task["rate"]
+    scenario: Optional[SpotScenario] = task.get("scenario")
+    horizon = task["planned_makespan"] * task["horizon_factor"]
     runs: List[Dict[str, Any]] = []
     for stream in task["streams"]:
-        plan = FaultPlan.sample(
-            schedule, rng=stream,
-            horizon=task["planned_makespan"] * task["horizon_factor"],
-            crash_rate_per_hour=rate,
-        )
+        if scenario is not None:
+            plan = scenario.sample_plan(rng=stream, horizon=horizon)
+        else:
+            plan = FaultPlan.sample(
+                schedule, rng=stream, horizon=horizon,
+                crash_rate_per_hour=rate,
+            )
         out = run_with_faults(
             wf, task["platform"], budget, plan,
             schedule=schedule, policy=None if policy == "none" else policy,
             rng=stream, max_attempts=task["max_attempts"],
+            max_replans=task.get("max_replans"),
+            checkpoint=scenario.checkpoint if scenario is not None else None,
         )
         runs.append({
             "success": out.success,
@@ -123,6 +170,9 @@ def _resilience_cell_task(task: Dict[str, Any]) -> List[Dict[str, Any]]:
             "n_vms": out.result.n_vms,
             "n_recoveries": out.n_recoveries,
             "lost_cost": out.lost_cost,
+            "n_preemptions": sum(
+                1 for e in out.fault_events if e.kind == "vm.preempted"
+            ),
         })
     return runs
 
@@ -140,6 +190,7 @@ def resilience_sweep(
     seed: int = 1,
     horizon_factor: float = 4.0,
     max_attempts: int = 5,
+    max_replans: Optional[int] = None,
     platform: CloudPlatform = PAPER_PLATFORM,
     rng: RngLike = None,
     workers: int = 0,
@@ -190,6 +241,7 @@ def resilience_sweep(
             "budget": budget, "planned_makespan": planned_makespan,
             "policy": policy, "rate": rate,
             "horizon_factor": horizon_factor, "max_attempts": max_attempts,
+            "max_replans": max_replans,
             "streams": all_streams[i * n_runs:(i + 1) * n_runs],
         })
 
@@ -256,6 +308,174 @@ def resilience_sweep(
             mean_cost=sum(costs) / len(costs),
             mean_faults=sum(faults) / len(faults),
             n_over_budget=over,
+        ))
+    return study
+
+
+def spot_resilience_sweep(
+    *,
+    families: Sequence[str] = ("montage",),
+    n_tasks: int = 30,
+    algorithms: Sequence[str] = ("heft_budg",),
+    policies: Sequence[str] = ("none", "retry"),
+    preemption_rates: Sequence[float] = (0.0, 0.5),
+    reserves: Sequence[float] = (0.0,),
+    n_runs: int = 5,
+    budget_position: float = 0.5,
+    sigma_ratio: float = 0.5,
+    seed: int = 1,
+    horizon_factor: float = 4.0,
+    max_attempts: int = 5,
+    max_replans: Optional[int] = None,
+    warning_s: float = 120.0,
+    checkpoint: Optional[CheckpointConfig] = None,
+    market: Optional[SpotMarket] = None,
+    platform: CloudPlatform = PAPER_PLATFORM,
+    rng: RngLike = None,
+    workers: int = 0,
+) -> ResilienceStudy:
+    """Spot sweep: revocation rate × contingency reserve frontier.
+
+    Each (family, algorithm, reserve) triple is planned **spot-first**: the
+    platform gains discounted spot twins (one shared seeded
+    :class:`~repro.platform.pricing.SpotMarket` trajectory per sweep, drawn
+    from ``seed``) and planning sees *only* those twins
+    (:func:`~repro.platform.pricing.spot_only`) — the cheap capacity whose
+    correlated revocations this study stresses. A positive ``reserve``
+    wraps the algorithm in a
+    :class:`~repro.scheduling.contingency.ContingencyScheduler` so that
+    fraction of the budget is withheld from planning and left as recovery
+    headroom. Budgets are anchored on the *spot* planning platform so
+    ``budget_position`` means the same thing at every reserve.
+
+    Execution happens on the full spot-enabled platform (recoveries may
+    fall back to on-demand twins); fault plans are correlated market-wide
+    bursts (:meth:`~repro.faults.spot.SpotScenario.sample_plan`) with
+    ``warning_s`` seconds of notice, and ``checkpoint`` (if given) lets
+    preempted spot work resume from its last durable checkpoint.
+
+    Aggregation, determinism, and worker fan-out follow
+    :func:`resilience_sweep` exactly; ledger rows are labelled
+    ``{algo}+{policy}@spot{rate:g}r{reserve:g}``.
+    """
+    if n_runs < 1:
+        raise ValueError(f"n_runs must be >= 1, got {n_runs}")
+    ledger = get_ledger()
+    study = ResilienceStudy()
+    base_rng = rng if rng is not None else seed
+    # One market trajectory per sweep: every cell prices spot identically,
+    # so the reserve axis is the only thing that moves between cells.
+    spot_market = (market if market is not None
+                   else SpotMarket.sample(rng=seed))
+    exec_platform = add_spot_categories(platform, spot_market)
+    plan_platform = spot_only(exec_platform)
+    cells = [
+        (family, algo, policy, rate, reserve)
+        for family in families
+        for algo in algorithms
+        for policy in policies
+        for rate in preemption_rates
+        for reserve in reserves
+    ]
+    all_streams = spawn(base_rng, len(cells) * n_runs)
+
+    planned: Dict[Tuple[str, str, float],
+                  Tuple[object, object, float, float]] = {}
+    tasks: List[Dict[str, Any]] = []
+    for i, (family, algo, policy, rate, reserve) in enumerate(cells):
+        key = (family, algo, reserve)
+        if key not in planned:
+            wf = generate(family, n_tasks, rng=seed, sigma_ratio=sigma_ratio)
+            b_min = minimal_budget(wf, plan_platform)
+            b_high = high_budget(wf, plan_platform)
+            budget = b_min + budget_position * (b_high - b_min)
+            name = (algo if reserve <= 0.0
+                    else f"{algo}{RESERVE_SEPARATOR}{reserve:g}")
+            result = make_scheduler(name).schedule(wf, plan_platform, budget)
+            planned[key] = (wf, result.schedule, budget,
+                            result.planned_makespan)
+        wf, schedule, budget, planned_makespan = planned[key]
+        scenario = SpotScenario(
+            market=spot_market,
+            preemption_rate_per_hour=rate,
+            warning_s=warning_s,
+            checkpoint=checkpoint,
+        )
+        tasks.append({
+            "wf": wf, "platform": exec_platform, "schedule": schedule,
+            "budget": budget, "planned_makespan": planned_makespan,
+            "policy": policy, "rate": rate, "scenario": scenario,
+            "horizon_factor": horizon_factor, "max_attempts": max_attempts,
+            "max_replans": max_replans,
+            "streams": all_streams[i * n_runs:(i + 1) * n_runs],
+        })
+
+    n_workers = resolve_workers(workers)
+    if n_workers > 1 and len(tasks) > 1:
+        with WorkerPool(min(n_workers, len(tasks))) as pool:
+            per_cell = pool.map(_resilience_cell_task, tasks)
+    else:
+        per_cell = [_resilience_cell_task(t) for t in tasks]
+
+    for (family, algo, policy, rate, reserve), task, runs in zip(
+            cells, tasks, per_cell):
+        budget = task["budget"]
+        successes = exhausted = over = 0
+        makespans: List[float] = []
+        costs: List[float] = []
+        faults: List[int] = []
+        label = f"{algo}+{policy}@spot{rate:g}r{reserve:g}"
+        for out in runs:
+            ok = out["success"] and out["within_budget"]
+            successes += int(ok)
+            exhausted += int(out["outcome"] == OUTCOME_BUDGET_EXHAUSTED)
+            over += int(out["success"] and not out["within_budget"])
+            makespans.append(out["makespan"])
+            costs.append(out["total_cost"])
+            faults.append(out["n_faults"])
+            if ledger.enabled:
+                ledger.record(RunRow(
+                    source="faults",
+                    workflow=f"{family}-{n_tasks}",
+                    family=family,
+                    n_tasks=n_tasks,
+                    algorithm=label,
+                    budget=budget,
+                    sigma_ratio=sigma_ratio,
+                    planned_makespan=task["planned_makespan"],
+                    sim_makespan=out["makespan"],
+                    sim_cost=out["total_cost"],
+                    success_rate=1.0 if ok else 0.0,
+                    n_reps=1,
+                    n_vms=out["n_vms"],
+                    outcome=out["outcome"],
+                    n_faults=out["n_faults"],
+                    extra={
+                        "policy": policy,
+                        "preemption_rate": rate,
+                        "reserve": reserve,
+                        "n_recoveries": out["n_recoveries"],
+                        "lost_cost": out["lost_cost"],
+                        "n_preemptions": out["n_preemptions"],
+                    },
+                ))
+        study.points.append(ResiliencePoint(
+            family=family,
+            n_tasks=n_tasks,
+            algorithm=algo,
+            policy=policy,
+            crash_rate=0.0,
+            budget=budget,
+            n_runs=n_runs,
+            n_success=successes,
+            n_budget_exhausted=exhausted,
+            mean_makespan=sum(makespans) / len(makespans),
+            mean_cost=sum(costs) / len(costs),
+            mean_faults=sum(faults) / len(faults),
+            n_over_budget=over,
+            preemption_rate=rate,
+            reserve=reserve,
+            spot=True,
         ))
     return study
 

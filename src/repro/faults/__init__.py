@@ -4,10 +4,14 @@ Three pieces:
 
 * :mod:`repro.faults.plan` — declarative, seedable :class:`FaultPlan`s the
   discrete-event executor consumes (VM crashes, boot failures, transient
-  task failures, stragglers);
+  task failures, stragglers, correlated spot preemption bursts);
+* :mod:`repro.faults.spot` — the spot-market failure model: periodic
+  checkpoint policy (:class:`CheckpointConfig`) and seeded correlated
+  revocation scenarios (:class:`SpotScenario`);
 * :mod:`repro.faults.recovery` — policies that rewrite a crashed schedule
   into a recovered one while keeping the paper's non-preemptive ``ListT``
-  invariant and re-billing lost VM windows;
+  invariant, re-billing lost VM windows, and resuming checkpointed spot
+  work from its last durable checkpoint;
 * :mod:`repro.faults.runner` — the execute → detect → recover loop with a
   budget projection that refuses unfundable recoveries
   (:class:`~repro.errors.BudgetExhaustedError`).
@@ -22,11 +26,14 @@ from __future__ import annotations
 
 from typing import Any
 
-from .plan import FaultEvent, FaultPlan
+from .plan import FaultEvent, FaultPlan, SpotPreemption
 
 __all__ = [
     "FaultEvent",
     "FaultPlan",
+    "SpotPreemption",
+    "CheckpointConfig",
+    "SpotScenario",
     "RecoveryOutcome",
     "RecoveryPolicy",
     "RetrySameCategory",
@@ -49,6 +56,7 @@ _RUNNER_NAMES = frozenset(
     {"FaultRunResult", "run_with_faults", "OUTCOME_SUCCESS", "OUTCOME_FAILED",
      "OUTCOME_BUDGET_EXHAUSTED"}
 )
+_SPOT_NAMES = frozenset({"CheckpointConfig", "SpotScenario"})
 
 
 def __getattr__(name: str) -> Any:
@@ -60,6 +68,10 @@ def __getattr__(name: str) -> Any:
         from . import runner
 
         return getattr(runner, name)
+    if name in _SPOT_NAMES:
+        from . import spot
+
+        return getattr(spot, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

@@ -26,12 +26,63 @@ generator, which is what the resilience sweep uses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
 from ..errors import SimulationError
 from ..rng import RngLike, as_generator
 
-__all__ = ["FaultEvent", "FaultPlan"]
+__all__ = ["FaultEvent", "FaultPlan", "SpotPreemption"]
+
+
+@dataclass(frozen=True)
+class SpotPreemption:
+    """One correlated spot-market revocation burst.
+
+    At instant ``at`` the provider reclaims **every** provisioned spot VM
+    (of category ``category`` when given, of all spot categories when
+    ``None``) that still has unfinished work — the market-wide correlated
+    failure on-demand crashes cannot model. ``warning_s`` is the revocation
+    notice lead time: with checkpointing enabled, a warning of at least the
+    checkpoint overhead lets each victim flush one final checkpoint before
+    dying, so less work is lost.
+    """
+
+    at: float
+    category: Optional[str] = None
+    warning_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0.0:
+            raise SimulationError(
+                f"preemption time must be >= 0, got {self.at}"
+            )
+        if self.warning_s < 0.0:
+            raise SimulationError(
+                f"preemption warning must be >= 0, got {self.warning_s}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form; inverse of :meth:`from_dict`."""
+        return {
+            "at": self.at,
+            "category": self.category,
+            "warning_s": self.warning_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SpotPreemption":
+        """Rebuild a burst from :meth:`to_dict` output."""
+        known = {"at", "category", "warning_s"}
+        unknown = set(data) - known
+        if unknown:
+            raise SimulationError(
+                f"unknown preemption fields: {sorted(unknown)}"
+            )
+        return cls(
+            at=float(data["at"]),
+            category=data.get("category"),
+            warning_s=float(data.get("warning_s", 0.0)),
+        )
 
 
 @dataclass
@@ -89,10 +140,20 @@ class FaultPlan:
         time scales by ``1 + Σ f_i``.
     stragglers:
         ``tid -> factor >= 1`` weight inflation.
+    preemptions:
+        Correlated spot-market revocation bursts
+        (:class:`SpotPreemption`), sorted by time. Each burst kills every
+        live spot VM it covers; non-spot VMs never notice.
+    checkpoints:
+        ``tid -> instructions`` recovery bookkeeping (the spot analogue of
+        ``retires``): work already made durable at the datacenter by a
+        checkpoint before the task's VM died. Replays resume the task with
+        that many instructions already done instead of re-executing from
+        scratch.
     """
 
     __slots__ = ("crashes", "retires", "boot_failures", "task_retries",
-                 "stragglers")
+                 "stragglers", "preemptions", "checkpoints")
 
     def __init__(
         self,
@@ -102,6 +163,8 @@ class FaultPlan:
         boot_failures: Optional[Mapping[int, int]] = None,
         task_retries: Optional[Mapping[str, Tuple[float, ...]]] = None,
         stragglers: Optional[Mapping[str, float]] = None,
+        preemptions: Optional[Iterable[Any]] = None,
+        checkpoints: Optional[Mapping[str, float]] = None,
     ) -> None:
         self.crashes: Dict[int, float] = _as_int_keys(crashes or {})
         self.retires: Dict[int, float] = _as_int_keys(retires or {})
@@ -113,6 +176,21 @@ class FaultPlan:
         self.stragglers: Dict[str, float] = {
             str(t): float(f) for t, f in (stragglers or {}).items()
         }
+        self.preemptions: Tuple[SpotPreemption, ...] = tuple(sorted(
+            (p if isinstance(p, SpotPreemption)
+             else SpotPreemption.from_dict(p)
+             for p in (preemptions or ())),
+            key=lambda p: (p.at, p.category or "", p.warning_s),
+        ))
+        self.checkpoints: Dict[str, float] = {
+            str(t): float(w) for t, w in (checkpoints or {}).items()
+        }
+        for tid, w in self.checkpoints.items():
+            if w <= 0.0:
+                raise SimulationError(
+                    f"checkpointed instructions for {tid!r} must be > 0, "
+                    f"got {w}"
+                )
         for vm_id, t in self.crashes.items():
             if t < 0.0:
                 raise SimulationError(f"crash time for VM {vm_id} is negative: {t}")
@@ -141,7 +219,8 @@ class FaultPlan:
     def is_empty(self) -> bool:
         """True when the plan injects nothing at all."""
         return not (self.crashes or self.retires or self.boot_failures
-                    or self.task_retries or self.stragglers)
+                    or self.task_retries or self.stragglers
+                    or self.preemptions or self.checkpoints)
 
     def __bool__(self) -> bool:
         return not self.is_empty
@@ -151,7 +230,8 @@ class FaultPlan:
         """Number of individual fault entries (guard-limit sizing)."""
         return (len(self.crashes) + len(self.retires)
                 + len(self.boot_failures) + len(self.task_retries)
-                + len(self.stragglers))
+                + len(self.stragglers) + len(self.preemptions)
+                + len(self.checkpoints))
 
     # ------------------------------------------------------------------
     def weight_factor(self, tid: str) -> float:
@@ -161,6 +241,19 @@ class FaultPlan:
         if fractions:
             factor *= 1.0 + sum(fractions)
         return factor
+
+    def remaining_weight(self, tid: str, inflated_weight: float) -> float:
+        """Instructions still to execute after the banked checkpoint.
+
+        ``inflated_weight`` is the task's actual weight *after*
+        :meth:`weight_factor` inflation; checkpoints are banked in that
+        same inflated space, so restarts resume exactly where the last
+        durable checkpoint left off.
+        """
+        done = self.checkpoints.get(tid)
+        if done is None:
+            return inflated_weight
+        return max(inflated_weight - done, 0.0)
 
     def extra_boots(self, vm_id: int) -> int:
         """Failed boot rounds before the VM comes up (0 = boots cleanly)."""
@@ -172,6 +265,8 @@ class FaultPlan:
         fired: Mapping[int, float],
         *,
         drop: Tuple[int, ...] = (),
+        fired_preemptions_until: Optional[float] = None,
+        checkpoints: Optional[Mapping[str, float]] = None,
     ) -> "FaultPlan":
         """Rewrite fired crashes into billing retires (recovery bookkeeping).
 
@@ -179,6 +274,12 @@ class FaultPlan:
         ``crashes`` and joins ``retires`` so replays bill the lost window.
         VMs in ``drop`` (emptied by recovery — they host no surviving task)
         are removed entirely; their cost is accounted by the recovery loop.
+
+        ``fired_preemptions_until`` retires preemption bursts the same
+        way: bursts at or before that instant have already fired (their
+        victims are in ``fired``) and are dropped so replays do not fire
+        them again. ``checkpoints`` merges newly banked durable progress
+        (per tid, monotonically — the max of old and new survives).
         """
         crashes = {v: t for v, t in self.crashes.items() if v not in fired}
         retires = dict(self.retires)
@@ -189,32 +290,50 @@ class FaultPlan:
         boot_failures = {
             v: n for v, n in self.boot_failures.items() if v not in dropped
         }
+        preemptions = self.preemptions
+        if fired_preemptions_until is not None:
+            preemptions = tuple(
+                p for p in preemptions if p.at > fired_preemptions_until
+            )
+        merged = dict(self.checkpoints)
+        for tid, done in (checkpoints or {}).items():
+            if done > merged.get(tid, 0.0):
+                merged[str(tid)] = float(done)
         return FaultPlan(
             crashes={v: t for v, t in crashes.items() if v not in dropped},
             retires={v: t for v, t in retires.items() if v not in dropped},
             boot_failures=boot_failures,
             task_retries=self.task_retries,
             stragglers=self.stragglers,
+            preemptions=preemptions,
+            checkpoints=merged,
         )
 
     def billing_only(self) -> "FaultPlan":
         """The plan a budget monitor may assume: past losses, no future ones.
 
-        Keeps the retires (already-paid windows) and the per-task
-        inflations of work already scheduled, but strips the crashes the
-        monitor cannot foresee. Used for recovery cost projection.
+        Keeps the retires (already-paid windows), the per-task inflations
+        of work already scheduled, and the banked checkpoints (durable
+        progress the replay must credit), but strips the crashes and
+        preemption bursts the monitor cannot foresee. Used for recovery
+        cost projection.
         """
         return FaultPlan(
             retires=self.retires,
             boot_failures=self.boot_failures,
             task_retries=self.task_retries,
             stragglers=self.stragglers,
+            checkpoints=self.checkpoints,
         )
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-ready form; inverse of :meth:`from_dict`."""
-        return {
+        """JSON-ready form; inverse of :meth:`from_dict`.
+
+        Spot fields are emitted only when present so pre-spot plans (and
+        any fingerprints over them) encode exactly as before.
+        """
+        out = {
             "crashes": {str(k): v for k, v in sorted(self.crashes.items())},
             "retires": {str(k): v for k, v in sorted(self.retires.items())},
             "boot_failures": {
@@ -225,12 +344,17 @@ class FaultPlan:
             },
             "stragglers": dict(sorted(self.stragglers.items())),
         }
+        if self.preemptions:
+            out["preemptions"] = [p.to_dict() for p in self.preemptions]
+        if self.checkpoints:
+            out["checkpoints"] = dict(sorted(self.checkpoints.items()))
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
         """Rebuild a plan from :meth:`to_dict` output."""
         known = {"crashes", "retires", "boot_failures", "task_retries",
-                 "stragglers"}
+                 "stragglers", "preemptions", "checkpoints"}
         unknown = set(data) - known
         if unknown:
             raise SimulationError(f"unknown fault plan fields: {sorted(unknown)}")
@@ -242,6 +366,8 @@ class FaultPlan:
                 t: tuple(fr) for t, fr in (data.get("task_retries") or {}).items()
             },
             stragglers=data.get("stragglers"),
+            preemptions=data.get("preemptions"),
+            checkpoints=data.get("checkpoints"),
         )
 
     def __eq__(self, other: Any) -> bool:
@@ -254,7 +380,9 @@ class FaultPlan:
             f"FaultPlan(crashes={len(self.crashes)}, retires={len(self.retires)}, "
             f"boot_failures={len(self.boot_failures)}, "
             f"task_retries={len(self.task_retries)}, "
-            f"stragglers={len(self.stragglers)})"
+            f"stragglers={len(self.stragglers)}, "
+            f"preemptions={len(self.preemptions)}, "
+            f"checkpoints={len(self.checkpoints)})"
         )
 
     # ------------------------------------------------------------------

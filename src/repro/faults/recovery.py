@@ -1,7 +1,11 @@
 """Recovery policies: rewrite a crashed schedule into a recovered one.
 
-Recovery is *checkpoint-free* (§III-A tasks are black boxes): work lost to a
-VM crash is re-executed from scratch. A policy receives the crashed
+Work lost to an on-demand VM crash is re-executed from scratch (§III-A
+tasks are black boxes). On *spot* VMs running a
+:class:`~repro.faults.spot.CheckpointConfig`, the executor banks each
+victim's durable checkpoint progress, and the policies below merge it into
+the rewritten plan so the replay resumes from the last checkpoint instead
+— see :meth:`RecoveryPolicy._settle`. A policy receives the crashed
 execution and returns a :class:`RecoveryOutcome` holding
 
 * a new :class:`~repro.scheduling.schedule.Schedule` whose global dispatch
@@ -34,7 +38,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import SchedulingError
 from ..platform.cloud import CloudPlatform
-from ..platform.pricing import vm_cost
+from ..platform.pricing import on_demand_twin, spot_vm_cost, strip_spot, vm_cost
 from ..scheduling.budget import divide_budget
 from ..scheduling.list_base import get_best_host
 from ..scheduling.planning import PlannedVM, PlanningState
@@ -107,21 +111,42 @@ class RecoveryPolicy:
         plan: FaultPlan,
         fired: Dict[int, float],
         vm_records: Dict[int, VMRecord],
+        attempt: SimulationResult,
+        platform: CloudPlatform,
     ) -> Tuple[Tuple[int, ...], float, FaultPlan]:
         """Shared bookkeeping once the new assignment is fixed.
 
         Fired crashes become retires; crashed VMs hosting no surviving task
         are dropped from the plan and their billed window (ready → crash,
         plus the init fee) becomes ``lost_cost`` — money spent that no
-        replay of the recovered schedule will bill again.
+        replay of the recovered schedule will bill again. Spot VMs bill
+        their window along the market trajectory, exactly as the executor
+        did.
+
+        Spot bookkeeping rides along: preemption bursts that fired during
+        the attempt are retired from the plan (their victims are in
+        ``fired``; replays must not fire them again), and checkpoint
+        progress the dying VMs banked is merged into the plan so the
+        replay resumes each restarted task from its last checkpoint.
         """
         used = set(assignment.values())
         drop = tuple(sorted(v for v in fired if v not in used))
         lost = 0.0
         for vm_id in drop:
             rec = vm_records[vm_id]
-            lost += vm_cost(rec.category, rec.ready_at, rec.end_at)
-        return drop, lost, plan.with_crashes_retired(fired, drop=drop)
+            lost += spot_vm_cost(
+                rec.category, platform.spot_market, rec.ready_at, rec.end_at
+            )
+        banked = {
+            tid: rec.checkpoint_weight
+            for tid, rec in attempt.tasks.items()
+            if rec.failed and rec.checkpoint_weight > 0.0
+        }
+        return drop, lost, plan.with_crashes_retired(
+            fired, drop=drop,
+            fired_preemptions_until=attempt.end,
+            checkpoints=banked or None,
+        )
 
     @staticmethod
     def _check_recoverable(
@@ -140,6 +165,11 @@ class RetrySameCategory(RecoveryPolicy):
     plus a new rental window, booted from scratch) — there is no warm
     standby. Per crashed VM, all its failed tasks move together to one
     replacement, so the per-queue execution order is preserved verbatim.
+
+    Spot-market exception: a *preempted* VM's replacement is the on-demand
+    twin of its category, not the same spot category — the market just
+    revoked that capacity, so retrying on it would walk straight into the
+    next burst. The twin costs more per hour but cannot be preempted.
     """
 
     name = "retry"
@@ -148,6 +178,7 @@ class RetrySameCategory(RecoveryPolicy):
         """Move each crashed VM's failed tasks to one fresh same-category VM."""
         fired = crashed_vms(attempt)
         self._check_recoverable(fired, attempt)
+        vm_records = {rec.vm_id: rec for rec in attempt.vms}
         assignment = dict(schedule.assignment)
         categories = dict(schedule.categories)
         next_id = max(categories, default=-1) + 1
@@ -156,7 +187,11 @@ class RetrySameCategory(RecoveryPolicy):
             old = assignment[tid]
             if old not in replacement:
                 replacement[old] = next_id
-                categories[next_id] = schedule.categories[old]
+                category = schedule.categories[old]
+                rec = vm_records.get(old)
+                if rec is not None and rec.preempted:
+                    category = on_demand_twin(platform, category)
+                categories[next_id] = category
                 next_id += 1
             assignment[tid] = replacement[old]
         live = set(assignment.values())
@@ -166,8 +201,9 @@ class RetrySameCategory(RecoveryPolicy):
             assignment=assignment,
             categories=categories,
         )
-        vm_records = {rec.vm_id: rec for rec in attempt.vms}
-        drop, lost, new_plan = self._settle(assignment, plan, fired, vm_records)
+        drop, lost, new_plan = self._settle(
+            assignment, plan, fired, vm_records, attempt, platform
+        )
         return RecoveryOutcome(
             schedule=new_schedule,
             plan=new_plan,
@@ -203,8 +239,15 @@ class RemapRecovery(RecoveryPolicy):
         blocked = set(attempt.blocked_tasks)
         vm_records = {rec.vm_id: rec for rec in attempt.vms}
 
+        # After a market revocation, fresh spot enrollment is off the
+        # table: the planner sees only on-demand categories (surviving
+        # spot VMs stay valid hosts — they are seeded below regardless).
+        planning_platform = platform
+        if any(vm_records[v].preempted for v in fired):
+            planning_platform = strip_spot(platform)
+
         # --- seed the planner with the committed (observed) timeline -----
-        state = PlanningState(wf, platform)
+        state = PlanningState(wf, planning_platform)
         real_of: Dict[int, int] = {}     # planner vm id -> schedule vm id
         planner_of: Dict[int, int] = {}  # schedule vm id -> planner vm id
         for old_id in sorted(vm_records):
@@ -257,14 +300,14 @@ class RemapRecovery(RecoveryPolicy):
             for vm in state.vms
         )
         committed += sum(
-            vm_cost(vm_records[v].category,
-                    vm_records[v].ready_at, vm_records[v].end_at)
+            spot_vm_cost(vm_records[v].category, platform.spot_market,
+                         vm_records[v].ready_at, vm_records[v].end_at)
             for v in fired
         )
 
         # --- redistribute the unspent budget over the lost work ----------
         leftover = max(budget - committed, 0.0)
-        bplan = divide_budget(wf, platform, leftover)
+        bplan = divide_budget(wf, planning_platform, leftover)
         pending = [t for t in schedule.order if t in failed or t in blocked]
         failed_total = sum(bplan.share(t) for t in pending if t in failed)
         scale = bplan.b_calc / failed_total if failed_total > 0.0 else 0.0
@@ -318,7 +361,9 @@ class RemapRecovery(RecoveryPolicy):
             assignment=assignment,
             categories=categories,
         )
-        drop, lost, new_plan = self._settle(assignment, plan, fired, vm_records)
+        drop, lost, new_plan = self._settle(
+            assignment, plan, fired, vm_records, attempt, platform
+        )
         moved = [t for t in pending if t in failed]
         return RecoveryOutcome(
             schedule=new_schedule,

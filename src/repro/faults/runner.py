@@ -19,8 +19,9 @@ An unfundable recovery ends the run with the explicit
 overrunning — the fault-tolerant analogue of the paper's validity metric.
 
 Every step is observable: fault events and recovery decisions go to the
-event bus (``fault.injected``, ``recovery.applied``, ``recovery.rejected``),
-counters to the metrics registry (``repro_faults_injected_total``,
+event bus (``fault.injected``, ``fault.preempted``, ``recovery.applied``,
+``recovery.rejected``, ``recovery.checkpoint_restart``), counters to the
+metrics registry (``repro_faults_injected_total``,
 ``repro_recovery_*_total``), and a ``kind="recovery"`` decision record to
 the active tracer.
 """
@@ -32,12 +33,15 @@ from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..service.metrics import MetricsRegistry
+    from .spot import CheckpointConfig
 
 from ..errors import BudgetExhaustedError, SchedulingError
 from ..obs.events import (
     EventBus,
     FAULT_INJECTED,
+    FAULT_PREEMPTED,
     RECOVERY_APPLIED,
+    RECOVERY_CHECKPOINT_RESTART,
     RECOVERY_REJECTED,
 )
 from ..obs.tracing import DecisionRecord, get_tracer
@@ -139,6 +143,8 @@ def run_with_faults(
     weights: Optional[Mapping[str, float]] = None,
     rng: RngLike = None,
     max_attempts: int = 5,
+    max_replans: Optional[int] = None,
+    checkpoint: Optional["CheckpointConfig"] = None,
     budget_tol: float = _TOL,
     metrics: Optional["MetricsRegistry"] = None,
     bus: Optional[EventBus] = None,
@@ -150,6 +156,15 @@ def run_with_faults(
     (otherwise one is sampled from ``rng``). ``policy`` is ``None``/"none"
     (measure the damage, recover nothing), a policy name from
     :data:`~repro.faults.recovery.RECOVERY_POLICIES`, or an instance.
+
+    ``checkpoint`` enables periodic checkpointing on spot VMs — both in
+    the real executions *and* in the budget projection, so the gate prices
+    the checkpoint overhead it will actually pay. ``max_replans`` caps
+    accepted recoveries (``None`` = unlimited up to ``max_attempts``): one
+    more needed replan past the cap ends the run as ``failed`` with a
+    ``recovery.rejected reason="replan_limit"`` event instead of asking
+    the policy — the guard against a churning spot market eating the whole
+    budget in replanning rounds.
 
     Never raises on fault outcomes — inspect ``outcome`` / ``error`` on the
     returned :class:`FaultRunResult`. ``max_attempts`` bounds the number of
@@ -172,22 +187,36 @@ def run_with_faults(
     while True:
         attempts += 1
         run = execute_schedule(
-            wf, platform, schedule, actual, validate=False, fault_plan=cur_plan
+            wf, platform, schedule, actual, validate=False,
+            fault_plan=cur_plan, checkpoint=checkpoint,
         )
-        # First attempt logs everything; replays only log *new* crashes
-        # (fired ones were retired from the plan, boot failures and task
-        # inflations re-fire identically and are already on record).
+        # First attempt logs everything; replays only log *new* kills
+        # (fired crashes/preemptions were retired from the plan, boot
+        # failures and task inflations re-fire identically and are
+        # already on record).
         if attempts == 1:
             new_events = list(run.fault_events)
         else:
-            new_events = [e for e in run.fault_events if e.kind == "vm.crash"]
+            new_events = [
+                e for e in run.fault_events
+                if e.kind in ("vm.crash", "vm.preempted")
+            ]
         events.extend(new_events)
         if new_events:
+            n_preempted = sum(
+                1 for e in new_events if e.kind == "vm.preempted"
+            )
             if metrics is not None:
                 metrics.incr("faults_injected", len(new_events))
+                if n_preempted:
+                    metrics.incr("faults_preempted", n_preempted)
             if bus is not None:
                 for ev in new_events:
-                    bus.publish(FAULT_INJECTED, attempt=attempts, **ev.to_dict())
+                    bus.publish(
+                        FAULT_PREEMPTED if ev.kind == "vm.preempted"
+                        else FAULT_INJECTED,
+                        attempt=attempts, **ev.to_dict(),
+                    )
 
         def done(outcome: str, error: Optional[str] = None) -> FaultRunResult:
             return FaultRunResult(
@@ -218,6 +247,23 @@ def run_with_faults(
                 f"still incomplete after {attempts} attempts "
                 f"({len(run.failed_tasks)} failed task(s))",
             )
+        if max_replans is not None and recoveries >= max_replans:
+            if metrics is not None:
+                metrics.incr("recovery_replan_limit")
+            if bus is not None:
+                bus.publish(
+                    RECOVERY_REJECTED,
+                    attempt=attempts,
+                    reason="replan_limit",
+                    max_replans=max_replans,
+                    n_failed=len(run.failed_tasks),
+                )
+            return done(
+                OUTCOME_FAILED,
+                f"replan limit reached: {recoveries} recoveries already "
+                f"applied (max_replans={max_replans}) and "
+                f"{len(run.failed_tasks)} task(s) still lost",
+            )
 
         if metrics is not None:
             metrics.incr("recovery_attempts")
@@ -232,6 +278,7 @@ def run_with_faults(
         est = execute_schedule(
             wf, platform, out.schedule, knowledge,
             validate=False, fault_plan=out.plan.billing_only(),
+            checkpoint=checkpoint,
         )
         projected = est.total_cost + lost_next
         funded = projected <= budget * (1.0 + budget_tol) + budget_tol
@@ -279,6 +326,13 @@ def run_with_faults(
 
         # --- accept --------------------------------------------------------
         out.schedule.validate(wf)
+        # Tasks whose restart resumes from newly banked spot checkpoints
+        # (vs. re-executing from scratch) are worth surfacing: they are
+        # the whole point of paying the checkpoint overhead.
+        restarted = {
+            tid: done_w for tid, done_w in out.plan.checkpoints.items()
+            if done_w > cur_plan.checkpoints.get(tid, 0.0)
+        }
         schedule = out.schedule
         cur_plan = out.plan
         lost = lost_next
@@ -287,6 +341,8 @@ def run_with_faults(
         recoveries += 1
         if metrics is not None:
             metrics.incr("recovery_applied")
+            if restarted:
+                metrics.incr("recovery_checkpoint_restarts", len(restarted))
         if bus is not None:
             bus.publish(
                 RECOVERY_APPLIED,
@@ -296,3 +352,12 @@ def run_with_faults(
                 lost_cost=out.lost_cost,
                 projected_cost=projected,
             )
+            if restarted:
+                bus.publish(
+                    RECOVERY_CHECKPOINT_RESTART,
+                    policy=pol.name,
+                    attempt=attempts,
+                    n_tasks=len(restarted),
+                    tasks=sorted(restarted)[:16],
+                    banked_weight=sum(restarted.values()),
+                )

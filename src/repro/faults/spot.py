@@ -1,0 +1,223 @@
+"""Spot-market failure scenarios: checkpoint policy + correlated bursts.
+
+Spot (preemptible) VMs trade a price discount for the risk of *correlated*
+revocation: when the market reclaims capacity it preempts every spot VM of
+a category at once — the burst failure mode independent per-VM crash rates
+cannot express (cf. the transient-unavailability model of arXiv
+2504.21536). Two value objects capture the resilience knobs:
+
+* :class:`CheckpointConfig` — the periodic checkpoint policy run on spot
+  VMs. Every ``interval_s`` seconds of useful work the task spends
+  ``overhead_s`` extra seconds making its progress durable at the
+  datacenter; a preemption *warning* of at least ``overhead_s`` seconds
+  additionally allows one emergency flush right before the VM dies. The
+  overhead is billed to the plan (longer rental windows), which is why
+  checkpointing is a trade and not a free lunch.
+* :class:`SpotScenario` — bundles a :class:`~repro.platform.pricing.SpotMarket`
+  with a burst arrival rate and checkpoint policy, derives the spot-enabled
+  platform (:meth:`SpotScenario.platform_for`) and draws seeded
+  :class:`~repro.faults.plan.FaultPlan`s of correlated preemption bursts
+  (:meth:`SpotScenario.sample_plan`).
+
+All sampling is seeded and iteration-order free, so a given seed always
+yields the same plan — the same determinism discipline as
+:meth:`repro.faults.plan.FaultPlan.sample`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..errors import SimulationError
+from ..platform.cloud import CloudPlatform
+from ..platform.pricing import SpotMarket, add_spot_categories
+from ..rng import RngLike, as_generator
+from .plan import FaultPlan, SpotPreemption
+
+__all__ = ["CheckpointConfig", "SpotScenario"]
+
+_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Periodic checkpointing on spot VMs (progress made durable at the DC).
+
+    A checkpointed compute alternates ``interval_s`` seconds of useful work
+    with ``overhead_s`` seconds of checkpoint I/O; the final partial chunk
+    is never checkpointed (task completion makes outputs durable anyway).
+    On a kill, the work covered by the last completed checkpoint survives
+    and a restart resumes from there instead of from scratch.
+    """
+
+    interval_s: float = 900.0
+    overhead_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0.0:
+            raise SimulationError(
+                f"checkpoint interval must be > 0, got {self.interval_s}"
+            )
+        if self.overhead_s < 0.0:
+            raise SimulationError(
+                f"checkpoint overhead must be >= 0, got {self.overhead_s}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def cycle_s(self) -> float:
+        """One work-then-checkpoint cycle (wall seconds)."""
+        return self.interval_s + self.overhead_s
+
+    def n_checkpoints(self, work_s: float) -> int:
+        """Checkpoints taken during ``work_s`` seconds of useful work.
+
+        One per full interval, minus the final one (completion itself is
+        durable): a 3.2-interval task checkpoints 3 times, a one-interval
+        task not at all.
+        """
+        if work_s <= 0.0:
+            return 0
+        return max(math.ceil(work_s / self.interval_s) - 1, 0)
+
+    def checkpointed_duration(self, work_s: float) -> float:
+        """Wall-clock compute duration including checkpoint overheads."""
+        return work_s + self.n_checkpoints(work_s) * self.overhead_s
+
+    def durable_work_s(self, elapsed_s: float) -> float:
+        """Useful work covered by the last *completed* periodic checkpoint
+        after ``elapsed_s`` wall seconds of checkpointed execution."""
+        if elapsed_s <= 0.0:
+            return 0.0
+        return math.floor(elapsed_s / self.cycle_s) * self.interval_s
+
+    def flush_work_s(self, elapsed_s: float) -> float:
+        """Useful work an emergency flush makes durable.
+
+        The revocation warning arrives ``overhead_s`` before death is
+        acceptable: the task stops computing at ``elapsed_s − overhead_s``
+        and spends the remainder flushing its *current* state — including
+        the partial progress of the in-flight interval, which a periodic
+        checkpoint would have lost.
+        """
+        useful = elapsed_s - self.overhead_s
+        if useful <= 0.0:
+            return 0.0
+        cycles = math.floor(useful / self.cycle_s)
+        into_cycle = useful - cycles * self.cycle_s
+        return cycles * self.interval_s + min(into_cycle, self.interval_s)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form; inverse of :meth:`from_dict`."""
+        return {"interval_s": self.interval_s, "overhead_s": self.overhead_s}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CheckpointConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        known = {"interval_s", "overhead_s"}
+        unknown = set(data) - known
+        if unknown:
+            raise SimulationError(
+                f"unknown checkpoint fields: {sorted(unknown)}"
+            )
+        return cls(
+            interval_s=float(data.get("interval_s", 900.0)),
+            overhead_s=float(data.get("overhead_s", 30.0)),
+        )
+
+
+@dataclass(frozen=True)
+class SpotScenario:
+    """One spot-market configuration: pricing, burst process, checkpoints.
+
+    ``preemption_rate_per_hour`` is the arrival rate of market-wide
+    revocation bursts (exponential inter-arrival times); each burst
+    preempts every live spot VM with ``warning_s`` seconds of notice.
+    ``checkpoint`` is the policy spot VMs run (``None`` = no
+    checkpointing: preempted work restarts from scratch).
+    """
+
+    market: SpotMarket = field(default_factory=SpotMarket)
+    preemption_rate_per_hour: float = 0.0
+    warning_s: float = 120.0
+    checkpoint: Optional[CheckpointConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.preemption_rate_per_hour < 0.0:
+            raise SimulationError(
+                f"preemption rate must be >= 0, "
+                f"got {self.preemption_rate_per_hour}"
+            )
+        if self.warning_s < 0.0:
+            raise SimulationError(
+                f"preemption warning must be >= 0, got {self.warning_s}"
+            )
+
+    # ------------------------------------------------------------------
+    def platform_for(
+        self, platform: CloudPlatform, *, names: Optional[Tuple[str, ...]] = None
+    ) -> CloudPlatform:
+        """``platform`` extended with this market's spot twins."""
+        return add_spot_categories(platform, self.market, names=names)
+
+    def sample_plan(
+        self, *, rng: RngLike = None, horizon: float
+    ) -> FaultPlan:
+        """Draw a seeded plan of correlated preemption bursts over
+        ``[0, horizon)``.
+
+        Bursts are market-wide (``category=None`` — every spot category is
+        hit), arriving as a Poisson process with rate
+        ``preemption_rate_per_hour``. A zero rate yields an *empty* plan,
+        which the executor treats as no plan at all.
+        """
+        if horizon <= 0.0:
+            raise SimulationError(f"sample horizon must be > 0, got {horizon}")
+        if self.preemption_rate_per_hour <= 0.0:
+            return FaultPlan()
+        gen = as_generator(rng)
+        bursts = []
+        t = 0.0
+        while True:
+            t += float(gen.exponential(_HOUR / self.preemption_rate_per_hour))
+            if t >= horizon:
+                break
+            bursts.append(SpotPreemption(at=t, warning_s=self.warning_s))
+        return FaultPlan(preemptions=bursts)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form; inverse of :meth:`from_dict`."""
+        out: Dict[str, Any] = {
+            "market": self.market.to_dict(),
+            "preemption_rate_per_hour": self.preemption_rate_per_hour,
+            "warning_s": self.warning_s,
+        }
+        if self.checkpoint is not None:
+            out["checkpoint"] = self.checkpoint.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SpotScenario":
+        """Rebuild a scenario from :meth:`to_dict` output."""
+        known = {"market", "preemption_rate_per_hour", "warning_s",
+                 "checkpoint"}
+        unknown = set(data) - known
+        if unknown:
+            raise SimulationError(
+                f"unknown spot scenario fields: {sorted(unknown)}"
+            )
+        ckpt = data.get("checkpoint")
+        return cls(
+            market=SpotMarket.from_dict(data.get("market") or {}),
+            preemption_rate_per_hour=float(
+                data.get("preemption_rate_per_hour", 0.0)
+            ),
+            warning_s=float(data.get("warning_s", 120.0)),
+            checkpoint=(
+                CheckpointConfig.from_dict(ckpt) if ckpt is not None else None
+            ),
+        )

@@ -17,6 +17,7 @@ from typing import Any, Dict, IO, Union
 
 from .errors import PlatformError, ScheduleValidationError
 from .platform.cloud import CloudPlatform
+from .platform.pricing import SpotMarket
 from .platform.vm import VMCategory
 from .scheduling.schedule import Schedule
 from .simulation.trace import SimulationResult
@@ -40,7 +41,7 @@ _PLATFORM_FORMAT = "repro.platform/1"
 
 
 def _category_to_dict(cat: VMCategory) -> Dict[str, Any]:
-    return {
+    out = {
         "name": cat.name,
         "speed": cat.speed,
         "hourly_cost": cat.hourly_cost,
@@ -48,6 +49,11 @@ def _category_to_dict(cat: VMCategory) -> Dict[str, Any]:
         "boot_time": cat.boot_time,
         "cores": cat.cores,
     }
+    # Emitted only when set so pre-spot payloads (and their fingerprints)
+    # are byte-identical to what older versions produced.
+    if cat.spot:
+        out["spot"] = True
+    return out
 
 
 def _category_from_dict(data: Dict[str, Any]) -> VMCategory:
@@ -58,6 +64,7 @@ def _category_from_dict(data: Dict[str, Any]) -> VMCategory:
         initial_cost=data.get("initial_cost", 0.0),
         boot_time=data.get("boot_time", 0.0),
         cores=data.get("cores", 1),
+        spot=bool(data.get("spot", False)),
     )
 
 
@@ -116,7 +123,7 @@ def load_schedule(fp: Union[str, IO[str]]) -> Schedule:
 def platform_to_dict(platform: CloudPlatform) -> Dict[str, Any]:
     """Encode a platform as a JSON-ready dict (inverse of
     :func:`platform_from_dict`)."""
-    return {
+    out = {
         "format": _PLATFORM_FORMAT,
         "name": platform.name,
         "bandwidth": platform.bandwidth,
@@ -125,6 +132,11 @@ def platform_to_dict(platform: CloudPlatform) -> Dict[str, Any]:
         "datacenter_rate_override": platform.datacenter_rate_override,
         "categories": [_category_to_dict(cat) for cat in platform.categories],
     }
+    # Only present on spot-enabled platforms, keeping legacy payload
+    # fingerprints unchanged.
+    if platform.spot_market is not None:
+        out["spot_market"] = platform.spot_market.to_dict()
+    return out
 
 
 def platform_from_dict(data: Dict[str, Any]) -> CloudPlatform:
@@ -133,6 +145,7 @@ def platform_from_dict(data: Dict[str, Any]) -> CloudPlatform:
         raise PlatformError(
             f"unsupported platform format {data.get('format')!r}"
         )
+    market = data.get("spot_market")
     try:
         return CloudPlatform(
             categories=tuple(
@@ -145,6 +158,9 @@ def platform_from_dict(data: Dict[str, Any]) -> CloudPlatform:
             ),
             datacenter_rate_override=data.get("datacenter_rate_override"),
             name=data.get("name", "cloud"),
+            spot_market=(
+                SpotMarket.from_dict(market) if market is not None else None
+            ),
         )
     except PlatformError:
         raise

@@ -34,8 +34,10 @@ __all__ = [
     "JOB_EVENT_TYPES",
     "RUN_RECORDED",
     "FAULT_INJECTED",
+    "FAULT_PREEMPTED",
     "RECOVERY_APPLIED",
     "RECOVERY_REJECTED",
+    "RECOVERY_CHECKPOINT_RESTART",
     "WORKER_CRASHED",
     "ADMISSION_ADMITTED",
     "ADMISSION_REJECTED",
@@ -60,9 +62,17 @@ RUN_RECORDED = "run.recorded"
 #: Published by the fault runner for every injected fault that fired.
 FAULT_INJECTED = "fault.injected"
 
+#: Published by the fault runner for every spot VM a correlated market
+#: revocation burst killed (carries the category and warning lead time).
+FAULT_PREEMPTED = "fault.preempted"
+
 #: Published by the fault runner when a recovery is accepted / refused.
 RECOVERY_APPLIED = "recovery.applied"
 RECOVERY_REJECTED = "recovery.rejected"
+
+#: Published by the fault runner when an accepted recovery resumes tasks
+#: from banked spot checkpoints instead of re-executing them from scratch.
+RECOVERY_CHECKPOINT_RESTART = "recovery.checkpoint_restart"
 
 #: Published by :class:`repro.parallel.WorkerPool` when a worker process
 #: dies mid-shard (the pool respawns and retries the affected shards).

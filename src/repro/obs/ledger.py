@@ -434,8 +434,10 @@ class RunLedger:
 
         ``max_age_days`` drops rows older than that many days;
         ``max_rows`` then keeps only the newest N. Both constraints may be
-        combined; with neither, nothing is deleted. Long-lived service
-        deployments call this periodically so ``runs.db`` stays bounded.
+        combined; with neither, nothing is deleted. Both the ``runs`` table
+        and the v3 ``load_runs`` table are pruned (``max_rows`` bounds each
+        table independently). Long-lived service deployments call this
+        periodically so ``runs.db`` stays bounded.
         """
         if max_rows is not None and max_rows < 0:
             raise ValueError(f"max_rows must be >= 0, got {max_rows}")
@@ -445,17 +447,22 @@ class RunLedger:
         with self._lock:
             if max_age_days is not None:
                 cutoff = time.time() - max_age_days * 86400.0
-                cursor = self._conn.execute(
-                    "DELETE FROM runs WHERE recorded_at < ?", (cutoff,)
-                )
-                deleted += cursor.rowcount
+                for table in ("runs", "load_runs"):
+                    cursor = self._conn.execute(
+                        f"DELETE FROM {table} WHERE recorded_at < ?",
+                        (cutoff,),
+                    )
+                    deleted += cursor.rowcount
             if max_rows is not None:
-                cursor = self._conn.execute(
-                    "DELETE FROM runs WHERE run_id NOT IN "
-                    "(SELECT run_id FROM runs ORDER BY run_id DESC LIMIT ?)",
-                    (int(max_rows),),
-                )
-                deleted += cursor.rowcount
+                for table, key in (("runs", "run_id"),
+                                   ("load_runs", "load_id")):
+                    cursor = self._conn.execute(
+                        f"DELETE FROM {table} WHERE {key} NOT IN "
+                        f"(SELECT {key} FROM {table} "
+                        f"ORDER BY {key} DESC LIMIT ?)",
+                        (int(max_rows),),
+                    )
+                    deleted += cursor.rowcount
             self._conn.commit()
         return deleted
 

@@ -1,15 +1,33 @@
 """IaaS platform substrate: VM categories, datacenter, cost model."""
 
 from .cloud import PAPER_PLATFORM, CloudPlatform, make_linear_platform
-from .pricing import CostBreakdown, datacenter_cost, vm_cost
+from .pricing import (
+    CostBreakdown,
+    SpotMarket,
+    add_spot_categories,
+    datacenter_cost,
+    on_demand_twin,
+    spot_only,
+    spot_variant,
+    spot_vm_cost,
+    strip_spot,
+    vm_cost,
+)
 from .vm import VMCategory
 
 __all__ = [
     "PAPER_PLATFORM",
     "CloudPlatform",
     "CostBreakdown",
+    "SpotMarket",
     "VMCategory",
+    "add_spot_categories",
     "datacenter_cost",
     "make_linear_platform",
+    "on_demand_twin",
+    "spot_only",
+    "spot_variant",
+    "spot_vm_cost",
+    "strip_spot",
     "vm_cost",
 ]

@@ -18,12 +18,15 @@ delay/cost for all categories, per-second billing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from ..errors import PlatformError
 from ..units import GB, GFLOP, MB, MONTH
 from ..workflow.dag import Workflow
 from .vm import VMCategory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .pricing import SpotMarket
 
 __all__ = ["CloudPlatform", "PAPER_PLATFORM", "make_linear_platform"]
 
@@ -46,6 +49,11 @@ class CloudPlatform:
     datacenter_rate_override:
         Fixed ``c_h,DC`` in $/s; when set, the storage-derived rate is
         ignored (useful for tests and sensitivity studies).
+    spot_market:
+        The :class:`~repro.platform.pricing.SpotMarket` behind any
+        ``spot=True`` categories (price trajectory, cold start). ``None``
+        on spot-free platforms; attach via
+        :func:`~repro.platform.pricing.add_spot_categories`.
     """
 
     categories: Tuple[VMCategory, ...]
@@ -54,6 +62,7 @@ class CloudPlatform:
     storage_cost_per_byte_month: float = 0.0
     datacenter_rate_override: Optional[float] = None
     name: str = "cloud"
+    spot_market: Optional["SpotMarket"] = None
 
     def __post_init__(self) -> None:
         if not self.categories:
@@ -144,6 +153,7 @@ class CloudPlatform:
             storage_cost_per_byte_month=self.storage_cost_per_byte_month,
             datacenter_rate_override=self.datacenter_rate_override,
             name=self.name,
+            spot_market=self.spot_market,
         )
 
 

@@ -1,22 +1,357 @@
-"""Cost accounting (§III-C, Eq. 1-2).
+"""Cost accounting (§III-C, Eq. 1-2) and the spot-market price model.
 
 These functions are the *single* place where money is computed, used both by
 the planners (conservative estimates) and by the simulator (actual spend),
 so the two can never drift apart.
+
+The paper prices on-demand VMs only; :class:`SpotMarket` adds the
+preemptible category of real IaaS platforms (the variable-pricing model of
+arXiv 2504.21536): spot VMs rent at a *ceiling* rate discounted below
+on-demand, the realized price follows a seeded piecewise-constant
+trajectory **at or below** that ceiling, boots pay an extra cold-start
+delay, and — the part the fault layer models — the provider may revoke the
+whole market at any instant. Keeping the trajectory below the ceiling is
+what lets every planner keep using ``category.cost_rate`` as a safe
+estimate: a spot plan can only come in *under* its projection, never over,
+so the never-overspend budget discipline survives variable pricing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from ..errors import PlatformError
-from ..units import ceil_seconds
+from ..rng import RngLike, as_generator
+from ..units import HOUR, ceil_seconds
 from ..workflow.dag import Workflow
 from .cloud import CloudPlatform
 from .vm import VMCategory
 
-__all__ = ["vm_cost", "datacenter_cost", "CostBreakdown"]
+__all__ = [
+    "vm_cost",
+    "datacenter_cost",
+    "CostBreakdown",
+    "SpotMarket",
+    "SPOT_SUFFIX",
+    "spot_vm_cost",
+    "spot_variant",
+    "add_spot_categories",
+    "on_demand_twin",
+    "spot_only",
+    "strip_spot",
+]
+
+#: Naming convention tying a spot category to its on-demand twin:
+#: ``cat2`` ↔ ``cat2-spot``. :func:`on_demand_twin` relies on it.
+SPOT_SUFFIX = "-spot"
+
+
+@dataclass(frozen=True)
+class SpotMarket:
+    """The spot tier of a platform: discounted, variable, revocable.
+
+    Parameters
+    ----------
+    discount:
+        Fraction off the on-demand hourly price; the spot *ceiling* rate is
+        ``(1 - discount) × c_h,k``. In ``[0, 1)``.
+    cold_start_s:
+        Extra (uncharged) boot delay of spot capacity on top of the
+        category's ``t_boot`` — the cold-start penalty of arXiv 2504.21536.
+        Costs time, not direct money.
+    segments:
+        Piecewise-constant price trajectory: ``(start_s, multiplier)``
+        pairs sorted by start time. The realized $/s rate at time *t* is
+        ``ceiling_rate × multiplier(t)`` where ``multiplier(t)`` is the
+        last segment at or before *t* (1.0 before the first segment or
+        when empty). Multipliers live in ``(0, 1]`` — the market never
+        charges above the bid ceiling, which keeps planner estimates
+        conservative by construction.
+    """
+
+    discount: float = 0.6
+    cold_start_s: float = 120.0
+    segments: Tuple[Tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.discount < 1.0:
+            raise PlatformError(
+                f"spot discount must be in [0, 1), got {self.discount}"
+            )
+        if self.cold_start_s < 0.0:
+            raise PlatformError(
+                f"spot cold start must be >= 0, got {self.cold_start_s}"
+            )
+        segs = tuple((float(t), float(m)) for t, m in self.segments)
+        prev = -1.0
+        for t, m in segs:
+            if t < 0.0:
+                raise PlatformError(f"trajectory segment at negative time {t}")
+            if t <= prev:
+                raise PlatformError(
+                    "trajectory segments must be strictly increasing in time"
+                )
+            if not 0.0 < m <= 1.0:
+                raise PlatformError(
+                    f"trajectory multiplier must be in (0, 1], got {m}"
+                )
+            prev = t
+        object.__setattr__(self, "segments", segs)
+
+    # ------------------------------------------------------------------
+    def multiplier_at(self, t: float) -> float:
+        """Price multiplier in effect at absolute time ``t``."""
+        mult = 1.0
+        for start, m in self.segments:
+            if start <= t:
+                mult = m
+            else:
+                break
+        return mult
+
+    def integrate(self, start: float, end: float) -> float:
+        """``∫ multiplier(t) dt`` over ``[start, end]`` (multiplier-seconds).
+
+        With an empty trajectory this is exactly ``end - start``, so spot
+        billing degenerates to flat ceiling-rate billing.
+        """
+        if end < start:
+            raise PlatformError(f"integration window ends ({end}) before "
+                                f"it starts ({start})")
+        if not self.segments:
+            return end - start
+        total = 0.0
+        cur = start
+        mult = self.multiplier_at(start)
+        for seg_start, m in self.segments:
+            if seg_start <= start:
+                continue
+            if seg_start >= end:
+                break
+            total += (seg_start - cur) * mult
+            cur, mult = seg_start, m
+        total += (end - cur) * mult
+        return total
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form; inverse of :meth:`from_dict`."""
+        return {
+            "discount": self.discount,
+            "cold_start_s": self.cold_start_s,
+            "segments": [list(seg) for seg in self.segments],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SpotMarket":
+        """Rebuild a market from :meth:`to_dict` output."""
+        known = {"discount", "cold_start_s", "segments"}
+        unknown = set(data) - known
+        if unknown:
+            raise PlatformError(f"unknown spot market fields: {sorted(unknown)}")
+        return cls(
+            discount=data.get("discount", 0.6),
+            cold_start_s=data.get("cold_start_s", 120.0),
+            segments=tuple(
+                (seg[0], seg[1]) for seg in (data.get("segments") or ())
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def sample(
+        cls,
+        *,
+        rng: RngLike = None,
+        horizon: float = 48.0 * HOUR,
+        segment_s: float = HOUR,
+        low: float = 0.4,
+        discount: float = 0.6,
+        cold_start_s: float = 120.0,
+    ) -> "SpotMarket":
+        """Draw a seeded piecewise trajectory (bounded random walk).
+
+        Splits ``[0, horizon]`` into ``segment_s``-long segments and walks
+        the multiplier inside ``[low, 1]`` with reflecting steps, so a
+        given seed always yields the same trajectory.
+        """
+        if horizon <= 0.0:
+            raise PlatformError(f"trajectory horizon must be > 0, got {horizon}")
+        if segment_s <= 0.0:
+            raise PlatformError(f"segment length must be > 0, got {segment_s}")
+        if not 0.0 < low <= 1.0:
+            raise PlatformError(f"trajectory floor must be in (0, 1], got {low}")
+        gen = as_generator(rng)
+        n = max(int(horizon / segment_s), 1)
+        segments = []
+        mult = float(gen.uniform(low, 1.0))
+        for i in range(n):
+            segments.append((i * segment_s, round(mult, 6)))
+            step = float(gen.uniform(-0.15, 0.15)) * (1.0 - low)
+            mult = mult + step
+            if mult > 1.0:
+                mult = 2.0 - mult
+            if mult < low:
+                mult = 2.0 * low - mult
+            mult = min(max(mult, low), 1.0)
+        return cls(discount=discount, cold_start_s=cold_start_s,
+                   segments=tuple(segments))
+
+
+def spot_vm_cost(
+    category: VMCategory,
+    market: Optional[SpotMarket],
+    start: float,
+    end: float,
+    *,
+    per_second_billing: bool = True,
+) -> float:
+    """Eq. (1) for a spot VM: ceiling rate × trajectory integral + ``c_ini``.
+
+    ``category.cost_rate`` is the ceiling; the realized spend follows the
+    market's multiplier over the rental window and is therefore never above
+    :func:`vm_cost` of the same window. A missing market (or a non-spot
+    category) falls back to flat billing.
+    """
+    if market is None or not category.spot:
+        return vm_cost(category, start, end,
+                       per_second_billing=per_second_billing)
+    if end < start - 1e-9:
+        raise PlatformError(f"VM ends ({end}) before it starts ({start})")
+    duration = max(end - start, 0.0)
+    if per_second_billing:
+        duration = ceil_seconds(duration)
+    return (
+        market.integrate(start, start + duration) * category.cost_rate
+        + category.initial_cost
+    )
+
+
+def spot_variant(category: VMCategory, market: SpotMarket) -> VMCategory:
+    """The preemptible twin of an on-demand category.
+
+    Same silicon, discounted ceiling price, longer (still uncharged) boot,
+    ``spot=True``. Named ``<name>-spot`` so :func:`on_demand_twin` can map
+    back.
+    """
+    if category.spot:
+        raise PlatformError(f"category {category.name!r} is already spot")
+    return VMCategory(
+        name=f"{category.name}{SPOT_SUFFIX}",
+        speed=category.speed,
+        hourly_cost=category.hourly_cost * (1.0 - market.discount),
+        initial_cost=category.initial_cost,
+        boot_time=category.boot_time + market.cold_start_s,
+        cores=category.cores,
+        spot=True,
+    )
+
+
+def add_spot_categories(
+    platform: CloudPlatform,
+    market: SpotMarket,
+    *,
+    names: Optional[Sequence[str]] = None,
+) -> CloudPlatform:
+    """Platform with a spot twin next to each on-demand category.
+
+    ``names`` restricts which categories get a twin (default: all
+    non-spot ones). The returned platform carries ``market`` so the
+    simulator bills spot rentals along the price trajectory.
+    """
+    bases = [c for c in platform.categories if not c.spot]
+    if names is not None:
+        wanted = set(names)
+        unknown = wanted - {c.name for c in bases}
+        if unknown:
+            raise PlatformError(
+                f"no on-demand category named {sorted(unknown)} on "
+                f"platform {platform.name!r}"
+            )
+        twins = [spot_variant(c, market) for c in bases if c.name in wanted]
+    else:
+        twins = [spot_variant(c, market) for c in bases]
+    return CloudPlatform(
+        categories=tuple(bases) + tuple(twins),
+        bandwidth=platform.bandwidth,
+        transfer_cost_per_byte=platform.transfer_cost_per_byte,
+        storage_cost_per_byte_month=platform.storage_cost_per_byte_month,
+        datacenter_rate_override=platform.datacenter_rate_override,
+        name=f"{platform.name}+spot",
+        spot_market=market,
+    )
+
+
+def on_demand_twin(platform: CloudPlatform, category: VMCategory) -> VMCategory:
+    """The on-demand category backing a spot one (itself when not spot).
+
+    Used by recovery's fall-back-to-on-demand path after a market-wide
+    revocation. Falls back to the spot category itself when the platform
+    does not carry the twin (degenerate spot-only platforms).
+    """
+    if not category.spot:
+        return category
+    base = category.name
+    if base.endswith(SPOT_SUFFIX):
+        base = base[: -len(SPOT_SUFFIX)]
+    try:
+        return platform.category(base)
+    except PlatformError:
+        return category
+
+
+def spot_only(platform: CloudPlatform) -> CloudPlatform:
+    """Platform view with only the spot categories (spot-first planning).
+
+    Schedules embed categories by value, so a plan drawn on this view
+    executes fine on the full platform — which is exactly the spot-market
+    workflow: plan on cheap preemptible capacity, keep the on-demand twins
+    in reserve for recovery after a revocation.
+    """
+    spots = tuple(c for c in platform.categories if c.spot)
+    if not spots:
+        raise PlatformError(
+            f"platform {platform.name!r} has no spot categories; "
+            "add them via add_spot_categories()"
+        )
+    if len(spots) == len(platform.categories):
+        return platform
+    return CloudPlatform(
+        categories=spots,
+        bandwidth=platform.bandwidth,
+        transfer_cost_per_byte=platform.transfer_cost_per_byte,
+        storage_cost_per_byte_month=platform.storage_cost_per_byte_month,
+        datacenter_rate_override=platform.datacenter_rate_override,
+        name=platform.name,
+        spot_market=platform.spot_market,
+    )
+
+
+def strip_spot(platform: CloudPlatform) -> CloudPlatform:
+    """Platform view without spot categories (post-revocation planning).
+
+    Keeps the market attached (already-provisioned spot VMs still bill
+    along the trajectory); only fresh spot enrollment disappears. Returns
+    the platform unchanged when it has no spot categories.
+    """
+    bases = tuple(c for c in platform.categories if not c.spot)
+    if len(bases) == len(platform.categories):
+        return platform
+    if not bases:
+        raise PlatformError(
+            f"platform {platform.name!r} has only spot categories; "
+            "nothing to fall back to"
+        )
+    return CloudPlatform(
+        categories=bases,
+        bandwidth=platform.bandwidth,
+        transfer_cost_per_byte=platform.transfer_cost_per_byte,
+        storage_cost_per_byte_month=platform.storage_cost_per_byte_month,
+        datacenter_rate_override=platform.datacenter_rate_override,
+        name=platform.name,
+        spot_market=platform.spot_market,
+    )
 
 
 def vm_cost(
@@ -81,13 +416,27 @@ class CostBreakdown:
         *,
         per_second_billing: bool = True,
     ) -> "CostBreakdown":
-        """Aggregate Eq. (1) over ``(category, start, end)`` triples + Eq. (2)."""
+        """Aggregate Eq. (1) over ``(category, start, end)`` triples + Eq. (2).
+
+        Spot categories bill along the platform's market trajectory
+        (:func:`spot_vm_cost`); with no market attached — or for on-demand
+        categories — the arithmetic is exactly :func:`vm_cost`, so
+        spot-free executions are bit-identical to the pre-spot code path.
+        """
+        market = platform.spot_market
         rental = 0.0
         initial = 0.0
         for category, start, end in vm_usage:
-            rental += vm_cost(
-                category, start, end, per_second_billing=per_second_billing
-            )
+            if category.spot and market is not None:
+                rental += spot_vm_cost(
+                    category, market, start, end,
+                    per_second_billing=per_second_billing,
+                )
+            else:
+                rental += vm_cost(
+                    category, start, end,
+                    per_second_billing=per_second_billing,
+                )
             initial += category.initial_cost
         return CostBreakdown(
             vm_rental=rental,

@@ -38,6 +38,12 @@ class VMCategory:
     cores:
         ``n_k`` single-task processors. The paper's evaluation (like ours)
         uses single-core VMs; the field exists for the multi-core extension.
+    spot:
+        Preemptible (spot-market) capacity: the VM rents below the
+        on-demand price but the provider may revoke it at any instant
+        (see :class:`~repro.platform.pricing.SpotMarket`). ``hourly_cost``
+        is then the *ceiling* bid; the realized rate follows the market's
+        price trajectory, never above the ceiling.
     """
 
     name: str
@@ -46,6 +52,7 @@ class VMCategory:
     initial_cost: float = 0.0
     boot_time: float = 0.0
     cores: int = 1
+    spot: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:

@@ -3,6 +3,7 @@
 from .bdt import BdtScheduler
 from .budget import BudgetPlan, datacenter_reservation, divide_budget
 from .cg import CgPlusScheduler, CgScheduler, critical_tasks_of
+from .contingency import ContingencyScheduler
 from .ensemble import (
     AdmittedWorkflow,
     EnsembleMember,
@@ -35,6 +36,7 @@ __all__ = [
     "BudgetPlan",
     "CgPlusScheduler",
     "CgScheduler",
+    "ContingencyScheduler",
     "EnsembleMember",
     "EnsembleResult",
     "HeftBudgPlusInvScheduler",

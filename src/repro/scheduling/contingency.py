@@ -1,0 +1,99 @@
+"""Contingency-reserve planning: withhold budget for fault recovery.
+
+A :class:`ContingencyScheduler` wraps any base algorithm and plans under
+``budget × (1 − reserve)``, leaving the withheld fraction untouched as a
+*contingency reserve*. The reserve is never spent by the plan itself — it
+sits between the planned cost and the declared budget, where the
+execute → detect → recover loop (:func:`repro.faults.run_with_faults`)
+finds it: recovery projections are gated against the *full* declared
+budget, so every reserved dollar is headroom for re-executing preempted or
+crashed work.
+
+The withholding is uniform — the planning budget shrinks by the same
+factor for every task share (the uniform spare-budget split that Gao &
+Wu's reserve study found competitive with weighted schemes, arXiv
+1903.01154) — which keeps the wrapper algorithm-agnostic: the base
+scheduler never learns a reserve exists, it just plans against a smaller
+number.
+
+The trade is explicit: a larger reserve buys a higher survival rate under
+churny spot markets at the price of a cheaper (slower) base plan. The spot
+resilience sweep (:mod:`repro.experiments.resilience`) maps that frontier.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..errors import SchedulingError
+from ..platform.cloud import CloudPlatform
+from ..workflow.dag import Workflow
+from .list_base import Scheduler, SchedulerResult
+
+__all__ = ["ContingencyScheduler", "RESERVE_SEPARATOR"]
+
+#: Registry spelling of a reserved algorithm: ``heft_budg+res0.2``.
+RESERVE_SEPARATOR = "+res"
+
+
+class ContingencyScheduler(Scheduler):
+    """Plan with ``base`` under ``budget × (1 − reserve)``.
+
+    ``base`` is a :class:`~repro.scheduling.list_base.Scheduler` instance;
+    ``reserve`` is the withheld budget fraction in ``[0, 1)``. The result
+    reports the *reserved* dollars inside ``leftover_pot`` (on top of
+    whatever pot the base plan left), so budget-projection consumers see
+    exactly how much slack the plan carries.
+    """
+
+    def __init__(self, base: Scheduler, reserve: float = 0.1) -> None:
+        if not 0.0 <= reserve < 1.0:
+            raise SchedulingError(
+                f"contingency reserve must be in [0, 1), got {reserve}"
+            )
+        self.base = base
+        self.reserve = float(reserve)
+        self.name = f"{base.name}{RESERVE_SEPARATOR}{self.reserve:g}"
+
+    def schedule(
+        self, wf: Workflow, platform: CloudPlatform, budget: float
+    ) -> SchedulerResult:
+        """Run the base algorithm against the reduced planning budget."""
+        withheld = budget * self.reserve
+        result = self.base.schedule(wf, platform, budget - withheld)
+        return SchedulerResult(
+            schedule=result.schedule,
+            planned_makespan=result.planned_makespan,
+            planned_vm_cost=result.planned_vm_cost,
+            within_budget_plan=result.within_budget_plan,
+            algorithm=self.name,
+            leftover_pot=result.leftover_pot + withheld,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ContingencyScheduler(base={self.base!r}, "
+            f"reserve={self.reserve:g})"
+        )
+
+
+def parse_reserved(name: str) -> Union[ContingencyScheduler, None]:
+    """Build a reserved scheduler from a ``base+resF`` registry spelling.
+
+    Returns ``None`` when ``name`` carries no reserve suffix (the caller
+    falls through to the plain registry lookup). Raises on a malformed
+    fraction so typos fail loudly instead of silently planning full-budget.
+    """
+    if RESERVE_SEPARATOR not in name:
+        return None
+    base_name, _, frac = name.rpartition(RESERVE_SEPARATOR)
+    from .registry import make_scheduler  # local: registry imports us too
+
+    try:
+        reserve = float(frac)
+    except ValueError:
+        raise SchedulingError(
+            f"malformed contingency reserve in {name!r}: "
+            f"{frac!r} is not a number"
+        ) from None
+    return ContingencyScheduler(make_scheduler(base_name), reserve)

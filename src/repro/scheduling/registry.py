@@ -7,6 +7,7 @@ from typing import Dict, List, Type
 from ..errors import SchedulingError
 from .bdt import BdtScheduler
 from .cg import CgPlusScheduler, CgScheduler
+from .contingency import RESERVE_SEPARATOR, parse_reserved
 from .heft import HeftBudgScheduler, HeftScheduler
 from .list_base import Scheduler
 from .minmin import MinMinBudgScheduler, MinMinScheduler
@@ -41,12 +42,22 @@ SCHEDULERS: Dict[str, Type[Scheduler]] = {
 
 
 def make_scheduler(name: str) -> Scheduler:
-    """Instantiate a scheduler by registry name."""
+    """Instantiate a scheduler by registry name.
+
+    A ``+res<fraction>`` suffix wraps the base algorithm in a
+    :class:`~repro.scheduling.contingency.ContingencyScheduler` planning
+    under ``budget × (1 − fraction)`` — e.g. ``heft_budg+res0.2``.
+    """
+    if RESERVE_SEPARATOR in name:
+        reserved = parse_reserved(name.lower())
+        if reserved is not None:
+            return reserved
     try:
         return SCHEDULERS[name.lower()]()
     except KeyError:
         raise SchedulingError(
-            f"unknown scheduler {name!r}; available: {sorted(SCHEDULERS)}"
+            f"unknown scheduler {name!r}; available: {sorted(SCHEDULERS)} "
+            f"(optionally suffixed with '{RESERVE_SEPARATOR}<fraction>')"
         ) from None
 
 

@@ -31,7 +31,10 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..faults.spot import CheckpointConfig
 
 from ..errors import SimulationError
 from ..faults.plan import FaultEvent, FaultPlan
@@ -162,6 +165,7 @@ def execute_schedule(
     per_second_billing: bool = True,
     validate: bool = True,
     fault_plan: Optional[FaultPlan] = None,
+    checkpoint: Optional["CheckpointConfig"] = None,
 ) -> SimulationResult:
     """Execute ``schedule`` on ``platform`` with the given actual weights.
 
@@ -173,11 +177,20 @@ def execute_schedule(
     ``fault_plan`` injects deterministic failures (see
     :class:`~repro.faults.plan.FaultPlan`): crashed VMs lose their
     unfinished work, boot failures delay readiness, stragglers and
-    transient retries inflate compute time. A run with failures does not
+    transient retries inflate compute time, and spot preemption bursts
+    kill every live spot VM they cover. A run with failures does not
     raise — it returns a partial result with ``failed_tasks`` /
     ``blocked_tasks`` populated and every started VM-second billed. An
     empty (or absent) plan leaves the executor on the exact fault-free
     code path.
+
+    ``checkpoint`` enables periodic checkpointing on *spot* VMs (see
+    :class:`~repro.faults.spot.CheckpointConfig`): computes stretch by the
+    checkpoint overheads (billed — longer rental windows), and when a kill
+    fires, the work covered by the last checkpoint is banked in the
+    victim's :attr:`~repro.simulation.trace.TaskRecord.checkpoint_weight`
+    for recovery to credit. On-demand VMs and schedules with no spot
+    category ignore it entirely.
 
     When a :class:`~repro.obs.tracing.Tracer` is installed, the run is
     wrapped in a ``simulate.execute`` span carrying per-phase timings
@@ -190,7 +203,7 @@ def execute_schedule(
         return _execute(
             wf, platform, schedule, weights, dc_capacity=dc_capacity,
             per_second_billing=per_second_billing, validate=validate,
-            fault_plan=fault_plan,
+            fault_plan=fault_plan, checkpoint=checkpoint,
         )[0]
     with tracer.span(
         "simulate.execute", workflow=wf.name, n_tasks=wf.n_tasks,
@@ -199,7 +212,7 @@ def execute_schedule(
         result, stats = _execute(
             wf, platform, schedule, weights, dc_capacity=dc_capacity,
             per_second_billing=per_second_billing, validate=validate,
-            fault_plan=fault_plan, collect_stats=True,
+            fault_plan=fault_plan, checkpoint=checkpoint, collect_stats=True,
         )
         span.set(makespan=result.makespan, total_cost=result.total_cost,
                  **stats)
@@ -226,6 +239,7 @@ def _execute(
     per_second_billing: bool = True,
     validate: bool = True,
     fault_plan: Optional[FaultPlan] = None,
+    checkpoint: Optional["CheckpointConfig"] = None,
     collect_stats: bool = False,
 ):
     """The discrete-event core; returns ``(result, stats-or-empty-dict)``."""
@@ -238,14 +252,22 @@ def _execute(
 
     # An empty plan must be indistinguishable from no plan: every fault
     # branch below is guarded by `plan`, so the zero-fault path is the
-    # exact pre-fault-framework code.
+    # exact pre-fault-framework code. Checkpointing only ever touches spot
+    # VMs, so a schedule without spot categories drops the config too.
     plan = fault_plan if fault_plan else None
+    ckpt = checkpoint if (
+        checkpoint is not None
+        and any(c.spot for c in schedule.categories.values())
+    ) else None
     fault_events: List[FaultEvent] = []
     if plan:
-        # Inflate the affected weights (stragglers + transient re-runs);
-        # the recorded actual_weight is what the VM really ground through.
+        # Inflate the affected weights (stragglers + transient re-runs),
+        # then credit instructions a previous attempt's checkpoints made
+        # durable; the recorded actual_weight is what the VM really
+        # ground through on *this* attempt.
         weights = {
-            tid: w * plan.weight_factor(tid) for tid, w in weights.items()
+            tid: plan.remaining_weight(tid, w * plan.weight_factor(tid))
+            for tid, w in weights.items()
         }
 
     bw = platform.bandwidth
@@ -334,10 +356,14 @@ def _execute(
         rec = records[tid]
         rec.compute_start = now
         phase[tid] = _COMPUTING
-        speed = schedule.category_of(tid).speed
-        duration = weights[tid] / speed
+        category = schedule.category_of(tid)
+        duration = weights[tid] / category.speed
         if plan:
             _emit_compute_faults(tid, rec.vm_id, now, duration)
+        if ckpt is not None and category.spot:
+            # Periodic checkpoints stretch the compute; the overhead is
+            # real VM time and bills like any other started second.
+            duration = ckpt.checkpointed_duration(duration)
         events.push(now + duration, "compute", tid)
 
     def _emit_compute_faults(
@@ -423,19 +449,55 @@ def _execute(
             if cvm.idx < len(cvm.queue) and cvm.queue[cvm.idx] == consumer:
                 try_start(cvm, now)
 
-    def on_crash(vm_id: int, now: float) -> None:
+    def _bank_checkpoints(
+        vm: _VMState, killed: List[str], now: float, warning_s: float
+    ) -> float:
+        """Bank durable checkpoint progress for a dying spot VM's computes.
+
+        Returns the total instructions banked *this kill* (event payload).
+        Each in-flight compute keeps the work covered by its last periodic
+        checkpoint; a revocation warning of at least the checkpoint
+        overhead additionally allows one emergency flush of the current
+        state. Banked progress is absolute (prior credit included) so
+        recovery can merge it monotonically.
+        """
+        category = schedule.categories[vm.vm_id]
+        if ckpt is None or not category.spot:
+            return 0.0
+        banked = 0.0
+        for tid in killed:
+            if phase[tid] != _COMPUTING:
+                continue  # downloads and queued tasks have no progress
+            rec = records[tid]
+            elapsed = now - rec.compute_start
+            work_s = weights[tid] / category.speed
+            durable = ckpt.durable_work_s(elapsed)
+            if warning_s >= ckpt.overhead_s:
+                durable = max(durable, ckpt.flush_work_s(elapsed))
+            durable = min(durable, work_s)
+            if durable <= 0.0:
+                continue
+            new = durable * category.speed
+            rec.checkpoint_weight = plan.checkpoints.get(tid, 0.0) + new
+            banked += new
+        return banked
+
+    def _kill_vm(
+        vm_id: int, now: float, *, kind: str, warning_s: float = 0.0,
+        extra: Optional[Dict] = None,
+    ) -> bool:
         """Kill a VM: lose its unfinished work, keep its durable outputs.
 
         Completed tasks (and uploads already streaming, which are modeled
         as datacenter-side and therefore durable) survive; active
-        downloads/computes and the queued remainder fail. A crash on a VM
+        downloads/computes and the queued remainder fail. A kill on a VM
         that was never provisioned, already died, or already finished its
-        queue is a no-op. Billing runs to the crash instant — the paper's
+        queue is a no-op. Billing runs to the kill instant — the paper's
         cost model charges for started seconds, useful or not.
         """
         vm = vms[vm_id]
         if vm.dead or not vm.boot_requested:
-            return
+            return False
         killed = [
             tid for tid in vm.queue[:vm.idx]
             if phase[tid] in (_DOWNLOADING, _COMPUTING)
@@ -443,7 +505,8 @@ def _execute(
             tid for tid in vm.queue[vm.idx:] if phase[tid] == _PENDING
         ]
         if not killed:
-            return  # queue fully executed; the VM was done anyway
+            return False  # queue fully executed; the VM was done anyway
+        banked = _bank_checkpoints(vm, killed, now, warning_s)
         vm.dead = True
         for tid in killed:
             if phase[tid] == _DOWNLOADING:
@@ -455,24 +518,60 @@ def _execute(
         assert vm.record is not None
         vm.record.crashed_at = now
         if not vm.ready:
-            # Crashed mid-boot: never billed a productive second, but the
-            # booking fee is still owed (ready == end == crash instant).
+            # Killed mid-boot: never billed a productive second, but the
+            # booking fee is still owed (ready == end == kill instant).
             vm.record.ready_at = now
+        info = {"killed": sorted(killed), "was_ready": vm.ready}
+        if banked > 0.0:
+            info["checkpointed_weight"] = banked
+        if extra:
+            info.update(extra)
         fault_events.append(FaultEvent(
-            ts=now, kind="vm.crash", vm_id=vm_id,
-            info={"killed": sorted(killed), "was_ready": vm.ready},
+            ts=now, kind=kind, vm_id=vm_id, info=info,
         ))
+        return True
+
+    def on_crash(vm_id: int, now: float) -> None:
+        _kill_vm(vm_id, now, kind="vm.crash")
+
+    def on_preempt(burst_idx: int, now: float) -> None:
+        """Fire one correlated revocation burst: kill every covered spot VM.
+
+        Only spot-category VMs are eligible (on-demand capacity never
+        notices the market); a burst with a category name restricts the
+        blast radius to that category. VMs that already finished their
+        queue shut down normally and are not marked preempted.
+        """
+        burst = plan.preemptions[burst_idx]
+        for vm_id in sorted(vms):
+            category = schedule.categories[vm_id]
+            if not category.spot:
+                continue
+            if burst.category is not None and category.name != burst.category:
+                continue
+            if _kill_vm(
+                vm_id, now, kind="vm.preempted",
+                warning_s=burst.warning_s,
+                extra={"category": category.name,
+                       "warning_s": burst.warning_s},
+            ):
+                vm = vms[vm_id]
+                assert vm.record is not None
+                vm.record.preempted = True
 
     # --- main loop ----------------------------------------------------------
     t_wall_setup = time.perf_counter() if collect_stats else 0.0
     if plan:
-        # Crash events enter the queue up front; the handler ignores ones
-        # that land on unprovisioned or finished VMs. At equal timestamps
-        # the crash wins (lower sequence number) — a task completing at
-        # the very crash instant is lost, deterministically.
+        # Crash and preemption events enter the queue up front; the
+        # handlers ignore ones that land on unprovisioned or finished VMs.
+        # At equal timestamps the kill wins (lower sequence number) — a
+        # task completing at the very kill instant is lost,
+        # deterministically.
         for vm_id in sorted(plan.crashes):
             if vm_id in vms:
                 events.push(plan.crashes[vm_id], "crash", vm_id)
+        for i, burst in enumerate(plan.preemptions):
+            events.push(burst.at, "preempt", i)
     for vm in vms.values():
         try_start(vm, 0.0)
     if all(not vm.boot_requested for vm in vms.values()):
@@ -512,6 +611,8 @@ def _execute(
                 on_compute_done(payload, now)
             elif kind == "crash":
                 on_crash(payload, now)
+            elif kind == "preempt":
+                on_preempt(payload, now)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event kind {kind!r}")
 

@@ -24,6 +24,10 @@ class TaskRecord:
 
     ``failed`` marks a task killed by an injected VM crash mid-download or
     mid-compute; its later timeline fields keep their pre-crash defaults.
+    ``checkpoint_weight`` is only set on failed tasks that ran with
+    checkpointing on a spot VM: the *absolute* instruction count made
+    durable at the datacenter before the kill (prior banked progress plus
+    this attempt's checkpoints), which recovery credits on the restart.
     """
 
     tid: str
@@ -34,6 +38,7 @@ class TaskRecord:
     outputs_at_dc: float = 0.0
     actual_weight: float = 0.0
     failed: bool = False
+    checkpoint_weight: float = 0.0
 
 
 @dataclass
@@ -46,7 +51,10 @@ class VMRecord:
 
     ``crashed_at`` is set by fault injection when the VM died mid-run; the
     billed window then ends at the crash instant (the lost VM-hours are
-    paid for — Eq. 1 knows nothing about usefulness).
+    paid for — Eq. 1 knows nothing about usefulness). ``preempted``
+    distinguishes a spot-market revocation from an ordinary crash: the VM
+    is just as dead, but recovery falls back to the on-demand twin instead
+    of re-enrolling the same (revoked) spot category.
     """
 
     vm_id: int
@@ -56,6 +64,7 @@ class VMRecord:
     end_at: float = 0.0
     n_tasks: int = 0
     crashed_at: Optional[float] = None
+    preempted: bool = False
 
     @property
     def billed_duration(self) -> float:

@@ -134,6 +134,56 @@ class TestRunWithFaults:
         assert "recovery.rejected" in seen
         assert metrics.counter("recovery_budget_exhausted") == 1
 
+    @pytest.mark.parametrize("policy", ["retry", "remap"])
+    def test_budget_gate_boundary(self, instance, policy):
+        """The gate admits ``projected == budget`` exactly and rejects one
+        epsilon over — no hidden slack beyond the declared tolerance."""
+        import math
+
+        wf, schedule = instance
+        plan = crash_plan(wf, schedule)
+        weights = conservative_weights(wf)
+
+        def gate_decision(budget):
+            """(projected cost at the first gate, admitted?)."""
+            bus = EventBus()
+            out = run_with_faults(
+                wf, PAPER_PLATFORM, budget, plan, schedule=schedule,
+                weights=weights, policy=policy, bus=bus, budget_tol=0.0,
+            )
+            first = next(
+                ev for ev in bus.history()
+                if ev.type in ("recovery.applied", "recovery.rejected")
+            )
+            return (first.data["projected_cost"],
+                    first.type == "recovery.applied", out)
+
+        # The projection can depend on the budget (remap divides the
+        # leftover), so walk to a fixed point: a budget the gate's own
+        # projection equals exactly.
+        budget = BUDGET
+        for _ in range(6):
+            projected, admitted, out = gate_decision(budget)
+            if projected == budget:
+                break
+            budget = projected
+        else:
+            pytest.fail("budget projection never reached a fixed point")
+
+        # Boundary from above: projected == budget is within budget.
+        assert admitted
+        assert out.n_recoveries >= 1
+        assert out.outcome == OUTCOME_SUCCESS
+
+        # One epsilon below the fixed point: the same recovery now
+        # projects over and must be refused, not attempted.
+        shaved = math.nextafter(budget, 0.0)
+        projected, admitted, out = gate_decision(shaved)
+        assert not admitted
+        assert projected > shaved
+        assert out.outcome == OUTCOME_BUDGET_EXHAUSTED
+        assert out.n_recoveries == 0
+
     def test_max_attempts_bounds_the_loop(self, instance):
         wf, schedule = instance
         out = run_with_faults(

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.experiments.resilience import render_resilience, resilience_sweep
+from repro.experiments.resilience import (
+    render_resilience,
+    resilience_sweep,
+    spot_resilience_sweep,
+)
+from repro.faults.spot import CheckpointConfig
 from repro.obs.ledger import RunLedger, use_ledger
 
 
@@ -76,6 +81,74 @@ class TestLedgerArchiving:
     def test_no_ledger_installed_archives_nothing(self):
         study = sweep(crash_rates=(0.0,), policies=("none",), n_runs=1)
         assert len(study.points) == 1  # and no error from the NullLedger
+
+
+def spot_sweep(**overrides):
+    kwargs = dict(
+        families=("montage",), n_tasks=15, algorithms=("heft_budg",),
+        policies=("none", "retry"), preemption_rates=(0.0, 2.0),
+        reserves=(0.0, 0.2), n_runs=3, seed=3,
+        checkpoint=CheckpointConfig(interval_s=300.0, overhead_s=20.0),
+    )
+    kwargs.update(overrides)
+    return spot_resilience_sweep(**kwargs)
+
+
+class TestSpotSweep:
+    def test_grid_shape_and_labels(self):
+        study = spot_sweep()
+        assert len(study.points) == 8  # 2 policies x 2 rates x 2 reserves
+        labels = {p.label for p in study.points}
+        assert "heft_budg+retry@spot2r0.2" in labels
+        assert "heft_budg+none@spot0r0" in labels
+        for p in study.points:
+            assert p.spot
+            assert p.crash_rate == 0.0
+
+    def test_deterministic_given_seed(self):
+        a, b = spot_sweep(), spot_sweep()
+        assert [p.__dict__ for p in a.points] == [p.__dict__ for p in b.points]
+
+    def test_zero_rate_succeeds_without_faults(self):
+        study = spot_sweep(preemption_rates=(0.0,))
+        for p in study.points:
+            assert p.mean_faults == 0.0
+            assert p.success_rate == 1.0
+            assert p.n_over_budget == 0
+
+    def test_budget_anchored_identically_across_reserves(self):
+        """``budget_position`` must mean the same dollars at every reserve —
+        otherwise the frontier compares apples to oranges."""
+        study = spot_sweep(preemption_rates=(2.0,), policies=("retry",))
+        r0 = study.spot_point("heft_budg", "retry", 2.0, 0.0)
+        r2 = study.spot_point("heft_budg", "retry", 2.0, 0.2)
+        assert r0.budget == r2.budget
+
+    def test_never_over_budget(self):
+        study = spot_sweep(n_runs=5, preemption_rates=(0.0, 2.0, 6.0))
+        assert all(p.n_over_budget == 0 for p in study.points)
+
+    def test_workers_bit_identical_to_serial(self):
+        serial, fanned = spot_sweep(), spot_sweep(workers=2)
+        assert [p.__dict__ for p in serial.points] == \
+            [p.__dict__ for p in fanned.points]
+
+    def test_runs_archived_with_spot_fields(self):
+        with RunLedger(":memory:") as ledger:
+            with use_ledger(ledger):
+                spot_sweep(preemption_rates=(2.0,), reserves=(0.2,),
+                           policies=("retry",))
+            rows = ledger.runs(source="faults", limit=0)
+            assert len(rows) == 3
+            for row in rows:
+                assert row.algorithm == "heft_budg+retry@spot2r0.2"
+                assert row.extra["preemption_rate"] == 2.0
+                assert row.extra["reserve"] == 0.2
+                assert "n_preemptions" in row.extra
+
+    def test_spot_point_lookup_raises_on_unknown_cell(self):
+        with pytest.raises(KeyError):
+            spot_sweep().spot_point("heft_budg", "retry", 99.0, 0.5)
 
 
 class TestRender:

@@ -1,0 +1,320 @@
+"""Spot-market resilience: checkpoint math, correlated bursts, and the
+never-overspend property under preemption + recovery."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.faults.plan import FaultPlan, SpotPreemption
+from repro.faults.runner import (
+    OUTCOME_BUDGET_EXHAUSTED,
+    OUTCOME_FAILED,
+    OUTCOME_SUCCESS,
+    run_with_faults,
+)
+from repro.faults.spot import CheckpointConfig, SpotScenario
+from repro.io import canonical_json, result_to_dict
+from repro.obs.events import EventBus
+from repro.platform.cloud import PAPER_PLATFORM
+from repro.platform.pricing import SpotMarket, add_spot_categories, spot_only
+from repro.rng import spawn
+from repro.scheduling.registry import make_scheduler
+from repro.service.metrics import MetricsRegistry
+from repro.simulation.executor import conservative_weights, execute_schedule
+from repro.workflow.generators import generate
+
+
+@pytest.fixture(scope="module")
+def spot_instance():
+    """A workflow scheduled spot-first on a spot-enabled paper platform."""
+    market = SpotMarket.sample(rng=7)
+    platform = add_spot_categories(PAPER_PLATFORM, market)
+    wf = generate("montage", 20, rng=1, sigma_ratio=0.5)
+    budget = 0.5
+    schedule = make_scheduler("heft_budg").schedule(
+        wf, spot_only(platform), budget
+    ).schedule
+    return wf, platform, schedule, budget
+
+
+class TestCheckpointConfig:
+    def test_validation(self):
+        with pytest.raises(SimulationError, match="interval"):
+            CheckpointConfig(interval_s=0.0)
+        with pytest.raises(SimulationError, match="overhead"):
+            CheckpointConfig(overhead_s=-1.0)
+
+    def test_checkpoint_count_excludes_the_final_chunk(self):
+        cfg = CheckpointConfig(interval_s=100.0, overhead_s=10.0)
+        assert cfg.n_checkpoints(0.0) == 0
+        assert cfg.n_checkpoints(100.0) == 0  # completion is durable anyway
+        assert cfg.n_checkpoints(100.1) == 1
+        assert cfg.n_checkpoints(320.0) == 3
+
+    def test_checkpointed_duration_bills_each_flush(self):
+        cfg = CheckpointConfig(interval_s=100.0, overhead_s=10.0)
+        assert cfg.checkpointed_duration(320.0) == 320.0 + 3 * 10.0
+
+    def test_durable_work_follows_completed_cycles(self):
+        cfg = CheckpointConfig(interval_s=100.0, overhead_s=10.0)
+        assert cfg.durable_work_s(0.0) == 0.0
+        assert cfg.durable_work_s(109.9) == 0.0  # mid-first-flush
+        assert cfg.durable_work_s(110.0) == 100.0
+        assert cfg.durable_work_s(330.0) == 300.0
+
+    def test_emergency_flush_saves_partial_interval(self):
+        cfg = CheckpointConfig(interval_s=100.0, overhead_s=10.0)
+        # 150 s in: one full cycle (110 s) + 30 s into the next interval;
+        # flushing stops work 10 s early, saving 100 + 30 of it.
+        assert cfg.flush_work_s(150.0) == pytest.approx(130.0)
+        assert cfg.flush_work_s(150.0) > cfg.durable_work_s(150.0)
+        assert cfg.flush_work_s(5.0) == 0.0  # less than the flush itself
+
+    def test_roundtrip(self):
+        cfg = CheckpointConfig(interval_s=300.0, overhead_s=20.0)
+        assert CheckpointConfig.from_dict(cfg.to_dict()) == cfg
+        with pytest.raises(SimulationError, match="unknown"):
+            CheckpointConfig.from_dict({"cadence": 1.0})
+
+
+class TestSpotScenario:
+    def test_zero_rate_samples_an_empty_plan(self):
+        plan = SpotScenario().sample_plan(rng=1, horizon=3600.0)
+        assert plan.is_empty
+
+    def test_bursts_land_inside_the_horizon(self):
+        sc = SpotScenario(preemption_rate_per_hour=10.0, warning_s=60.0)
+        plan = sc.sample_plan(rng=2, horizon=3600.0)
+        assert plan.preemptions
+        for p in plan.preemptions:
+            assert 0.0 < p.at < 3600.0
+            assert p.warning_s == 60.0
+            assert p.category is None  # market-wide
+
+    def test_sampling_is_deterministic(self):
+        sc = SpotScenario(preemption_rate_per_hour=2.0)
+        a = sc.sample_plan(rng=5, horizon=7200.0)
+        b = sc.sample_plan(rng=5, horizon=7200.0)
+        assert a.to_dict() == b.to_dict()
+
+    def test_platform_for_adds_spot_twins(self):
+        sc = SpotScenario(market=SpotMarket(discount=0.7))
+        platform = sc.platform_for(PAPER_PLATFORM)
+        spot_cats = [c for c in platform.categories if c.spot]
+        assert len(spot_cats) == len(PAPER_PLATFORM.categories)
+        assert platform.spot_market.discount == 0.7
+
+    def test_roundtrip(self):
+        sc = SpotScenario(
+            market=SpotMarket(discount=0.5, segments=((0.0, 0.8),)),
+            preemption_rate_per_hour=1.5, warning_s=90.0,
+            checkpoint=CheckpointConfig(interval_s=600.0),
+        )
+        assert SpotScenario.from_dict(sc.to_dict()) == sc
+
+    def test_validation(self):
+        with pytest.raises(SimulationError, match="rate"):
+            SpotScenario(preemption_rate_per_hour=-1.0)
+        with pytest.raises(SimulationError, match="warning"):
+            SpotScenario(warning_s=-0.1)
+
+
+class TestEmptyPlanByteIdentity:
+    """An empty spot plan must be a perfect no-op — same bytes out."""
+
+    def test_empty_plan_matches_no_fault_baseline(self, spot_instance):
+        wf, platform, schedule, _ = spot_instance
+        weights = conservative_weights(wf)
+        base = execute_schedule(wf, platform, schedule, weights)
+        faulted = execute_schedule(
+            wf, platform, schedule, weights,
+            fault_plan=SpotScenario().sample_plan(rng=1, horizon=1e6),
+        )
+        assert canonical_json(result_to_dict(faulted)) == \
+            canonical_json(result_to_dict(base))
+
+    def test_checkpoint_config_is_inert_off_spot(self):
+        """A checkpoint policy must not perturb a spot-free schedule."""
+        wf = generate("montage", 15, rng=2, sigma_ratio=0.5)
+        schedule = make_scheduler("heft_budg").schedule(
+            wf, PAPER_PLATFORM, 0.5
+        ).schedule
+        weights = conservative_weights(wf)
+        base = execute_schedule(wf, PAPER_PLATFORM, schedule, weights)
+        ckpt = execute_schedule(
+            wf, PAPER_PLATFORM, schedule, weights,
+            checkpoint=CheckpointConfig(interval_s=60.0, overhead_s=30.0),
+        )
+        assert canonical_json(result_to_dict(ckpt)) == \
+            canonical_json(result_to_dict(base))
+
+    def test_run_with_faults_empty_plan_single_clean_attempt(
+        self, spot_instance
+    ):
+        wf, platform, schedule, budget = spot_instance
+        weights = conservative_weights(wf)
+        out = run_with_faults(
+            wf, platform, budget, FaultPlan(), schedule=schedule,
+            weights=weights, policy="retry",
+        )
+        base = execute_schedule(wf, platform, schedule, weights)
+        assert out.outcome == OUTCOME_SUCCESS
+        assert out.n_attempts == 1 and not out.fault_events
+        assert canonical_json(result_to_dict(out.result)) == \
+            canonical_json(result_to_dict(base))
+
+
+class TestCorrelatedPreemption:
+    def test_market_burst_kills_every_spot_vm(self, spot_instance):
+        wf, platform, schedule, _ = spot_instance
+        weights = conservative_weights(wf)
+        base = execute_schedule(wf, platform, schedule, weights)
+        spot_vms = [v for v in base.vms if v.category.spot]
+        assert spot_vms  # spot-first planning actually used spot capacity
+        mid = min(v.ready_at for v in spot_vms) + 1.0
+        burst = FaultPlan(preemptions=[SpotPreemption(at=mid)])
+        out = execute_schedule(
+            wf, platform, schedule, weights, fault_plan=burst,
+        )
+        live_at_mid = [v.vm_id for v in base.vms
+                       if v.category.spot and v.booked_at <= mid < v.end_at]
+        preempted = [v.vm_id for v in out.vms if v.preempted]
+        assert set(preempted) == set(live_at_mid)
+
+    def test_warning_banks_more_than_no_warning(self, spot_instance):
+        """An emergency flush saves in-flight interval progress that a
+        periodic checkpoint alone would lose."""
+        wf, platform, schedule, _ = spot_instance
+        weights = conservative_weights(wf)
+        ckpt = CheckpointConfig(interval_s=300.0, overhead_s=20.0)
+        base = execute_schedule(wf, platform, schedule, weights,
+                                checkpoint=ckpt)
+        spot_vms = [v for v in base.vms if v.category.spot]
+        mid = min(v.ready_at for v in spot_vms) + 400.0
+
+        def banked(warning_s):
+            plan = FaultPlan(preemptions=[
+                SpotPreemption(at=mid, warning_s=warning_s)
+            ])
+            out = execute_schedule(wf, platform, schedule, weights,
+                                   fault_plan=plan, checkpoint=ckpt)
+            return sum(r.checkpoint_weight for r in out.tasks.values())
+
+        assert banked(60.0) >= banked(0.0)
+        assert banked(60.0) > 0.0
+
+    def test_preemption_emits_events_and_metrics(self, spot_instance):
+        wf, platform, schedule, budget = spot_instance
+        weights = conservative_weights(wf)
+        base = execute_schedule(wf, platform, schedule, weights)
+        mid = min(v.ready_at for v in base.vms if v.category.spot) + 1.0
+        bus, metrics = EventBus(), MetricsRegistry()
+        out = run_with_faults(
+            wf, platform, budget,
+            FaultPlan(preemptions=[SpotPreemption(at=mid)]),
+            schedule=schedule, weights=weights, policy="retry",
+            checkpoint=CheckpointConfig(interval_s=300.0, overhead_s=20.0),
+            bus=bus, metrics=metrics,
+        )
+        seen = [ev.type for ev in bus.history()]
+        assert "fault.preempted" in seen
+        assert metrics.counter("faults_preempted") >= 1
+        if out.n_recoveries and out.plan.checkpoints:
+            assert "recovery.checkpoint_restart" in seen
+
+    def test_recovery_falls_back_to_on_demand_and_succeeds(
+        self, spot_instance
+    ):
+        wf, platform, schedule, budget = spot_instance
+        weights = conservative_weights(wf)
+        base = execute_schedule(wf, platform, schedule, weights)
+        mid = min(v.ready_at for v in base.vms if v.category.spot) + 1.0
+        out = run_with_faults(
+            wf, platform, budget,
+            FaultPlan(preemptions=[SpotPreemption(at=mid)]),
+            schedule=schedule, weights=weights, policy="retry",
+        )
+        assert out.outcome == OUTCOME_SUCCESS
+        assert out.n_recoveries >= 1
+        assert out.within_budget()
+        # Replacement hosts for preempted work are on-demand twins: the
+        # recovered schedule must not gamble the retry on spot again.
+        moved_hosts = {
+            out.result.tasks[t].vm_id for t in out.recovered_tasks
+        }
+        for vm in out.result.vms:
+            if vm.vm_id in moved_hosts:
+                assert not vm.category.spot
+
+    def test_replan_limit_fails_fast_with_reason(self, spot_instance):
+        wf, platform, schedule, budget = spot_instance
+        weights = conservative_weights(wf)
+        base = execute_schedule(wf, platform, schedule, weights)
+        mid = min(v.ready_at for v in base.vms if v.category.spot) + 1.0
+        bus, metrics = EventBus(), MetricsRegistry()
+        out = run_with_faults(
+            wf, platform, budget,
+            FaultPlan(preemptions=[SpotPreemption(at=mid)]),
+            schedule=schedule, weights=weights, policy="retry",
+            max_replans=0, bus=bus, metrics=metrics,
+        )
+        assert out.outcome == OUTCOME_FAILED
+        assert "replan limit" in out.error
+        assert out.n_recoveries == 0
+        rejected = [ev for ev in bus.history()
+                    if ev.type == "recovery.rejected"]
+        assert rejected and rejected[0].data["reason"] == "replan_limit"
+        assert metrics.counter("recovery_replan_limit") == 1
+
+
+class TestNeverOverspend:
+    """Property: across a seeded grid of markets, burst rates, policies,
+    and checkpoint configs, no completed run ever spends over budget."""
+
+    def test_grid(self):
+        wf = generate("montage", 15, rng=2, sigma_ratio=0.5)
+        budget = 0.12
+        streams = iter(spawn(99, 3 * 2 * 2 * 2))
+        for market_seed in (1, 2, 3):
+            market = SpotMarket.sample(rng=market_seed)
+            platform = add_spot_categories(PAPER_PLATFORM, market)
+            schedule = make_scheduler("heft_budg").schedule(
+                wf, spot_only(platform), budget
+            ).schedule
+            for rate in (1.0, 6.0):
+                for policy in ("retry", "remap"):
+                    for ckpt in (None, CheckpointConfig(interval_s=200.0,
+                                                        overhead_s=15.0)):
+                        sc = SpotScenario(
+                            market=market, preemption_rate_per_hour=rate,
+                            warning_s=60.0, checkpoint=ckpt,
+                        )
+                        stream = next(streams)
+                        plan = sc.sample_plan(rng=stream, horizon=2e4)
+                        out = run_with_faults(
+                            wf, platform, budget, plan, schedule=schedule,
+                            policy=policy, rng=stream, checkpoint=ckpt,
+                        )
+                        assert out.outcome in (
+                            OUTCOME_SUCCESS, OUTCOME_FAILED,
+                            OUTCOME_BUDGET_EXHAUSTED,
+                        )
+                        if out.success:
+                            assert out.within_budget(), (
+                                market_seed, rate, policy, ckpt,
+                                out.total_cost, budget,
+                            )
+
+    def test_spot_billing_never_exceeds_flat_ceiling(self):
+        """Realized spot spend is bounded by the discounted flat rate the
+        planner budgeted — the invariant the whole gate leans on."""
+        from repro.platform.pricing import spot_variant, spot_vm_cost, vm_cost
+
+        market = SpotMarket.sample(rng=11)
+        cat = PAPER_PLATFORM.categories[0]
+        twin = spot_variant(cat, market)
+        for start, end in ((0.0, 3600.0), (1800.0, 9000.0), (100.0, 101.0)):
+            realized = spot_vm_cost(twin, market, start, end)
+            flat = vm_cost(twin, start, end)  # the planner's estimate
+            assert realized <= flat + 1e-9

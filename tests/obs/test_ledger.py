@@ -309,6 +309,51 @@ class TestPrune:
     def test_null_ledger_prunes_nothing(self):
         assert NullLedger().prune(max_rows=0) == 0
 
+    @staticmethod
+    def _load_row(label):
+        from repro.obs.ledger import LoadRunRow
+
+        return LoadRunRow(
+            label=label, config_fingerprint="c" * 64,
+            sequence_fingerprint="s" * 64, process="poisson",
+            target="inproc", executor="thread", n_requests=10, n_ok=10,
+            n_cached=0, n_rejected=0, n_errors=0, refusals={},
+            offered_rps=100.0, achieved_rps=100.0, duration_s=0.1,
+            latency_mean_s=0.005, latency_std_s=0.001, p50_s=0.004,
+            p95_s=0.008, p99_s=0.010, cost_total=1.0, stages={},
+            sketches={}, extra={},
+        )
+
+    def test_max_rows_prunes_load_runs_too(self):
+        with RunLedger() as ledger:
+            for i in range(5):
+                ledger.record_load_run(self._load_row(f"grp{i}"))
+            assert ledger.prune(max_rows=2) == 3
+            rows = ledger.load_runs(limit=0)
+            assert [r.label for r in rows] == ["grp4", "grp3"]
+
+    def test_max_rows_bounds_each_table_independently(self):
+        with RunLedger() as ledger:
+            for i in range(4):
+                ledger.record(make_row(budget=float(i)))
+                ledger.record_load_run(self._load_row(f"grp{i}"))
+            assert ledger.prune(max_rows=1) == 6
+            assert ledger.count() == 1
+            assert ledger.load_count() == 1
+
+    def test_max_age_drops_old_load_runs(self):
+        with RunLedger() as ledger:
+            ledger.record_load_run(self._load_row("old"))
+            ledger.record_load_run(self._load_row("new"))
+            ledger._conn.execute(
+                "UPDATE load_runs SET recorded_at = recorded_at - 864000 "
+                "WHERE load_id = 1"
+            )
+            ledger._conn.commit()
+            assert ledger.prune(max_age_days=5.0) == 1
+            (row,) = ledger.load_runs(limit=0)
+            assert row.label == "new"
+
 
 # The v1 layout, as shipped before the fault-injection fields landed —
 # used to prove in-place migration below.

@@ -1,0 +1,72 @@
+"""Contingency-reserve wrapper: withheld budget, registry spelling."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.platform.cloud import PAPER_PLATFORM
+from repro.scheduling.contingency import ContingencyScheduler, parse_reserved
+from repro.scheduling.registry import make_scheduler
+from repro.workflow.generators import generate
+
+BUDGET = 0.4
+
+
+@pytest.fixture(scope="module")
+def wf():
+    return generate("montage", 20, rng=1, sigma_ratio=0.5)
+
+
+class TestContingencyScheduler:
+    def test_reserve_lands_in_leftover_pot(self, wf):
+        plain = make_scheduler("heft_budg").schedule(wf, PAPER_PLATFORM, BUDGET)
+        reserved = ContingencyScheduler(
+            make_scheduler("heft_budg"), reserve=0.25
+        ).schedule(wf, PAPER_PLATFORM, BUDGET)
+        withheld = BUDGET * 0.25
+        # The base plan sees less money, so it cannot cost more than the
+        # reduced budget; the withheld dollars surface in the pot.
+        assert reserved.planned_vm_cost <= BUDGET - withheld + 1e-9
+        assert reserved.leftover_pot >= withheld - 1e-9
+        assert reserved.planned_vm_cost <= plain.planned_vm_cost + 1e-9
+        assert reserved.algorithm == "heft_budg+res0.25"
+
+    def test_zero_reserve_is_the_base_plan(self, wf):
+        plain = make_scheduler("heft_budg").schedule(wf, PAPER_PLATFORM, BUDGET)
+        zero = ContingencyScheduler(
+            make_scheduler("heft_budg"), reserve=0.0
+        ).schedule(wf, PAPER_PLATFORM, BUDGET)
+        assert zero.planned_makespan == plain.planned_makespan
+        assert zero.planned_vm_cost == plain.planned_vm_cost
+        assert zero.leftover_pot == plain.leftover_pot
+
+    def test_reserve_bounds_enforced(self):
+        base = make_scheduler("heft_budg")
+        with pytest.raises(SchedulingError, match="reserve"):
+            ContingencyScheduler(base, reserve=1.0)
+        with pytest.raises(SchedulingError, match="reserve"):
+            ContingencyScheduler(base, reserve=-0.1)
+
+
+class TestRegistrySpelling:
+    def test_make_scheduler_parses_reserve_suffix(self, wf):
+        sched = make_scheduler("heft_budg+res0.2")
+        assert isinstance(sched, ContingencyScheduler)
+        assert sched.reserve == 0.2
+        assert sched.base.name == "heft_budg"
+        result = sched.schedule(wf, PAPER_PLATFORM, BUDGET)
+        assert result.algorithm == "heft_budg+res0.2"
+
+    def test_plain_names_untouched(self):
+        assert not isinstance(make_scheduler("heft_budg"),
+                              ContingencyScheduler)
+
+    def test_malformed_fraction_fails_loudly(self):
+        with pytest.raises(SchedulingError, match="malformed"):
+            make_scheduler("heft_budg+resX")
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(SchedulingError, match="unknown scheduler"):
+            make_scheduler("prayer+res0.2")
+
+    def test_parse_reserved_passthrough(self):
+        assert parse_reserved("heft_budg") is None
