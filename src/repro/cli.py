@@ -14,6 +14,8 @@ Examples::
     repro-exp serve --tenants tenants.json      # multi-tenant admission
     repro-exp ledger estimate-error --db runs.db
     repro-exp trace --workers 4                 # trace with worker spans
+    repro-exp worker --listen 0.0.0.0:9000      # join a cluster as a node
+    repro-exp ledger sweep --workers host:9000,host:9001  # cluster sweep
     repro-exp slo --db runs.db                  # offline SLO burn rates
     repro-exp profile --reps 25 --out prof.txt  # sampling profiler
 """
@@ -125,17 +127,37 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--max-retries", type=int, default=0,
                      help="transient-failure retries per async job "
                      "(exponential backoff with jitter)")
-    srv.add_argument("--executor", choices=("thread", "process"),
+    srv.add_argument("--executor", choices=("thread", "process", "cluster"),
                      default="thread",
-                     help="compute in worker threads (default) or worker "
+                     help="compute in worker threads (default), worker "
                      "processes (CPU-bound jobs off the GIL; see "
-                     "docs/PARALLEL.md)")
+                     "docs/PARALLEL.md), or remote repro-exp worker nodes "
+                     "(--nodes; see docs/CLUSTER.md)")
+    srv.add_argument("--nodes", type=str, default=None,
+                     help="cluster node list 'host:port,host:port' "
+                     "(required with --executor cluster)")
     srv.add_argument("--tenants", type=str, default=None,
                      help="JSON file of per-tenant admission policies "
                      "(rate, concurrency, cost budget per window; see "
                      "docs/ADMISSION.md). Without it every request runs "
                      "under the permissive default tenant")
     _add_logging_flags(srv)
+
+    wrk = sub.add_parser(
+        "worker",
+        help="run a long-lived cluster worker node (see docs/CLUSTER.md)",
+    )
+    wrk.add_argument("--listen", type=str, default="127.0.0.1:0",
+                     help="host:port to listen on (port 0 picks a free "
+                     "port, printed on startup)")
+    wrk.add_argument("--slots", type=int, default=1,
+                     help="advertised parallelism (shards executed "
+                     "concurrently; scale out with more worker processes, "
+                     "not more slots)")
+    wrk.add_argument("--heartbeat", type=float, default=1.0,
+                     help="seconds between heartbeat frames")
+    wrk.add_argument("--token", type=str, default=None,
+                     help="shared handshake token (coordinators must match)")
 
     sch = sub.add_parser(
         "schedule", help="one-shot scheduling request, JSON response on stdout"
@@ -290,8 +312,9 @@ def build_parser() -> argparse.ArgumentParser:
     flt.add_argument("--ledger", type=str, default=None,
                      help="archive every run into this SQLite run ledger "
                      "(source='faults')")
-    flt.add_argument("--workers", type=int, default=0,
-                     help="worker processes for the sweep cells (0 = serial; "
+    flt.add_argument("--workers", type=str, default="0",
+                     help="worker processes for the sweep cells, or a "
+                     "'host:port,host:port' cluster node list (0 = serial; "
                      "results are bit-identical either way)")
 
     led = sub.add_parser(
@@ -320,9 +343,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="workflow families (default: config's)")
     l_sweep.add_argument("--algorithms", nargs="+", default=None,
                          help="algorithms (default: config's)")
-    l_sweep.add_argument("--workers", type=int, default=0,
-                         help="worker processes for the sweep points "
-                         "(0 = serial; results are bit-identical either way)")
+    l_sweep.add_argument("--workers", type=str, default="0",
+                         help="worker processes for the sweep points, or a "
+                         "'host:port,host:port' cluster node list (0 = "
+                         "serial; results are bit-identical either way)")
 
     l_list = lsub.add_parser("list", help="newest archived runs")
     _db_flag(l_list)
@@ -833,6 +857,56 @@ def _run_profile(args: argparse.Namespace) -> int:
         n_lines = profiler.write_collapsed(args.out)
         print(f"\ncollapsed stacks: {args.out} ({n_lines} lines; feed to "
               f"flamegraph.pl or speedscope)")
+    return 0
+
+
+def _run_worker(args: argparse.Namespace) -> int:
+    """The ``worker`` subcommand: serve shards until terminated.
+
+    Prints a parseable ``worker listening on host:port`` line (flushed,
+    so wrappers reading stdout see the bound port immediately — needed
+    when ``--listen`` ends in ``:0``), then blocks. SIGTERM and SIGINT
+    both shut the node down; the coordinator sees the connection drop
+    and reassigns any in-flight shards.
+    """
+    import os
+    import signal
+
+    from .cluster.protocol import parse_address
+    from .cluster.worker import ClusterWorker
+    from .errors import ClusterProtocolError
+
+    try:
+        host, port = parse_address(args.listen)
+    except ClusterProtocolError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    worker = ClusterWorker(
+        host, port, slots=args.slots, heartbeat_s=args.heartbeat,
+        token=args.token,
+    )
+    bound_host, bound_port = worker.start()
+    print(
+        f"worker listening on {bound_host}:{bound_port} "
+        f"(pid {os.getpid()}, slots {args.slots})",
+        flush=True,
+    )
+
+    def _shutdown(signum: int, frame: object) -> None:
+        # First signal starts the drain; later ones (an impatient
+        # supervisor re-sending SIGTERM) must not interrupt close().
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    try:
+        worker.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        worker.close()
+        print("worker stopped", flush=True)
     return 0
 
 
@@ -1358,10 +1432,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             ledger_path=args.ledger,
             max_queue_depth=args.max_queue_depth,
             job_timeout=args.job_timeout, max_retries=args.max_retries,
-            executor=args.executor, tenants_path=args.tenants,
+            executor=args.executor, nodes=args.nodes,
+            tenants_path=args.tenants,
             log_level=args.log_level, log_json=args.log_json,
         )
         return 0
+
+    if args.command == "worker":
+        return _run_worker(args)
 
     if args.command == "schedule":
         from .obs.logging import configure_logging

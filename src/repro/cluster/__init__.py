@@ -1,0 +1,26 @@
+"""Distributed multi-node execution behind the ShardPlan contract.
+
+``repro.parallel`` ships plain picklable shards with an associative,
+order-independent merge — exactly the contract a network boundary
+needs. This package adds that boundary: a coordinator/worker fabric
+over stdlib sockets (length-prefixed JSON frames, no new dependencies)
+that dispatches the same shards to long-lived ``repro-exp worker``
+nodes and merges results **bit-identical to serial regardless of which
+node computed which shard**, surviving node loss by heartbeat-driven
+reassignment. See ``docs/CLUSTER.md`` for the protocol, the failure
+semantics, and a deployment recipe.
+"""
+
+from .backend import BackendSpec, make_pool, parse_workers
+from .coordinator import ClusterPool
+from .protocol import PROTOCOL_VERSION
+from .worker import ClusterWorker
+
+__all__ = [
+    "BackendSpec",
+    "ClusterPool",
+    "ClusterWorker",
+    "PROTOCOL_VERSION",
+    "make_pool",
+    "parse_workers",
+]

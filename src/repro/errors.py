@@ -28,6 +28,9 @@ __all__ = [
     "ServiceOverloadedError",
     "AdmissionRejected",
     "WorkerCrashError",
+    "WorkerConfigError",
+    "ClusterError",
+    "ClusterProtocolError",
 ]
 
 
@@ -131,6 +134,31 @@ class WorkerCrashError(RuntimeError):
     def __init__(self, message: str, *, shard_indices: tuple = ()) -> None:
         super().__init__(message)
         self.shard_indices = tuple(shard_indices)
+
+
+class WorkerConfigError(ReproError):
+    """An invalid worker/backend configuration (flag, spec, or env).
+
+    Raised by :func:`repro.parallel.resolve_workers` when the
+    ``REPRO_WORKERS`` environment override is non-numeric or
+    non-positive, and by :func:`repro.cluster.parse_workers` when a
+    cluster node list is malformed. Deterministic — a config error is
+    never retried.
+    """
+
+
+class ClusterError(ReproError):
+    """A cluster-fabric failure that is not a lost worker node.
+
+    Lost nodes surface as :class:`WorkerCrashError` (retryable
+    infrastructure), exactly like a crashed local worker process;
+    ``ClusterError`` covers the deterministic rest — refused
+    connections at pool construction, protocol violations.
+    """
+
+
+class ClusterProtocolError(ClusterError):
+    """A malformed, oversized, or version-mismatched protocol frame."""
 
 
 class ServiceOverloadedError(ServiceError):

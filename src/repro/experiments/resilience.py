@@ -31,16 +31,16 @@ cost.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from typing import Any
 
+from ..cluster import make_pool, parse_workers
 from ..experiments.budgets import high_budget, minimal_budget
 from ..faults.plan import FaultPlan
 from ..faults.runner import OUTCOME_BUDGET_EXHAUSTED, run_with_faults
 from ..faults.spot import CheckpointConfig, SpotScenario
 from ..obs.ledger import RunRow, get_ledger
-from ..parallel import WorkerPool, resolve_workers
 from ..platform.cloud import PAPER_PLATFORM, CloudPlatform
 from ..platform.pricing import SpotMarket, add_spot_categories, spot_only
 from ..rng import RngLike, spawn
@@ -193,7 +193,7 @@ def resilience_sweep(
     max_replans: Optional[int] = None,
     platform: CloudPlatform = PAPER_PLATFORM,
     rng: RngLike = None,
-    workers: int = 0,
+    workers: Union[int, str] = 0,
 ) -> ResilienceStudy:
     """Run the crash-rate × policy grid and archive every run.
 
@@ -203,10 +203,12 @@ def resilience_sweep(
     defaults to ``seed``, and every (cell, run) draws its own derived
     stream, so the sweep is deterministic end to end.
 
-    ``workers > 1`` fans whole cells out to worker processes: planning
-    stays in the parent, cell ``i`` receives stream slice
-    ``[i·n_runs, (i+1)·n_runs)`` exactly as the serial loop would, and
-    the parent records every run — results are bit-identical to serial.
+    ``workers > 1`` fans whole cells out to worker processes (a
+    ``"host:port,host:port"`` node list fans them out to remote
+    ``repro-exp worker`` nodes instead): planning stays in the parent,
+    cell ``i`` receives stream slice ``[i·n_runs, (i+1)·n_runs)``
+    exactly as the serial loop would, and the parent records every run
+    — results are bit-identical to serial on either backend.
     """
     if n_runs < 1:
         raise ValueError(f"n_runs must be >= 1, got {n_runs}")
@@ -245,9 +247,9 @@ def resilience_sweep(
             "streams": all_streams[i * n_runs:(i + 1) * n_runs],
         })
 
-    n_workers = resolve_workers(workers)
-    if n_workers > 1 and len(tasks) > 1:
-        with WorkerPool(min(n_workers, len(tasks))) as pool:
+    backend = parse_workers(workers)
+    if not backend.is_serial and len(tasks) > 1:
+        with make_pool(backend, max_workers=len(tasks)) as pool:
             per_cell = pool.map(_resilience_cell_task, tasks)
     else:
         per_cell = [_resilience_cell_task(t) for t in tasks]
@@ -332,7 +334,7 @@ def spot_resilience_sweep(
     market: Optional[SpotMarket] = None,
     platform: CloudPlatform = PAPER_PLATFORM,
     rng: RngLike = None,
-    workers: int = 0,
+    workers: Union[int, str] = 0,
 ) -> ResilienceStudy:
     """Spot sweep: revocation rate × contingency reserve frontier.
 
@@ -410,9 +412,9 @@ def spot_resilience_sweep(
             "streams": all_streams[i * n_runs:(i + 1) * n_runs],
         })
 
-    n_workers = resolve_workers(workers)
-    if n_workers > 1 and len(tasks) > 1:
-        with WorkerPool(min(n_workers, len(tasks))) as pool:
+    backend = parse_workers(workers)
+    if not backend.is_serial and len(tasks) > 1:
+        with make_pool(backend, max_workers=len(tasks)) as pool:
             per_cell = pool.map(_resilience_cell_task, tasks)
     else:
         per_cell = [_resilience_cell_task(t) for t in tasks]

@@ -18,11 +18,12 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..cluster import make_pool, parse_workers
 from ..obs.ledger import RunRow, get_ledger
 from ..obs.tracing import get_tracer
-from ..parallel import ShardPlan, ShardStats, WorkerPool, resolve_workers
+from ..parallel import ShardPlan, ShardStats
 from ..platform.cloud import CloudPlatform
 from ..rng import spawn, spawn_seeds
 from ..scheduling.registry import make_scheduler
@@ -157,7 +158,7 @@ def make_instances(config: ExperimentConfig) -> Dict[Tuple[str, int], Workflow]:
 
 
 def _run_point_payload(
-    task: Dict[str, Any], pool: Optional[WorkerPool] = None
+    task: Dict[str, Any], pool: Optional[Any] = None
 ) -> Dict[str, Any]:
     """Compute one sweep point: schedule once, replicate, build records.
 
@@ -258,8 +259,8 @@ def run_point(
     budget_index: int = 0,
     dc_capacity: float = math.inf,
     weight_draws: Optional[Sequence[Dict[str, float]]] = None,
-    workers: int = 0,
-    pool: Optional[WorkerPool] = None,
+    workers: Union[int, str] = 0,
+    pool: Optional[Any] = None,
 ) -> List[RunRecord]:
     """Schedule once, execute ``n_reps`` stochastic runs, return records.
 
@@ -268,9 +269,12 @@ def run_point(
     default fresh draws are sampled from ``rng``.
 
     ``workers > 1`` shards the replication loop across worker processes
-    (or an existing ``pool``); every returned number is bit-identical to
-    the serial run — see ``docs/PARALLEL.md`` for the contract. Tiny
-    replication counts fall back to serial automatically.
+    (or an existing ``pool``); a ``"host:port,host:port"`` node list
+    shards it across a :class:`repro.cluster.ClusterPool` of remote
+    ``repro-exp worker`` nodes instead. Every returned number is
+    bit-identical to the serial run either way — see ``docs/PARALLEL.md``
+    and ``docs/CLUSTER.md`` for the contract. Tiny replication counts
+    fall back to serial automatically on the process backend.
     """
     # Spawning here (not in the payload) keeps the caller's generator
     # advancing identically on every path, parallel or not.
@@ -282,11 +286,13 @@ def run_point(
         "sigma_ratio": sigma_ratio, "budget_index": budget_index,
         "dc_capacity": dc_capacity, "weight_draws": weight_draws,
     }
-    n_workers = resolve_workers(workers)
-    own_pool: Optional[WorkerPool] = None
-    if pool is None and n_workers > 1:
-        if not ShardPlan.plan(n_reps, n_workers).is_serial:
-            own_pool = WorkerPool(n_workers)
+    backend = parse_workers(workers)
+    own_pool: Optional[Any] = None
+    if pool is None and not backend.is_serial:
+        if backend.kind == "cluster" or not ShardPlan.plan(
+            n_reps, backend.n_workers
+        ).is_serial:
+            own_pool = make_pool(backend)
     try:
         with get_tracer().span(
             "experiments.run_point", family=family or wf.name,
@@ -313,7 +319,7 @@ def run_sweep(
     *,
     dc_capacity: float = math.inf,
     budget_points: Optional[Sequence[float]] = None,
-    workers: int = 0,
+    workers: Union[int, str] = 0,
 ) -> List[RunRecord]:
     """Full sweep: instances × budgets × algorithms × repetitions.
 
@@ -323,19 +329,23 @@ def run_sweep(
     itself; figure builders group by grid position.
 
     ``workers > 1`` fans whole sweep points (one schedule + its
-    replications) out to worker processes. Instances, budget grids, and
+    replications) out to worker processes; a ``"host:port,host:port"``
+    node list fans them out to remote ``repro-exp worker`` nodes via
+    :class:`repro.cluster.ClusterPool`. Instances, budget grids, and
     the common-random-number weight draws are still generated serially in
     the parent, results come back in submission order, and the parent
     records every point to the ledger — so rows, records, and all floats
-    are bit-identical to the serial run (see ``docs/PARALLEL.md``).
+    are bit-identical to the serial run, regardless of backend or of
+    which node computed which point (see ``docs/PARALLEL.md`` and
+    ``docs/CLUSTER.md``).
     """
     tracer = get_tracer()
     instances = make_instances(config)
     records: List[RunRecord] = []
     exec_streams = spawn(config.seed + 1, len(instances))
     stream_idx = 0
-    n_workers = resolve_workers(workers)
-    parallel = n_workers > 1
+    backend = parse_workers(workers)
+    parallel = not backend.is_serial
     tasks: List[Dict[str, Any]] = []
     for (family, instance), wf in instances.items():
         with tracer.span(
@@ -391,7 +401,7 @@ def run_sweep(
                         "weight_draws": draws,
                     })
     if parallel and tasks:
-        with WorkerPool(n_workers) as worker_pool:
+        with make_pool(backend) as worker_pool:
             payloads = worker_pool.map(_run_point_payload, tasks)
         for task, payload in zip(tasks, payloads):
             _record_point(

@@ -39,6 +39,9 @@ __all__ = [
     "RECOVERY_REJECTED",
     "RECOVERY_CHECKPOINT_RESTART",
     "WORKER_CRASHED",
+    "NODE_JOINED",
+    "NODE_LOST",
+    "SHARD_REASSIGNED",
     "ADMISSION_ADMITTED",
     "ADMISSION_REJECTED",
 ]
@@ -77,6 +80,18 @@ RECOVERY_CHECKPOINT_RESTART = "recovery.checkpoint_restart"
 #: Published by :class:`repro.parallel.WorkerPool` when a worker process
 #: dies mid-shard (the pool respawns and retries the affected shards).
 WORKER_CRASHED = "worker.crashed"
+
+#: Published by :class:`repro.cluster.ClusterPool` when a remote worker
+#: node completes its handshake (carries address, pid, slots).
+NODE_JOINED = "node.joined"
+
+#: Published when a node's connection drops or its heartbeats go stale;
+#: its in-flight shards are requeued onto the surviving nodes.
+NODE_LOST = "node.lost"
+
+#: Published per shard moved off a dead or slow node (carries the shard
+#: index, the node it left, and the retry attempt number).
+SHARD_REASSIGNED = "shard.reassigned"
 
 #: Published by the admission controller for every decision: an admitted
 #: request carries its tenant, priority and pre-admission estimate; a

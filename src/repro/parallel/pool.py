@@ -46,7 +46,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import WorkerCrashError
+from ..errors import WorkerConfigError, WorkerCrashError
 from ..obs.events import WORKER_CRASHED
 from ..obs.tracing import Tracer, get_tracer, use_tracer
 
@@ -59,7 +59,29 @@ def resolve_workers(workers: int) -> int:
     ``0`` (and ``1``) mean serial; negative means "all available cores";
     anything else passes through. Callers use the result to decide whether
     to build a pool at all.
+
+    When the knob is left at its default (``0``), a ``REPRO_WORKERS``
+    environment variable overrides it, so ops can tune fan-out without
+    touching specs or CLI flags. The override must be a positive
+    integer; anything else raises
+    :class:`~repro.errors.WorkerConfigError` — a silent fallback to
+    serial would hide the typo. An explicit flag always beats the
+    environment.
     """
+    if workers == 0:
+        env = os.environ.get("REPRO_WORKERS")
+        if env is not None and env.strip():
+            try:
+                value = int(env)
+            except ValueError:
+                raise WorkerConfigError(
+                    f"REPRO_WORKERS must be an integer, got {env!r}"
+                ) from None
+            if value <= 0:
+                raise WorkerConfigError(
+                    f"REPRO_WORKERS must be positive, got {value}"
+                )
+            return value
     if workers < 0:
         try:
             return len(os.sched_getaffinity(0))

@@ -58,7 +58,7 @@ __all__ = ["JobState", "JobRecord", "SchedulingService", "compute_response"]
 #: historical in-process behaviour; ``process`` routes each compute into a
 #: :class:`repro.parallel.WorkerPool` worker, taking CPU-bound
 #: HEFTBUDG+/HEFTBUDG+INV refinement off the GIL.
-EXECUTORS = ("thread", "process")
+EXECUTORS = ("thread", "process", "cluster")
 
 RequestLike = Union[ScheduleRequest, Mapping[str, Any]]
 
@@ -299,11 +299,17 @@ class SchedulingService:
         ``"thread"`` (default) computes on the worker threads;
         ``"process"`` routes each compute into a worker *process* via
         :class:`repro.parallel.WorkerPool`, so CPU-bound refinement runs
-        off the GIL. Job lifecycle, cache, backpressure, retries, and
-        timeout supervision all stay in the parent either way — a crashed
-        worker surfaces as a retryable
+        off the GIL; ``"cluster"`` routes computes to remote
+        ``repro-exp worker`` nodes via
+        :class:`repro.cluster.ClusterPool` (requires ``nodes``). Job
+        lifecycle, cache, backpressure, retries, and timeout supervision
+        all stay in the parent every way — a crashed worker process or a
+        lost node surfaces as a retryable
         :class:`~repro.errors.WorkerCrashError` after the pool's own
         shard retries are exhausted.
+    nodes:
+        Cluster node list for ``executor="cluster"``:
+        ``"host:port,host:port"`` or a sequence of such specs.
     tenants:
         A :class:`~repro.admission.TenantRegistry` with per-tenant rate /
         concurrency / cost-budget policies. Omitted, every request runs
@@ -334,6 +340,7 @@ class SchedulingService:
         max_retries: int = 0,
         retry_backoff_s: float = 0.5,
         executor: str = "thread",
+        nodes: Optional[Any] = None,
         tenants: Optional[Any] = None,
         admission_aging_s: float = 30.0,
         batching: Optional[bool] = None,
@@ -344,6 +351,10 @@ class SchedulingService:
         if executor not in EXECUTORS:
             raise ServiceError(
                 f"unknown executor {executor!r}; one of {EXECUTORS}"
+            )
+        if executor == "cluster" and not nodes:
+            raise ServiceError(
+                "executor='cluster' needs nodes ('host:port,host:port')"
             )
         if cache_size < 0:
             raise ServiceError(f"cache_size must be >= 0, got {cache_size}")
@@ -380,8 +391,9 @@ class SchedulingService:
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-service"
         )
+        self.max_workers = max_workers
         self.executor = executor
-        self._proc_pool: Optional[WorkerPool] = None
+        self._proc_pool: Optional[Any] = None
         if executor == "process":
             # Fork the worker processes *now*, before the service's own
             # threads get busy — forking from a quiescent parent avoids
@@ -390,6 +402,14 @@ class SchedulingService:
                 max_workers, metrics=self.metrics, events=self.events
             )
             self._proc_pool.map(_warmup, list(range(max_workers)))
+        elif executor == "cluster":
+            # Imported lazily so the light thread-executor path never
+            # touches the cluster fabric.
+            from ..cluster import ClusterPool
+
+            self._proc_pool = ClusterPool(
+                nodes, metrics=self.metrics, events=self.events
+            )
         self._jobs: Dict[str, _Job] = {}
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
@@ -843,6 +863,10 @@ class SchedulingService:
                 None if self._proc_pool is None
                 else self._proc_pool.worker_stats()
             ),
+            "cluster_nodes": (
+                self._proc_pool.alive_count
+                if self.executor == "cluster" else None
+            ),
             "jobs": by_state,
             "cache": None if self._cache is None else self._cache.stats().to_dict(),
             "metrics": self.metrics.snapshot(),
@@ -869,11 +893,15 @@ class SchedulingService:
         """Readiness snapshot backing ``GET /v1/healthz``.
 
         ``ready`` is the single go/no-go bit (drain started, ledger
-        unwritable, or every worker process dead ⇒ not ready); the rest
-        is the evidence: queue depth, in-flight jobs, the age of the
-        stalest worker heartbeat, and whether the ledger accepts writes.
-        Deliberately cheaper than :meth:`stats` — load-generator warmup
-        gates and orchestrator probes may poll it at high frequency.
+        unwritable, or every worker process / cluster node dead ⇒ not
+        ready); the rest is the evidence: the active executor backend,
+        the live worker/node count, queue depth, in-flight jobs, the age
+        of the stalest worker heartbeat, and whether the ledger accepts
+        writes. ``executor`` + ``worker_count`` let a load balancer
+        distinguish a degraded cluster (some nodes lost, still ready)
+        from a healthy single-node deployment. Deliberately cheaper than
+        :meth:`stats` — load-generator warmup gates and orchestrator
+        probes may poll it at high frequency.
         """
         with self._lock:
             draining = self._closed
@@ -884,8 +912,19 @@ class SchedulingService:
         queue_stats = self.admission.queue.stats()
         heartbeat_age: Optional[float] = None
         workers_alive = True
+        # Thread executor: the pool's threads cannot die independently,
+        # so the configured size is the live count.
+        worker_count = self.max_workers
         if self._proc_pool is not None:
             worker_stats = self._proc_pool.worker_stats()
+            if self.executor == "cluster":
+                # A lost node keeps its (dead) entry for observability;
+                # only nodes still believed alive count toward readiness.
+                worker_stats = {
+                    addr: s for addr, s in worker_stats.items()
+                    if s.get("alive", True)
+                }
+            worker_count = len(worker_stats)
             workers_alive = bool(worker_stats)
             if worker_stats:
                 now = time.time()
@@ -901,6 +940,8 @@ class SchedulingService:
             "status": "draining" if draining else "ok",
             "draining": draining,
             "uptime_s": time.time() - self._started_at,
+            "executor": self.executor,
+            "worker_count": worker_count,
             "queue_depth": queue_stats["depth"],
             "inflight_jobs": inflight,
             "worker_heartbeat_age_s": heartbeat_age,

@@ -221,6 +221,10 @@ def _prometheus_gauges(stats: Dict[str, Any]) -> Dict[str, float]:
     if "oldest_wait_s" in queue:
         gauges["queue_oldest_wait_seconds"] = queue["oldest_wait_s"]
     gauges["inflight_jobs"] = stats.get("jobs", {}).get("running", 0)
+    # Live cluster node count (sampled per scrape; reassignments ride in
+    # the regular counter snapshot as repro_cluster_reassignments_total).
+    if stats.get("cluster_nodes") is not None:
+        gauges["cluster_nodes"] = stats["cluster_nodes"]
     slo = stats.get("slo")
     if slo:
         # Streaming percentiles per lifecycle stage (from the mergeable
@@ -612,6 +616,7 @@ def serve(
     job_timeout: Optional[float] = None,
     max_retries: int = 0,
     executor: str = "thread",
+    nodes: Optional[str] = None,
     tenants_path: Optional[str] = None,
 ) -> None:  # pragma: no cover - blocking entry point, exercised via CLI
     """Run a gateway in the foreground until interrupted.
@@ -621,7 +626,9 @@ def serve(
     ``tenants_path`` loads per-tenant admission policies (JSON; see
     ``docs/ADMISSION.md``) — without it every request runs under the
     permissive default tenant. ``executor="process"`` computes in worker
-    processes (see ``docs/PARALLEL.md``). SIGTERM and SIGINT both trigger
+    processes (see ``docs/PARALLEL.md``); ``executor="cluster"`` computes
+    on the remote ``repro-exp worker`` nodes listed in ``nodes``
+    (see ``docs/CLUSTER.md``). SIGTERM and SIGINT both trigger
     a graceful drain: the socket closes, in-flight jobs finish, then the
     process exits.
     """
@@ -643,7 +650,7 @@ def serve(
         max_workers=max_workers, cache_size=cache_size, cache_ttl=cache_ttl,
         ledger=ledger, events=bus, max_queue_depth=max_queue_depth,
         job_timeout=job_timeout, max_retries=max_retries, executor=executor,
-        tenants=tenants,
+        nodes=nodes, tenants=tenants,
     )
     gateway = ServiceGateway(service, host=host, port=port)
 
@@ -652,6 +659,9 @@ def serve(
 
     signal.signal(signal.SIGTERM, _sigterm)
     print(f"repro scheduling service listening on {gateway.url}")
+    if executor == "cluster":
+        alive = service.health()["worker_count"]
+        print(f"cluster executor: {alive} node(s) [{nodes}]")
     print("endpoints: /v1/healthz /v1/schedulers /v1/metrics "
           "/v1/schedule /v1/jobs /v1/jobs/<id>/events /v1/events "
           "/v1/runs /v1/tenants /v1/admission /v1/slo  "

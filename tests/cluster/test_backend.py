@@ -1,0 +1,97 @@
+"""Backend selection (`parse_workers`/`make_pool`) and REPRO_WORKERS."""
+
+import pytest
+
+from repro.cluster import BackendSpec, make_pool, parse_workers
+from repro.errors import WorkerConfigError
+from repro.parallel import WorkerPool, resolve_workers
+
+
+class TestParseWorkers:
+    def test_int_paths(self):
+        assert parse_workers(0) == BackendSpec("serial", 0, ())
+        assert parse_workers(1).is_serial
+        assert parse_workers(4) == BackendSpec("process", 4, ())
+        assert parse_workers(None).is_serial
+
+    def test_numeric_strings_behave_like_ints(self):
+        assert parse_workers(" 3 ") == BackendSpec("process", 3, ())
+        assert parse_workers("0").is_serial
+        assert parse_workers("").is_serial
+
+    def test_node_list(self):
+        spec = parse_workers(" 127.0.0.1:9000, 127.0.0.1:9001, ")
+        assert spec.kind == "cluster"
+        assert spec.nodes == ("127.0.0.1:9000", "127.0.0.1:9001")
+        assert not spec.is_serial
+        assert "cluster[" in spec.describe()
+
+    def test_spec_passthrough(self):
+        spec = BackendSpec("process", 2, ())
+        assert parse_workers(spec) is spec
+
+    def test_rejections(self):
+        with pytest.raises(WorkerConfigError):
+            parse_workers("not-a-node-list")
+        with pytest.raises(WorkerConfigError):
+            parse_workers("host:port")  # non-numeric port
+        with pytest.raises(WorkerConfigError):
+            parse_workers(",,,")  # separators without any node
+        with pytest.raises(WorkerConfigError):
+            parse_workers(True)  # bool is not a worker count
+        with pytest.raises(WorkerConfigError):
+            parse_workers(3.5)
+
+
+class TestMakePool:
+    def test_serial_spec_yields_no_pool(self):
+        assert make_pool(parse_workers(0)) is None
+        assert make_pool(parse_workers(1)) is None
+
+    def test_process_spec_yields_worker_pool(self):
+        pool = make_pool(parse_workers(2))
+        try:
+            assert isinstance(pool, WorkerPool)
+            assert pool.map(abs, [-1, -2, -3]) == [1, 2, 3]
+        finally:
+            pool.close()
+
+    def test_max_workers_caps_process_pool(self):
+        pool = make_pool(parse_workers(8), max_workers=2)
+        try:
+            assert pool.workers == 2
+        finally:
+            pool.close()
+
+
+class TestReproWorkersEnv:
+    """REPRO_WORKERS steers the default only — explicit flags win."""
+
+    def test_env_override_applies_at_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(0) == 3
+        assert parse_workers(0) == BackendSpec("process", 3, ())
+
+    def test_explicit_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(2) == 2
+        assert resolve_workers(-1) >= 1  # autodetect, not env
+
+    def test_unset_or_blank_env_is_ignored(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(0) == 0
+        monkeypatch.setenv("REPRO_WORKERS", "   ")
+        assert resolve_workers(0) == 0
+
+    def test_non_integer_env_raises_typed_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(WorkerConfigError, match="integer"):
+            resolve_workers(0)
+
+    def test_non_positive_env_raises_typed_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(WorkerConfigError, match="positive"):
+            resolve_workers(0)
+        monkeypatch.setenv("REPRO_WORKERS", "-4")
+        with pytest.raises(WorkerConfigError, match="positive"):
+            resolve_workers(0)

@@ -6,6 +6,7 @@ exempt fields are wall-clock measurements (``sched_seconds``), which by
 nature differ between runs.
 """
 
+import random
 from dataclasses import replace
 
 import pytest
@@ -14,6 +15,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.resilience import resilience_sweep
 from repro.experiments.runner import run_point, run_sweep
 from repro.obs.ledger import RunLedger, use_ledger
+from repro.parallel import ShardPlan, ShardStats
 from repro.workflow.generators import generate
 
 
@@ -68,6 +70,89 @@ class TestPointParity:
             wf, PAPER_PLATFORM, "heft_budg", budget, 12, 42, workers=workers
         )
         assert strip_wallclock(sharded) == strip_wallclock(serial)
+
+
+class TestMergeOrderIndependence:
+    """Property tests for the cluster-merge contract (docs/CLUSTER.md).
+
+    A coordinator receives shard results in *arbitrary* arrival order,
+    possibly more than once (work stealing, reassignment after node
+    loss), and keeps only the first result per shard. Because each shard
+    result is a pure function of the shard, any such history — reordered
+    by shard index and merged — must be bit-identical to the serial run.
+    """
+
+    @staticmethod
+    def _random_values(rng, n):
+        # Magnitudes spread over many decades so any fp reordering of
+        # the merge would actually change bits.
+        return [
+            rng.uniform(-5.0, 5.0) * 10.0 ** rng.randrange(-8, 9)
+            for _ in range(n)
+        ]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_arbitrary_arrival_order_with_duplicates(self, seed):
+        rng = random.Random(seed)
+        for _trial in range(25):
+            n = rng.randrange(1, 50)
+            values = self._random_values(rng, n)
+            plan = ShardPlan.plan(
+                n, rng.randrange(1, 9), min_shard_size=1,
+                shards_per_worker=rng.randrange(1, 4),
+            )
+            per_shard = [
+                ShardStats.of(shard.slice(values)) for shard in plan.shards
+            ]
+
+            # simulate the wire: every shard arrives 1-3 times (retries,
+            # stolen duplicates), in a random global interleaving
+            arrivals = [
+                i
+                for i in range(len(per_shard))
+                for _ in range(rng.randrange(1, 4))
+            ]
+            rng.shuffle(arrivals)
+            first_result = {}
+            for i in arrivals:
+                if i not in first_result:  # duplicate suppression
+                    first_result[i] = per_shard[i]
+            merged = ShardStats.merge(
+                [first_result[i] for i in range(len(per_shard))]
+            )
+
+            # the reconstructed sample sequence is exactly the input...
+            assert merged.values == values
+            assert merged.n == n
+            # ...so every downstream statistic is bit-identical to serial
+            assert ShardStats.of(merged.values) == ShardStats.of(values)
+            # and min/max are order-free regardless of merge path
+            assert merged.minimum == min(values)
+            assert merged.maximum == max(values)
+
+    def test_reassignment_recompute_is_bit_identical(self):
+        """A shard recomputed on a different node yields the same bits:
+        results depend only on the shard, so the merge cannot tell a
+        retried shard from a first-try one."""
+        rng = random.Random(99)
+        values = self._random_values(rng, 31)
+        plan = ShardPlan.plan(31, 4, min_shard_size=1)
+
+        def compute(shard):  # what any node would compute
+            return ShardStats.of(shard.slice(values))
+
+        original = [compute(s) for s in plan.shards]
+        recomputed = [compute(s) for s in plan.shards]  # "another node"
+        assert original == recomputed
+        assert ShardStats.merge(original) == ShardStats.merge(recomputed)
+
+    def test_merge_in_shard_order_reconstructs_sequence(self):
+        plan = ShardPlan.plan(10, 2, min_shard_size=1)
+        values = list(map(float, range(10)))
+        parts = [ShardStats.of(s.slice(values)) for s in plan.shards]
+        merged = ShardStats.merge(parts)
+        assert merged.values == values
+        assert ShardStats.merge([]) == ShardStats()  # empty is neutral
 
 
 class TestFaultInjectedParity:
